@@ -1,0 +1,121 @@
+"""EXP-ABLATION — design-choice ablations.
+
+Three choices DESIGN.md commits to, each measured against its alternative:
+
+1. **Minimize the outputs?**  Construction 3.1's raw output vs its
+   type-minimal form: how many types does the extra polynomial pass save?
+2. **Which regex-to-DFA pipeline for content models?**  Glushkov + subset
+   construction + minimization (the default) vs Brzozowski derivatives,
+   on the paper's hard content-model family.
+3. **Reduce before constructing?**  Proviso 2.3 is semantically required
+   for the type-automaton arguments; the ablation measures how much junk
+   unreduced inputs would drag into the construction (types in the
+   subset automaton built from an unreduced vs reduced input).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import run_timed
+from repro.core.upper import minimal_upper_approximation
+from repro.families.random_schemas import random_edtd
+from repro.schemas.edtd import EDTD
+from repro.schemas.minimize import minimize_single_type
+from repro.strings.builders import nth_from_end_is
+from repro.strings.derivatives import dfa_from_regex
+from repro.strings.determinize import determinize
+from repro.strings.minimize import minimize_dfa
+from repro.strings.ops import equivalent
+from repro.strings.regex import parse
+
+EXPERIMENT = "EXP-ABLATION  design-choice ablations"
+NOTE = "minimize-pass savings; Glushkov vs derivatives; reduction payoff"
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_minimize_pass_savings(seed, record, benchmark):
+    edtd = random_edtd(random.Random(40 + seed), num_labels=3, num_types=8)
+    upper = minimal_upper_approximation(edtd)
+
+    minimal, seconds = run_timed(benchmark, minimize_single_type, upper)
+    record(
+        EXPERIMENT,
+        {
+            "ablation": f"minimize-pass (seed {seed})",
+            "baseline": f"{len(upper.types)} types",
+            "variant": f"{len(minimal.types)} types",
+            "delta": f"-{len(upper.types) - len(minimal.types)}",
+            "time_s": f"{seconds:.4f}",
+        },
+        note=NOTE,
+    )
+
+
+@pytest.mark.parametrize("n", [4, 6, 8])
+def test_regex_pipeline_choice(n, record, benchmark):
+    # The hard family as an expression: (a|b)*, a, (a|b)^n.
+    source = "(a | b)*, a" + ", (a | b)" * n
+    expr = parse(source)
+
+    def glushkov_route():
+        from repro.strings.glushkov import glushkov_nfa
+
+        return minimize_dfa(determinize(glushkov_nfa(expr)))
+
+    glushkov_dfa, glushkov_seconds = run_timed(benchmark, glushkov_route)
+    start = time.perf_counter()
+    derivative_dfa = dfa_from_regex(expr)
+    derivative_seconds = time.perf_counter() - start
+    assert equivalent(glushkov_dfa, derivative_dfa)
+    record(
+        EXPERIMENT,
+        {
+            "ablation": f"regex pipeline (n={n})",
+            "baseline": f"glushkov {len(glushkov_dfa.states)} states, {glushkov_seconds:.4f}s",
+            "variant": f"derivatives {len(derivative_dfa.states)} states, {derivative_seconds:.4f}s",
+            "delta": f"{len(derivative_dfa.states) - len(glushkov_dfa.states):+d} states",
+            "time_s": f"{glushkov_seconds:.4f}",
+        },
+    )
+
+
+def test_reduction_payoff(record, benchmark):
+    # An EDTD with deliberate junk: unproductive and unreachable types.
+    base = EDTD(
+        alphabet={"a", "b"},
+        types={"r", "x", "dead1", "dead2", "island1", "island2"},
+        rules={
+            "r": "x* | dead1",
+            "x": "~",
+            "dead1": "dead2",
+            "dead2": "dead1",
+            "island1": "island2?",
+            "island2": "~",
+        },
+        starts={"r"},
+        mu={
+            "r": "a", "x": "b", "dead1": "b", "dead2": "a",
+            "island1": "a", "island2": "b",
+        },
+    )
+
+    def with_reduction():
+        return minimal_upper_approximation(base)  # reduces internally
+
+    upper, seconds = run_timed(benchmark, with_reduction)
+    reduced_types = len(base.reduced().types)
+    record(
+        EXPERIMENT,
+        {
+            "ablation": "reduction (Proviso 2.3)",
+            "baseline": f"{len(base.types)} raw types",
+            "variant": f"{reduced_types} after reduction",
+            "delta": f"upper has {len(upper.types)} types",
+            "time_s": f"{seconds:.4f}",
+        },
+    )
+    assert len(upper.types) <= reduced_types + 1

@@ -1,0 +1,42 @@
+"""EXP-3.2b — Theorem 3.2's exponential blow-up family.
+
+Paper claim: ``|D_n| = O(n)`` while the type-size of the minimal upper
+XSD-approximation is ``Omega(2^n)`` and cannot be reduced.
+
+Reproduction: build ``D_n`` (unary ``(a+b)* a (a+b)^n`` trees) for
+``n = 2..6``, run Construction 3.1, minimize, and record input size vs
+output type-size.  The predicted shape is ``2^(n+1)`` exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_timed
+from repro.core.upper import minimal_upper_approximation
+from repro.families.hard import theorem_3_2_family
+from repro.schemas.minimize import minimize_single_type
+
+EXPERIMENT = "EXP-3.2b  exponential blow-up of minimal upper approximations"
+NOTE = "paper: input O(n), output type-size Omega(2^n); predicted exactly 2^(n+1)"
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+def test_blowup_shape(n, record, benchmark):
+    edtd = theorem_3_2_family(n)
+    upper, seconds = run_timed(benchmark, minimal_upper_approximation, edtd)
+    minimal = minimize_single_type(upper)
+    assert len(minimal.types) == 2 ** (n + 1)
+    record(
+        EXPERIMENT,
+        {
+            "n": n,
+            "input_types": edtd.type_size(),
+            "input_size": edtd.size(),
+            "upper_types": upper.type_size(),
+            "minimal_types": len(minimal.types),
+            "predicted_2^(n+1)": 2 ** (n + 1),
+            "construct_s": f"{seconds:.3f}",
+        },
+        note=NOTE,
+    )

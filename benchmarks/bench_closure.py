@@ -1,0 +1,48 @@
+"""FIG-1 — ancestor-guarded subtree exchange and closure growth.
+
+Operationalizes Figure 1 / Theorem 2.11: the closure of the Theorem 4.3
+union's bounded fragment under subtree exchange equals the bounded fragment
+of the minimal upper approximation — i.e. the approximation *is* the
+closure.  Records how many trees each size bound adds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_timed
+from repro.closure.closure import bounded_closure
+from repro.core.upper import minimal_upper_approximation
+from repro.families.hard import theorem_4_3_d1_d2
+from repro.schemas.ops import edtd_union
+from repro.trees.generate import enumerate_trees
+
+EXPERIMENT = "FIG-1  closure under subtree exchange = minimal upper approximation"
+NOTE = "bounded closure of L(D1|D2) vs bounded fragment of upper(D1|D2)"
+
+
+@pytest.mark.parametrize("bound", [3, 4, 5, 6])
+def test_closure_equals_upper(bound, record, benchmark):
+    d1, d2 = theorem_4_3_d1_d2()
+    union = edtd_union(d1, d2)
+    upper = minimal_upper_approximation(union)
+    members = enumerate_trees(union, bound + 1)
+
+    def close():
+        return bounded_closure(members, max_size=bound + 1)
+
+    closure, seconds = run_timed(benchmark, close)
+    upper_members = set(enumerate_trees(upper, bound))
+    closure_bounded = {t for t in closure if t.size() <= bound}
+    assert closure_bounded == upper_members
+    record(
+        EXPERIMENT,
+        {
+            "size_bound": bound,
+            "union_members": sum(1 for t in members if t.size() <= bound),
+            "closure_members": len(closure_bounded),
+            "upper_members": len(upper_members),
+            "closure_s": f"{seconds:.3f}",
+        },
+        note=NOTE,
+    )

@@ -1,0 +1,51 @@
+"""EXP-3.9 — complement: minimal upper approximation in polynomial time.
+
+Paper claim (Theorem 3.9): for an stEDTD D, the minimal upper
+XSD-approximation of ``T_Sigma - L(D)`` is unique and computable in time
+polynomial in |D| — the complement EDTD's type automaton only reaches
+subsets of size <= 2.
+
+Reproduction: sweep random stEDTDs of growing size; record (a) the size of
+the complement EDTD (linear in |Sigma||D|), (b) the maximal subset size
+during determinization (must be <= 2), (c) output sizes and times.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import run_timed
+from repro.core.upper import upper_complement
+from repro.families.random_schemas import random_single_type_edtd
+from repro.schemas.ops import complement_edtd
+from repro.schemas.type_automaton import type_automaton
+from repro.strings.determinize import determinize
+
+EXPERIMENT = "EXP-3.9  polynomial complement approximation"
+NOTE = "subset sizes during determinization stay <= 2 (the paper's argument)"
+
+
+@pytest.mark.parametrize("num_types", [3, 5, 8, 12])
+def test_complement_sweep(num_types, record, benchmark):
+    schema = random_single_type_edtd(
+        random.Random(900 + num_types), num_labels=3, num_types=num_types
+    )
+    upper, seconds = run_timed(benchmark, upper_complement, schema)
+    comp = complement_edtd(schema).reduced()
+    subset_dfa = determinize(type_automaton(comp))
+    max_subset = max(len(s) for s in subset_dfa.states)
+    assert max_subset <= 2
+    record(
+        EXPERIMENT,
+        {
+            "input_types": len(schema.types),
+            "input_size": schema.size(),
+            "complement_edtd_size": comp.size(),
+            "max_subset": max_subset,
+            "upper_types": upper.type_size(),
+            "construct_s": f"{seconds:.4f}",
+        },
+        note=NOTE,
+    )

@@ -1,0 +1,102 @@
+"""EXP-3.5 — deciding "is this the minimal upper XSD-approximation?".
+
+Paper claim (Theorem 3.5): the problem is PSPACE-complete; our checker is
+the exact deterministic equivalent (construct + compare via Lemma 3.3).
+
+Reproduction: positive instances (the construction's own outputs, also
+after minimization) and negative instances (a universal overshoot; a
+non-containing schema) across sizes; record decision times.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import run_timed
+from repro.core.decision import is_minimal_upper_approximation
+from repro.core.upper import minimal_upper_approximation
+from repro.families.random_schemas import random_edtd
+from repro.schemas.minimize import minimize_single_type
+from repro.schemas.st_edtd import SingleTypeEDTD
+
+EXPERIMENT = "EXP-3.5  deciding minimal-upper-approximation-ness"
+NOTE = "positive and negative instances decided exactly"
+
+
+def _universal(alphabet) -> SingleTypeEDTD:
+    from repro.strings.builders import sigma_star
+
+    types = {("u", a) for a in alphabet}
+    star = sigma_star(types)
+    return SingleTypeEDTD(
+        alphabet=alphabet,
+        types=types,
+        rules={t: star for t in types},
+        starts=types,
+        mu={("u", a): a for a in alphabet},
+    )
+
+
+@pytest.mark.parametrize("num_types", [4, 6, 8])
+def test_positive_instances(num_types, record, benchmark):
+    edtd = random_edtd(random.Random(350 + num_types), num_labels=3, num_types=num_types)
+    candidate = minimize_single_type(minimal_upper_approximation(edtd))
+    answer, seconds = run_timed(
+        benchmark, is_minimal_upper_approximation, candidate, edtd
+    )
+    assert answer is True
+    record(
+        EXPERIMENT,
+        {
+            "instance": f"minimized-upper({num_types})",
+            "candidate_types": len(candidate.types),
+            "answer": answer,
+            "decide_s": f"{seconds:.4f}",
+        },
+        note=NOTE,
+    )
+
+
+def test_negative_universal_overshoot(record, benchmark):
+    edtd = random_edtd(random.Random(77), num_labels=3, num_types=5)
+    candidate = _universal(edtd.alphabet)
+    answer, seconds = run_timed(
+        benchmark, is_minimal_upper_approximation, candidate, edtd
+    )
+    assert answer is False
+    record(
+        EXPERIMENT,
+        {
+            "instance": "universal-overshoot",
+            "candidate_types": len(candidate.types),
+            "answer": answer,
+            "decide_s": f"{seconds:.4f}",
+        },
+    )
+
+
+def test_negative_not_containing(record, benchmark):
+    edtd = random_edtd(random.Random(78), num_labels=2, num_types=5)
+    label = sorted(edtd.alphabet)[0]
+    candidate = SingleTypeEDTD(
+        alphabet=edtd.alphabet,
+        types={"only"},
+        rules={"only": "~"},
+        starts={"only"},
+        mu={"only": label},
+    )
+    answer, seconds = run_timed(
+        benchmark, is_minimal_upper_approximation, candidate, edtd
+    )
+    assert answer is False
+    record(
+        EXPERIMENT,
+        {
+            "instance": "non-containing",
+            "candidate_types": 1,
+            "answer": answer,
+            "decide_s": f"{seconds:.4f}",
+        },
+    )

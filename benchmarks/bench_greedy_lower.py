@@ -1,0 +1,77 @@
+"""EXP-4.12 — constructive maximal lower approximations (extension).
+
+Theorem 4.12 proves existence of maximal lower XSD-approximations for
+depth-bounded languages non-constructively (Zorn's lemma).  This bench runs
+the executable companion: greedy absorption of member trees with exact
+per-witness closure checks.  Different absorption orders reach *different*
+maximal approximations — the non-uniqueness of Theorem 4.3, demonstrated
+constructively.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import run_timed
+from repro.core.decision import Maximality, is_maximal_lower_approximation
+from repro.core.greedy import greedy_maximal_lower
+from repro.families.hard import theorem_4_3_d1_d2
+from repro.schemas.inclusion import single_type_equivalent
+from repro.schemas.ops import edtd_union
+
+EXPERIMENT = "EXP-4.12  greedy maximal lower approximations (constructive)"
+NOTE = "different orders -> different maxima (Theorem 4.3's non-uniqueness)"
+
+_RESULTS: dict[str, object] = {}
+
+
+@pytest.mark.parametrize("order", ["size-lex", "shuffle-5", "shuffle-9"])
+def test_greedy_orders(order, record, benchmark):
+    d1, d2 = theorem_4_3_d1_d2()
+    union = edtd_union(d1, d2)
+    rng = None
+    if order.startswith("shuffle"):
+        rng = random.Random(int(order.split("-")[1]))
+
+    def build():
+        return greedy_maximal_lower(union, max_size=4, rng=rng)
+
+    result, seconds = run_timed(benchmark, build)
+    verdict = is_maximal_lower_approximation(result, union, max_size=4)
+    assert verdict.outcome is Maximality.MAXIMAL_WITHIN_BOUND
+    _RESULTS[order] = result
+    record(
+        EXPERIMENT,
+        {
+            "order": order,
+            "result_types": len(result.types),
+            "verdict": verdict.outcome.name,
+            "construct_s": f"{seconds:.3f}",
+        },
+        note=NOTE,
+    )
+
+
+def test_orders_reach_distinct_maxima(record, benchmark):
+    def compare():
+        keys = sorted(_RESULTS)
+        distinct = 0
+        for i, left in enumerate(keys):
+            for right in keys[i + 1:]:
+                if not single_type_equivalent(_RESULTS[left], _RESULTS[right]):
+                    distinct += 1
+        return distinct
+
+    distinct, seconds = run_timed(benchmark, compare)
+    assert distinct >= 1
+    record(
+        EXPERIMENT,
+        {
+            "order": "pairwise-distinct",
+            "result_types": f"{distinct} differing pairs",
+            "verdict": "NON-UNIQUE",
+            "construct_s": f"{seconds:.3f}",
+        },
+    )

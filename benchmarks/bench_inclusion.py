@@ -1,0 +1,79 @@
+"""EXP-L3.3 — PTIME inclusion into single-type EDTDs vs the general route.
+
+Paper claim (Lemma 3.3 vs Theorem 2.13): ``L(D1) subseteq L(D2)`` is
+PTIME when D2 is single-type (product of type automata + per-pair string
+inclusions), in contrast with the EXPTIME-complete general problem.
+
+Reproduction: on growing random instances, time the Lemma 3.3 procedure
+against the exact tree-automata procedure (binary encoding + bottom-up
+determinization) and check they agree.  The general route's cost explodes
+with type count; the PTIME route stays flat.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import run_timed
+from repro.core.upper import minimal_upper_approximation
+from repro.families.random_schemas import random_edtd
+from repro.schemas.inclusion import included_in_single_type
+from repro.tree_automata.inclusion import edtd_includes
+
+EXPERIMENT = "EXP-L3.3  PTIME inclusion (Lemma 3.3) vs exact EXPTIME route"
+NOTE = "same answers; Lemma 3.3 time stays flat while the general route grows"
+
+
+@pytest.mark.parametrize("num_types", [3, 5, 7, 9])
+def test_inclusion_comparison(num_types, record, benchmark):
+    rng = random.Random(3300 + num_types)
+    sub = random_edtd(rng, num_labels=3, num_types=num_types)
+    sup = minimal_upper_approximation(sub)  # guarantees a True instance
+
+    fast_answer, fast_seconds = run_timed(
+        benchmark, included_in_single_type, sub, sup
+    )
+    start = time.perf_counter()
+    exact_answer = edtd_includes(sup, sub)
+    exact_seconds = time.perf_counter() - start
+
+    assert fast_answer == exact_answer is True
+    record(
+        EXPERIMENT,
+        {
+            "sub_types": len(sub.types),
+            "sup_types": len(sup.types),
+            "answer": fast_answer,
+            "lemma33_s": f"{fast_seconds:.4f}",
+            "exact_s": f"{exact_seconds:.4f}",
+            "speedup": f"{exact_seconds / max(fast_seconds, 1e-9):.1f}x",
+        },
+        note=NOTE,
+    )
+
+
+def test_negative_instance_agreement(record, benchmark):
+    rng = random.Random(42)
+    sub = random_edtd(rng, num_labels=3, num_types=6)
+    from repro.families.random_schemas import random_single_type_edtd
+
+    sup = random_single_type_edtd(rng, num_labels=3, num_types=4)
+    fast_answer, fast_seconds = run_timed(
+        benchmark, included_in_single_type, sub, sup
+    )
+    exact_answer = edtd_includes(sup, sub)
+    assert fast_answer == exact_answer
+    record(
+        EXPERIMENT,
+        {
+            "sub_types": len(sub.types),
+            "sup_types": len(sup.types),
+            "answer": fast_answer,
+            "lemma33_s": f"{fast_seconds:.4f}",
+            "exact_s": "-",
+            "speedup": "-",
+        },
+    )

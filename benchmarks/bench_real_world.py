@@ -1,0 +1,119 @@
+"""EXP-REAL — the constructions on realistic schema shapes.
+
+The paper's families are worst cases; this bench runs the full pipeline on
+document shapes from practice (RSS/Atom skeletons, recursive XHTML,
+order-feed versions) and records output sizes, exactness, and slack —
+the numbers a schema engineer would actually see.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_timed
+from repro.core.lower import maximal_lower_union
+from repro.core.quality import upper_quality
+from repro.core.upper import upper_difference, upper_union
+from repro.families.real_world import (
+    atom_feed,
+    purchase_orders_v1,
+    purchase_orders_v2,
+    rss_feed,
+    xhtml_fragment,
+)
+from repro.schemas.minimize import minimize_single_type
+from repro.schemas.ops import difference_edtd, edtd_union
+from repro.tree_automata.inclusion import edtd_includes
+
+EXPERIMENT = "EXP-REAL  the pipeline on realistic schema shapes"
+NOTE = "merge/diff/roll-out on RSS|Atom and order-feed evolution"
+
+
+def test_rss_atom_merge(record, benchmark):
+    rss, atom = rss_feed(), atom_feed()
+
+    def build():
+        return minimize_single_type(upper_union(rss, atom))
+
+    merged, seconds = run_timed(benchmark, build)
+    union = edtd_union(rss, atom)
+    exact = edtd_includes(union, merged)
+    quality = upper_quality(union, merged, max_size=9)
+    record(
+        EXPERIMENT,
+        {
+            "operation": "rss | atom",
+            "in_types": f"{len(rss.types)}+{len(atom.types)}",
+            "out_types": len(merged.types),
+            "exact": exact,
+            "slack<=9": quality.total_slack(),
+            "time_s": f"{seconds:.3f}",
+        },
+        note=NOTE,
+    )
+
+
+def test_order_evolution_difference(record, benchmark):
+    v1, v2 = purchase_orders_v1(), purchase_orders_v2()
+
+    def build():
+        return minimize_single_type(upper_difference(v2, v1))
+
+    router, seconds = run_timed(benchmark, build)
+    exact_language = difference_edtd(v2, v1)
+    exact = edtd_includes(exact_language, router)
+    quality = upper_quality(exact_language, router, max_size=9)
+    record(
+        EXPERIMENT,
+        {
+            "operation": "orders v2 - v1",
+            "in_types": f"{len(v2.types)}+{len(v1.types)}",
+            "out_types": len(router.types),
+            "exact": exact,
+            "slack<=9": quality.total_slack(),
+            "time_s": f"{seconds:.3f}",
+        },
+    )
+
+
+def test_order_rollout_lower(record, benchmark):
+    v1, v2 = purchase_orders_v1(), purchase_orders_v2()
+
+    def build():
+        return minimize_single_type(maximal_lower_union(v1, v2))
+
+    rollout, seconds = run_timed(benchmark, build)
+    record(
+        EXPERIMENT,
+        {
+            "operation": "rollout v1|nv(v2,v1)",
+            "in_types": f"{len(v1.types)}+{len(v2.types)}",
+            "out_types": len(rollout.types),
+            "exact": "(lower)",
+            "slack<=9": "-",
+            "time_s": f"{seconds:.3f}",
+        },
+    )
+
+
+def test_xhtml_self_merge_exact(record, benchmark):
+    xhtml = xhtml_fragment()
+
+    def build():
+        return minimize_single_type(upper_union(xhtml, xhtml))
+
+    merged, seconds = run_timed(benchmark, build)
+    from repro.schemas.inclusion import single_type_equivalent
+
+    assert single_type_equivalent(merged, xhtml)
+    record(
+        EXPERIMENT,
+        {
+            "operation": "xhtml | xhtml",
+            "in_types": f"{len(xhtml.types)}+{len(xhtml.types)}",
+            "out_types": len(merged.types),
+            "exact": True,
+            "slack<=9": 0,
+            "time_s": f"{seconds:.3f}",
+        },
+    )

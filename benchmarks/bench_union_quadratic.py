@@ -1,0 +1,65 @@
+"""EXP-3.6b — Theorem 3.6's quadratic lower-bound family.
+
+Paper claim: there are stEDTD pairs of size O(n) whose union's minimal
+upper XSD-approximation needs Omega(n^2) types (the "at most n a's" /
+"at most n b's" counting pair).
+
+Reproduction: sweep n, minimize the approximation, record type counts;
+the shape must grow quadratically (second difference constant) and stay
+above n^2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_timed
+from repro.core.upper import upper_union
+from repro.families.hard import theorem_3_6_family
+from repro.schemas.minimize import minimize_single_type
+
+EXPERIMENT = "EXP-3.6b  quadratic blow-up of union approximations"
+NOTE = "paper: inputs O(n) types, output Omega(n^2) minimal types"
+
+_RESULTS: dict[int, int] = {}
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6])
+def test_quadratic_shape(n, record, benchmark):
+    d1, d2 = theorem_3_6_family(n)
+
+    def build():
+        return minimize_single_type(upper_union(d1, d2))
+
+    minimal, seconds = run_timed(benchmark, build)
+    assert len(minimal.types) >= n * n
+    _RESULTS[n] = len(minimal.types)
+    record(
+        EXPERIMENT,
+        {
+            "n": n,
+            "types_d1": len(d1.types),
+            "types_d2": len(d2.types),
+            "minimal_union_types": len(minimal.types),
+            "n^2": n * n,
+            "construct_s": f"{seconds:.4f}",
+        },
+        note=NOTE,
+    )
+
+
+def test_second_difference_is_constant(benchmark):
+    """Quadratic growth <=> constant second difference of the series."""
+
+    def check():
+        points = [n for n in sorted(_RESULTS) if n >= 2]
+        if len(points) < 3:
+            return True
+        values = [_RESULTS[n] for n in points]
+        second = [
+            values[i + 2] - 2 * values[i + 1] + values[i]
+            for i in range(len(values) - 2)
+        ]
+        return len(set(second)) == 1
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,52 @@
+"""EXP-3.6a — union of two XSDs: minimal upper approximation in
+O(|D1| |D2|).
+
+Paper claim (Theorem 3.6): the minimal upper XSD-approximation of
+``L(D1) | L(D2)`` is unique and computable in time O(|D1||D2|); its type
+size is bounded by the product of the inputs' type sizes (plus the inputs).
+
+Reproduction: sweep random stEDTD pairs of growing size; record output
+type-size against the product bound and verify the upper-approximation
+property for every pair.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import run_timed
+from repro.core.decision import is_upper_approximation
+from repro.core.upper import upper_union
+from repro.families.random_schemas import random_single_type_edtd
+from repro.schemas.inclusion import included_in_single_type
+from repro.schemas.ops import edtd_union
+
+EXPERIMENT = "EXP-3.6a  upper approximation of unions (O(|D1||D2|))"
+NOTE = "output type-size vs the product bound (|D1|+1)(|D2|+1)"
+
+
+@pytest.mark.parametrize("num_types", [3, 5, 7, 9, 12])
+def test_union_sweep(num_types, record, benchmark):
+    rng = random.Random(num_types * 7)
+    d1 = random_single_type_edtd(rng, num_labels=3, num_types=num_types)
+    d2 = random_single_type_edtd(rng, num_labels=3, num_types=num_types)
+    upper, seconds = run_timed(benchmark, upper_union, d1, d2)
+    union = edtd_union(d1, d2)
+    assert is_upper_approximation(upper, union)
+    assert included_in_single_type(d1, upper)
+    assert included_in_single_type(d2, upper)
+    bound = (len(d1.types) + 1) * (len(d2.types) + 1)
+    assert upper.type_size() <= bound
+    record(
+        EXPERIMENT,
+        {
+            "types_d1": len(d1.types),
+            "types_d2": len(d2.types),
+            "upper_types": upper.type_size(),
+            "product_bound": bound,
+            "construct_s": f"{seconds:.4f}",
+        },
+        note=NOTE,
+    )

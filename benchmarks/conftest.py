@@ -1,0 +1,85 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each benchmark module reproduces one experiment of DESIGN.md's
+per-experiment index.  Timing is handled by pytest-benchmark; the
+*shape* data the paper's theorems predict (type-sizes, blow-up factors,
+slack counts) is recorded through :func:`record_row` and printed as
+experiment tables in the terminal summary, so
+
+    pytest benchmarks/ --benchmark-only | tee bench_output.txt
+
+captures both the timing table and the reproduction tables.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import pytest
+
+_TABLES: "OrderedDict[str, dict]" = OrderedDict()
+
+
+def record_row(experiment: str, row: dict, note: str = "") -> None:
+    """Add one row to *experiment*'s reproduction table.
+
+    ``row`` is an ordered mapping of column name to value; all rows of one
+    experiment should share the same columns.
+    """
+    table = _TABLES.setdefault(experiment, {"note": note, "rows": []})
+    if note:
+        table["note"] = note
+    table["rows"].append(row)
+
+
+@pytest.fixture
+def record():
+    """Fixture handle for :func:`record_row`."""
+    return record_row
+
+
+def run_timed(benchmark, func, *args, rounds: int = 1, **kwargs):
+    """Run *func* under pytest-benchmark and return ``(result, seconds)``.
+
+    Heavy constructions use ``rounds=1`` so the sweep stays fast; the
+    mean time still lands in the benchmark table.
+    """
+    result = benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=rounds, iterations=1
+    )
+    seconds = float(benchmark.stats.stats.mean) if benchmark.stats else float("nan")
+    return result, seconds
+
+
+def _format_table(rows: list[dict]) -> list[str]:
+    columns = list(rows[0])
+    widths = {
+        col: max(len(str(col)), *(len(str(row.get(col, ""))) for row in rows))
+        for col in columns
+    }
+    header = "  ".join(str(col).ljust(widths[col]) for col in columns)
+    sep = "  ".join("-" * widths[col] for col in columns)
+    lines = [header, sep]
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns)
+        )
+    return lines
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 72)
+    write("REPRODUCTION TABLES (paper-shape measurements)")
+    write("=" * 72)
+    for experiment, table in _TABLES.items():
+        write("")
+        write(f"--- {experiment} ---")
+        if table["note"]:
+            write(table["note"])
+        if table["rows"]:
+            for line in _format_table(table["rows"]):
+                write("  " + line)

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""End-to-end product pipeline: merge two real feed schemas, emit a
+markdown merge report and a W3C XSD.
+
+Combines the library's extension features on the realistic fixtures:
+`merge_report` (approximation + slack + example documents) and
+`export_xsd` (the deployable artifact).
+
+Run:  python examples/merge_report.py
+"""
+
+from repro.core.report import difference_report, merge_report
+from repro.core.upper import upper_union
+from repro.families.real_world import (
+    atom_feed,
+    purchase_orders_v1,
+    purchase_orders_v2,
+    rss_feed,
+)
+from repro.schemas.minimize import minimize_single_type
+from repro.schemas.xsd_export import export_xsd
+
+
+def main() -> None:
+    print(merge_report(rss_feed(), atom_feed(), left_name="rss", right_name="atom"))
+    print()
+    print(
+        difference_report(
+            purchase_orders_v2(),
+            purchase_orders_v1(),
+            left_name="orders-v2",
+            right_name="orders-v1",
+        )
+    )
+    print()
+    print("Deployable XSD for the merged feed schema:")
+    print()
+    merged = minimize_single_type(upper_union(rss_feed(), atom_feed()))
+    print(export_xsd(merged))
+
+
+if __name__ == "__main__":
+    main()

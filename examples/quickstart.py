@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: build two XSDs, merge them, validate documents.
+
+The union of two XSDs is generally *not* expressible as an XSD (the EDC
+constraint breaks closure under union) — the library computes the unique
+minimal upper XSD-approximation instead (Theorem 3.6 of the paper).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SingleTypeEDTD, edtd_union, minimize_single_type, upper_union
+from repro.core import upper_quality
+from repro.schemas.pretty import format_edtd
+from repro.trees.xml_io import from_xml
+
+
+def main() -> None:
+    # An order feed: orders hold items, each item has a price.
+    orders = SingleTypeEDTD(
+        alphabet={"order", "item", "price"},
+        types={"o", "i", "p"},
+        rules={"o": "i+", "i": "p", "p": "~"},
+        starts={"o"},
+        mu={"o": "order", "i": "item", "p": "price"},
+    )
+
+    # A returns feed: orders hold items too, but items carry a reason
+    # instead of a price and an order may be empty.
+    returns = SingleTypeEDTD(
+        alphabet={"order", "item", "reason"},
+        types={"o", "i", "r"},
+        rules={"o": "i*", "i": "r", "r": "~"},
+        starts={"o"},
+        mu={"o": "order", "i": "item", "r": "reason"},
+    )
+
+    print(format_edtd(orders, title="Schema A: orders"))
+    print()
+    print(format_edtd(returns, title="Schema B: returns"))
+    print()
+
+    # The exact union is not an XSD; approximate it minimally from above.
+    merged = upper_union(orders, returns)
+    merged = minimize_single_type(merged)
+    print(format_edtd(merged, title="Minimal upper XSD-approximation of A | B"))
+    print()
+
+    documents = [
+        "<order><item><price/></item></order>",
+        "<order><item><reason/></item></order>",
+        "<order/>",
+        # Mixed document: not in A | B, but unavoidable in any XSD that
+        # contains both (this is exactly the approximation slack):
+        "<order><item><price/></item><item><reason/></item></order>",
+        # Garbage stays rejected:
+        "<order><price/></order>",
+    ]
+    union = edtd_union(orders, returns)
+    print(f"{'document':60}  in A|B   in merged XSD")
+    for source in documents:
+        tree = from_xml(source)
+        print(f"{source:60}  {str(union.accepts(tree)):7}  {merged.accepts(tree)}")
+
+    quality = upper_quality(union, merged, max_size=8)
+    print()
+    print(
+        "extra documents admitted by the approximation, by size 0..8:",
+        list(quality.slack),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Schema evolution: difference and guarded roll-out of a schema change.
+
+Version 2 of a feed schema makes the `currency` element mandatory and adds
+an optional `discount`.  Operations wants:
+
+1. an XSD for "documents valid under v2 but NOT under v1" (to route
+   new-format documents) — the *difference*, approximated minimally from
+   above (Theorem 3.10, polynomial time);
+2. the maximal safe subset of v2 that old consumers already accept — the
+   *maximal lower approximation of the union fixing v1* (Theorem 4.8),
+   i.e. v1 plus the non-violating part of v2.
+
+Run:  python examples/schema_evolution.py
+"""
+
+from repro import (
+    SingleTypeEDTD,
+    difference_edtd,
+    edtd_union,
+    maximal_lower_union,
+    minimize_single_type,
+    non_violating,
+)
+from repro.core import is_minimal_upper_approximation, upper_difference
+from repro.schemas.pretty import format_edtd
+from repro.trees.xml_io import from_xml
+
+
+def schema_v1() -> SingleTypeEDTD:
+    return SingleTypeEDTD(
+        alphabet={"feed", "entry", "amount", "currency"},
+        types={"f", "e", "a", "c"},
+        rules={"f": "e*", "e": "a, c?", "a": "~", "c": "~"},
+        starts={"f"},
+        mu={"f": "feed", "e": "entry", "a": "amount", "c": "currency"},
+    )
+
+
+def schema_v2() -> SingleTypeEDTD:
+    return SingleTypeEDTD(
+        alphabet={"feed", "entry", "amount", "currency", "discount"},
+        types={"f", "e", "a", "c", "d"},
+        rules={"f": "e*", "e": "a, c, d?", "a": "~", "c": "~", "d": "~"},
+        starts={"f"},
+        mu={
+            "f": "feed",
+            "e": "entry",
+            "a": "amount",
+            "c": "currency",
+            "d": "discount",
+        },
+    )
+
+
+def main() -> None:
+    v1, v2 = schema_v1(), schema_v2()
+    print(format_edtd(v1, title="Schema v1"))
+    print()
+    print(format_edtd(v2, title="Schema v2"))
+    print()
+
+    # --- 1. What is new in v2? ------------------------------------------
+    new_only = difference_edtd(v2, v1)
+    router = minimize_single_type(upper_difference(v2, v1))
+    assert is_minimal_upper_approximation(router, new_only)
+    print(format_edtd(router, title="Router XSD ~ (v2 minus v1), minimal upper approx"))
+    print()
+
+    documents = {
+        "v1-style entry": "<feed><entry><amount/></entry></feed>",
+        "v2 entry with discount": (
+            "<feed><entry><amount/><currency/><discount/></entry></feed>"
+        ),
+        "v2 entry, no discount (also v1)": (
+            "<feed><entry><amount/><currency/></entry></feed>"
+        ),
+        "empty feed (both)": "<feed/>",
+    }
+    print(f"{'document':40} v1      v2      v2-only router")
+    for name, source in documents.items():
+        tree = from_xml(source)
+        print(
+            f"{name:40} {str(v1.accepts(tree)):7} {str(v2.accepts(tree)):7} "
+            f"{router.accepts(tree)}"
+        )
+    print()
+
+    # --- 2. Guarded roll-out: grow v1 by the safe part of v2 ------------
+    safe_part = non_violating(v2, v1)
+    rollout = minimize_single_type(maximal_lower_union(v1, v2))
+    print(format_edtd(rollout, title="Roll-out XSD = v1 | nv(v2, v1), maximal lower"))
+    print()
+    union = edtd_union(v1, v2)
+    print("roll-out is a subset of v1|v2 and contains all of v1:")
+    mixed = from_xml(
+        "<feed><entry><amount/></entry>"
+        "<entry><amount/><currency/><discount/></entry></feed>"
+    )
+    print("  mixed v1+v2 feed in union?      ", union.accepts(mixed))
+    print("  mixed v1+v2 feed in roll-out?   ", rollout.accepts(mixed))
+    print(
+        "  discount-carrying entry safe?    ",
+        safe_part.accepts(
+            from_xml("<feed><entry><amount/><currency/><discount/></entry></feed>")
+        ),
+    )
+    print()
+    print(
+        "Here the non-violating part of v2 collapses to v1's own entries:\n"
+        "a discount entry exchanged into a v1 feed yields a mixed feed\n"
+        "outside v1|v2, so no discount entry is safe for old consumers —\n"
+        "the roll-out schema is exactly v1, proved maximal by Theorem 4.8."
+    )
+
+
+if __name__ == "__main__":
+    main()

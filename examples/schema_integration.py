@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Schema integration: merge the catalogs of two book sellers.
+
+The data-integration scenario of the paper's introduction: a portal wants a
+single XSD covering documents from both partners.  Since XSDs are not
+closed under union, the portal ships the *minimal upper
+XSD-approximation* — it accepts everything both partners produce and admits
+as few extra documents as possible (Theorem 3.6: unique, computable in
+O(|X| |Y|)).
+
+The example quantifies the approximation slack exactly (documents per size
+admitted beyond the true union) and shows the witness documents.
+
+Run:  python examples/schema_integration.py
+"""
+
+from repro import SingleTypeEDTD, edtd_union, minimize_single_type, upper_union
+from repro.core import extra_documents, is_minimal_upper_approximation, upper_quality
+from repro.schemas.pretty import format_edtd
+from repro.trees.xml_io import to_xml
+
+
+def seller_a() -> SingleTypeEDTD:
+    """Seller A: books with authors; used books carry a condition note."""
+    return SingleTypeEDTD(
+        alphabet={"catalog", "book", "author", "condition"},
+        types={"cat", "bk", "au", "cond"},
+        rules={
+            "cat": "bk*",
+            "bk": "au+, cond?",
+            "au": "~",
+            "cond": "~",
+        },
+        starts={"cat"},
+        mu={"cat": "catalog", "bk": "book", "au": "author", "cond": "condition"},
+    )
+
+
+def seller_b() -> SingleTypeEDTD:
+    """Seller B: books with optional author but a mandatory publisher."""
+    return SingleTypeEDTD(
+        alphabet={"catalog", "book", "author", "publisher"},
+        types={"cat", "bk", "au", "pub"},
+        rules={
+            "cat": "bk+",
+            "bk": "au?, pub",
+            "au": "~",
+            "pub": "~",
+        },
+        starts={"cat"},
+        mu={"cat": "catalog", "bk": "book", "au": "author", "pub": "publisher"},
+    )
+
+
+def main() -> None:
+    a, b = seller_a(), seller_b()
+    print(format_edtd(a, title="Seller A"))
+    print()
+    print(format_edtd(b, title="Seller B"))
+    print()
+
+    union = edtd_union(a, b)
+    merged = minimize_single_type(upper_union(a, b))
+    print(format_edtd(merged, title="Portal schema (minimal upper approximation)"))
+    print()
+
+    assert is_minimal_upper_approximation(merged, union)
+    print("verified: the portal schema is THE minimal upper XSD-approximation")
+    print()
+
+    quality = upper_quality(union, merged, max_size=9)
+    print("approximation slack (extra documents per node count 0..9):")
+    print(" ", list(quality.slack))
+    print()
+
+    extras = extra_documents(union, merged, max_size=7)
+    print(f"the {len(extras)} smallest extra documents the portal accepts:")
+    for tree in extras[:4]:
+        print(to_xml(tree))
+        print()
+    if extras:
+        print(
+            "These mix per-seller conventions inside one catalog — the price\n"
+            "of EDC-compliance, minimized by construction."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,141 @@
+"""repro — single-type (XSD) approximations of regular tree languages.
+
+Reproduction of Gelade, Idziaszek, Martens, Neven, Paredaens:
+*Simplifying XML Schema: Single-Type Approximations of Regular Tree
+Languages* (PODS 2010).
+
+Quickstart::
+
+    from repro import SingleTypeEDTD, upper_union, parse_tree
+
+    orders = SingleTypeEDTD(
+        alphabet={"order", "item"},
+        types={"o", "i"},
+        rules={"o": "i+", "i": "~"},
+        starts={"o"},
+        mu={"o": "order", "i": "item"},
+    )
+    invoices = SingleTypeEDTD(
+        alphabet={"order", "item", "paid"},
+        types={"o", "i", "p"},
+        rules={"o": "i+, p"},
+        starts={"o"},
+        mu={"o": "order", "i": "item", "p": "paid"},
+    )
+    merged = upper_union(orders, invoices)   # unique minimal upper approx
+    merged.accepts(parse_tree("order(item, item)"))
+
+Subpackages
+-----------
+``repro.strings``
+    Regular string languages: NFAs, DFAs, the paper's regex grammar,
+    Glushkov automata, determinization, minimization.
+``repro.trees``
+    Unranked trees, contexts, forks, binary encodings, enumeration /
+    counting / sampling of EDTD languages.
+``repro.schemas``
+    DTDs, EDTDs, single-type EDTDs, DFA-based XSDs, type automata,
+    PTIME inclusion (Lemma 3.3), stEDTD minimization.
+``repro.tree_automata``
+    Unranked and binary tree automata; exact EXPTIME EDTD inclusion.
+``repro.closure``
+    Ancestor-(type-)guarded subtree exchange, closures, derivation trees.
+``repro.core``
+    The contribution: minimal upper and maximal lower XSD-approximations
+    and the associated decision procedures.
+``repro.families``
+    The paper's lower-bound families and random schema generators.
+"""
+
+from repro.core import (
+    difference_witness,
+    greedy_maximal_lower,
+    inclusion_counterexample,
+    is_lower_approximation,
+    is_maximal_lower_approximation,
+    is_minimal_upper_approximation,
+    is_single_type_definable,
+    is_upper_approximation,
+    lower_quality,
+    maximal_lower_union,
+    minimal_upper_approximation,
+    non_violating,
+    upper_complement,
+    upper_difference,
+    upper_intersection,
+    upper_quality,
+    upper_union,
+)
+from repro.errors import (
+    AutomatonError,
+    NotSingleTypeError,
+    RegexSyntaxError,
+    ReproError,
+    SchemaError,
+    TreeSyntaxError,
+    ValidationError,
+)
+from repro.schemas import (
+    DTD,
+    StreamingValidator,
+    EDTD,
+    DFAXSD,
+    SingleTypeEDTD,
+    complement_edtd,
+    difference_edtd,
+    edtd_intersection,
+    edtd_union,
+    included_in_single_type,
+    is_single_type,
+    minimize_single_type,
+    single_type_equivalent,
+    type_automaton,
+)
+from repro.trees import Tree, parse_tree, unary_tree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutomatonError",
+    "DFAXSD",
+    "DTD",
+    "EDTD",
+    "NotSingleTypeError",
+    "RegexSyntaxError",
+    "ReproError",
+    "SchemaError",
+    "SingleTypeEDTD",
+    "Tree",
+    "TreeSyntaxError",
+    "ValidationError",
+    "complement_edtd",
+    "difference_edtd",
+    "edtd_intersection",
+    "edtd_union",
+    "included_in_single_type",
+    "is_lower_approximation",
+    "is_maximal_lower_approximation",
+    "is_minimal_upper_approximation",
+    "is_single_type",
+    "is_single_type_definable",
+    "is_upper_approximation",
+    "lower_quality",
+    "maximal_lower_union",
+    "minimal_upper_approximation",
+    "minimize_single_type",
+    "non_violating",
+    "parse_tree",
+    "single_type_equivalent",
+    "type_automaton",
+    "unary_tree",
+    "upper_complement",
+    "upper_difference",
+    "upper_intersection",
+    "upper_quality",
+    "upper_union",
+    "difference_witness",
+    "greedy_maximal_lower",
+    "inclusion_counterexample",
+    "StreamingValidator",
+    "__version__",
+]

@@ -1,0 +1,255 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands operate on schema files in the text format of
+:mod:`repro.schemas.text_format` and XML documents (element-only
+fragments):
+
+* ``info SCHEMA``                     — sizes, single-type?, definable?
+* ``validate SCHEMA DOC.xml``         — validate a document
+* ``union A B [-o OUT]``              — minimal upper approx of the union
+* ``intersect A B [-o OUT]``          — the (exact) intersection
+* ``difference A B [-o OUT]``         — minimal upper approx of A minus B
+* ``complement A [-o OUT]``           — minimal upper approx of the complement
+* ``to-xsd A [-o OUT]``               — minimal upper approx of any EDTD
+* ``lower A B [-o OUT]``              — maximal lower approx of A | B fixing A
+* ``minimize A [-o OUT]``             — type-minimal equivalent XSD
+* ``export-xsd A [-o OUT]``           — render as a W3C xs:schema document
+* ``import-xsd A.xsd [-o OUT]``       — convert an xs:schema document to the text format
+* ``merge S1 S2 ... [-o OUT]``        — minimal upper approx of an n-ary union
+* ``included A B``                    — is L(A) a subset of L(B)? (B single-type)
+* ``compat OLD NEW``                  — classify a schema evolution, with witness documents
+
+Every schema-producing command minimizes its output and prints it (or
+writes it with ``-o``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.decision import is_single_type_definable
+from repro.core.lower import maximal_lower_union
+from repro.core.upper import (
+    minimal_upper_approximation,
+    upper_complement,
+    upper_difference,
+    upper_intersection,
+    upper_union,
+)
+from repro.errors import ReproError
+from repro.schemas.inclusion import included_in_single_type
+from repro.schemas.minimize import minimize_single_type
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.schemas.text_format import dumps, load_file
+from repro.schemas.type_automaton import is_single_type
+from repro.trees.xml_io import from_xml
+
+
+def _load_single_type(path: str) -> SingleTypeEDTD:
+    schema = load_file(path)
+    if not isinstance(schema, SingleTypeEDTD):
+        raise ReproError(
+            f"{path}: schema is not single-type; this command needs an XSD "
+            "(run 'to-xsd' first)"
+        )
+    return schema
+
+
+def _emit(schema, output: str | None) -> None:
+    text = dumps(schema)
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+
+
+def _cmd_info(args) -> int:
+    schema = load_file(args.schema)
+    single = is_single_type(schema)
+    print(f"types:        {schema.type_size()}")
+    print(f"size:         {schema.size()}")
+    print(f"alphabet:     {', '.join(sorted(map(str, schema.alphabet)))}")
+    print(f"single-type:  {single}")
+    if not single:
+        print(f"ST-definable: {is_single_type_definable(schema)}")
+    print(f"empty:        {schema.is_empty_language()}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    schema = load_file(args.schema)
+    with open(args.document, encoding="utf-8") as handle:
+        tree = from_xml(handle.read())
+    if schema.accepts(tree):
+        print("valid")
+        return 0
+    print("INVALID")
+    return 1
+
+
+def _cmd_union(args) -> int:
+    left = _load_single_type(args.left)
+    right = _load_single_type(args.right)
+    _emit(minimize_single_type(upper_union(left, right)), args.output)
+    return 0
+
+
+def _cmd_intersect(args) -> int:
+    left = _load_single_type(args.left)
+    right = _load_single_type(args.right)
+    _emit(minimize_single_type(upper_intersection(left, right)), args.output)
+    return 0
+
+
+def _cmd_difference(args) -> int:
+    left = _load_single_type(args.left)
+    right = _load_single_type(args.right)
+    _emit(minimize_single_type(upper_difference(left, right)), args.output)
+    return 0
+
+
+def _cmd_complement(args) -> int:
+    schema = _load_single_type(args.schema)
+    _emit(minimize_single_type(upper_complement(schema)), args.output)
+    return 0
+
+
+def _cmd_to_xsd(args) -> int:
+    schema = load_file(args.schema)
+    _emit(minimize_single_type(minimal_upper_approximation(schema)), args.output)
+    return 0
+
+
+def _cmd_lower(args) -> int:
+    left = _load_single_type(args.left)
+    right = _load_single_type(args.right)
+    _emit(minimize_single_type(maximal_lower_union(left, right)), args.output)
+    return 0
+
+
+def _cmd_export_xsd(args) -> int:
+    from repro.schemas.xsd_export import export_xsd
+
+    schema = _load_single_type(args.schema)
+    document = export_xsd(schema)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(document + "\n")
+    else:
+        sys.stdout.write(document + "\n")
+    return 0
+
+
+def _cmd_minimize(args) -> int:
+    schema = _load_single_type(args.schema)
+    _emit(minimize_single_type(schema), args.output)
+    return 0
+
+
+def _cmd_import_xsd(args) -> int:
+    from repro.schemas.xsd_import import import_xsd
+
+    with open(args.schema, encoding="utf-8") as handle:
+        schema = import_xsd(handle.read())
+    _emit(schema, args.output)
+    return 0
+
+
+def _cmd_merge(args) -> int:
+    from repro.core.nary import merge_all
+
+    schemas = [_load_single_type(path) for path in args.schemas]
+    _emit(minimize_single_type(merge_all(schemas)), args.output)
+    return 0
+
+
+def _cmd_compat(args) -> int:
+    from repro.core.compat import check_compatibility
+    from repro.trees.xml_io import to_xml
+
+    old = _load_single_type(args.left)
+    new = _load_single_type(args.right)
+    report = check_compatibility(old, new)
+    print(report.verdict.value)
+    if report.old_only is not None:
+        print("document valid only under the OLD schema:")
+        print(to_xml(report.old_only))
+    if report.new_only is not None:
+        print("document valid only under the NEW schema:")
+        print(to_xml(report.new_only))
+    return 0 if report.backward_compatible else 1
+
+
+def _cmd_included(args) -> int:
+    sub = load_file(args.left)
+    sup = _load_single_type(args.right)
+    answer = included_in_single_type(sub, sup)
+    print("yes" if answer else "no")
+    return 0 if answer else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Single-type approximations of regular tree languages",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def schema_cmd(name, func, help_text, *, binary=False, doc=False):
+        cmd = sub.add_parser(name, help=help_text)
+        if binary:
+            cmd.add_argument("left")
+            cmd.add_argument("right")
+        else:
+            cmd.add_argument("schema")
+        if doc:
+            cmd.add_argument("document")
+        if name not in ("info", "validate", "included"):
+            cmd.add_argument("-o", "--output", default=None)
+        cmd.set_defaults(func=func)
+        return cmd
+
+    schema_cmd("info", _cmd_info, "schema statistics")
+    schema_cmd("validate", _cmd_validate, "validate an XML document", doc=True)
+    schema_cmd("union", _cmd_union, "minimal upper approximation of A | B", binary=True)
+    schema_cmd("intersect", _cmd_intersect, "intersection of two XSDs", binary=True)
+    schema_cmd(
+        "difference", _cmd_difference, "minimal upper approximation of A - B", binary=True
+    )
+    schema_cmd("complement", _cmd_complement, "minimal upper approximation of the complement")
+    schema_cmd("to-xsd", _cmd_to_xsd, "minimal upper approximation of any EDTD")
+    schema_cmd(
+        "lower", _cmd_lower, "maximal lower approximation of A | B containing A", binary=True
+    )
+    schema_cmd("minimize", _cmd_minimize, "type-minimal equivalent XSD")
+    schema_cmd("export-xsd", _cmd_export_xsd, "render as a W3C xs:schema document")
+    schema_cmd("import-xsd", _cmd_import_xsd, "convert an xs:schema document to the text format")
+    merge = sub.add_parser("merge", help="minimal upper approximation of S1 | ... | Sn")
+    merge.add_argument("schemas", nargs="+")
+    merge.add_argument("-o", "--output", default=None)
+    merge.set_defaults(func=_cmd_merge)
+    compat = sub.add_parser("compat", help="classify an old -> new schema evolution")
+    compat.add_argument("left", help="old schema")
+    compat.add_argument("right", help="new schema")
+    compat.set_defaults(func=_cmd_compat)
+    included = sub.add_parser("included", help="is L(A) a subset of L(B)?")
+    included.add_argument("left")
+    included.add_argument("right")
+    included.set_defaults(func=_cmd_included)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""Subtree-exchange closure machinery (Sections 2.5, 4.1)."""
+
+from repro.closure.closure import (
+    bounded_closure,
+    closure_of_pair,
+    derivation_tree_for,
+    is_closed_under_exchange,
+    is_derivation_tree,
+)
+from repro.closure.nk_automaton import nk_automaton, separates_up_to
+from repro.closure.exchange import (
+    all_exchanges,
+    all_type_guarded_exchanges,
+    anc_type,
+    exchange,
+    try_exchange,
+    type_guarded_exchange,
+)
+from repro.closure.properties import (
+    ExchangeViolation,
+    exchange_violation,
+    type_exchange_violation,
+)
+
+__all__ = [
+    "ExchangeViolation",
+    "nk_automaton",
+    "separates_up_to",
+    "all_exchanges",
+    "all_type_guarded_exchanges",
+    "anc_type",
+    "bounded_closure",
+    "closure_of_pair",
+    "derivation_tree_for",
+    "exchange",
+    "exchange_violation",
+    "is_closed_under_exchange",
+    "is_derivation_tree",
+    "try_exchange",
+    "type_exchange_violation",
+    "type_guarded_exchange",
+]

@@ -1,0 +1,158 @@
+"""Closure under (type-)guarded subtree exchange, and derivation trees.
+
+``closure(T)`` (Definition 2.14) is the least language containing ``T`` and
+closed under ancestor-guarded subtree exchange; it is well-defined by Lemma
+2.15.  For finite ``T`` the closure may still be infinite (sizes grow), but
+two structural facts make bounded computation meaningful:
+
+* an exchange never *deepens* beyond its inputs — the replacement subtree
+  hangs at the same depth as the replaced one — so closing a depth-bounded
+  set is complete per depth;
+* the closure restricted to trees of at most ``max_size`` nodes may require
+  larger intermediates, so :func:`bounded_closure` is an
+  *under-approximation* of ``closure(T)`` intersected with the size-bounded
+  universe.  Passing a generous ``max_size`` makes it exact on the smaller
+  universe one actually inspects (tests do exactly this).
+
+Derivation trees (Definition 2.16) certify closure membership (Lemma 2.17):
+:func:`derivation_tree_for` produces one, :func:`is_derivation_tree` checks
+one.  A derivation tree is represented as a :class:`Tree` whose *labels* are
+the derived trees.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.closure.exchange import all_exchanges, all_type_guarded_exchanges
+from repro.strings.nfa import NFA
+from repro.trees.tree import Tree
+
+
+def bounded_closure(
+    trees: Iterable[Tree],
+    max_size: int,
+    automaton: NFA | None = None,
+    restrict_labels: frozenset | None = None,
+) -> frozenset[Tree]:
+    """Fixpoint of guarded subtree exchange, keeping trees of at most
+    *max_size* nodes.
+
+    With *automaton* given, exchanges are ancestor-*type*-guarded w.r.t. it
+    (Definition 4.1 / ``type-closure``); otherwise plain ancestor-guarded.
+    *restrict_labels* further limits exchanged nodes to those labels
+    (``type-closure^{N, Sigma'}``).
+    """
+    current: set[Tree] = {t for t in trees if t.size() <= max_size}
+    queue: deque[Tree] = deque(current)
+    while queue:
+        tree = queue.popleft()
+        snapshot = list(current)
+        for other in snapshot:
+            for left, right in ((tree, other), (other, tree)):
+                if automaton is None:
+                    produced = all_exchanges(left, right)
+                else:
+                    produced = all_type_guarded_exchanges(
+                        left, right, automaton, restrict_labels
+                    )
+                for result in produced:
+                    if result.size() <= max_size and result not in current:
+                        current.add(result)
+                        queue.append(result)
+    return frozenset(current)
+
+
+def closure_of_pair(t1: Tree, t2: Tree, max_size: int) -> frozenset[Tree]:
+    """``closure(t1, t2)`` (Definition 2.14) bounded by *max_size*."""
+    return bounded_closure([t1, t2], max_size)
+
+
+def is_closed_under_exchange(trees: Iterable[Tree]) -> bool:
+    """Check Definition 2.10 for a finite set: every guarded exchange between
+    members stays in the set."""
+    tree_set = set(trees)
+    for t1 in tree_set:
+        for t2 in tree_set:
+            for result in all_exchanges(t1, t2):
+                if result not in tree_set:
+                    return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Derivation trees (Definition 2.16)
+# ----------------------------------------------------------------------
+
+def is_derivation_tree(theta: Tree, base: Iterable[Tree], target: Tree) -> bool:
+    """Verify that *theta* is a derivation tree of *target* w.r.t. *base*.
+
+    *theta* is a binary tree whose labels are trees: the root is labeled
+    *target*, every leaf is labeled with a member of *base*, and every
+    internal node's label arises from its children's labels by one
+    ancestor-guarded subtree exchange.
+    """
+    base_set = set(base)
+    if theta.label != target:
+        return False
+    for _, node in theta.nodes():
+        if not node.children:
+            if node.label not in base_set:
+                return False
+            continue
+        if len(node.children) != 2:
+            return False
+        left, right = node.children[0].label, node.children[1].label
+        if not any(result == node.label for result in all_exchanges(left, right)):
+            return False
+    return True
+
+
+def derivation_tree_for(
+    target: Tree,
+    base: Iterable[Tree],
+    max_size: int,
+) -> Tree | None:
+    """Produce a derivation tree of *target* w.r.t. *base* (Lemma 2.17),
+    searching within the size-*max_size* bounded closure.
+
+    Returns None when *target* is not in the bounded closure.  The returned
+    object is a :class:`Tree` whose labels are the derived trees (leaf
+    labels are members of *base*).
+    """
+    base_list = [t for t in base if t.size() <= max_size]
+    # provenance: tree -> None (base member) or (left parent, right parent)
+    provenance: dict[Tree, tuple[Tree, Tree] | None] = {
+        t: None for t in base_list
+    }
+    queue: deque[Tree] = deque(base_list)
+    if target in provenance:
+        return Tree(target)
+    while queue:
+        tree = queue.popleft()
+        snapshot = list(provenance)
+        for other in snapshot:
+            for left, right in ((tree, other), (other, tree)):
+                for result in all_exchanges(left, right):
+                    if result.size() > max_size or result in provenance:
+                        continue
+                    provenance[result] = (left, right)
+                    if result == target:
+                        return _build_derivation(target, provenance)
+                    queue.append(result)
+    return None
+
+
+def _build_derivation(
+    target: Tree,
+    provenance: dict[Tree, tuple[Tree, Tree] | None],
+) -> Tree:
+    parents = provenance[target]
+    if parents is None:
+        return Tree(target)
+    left, right = parents
+    return Tree(
+        target,
+        [_build_derivation(left, provenance), _build_derivation(right, provenance)],
+    )

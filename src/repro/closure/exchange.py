@@ -1,0 +1,107 @@
+"""Ancestor-guarded subtree exchange (Definition 2.10, Figure 1) and its
+ancestor-*type*-guarded refinement (Definition 4.1).
+
+The exchange operation is the semantic heart of the paper: a regular tree
+language is definable by a single-type EDTD iff it is closed under
+ancestor-guarded subtree exchange (Theorem 2.11).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.strings.nfa import NFA
+from repro.trees.tree import Path, Tree
+
+
+def exchange(t1: Tree, v1: Path, t2: Tree, v2: Path) -> Tree:
+    """Return ``t1[v1 <- subtree^t2(v2)]`` under the ancestor guard.
+
+    Raises :class:`ValueError` when ``anc-str^t1(v1) != anc-str^t2(v2)``
+    (the exchange is only defined under equal ancestor strings).
+    """
+    if t1.anc_str(v1) != t2.anc_str(v2):
+        raise ValueError("ancestor strings differ; exchange is not permitted")
+    return t1.replace_at(v1, t2.subtree(v2))
+
+
+def try_exchange(t1: Tree, v1: Path, t2: Tree, v2: Path) -> Tree | None:
+    """Like :func:`exchange` but returns None when the guard fails."""
+    if t1.anc_str(v1) != t2.anc_str(v2):
+        return None
+    return t1.replace_at(v1, t2.subtree(v2))
+
+
+def all_exchanges(t1: Tree, t2: Tree) -> Iterator[Tree]:
+    """Yield every tree obtainable by one ancestor-guarded exchange from the
+    (ordered) pair ``(t1, t2)``.
+
+    Node pairs are matched by ancestor string; both directions follow by
+    also calling ``all_exchanges(t2, t1)``.
+    """
+    by_ancestor: dict[tuple, list[Path]] = {}
+    for v2 in t2.dom():
+        by_ancestor.setdefault(t2.anc_str(v2), []).append(v2)
+    for v1 in t1.dom():
+        key = t1.anc_str(v1)
+        for v2 in by_ancestor.get(key, ()):
+            yield t1.replace_at(v1, t2.subtree(v2))
+
+
+def anc_type(tree: Tree, path: Path, automaton: NFA) -> frozenset:
+    """``anc-type^t_N(v)``: the state set of *automaton* after reading the
+    ancestor string of *path* (Section 4.1)."""
+    return automaton.read(tree.anc_str(path))
+
+
+def type_guarded_exchange(
+    t1: Tree,
+    v1: Path,
+    t2: Tree,
+    v2: Path,
+    automaton: NFA,
+) -> Tree | None:
+    """Exchange guarded by equal non-empty ancestor *types* w.r.t. an NFA
+    (Definition 4.1); returns None when the guard fails.
+
+    Note the guard implies ``lab^t1(v1) == lab^t2(v2)`` only for
+    state-labeled automata; we additionally require equal labels so the
+    operation is well-behaved on arbitrary NFAs.
+    """
+    type1 = anc_type(t1, v1, automaton)
+    type2 = anc_type(t2, v2, automaton)
+    if not type1 or type1 != type2:
+        return None
+    if t1.label_at(v1) != t2.label_at(v2):
+        return None
+    return t1.replace_at(v1, t2.subtree(v2))
+
+
+def all_type_guarded_exchanges(
+    t1: Tree,
+    t2: Tree,
+    automaton: NFA,
+    restrict_labels: frozenset | None = None,
+) -> Iterator[Tree]:
+    """Yield every tree obtainable by one ancestor-type-guarded exchange
+    from the ordered pair ``(t1, t2)`` w.r.t. *automaton*.
+
+    If *restrict_labels* is given, only nodes with those labels are
+    exchanged (the ``type-closure^{N, Sigma'}`` refinement of Section
+    4.4.2 used for binary encodings).
+    """
+    by_type: dict[tuple, list[Path]] = {}
+    for v2 in t2.dom():
+        if restrict_labels is not None and t2.label_at(v2) not in restrict_labels:
+            continue
+        key = (anc_type(t2, v2, automaton), t2.label_at(v2))
+        if key[0]:
+            by_type.setdefault(key, []).append(v2)
+    for v1 in t1.dom():
+        if restrict_labels is not None and t1.label_at(v1) not in restrict_labels:
+            continue
+        key = (anc_type(t1, v1, automaton), t1.label_at(v1))
+        if not key[0]:
+            continue
+        for v2 in by_type.get(key, ()):
+            yield t1.replace_at(v1, t2.subtree(v2))

@@ -1,0 +1,69 @@
+"""The ancestor-string-separating DFA ``N_k`` (Section 4.4.2).
+
+``N_k`` is the smallest state-labeled DFA that reaches pairwise distinct
+states on all distinct strings of length at most ``k`` — a complete
+``|Sigma|``-ary tree of depth ``k`` with ``O(|Sigma|^(k+1))`` states.  For
+languages depth-bounded by ``k``, closure under ancestor-guarded subtree
+exchange coincides with closure under ``N_k``-type-guarded exchange (the
+bridge the paper uses to reduce maximality testing to tree automata).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.strings.nfa import NFA
+
+Symbol = Hashable
+
+
+def nk_automaton(alphabet: Iterable[Symbol], k: int) -> NFA:
+    """Build ``N_k`` over *alphabet* (returned as a deterministic,
+    state-labeled :class:`NFA`, matching the guarded-exchange API).
+
+    States are the strings of length <= k (as tuples); strings longer than
+    ``k`` all collapse into a per-symbol sink ``("deep", a)`` so the
+    automaton is total on arbitrarily long ancestor strings while staying
+    state-labeled.
+    """
+    alphabet = sorted(set(alphabet), key=repr)
+    states: set = {()}
+    transitions: dict = {}
+    frontier: list[tuple] = [()]
+    for _ in range(k):
+        next_frontier: list[tuple] = []
+        for state in frontier:
+            for symbol in alphabet:
+                successor = state + (symbol,)
+                states.add(successor)
+                transitions[(state, symbol)] = {successor}
+                next_frontier.append(successor)
+        frontier = next_frontier
+    # Depth-k strings and the deep sinks step into per-symbol sinks.
+    sinks = {("deep", symbol) for symbol in alphabet}
+    states |= sinks
+    for state in frontier:
+        for symbol in alphabet:
+            transitions[(state, symbol)] = {("deep", symbol)}
+    for sink in sinks:
+        for symbol in alphabet:
+            transitions[(sink, symbol)] = {("deep", symbol)}
+    return NFA(states, alphabet, transitions, {()}, frozenset())
+
+
+def separates_up_to(automaton: NFA, alphabet: Iterable[Symbol], k: int) -> bool:
+    """Check the defining property: distinct strings of length <= k reach
+    distinct state sets (used by tests)."""
+    alphabet = sorted(set(alphabet), key=repr)
+    seen: dict = {}
+    all_words: list[tuple] = [()]
+    frontier = [()]
+    for _ in range(k):
+        frontier = [w + (s,) for w in frontier for s in alphabet]
+        all_words.extend(frontier)
+    for word in all_words:
+        result = automaton.read(word)
+        if result in seen.values():
+            return False
+        seen[word] = result
+    return True

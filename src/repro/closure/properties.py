@@ -1,0 +1,71 @@
+"""Executable versions of the closure characterizations (Theorems 2.11, 4.2).
+
+These helpers check, on a bounded universe, whether the language of an EDTD
+is closed under (type-)guarded subtree exchange.  For depth-bounded
+languages checked to their full depth the evidence is conclusive in the
+limit of the size bound; in general a returned *witness* is a genuine
+counterexample while ``None`` means "no violation within the bound".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.closure.exchange import all_exchanges, all_type_guarded_exchanges
+from repro.schemas.edtd import EDTD
+from repro.schemas.type_automaton import type_automaton
+from repro.strings.nfa import NFA
+from repro.trees.generate import enumerate_trees
+from repro.trees.tree import Tree
+
+
+@dataclass(frozen=True)
+class ExchangeViolation:
+    """A counterexample to closure under subtree exchange.
+
+    ``result`` arises from ``left`` and ``right`` by one guarded exchange
+    yet is not in the language.
+    """
+
+    left: Tree
+    right: Tree
+    result: Tree
+
+
+def exchange_violation(
+    edtd: EDTD,
+    max_size: int,
+    automaton: NFA | None = None,
+) -> ExchangeViolation | None:
+    """Search the size-bounded fragment of ``L(edtd)`` for a violation of
+    closure under (type-)guarded subtree exchange.
+
+    A non-None result proves (Theorem 2.11) that ``L(edtd)`` is *not*
+    definable by a single-type EDTD.  ``None`` only says no violation was
+    found within the bound — use
+    :func:`repro.core.decision.is_single_type_definable` for the exact
+    (EXPTIME) answer.
+    """
+    members = enumerate_trees(edtd, max_size)
+    member_set = set(members)
+    for t1 in members:
+        for t2 in members:
+            if automaton is None:
+                produced = all_exchanges(t1, t2)
+            else:
+                produced = all_type_guarded_exchanges(t1, t2, automaton)
+            for result in produced:
+                if result in member_set:
+                    continue
+                if result.size() <= max_size:
+                    # Certainly enumerated if it were a member.
+                    return ExchangeViolation(t1, t2, result)
+                if not edtd.accepts(result):
+                    return ExchangeViolation(t1, t2, result)
+    return None
+
+
+def type_exchange_violation(edtd: EDTD, max_size: int) -> ExchangeViolation | None:
+    """Like :func:`exchange_violation` but w.r.t. the EDTD's own type
+    automaton (Theorem 4.2's characterization)."""
+    return exchange_violation(edtd, max_size, automaton=type_automaton(edtd))

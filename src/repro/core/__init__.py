@@ -1,0 +1,82 @@
+"""The paper's contribution: optimal single-type approximations."""
+
+from repro.core.decision import (
+    Maximality,
+    MaximalityVerdict,
+    is_lower_approximation,
+    is_maximal_lower_approximation,
+    is_minimal_upper_approximation,
+    is_single_type_definable,
+    is_upper_approximation,
+    singleton_edtd,
+)
+from repro.core.greedy import greedy_maximal_lower, try_absorb
+from repro.core.lower import (
+    is_c_type,
+    is_s_type,
+    maximal_lower_union,
+    non_violating,
+    swap_language_edtd,
+)
+from repro.core.compat import Compatibility, CompatibilityReport, check_compatibility
+from repro.core.nary import merge_all, merge_all_direct, union_all
+from repro.core.report import difference_report, merge_report
+from repro.core.sampling_eval import SlackEstimate, estimate_slack_ratio
+from repro.core.quality import (
+    ApproximationQuality,
+    extra_documents,
+    lower_quality,
+    upper_quality,
+)
+from repro.core.witness import (
+    difference_witness,
+    inclusion_counterexample,
+    minimal_tree_of_type,
+)
+from repro.core.upper import (
+    minimal_upper_approximation,
+    upper_complement,
+    upper_difference,
+    upper_intersection,
+    upper_union,
+)
+
+__all__ = [
+    "ApproximationQuality",
+    "Maximality",
+    "MaximalityVerdict",
+    "extra_documents",
+    "greedy_maximal_lower",
+    "try_absorb",
+    "is_c_type",
+    "is_lower_approximation",
+    "is_maximal_lower_approximation",
+    "is_minimal_upper_approximation",
+    "is_s_type",
+    "is_single_type_definable",
+    "is_upper_approximation",
+    "lower_quality",
+    "maximal_lower_union",
+    "minimal_upper_approximation",
+    "non_violating",
+    "singleton_edtd",
+    "swap_language_edtd",
+    "upper_complement",
+    "upper_difference",
+    "upper_intersection",
+    "upper_quality",
+    "upper_union",
+    "difference_witness",
+    "inclusion_counterexample",
+    "minimal_tree_of_type",
+    "difference_report",
+    "merge_report",
+    "merge_all",
+    "merge_all_direct",
+    "union_all",
+    "Compatibility",
+    "CompatibilityReport",
+    "check_compatibility",
+    "SlackEstimate",
+    "estimate_slack_ratio",
+]

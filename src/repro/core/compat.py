@@ -1,0 +1,69 @@
+"""Schema-evolution compatibility checking.
+
+Given an old and a new version of an XSD, classify the change and produce
+evidence:
+
+* **backward compatible** — every old document validates against the new
+  schema (``L(old) subseteq L(new)``): consumers can upgrade first;
+* **forward compatible** — every new document validates against the old
+  schema: producers can upgrade first;
+* both — the versions are equivalent; neither — a breaking change.
+
+Decisions are the PTIME Lemma 3.3 inclusions; evidence documents come from
+the constructive witness generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.witness import inclusion_counterexample
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.trees.tree import Tree
+
+
+class Compatibility(Enum):
+    EQUIVALENT = "equivalent"
+    BACKWARD = "backward compatible (old documents remain valid)"
+    FORWARD = "forward compatible (new documents validate against the old schema)"
+    BREAKING = "breaking change in both directions"
+
+
+@dataclass(frozen=True)
+class CompatibilityReport:
+    """Verdict plus the documents proving each failed direction.
+
+    ``old_only`` is a document valid under the old schema but not the new
+    one (present iff not backward compatible); ``new_only`` dually.
+    """
+
+    verdict: Compatibility
+    old_only: Tree | None
+    new_only: Tree | None
+
+    @property
+    def backward_compatible(self) -> bool:
+        return self.old_only is None
+
+    @property
+    def forward_compatible(self) -> bool:
+        return self.new_only is None
+
+
+def check_compatibility(
+    old: SingleTypeEDTD,
+    new: SingleTypeEDTD,
+) -> CompatibilityReport:
+    """Classify the evolution from *old* to *new* with witness documents."""
+    old_only = inclusion_counterexample(old, new)
+    new_only = inclusion_counterexample(new, old)
+    if old_only is None and new_only is None:
+        verdict = Compatibility.EQUIVALENT
+    elif old_only is None:
+        verdict = Compatibility.BACKWARD
+    elif new_only is None:
+        verdict = Compatibility.FORWARD
+    else:
+        verdict = Compatibility.BREAKING
+    return CompatibilityReport(verdict, old_only=old_only, new_only=new_only)

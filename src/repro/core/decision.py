@@ -1,0 +1,161 @@
+"""Decision problems around XSD-approximations (Theorems 3.5, 4.15; the
+EXPTIME definability test of Martens et al. recalled in Related Work).
+
+The paper establishes *complexities* (PSPACE-complete, 2EXPTIME) via
+non-constructive guessing procedures; this module implements exact
+deterministic equivalents:
+
+* :func:`is_minimal_upper_approximation` — Theorem 3.5's problem, decided
+  by explicitly building the minimal upper approximation and comparing
+  (PTIME per Lemma 3.3 once both sides are single-type; exponential only
+  through the size of the constructed approximation, matching the PSPACE
+  procedure's implicit cost when made deterministic).
+* :func:`is_single_type_definable` — the EXPTIME-complete test whether a
+  regular tree language is in ST-REG: ``L(D)`` is single-type definable iff
+  ``L(upper(D)) subseteq L(D)``, checked exactly with tree automata.
+* :func:`is_maximal_lower_approximation` — Section 4.4.2's problem.  The
+  paper's 2EXPTIME automaton is astronomically infeasible; we implement the
+  same decision ("is there a tree whose closure with L(S) stays inside
+  L(D)?") as a bounded search over candidate trees, exact whenever the
+  witness space is exhausted (see :class:`MaximalityVerdict`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.upper import minimal_upper_approximation
+from repro.schemas.edtd import EDTD
+from repro.schemas.inclusion import included_in_single_type, single_type_equivalent
+from repro.schemas.ops import edtd_union
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.strings.builders import word_language
+from repro.strings.dfa import DFA
+from repro.tree_automata.inclusion import edtd_includes
+from repro.trees.generate import enumerate_trees
+from repro.trees.tree import Tree
+
+
+def is_upper_approximation(candidate: SingleTypeEDTD, edtd: EDTD) -> bool:
+    """Is ``L(candidate)`` an upper XSD-approximation of ``L(edtd)``?
+
+    (Definition 2.12 — containment only.)  PTIME via Lemma 3.3.
+    """
+    return included_in_single_type(edtd, candidate)
+
+
+def is_minimal_upper_approximation(candidate: SingleTypeEDTD, edtd: EDTD) -> bool:
+    """Theorem 3.5's decision problem, solved exactly.
+
+    ``candidate`` is the minimal upper XSD-approximation of ``L(edtd)`` iff
+
+    1. ``L(edtd) subseteq L(candidate)`` (Lemma 3.3, PTIME) and
+    2. ``L(candidate) subseteq L(upper(edtd))`` (the paper's criterion (1) in
+       the proof of Theorem 3.5; the reverse inclusion is automatic by
+       minimality of ``upper(edtd)``).
+    """
+    if not included_in_single_type(edtd, candidate):
+        return False
+    reference = minimal_upper_approximation(edtd)
+    return included_in_single_type(candidate, reference)
+
+
+def is_single_type_definable(edtd: EDTD) -> bool:
+    """Is ``L(edtd)`` definable by a single-type EDTD?  (EXPTIME-complete,
+    Martens et al. [19].)
+
+    ``L(edtd) in ST-REG`` iff the minimal upper approximation changes
+    nothing: ``L(upper(edtd)) subseteq L(edtd)`` (the other containment
+    always holds).  The containment of a single-type EDTD in a general EDTD
+    is checked exactly via tree automata.
+    """
+    upper = minimal_upper_approximation(edtd)
+    return edtd_includes(edtd, upper)
+
+
+def singleton_edtd(tree: Tree, alphabet: frozenset | None = None) -> EDTD:
+    """An EDTD accepting exactly ``{tree}`` (types = node paths)."""
+    labels = tree.labels()
+    sigma = labels | (alphabet or frozenset())
+    types = set()
+    rules: dict = {}
+    mu: dict = {}
+    for path, node in tree.nodes():
+        types.add(("node", path))
+        mu[("node", path)] = node.label
+        child_word = tuple(
+            ("node", path + (index,)) for index in range(len(node.children))
+        )
+        rules[("node", path)] = word_language(child_word)
+    return EDTD(
+        alphabet=sigma,
+        types=types,
+        rules=rules,
+        starts={("node", ())},
+        mu=mu,
+    )
+
+
+def is_lower_approximation(candidate: SingleTypeEDTD, edtd: EDTD) -> bool:
+    """Is ``L(candidate)`` a lower XSD-approximation of ``L(edtd)``?
+
+    Containment of a single-type EDTD in a general EDTD — exact via tree
+    automata (EXPTIME in general; PTIME when *edtd* is single-type, in
+    which case Lemma 3.3 is used instead).
+    """
+    from repro.schemas.type_automaton import is_single_type
+
+    if is_single_type(edtd):
+        return included_in_single_type(candidate, edtd)
+    return edtd_includes(edtd, candidate)
+
+
+class Maximality(Enum):
+    """Outcome of the bounded maximal-lower-approximation check."""
+
+    NOT_LOWER = "not a lower approximation"
+    NOT_MAXIMAL = "refuted: a strictly larger lower approximation exists"
+    MAXIMAL_WITHIN_BOUND = "no improving tree exists within the search bound"
+
+
+@dataclass(frozen=True)
+class MaximalityVerdict:
+    """Verdict plus the improving witness tree when one was found."""
+
+    outcome: Maximality
+    witness: Tree | None = None
+
+
+def is_maximal_lower_approximation(
+    candidate: SingleTypeEDTD,
+    edtd: EDTD,
+    max_size: int = 6,
+) -> MaximalityVerdict:
+    """Bounded-exact check of Section 4.4.2's decision problem.
+
+    ``candidate`` fails to be maximal iff some ``t in L(edtd)`` has
+    ``closure(L(candidate) | {t}) subseteq L(edtd)`` (the paper's
+    reformulation before Lemma 4.13).  Since
+    ``closure(X) = L(minimal_upper_approximation(X))`` (Theorem 3.2), each
+    candidate tree ``t`` is checked *exactly*:
+
+        ``upper(candidate | {t}) subseteq edtd``  (tree-automata inclusion).
+
+    Candidate trees are enumerated up to *max_size* nodes.  A
+    ``NOT_MAXIMAL`` verdict is conclusive (the witness is real); a
+    ``MAXIMAL_WITHIN_BOUND`` verdict is conclusive for languages whose
+    improving witnesses, if any, must appear within the bound — and is
+    otherwise the best any terminating procedure can report without the
+    paper's 2EXPTIME automaton.
+    """
+    if not is_lower_approximation(candidate, edtd):
+        return MaximalityVerdict(Maximality.NOT_LOWER)
+    for tree in enumerate_trees(edtd, max_size):
+        if candidate.accepts(tree):
+            continue
+        extended = edtd_union(candidate, singleton_edtd(tree, edtd.alphabet))
+        closure_schema = minimal_upper_approximation(extended)
+        if edtd_includes(edtd, closure_schema):
+            return MaximalityVerdict(Maximality.NOT_MAXIMAL, witness=tree)
+    return MaximalityVerdict(Maximality.MAXIMAL_WITHIN_BOUND)

@@ -1,0 +1,102 @@
+"""Constructive companion to Theorem 4.12: greedy maximal lower
+approximations.
+
+Theorem 4.12 proves (via the Kuratowski-Zorn lemma, non-constructively)
+that every depth-bounded regular tree language has a maximal lower
+XSD-approximation above any given lower approximation.  This module makes
+the statement executable on bounded witness spaces:
+
+starting from a lower approximation ``X`` (the empty schema by default),
+repeatedly find a member tree ``t`` of the target with
+``closure(L(X) | {t}) subseteq L(target)`` — checked *exactly* via
+``upper(X | {t})`` and tree-automata inclusion — and replace ``X`` by that
+closure schema.  When no improving tree of at most ``max_size`` nodes
+remains, the result is a maximal-within-bound lower approximation; for
+depth-bounded targets explored far enough this is a genuine maximal lower
+approximation.
+
+Because the scan order determines which incompatible trees get absorbed
+first, different orders reach *different* maximal approximations — an
+executable demonstration of the non-uniqueness Theorems 4.3/4.11 prove.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.core.decision import singleton_edtd
+from repro.core.upper import minimal_upper_approximation
+from repro.schemas.edtd import EDTD
+from repro.schemas.ops import edtd_union
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.tree_automata.inclusion import edtd_includes
+from repro.trees.generate import enumerate_trees
+from repro.trees.tree import Tree
+
+
+def empty_schema(alphabet) -> SingleTypeEDTD:
+    """The lower approximation everyone has: the empty language."""
+    return SingleTypeEDTD(
+        alphabet=alphabet, types=set(), rules={}, starts=set(), mu={}
+    )
+
+
+def try_absorb(
+    current: SingleTypeEDTD,
+    tree: Tree,
+    target: EDTD,
+) -> SingleTypeEDTD | None:
+    """If ``closure(L(current) | {tree})`` stays inside ``L(target)``,
+    return the (single-type) closure schema; otherwise None.
+
+    Exact: the closure is ``upper(current | {tree})`` (Theorem 3.2) and
+    the containment is checked with tree automata.
+    """
+    extended = edtd_union(current, singleton_edtd(tree, target.alphabet))
+    closure_schema = minimal_upper_approximation(extended)
+    if edtd_includes(target, closure_schema):
+        return closure_schema
+    return None
+
+
+def greedy_maximal_lower(
+    target: EDTD,
+    max_size: int = 6,
+    seed_schema: SingleTypeEDTD | None = None,
+    order: Sequence[Tree] | None = None,
+    rng: random.Random | None = None,
+) -> SingleTypeEDTD:
+    """Grow a lower XSD-approximation of ``L(target)`` until no member tree
+    of at most *max_size* nodes improves it.
+
+    Parameters
+    ----------
+    target:
+        Any EDTD.
+    max_size:
+        Witness-tree search bound.
+    seed_schema:
+        Lower approximation to start from (Theorem 4.12's ``X``); the
+        empty language by default.  Must satisfy
+        ``L(seed) subseteq L(target)`` — not re-checked here.
+    order:
+        Explicit candidate order; defaults to size-lexicographic
+        enumeration, optionally shuffled with *rng* (different orders can
+        reach different maximal approximations).
+    """
+    current = seed_schema if seed_schema is not None else empty_schema(target.alphabet)
+    candidates = list(order) if order is not None else enumerate_trees(target, max_size)
+    if rng is not None:
+        rng.shuffle(candidates)
+    changed = True
+    while changed:
+        changed = False
+        for tree in candidates:
+            if current.accepts(tree):
+                continue
+            absorbed = try_absorb(current, tree, target)
+            if absorbed is not None:
+                current = absorbed
+                changed = True
+    return current

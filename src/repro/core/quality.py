@@ -1,0 +1,77 @@
+"""Approximation-quality metrics.
+
+The paper motivates minimal upper approximations by error minimization
+("minimize the number of XML documents outside X | Y", Section 1).  This
+module quantifies that: for an upper approximation ``A`` of ``L(D)``, the
+*slack* per document size is ``|A_n| - |L(D)_n|`` where ``X_n`` is the set
+of member trees with exactly ``n`` nodes.  Dually, for a lower
+approximation the *loss* is ``|L(D)_n| - |A_n|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schemas.edtd import EDTD
+from repro.trees.generate import count_trees_by_size, enumerate_trees
+
+
+@dataclass(frozen=True)
+class ApproximationQuality:
+    """Per-size member counts of an approximation vs. the original.
+
+    Attributes
+    ----------
+    original_counts / approx_counts:
+        ``counts[n]`` = number of member trees with exactly ``n`` nodes.
+    slack:
+        ``approx - original`` per size (extra documents admitted; all
+        non-negative for upper approximations).
+    """
+
+    original_counts: tuple[int, ...]
+    approx_counts: tuple[int, ...]
+
+    @property
+    def slack(self) -> tuple[int, ...]:
+        return tuple(
+            a - o for a, o in zip(self.approx_counts, self.original_counts)
+        )
+
+    def total_slack(self) -> int:
+        return sum(self.slack)
+
+    def is_exact_within_bound(self) -> bool:
+        return all(s == 0 for s in self.slack)
+
+
+def upper_quality(original: EDTD, approximation: EDTD, max_size: int) -> ApproximationQuality:
+    """Quality of an upper approximation on the size-bounded universe.
+
+    Counts are exact (dynamic programming for single-type schemas,
+    enumeration otherwise).
+    """
+    return ApproximationQuality(
+        original_counts=tuple(count_trees_by_size(original, max_size)),
+        approx_counts=tuple(count_trees_by_size(approximation, max_size)),
+    )
+
+
+def lower_quality(original: EDTD, approximation: EDTD, max_size: int) -> ApproximationQuality:
+    """Quality of a lower approximation: ``slack`` becomes the per-size
+    count of *lost* documents (original minus approximation)."""
+    return ApproximationQuality(
+        original_counts=tuple(count_trees_by_size(approximation, max_size)),
+        approx_counts=tuple(count_trees_by_size(original, max_size)),
+    )
+
+
+def extra_documents(original: EDTD, approximation: EDTD, max_size: int) -> list:
+    """Concrete documents admitted by *approximation* but not *original*,
+    up to *max_size* nodes (enumeration-based; for reports and examples)."""
+    original_set = set(enumerate_trees(original, max_size))
+    return [
+        tree
+        for tree in enumerate_trees(approximation, max_size)
+        if tree not in original_set
+    ]

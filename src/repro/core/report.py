@@ -1,0 +1,113 @@
+"""Schema-merge reports: everything a schema engineer wants to know about
+one approximation, in one markdown document.
+
+:func:`merge_report` runs the full Theorem 3.6 pipeline on two XSDs —
+minimal upper approximation, minimization, exactness test, slack
+accounting, example extra documents — and renders the outcome.  The same
+skeleton serves difference reports (:func:`difference_report`).
+"""
+
+from __future__ import annotations
+
+from repro.core.quality import extra_documents, upper_quality
+from repro.core.upper import upper_difference, upper_union
+from repro.schemas.edtd import EDTD
+from repro.schemas.minimize import minimize_single_type
+from repro.schemas.ops import difference_edtd, edtd_union
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.schemas.text_format import dumps
+from repro.tree_automata.inclusion import edtd_includes
+from repro.trees.xml_io import to_xml
+
+
+def merge_report(
+    left: SingleTypeEDTD,
+    right: SingleTypeEDTD,
+    *,
+    max_size: int = 8,
+    max_examples: int = 3,
+    left_name: str = "A",
+    right_name: str = "B",
+) -> str:
+    """A markdown report for merging two XSDs (Theorem 3.6)."""
+    exact = edtd_union(left, right)
+    merged = minimize_single_type(upper_union(left, right))
+    return _report(
+        title=f"Merge report: {left_name} | {right_name}",
+        exact=exact,
+        approx=merged,
+        max_size=max_size,
+        max_examples=max_examples,
+        exact_label=f"{left_name} | {right_name}",
+    )
+
+
+def difference_report(
+    left: SingleTypeEDTD,
+    right: SingleTypeEDTD,
+    *,
+    max_size: int = 8,
+    max_examples: int = 3,
+    left_name: str = "A",
+    right_name: str = "B",
+) -> str:
+    """A markdown report for diffing two XSDs (Theorem 3.10)."""
+    exact = difference_edtd(left, right)
+    approx = minimize_single_type(upper_difference(left, right))
+    return _report(
+        title=f"Difference report: {left_name} - {right_name}",
+        exact=exact,
+        approx=approx,
+        max_size=max_size,
+        max_examples=max_examples,
+        exact_label=f"{left_name} - {right_name}",
+    )
+
+
+def _report(
+    title: str,
+    exact: EDTD,
+    approx: SingleTypeEDTD,
+    max_size: int,
+    max_examples: int,
+    exact_label: str,
+) -> str:
+    lines: list[str] = [f"# {title}", ""]
+    is_exact = edtd_includes(exact, approx)
+    if is_exact:
+        lines.append(
+            f"The result is **exact**: `{exact_label}` is single-type "
+            "definable and the schema below defines it precisely."
+        )
+    else:
+        lines.append(
+            f"`{exact_label}` is **not** expressible as an XSD; the schema "
+            "below is its unique minimal upper XSD-approximation "
+            "(every XSD containing the result also contains this one)."
+        )
+    lines += ["", "## Result schema", "", "```"]
+    lines.append(dumps(approx).rstrip())
+    lines += ["```", ""]
+    lines.append(
+        f"types: {len(approx.types)}; size: {approx.size()}; "
+        f"alphabet: {', '.join(sorted(map(str, approx.alphabet)))}"
+    )
+    if not is_exact:
+        quality = upper_quality(exact, approx, max_size=max_size)
+        lines += [
+            "",
+            "## Approximation slack",
+            "",
+            f"Documents admitted beyond `{exact_label}`, by node count "
+            f"(0..{max_size}): `{list(quality.slack)}` "
+            f"(total {quality.total_slack()}).",
+        ]
+        examples = extra_documents(exact, approx, max_size=max_size)
+        if examples:
+            lines += ["", f"Smallest {min(max_examples, len(examples))} examples:", ""]
+            for tree in examples[:max_examples]:
+                lines.append("```xml")
+                lines.append(to_xml(tree))
+                lines.append("```")
+                lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

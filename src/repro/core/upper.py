@@ -1,0 +1,156 @@
+"""Minimal upper XSD-approximations (Section 3).
+
+The central algorithm is Construction 3.1: determinize the type automaton of
+an EDTD and union the content models of merged types.  Theorem 3.2 proves
+the result is the *unique minimal* upper XSD-approximation — equivalently,
+it defines ``closure(L(D))`` under ancestor-guarded subtree exchange.
+
+Everything else in Section 3 is this construction applied to the boolean
+EDTD constructions of :mod:`repro.schemas.ops`:
+
+* union of two XSDs (Theorem 3.6) — the type automaton of the disjoint
+  union determinizes into reachable *pairs*, so the construction is
+  O(|D1| |D2|);
+* intersection (Theorem 3.8) — exact, ST-REG is closed under intersection;
+* complement (Theorem 3.9) — subsets stay of size <= 2, polynomial;
+* difference (Theorem 3.10) — likewise polynomial.
+
+All functions return reduced :class:`SingleTypeEDTD` objects; pass
+``minimize=True`` to also minimize the number of types (the paper's
+"optimal representations of optimal approximations").
+"""
+
+from __future__ import annotations
+
+from repro.schemas.dfa_xsd import DFAXSD
+from repro.schemas.edtd import EDTD
+from repro.schemas.minimize import minimize_single_type
+from repro.schemas.ops import (
+    complement_edtd,
+    difference_edtd,
+    edtd_union,
+    st_intersection,
+)
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.schemas.type_automaton import type_automaton
+from repro.strings.determinize import determinize
+from repro.strings.minimize import minimize_dfa
+from repro.strings.nfa import NFA
+
+
+def minimal_upper_approximation(
+    edtd: EDTD,
+    *,
+    minimize: bool = False,
+) -> SingleTypeEDTD:
+    """Construction 3.1: the unique minimal upper XSD-approximation of
+    ``L(edtd)``.
+
+    The result defines ``closure(L(edtd))`` (proof of Theorem 3.2).  It can
+    be exponentially larger than the input — Theorem 3.2 shows this cannot
+    be avoided; see :func:`repro.families.hard.theorem_3_2_family`.
+
+    Parameters
+    ----------
+    edtd:
+        Any EDTD (reduced internally, Proviso 2.3).
+    minimize:
+        Also minimize the resulting single-type EDTD (polynomial extra
+        cost in the output size).
+    """
+    reduced = edtd.reduced()
+    if not reduced.types:
+        empty = SingleTypeEDTD(
+            alphabet=reduced.alphabet, types=set(), rules={}, starts=set(), mu={}
+        )
+        return empty
+
+    n = type_automaton(reduced)
+    subset_dfa = determinize(n)  # states are frozensets of types / {Q_INIT}
+
+    rules: dict[frozenset, object] = {}
+    for subset in subset_dfa.states:
+        if subset == subset_dfa.initial:
+            continue
+        union_nfa = _content_union(reduced, subset)
+        rules[subset] = minimize_dfa(determinize(union_nfa))
+
+    xsd = DFAXSD(
+        alphabet=reduced.alphabet,
+        automaton=subset_dfa,
+        rules=rules,
+        starts=reduced.start_symbols(),
+    )
+    result = xsd.to_single_type().reduced()
+    if minimize:
+        result = minimize_single_type(result)
+    return result
+
+
+def _content_union(edtd: EDTD, subset: frozenset) -> NFA:
+    """NFA for ``union over tau in subset of mu(d(tau))``."""
+    parts = [
+        edtd.rules[tau].to_nfa().map_symbols(lambda t: edtd.mu[t])
+        for tau in sorted(subset, key=repr)
+    ]
+    result = parts[0]
+    for part in parts[1:]:
+        result = result.union(part)
+    return result
+
+
+def upper_union(
+    left: SingleTypeEDTD,
+    right: SingleTypeEDTD,
+    *,
+    minimize: bool = False,
+) -> SingleTypeEDTD:
+    """Theorem 3.6: the unique minimal upper XSD-approximation of
+    ``L(left) | L(right)``, in time O(|left| |right|).
+
+    Implemented as Construction 3.1 on the disjoint-union EDTD; the subset
+    construction only ever produces subsets with at most one type from each
+    side (the reachable pairs), so the bound holds.
+    """
+    return minimal_upper_approximation(edtd_union(left, right), minimize=minimize)
+
+
+def upper_intersection(
+    left: SingleTypeEDTD,
+    right: SingleTypeEDTD,
+    *,
+    minimize: bool = False,
+) -> SingleTypeEDTD:
+    """Theorem 3.8: the minimal upper XSD-approximation of an intersection
+    is the intersection itself (ST-REG is closed under intersection)."""
+    result = st_intersection(left, right)
+    if minimize:
+        result = minimize_single_type(result)
+    return result
+
+
+def upper_complement(
+    schema: SingleTypeEDTD,
+    *,
+    minimize: bool = False,
+) -> SingleTypeEDTD:
+    """Theorem 3.9: minimal upper XSD-approximation of ``T_Sigma - L(D)``,
+    in time polynomial in |D|.
+
+    The complement EDTD's type automaton only ever reaches subsets
+    ``{tau, a}`` of size <= 2, so Construction 3.1 stays polynomial.
+    """
+    return minimal_upper_approximation(complement_edtd(schema), minimize=minimize)
+
+
+def upper_difference(
+    left: SingleTypeEDTD,
+    right: SingleTypeEDTD,
+    *,
+    minimize: bool = False,
+) -> SingleTypeEDTD:
+    """Theorem 3.10: minimal upper XSD-approximation of
+    ``L(left) - L(right)`` in polynomial time."""
+    return minimal_upper_approximation(
+        difference_edtd(left, right), minimize=minimize
+    )

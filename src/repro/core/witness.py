@@ -1,0 +1,269 @@
+"""Witness generation: concrete counterexample documents.
+
+The PTIME inclusion test of Lemma 3.3 is made *constructive* here: when
+``L(D1)`` is not contained in the single-type ``L(D2)``,
+:func:`inclusion_counterexample` produces an actual tree in
+``L(D1) - L(D2)``.  Schema engineers get a document explaining *why* a
+merge/diff/roll-out is lossy, not just a boolean.
+
+The witness is assembled from three searches, each following the structure
+of the Lemma 3.3 proof:
+
+1. a reachable type-automaton pair ``(tau1, tau2)`` whose content models
+   separate (tracked with parent pointers during the product exploration);
+2. a shortest child word in ``mu1(d1(tau1)) - mu2(d2(tau2))``, lifted back
+   to a ``D1``-type word;
+3. minimal derivations filling in all remaining subtrees, and a minimal
+   ancestor spine from the root down to the separating node.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable
+
+from repro.errors import NotSingleTypeError, SchemaError
+from repro.schemas.edtd import EDTD
+from repro.schemas.type_automaton import is_single_type, type_automaton
+from repro.strings.dfa import DFA
+from repro.strings.ops import enumerate_words
+from repro.trees.generate import min_derivation_sizes
+from repro.trees.tree import Tree
+
+Type = Hashable
+Symbol = Hashable
+
+
+# ----------------------------------------------------------------------
+# Minimal derivations
+# ----------------------------------------------------------------------
+
+def minimal_tree_of_type(edtd: EDTD, type_: Type, _minimums: dict | None = None) -> Tree:
+    """A smallest tree derivable from *type_* in the (reduced) EDTD."""
+    minimums = _minimums if _minimums is not None else min_derivation_sizes(edtd)
+    if minimums.get(type_, -1) < 0:
+        raise SchemaError(f"type {type_!r} is unproductive")
+    word = _cheapest_word(edtd.rules[type_], minimums)
+    children = [minimal_tree_of_type(edtd, child, minimums) for child in word]
+    return Tree(edtd.mu[type_], children)
+
+
+def _cheapest_word(dfa: DFA, cost: dict) -> list:
+    """A word of ``L(dfa)`` minimizing the summed per-symbol costs."""
+    best: dict = {dfa.initial: (0.0, [])}
+    # Dijkstra-light: costs are positive integers, the automaton is small.
+    frontier = deque([dfa.initial])
+    while frontier:
+        state = frontier.popleft()
+        state_cost, word = best[state]
+        for (src, symbol), dst in dfa.transitions.items():
+            if src != state:
+                continue
+            symbol_cost = cost.get(symbol, -1)
+            if symbol_cost < 0:
+                continue
+            candidate = state_cost + symbol_cost
+            if candidate < best.get(dst, (float("inf"),))[0]:
+                best[dst] = (candidate, word + [symbol])
+                frontier.append(dst)
+    final_options = [
+        (value, word) for state, (value, word) in best.items() if state in dfa.finals
+    ]
+    if not final_options:
+        raise SchemaError("content model has no derivable word")
+    return min(final_options, key=lambda item: (item[0], len(item[1])))[1]
+
+
+def _cheapest_word_containing(dfa: DFA, needle: Type, cost: dict) -> list:
+    """A cheapest word of ``L(dfa)`` containing the symbol *needle*."""
+    # States (q, seen); search as in _cheapest_word.
+    start = (dfa.initial, False)
+    best: dict = {start: (0.0, [])}
+    frontier = deque([start])
+    while frontier:
+        state = frontier.popleft()
+        (q, seen) = state
+        state_cost, word = best[state]
+        for (src, symbol), dst in dfa.transitions.items():
+            if src != q:
+                continue
+            symbol_cost = cost.get(symbol, -1)
+            if symbol_cost < 0:
+                continue
+            nxt = (dst, seen or symbol == needle)
+            candidate = state_cost + symbol_cost
+            if candidate < best.get(nxt, (float("inf"),))[0]:
+                best[nxt] = (candidate, word + [symbol])
+                frontier.append(nxt)
+    final_options = [
+        (value, word)
+        for (q, seen), (value, word) in best.items()
+        if seen and q in dfa.finals
+    ]
+    if not final_options:
+        raise SchemaError(f"no content word contains {needle!r}")
+    return min(final_options, key=lambda item: (item[0], len(item[1])))[1]
+
+
+# ----------------------------------------------------------------------
+# Counterexamples to inclusion
+# ----------------------------------------------------------------------
+
+def inclusion_counterexample(sub: EDTD, sup: EDTD) -> Tree | None:
+    """Return a tree in ``L(sub) - L(sup)``, or None when
+    ``L(sub) subseteq L(sup)``.  *sup* must be single-type (Lemma 3.3).
+    """
+    if not is_single_type(sup):
+        raise NotSingleTypeError("the superset schema must be single-type")
+    sub = sub.reduced()
+    sup = sup.reduced()
+    if not sub.types:
+        return None
+    minimums = min_derivation_sizes(sub)
+
+    sup_start_by_label = {sup.mu[t]: t for t in sup.starts}
+    # Root-label failures.
+    for start in sorted(sub.starts, key=repr):
+        if sub.mu[start] not in sup_start_by_label:
+            return minimal_tree_of_type(sub, start, minimums)
+
+    a1 = type_automaton(sub)
+    sup_child: dict = {}
+    for type_ in sup.types:
+        for occurring in sup.occurring_types(type_):
+            sup_child[(type_, sup.mu[occurring])] = occurring
+
+    # Product exploration with parent pointers.
+    parents: dict[tuple, tuple | None] = {}
+    queue: deque[tuple] = deque()
+    for start in sorted(sub.starts, key=repr):
+        pair = (start, sup_start_by_label[sub.mu[start]])
+        if pair not in parents:
+            parents[pair] = None
+            queue.append(pair)
+    separating: tuple | None = None
+    while queue and separating is None:
+        pair = queue.popleft()
+        tau1, tau2 = pair
+        if not _content_included(sub, sup, tau1, tau2):
+            separating = pair
+            break
+        for symbol in sorted(sub.alphabet, key=repr):
+            successors1 = a1.successors(tau1, symbol)
+            if not successors1:
+                continue
+            tau2_next = sup_child.get((tau2, symbol))
+            if tau2_next is None:
+                # Would contradict the passed content check; defensive.
+                continue
+            for tau1_next in sorted(successors1, key=repr):
+                child_pair = (tau1_next, tau2_next)
+                if child_pair not in parents:
+                    parents[child_pair] = (pair, symbol)
+                    queue.append(child_pair)
+    if separating is None:
+        return None
+
+    tau1, tau2 = separating
+    label_word = _separating_child_word(sub, sup, tau1, tau2)
+    type_word = _lift_to_type_word(sub, tau1, label_word, minimums)
+    node = Tree(
+        sub.mu[tau1],
+        [minimal_tree_of_type(sub, child, minimums) for child in type_word],
+    )
+
+    # Wrap the node upward along the discovered ancestor path.
+    current_pair = separating
+    subtree = node
+    while parents[current_pair] is not None:
+        parent_pair, _ = parents[current_pair]
+        parent_tau1 = parent_pair[0]
+        child_tau1 = current_pair[0]
+        word = _cheapest_word_containing(
+            sub.rules[parent_tau1], child_tau1, minimums
+        )
+        children = []
+        placed = False
+        for symbol in word:
+            if symbol == child_tau1 and not placed:
+                children.append(subtree)
+                placed = True
+            else:
+                children.append(minimal_tree_of_type(sub, symbol, minimums))
+        subtree = Tree(sub.mu[parent_tau1], children)
+        current_pair = parent_pair
+    return subtree
+
+
+def _content_included(sub: EDTD, sup: EDTD, tau1: Type, tau2: Type) -> bool:
+    from repro.strings.ops import includes as string_includes
+
+    return string_includes(
+        sup.content_over_sigma(tau2), sub.content_over_sigma(tau1)
+    )
+
+
+def _separating_child_word(sub: EDTD, sup: EDTD, tau1: Type, tau2: Type) -> tuple:
+    difference = sub.content_over_sigma(tau1).difference(
+        sup.content_over_sigma(tau2)
+    )
+    for word in enumerate_words(difference, max_length=len(difference.states) + 1):
+        return word
+    raise SchemaError("content models do not actually separate")
+
+
+def _lift_to_type_word(
+    sub: EDTD,
+    tau1: Type,
+    label_word: tuple,
+    minimums: dict,
+) -> list:
+    """A word of ``d1(tau1)`` whose mu-image is *label_word* (preferring
+    cheap types at each position)."""
+    dfa = sub.rules[tau1]
+    # BFS over (state, position).
+    start = (dfa.initial, 0)
+    back: dict = {start: None}
+    queue: deque = deque([start])
+    goal = None
+    while queue:
+        state = queue.popleft()
+        q, position = state
+        if position == len(label_word):
+            if q in dfa.finals:
+                goal = state
+                break
+            continue
+        wanted = label_word[position]
+        options = sorted(
+            (
+                (minimums.get(symbol, 10 ** 9), repr(symbol), symbol, dst)
+                for (src, symbol), dst in dfa.transitions.items()
+                if src == q and sub.mu.get(symbol) == wanted
+                and minimums.get(symbol, -1) >= 0
+            ),
+        )
+        for _, _, symbol, dst in options:
+            nxt = (dst, position + 1)
+            if nxt not in back:
+                back[nxt] = (state, symbol)
+                queue.append(nxt)
+    if goal is None:
+        raise SchemaError("failed to lift label word to a type word")
+    word: list = []
+    state = goal
+    while back[state] is not None:
+        state, symbol = back[state]
+        word.append(symbol)
+    word.reverse()
+    return word
+
+
+def difference_witness(left: EDTD, right: EDTD) -> Tree | None:
+    """A document distinguishing two single-type schemas: a member of one
+    but not the other (tried in both directions), or None when equivalent.
+    """
+    witness = inclusion_counterexample(left, right)
+    if witness is not None:
+        return witness
+    return inclusion_counterexample(right, left)

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AutomatonError(ReproError):
+    """Raised when an automaton is malformed or an operation is invalid."""
+
+
+class RegexSyntaxError(ReproError):
+    """Raised when a regular-expression string cannot be parsed."""
+
+
+class TreeSyntaxError(ReproError):
+    """Raised when a tree term string cannot be parsed."""
+
+
+class SchemaError(ReproError):
+    """Raised when a schema (DTD/EDTD/stEDTD/DFA-based XSD) is malformed."""
+
+
+class NotSingleTypeError(SchemaError):
+    """Raised when a single-type EDTD is required but the input violates EDC."""
+
+
+class ValidationError(ReproError):
+    """Raised when a tree does not conform to a schema (strict validation)."""

@@ -1,0 +1,49 @@
+"""The paper's hard-instance families and random schema generators."""
+
+from repro.families.hard import (
+    example_2_6,
+    theorem_3_2_family,
+    theorem_3_6_family,
+    theorem_3_8_family,
+    theorem_4_3_d1_d2,
+    theorem_4_3_xn,
+    theorem_4_11_dtd,
+    theorem_4_11_xn,
+    unary_edtd_from_nfa,
+    unary_single_type_from_dfa,
+)
+from repro.families.real_world import (
+    ALL_FIXTURES,
+    atom_feed,
+    purchase_orders_v1,
+    purchase_orders_v2,
+    rss_feed,
+    xhtml_fragment,
+)
+from repro.families.random_schemas import (
+    random_edtd,
+    random_pair,
+    random_single_type_edtd,
+)
+
+__all__ = [
+    "ALL_FIXTURES",
+    "atom_feed",
+    "example_2_6",
+    "purchase_orders_v1",
+    "purchase_orders_v2",
+    "rss_feed",
+    "xhtml_fragment",
+    "random_edtd",
+    "random_pair",
+    "random_single_type_edtd",
+    "theorem_3_2_family",
+    "theorem_3_6_family",
+    "theorem_3_8_family",
+    "theorem_4_3_d1_d2",
+    "theorem_4_3_xn",
+    "theorem_4_11_dtd",
+    "theorem_4_11_xn",
+    "unary_edtd_from_nfa",
+    "unary_single_type_from_dfa",
+]

@@ -1,0 +1,272 @@
+"""The paper's concrete schema families (examples and lower bounds).
+
+Every lower-bound family of the paper is constructed here:
+
+* :func:`example_2_6` — the running example EDTD with its type automaton;
+* :func:`theorem_3_2_family` — unary ``(a+b)* a (a+b)^n`` trees whose
+  minimal upper XSD-approximation needs ``Omega(2^n)`` types;
+* :func:`theorem_3_6_family` — "at most n a's" / "at most n b's" whose
+  union's approximation needs ``Omega(n^2)`` types;
+* :func:`theorem_3_8_family` — prime-period unary counters whose
+  intersection needs ``Omega(p1 p2)`` types;
+* :func:`theorem_4_3_d1_d2` and :func:`theorem_4_3_xn` — the union with
+  infinitely many maximal lower XSD-approximations ``X_n``;
+* :func:`theorem_4_11_dtd` and :func:`theorem_4_11_xn` — the complement
+  with infinitely many maximal lower XSD-approximations.
+
+Where the source text of a family's rules is ambiguous, the reconstruction
+follows the properties the proofs rely on (each is asserted in the tests).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.schemas.dtd import DTD
+from repro.schemas.edtd import EDTD
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.strings.builders import at_most_k_occurrences, nth_from_end_is
+from repro.strings.dfa import DFA
+from repro.strings.nfa import NFA
+from repro.strings.regex import EPSILON, Plus, Star, Sym, concat, union
+
+
+# ----------------------------------------------------------------------
+# Unary-tree schemas from string automata (Theorem 3.2's device)
+# ----------------------------------------------------------------------
+
+def unary_edtd_from_nfa(nfa: NFA) -> EDTD:
+    """EDTD for the unary trees whose root-to-leaf word lies in ``L(nfa)``.
+
+    Types are the states of the state-labeled version of *nfa* (each state
+    then carries a unique label); a state's content model offers each
+    successor state as the single child, plus the empty word when the state
+    is final.  If *nfa* accepts the empty word it is ignored — there is no
+    empty tree.
+
+    On unary trees, EDTDs are NFAs and single-type EDTDs are DFAs
+    (Theorem 3.2's proof); this is the lifting.
+    """
+    labeled = nfa.state_labeled().trim()
+    if labeled.is_empty_language():
+        raise SchemaError("cannot build a unary EDTD from an empty language")
+    alphabet = labeled.alphabet
+
+    # Types: non-initial-only states (initials with incoming copies already
+    # split by state_labeled()); we simply take every state that has an
+    # incoming label, i.e. label_of() is defined.
+    types = set()
+    label_of = {}
+    for state in labeled.states:
+        incoming = labeled.incoming_labels(state)
+        if len(incoming) == 1:
+            (label,) = incoming
+            types.add(state)
+            label_of[state] = label
+
+    rules: dict = {}
+    for state in types:
+        parts = []
+        for (src, _), dsts in labeled.transitions.items():
+            if src != state:
+                continue
+            for dst in dsts:
+                parts.append(Sym(dst))
+        if state in labeled.finals:
+            parts.append(EPSILON)
+        rules[state] = union(*parts) if parts else "~"
+
+    starts = set()
+    for (src, _), dsts in labeled.transitions.items():
+        if src in labeled.initials:
+            starts |= {dst for dst in dsts if dst in types}
+    return EDTD(
+        alphabet=alphabet,
+        types=types,
+        rules=rules,
+        starts=starts,
+        mu=label_of,
+    )
+
+
+def unary_single_type_from_dfa(dfa: DFA) -> SingleTypeEDTD:
+    """Single-type EDTD for the unary trees of a DFA's non-empty words."""
+    edtd = unary_edtd_from_nfa(dfa.to_nfa())
+    return SingleTypeEDTD.from_edtd(edtd.reduced())
+
+
+# ----------------------------------------------------------------------
+# Example 2.6
+# ----------------------------------------------------------------------
+
+def example_2_6() -> EDTD:
+    """The paper's Example 2.6: two b-types under one a-type.
+
+    ``Delta = {t1, t2a, t2b}``, start ``t1``, ``mu(t1) = a`` and
+    ``mu(t2a) = mu(t2b) = b`` — not single-type, since both b-types occur
+    in ``d(t1)``, which makes the type automaton a genuine NFA (the point
+    of the example).
+    """
+    return EDTD(
+        alphabet={"a", "b"},
+        types={"t1", "t2a", "t2b"},
+        rules={
+            "t1": "t1 | t2a | t2b",
+            "t2a": "t2b | ~",
+            "t2b": "t1 | t2b | ~",
+        },
+        starts={"t1"},
+        mu={"t1": "a", "t2a": "b", "t2b": "b"},
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.2: exponential blow-up family
+# ----------------------------------------------------------------------
+
+def theorem_3_2_family(n: int) -> EDTD:
+    """``D_n``: unary trees whose word lies in ``(a+b)* a (a+b)^n``.
+
+    ``|D_n| = O(n)`` but the minimal upper XSD-approximation has type-size
+    ``Omega(2^n)`` (the NFA-to-DFA blow-up lifted to trees).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return unary_edtd_from_nfa(nth_from_end_is("a", "b", n))
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.6: quadratic union family
+# ----------------------------------------------------------------------
+
+def theorem_3_6_family(n: int) -> tuple[SingleTypeEDTD, SingleTypeEDTD]:
+    """``(D1^n, D2^n)``: unary trees with at most ``n`` a's, resp. at most
+    ``n`` b's.  Each has O(n) types; the minimal upper XSD-approximation of
+    the union needs ``Omega(n^2)`` types."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    d1 = unary_single_type_from_dfa(at_most_k_occurrences({"a", "b"}, "a", n))
+    d2 = unary_single_type_from_dfa(at_most_k_occurrences({"a", "b"}, "b", n))
+    return d1, d2
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.8: quadratic intersection family
+# ----------------------------------------------------------------------
+
+def _primes_above(n: int, count: int) -> list[int]:
+    primes: list[int] = []
+    candidate = max(n + 1, 2)
+    while len(primes) < count:
+        if all(candidate % p for p in range(2, int(candidate ** 0.5) + 1)):
+            primes.append(candidate)
+        candidate += 1
+    return primes
+
+
+def _unary_period_dfa(period: int) -> DFA:
+    """DFA over {a} accepting non-empty words of length divisible by
+    *period*."""
+    states = list(range(period))
+    transitions = {(i, "a"): (i + 1) % period for i in states}
+    # Words of positive length: split state 0 into entry/return.
+    transitions[("init", "a")] = 1 % period
+    all_states = states + ["init"]
+    return DFA(all_states, {"a"}, transitions, "init", {0})
+
+
+def theorem_3_8_family(n: int) -> tuple[SingleTypeEDTD, SingleTypeEDTD]:
+    """``(D1^n, D2^n)``: unary a-chains of length divisible by ``p1``,
+    resp. ``p2`` — the two smallest primes above ``n``.  The (exact)
+    intersection needs ``Omega(p1 p2)`` types."""
+    p1, p2 = _primes_above(n, 2)
+    d1 = unary_single_type_from_dfa(_unary_period_dfa(p1))
+    d2 = unary_single_type_from_dfa(_unary_period_dfa(p2))
+    return d1, d2
+
+
+# ----------------------------------------------------------------------
+# Theorem 4.3: infinitely many maximal lower approximations of a union
+# ----------------------------------------------------------------------
+
+def theorem_4_3_d1_d2() -> tuple[SingleTypeEDTD, SingleTypeEDTD]:
+    """The union instance of Theorem 4.3.
+
+    ``D1``: unary trees ``a^m(b)`` (an a-chain ending in one b).
+    ``D2``: all-a trees where every node has zero, one or two children.
+    """
+    d1 = SingleTypeEDTD(
+        alphabet={"a", "b"},
+        types={"ta", "tb"},
+        rules={"ta": "ta | tb", "tb": "~"},
+        starts={"ta"},
+        mu={"ta": "a", "tb": "b"},
+    )
+    d2 = SingleTypeEDTD(
+        alphabet={"a", "b"},
+        types={"sa"},
+        rules={"sa": "sa | (sa, sa) | ~"},
+        starts={"sa"},
+        mu={"sa": "a"},
+    )
+    return d1, d2
+
+
+def theorem_4_3_xn(n: int) -> SingleTypeEDTD:
+    """The maximal lower XSD-approximation ``X_n`` of Theorem 4.3.
+
+    ``L(X_n) = {a^m(b) : m <= n}  |  {all-a trees of L(D2) that do not
+    branch above depth n}``; the intersection with ``L(D1)`` is
+    ``{a^m(b) : m <= n}``, so the ``X_n`` are pairwise distinct.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    types = {f"p{i}" for i in range(1, n + 1)} | {"deep", "tb"}
+    mu = {f"p{i}": "a" for i in range(1, n + 1)}
+    mu.update({"deep": "a", "tb": "b"})
+    rules: dict = {"tb": "~", "deep": "deep | (deep, deep) | ~"}
+    for i in range(1, n):
+        rules[f"p{i}"] = f"p{i + 1} | tb | ~"
+    rules[f"p{n}"] = "deep | (deep, deep) | tb | ~"
+    return SingleTypeEDTD(
+        alphabet={"a", "b"},
+        types=types,
+        rules=rules,
+        starts={"p1"},
+        mu=mu,
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 4.11: infinitely many maximal lower approximations of a complement
+# ----------------------------------------------------------------------
+
+def theorem_4_11_dtd() -> DTD:
+    """The DTD ``a -> a + epsilon`` (unary a-chains) of Theorem 4.11; its
+    complement is "some node has at least two children"."""
+    return DTD(alphabet={"a"}, rules={"a": "a | ~"}, starts={"a"})
+
+
+def theorem_4_11_xn(n: int) -> SingleTypeEDTD:
+    """The maximal lower XSD-approximation ``X_n`` of the complement
+    (Theorem 4.11): trees where every node of depth < n has at least one
+    child and every node of depth exactly n has at least two.
+
+    The tree ``t_m`` (a chain ending in ``a(a, a)``) of depth ``m`` lies in
+    ``L(X_n)`` iff ``m = n + 1``, so the ``X_n`` are pairwise distinct.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    types = {f"x{i}" for i in range(1, n + 2)}
+    mu = {t: "a" for t in types}
+    rules: dict = {}
+    for i in range(1, n):
+        rules[f"x{i}"] = Plus(Sym(f"x{i + 1}"))
+    rules[f"x{n}"] = concat(Sym(f"x{n + 1}"), Plus(Sym(f"x{n + 1}")))
+    rules[f"x{n + 1}"] = Star(Sym(f"x{n + 1}"))
+    return SingleTypeEDTD(
+        alphabet={"a"},
+        types=types,
+        rules=rules,
+        starts={"x1"},
+        mu=mu,
+    )

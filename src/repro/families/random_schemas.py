@@ -1,0 +1,146 @@
+"""Seeded random schema generators for scaling benchmarks and fuzz tests.
+
+The paper evaluates only worst-case families; the random generators add an
+average-case axis.  All generators are deterministic given the
+``random.Random`` instance, so benchmark rows are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.schemas.edtd import EDTD
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.strings.regex import EPSILON, Opt, Plus, Regex, Star, Sym, concat, union
+
+
+def _random_content(
+    rng: random.Random,
+    children: list[object],
+    allow_empty: bool,
+) -> Regex:
+    """A small random regex over the (distinct-label) candidate children."""
+    if not children:
+        return EPSILON
+    rng.shuffle(children)
+    used = children[: rng.randint(1, len(children))]
+    parts: list[Regex] = []
+    for child in used:
+        atom: Regex = Sym(child)
+        roll = rng.random()
+        if roll < 0.25:
+            atom = Star(atom)
+        elif roll < 0.40:
+            atom = Plus(atom)
+        elif roll < 0.60:
+            atom = Opt(atom)
+        parts.append(atom)
+    if rng.random() < 0.5 and len(parts) > 1:
+        half = len(parts) // 2
+        expr: Regex = union(concat(*parts[:half]), concat(*parts[half:]))
+    else:
+        expr = concat(*parts)
+    if allow_empty:
+        expr = union(expr, EPSILON)
+    return expr
+
+
+def random_single_type_edtd(
+    rng: random.Random,
+    num_labels: int = 4,
+    num_types: int = 6,
+    recursion: float = 0.3,
+) -> SingleTypeEDTD:
+    """A random reduced single-type EDTD.
+
+    Types are layered so the schema is productive; with probability
+    *recursion* per content model a back-edge to an earlier layer is added
+    (producing recursive, unbounded-depth schemas).  Single-typedness is
+    enforced by letting each content model use at most one type per label.
+    """
+    labels = [f"l{i}" for i in range(num_labels)]
+    types = [f"t{i}" for i in range(num_types)]
+    mu = {t: labels[i % num_labels] for i, t in enumerate(types)}
+    rules: dict = {}
+    for index, type_ in enumerate(types):
+        later = types[index + 1:]
+        # one candidate child per label, preferring later types (acyclic base)
+        candidates: dict[str, str] = {}
+        for other in later:
+            candidates.setdefault(mu[other], other)
+        if later and rng.random() < recursion:
+            back = rng.choice(types[: index + 1])
+            candidates[mu[back]] = back
+        allow_empty = not later or rng.random() < 0.7
+        rules[type_] = _random_content(rng, list(candidates.values()), allow_empty)
+    start = types[0]
+    schema = SingleTypeEDTD(
+        alphabet=set(labels),
+        types=set(types),
+        rules=rules,
+        starts={start},
+        mu=mu,
+    ).reduced()
+    if not schema.types:
+        # Extremely unlikely (start types always allow empty completion),
+        # but fall back to a trivial non-empty schema.
+        return SingleTypeEDTD(
+            alphabet=set(labels),
+            types={"t0"},
+            rules={"t0": "~"},
+            starts={"t0"},
+            mu={"t0": labels[0]},
+        )
+    return schema
+
+
+def random_edtd(
+    rng: random.Random,
+    num_labels: int = 3,
+    num_types: int = 6,
+    recursion: float = 0.3,
+) -> EDTD:
+    """A random reduced EDTD, usually *not* single-type: content models may
+    use several types with the same label."""
+    labels = [f"l{i}" for i in range(num_labels)]
+    types = [f"t{i}" for i in range(num_types)]
+    mu = {t: rng.choice(labels) for t in types}
+    mu[types[0]] = labels[0]
+    rules: dict = {}
+    for index, type_ in enumerate(types):
+        later = list(types[index + 1:])
+        if later and rng.random() < recursion:
+            later.append(rng.choice(types[: index + 1]))
+        allow_empty = not later or rng.random() < 0.7
+        rules[type_] = _random_content(rng, later, allow_empty)
+    starts = {types[0]}
+    if num_types > 1 and rng.random() < 0.5:
+        starts.add(rng.choice(types[1:]))
+    schema = EDTD(
+        alphabet=set(labels),
+        types=set(types),
+        rules=rules,
+        starts=starts,
+        mu=mu,
+    ).reduced()
+    if not schema.types:
+        return EDTD(
+            alphabet=set(labels),
+            types={"t0"},
+            rules={"t0": "~"},
+            starts={"t0"},
+            mu={"t0": labels[0]},
+        )
+    return schema
+
+
+def random_pair(
+    rng: random.Random,
+    num_labels: int = 4,
+    num_types: int = 6,
+) -> tuple[SingleTypeEDTD, SingleTypeEDTD]:
+    """Two random single-type EDTDs over a *shared* alphabet (so their
+    union/difference/intersection are non-trivial)."""
+    left = random_single_type_edtd(rng, num_labels, num_types)
+    right = random_single_type_edtd(rng, num_labels, num_types)
+    return left, right

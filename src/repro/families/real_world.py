@@ -1,0 +1,173 @@
+"""Realistic schema fixtures (simplified shapes of well-known vocabularies).
+
+The paper evaluates on worst-case families; these fixtures add document
+shapes a schema engineer actually meets — useful for examples, benchmarks
+and as regression anchors.  Each is a faithful *structural* skeleton
+(element-only, as the paper's abstraction prescribes), not the full
+standard.
+"""
+
+from __future__ import annotations
+
+from repro.schemas.st_edtd import SingleTypeEDTD
+
+
+def rss_feed() -> SingleTypeEDTD:
+    """An RSS 2.0 skeleton: rss > channel > (title, link, item*),
+    item > (title, link, pubDate?)."""
+    return SingleTypeEDTD(
+        alphabet={"rss", "channel", "title", "link", "item", "pubDate"},
+        types={
+            "t_rss", "t_channel", "t_ctitle", "t_clink",
+            "t_item", "t_ititle", "t_ilink", "t_date",
+        },
+        rules={
+            "t_rss": "t_channel",
+            "t_channel": "t_ctitle, t_clink, t_item*",
+            "t_item": "t_ititle, t_ilink, t_date?",
+            "t_ctitle": "~",
+            "t_clink": "~",
+            "t_ititle": "~",
+            "t_ilink": "~",
+            "t_date": "~",
+        },
+        starts={"t_rss"},
+        mu={
+            "t_rss": "rss",
+            "t_channel": "channel",
+            "t_ctitle": "title",
+            "t_clink": "link",
+            "t_item": "item",
+            "t_ititle": "title",
+            "t_ilink": "link",
+            "t_date": "pubDate",
+        },
+    )
+
+
+def atom_feed() -> SingleTypeEDTD:
+    """An Atom skeleton sharing labels with RSS where natural:
+    feed > (title, link*, entry*), entry > (title, link, summary?)."""
+    return SingleTypeEDTD(
+        alphabet={"feed", "title", "link", "entry", "summary"},
+        types={"t_feed", "t_ftitle", "t_flink", "t_entry", "t_etitle", "t_elink", "t_sum"},
+        rules={
+            "t_feed": "t_ftitle, t_flink*, t_entry*",
+            "t_entry": "t_etitle, t_elink, t_sum?",
+            "t_ftitle": "~",
+            "t_flink": "~",
+            "t_etitle": "~",
+            "t_elink": "~",
+            "t_sum": "~",
+        },
+        starts={"t_feed"},
+        mu={
+            "t_feed": "feed",
+            "t_ftitle": "title",
+            "t_flink": "link",
+            "t_entry": "entry",
+            "t_etitle": "title",
+            "t_elink": "link",
+            "t_sum": "summary",
+        },
+    )
+
+
+def xhtml_fragment() -> SingleTypeEDTD:
+    """A tiny XHTML-flavoured recursive skeleton: html > (head, body),
+    head > title, body > (p | div)*, div > (p | div)*, p > em*.
+
+    Recursive (div nesting) and with context-dependent titles is NOT
+    needed — titles appear only under head, so this stays single-type.
+    """
+    return SingleTypeEDTD(
+        alphabet={"html", "head", "title", "body", "p", "div", "em"},
+        types={"t_html", "t_head", "t_title", "t_body", "t_p", "t_div", "t_em"},
+        rules={
+            "t_html": "t_head, t_body",
+            "t_head": "t_title",
+            "t_body": "(t_p | t_div)*",
+            "t_div": "(t_p | t_div)*",
+            "t_p": "t_em*",
+            "t_title": "~",
+            "t_em": "~",
+        },
+        starts={"t_html"},
+        mu={
+            "t_html": "html",
+            "t_head": "head",
+            "t_title": "title",
+            "t_body": "body",
+            "t_p": "p",
+            "t_div": "div",
+            "t_em": "em",
+        },
+    )
+
+
+def purchase_orders_v1() -> SingleTypeEDTD:
+    """Order feed, version 1: order > (customer, line+),
+    line > (sku, qty)."""
+    return SingleTypeEDTD(
+        alphabet={"orders", "order", "customer", "line", "sku", "qty"},
+        types={"t_os", "t_o", "t_c", "t_l", "t_s", "t_q"},
+        rules={
+            "t_os": "t_o*",
+            "t_o": "t_c, t_l+",
+            "t_l": "t_s, t_q",
+            "t_c": "~",
+            "t_s": "~",
+            "t_q": "~",
+        },
+        starts={"t_os"},
+        mu={
+            "t_os": "orders",
+            "t_o": "order",
+            "t_c": "customer",
+            "t_l": "line",
+            "t_s": "sku",
+            "t_q": "qty",
+        },
+    )
+
+
+def purchase_orders_v2() -> SingleTypeEDTD:
+    """Order feed, version 2: lines gain an optional discount; orders gain
+    an optional priority flag before the customer."""
+    return SingleTypeEDTD(
+        alphabet={
+            "orders", "order", "customer", "line", "sku", "qty",
+            "discount", "priority",
+        },
+        types={"t_os", "t_o", "t_c", "t_l", "t_s", "t_q", "t_d", "t_p"},
+        rules={
+            "t_os": "t_o*",
+            "t_o": "t_p?, t_c, t_l+",
+            "t_l": "t_s, t_q, t_d?",
+            "t_c": "~",
+            "t_s": "~",
+            "t_q": "~",
+            "t_d": "~",
+            "t_p": "~",
+        },
+        starts={"t_os"},
+        mu={
+            "t_os": "orders",
+            "t_o": "order",
+            "t_c": "customer",
+            "t_l": "line",
+            "t_s": "sku",
+            "t_q": "qty",
+            "t_d": "discount",
+            "t_p": "priority",
+        },
+    )
+
+
+ALL_FIXTURES = {
+    "rss": rss_feed,
+    "atom": atom_feed,
+    "xhtml": xhtml_fragment,
+    "orders-v1": purchase_orders_v1,
+    "orders-v2": purchase_orders_v2,
+}

@@ -1,0 +1,222 @@
+"""DFA-based XSDs (Definition 2.8) and the translations of Proposition 2.9.
+
+A DFA-based XSD is a pair of (i) a state-labeled DFA ``A`` (the *ancestor
+automaton*) that deterministically maps every ancestor string to a state,
+and (ii) a content model per state.  It is the operational form of a
+single-type EDTD: the paper's Construction 3.1 naturally produces DFA-based
+XSDs, and Proposition 2.9 provides linear-time translations in both
+directions (implemented here as :meth:`DFAXSD.to_single_type` and
+:func:`from_single_type`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+
+from repro.errors import SchemaError
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.schemas.type_automaton import Q_INIT, type_automaton
+from repro.strings.dfa import DFA
+from repro.strings.nfa import NFA
+from repro.strings.ops import as_min_dfa
+from repro.strings.regex import Regex
+from repro.trees.tree import Tree
+
+Symbol = Hashable
+State = Hashable
+
+
+class DFAXSD:
+    """A DFA-based XSD ``(Sigma, A, d, S_d)``.
+
+    Parameters
+    ----------
+    alphabet:
+        The label alphabet ``Sigma``.
+    automaton:
+        The ancestor automaton: a DFA over ``Sigma`` whose initial state has
+        no incoming transitions and which is state-labeled (all transitions
+        into a state carry the same symbol).  Final states are ignored.
+    rules:
+        Content models for the non-initial states (language-like values over
+        ``Sigma``).  Every symbol occurring in a state's content model must
+        have an outgoing transition from that state — this keeps the
+        Proposition 2.9 translations exact.
+    starts:
+        The allowed root symbols ``S_d``.
+    """
+
+    def __init__(
+        self,
+        alphabet: Iterable[Symbol],
+        automaton: DFA,
+        rules: Mapping[State, DFA | NFA | Regex | str],
+        starts: Iterable[Symbol],
+    ) -> None:
+        self.alphabet: frozenset[Symbol] = frozenset(alphabet)
+        self.automaton = automaton
+        self.starts: frozenset[Symbol] = frozenset(starts)
+        if not self.starts <= self.alphabet:
+            raise SchemaError("start symbols must belong to the alphabet")
+        if not automaton.alphabet <= self.alphabet:
+            raise SchemaError("ancestor automaton reads symbols outside the alphabet")
+        if any(dst == automaton.initial for dst in automaton.transitions.values()):
+            raise SchemaError("the initial ancestor state must have no incoming transitions")
+        if not automaton.to_nfa().is_state_labeled():
+            raise SchemaError("the ancestor automaton must be state-labeled")
+        for symbol in self.starts:
+            if automaton.successor(automaton.initial, symbol) is None:
+                raise SchemaError(f"start symbol {symbol!r} has no initial transition")
+        self.rules: dict[State, DFA] = {}
+        content_states = automaton.reachable_states() - {automaton.initial}
+        for state in content_states:
+            content = rules.get(state, "~")
+            dfa = as_min_dfa(content)
+            if not dfa.alphabet <= self.alphabet:
+                raise SchemaError(
+                    f"content model of state {state!r} uses unknown symbols"
+                )
+            occurring = _occurring_symbols(dfa)
+            for symbol in occurring:
+                if automaton.successor(state, symbol) is None:
+                    raise SchemaError(
+                        f"state {state!r} allows child label {symbol!r} but the "
+                        "ancestor automaton has no matching transition"
+                    )
+            self.rules[state] = dfa.completed(self.alphabet).trim()
+
+    # ------------------------------------------------------------------
+
+    def state_of(self, ancestor_string: tuple) -> State | None:
+        """``A(anc-str)`` — the state after reading an ancestor string."""
+        return self.automaton.read(ancestor_string)
+
+    def accepts(self, tree: Tree) -> bool:
+        """Definition 2.8 semantics, one deterministic top-down pass."""
+        if tree.label not in self.starts:
+            return False
+        root_state = self.automaton.successor(self.automaton.initial, tree.label)
+        stack: list[tuple[Tree, State]] = [(tree, root_state)]
+        while stack:
+            node, state = stack.pop()
+            child_word = tuple(child.label for child in node.children)
+            if not self.rules[state].accepts(child_word):
+                return False
+            for child in node.children:
+                child_state = self.automaton.successor(state, child.label)
+                if child_state is None:
+                    # Unreachable: content acceptance guarantees a transition.
+                    return False
+                stack.append((child, child_state))
+        return True
+
+    def type_size(self) -> int:
+        """Number of non-initial reachable states (the implied type count)."""
+        return len(self.automaton.reachable_states()) - 1
+
+    def size(self) -> int:
+        """|Sigma| + |A| + |S_d| + content sizes (mirrors the EDTD measure)."""
+        return (
+            len(self.alphabet)
+            + self.automaton.size()
+            + len(self.starts)
+            + sum(dfa.size() for dfa in self.rules.values())
+        )
+
+    # ------------------------------------------------------------------
+    # Proposition 2.9 translations
+    # ------------------------------------------------------------------
+
+    def to_single_type(self) -> SingleTypeEDTD:
+        """Linear-time translation to an equivalent single-type EDTD.
+
+        Types are the pairs ``(a, q)`` with some transition ``p --a--> q``;
+        since the ancestor automaton is state-labeled, ``q`` determines
+        ``a``, so types are in bijection with non-initial reachable states.
+        Content DFAs are isomorphic to the originals (only relabeled).
+        """
+        automaton = self.automaton
+        reachable = automaton.reachable_states()
+        label_of: dict[State, Symbol] = {}
+        for (_, symbol), dst in automaton.transitions.items():
+            if dst in reachable:
+                label_of[dst] = symbol
+        types = {(label_of[q], q) for q in reachable if q in label_of}
+
+        rules: dict[tuple, DFA] = {}
+        mu: dict[tuple, Symbol] = {}
+        for (a, q) in types:
+            mu[(a, q)] = a
+            content = self.rules[q]
+            transitions = {}
+            for (src, symbol), dst in content.transitions.items():
+                target = automaton.successor(q, symbol)
+                if target is None:
+                    # Content acceptance never uses this edge (constructor
+                    # invariant); drop it.
+                    continue
+                transitions[(src, (symbol, target))] = dst
+            rules[(a, q)] = DFA(
+                content.states,
+                types,
+                transitions,
+                content.initial,
+                content.finals,
+            )
+        starts = set()
+        for symbol in self.starts:
+            target = automaton.successor(automaton.initial, symbol)
+            starts.add((symbol, target))
+        return SingleTypeEDTD(
+            alphabet=self.alphabet,
+            types=types,
+            rules=rules,
+            starts=starts,
+            mu=mu,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DFAXSD(alphabet={sorted(map(str, self.alphabet))}, "
+            f"states={len(self.automaton.states)}, starts={len(self.starts)})"
+        )
+
+
+def _occurring_symbols(dfa: DFA) -> frozenset:
+    """Symbols on useful transitions of *dfa* (symbols occurring in words)."""
+    trimmed = dfa.trim()
+    useful = trimmed.reachable_states() & trimmed.to_nfa().coreachable_states()
+    return frozenset(
+        sym
+        for (src, sym), dst in trimmed.transitions.items()
+        if src in useful and dst in useful
+    )
+
+
+def from_single_type(st_edtd: SingleTypeEDTD) -> DFAXSD:
+    """Linear-time translation stEDTD -> DFA-based XSD (Proposition 2.9).
+
+    The ancestor automaton is the (deterministic) type automaton; the
+    content model of a type-state is ``mu(d(tau))``.  The input should be
+    reduced for the translation to be exact; call ``st_edtd.reduced()``
+    first if unsure.
+    """
+    n = type_automaton(st_edtd)
+    # Deterministic by Observation 2.7(3); convert to a DFA directly.
+    transitions: dict[tuple[object, object], object] = {}
+    for (src, symbol), dsts in n.transitions.items():
+        if len(dsts) != 1:
+            raise SchemaError("type automaton of a single-type EDTD must be deterministic")
+        (dst,) = dsts
+        transitions[(src, symbol)] = dst
+    automaton = DFA(n.states, st_edtd.alphabet, transitions, Q_INIT, frozenset())
+    rules = {
+        type_: st_edtd.content_over_sigma(type_)
+        for type_ in st_edtd.types
+    }
+    return DFAXSD(
+        alphabet=st_edtd.alphabet,
+        automaton=automaton,
+        rules=rules,
+        starts=st_edtd.start_symbols(),
+    )

@@ -1,0 +1,106 @@
+"""Document Type Definitions (Definition 2.1).
+
+A DTD is a triple ``(Sigma, d, S_d)`` where ``d`` maps each alphabet symbol
+to a regular string language over ``Sigma`` (its *content model*) and
+``S_d`` is the set of allowed root symbols.  Content models are stored as
+minimal DFAs per the paper's convention (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+
+from repro.errors import SchemaError
+from repro.strings.dfa import DFA
+from repro.strings.nfa import NFA
+from repro.strings.ops import as_min_dfa
+from repro.strings.regex import Regex
+from repro.trees.tree import Tree
+
+Symbol = Hashable
+
+
+class DTD:
+    """A DTD ``(Sigma, d, S_d)``.
+
+    Parameters
+    ----------
+    alphabet:
+        The alphabet ``Sigma``.
+    rules:
+        Mapping from symbols to content models (any language-like value:
+        DFA, NFA, Regex, or regex source string).  Symbols of *alphabet*
+        without a rule get the empty-word-only content model (leaves only).
+    starts:
+        The set ``S_d`` of allowed root symbols.
+    """
+
+    def __init__(
+        self,
+        alphabet: Iterable[Symbol],
+        rules: Mapping[Symbol, DFA | NFA | Regex | str],
+        starts: Iterable[Symbol],
+    ) -> None:
+        self.alphabet: frozenset[Symbol] = frozenset(alphabet)
+        self.starts: frozenset[Symbol] = frozenset(starts)
+        if not self.starts <= self.alphabet:
+            raise SchemaError("start symbols must belong to the alphabet")
+        if not frozenset(rules) <= self.alphabet:
+            raise SchemaError("rules mention symbols outside the alphabet")
+        self.rules: dict[Symbol, DFA] = {}
+        for symbol in self.alphabet:
+            content = rules.get(symbol, "~")
+            dfa = as_min_dfa(content)
+            if not dfa.alphabet <= self.alphabet:
+                raise SchemaError(
+                    f"content model of {symbol!r} uses symbols outside the alphabet"
+                )
+            self.rules[symbol] = dfa.completed(self.alphabet).trim()
+
+    # ------------------------------------------------------------------
+
+    def content(self, symbol: Symbol) -> DFA:
+        """The content model ``d(symbol)``."""
+        return self.rules[symbol]
+
+    def accepts(self, tree: Tree) -> bool:
+        """True iff *tree* satisfies the DTD."""
+        if tree.label not in self.starts:
+            return False
+        for _, node in tree.nodes():
+            if node.label not in self.alphabet:
+                return False
+            child_word = tuple(child.label for child in node.children)
+            if not self.rules[node.label].accepts(child_word):
+                return False
+        return True
+
+    def size(self) -> int:
+        """Paper's size: |Sigma| + |S_d| + sum of content-DFA sizes."""
+        return (
+            len(self.alphabet)
+            + len(self.starts)
+            + sum(dfa.size() for dfa in self.rules.values())
+        )
+
+    def to_edtd(self) -> "EDTD":  # noqa: F821 - forward reference
+        """View the DTD as an EDTD whose types are the symbols themselves.
+
+        The result is trivially single-type (DTDs are the local tree
+        languages, a subclass of ST-REG).
+        """
+        from repro.schemas.edtd import EDTD
+
+        return EDTD(
+            alphabet=self.alphabet,
+            types=self.alphabet,
+            rules=self.rules,
+            starts=self.starts,
+            mu={symbol: symbol for symbol in self.alphabet},
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DTD(alphabet={sorted(map(str, self.alphabet))}, "
+            f"starts={sorted(map(str, self.starts))})"
+        )

@@ -1,0 +1,60 @@
+"""Schema size measures under different content-model representations
+(Section 5).
+
+The paper fixes minimal DFAs as the content-model representation and
+discusses (Section 5) how sizes and complexities shift for NFAs and
+(deterministic) regular expressions.  These helpers measure the *same*
+schema under all three representations:
+
+* DFA — the stored minimal DFAs (the paper's default measure);
+* NFA — the Glushkov automata of the re-extracted expressions (a natural
+  NFA representation; often smaller than the DFA on union-heavy content);
+* RE — reverse-polish size of the state-elimination expressions
+  (exponentially larger in pathological cases, cf. Section 5's
+  double-exponential complement discussion).
+
+Used by ``benchmarks/bench_content_models.py`` to put numbers on the
+representation trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schemas.edtd import EDTD
+from repro.schemas.pretty import dfa_to_regex, simplify_display
+from repro.strings.glushkov import glushkov_nfa
+
+
+@dataclass(frozen=True)
+class RepresentationSizes:
+    """Total content-model sizes of one schema under three representations.
+
+    ``dfa`` uses the paper's DFA size measure (states + transitions),
+    ``nfa`` the same measure on Glushkov automata, ``regex`` the summed
+    RPN node counts.
+    """
+
+    dfa: int
+    nfa: int
+    regex: int
+
+
+def representation_sizes(edtd: EDTD) -> RepresentationSizes:
+    """Measure *edtd*'s content models under DFA / NFA / RE representations.
+
+    The NFA and RE figures go through expression extraction
+    (state elimination + display simplification), i.e. they measure a
+    *reasonable* alternative representation rather than the optimum —
+    matching how Section 5's comparisons are meant.
+    """
+    dfa_total = 0
+    nfa_total = 0
+    regex_total = 0
+    for type_ in edtd.types:
+        content = edtd.rules[type_]
+        dfa_total += content.size()
+        expr = simplify_display(dfa_to_regex(content))
+        regex_total += expr.rpn_size()
+        nfa_total += glushkov_nfa(expr).size()
+    return RepresentationSizes(dfa=dfa_total, nfa=nfa_total, regex=regex_total)

@@ -1,0 +1,122 @@
+"""Minimization of single-type EDTDs (the paper's reference [20]).
+
+The paper notes ("Contributions") that the outputs of the approximation
+algorithms can be minimized in polynomial time, yielding *optimal
+representations of optimal approximations*.  We implement the Martens/
+Niehren-style PTIME minimization as Moore-machine minimization of the
+DFA-based-XSD view:
+
+* a reduced single-type EDTD is a Moore machine whose states are types,
+  whose transition function is the (deterministic) type automaton, and whose
+  output at a type ``tau`` is the pair ``(mu(tau), L(mu(d(tau))))``;
+* two types are mergeable iff they are Moore-equivalent;
+* merging Moore-equivalent types yields the (unique) type-minimal
+  single-type EDTD for the language.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.schemas.dfa_xsd import DFAXSD, from_single_type
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.schemas.type_automaton import Q_INIT
+from repro.strings.dfa import DFA
+from repro.strings.minimize import minimize_dfa, moore_partition
+
+Symbol = Hashable
+
+_SINK_CLASS = ("__dead__",)
+_INIT_CLASS = ("__init__",)
+
+
+def canonical_dfa_key(dfa: DFA, alphabet: Iterable[Symbol]) -> tuple:
+    """A hashable canonical form of ``L(dfa)`` over *alphabet*.
+
+    Two DFAs get the same key iff their languages (over the common
+    alphabet) are equal: minimize to the complete canonical automaton,
+    relabel states in BFS order, then serialize.
+    """
+    canon = minimize_dfa(dfa.completed(alphabet), complete=True).relabel("c")
+    transitions = tuple(
+        sorted(
+            ((src, repr(sym), dst) for (src, sym), dst in canon.transitions.items()),
+        )
+    )
+    return (
+        canon.initial,
+        tuple(sorted(canon.finals)),
+        transitions,
+    )
+
+
+def minimize_single_type(st_edtd: SingleTypeEDTD) -> SingleTypeEDTD:
+    """Return the type-minimal single-type EDTD for ``L(st_edtd)``.
+
+    Polynomial time.  The result is reduced and its types are canonical
+    integers; two language-equal inputs yield isomorphic outputs.
+    """
+    reduced = st_edtd.reduced()
+    if not reduced.types:
+        return reduced
+    xsd = from_single_type(reduced)
+    automaton = xsd.automaton
+
+    # Complete the ancestor automaton with an explicit dead state so Moore
+    # refinement has a total transition function.
+    complete = automaton.completed()
+    sink_states = complete.states - automaton.states
+
+    outputs: dict[object, object] = {}
+    label_of: dict[object, Symbol] = {}
+    for (_, symbol), dst in automaton.transitions.items():
+        label_of[dst] = symbol
+    for state in complete.states:
+        if state in sink_states:
+            outputs[state] = _SINK_CLASS
+        elif state == automaton.initial:
+            outputs[state] = _INIT_CLASS
+        else:
+            outputs[state] = (
+                label_of[state],
+                canonical_dfa_key(xsd.rules[state], xsd.alphabet),
+            )
+
+    partition = moore_partition(
+        complete.states, complete.alphabet, complete.transitions, outputs
+    )
+
+    # Rebuild the ancestor automaton on blocks, dropping the dead block.
+    dead_blocks = {partition[state] for state in sink_states}
+    block_transitions: dict[tuple[object, object], object] = {}
+    for (src, symbol), dst in automaton.transitions.items():
+        src_block, dst_block = partition[src], partition[dst]
+        if dst_block in dead_blocks:
+            continue
+        block_transitions[(src_block, symbol)] = dst_block
+    blocks = {partition[state] for state in automaton.states} - dead_blocks
+    block_automaton = DFA(
+        blocks,
+        automaton.alphabet,
+        block_transitions,
+        partition[automaton.initial],
+        frozenset(),
+    )
+    block_rules = {
+        partition[state]: xsd.rules[state]
+        for state in automaton.states
+        if state != automaton.initial and partition[state] not in dead_blocks
+    }
+    minimal_xsd = DFAXSD(
+        alphabet=xsd.alphabet,
+        automaton=block_automaton,
+        rules=block_rules,
+        starts=xsd.starts,
+    )
+    return minimal_xsd.to_single_type().relabel_types()
+
+
+def type_minimal_size(st_edtd: SingleTypeEDTD) -> int:
+    """The type-size of ``L(st_edtd)`` (Section 2.2): the minimum number of
+    types over all single-type EDTDs defining the language."""
+    return len(minimize_single_type(st_edtd).types)

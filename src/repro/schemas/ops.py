@@ -1,0 +1,408 @@
+"""Schema-level operations: union and intersection products of EDTDs, and
+the complement/difference EDTD constructions of Theorems 3.9 and 3.10.
+
+* :func:`edtd_union` — disjoint-union EDTD for ``L(D1) | L(D2)``.
+* :func:`edtd_intersection` — pairing-product EDTD for ``L(D1) & L(D2)``;
+  the product of two single-type EDTDs is again single-type
+  (Proposition 3.7/Lemma 2.15) and :func:`st_intersection` returns it as
+  such.
+* :func:`complement_edtd` — the EDTD ``D_c`` for ``T_Sigma - L(D)`` built in
+  the proof of Theorem 3.9 (guess the path to an offending node).
+* :func:`difference_edtd` — the EDTD for ``L(D1) - L(D2)`` built in the
+  proof of Theorem 3.10 (validate against ``D1`` while guessing the path to
+  a ``D2``-offending node).
+
+The tags ``("u1", .)/("u2", .)``, ``("t", .)/("sym", .)`` and
+``("o", .)/("p", ., .)`` keep the constructed type sets disjoint, mirroring
+the paper's disjoint unions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable
+
+from repro.errors import SchemaError
+from repro.schemas.edtd import EDTD
+from repro.schemas.dfa_xsd import from_single_type
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.schemas.type_automaton import Q_INIT, type_automaton
+from repro.strings.builders import sigma_star
+from repro.strings.dfa import DFA
+from repro.strings.minimize import minimize_dfa
+
+Symbol = Hashable
+Type = Hashable
+
+
+# ----------------------------------------------------------------------
+# Union and intersection products
+# ----------------------------------------------------------------------
+
+def edtd_union(left: EDTD, right: EDTD) -> EDTD:
+    """EDTD for ``L(left) | L(right)`` by disjoint union of type sets.
+
+    The result is generally *not* single-type even when both inputs are —
+    that failure is precisely what Section 3.2 approximates away.
+    """
+    def tag1(t: Type) -> tuple:
+        return ("u1", t)
+
+    def tag2(t: Type) -> tuple:
+        return ("u2", t)
+
+    rules: dict[tuple, DFA] = {}
+    mu: dict[tuple, Symbol] = {}
+    for type_ in left.types:
+        rules[tag1(type_)] = _retag_content(left.rules[type_], tag1)
+        mu[tag1(type_)] = left.mu[type_]
+    for type_ in right.types:
+        rules[tag2(type_)] = _retag_content(right.rules[type_], tag2)
+        mu[tag2(type_)] = right.mu[type_]
+    return EDTD(
+        alphabet=left.alphabet | right.alphabet,
+        types=set(mu),
+        rules=rules,
+        starts={tag1(t) for t in left.starts} | {tag2(t) for t in right.starts},
+        mu=mu,
+    )
+
+
+def _retag_content(dfa: DFA, tag) -> DFA:
+    transitions = {
+        (src, tag(sym)): dst for (src, sym), dst in dfa.transitions.items()
+    }
+    return DFA(
+        dfa.states,
+        {tag(sym) for sym in dfa.alphabet},
+        transitions,
+        dfa.initial,
+        dfa.finals,
+    )
+
+
+def edtd_intersection(left: EDTD, right: EDTD) -> EDTD:
+    """EDTD for ``L(left) & L(right)`` via the pairing product.
+
+    Types are label-compatible pairs ``(tau1, tau2)``; a content model pairs
+    words of ``d1(tau1)`` and ``d2(tau2)`` position-wise.  Only pairs
+    reachable from the start pairs are materialized.
+    """
+    alphabet = left.alphabet | right.alphabet
+    start_pairs = {
+        (t1, t2)
+        for t1 in left.starts
+        for t2 in right.starts
+        if left.mu[t1] == right.mu[t2]
+    }
+    rules: dict[tuple, DFA] = {}
+    mu: dict[tuple, Symbol] = {}
+    pending: deque[tuple] = deque(start_pairs)
+    seen: set[tuple] = set(start_pairs)
+    while pending:
+        pair = pending.popleft()
+        t1, t2 = pair
+        mu[pair] = left.mu[t1]
+        content = _paired_content(left.rules[t1], right.rules[t2], left.mu, right.mu)
+        rules[pair] = content
+        for symbol in content.alphabet:
+            if symbol not in seen:
+                seen.add(symbol)
+                pending.append(symbol)
+    return EDTD(
+        alphabet=alphabet,
+        types=seen,
+        rules=rules,
+        starts=start_pairs,
+        mu=mu,
+    )
+
+
+def _paired_content(d1: DFA, d2: DFA, mu1: dict, mu2: dict) -> DFA:
+    """DFA over pairs accepting ``{(s1,r1)...(sn,rn) : s in L(d1), r in L(d2),
+    mu1(si) == mu2(ri)}`` — restricted to its useful part."""
+    pairs = [
+        (s, r)
+        for s in d1.alphabet
+        for r in d2.alphabet
+        if mu1[s] == mu2[r]
+    ]
+    initial = (d1.initial, d2.initial)
+    states: set[tuple] = {initial}
+    transitions: dict[tuple[tuple, tuple], tuple] = {}
+    queue: deque[tuple] = deque([initial])
+    while queue:
+        q1, q2 = queue.popleft()
+        for (s, r) in pairs:
+            n1 = d1.successor(q1, s)
+            n2 = d2.successor(q2, r)
+            if n1 is None or n2 is None:
+                continue
+            transitions[((q1, q2), (s, r))] = (n1, n2)
+            if (n1, n2) not in states:
+                states.add((n1, n2))
+                queue.append((n1, n2))
+    finals = {(q1, q2) for (q1, q2) in states if q1 in d1.finals and q2 in d2.finals}
+    dfa = DFA(states, set(pairs), transitions, initial, finals).trim()
+    # Restrict the alphabet to symbols actually used, so the enclosing EDTD
+    # only needs the reachable pair types.
+    used = {sym for (_, sym) in dfa.transitions}
+    return DFA(dfa.states, used, dfa.transitions, dfa.initial, dfa.finals)
+
+
+def st_intersection(left: SingleTypeEDTD, right: SingleTypeEDTD) -> SingleTypeEDTD:
+    """Single-type EDTD for ``L(left) & L(right)`` (Proposition 3.7).
+
+    ST-REG is closed under intersection; the pairing product of two
+    single-type EDTDs is single-type, so this is exact (and is also the
+    minimal upper XSD-approximation, Theorem 3.8).
+    """
+    product = edtd_intersection(left, right).reduced()
+    return SingleTypeEDTD.from_edtd(product)
+
+
+# ----------------------------------------------------------------------
+# Complement (Theorem 3.9 construction)
+# ----------------------------------------------------------------------
+
+def complement_edtd(schema: SingleTypeEDTD) -> EDTD:
+    """EDTD ``D_c`` with ``L(D_c) = T_Sigma - L(schema)`` (Theorem 3.9).
+
+    Types are ``Delta + Sigma``: the ``Delta``-types guess the path from the
+    root to a node whose child string violates its content model; the
+    ``Sigma``-types accept arbitrary trees below/off that path.  Size is
+    ``O(|Sigma| * |schema|)``.
+    """
+    reduced = schema.reduced()
+    alphabet = schema.alphabet
+    sym_types = {("sym", a) for a in alphabet}
+
+    if not reduced.types:
+        # Empty language: the complement is all of T_Sigma.
+        rules = {("sym", a): _retag_sigma_star(alphabet) for a in alphabet}
+        return EDTD(
+            alphabet=alphabet,
+            types=sym_types,
+            rules=rules,
+            starts=sym_types,
+            mu={("sym", a): a for a in alphabet},
+        )
+
+    xsd = from_single_type(reduced)
+    automaton = xsd.automaton  # type automaton: states Delta + {Q_INIT}
+
+    types: set = {("t", tau) for tau in reduced.types} | sym_types
+    mu: dict = {("t", tau): reduced.mu[tau] for tau in reduced.types}
+    mu.update({("sym", a): a for a in alphabet})
+
+    rules: dict = {}
+    for a in alphabet:
+        rules[("sym", a)] = _retag_sigma_star(alphabet)
+
+    for tau in reduced.types:
+        content = xsd.rules[tau]  # f(tau), a DFA over Sigma
+        # Part 1: child strings over Sigma-types whose word is NOT in f(tau).
+        violating = content.complement(alphabet)
+        part1 = _retag_content(violating, lambda s: ("sym", s))
+        # Part 2: child strings with exactly one Delta-typed child
+        # (continuing the guessed path); all other children are Sigma-typed.
+        part2 = _one_marked_child(alphabet, automaton, tau)
+        rules[("t", tau)] = minimize_dfa(part1.union(part2))
+
+    starts = {("t", tau) for tau in reduced.starts}
+    starts |= {("sym", a) for a in alphabet - reduced.start_symbols()}
+    return EDTD(
+        alphabet=alphabet,
+        types=types,
+        rules=rules,
+        starts=starts,
+        mu=mu,
+    )
+
+
+def _dfa_union(left: DFA, right: DFA) -> DFA:
+    return left.union(right)
+
+
+def _retag_sigma_star(alphabet: frozenset) -> DFA:
+    return _retag_content(sigma_star(alphabet), lambda a: ("sym", a))
+
+
+def _one_marked_child(alphabet: frozenset, automaton: DFA, tau: Type) -> DFA:
+    """DFA over ``{("sym",a)} + {("t",tau')}`` for words with exactly one
+    ``("t", delta(tau, a))`` position and arbitrary ``("sym", .)`` elsewhere."""
+    transitions: dict = {}
+    symbols: set = set()
+    for a in alphabet:
+        sym_a = ("sym", a)
+        symbols.add(sym_a)
+        transitions[(0, sym_a)] = 0
+        transitions[(1, sym_a)] = 1
+        successor = automaton.successor(tau, a)
+        if successor is not None:
+            marked = ("t", successor)
+            symbols.add(marked)
+            transitions[(0, marked)] = 1
+    return DFA({0, 1}, symbols, transitions, 0, {1})
+
+
+# ----------------------------------------------------------------------
+# Difference (Theorem 3.10 construction)
+# ----------------------------------------------------------------------
+
+def difference_edtd(left: SingleTypeEDTD, right: SingleTypeEDTD) -> EDTD:
+    """EDTD for ``L(left) - L(right)`` of polynomial size (Theorem 3.10).
+
+    Types are ``Delta1 + P`` with ``P`` the label-compatible type pairs:
+    ``P``-types guess the path to a node whose child string violates
+    ``right`` while simultaneously validating against ``left``;
+    ``("o", tau1)``-types validate the remaining subtrees against ``left``
+    only.
+    """
+    d1 = left.reduced()
+    d2 = right.reduced()
+    alphabet = left.alphabet | right.alphabet
+
+    if not d1.types:
+        return EDTD(alphabet=alphabet, types=set(), rules={}, starts=set(), mu={})
+    if not d2.types:
+        # Nothing to subtract: the difference is L(left) itself.
+        return _retag_edtd(d1, "o", alphabet)
+
+    xsd2 = from_single_type(d2)
+    a2 = xsd2.automaton
+    a1 = _deterministic_type_transitions(d1)
+
+    plain = {("o", tau): tau for tau in d1.types}
+    mu: dict = {("o", tau): d1.mu[tau] for tau in d1.types}
+    rules: dict = {
+        ("o", tau): _retag_content(d1.rules[tau], lambda t: ("o", t))
+        for tau in d1.types
+    }
+
+    # Reachable label-compatible pairs (tau1, tau2).
+    start_pairs = {
+        (t1, t2)
+        for t1 in d1.starts
+        for t2 in d2.starts
+        if d1.mu[t1] == d2.mu[t2]
+    }
+    pairs: set[tuple] = set()
+    queue: deque[tuple] = deque(start_pairs)
+    while queue:
+        pair = queue.popleft()
+        if pair in pairs:
+            continue
+        pairs.add(pair)
+        t1, t2 = pair
+        for a in alphabet:
+            n1 = a1.get((t1, a))
+            n2 = a2.successor(t2, a)
+            if n1 is not None and n2 is not None and (n1, n2) not in pairs:
+                queue.append((n1, n2))
+
+    for (t1, t2) in pairs:
+        mu[("p", t1, t2)] = d1.mu[t1]
+        rules[("p", t1, t2)] = _difference_pair_content(
+            d1, xsd2, a1, a2, t1, t2, alphabet
+        )
+
+    starts = {("p", t1, t2) for (t1, t2) in start_pairs}
+    starts |= {
+        ("o", t1)
+        for t1 in d1.starts
+        if d1.mu[t1] not in d2.start_symbols()
+    }
+    types = set(mu)
+    return EDTD(alphabet=alphabet, types=types, rules=rules, starts=starts, mu=mu)
+
+
+def _retag_edtd(edtd: EDTD, tag: str, alphabet: frozenset) -> EDTD:
+    rules = {
+        (tag, t): _retag_content(edtd.rules[t], lambda s: (tag, s))
+        for t in edtd.types
+    }
+    return EDTD(
+        alphabet=alphabet,
+        types={(tag, t) for t in edtd.types},
+        rules=rules,
+        starts={(tag, t) for t in edtd.starts},
+        mu={(tag, t): edtd.mu[t] for t in edtd.types},
+    )
+
+
+def _deterministic_type_transitions(st_edtd: SingleTypeEDTD) -> dict:
+    """The (partial) deterministic transition map of the type automaton,
+    as a dict ``(type, label) -> type``."""
+    result: dict[tuple[Type, Symbol], Type] = {}
+    for type_ in st_edtd.types:
+        for occurring in st_edtd.occurring_types(type_):
+            result[(type_, st_edtd.mu[occurring])] = occurring
+    return result
+
+
+def _difference_pair_content(
+    d1: SingleTypeEDTD,
+    xsd2,
+    a1: dict,
+    a2: DFA,
+    t1: Type,
+    t2: Type,
+    alphabet: frozenset,
+) -> DFA:
+    """Content model of the pair type ``("p", t1, t2)`` (Theorem 3.10).
+
+    A DFA over ``{("o", sigma)} + {("p", sigma, rho)}`` accepting
+
+    * words of ``d1(t1)`` (all children ``("o", .)``-typed) whose
+      ``mu``-image is **not** in ``f2(t2)`` — the violation happens here; or
+    * words of ``d1(t1)`` with exactly one ``("p", .)``-typed child whose
+      ``mu``-image **is** in ``f2(t2)`` — the violation is guessed deeper.
+
+    States are triples ``(q1, q2, flag)``: ``q1`` runs ``d1(t1)`` over
+    ``Delta1``, ``q2`` runs the completed ``f2(t2)`` over ``Sigma``, and
+    ``flag`` records whether the marked child has been seen.
+    """
+    content1 = d1.rules[t1]
+    content2 = xsd2.rules[t2].completed(alphabet)
+
+    initial = (content1.initial, content2.initial, 0)
+    states: set[tuple] = {initial}
+    transitions: dict = {}
+    symbols: set = set()
+    queue: deque[tuple] = deque([initial])
+    while queue:
+        state = queue.popleft()
+        q1, q2, flag = state
+        for sigma in content1.alphabet:
+            n1 = content1.successor(q1, sigma)
+            if n1 is None:
+                continue
+            label = d1.mu[sigma]
+            n2 = content2.transitions[(q2, label)]
+            plain_symbol = ("o", sigma)
+            symbols.add(plain_symbol)
+            nxt = (n1, n2, flag)
+            transitions[(state, plain_symbol)] = nxt
+            if nxt not in states:
+                states.add(nxt)
+                queue.append(nxt)
+            if flag == 0:
+                rho = a2.successor(t2, label)
+                if rho is not None and a1.get((t1, label)) == sigma:
+                    marked_symbol = ("p", sigma, rho)
+                    symbols.add(marked_symbol)
+                    nxt_marked = (n1, n2, 1)
+                    transitions[(state, marked_symbol)] = nxt_marked
+                    if nxt_marked not in states:
+                        states.add(nxt_marked)
+                        queue.append(nxt_marked)
+    finals = set()
+    for (q1, q2, flag) in states:
+        if q1 not in content1.finals:
+            continue
+        in_f2 = q2 in content2.finals
+        if (flag == 1 and in_f2) or (flag == 0 and not in_f2):
+            finals.add((q1, q2, flag))
+    dfa = DFA(states, symbols, transitions, initial, finals)
+    return minimize_dfa(dfa)

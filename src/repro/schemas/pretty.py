@@ -1,0 +1,156 @@
+"""Human-readable rendering of schemas.
+
+Renders EDTDs in the paper's rule notation (``tau -> regex over types``)
+and DFA-based XSDs as ancestor-state tables.  Content DFAs are converted
+back to (not necessarily minimal) regular expressions by state elimination
+— handy for reading the outputs of the approximation constructions.
+"""
+
+from __future__ import annotations
+
+from repro.schemas.dfa_xsd import DFAXSD
+from repro.schemas.edtd import EDTD
+from repro.strings.dfa import DFA
+from repro.strings.regex import (
+    EMPTY,
+    EPSILON,
+    Concat,
+    Opt,
+    Plus,
+    Regex,
+    Star,
+    Sym,
+    Union,
+    concat,
+    union,
+)
+
+
+def dfa_to_regex(dfa: DFA) -> Regex:
+    """Convert a DFA to an equivalent regular expression (state
+    elimination; output size may be exponential in pathological cases)."""
+    trimmed = dfa.trim()
+    if trimmed.is_empty_language():
+        return EMPTY
+    # Generalized NFA edges: (src, dst) -> Regex.
+    states = sorted(trimmed.states, key=repr)
+    start, end = ("__start__",), ("__end__",)
+    edges: dict[tuple, Regex] = {}
+
+    def add(src: object, dst: object, expr: Regex) -> None:
+        key = (src, dst)
+        edges[key] = union(edges[key], expr) if key in edges else expr
+
+    for (src, symbol), dst in trimmed.transitions.items():
+        add(src, dst, Sym(symbol))
+    add(start, trimmed.initial, EPSILON)
+    for final in trimmed.finals:
+        add(final, end, EPSILON)
+
+    for state in states:
+        loop = edges.pop((state, state), None)
+        loop_expr: Regex = Star(loop) if loop is not None else EPSILON
+        incoming = [(s, e) for (s, d), e in edges.items() if d == state and s != state]
+        outgoing = [(d, e) for (s, d), e in edges.items() if s == state and d != state]
+        for (src, _) in incoming:
+            edges.pop((src, state))
+        for (dst, _) in outgoing:
+            edges.pop((state, dst))
+        for src, expr_in in incoming:
+            for dst, expr_out in outgoing:
+                add(src, dst, concat(expr_in, loop_expr, expr_out))
+    return edges.get((start, end), EMPTY)
+
+
+def simplify_display(expr: Regex) -> Regex:
+    """Light syntactic simplifications for display (not canonical)."""
+    if isinstance(expr, Union):
+        left = simplify_display(expr.left)
+        right = simplify_display(expr.right)
+        if left == EPSILON and isinstance(right, Plus):
+            return Star(right.child)
+        if right == EPSILON and isinstance(left, Plus):
+            return Star(left.child)
+        if left == EPSILON:
+            return Opt(right) if not right.nullable() else right
+        if right == EPSILON:
+            return Opt(left) if not left.nullable() else left
+        return union(left, right)
+    if isinstance(expr, Concat):
+        return concat(simplify_display(expr.left), simplify_display(expr.right))
+    if isinstance(expr, Star):
+        return Star(simplify_display(expr.child))
+    if isinstance(expr, Plus):
+        return Plus(simplify_display(expr.child))
+    if isinstance(expr, Opt):
+        inner = simplify_display(expr.child)
+        return inner if inner.nullable() else Opt(inner)
+    return expr
+
+
+def format_edtd(edtd: EDTD, title: str = "") -> str:
+    """Render an EDTD in the paper's rule notation."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    type_names = {t: _type_name(t) for t in edtd.types}
+    starts = ", ".join(sorted(type_names[t] for t in edtd.starts))
+    lines.append(f"alphabet: {{{', '.join(sorted(map(str, edtd.alphabet)))}}}")
+    lines.append(f"start types: {{{starts}}}")
+    for type_ in sorted(edtd.types, key=lambda t: type_names[t]):
+        content = simplify_display(dfa_to_regex(edtd.rules[type_]))
+        rendered = _render_over_types(content, type_names)
+        lines.append(
+            f"  {type_names[type_]} [{edtd.mu[type_]}] -> {rendered}"
+        )
+    return "\n".join(lines)
+
+
+def _type_name(type_: object) -> str:
+    if isinstance(type_, str):
+        return type_
+    return repr(type_)
+
+
+def _render_over_types(expr: Regex, names: dict) -> str:
+    if isinstance(expr, Sym):
+        return names.get(expr.symbol, str(expr.symbol))
+    if isinstance(expr, Union):
+        return f"{_render_over_types(expr.left, names)} | {_render_over_types(expr.right, names)}"
+    if isinstance(expr, Concat):
+        left = _render_over_types(expr.left, names)
+        right = _render_over_types(expr.right, names)
+        if isinstance(expr.left, Union):
+            left = f"({left})"
+        if isinstance(expr.right, Union):
+            right = f"({right})"
+        return f"{left}, {right}"
+    if isinstance(expr, (Star, Plus, Opt)):
+        inner = _render_over_types(expr.child, names)
+        if isinstance(expr.child, (Union, Concat)):
+            inner = f"({inner})"
+        op = {"Star": "*", "Plus": "+", "Opt": "?"}[type(expr).__name__]
+        return inner + op
+    return str(expr)
+
+
+def format_xsd(xsd: DFAXSD, title: str = "") -> str:
+    """Render a DFA-based XSD as an ancestor-state table."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(f"root elements: {{{', '.join(sorted(map(str, xsd.starts)))}}}")
+    automaton = xsd.automaton
+    for state in sorted(xsd.rules, key=repr):
+        content = simplify_display(dfa_to_regex(xsd.rules[state]))
+        moves = ", ".join(
+            f"{symbol}->{dst!r}"
+            for (src, symbol), dst in sorted(automaton.transitions.items(), key=repr)
+            if src == state
+        )
+        lines.append(f"  state {state!r}: content = {content}")
+        if moves:
+            lines.append(f"    transitions: {moves}")
+    return "\n".join(lines)

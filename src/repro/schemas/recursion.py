@@ -1,0 +1,78 @@
+"""Non-recursive EDTDs and depth bounds (Observation 4.14).
+
+An EDTD is *non-recursive* when its type graph (edges from a type to the
+types occurring in its content model) is acyclic; the paper observes this
+is equivalent to its language being depth-bounded, with ``|F|`` always a
+valid bound.  Section 4.4's decidability results apply exactly to this
+class, and :func:`repro.core.decision.is_maximal_lower_approximation`'s
+verdict is conclusive for it once the search bound covers the witness
+sizes.
+"""
+
+from __future__ import annotations
+
+from repro.schemas.edtd import EDTD
+
+
+def type_graph(edtd: EDTD) -> dict:
+    """The edge relation ``{tau: occurring types of d(tau)}``."""
+    return {tau: edtd.occurring_types(tau) for tau in edtd.types}
+
+
+def is_non_recursive(edtd: EDTD) -> bool:
+    """Observation 4.14(1): is the type graph acyclic?
+
+    Checked on the reduced schema (useless types cannot witness recursion
+    in any derivation).
+    """
+    reduced = edtd.reduced()
+    graph = type_graph(reduced)
+    state: dict = {}
+
+    def has_cycle(node) -> bool:
+        state[node] = "visiting"
+        for successor in graph[node]:
+            mark = state.get(successor)
+            if mark == "visiting":
+                return True
+            if mark is None and has_cycle(successor):
+                return True
+        state[node] = "done"
+        return False
+
+    return not any(
+        state.get(node) is None and has_cycle(node) for node in graph
+    )
+
+
+def depth_bound(edtd: EDTD) -> int | None:
+    """Observation 4.14(2-3): a depth bound for ``L(edtd)``, or None when
+    the language is unbounded (recursive schema).
+
+    Returns the *exact* maximal depth (longest path in the acyclic type
+    graph from a start type, plus one), which is at most ``|F|`` as the
+    paper notes.
+    """
+    reduced = edtd.reduced()
+    if not reduced.types:
+        return 0
+    if not is_non_recursive(reduced):
+        return None
+    graph = type_graph(reduced)
+    memo: dict = {}
+
+    def height(node) -> int:
+        if node in memo:
+            return memo[node]
+        successors = graph[node]
+        value = 1 + max((height(s) for s in successors), default=0)
+        memo[node] = value
+        return value
+
+    return max(height(start) for start in reduced.starts)
+
+
+def is_depth_bounded_by(edtd: EDTD, k: int) -> bool:
+    """Is every tree of ``L(edtd)`` of depth at most ``k``?"""
+    bound = depth_bound(edtd)
+    return bound is not None and bound <= k

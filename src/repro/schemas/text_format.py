@@ -1,0 +1,122 @@
+"""A plain-text schema format with parser and serializer.
+
+The format mirrors the paper's rule notation and round-trips through
+:func:`loads` / :func:`dumps`:
+
+    # comments start with '#'
+    alphabet: store item price
+    start: s
+    s [store] -> i*
+    i [item]  -> p
+    p [price] -> ~
+
+One line per type: ``<type> [<label>] -> <content regex>`` using the
+library's regex dialect (``|`` union, ``,`` concatenation, ``* + ?``
+postfix, ``~`` epsilon, ``#`` is unavailable here since it starts a
+comment — write ``empty`` via an unsatisfiable rule instead, which no
+schema needs in practice).  ``alphabet:`` may be omitted (inferred from
+the labels); ``start:`` is mandatory.
+
+:func:`loads` returns a :class:`SingleTypeEDTD` when the schema satisfies
+EDC and a plain :class:`EDTD` otherwise (or raises with ``strict=True``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.schemas.edtd import EDTD
+from repro.schemas.pretty import dfa_to_regex, simplify_display
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.schemas.type_automaton import is_single_type
+
+_ARROW = "->"
+
+
+def loads(text: str, *, strict: bool = False) -> EDTD:
+    """Parse the text format into an EDTD (upgraded to
+    :class:`SingleTypeEDTD` when it satisfies EDC).
+
+    With ``strict=True`` a non-single-type schema raises
+    :class:`SchemaError` instead of degrading to a plain EDTD.
+    """
+    alphabet: set = set()
+    starts: set = set()
+    rules: dict = {}
+    mu: dict = {}
+    saw_start = False
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("alphabet:"):
+            alphabet.update(line[len("alphabet:"):].split())
+            continue
+        if line.startswith("start:"):
+            starts.update(line[len("start:"):].split())
+            saw_start = True
+            continue
+        if _ARROW not in line:
+            raise SchemaError(f"cannot parse schema line: {raw_line!r}")
+        head, content = line.split(_ARROW, 1)
+        head = head.strip()
+        if "[" not in head or not head.endswith("]"):
+            raise SchemaError(
+                f"rule head must look like 'type [label]': {raw_line!r}"
+            )
+        type_name, label = head[:-1].split("[", 1)
+        type_name = type_name.strip()
+        label = label.strip()
+        if not type_name or not label:
+            raise SchemaError(f"empty type or label in: {raw_line!r}")
+        if type_name in rules:
+            raise SchemaError(f"duplicate rule for type {type_name!r}")
+        rules[type_name] = content.strip()
+        mu[type_name] = label
+        alphabet.add(label)
+    if not saw_start:
+        raise SchemaError("missing 'start:' line")
+    unknown_starts = starts - set(rules)
+    if unknown_starts:
+        raise SchemaError(f"start types without rules: {sorted(unknown_starts)}")
+    edtd = EDTD(
+        alphabet=alphabet,
+        types=set(rules),
+        rules=rules,
+        starts=starts,
+        mu=mu,
+    )
+    if is_single_type(edtd):
+        return SingleTypeEDTD.from_edtd(edtd)
+    if strict:
+        raise SchemaError("schema violates the single-type (EDC) restriction")
+    return edtd
+
+
+def dumps(edtd: EDTD) -> str:
+    """Serialize an EDTD to the text format (inverse of :func:`loads` up to
+    regex presentation).
+
+    Types are renamed to identifiers when they are not already plain
+    strings (the constructions produce tuple-typed schemas).
+    """
+    named = edtd if all(isinstance(t, str) for t in edtd.types) else edtd.relabel_types()
+    lines = [
+        "alphabet: " + " ".join(sorted(map(str, named.alphabet))),
+        "start: " + " ".join(sorted(map(str, named.starts))),
+    ]
+    for type_name in sorted(named.types):
+        content = simplify_display(dfa_to_regex(named.rules[type_name]))
+        lines.append(f"{type_name} [{named.mu[type_name]}] -> {content}")
+    return "\n".join(lines) + "\n"
+
+
+def load_file(path: str, *, strict: bool = False) -> EDTD:
+    """Read a schema file in the text format."""
+    with open(path, encoding="utf-8") as handle:
+        return loads(handle.read(), strict=strict)
+
+
+def dump_file(edtd: EDTD, path: str) -> None:
+    """Write *edtd* to *path* in the text format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(edtd))

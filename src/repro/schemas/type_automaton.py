@@ -1,0 +1,93 @@
+"""Type automata of EDTDs (Definition 2.5, Observation 2.7).
+
+The type automaton of an EDTD ``D = (Sigma, Delta, d, S_d, mu)`` is a
+state-labeled NFA over ``Sigma`` with states ``Delta + {q_init}`` and no
+final states.  Reading the ancestor string of a node, it reaches exactly the
+types assignable to nodes with that ancestor string.
+
+Key facts implemented here:
+
+* Observation 2.7(1): construction is linear time — we read each content
+  model's *occurring types* once.
+* Observation 2.7(2): ``q_init`` has no incoming transitions (guaranteed by
+  using a fresh sentinel state).
+* Observation 2.7(3): the type automaton is deterministic iff the EDTD is
+  single-type — :func:`is_single_type` tests exactly this.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AutomatonError
+from repro.schemas.edtd import EDTD
+from repro.strings.nfa import NFA
+
+
+class _QInit:
+    """Sentinel initial state of type automata (never collides with a type)."""
+
+    _instance: "_QInit | None" = None
+
+    def __new__(cls) -> "_QInit":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "q_init"
+
+
+#: The shared initial state of all type automata.
+Q_INIT = _QInit()
+
+
+def type_automaton(edtd: EDTD) -> NFA:
+    """Return the type automaton of *edtd* (a state-labeled NFA, no finals).
+
+    States are ``edtd.types | {Q_INIT}``; for every state ``q`` and label
+    ``a``, the successors are the types ``tau`` with ``mu(tau) == a`` that
+    occur in ``d(q)`` (or, from ``Q_INIT``, the start types labeled ``a``).
+    """
+    if Q_INIT in edtd.types:
+        raise AutomatonError("the sentinel q_init collides with an EDTD type")
+    transitions: dict[tuple[object, object], set[object]] = {}
+    for start in edtd.starts:
+        transitions.setdefault((Q_INIT, edtd.mu[start]), set()).add(start)
+    for type_ in edtd.types:
+        for occurring in edtd.occurring_types(type_):
+            transitions.setdefault((type_, edtd.mu[occurring]), set()).add(occurring)
+    return NFA(
+        edtd.types | {Q_INIT},
+        edtd.alphabet,
+        transitions,
+        {Q_INIT},
+        frozenset(),
+    )
+
+
+def is_single_type(edtd: EDTD) -> bool:
+    """Definition 2.4 via Observation 2.7(3): the EDTD is single-type iff
+    its type automaton is deterministic.
+
+    Checks directly that no two distinct types with the same ``mu``-label
+    (i) are both start types, or (ii) both occur in the same content model.
+    """
+    by_label: dict[object, set[object]] = {}
+    for start in edtd.starts:
+        by_label.setdefault(edtd.mu[start], set()).add(start)
+    if any(len(group) > 1 for group in by_label.values()):
+        return False
+    for type_ in edtd.types:
+        by_label = {}
+        for occurring in edtd.occurring_types(type_):
+            by_label.setdefault(edtd.mu[occurring], set()).add(occurring)
+        if any(len(group) > 1 for group in by_label.values()):
+            return False
+    return True
+
+
+def assignable_types(edtd: EDTD, ancestor_string: tuple) -> frozenset:
+    """Return ``N(w)`` for the type automaton ``N`` and ancestor string *w*.
+
+    This is the set of types a node with ancestor string *w* can receive.
+    """
+    return type_automaton(edtd).read(ancestor_string)

@@ -1,0 +1,150 @@
+"""Export single-type EDTDs as W3C XML Schema documents.
+
+The single-type restriction *is* XML Schema's Element Declarations
+Consistent rule, so every :class:`SingleTypeEDTD` corresponds to a real
+XSD: one named ``xs:complexType`` per type, one global ``xs:element`` per
+start symbol, and local element declarations wiring children to their
+(ancestor-determined) types.
+
+Content models are converted DFA -> regex -> ``xs:sequence`` /
+``xs:choice`` particles.  Two caveats, both inherent and flagged rather
+than hidden:
+
+* XML Schema additionally requires *deterministic* content models (the
+  UPA constraint).  That repair is the orthogonal companion problem the
+  paper delegates to its reference [4]; :func:`export_xsd` reports the
+  offending types in a leading comment (``check_upa=True``) so downstream
+  tooling knows what still needs repair.
+* Multiple start symbols become multiple global elements — standard XSD.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.schemas.pretty import dfa_to_regex, simplify_display
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.strings.glushkov import is_deterministic_expression
+from repro.strings.regex import (
+    Concat,
+    Empty,
+    Epsilon,
+    Opt,
+    Plus,
+    Regex,
+    Star,
+    Sym,
+    Union,
+)
+
+_INDENT = "  "
+
+
+def export_xsd(schema: SingleTypeEDTD, *, check_upa: bool = True) -> str:
+    """Render *schema* as an ``xs:schema`` document string.
+
+    Raises :class:`SchemaError` on empty languages (no XSD accepts
+    nothing).  With ``check_upa=True`` a leading comment lists the types
+    whose content models are not deterministic expressions (UPA repairs —
+    the paper's companion problem — are out of scope here).
+    """
+    reduced = schema.reduced()
+    if not reduced.types:
+        raise SchemaError("cannot export an empty language as an XSD")
+    named = reduced.relabel_types("T")
+
+    regexes = {
+        type_: simplify_display(dfa_to_regex(named.rules[type_]))
+        for type_ in named.types
+    }
+    lines: list[str] = ['<?xml version="1.0"?>']
+    if check_upa:
+        violations = sorted(
+            type_
+            for type_, expr in regexes.items()
+            if not is_deterministic_expression(expr)
+        )
+        if violations:
+            lines.append(
+                "<!-- UPA warning: non-deterministic content models on "
+                f"types {', '.join(violations)}; repair per Gelade et al. "
+                "[4] before schema-validating with strict processors -->"
+            )
+    lines.append('<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">')
+
+    for start in sorted(named.starts, key=str):
+        lines.append(
+            f'{_INDENT}<xs:element name="{named.mu[start]}" type="{start}"/>'
+        )
+
+    for type_ in sorted(named.types, key=str):
+        lines.append(f'{_INDENT}<xs:complexType name="{type_}">')
+        # Content regexes are over *types*; each type renders as a local
+        # element named by its label and typed by itself.
+        lines.extend(_particle(regexes[type_], named.mu, depth=2))
+        lines.append(f"{_INDENT}</xs:complexType>")
+    lines.append("</xs:schema>")
+    return "\n".join(lines)
+
+
+def _particle(expr: Regex, mu: dict, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    if isinstance(expr, Epsilon):
+        return [f"{pad}<xs:sequence/>"]
+    if isinstance(expr, Empty):
+        raise SchemaError("empty content language cannot be exported")
+    return _render(expr, mu, depth, min_occurs=1, max_occurs=1)
+
+
+def _render(
+    expr: Regex,
+    mu: dict,
+    depth: int,
+    min_occurs: int,
+    max_occurs,
+) -> list[str]:
+    pad = _INDENT * depth
+    occurs = _occurs_attrs(min_occurs, max_occurs)
+    if isinstance(expr, Sym):
+        return [
+            f'{pad}<xs:element name="{mu[expr.symbol]}" type="{expr.symbol}"{occurs}/>'
+        ]
+    if isinstance(expr, Star):
+        return _render(expr.child, mu, depth, 0, "unbounded")
+    if isinstance(expr, Plus):
+        return _render(expr.child, mu, depth, 1, "unbounded")
+    if isinstance(expr, Opt):
+        return _render(expr.child, mu, depth, 0, max_occurs)
+    if isinstance(expr, Union):
+        lines = [f"{pad}<xs:choice{occurs}>"]
+        for part in _flatten(expr, Union):
+            if isinstance(part, Epsilon):
+                # epsilon branch: make the whole choice optional instead.
+                lines[0] = f"{pad}<xs:choice{_occurs_attrs(0, max_occurs)}>"
+                continue
+            lines.extend(_render(part, mu, depth + 1, 1, 1))
+        lines.append(f"{pad}</xs:choice>")
+        return lines
+    if isinstance(expr, Concat):
+        lines = [f"{pad}<xs:sequence{occurs}>"]
+        for part in _flatten(expr, Concat):
+            lines.extend(_render(part, mu, depth + 1, 1, 1))
+        lines.append(f"{pad}</xs:sequence>")
+        return lines
+    if isinstance(expr, Epsilon):
+        return [f"{pad}<xs:sequence{occurs}/>"]
+    raise SchemaError(f"cannot render {expr!r} as an XSD particle")
+
+
+def _flatten(expr: Regex, kind) -> list[Regex]:
+    if isinstance(expr, kind):
+        return _flatten(expr.left, kind) + _flatten(expr.right, kind)
+    return [expr]
+
+
+def _occurs_attrs(min_occurs: int, max_occurs) -> str:
+    parts = []
+    if min_occurs != 1:
+        parts.append(f' minOccurs="{min_occurs}"')
+    if max_occurs != 1:
+        parts.append(f' maxOccurs="{max_occurs}"')
+    return "".join(parts)

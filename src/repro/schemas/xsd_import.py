@@ -1,0 +1,200 @@
+"""Import (a structural subset of) W3C XML Schema documents.
+
+Parses ``xs:schema`` documents built from the element-only core —
+``xs:element`` (global and local, with ``type``/``minOccurs``/
+``maxOccurs``), named ``xs:complexType``, ``xs:sequence`` and
+``xs:choice`` — into :class:`SingleTypeEDTD`.  This covers everything
+:func:`repro.schemas.xsd_export.export_xsd` emits, so export/import
+round-trips, plus hand-written schemas in the same subset.
+
+Out of structural scope (rejected, not ignored): attributes on documents'
+elements, simple types/text content, ``xs:all``, ``xs:any``, anonymous
+complex types, references (``ref=``), imports/includes, namespaces other
+than the ``xs`` prefix.
+"""
+
+from __future__ import annotations
+
+import re as _re
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.strings.regex import (
+    EPSILON,
+    Opt,
+    Plus,
+    Regex,
+    Star,
+    Sym,
+    concat,
+    union,
+)
+
+_TAG = _re.compile(
+    r"\s*(?:"
+    r"(?P<decl><\?[^>]*\?>)"
+    r"|<!--(?P<comment>.*?)-->"
+    r"|<(?P<name>xs:[A-Za-z]+)(?P<attrs>(?:\"[^\"]*\"|[^>])*?)(?P<selfslash>/?)\s*>"
+    r"|</(?P<close>xs:[A-Za-z]+)\s*>"
+    r")",
+    _re.DOTALL,
+)
+_ATTR = _re.compile(r'([A-Za-z:][\w:.\-]*)\s*=\s*"([^"]*)"')
+
+
+@dataclass
+class _Node:
+    tag: str
+    attrs: dict
+    children: list = field(default_factory=list)
+
+
+def _parse_xml(text: str) -> _Node:
+    stack: list[_Node] = []
+    root: _Node | None = None
+    pos = 0
+
+    def attach(node: _Node) -> None:
+        nonlocal root
+        if stack:
+            stack[-1].children.append(node)
+        elif root is None:
+            root = node
+        else:
+            raise SchemaError("multiple root elements in XSD document")
+
+    while pos < len(text):
+        if text[pos:].strip() == "":
+            break
+        match = _TAG.match(text, pos)
+        if match is None:
+            snippet = text[pos:pos + 30].strip()
+            raise SchemaError(f"unsupported XSD content near: {snippet!r}")
+        pos = match.end()
+        if match.group("comment") is not None or match.group("decl") is not None:
+            continue
+        if match.group("name"):
+            node = _Node(match.group("name"), dict(_ATTR.findall(match.group("attrs"))))
+            if match.group("selfslash"):
+                attach(node)
+            else:
+                attach(node)
+                stack.append(node)
+        else:
+            if not stack or stack[-1].tag != match.group("close"):
+                raise SchemaError(f"mismatched tag </{match.group('close')}>")
+            stack.pop()
+    if stack or root is None:
+        raise SchemaError("truncated XSD document")
+    return root
+
+
+def _occurs(attrs: dict) -> tuple[int, object]:
+    min_occurs = int(attrs.get("minOccurs", "1"))
+    max_raw = attrs.get("maxOccurs", "1")
+    max_occurs: object = "unbounded" if max_raw == "unbounded" else int(max_raw)
+    return min_occurs, max_occurs
+
+
+def _apply_occurs(expr: Regex, min_occurs: int, max_occurs) -> Regex:
+    if (min_occurs, max_occurs) == (1, 1):
+        return expr
+    if (min_occurs, max_occurs) == (0, 1):
+        return Opt(expr)
+    if min_occurs == 0 and max_occurs == "unbounded":
+        return Star(expr)
+    if min_occurs == 1 and max_occurs == "unbounded":
+        return Plus(expr)
+    if max_occurs == "unbounded":
+        repeated = [expr] * min_occurs
+        return concat(*repeated[:-1], Plus(expr))
+    parts = [expr] * min_occurs + [Opt(expr)] * (int(max_occurs) - min_occurs)
+    return concat(*parts) if parts else EPSILON
+
+
+def _particle_to_regex(node: _Node, element_types: dict) -> Regex:
+    min_occurs, max_occurs = _occurs(node.attrs)
+    if node.tag == "xs:element":
+        name = node.attrs.get("name")
+        type_name = node.attrs.get("type")
+        if not name or not type_name:
+            raise SchemaError("local xs:element needs name and type attributes")
+        if element_types.get(type_name, name) != name:
+            raise SchemaError(
+                f"type {type_name!r} declared with two element names "
+                f"({element_types[type_name]!r} and {name!r})"
+            )
+        element_types[type_name] = name
+        base: Regex = Sym(type_name)
+    elif node.tag == "xs:sequence":
+        base = concat(
+            *(_particle_to_regex(child, element_types) for child in node.children)
+        )
+    elif node.tag == "xs:choice":
+        if not node.children:
+            raise SchemaError("empty xs:choice")
+        base = union(
+            *(_particle_to_regex(child, element_types) for child in node.children)
+        )
+    else:
+        raise SchemaError(f"unsupported particle <{node.tag}>")
+    return _apply_occurs(base, min_occurs, max_occurs)
+
+
+def import_xsd(text: str) -> SingleTypeEDTD:
+    """Parse an ``xs:schema`` document (see module docstring for the
+    supported subset) into a :class:`SingleTypeEDTD`.
+
+    Raises :class:`SchemaError` on anything outside the subset, on
+    dangling type references, or when the schema is not single-type
+    (which cannot happen for well-formed XSDs — EDC — but can for
+    hand-written pseudo-XSDs).
+    """
+    root = _parse_xml(text)
+    if root.tag != "xs:schema":
+        raise SchemaError("document root must be <xs:schema>")
+
+    element_types: dict = {}   # type name -> element label
+    contents: dict = {}        # type name -> Regex over type names
+    starts: dict = {}          # global elements: type name -> label
+    for child in root.children:
+        if child.tag == "xs:element":
+            name = child.attrs.get("name")
+            type_name = child.attrs.get("type")
+            if not name or not type_name:
+                raise SchemaError("global xs:element needs name and type")
+            starts[type_name] = name
+            element_types[type_name] = name
+        elif child.tag == "xs:complexType":
+            type_name = child.attrs.get("name")
+            if not type_name:
+                raise SchemaError("anonymous complex types are unsupported")
+            if len(child.children) > 1:
+                raise SchemaError(f"complexType {type_name}: expected one particle")
+            if not child.children:
+                contents[type_name] = EPSILON
+            else:
+                particle = child.children[0]
+                if particle.tag == "xs:sequence" and not particle.children:
+                    contents[type_name] = EPSILON
+                else:
+                    contents[type_name] = _particle_to_regex(particle, element_types)
+        else:
+            raise SchemaError(f"unsupported top-level <{child.tag}>")
+
+    missing = set(element_types) - set(contents)
+    if missing:
+        raise SchemaError(f"elements reference undefined types: {sorted(missing)}")
+    mu = {type_name: label for type_name, label in element_types.items()}
+    # Types never used by an element declaration are dropped (harmless).
+    used_types = set(mu)
+    rules = {t: contents[t] for t in used_types}
+    alphabet = set(mu.values())
+    return SingleTypeEDTD(
+        alphabet=alphabet,
+        types=used_types,
+        rules=rules,
+        starts=set(starts),
+        mu=mu,
+    )

@@ -1,0 +1,76 @@
+"""Regular string-language substrate (Section 2.1 of the paper).
+
+Public API:
+
+* :class:`~repro.strings.nfa.NFA`, :class:`~repro.strings.dfa.DFA`
+* :func:`~repro.strings.determinize.determinize`
+* :func:`~repro.strings.minimize.minimize_dfa`, :func:`~repro.strings.minimize.moore_partition`
+* :mod:`~repro.strings.regex` — the paper's RE grammar + parser
+* :func:`~repro.strings.glushkov.glushkov_nfa` — state-labeled NFAs
+* :mod:`~repro.strings.ops` — coercions and decision procedures
+* :mod:`~repro.strings.builders` — the paper's concrete languages
+"""
+
+from repro.strings.derivatives import derivative, dfa_from_regex, matches, normalize
+from repro.strings.determinize import determinize
+from repro.strings.dfa import DFA
+from repro.strings.glushkov import glushkov_nfa, is_deterministic_expression
+from repro.strings.hopcroft import hopcroft_minimize
+from repro.strings.minimize import minimal_dfa_equal, minimize_dfa, moore_partition
+from repro.strings.nfa import NFA
+from repro.strings.ops import (
+    as_dfa,
+    as_min_dfa,
+    as_nfa,
+    count_words_by_length,
+    enumerate_words,
+    equivalent,
+    includes,
+    is_empty,
+    is_universal,
+    sample_word,
+    shortest_word,
+)
+from repro.strings.regex import (
+    EMPTY,
+    EPSILON,
+    Regex,
+    concat,
+    parse,
+    sym,
+    union,
+)
+
+__all__ = [
+    "DFA",
+    "EMPTY",
+    "EPSILON",
+    "NFA",
+    "Regex",
+    "as_dfa",
+    "as_min_dfa",
+    "as_nfa",
+    "concat",
+    "count_words_by_length",
+    "derivative",
+    "determinize",
+    "dfa_from_regex",
+    "matches",
+    "normalize",
+    "enumerate_words",
+    "equivalent",
+    "glushkov_nfa",
+    "hopcroft_minimize",
+    "includes",
+    "is_deterministic_expression",
+    "is_empty",
+    "is_universal",
+    "minimal_dfa_equal",
+    "minimize_dfa",
+    "moore_partition",
+    "parse",
+    "sample_word",
+    "shortest_word",
+    "sym",
+    "union",
+]

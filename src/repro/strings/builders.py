@@ -1,0 +1,154 @@
+"""Convenience constructors for the regular languages the paper uses.
+
+These cover the concrete languages appearing in the paper's constructions
+and lower-bound families:
+
+* finite languages, ``Sigma*``, single words;
+* ``(a+b)* a (a+b)^n`` — the NFA->DFA blow-up family behind Theorem 3.2;
+* "at most k occurrences of a" — the building block of Theorems 3.6/4.3;
+* unary counters ``a^p`` — the intersection family of Theorem 3.8;
+* ``Sigma* . S . Sigma*`` ("some symbol of S occurs") — used in the
+  complement construction of Theorem 3.9 and the lower construction of
+  Section 4.2.2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+
+from repro.strings.dfa import DFA
+from repro.strings.nfa import NFA
+
+Symbol = Hashable
+
+
+def empty_language(alphabet: Iterable[Symbol] = ()) -> DFA:
+    """DFA for the empty language."""
+    return DFA({"e0"}, alphabet, {}, "e0", set())
+
+
+def epsilon_language(alphabet: Iterable[Symbol] = ()) -> DFA:
+    """DFA accepting only the empty word."""
+    return DFA({"e0"}, alphabet, {}, "e0", {"e0"})
+
+
+def word_language(word: Sequence[Symbol], alphabet: Iterable[Symbol] = ()) -> DFA:
+    """DFA accepting exactly the single word *word*."""
+    states = list(range(len(word) + 1))
+    transitions = {(i, sym): i + 1 for i, sym in enumerate(word)}
+    return DFA(states, set(word) | set(alphabet), transitions, 0, {len(word)})
+
+
+def finite_language(words: Iterable[Sequence[Symbol]], alphabet: Iterable[Symbol] = ()) -> DFA:
+    """DFA (trie-shaped) accepting exactly the given finite set of words."""
+    words = [tuple(word) for word in words]
+    alphabet = set(alphabet)
+    for word in words:
+        alphabet.update(word)
+    root: tuple = ()
+    states: set[tuple] = {root}
+    transitions: dict[tuple[tuple, Symbol], tuple] = {}
+    finals: set[tuple] = set()
+    for word in words:
+        node = root
+        for symbol in word:
+            nxt = node + (symbol,)
+            transitions[(node, symbol)] = nxt
+            states.add(nxt)
+            node = nxt
+        finals.add(node)
+    return DFA(states, alphabet, transitions, root, finals)
+
+
+def sigma_star(alphabet: Iterable[Symbol]) -> DFA:
+    """DFA for ``Sigma*`` over *alphabet*."""
+    alphabet = frozenset(alphabet)
+    transitions = {("u", sym): "u" for sym in alphabet}
+    return DFA({"u"}, alphabet, transitions, "u", {"u"})
+
+
+def sigma_plus(alphabet: Iterable[Symbol]) -> DFA:
+    """DFA for ``Sigma+`` (all non-empty words)."""
+    alphabet = frozenset(alphabet)
+    transitions = {("i", sym): "u" for sym in alphabet}
+    transitions.update({("u", sym): "u" for sym in alphabet})
+    return DFA({"i", "u"}, alphabet, transitions, "i", {"u"})
+
+
+def contains_symbol_from(
+    alphabet: Iterable[Symbol],
+    witnesses: Iterable[Symbol],
+) -> DFA:
+    """DFA for ``Sigma* . W . Sigma*``: words containing some symbol of W.
+
+    This is the language ``Sigma* . (union of W) . Sigma*`` from the
+    complement construction in Theorem 3.9.
+    """
+    alphabet = frozenset(alphabet)
+    witnesses = frozenset(witnesses)
+    transitions: dict[tuple[str, Symbol], str] = {}
+    for symbol in alphabet:
+        transitions[("search", symbol)] = "found" if symbol in witnesses else "search"
+        transitions[("found", symbol)] = "found"
+    return DFA({"search", "found"}, alphabet, transitions, "search", {"found"})
+
+
+def at_most_k_occurrences(
+    alphabet: Iterable[Symbol],
+    symbol: Symbol,
+    k: int,
+) -> DFA:
+    """DFA for words over *alphabet* with at most *k* occurrences of *symbol*.
+
+    Theorem 3.6's quadratic family and Theorem 4.3's `X_n` schemas are built
+    from tree-shaped versions of exactly this counting language.
+    """
+    alphabet = frozenset(alphabet) | {symbol}
+    states = list(range(k + 1))
+    transitions: dict[tuple[int, Symbol], int] = {}
+    for count in states:
+        for letter in alphabet:
+            if letter == symbol:
+                if count < k:
+                    transitions[(count, letter)] = count + 1
+            else:
+                transitions[(count, letter)] = count
+    return DFA(states, alphabet, transitions, 0, set(states))
+
+
+def exactly_length(alphabet: Iterable[Symbol], length: int) -> DFA:
+    """DFA for all words over *alphabet* of length exactly *length*."""
+    alphabet = frozenset(alphabet)
+    states = list(range(length + 1))
+    transitions = {
+        (i, sym): i + 1 for i in range(length) for sym in alphabet
+    }
+    return DFA(states, alphabet, transitions, 0, {length})
+
+
+def unary_exactly(symbol: Symbol, count: int) -> DFA:
+    """DFA for the single unary word ``symbol^count`` (Theorem 3.8 family)."""
+    return word_language((symbol,) * count)
+
+
+def nth_from_end_is(
+    marked: Symbol,
+    other: Symbol,
+    n: int,
+) -> NFA:
+    """NFA for ``(marked+other)* marked (marked+other)^n``.
+
+    This is the classical language whose minimal DFA needs 2^(n+1) states;
+    Theorem 3.2 lifts it to unary trees to prove the exponential blow-up of
+    minimal upper XSD-approximations.  The returned NFA has ``n + 2`` states.
+    """
+    alphabet = {marked, other}
+    states = list(range(n + 2))
+    transitions: dict[tuple[int, Symbol], set[int]] = {
+        (0, marked): {0, 1},
+        (0, other): {0},
+    }
+    for i in range(1, n + 1):
+        transitions[(i, marked)] = {i + 1}
+        transitions[(i, other)] = {i + 1}
+    return NFA(states, alphabet, transitions, {0}, {n + 1})

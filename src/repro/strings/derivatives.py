@@ -1,0 +1,190 @@
+"""Brzozowski derivatives: a second, independent regex-to-DFA pipeline.
+
+The library's primary pipeline is Glushkov -> subset construction ->
+minimization.  Derivatives provide an algebraically independent route:
+
+* :func:`derivative` — the Brzozowski derivative ``d_a(r)`` with
+  simplification to similarity normal form (associativity, commutativity
+  and idempotence of union), which guarantees finitely many derivatives;
+* :func:`dfa_from_regex` — the derivative automaton, whose states are the
+  normal forms themselves;
+* :func:`word_derivative` / :func:`matches` — direct membership testing.
+
+The test suite runs both pipelines against each other on random
+expressions (differential testing), which is how reproductions keep their
+foundational layers honest.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from functools import lru_cache
+
+from repro.strings.dfa import DFA
+from repro.strings.regex import (
+    EMPTY,
+    EPSILON,
+    Concat,
+    Empty,
+    Epsilon,
+    Opt,
+    Plus,
+    Regex,
+    Star,
+    Sym,
+    Union,
+)
+
+
+# ----------------------------------------------------------------------
+# Similarity normal form
+# ----------------------------------------------------------------------
+
+def _union_parts(expr: Regex) -> list[Regex]:
+    if isinstance(expr, Union):
+        return _union_parts(expr.left) + _union_parts(expr.right)
+    return [expr]
+
+
+def _normalize_union(parts: list[Regex]) -> Regex:
+    flat: list[Regex] = []
+    seen: set[Regex] = set()
+    for part in parts:
+        for atom in _union_parts(part):
+            if isinstance(atom, Empty) or atom in seen:
+                continue
+            seen.add(atom)
+            flat.append(atom)
+    if not flat:
+        return EMPTY
+    flat.sort(key=_sort_key)
+    result = flat[0]
+    for atom in flat[1:]:
+        result = Union(result, atom)
+    return result
+
+
+def _sort_key(expr: Regex) -> str:
+    return repr(expr)
+
+
+def normalize(expr: Regex) -> Regex:
+    """Similarity normal form: unions are flattened, deduplicated and
+    sorted; trivial identities around the empty language / empty word are
+    applied.  Similar expressions get equal normal forms, bounding the set
+    of derivatives (Brzozowski's theorem)."""
+    if isinstance(expr, (Empty, Epsilon, Sym)):
+        return expr
+    if isinstance(expr, Union):
+        return _normalize_union([normalize(expr.left), normalize(expr.right)])
+    if isinstance(expr, Concat):
+        left = normalize(expr.left)
+        right = normalize(expr.right)
+        if isinstance(left, Empty) or isinstance(right, Empty):
+            return EMPTY
+        if isinstance(left, Epsilon):
+            return right
+        if isinstance(right, Epsilon):
+            return left
+        # Re-associate to the right for canonical shapes.
+        if isinstance(left, Concat):
+            return normalize(Concat(left.left, Concat(left.right, right)))
+        return Concat(left, right)
+    if isinstance(expr, Star):
+        inner = normalize(expr.child)
+        if isinstance(inner, (Empty, Epsilon)):
+            return EPSILON
+        if isinstance(inner, Star):
+            return inner
+        if isinstance(inner, Opt):
+            return Star(normalize(inner.child))
+        if isinstance(inner, Union):
+            # Star absorbs an epsilon branch: (~ | x)* == x*.
+            parts = [p for p in _union_parts(inner) if not isinstance(p, Epsilon)]
+            if len(parts) < len(_union_parts(inner)):
+                return normalize(Star(_normalize_union(parts)))
+        return Star(inner)
+    if isinstance(expr, Plus):
+        inner = normalize(expr.child)
+        if isinstance(inner, Empty):
+            return EMPTY
+        if isinstance(inner, Epsilon):
+            return EPSILON
+        return normalize(Concat(inner, Star(inner)))
+    if isinstance(expr, Opt):
+        inner = normalize(expr.child)
+        if inner.nullable():
+            return inner
+        if isinstance(inner, Empty):
+            return EPSILON
+        return _normalize_union([EPSILON, inner])
+    raise TypeError(f"unknown Regex node {expr!r}")
+
+
+# ----------------------------------------------------------------------
+# Derivatives
+# ----------------------------------------------------------------------
+
+def derivative(expr: Regex, symbol: object) -> Regex:
+    """The Brzozowski derivative ``d_symbol(expr)``, normalized."""
+    return normalize(_derive(normalize(expr), symbol))
+
+
+def _derive(expr: Regex, symbol: object) -> Regex:
+    if isinstance(expr, (Empty, Epsilon)):
+        return EMPTY
+    if isinstance(expr, Sym):
+        return EPSILON if expr.symbol == symbol else EMPTY
+    if isinstance(expr, Union):
+        return Union(_derive(expr.left, symbol), _derive(expr.right, symbol))
+    if isinstance(expr, Concat):
+        first = Concat(_derive(expr.left, symbol), expr.right)
+        if expr.left.nullable():
+            return Union(first, _derive(expr.right, symbol))
+        return first
+    if isinstance(expr, Star):
+        return Concat(_derive(expr.child, symbol), expr)
+    if isinstance(expr, Plus):
+        return _derive(Concat(expr.child, Star(expr.child)), symbol)
+    if isinstance(expr, Opt):
+        return _derive(expr.child, symbol)
+    raise TypeError(f"unknown Regex node {expr!r}")
+
+
+def word_derivative(expr: Regex, word) -> Regex:
+    """``d_w(expr)``: the derivative by a whole word."""
+    current = normalize(expr)
+    for symbol in word:
+        current = derivative(current, symbol)
+    return current
+
+
+def matches(expr: Regex, word) -> bool:
+    """Membership by derivatives: ``w in L(r)`` iff ``d_w(r)`` is nullable."""
+    return word_derivative(expr, word).nullable()
+
+
+def dfa_from_regex(expr: Regex, alphabet=None) -> DFA:
+    """The (deterministic) derivative automaton of *expr*.
+
+    States are normalized derivatives; finite by Brzozowski's theorem under
+    similarity.  The result is usually close to minimal but not guaranteed
+    minimal.
+    """
+    sigma = frozenset(alphabet) if alphabet is not None else expr.symbols()
+    initial = normalize(expr)
+    states: set[Regex] = {initial}
+    transitions: dict = {}
+    queue: deque[Regex] = deque([initial])
+    while queue:
+        state = queue.popleft()
+        for symbol in sigma:
+            successor = derivative(state, symbol)
+            if isinstance(successor, Empty):
+                continue
+            transitions[(state, symbol)] = successor
+            if successor not in states:
+                states.add(successor)
+                queue.append(successor)
+    finals = {state for state in states if state.nullable()}
+    return DFA(states, sigma, transitions, initial, finals)

@@ -1,0 +1,40 @@
+"""Subset construction: NFA -> DFA.
+
+Construction 3.1 of the paper hinges on exactly this operation applied to
+type automata, so the implementation exposes the raw subset states (frozen
+sets of NFA states) — the approximation constructions need to inspect which
+EDTD types were merged into each subset state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.strings.dfa import DFA
+from repro.strings.nfa import NFA
+
+
+def determinize(nfa: NFA, *, keep_empty: bool = False) -> DFA:
+    """Return a DFA equivalent to *nfa* via the standard subset construction.
+
+    States of the result are frozensets of NFA states.  Only subsets
+    reachable from the initial subset are constructed.  By default the empty
+    subset (dead state) is omitted, yielding a partial DFA; pass
+    ``keep_empty=True`` to keep it (producing a complete DFA).
+    """
+    initial = nfa.initials
+    states: set[frozenset] = {initial}
+    transitions: dict[tuple[frozenset, object], frozenset] = {}
+    queue: deque[frozenset] = deque([initial])
+    while queue:
+        subset = queue.popleft()
+        for symbol in nfa.alphabet:
+            target = nfa.step(subset, symbol)
+            if not target and not keep_empty:
+                continue
+            transitions[(subset, symbol)] = target
+            if target not in states:
+                states.add(target)
+                queue.append(target)
+    finals = {subset for subset in states if subset & nfa.finals}
+    return DFA(states, nfa.alphabet, transitions, initial, finals)

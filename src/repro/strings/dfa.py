@@ -1,0 +1,326 @@
+"""Deterministic finite automata.
+
+The paper represents all content models of schemas by *minimal DFAs* unless
+stated otherwise (Section 2.2, footnote 2), so DFAs are the workhorse string
+representation of this library.
+
+A :class:`DFA` here is *partial*: the transition function may be undefined on
+some ``(state, symbol)`` pairs, in which case the run dies.  :meth:`DFA.completed`
+adds an explicit sink, which is what complementation needs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Mapping
+from typing import Callable
+
+from repro.errors import AutomatonError
+from repro.strings.nfa import NFA
+
+State = Hashable
+Symbol = Hashable
+
+_SINK = ("__sink__",)
+
+
+class DFA:
+    """A (possibly partial) deterministic finite automaton.
+
+    Parameters
+    ----------
+    states:
+        Iterable of states.
+    alphabet:
+        Iterable of symbols.
+    transitions:
+        Mapping from ``(state, symbol)`` to a single successor state.
+    initial:
+        The unique initial state.
+    finals:
+        Iterable of final states.
+    """
+
+    __slots__ = ("states", "alphabet", "transitions", "initial", "finals")
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        alphabet: Iterable[Symbol],
+        transitions: Mapping[tuple[State, Symbol], State],
+        initial: State,
+        finals: Iterable[State],
+    ) -> None:
+        self.states: frozenset[State] = frozenset(states)
+        self.alphabet: frozenset[Symbol] = frozenset(alphabet)
+        self.transitions: dict[tuple[State, Symbol], State] = dict(transitions)
+        self.initial: State = initial
+        self.finals: frozenset[State] = frozenset(finals)
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.initial not in self.states:
+            raise AutomatonError("initial state must be a state")
+        if not self.finals <= self.states:
+            raise AutomatonError("final states must be a subset of states")
+        for (src, sym), dst in self.transitions.items():
+            if src not in self.states or dst not in self.states:
+                raise AutomatonError(f"transition {src!r} --{sym!r}--> {dst!r} uses unknown states")
+            if sym not in self.alphabet:
+                raise AutomatonError(f"transition symbol {sym!r} is not in the alphabet")
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+
+    def successor(self, state: State, symbol: Symbol) -> State | None:
+        """Return ``delta(state, symbol)`` or None when undefined."""
+        return self.transitions.get((state, symbol))
+
+    def read(self, word: Iterable[Symbol]) -> State | None:
+        """Run the DFA on *word*; return the final state or None if the run dies."""
+        current: State | None = self.initial
+        for symbol in word:
+            if current is None:
+                return None
+            current = self.successor(current, symbol)
+        return current
+
+    def accepts(self, word: Iterable[Symbol]) -> bool:
+        """Return True iff *word* is in ``L(A)``."""
+        state = self.read(word)
+        return state is not None and state in self.finals
+
+    def size(self) -> int:
+        """Paper's size measure: states plus transition count."""
+        return len(self.states) + len(self.transitions)
+
+    def is_complete(self) -> bool:
+        """True iff the transition function is total on states x alphabet."""
+        return all(
+            (state, symbol) in self.transitions
+            for state in self.states
+            for symbol in self.alphabet
+        )
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+
+    def to_nfa(self) -> NFA:
+        """View this DFA as an NFA (singleton transition sets)."""
+        transitions = {key: {dst} for key, dst in self.transitions.items()}
+        return NFA(self.states, self.alphabet, transitions, {self.initial}, self.finals)
+
+    def relabel(self, prefix: str = "s") -> "DFA":
+        """Return an isomorphic DFA with states renamed ``prefix0..prefixN``.
+
+        States are renamed in BFS order from the initial state (with symbols
+        ordered by repr), which makes the naming canonical for isomorphic
+        automata.
+        """
+        order: list[State] = [self.initial]
+        seen: set[State] = {self.initial}
+        queue: deque[State] = deque([self.initial])
+        symbols = sorted(self.alphabet, key=repr)
+        while queue:
+            state = queue.popleft()
+            for symbol in symbols:
+                dst = self.successor(state, symbol)
+                if dst is not None and dst not in seen:
+                    seen.add(dst)
+                    order.append(dst)
+                    queue.append(dst)
+        # Unreachable states (if any) go last, in repr order.
+        for state in sorted(self.states - seen, key=repr):
+            order.append(state)
+        mapping = {state: f"{prefix}{i}" for i, state in enumerate(order)}
+        transitions = {
+            (mapping[src], sym): mapping[dst]
+            for (src, sym), dst in self.transitions.items()
+        }
+        return DFA(
+            mapping.values(),
+            self.alphabet,
+            transitions,
+            mapping[self.initial],
+            {mapping[q] for q in self.finals},
+        )
+
+    # ------------------------------------------------------------------
+    # Completion, trimming
+    # ------------------------------------------------------------------
+
+    def completed(self, alphabet: Iterable[Symbol] | None = None) -> "DFA":
+        """Return a complete DFA for the same language.
+
+        If *alphabet* is given, the alphabet is first extended to include it.
+        A sink state is added only when some transition is missing.
+        """
+        full_alphabet = self.alphabet | (frozenset(alphabet) if alphabet else frozenset())
+        missing = [
+            (state, symbol)
+            for state in self.states
+            for symbol in full_alphabet
+            if (state, symbol) not in self.transitions
+        ]
+        if not missing:
+            return DFA(self.states, full_alphabet, self.transitions, self.initial, self.finals)
+        sink = _SINK
+        while sink in self.states:
+            sink = (sink,)
+        transitions = dict(self.transitions)
+        for state, symbol in missing:
+            transitions[(state, symbol)] = sink
+        for symbol in full_alphabet:
+            transitions[(sink, symbol)] = sink
+        return DFA(
+            self.states | {sink},
+            full_alphabet,
+            transitions,
+            self.initial,
+            self.finals,
+        )
+
+    def reachable_states(self) -> frozenset[State]:
+        """Return the states reachable from the initial state."""
+        seen: set[State] = {self.initial}
+        queue: deque[State] = deque([self.initial])
+        while queue:
+            state = queue.popleft()
+            for symbol in self.alphabet:
+                dst = self.successor(state, symbol)
+                if dst is not None and dst not in seen:
+                    seen.add(dst)
+                    queue.append(dst)
+        return frozenset(seen)
+
+    def trim(self) -> "DFA":
+        """Restrict to states that are reachable and co-reachable.
+
+        The initial state is always kept (even if no final state is
+        reachable from it) so the result is a well-formed DFA.
+        """
+        reachable = self.reachable_states()
+        coreachable = self.to_nfa().coreachable_states()
+        useful = (reachable & coreachable) | {self.initial}
+        transitions = {
+            (src, sym): dst
+            for (src, sym), dst in self.transitions.items()
+            if src in useful and dst in useful
+        }
+        return DFA(useful, self.alphabet, transitions, self.initial, self.finals & useful)
+
+    def is_empty_language(self) -> bool:
+        """True iff ``L(A)`` is empty."""
+        return not (self.reachable_states() & self.finals)
+
+    def accepts_empty_word(self) -> bool:
+        """True iff the empty word is in ``L(A)``."""
+        return self.initial in self.finals
+
+    # ------------------------------------------------------------------
+    # Boolean operations (product constructions)
+    # ------------------------------------------------------------------
+
+    def product(self, other: "DFA", combine: Callable[[bool, bool], bool]) -> "DFA":
+        """Return the product DFA accepting by ``combine(final1, final2)``.
+
+        Both automata are completed over the union of alphabets first, so the
+        product is correct for any boolean *combine* (including union and
+        difference, which are not correct on partial products).  Only the
+        reachable part of the product is built.
+        """
+        alphabet = self.alphabet | other.alphabet
+        left = self.completed(alphabet)
+        right = other.completed(alphabet)
+        initial = (left.initial, right.initial)
+        states: set[tuple[State, State]] = {initial}
+        transitions: dict[tuple[tuple[State, State], Symbol], tuple[State, State]] = {}
+        queue: deque[tuple[State, State]] = deque([initial])
+        while queue:
+            pair = queue.popleft()
+            for symbol in alphabet:
+                nxt = (
+                    left.transitions[(pair[0], symbol)],
+                    right.transitions[(pair[1], symbol)],
+                )
+                transitions[(pair, symbol)] = nxt
+                if nxt not in states:
+                    states.add(nxt)
+                    queue.append(nxt)
+        finals = {
+            (p, q)
+            for (p, q) in states
+            if combine(p in left.finals, q in right.finals)
+        }
+        return DFA(states, alphabet, transitions, initial, finals)
+
+    def intersection(self, other: "DFA") -> "DFA":
+        """Return a DFA for ``L(self) & L(other)``."""
+        return self.product(other, lambda a, b: a and b)
+
+    def union(self, other: "DFA") -> "DFA":
+        """Return a DFA for ``L(self) | L(other)``."""
+        return self.product(other, lambda a, b: a or b)
+
+    def difference(self, other: "DFA") -> "DFA":
+        """Return a DFA for ``L(self) - L(other)``."""
+        return self.product(other, lambda a, b: a and not b)
+
+    def complement(self, alphabet: Iterable[Symbol] | None = None) -> "DFA":
+        """Return a DFA for ``Sigma* - L(self)``.
+
+        The complement is taken relative to the automaton's alphabet extended
+        with *alphabet* if given.
+        """
+        complete = self.completed(alphabet)
+        return DFA(
+            complete.states,
+            complete.alphabet,
+            complete.transitions,
+            complete.initial,
+            complete.states - complete.finals,
+        )
+
+    # ------------------------------------------------------------------
+    # Structural comparison
+    # ------------------------------------------------------------------
+
+    def isomorphic_to(self, other: "DFA") -> bool:
+        """True iff the *reachable parts* are isomorphic as labeled graphs.
+
+        For minimal complete DFAs this coincides with language equality.
+        """
+        if self.alphabet != other.alphabet:
+            return False
+        mapping: dict[State, State] = {self.initial: other.initial}
+        queue: deque[State] = deque([self.initial])
+        symbols = sorted(self.alphabet, key=repr)
+        while queue:
+            state = queue.popleft()
+            image = mapping[state]
+            if (state in self.finals) != (image in other.finals):
+                return False
+            for symbol in symbols:
+                mine = self.successor(state, symbol)
+                theirs = other.successor(image, symbol)
+                if (mine is None) != (theirs is None):
+                    return False
+                if mine is None:
+                    continue
+                if mine in mapping:
+                    if mapping[mine] != theirs:
+                        return False
+                else:
+                    if theirs in set(mapping.values()):
+                        return False
+                    mapping[mine] = theirs
+                    queue.append(mine)
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"DFA(states={len(self.states)}, alphabet={sorted(map(repr, self.alphabet))}, "
+            f"transitions={len(self.transitions)}, finals={len(self.finals)})"
+        )

@@ -1,0 +1,144 @@
+"""Glushkov (position) automata.
+
+The Glushkov automaton of a regular expression is the paper's canonical
+example of a *state-labeled* NFA (Section 2.1): each state is a position of
+the expression — an occurrence of an alphabet symbol — and every transition
+into a position carries that position's symbol.
+
+The construction also yields the standard *determinism* test for regular
+expressions: an expression is deterministic (one-unambiguous, as required for
+XML Schema content models by the UPA constraint) iff its Glushkov automaton
+is deterministic.  Section 5 of the paper discusses how results change for
+deterministic expressions; :func:`is_deterministic_expression` is the
+executable version of that notion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.strings.nfa import NFA
+from repro.strings.regex import (
+    Concat,
+    Empty,
+    Epsilon,
+    Opt,
+    Plus,
+    Regex,
+    Star,
+    Sym,
+    Union,
+)
+
+
+@dataclass(frozen=True)
+class _Linearized:
+    """first/last/follow data of a (sub)expression over positions.
+
+    Positions are integers; ``symbol_at`` maps each position to its symbol.
+    """
+
+    nullable: bool
+    first: frozenset[int]
+    last: frozenset[int]
+    follow: frozenset[tuple[int, int]]
+    empty: bool  # denotes the empty language
+
+
+def _analyze(expr: Regex, counter: list[int], symbol_at: dict[int, object]) -> _Linearized:
+    if isinstance(expr, Empty):
+        return _Linearized(False, frozenset(), frozenset(), frozenset(), True)
+    if isinstance(expr, Epsilon):
+        return _Linearized(True, frozenset(), frozenset(), frozenset(), False)
+    if isinstance(expr, Sym):
+        position = counter[0]
+        counter[0] += 1
+        symbol_at[position] = expr.symbol
+        singleton = frozenset([position])
+        return _Linearized(False, singleton, singleton, frozenset(), False)
+    if isinstance(expr, Union):
+        left = _analyze(expr.left, counter, symbol_at)
+        right = _analyze(expr.right, counter, symbol_at)
+        if left.empty:
+            return right
+        if right.empty:
+            return left
+        return _Linearized(
+            left.nullable or right.nullable,
+            left.first | right.first,
+            left.last | right.last,
+            left.follow | right.follow,
+            False,
+        )
+    if isinstance(expr, Concat):
+        left = _analyze(expr.left, counter, symbol_at)
+        right = _analyze(expr.right, counter, symbol_at)
+        if left.empty or right.empty:
+            return _Linearized(False, frozenset(), frozenset(), frozenset(), True)
+        bridge = frozenset(
+            (p, q) for p in left.last for q in right.first
+        )
+        return _Linearized(
+            left.nullable and right.nullable,
+            left.first | (right.first if left.nullable else frozenset()),
+            right.last | (left.last if right.nullable else frozenset()),
+            left.follow | right.follow | bridge,
+            False,
+        )
+    if isinstance(expr, (Star, Plus)):
+        inner = _analyze(expr.child, counter, symbol_at)
+        if inner.empty:
+            if isinstance(expr, Star):
+                return _Linearized(True, frozenset(), frozenset(), frozenset(), False)
+            return _Linearized(False, frozenset(), frozenset(), frozenset(), True)
+        loop = frozenset((p, q) for p in inner.last for q in inner.first)
+        return _Linearized(
+            True if isinstance(expr, Star) else inner.nullable,
+            inner.first,
+            inner.last,
+            inner.follow | loop,
+            False,
+        )
+    if isinstance(expr, Opt):
+        inner = _analyze(expr.child, counter, symbol_at)
+        if inner.empty:
+            return _Linearized(True, frozenset(), frozenset(), frozenset(), False)
+        return _Linearized(True, inner.first, inner.last, inner.follow, False)
+    raise TypeError(f"unknown Regex node: {expr!r}")
+
+
+_INITIAL = "glushkov-init"
+
+
+def glushkov_nfa(expr: Regex) -> NFA:
+    """Return the Glushkov automaton of *expr* (a state-labeled NFA).
+
+    States are the positions of the expression plus a fresh initial state
+    ``"glushkov-init"``.  The result accepts exactly ``L(expr)``.
+    """
+    counter = [0]
+    symbol_at: dict[int, object] = {}
+    data = _analyze(expr, counter, symbol_at)
+    states: set[object] = {_INITIAL} | set(symbol_at)
+    alphabet = expr.symbols()
+    transitions: dict[tuple[object, object], set[object]] = {}
+    if not data.empty:
+        for position in data.first:
+            transitions.setdefault((_INITIAL, symbol_at[position]), set()).add(position)
+        for src, dst in data.follow:
+            transitions.setdefault((src, symbol_at[dst]), set()).add(dst)
+    finals: set[object] = set(data.last) if not data.empty else set()
+    if data.nullable and not data.empty:
+        finals.add(_INITIAL)
+    return NFA(states, alphabet, transitions, {_INITIAL}, finals)
+
+
+def is_deterministic_expression(expr: Regex) -> bool:
+    """True iff *expr* is a deterministic (one-unambiguous) expression.
+
+    An expression is deterministic iff its Glushkov automaton is a DFA,
+    i.e. no state has two outgoing transitions on the same symbol to
+    different positions.
+    """
+    automaton = glushkov_nfa(expr)
+    return all(len(dsts) <= 1 for dsts in automaton.transitions.values())

@@ -1,0 +1,122 @@
+"""Hopcroft's O(n log n) DFA minimization.
+
+:func:`repro.strings.minimize.minimize_dfa` uses Moore-style iterative
+refinement — simple and fast enough for the paper's instances.  This
+module provides the asymptotically optimal alternative for the hot paths
+(content models of large constructed schemas), differentially tested
+against the Moore route.
+
+The split structure follows Hopcroft's classic "smaller half" worklist:
+partition blocks are refined against (block, symbol) splitters, and only
+the smaller part of each split re-enters the worklist.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.strings.dfa import DFA
+
+
+def hopcroft_minimize(dfa: DFA, *, complete: bool = False) -> DFA:
+    """Return the minimal DFA for ``L(dfa)`` via Hopcroft's algorithm.
+
+    Same contract as :func:`repro.strings.minimize.minimize_dfa`: the
+    result is trim by default (pass ``complete=True`` to keep the sink),
+    with canonical BFS state names.
+    """
+    # Restrict to the reachable part and complete it.
+    reachable = dfa.reachable_states()
+    restricted = DFA(
+        reachable,
+        dfa.alphabet,
+        {
+            (src, sym): dst
+            for (src, sym), dst in dfa.transitions.items()
+            if src in reachable and dst in reachable
+        },
+        dfa.initial,
+        dfa.finals & reachable,
+    )
+    total = restricted.completed()
+    states = list(total.states)
+    alphabet = list(total.alphabet)
+
+    # Inverse transition index: (symbol, dst) -> set of srcs.
+    inverse: dict[tuple, set] = {}
+    for (src, sym), dst in total.transitions.items():
+        inverse.setdefault((sym, dst), set()).add(src)
+
+    finals = set(total.finals)
+    non_finals = set(states) - finals
+    # Partition as a list of blocks; block index per state.
+    blocks: list[set] = []
+    block_of: dict = {}
+    for group in (finals, non_finals):
+        if group:
+            index = len(blocks)
+            blocks.append(set(group))
+            for state in group:
+                block_of[state] = index
+
+    worklist: deque[tuple[int, object]] = deque()
+    seed = 0 if (finals and (not non_finals or len(finals) <= len(non_finals))) else (
+        1 if non_finals and finals else 0
+    )
+    for symbol in alphabet:
+        worklist.append((seed, symbol))
+
+    while worklist:
+        splitter_index, symbol = worklist.popleft()
+        splitter = blocks[splitter_index]
+        # States with a `symbol`-transition into the splitter.
+        predecessors: set = set()
+        for dst in splitter:
+            predecessors |= inverse.get((symbol, dst), set())
+        if not predecessors:
+            continue
+        # Group the affected blocks.
+        touched: dict[int, set] = {}
+        for state in predecessors:
+            touched.setdefault(block_of[state], set()).add(state)
+        for block_index, inside in touched.items():
+            block = blocks[block_index]
+            if len(inside) == len(block):
+                continue  # no split
+            outside = block - inside
+            # Keep the larger part in place; the smaller becomes new.
+            if len(inside) <= len(outside):
+                new_part, old_part = inside, outside
+            else:
+                new_part, old_part = outside, inside
+            blocks[block_index] = old_part
+            new_index = len(blocks)
+            blocks.append(new_part)
+            for state in new_part:
+                block_of[state] = new_index
+            # Update the worklist (smaller-half rule).
+            for sym in alphabet:
+                if (block_index, sym) in worklist:
+                    worklist.append((new_index, sym))
+                else:
+                    smaller = (
+                        new_index
+                        if len(new_part) <= len(old_part)
+                        else block_index
+                    )
+                    worklist.append((smaller, sym))
+
+    transitions = {
+        (block_of[src], sym): block_of[dst]
+        for (src, sym), dst in total.transitions.items()
+    }
+    merged = DFA(
+        set(block_of.values()),
+        total.alphabet,
+        transitions,
+        block_of[total.initial],
+        {block_of[state] for state in total.finals},
+    )
+    if not complete:
+        merged = merged.trim()
+    return merged.relabel("m")

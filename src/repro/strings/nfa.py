@@ -1,0 +1,404 @@
+"""Non-deterministic finite automata over arbitrary hashable symbols.
+
+This module implements the NFA model of the paper (Section 2.1):
+
+    N = (Q, Sigma, delta, I, F)
+
+with ``delta : Q x Sigma -> 2^Q``, a set ``I`` of initial states and a set
+``F`` of final states.  Epsilon transitions are *not* part of the model (the
+paper never uses them; the Thompson construction in :mod:`repro.strings.regex`
+eliminates them on the fly).
+
+A central notion for the paper is the *state-labeled* NFA: an NFA in which,
+for every state ``q``, all transitions entering ``q`` carry the same symbol
+(Section 2.1).  Type automata of EDTDs are state-labeled by construction, and
+:func:`NFA.is_state_labeled` / :func:`NFA.state_labeled` make the property
+checkable and enforceable for arbitrary NFAs.
+
+States and symbols may be any hashable objects; :meth:`NFA.relabel` maps
+states onto ``0..n-1`` for canonical presentation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Mapping
+from typing import Callable
+
+from repro.errors import AutomatonError
+
+State = Hashable
+Symbol = Hashable
+
+
+class NFA:
+    """A non-deterministic finite automaton without epsilon transitions.
+
+    Parameters
+    ----------
+    states:
+        Iterable of states (any hashable values).
+    alphabet:
+        Iterable of symbols.
+    transitions:
+        Mapping from ``(state, symbol)`` pairs to iterables of successor
+        states.  Missing pairs denote the empty successor set.
+    initials:
+        Iterable of initial states.
+    finals:
+        Iterable of final (accepting) states.
+    """
+
+    __slots__ = ("states", "alphabet", "transitions", "initials", "finals")
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        alphabet: Iterable[Symbol],
+        transitions: Mapping[tuple[State, Symbol], Iterable[State]],
+        initials: Iterable[State],
+        finals: Iterable[State],
+    ) -> None:
+        self.states: frozenset[State] = frozenset(states)
+        self.alphabet: frozenset[Symbol] = frozenset(alphabet)
+        trans: dict[tuple[State, Symbol], frozenset[State]] = {}
+        for (src, sym), dsts in transitions.items():
+            dst_set = frozenset(dsts)
+            if not dst_set:
+                continue
+            trans[(src, sym)] = dst_set
+        self.transitions: dict[tuple[State, Symbol], frozenset[State]] = trans
+        self.initials: frozenset[State] = frozenset(initials)
+        self.finals: frozenset[State] = frozenset(finals)
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.initials <= self.states:
+            raise AutomatonError("initial states must be a subset of states")
+        if not self.finals <= self.states:
+            raise AutomatonError("final states must be a subset of states")
+        for (src, sym), dsts in self.transitions.items():
+            if src not in self.states:
+                raise AutomatonError(f"transition source {src!r} is not a state")
+            if sym not in self.alphabet:
+                raise AutomatonError(f"transition symbol {sym!r} is not in the alphabet")
+            if not dsts <= self.states:
+                raise AutomatonError(f"transition targets {dsts!r} are not all states")
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+
+    def successors(self, state: State, symbol: Symbol) -> frozenset[State]:
+        """Return ``delta(state, symbol)`` (empty set if undefined)."""
+        return self.transitions.get((state, symbol), frozenset())
+
+    def step(self, states: frozenset[State], symbol: Symbol) -> frozenset[State]:
+        """Return the union of ``delta(q, symbol)`` over ``q`` in *states*."""
+        result: set[State] = set()
+        for state in states:
+            result |= self.successors(state, symbol)
+        return frozenset(result)
+
+    def read(self, word: Iterable[Symbol]) -> frozenset[State]:
+        """Return ``N(w)``: the set of states reachable from ``I`` on *word*."""
+        current = self.initials
+        for symbol in word:
+            current = self.step(current, symbol)
+            if not current:
+                return frozenset()
+        return current
+
+    def accepts(self, word: Iterable[Symbol]) -> bool:
+        """Return True iff *word* is in ``L(N)``."""
+        return bool(self.read(word) & self.finals)
+
+    def size(self) -> int:
+        """Paper's size measure: number of states plus sizes of transitions."""
+        return len(self.states) + sum(len(dsts) for dsts in self.transitions.values())
+
+    def num_transitions(self) -> int:
+        """Total number of individual transition edges."""
+        return sum(len(dsts) for dsts in self.transitions.values())
+
+    # ------------------------------------------------------------------
+    # State-labeled NFAs (Section 2.1)
+    # ------------------------------------------------------------------
+
+    def incoming_labels(self, state: State) -> frozenset[Symbol]:
+        """Return the set of symbols labeling transitions into *state*."""
+        labels = {
+            sym
+            for (_, sym), dsts in self.transitions.items()
+            if state in dsts
+        }
+        return frozenset(labels)
+
+    def is_state_labeled(self) -> bool:
+        """True iff each state has at most one distinct incoming label."""
+        return all(len(self.incoming_labels(q)) <= 1 for q in self.states)
+
+    def label_of(self, state: State) -> Symbol:
+        """Return the unique incoming label of *state* in a state-labeled NFA.
+
+        Raises :class:`AutomatonError` if the state has no incoming
+        transitions or more than one incoming label.
+        """
+        labels = self.incoming_labels(state)
+        if len(labels) != 1:
+            raise AutomatonError(
+                f"state {state!r} has {len(labels)} incoming labels; expected exactly 1"
+            )
+        (label,) = labels
+        return label
+
+    def state_labeled(self) -> "NFA":
+        """Return an equivalent state-labeled NFA.
+
+        Every regular language is definable by a state-labeled NFA (Section
+        2.1): split each state into one copy per distinct incoming label.
+        States of the result are pairs ``(state, label)`` where ``label`` is
+        the incoming symbol, or ``(state, None)`` for initial copies.
+        """
+        new_states: set[tuple[State, Symbol | None]] = set()
+        for q in self.initials:
+            new_states.add((q, None))
+        for (_, sym), dsts in self.transitions.items():
+            for dst in dsts:
+                new_states.add((dst, sym))
+
+        transitions: dict[tuple[State, Symbol], set[State]] = {}
+        for (src, sym), dsts in self.transitions.items():
+            targets = {(dst, sym) for dst in dsts}
+            for copy in new_states:
+                if copy[0] == src:
+                    transitions.setdefault((copy, sym), set()).update(targets)
+
+        finals = {copy for copy in new_states if copy[0] in self.finals}
+        initials = {(q, None) for q in self.initials}
+        return NFA(new_states, self.alphabet, transitions, initials, finals)
+
+    # ------------------------------------------------------------------
+    # Reachability and trimming
+    # ------------------------------------------------------------------
+
+    def reachable_states(self) -> frozenset[State]:
+        """Return all states reachable from the initial states."""
+        seen: set[State] = set(self.initials)
+        queue: deque[State] = deque(self.initials)
+        while queue:
+            state = queue.popleft()
+            for (src, _), dsts in self.transitions.items():
+                if src != state:
+                    continue
+                for dst in dsts:
+                    if dst not in seen:
+                        seen.add(dst)
+                        queue.append(dst)
+        return frozenset(seen)
+
+    def coreachable_states(self) -> frozenset[State]:
+        """Return all states from which a final state is reachable."""
+        inverse: dict[State, set[State]] = {}
+        for (src, _), dsts in self.transitions.items():
+            for dst in dsts:
+                inverse.setdefault(dst, set()).add(src)
+        seen: set[State] = set(self.finals)
+        queue: deque[State] = deque(self.finals)
+        while queue:
+            state = queue.popleft()
+            for pred in inverse.get(state, ()):
+                if pred not in seen:
+                    seen.add(pred)
+                    queue.append(pred)
+        return frozenset(seen)
+
+    def trim(self) -> "NFA":
+        """Return the automaton restricted to useful (reachable and
+        co-reachable) states.  The result accepts the same language."""
+        useful = self.reachable_states() & self.coreachable_states()
+        transitions = {
+            (src, sym): dsts & useful
+            for (src, sym), dsts in self.transitions.items()
+            if src in useful
+        }
+        return NFA(
+            useful,
+            self.alphabet,
+            transitions,
+            self.initials & useful,
+            self.finals & useful,
+        )
+
+    def is_empty_language(self) -> bool:
+        """True iff ``L(N)`` is empty."""
+        return not (self.reachable_states() & self.finals)
+
+    # ------------------------------------------------------------------
+    # Constructions
+    # ------------------------------------------------------------------
+
+    def relabel(self, prefix: str = "q") -> "NFA":
+        """Return an isomorphic NFA with states renamed ``prefix0..prefixN``.
+
+        Renaming is deterministic: states are sorted by their repr.
+        """
+        ordered = sorted(self.states, key=repr)
+        mapping = {state: f"{prefix}{i}" for i, state in enumerate(ordered)}
+        transitions = {
+            (mapping[src], sym): {mapping[dst] for dst in dsts}
+            for (src, sym), dsts in self.transitions.items()
+        }
+        return NFA(
+            mapping.values(),
+            self.alphabet,
+            transitions,
+            {mapping[q] for q in self.initials},
+            {mapping[q] for q in self.finals},
+        )
+
+    def map_symbols(self, func: Callable[[Symbol], Symbol]) -> "NFA":
+        """Return the homomorphic image of the automaton under *func*.
+
+        Each transition label ``a`` is replaced by ``func(a)``.  This is the
+        automaton analogue of applying the typing homomorphism ``mu`` of an
+        EDTD to a content model; the result may be non-deterministic even if
+        the input was deterministic.
+        """
+        transitions: dict[tuple[State, Symbol], set[State]] = {}
+        for (src, sym), dsts in self.transitions.items():
+            transitions.setdefault((src, func(sym)), set()).update(dsts)
+        alphabet = {func(sym) for sym in self.alphabet}
+        return NFA(self.states, alphabet, transitions, self.initials, self.finals)
+
+    def with_alphabet(self, alphabet: Iterable[Symbol]) -> "NFA":
+        """Return the same automaton with the alphabet extended to include
+        *alphabet* (language unchanged: new symbols have no transitions)."""
+        return NFA(
+            self.states,
+            self.alphabet | frozenset(alphabet),
+            self.transitions,
+            self.initials,
+            self.finals,
+        )
+
+    def reverse(self) -> "NFA":
+        """Return an NFA for the reversal of ``L(N)``."""
+        transitions: dict[tuple[State, Symbol], set[State]] = {}
+        for (src, sym), dsts in self.transitions.items():
+            for dst in dsts:
+                transitions.setdefault((dst, sym), set()).add(src)
+        return NFA(self.states, self.alphabet, transitions, self.finals, self.initials)
+
+    def union(self, other: "NFA") -> "NFA":
+        """Return an NFA for ``L(self) | L(other)`` (disjoint-union build)."""
+        left = self._tagged(0)
+        right = other._tagged(1)
+        transitions = dict(left.transitions)
+        transitions.update(right.transitions)
+        return NFA(
+            left.states | right.states,
+            self.alphabet | other.alphabet,
+            transitions,
+            left.initials | right.initials,
+            left.finals | right.finals,
+        )
+
+    def _tagged(self, tag: int) -> "NFA":
+        """Return an isomorphic copy whose states are tagged with *tag*."""
+        transitions = {
+            ((tag, src), sym): {(tag, dst) for dst in dsts}
+            for (src, sym), dsts in self.transitions.items()
+        }
+        return NFA(
+            {(tag, q) for q in self.states},
+            self.alphabet,
+            transitions,
+            {(tag, q) for q in self.initials},
+            {(tag, q) for q in self.finals},
+        )
+
+    def concat(self, other: "NFA") -> "NFA":
+        """Return an NFA for the concatenation ``L(self) . L(other)``."""
+        left = self._tagged(0)
+        right = other._tagged(1)
+        transitions: dict[tuple[State, Symbol], set[State]] = {
+            key: set(dsts) for key, dsts in left.transitions.items()
+        }
+        for key, dsts in right.transitions.items():
+            transitions.setdefault(key, set()).update(dsts)
+        # Whenever the left part may accept, a transition into a right-initial
+        # successor may start: add edges from left-final predecessors.
+        for (src, sym), dsts in right.transitions.items():
+            if src in right.initials:
+                for lf in left.finals:
+                    transitions.setdefault((lf, sym), set()).update(dsts)
+        finals = set(right.finals)
+        if right.initials & right.finals:
+            finals |= left.finals
+        initials = set(left.initials)
+        return NFA(
+            left.states | right.states,
+            self.alphabet | other.alphabet,
+            transitions,
+            initials,
+            finals,
+        )
+
+    def star(self) -> "NFA":
+        """Return an NFA for ``L(self)*`` (Kleene star)."""
+        plus = self.plus()
+        # Add a fresh initial+final state to accept the empty word.
+        fresh = ("star-init", id(self))
+        transitions: dict[tuple[State, Symbol], set[State]] = {
+            key: set(dsts) for key, dsts in plus.transitions.items()
+        }
+        for (src, sym), dsts in plus.transitions.items():
+            if src in plus.initials:
+                transitions.setdefault((fresh, sym), set()).update(dsts)
+        return NFA(
+            plus.states | {fresh},
+            self.alphabet,
+            transitions,
+            plus.initials | {fresh},
+            plus.finals | {fresh},
+        )
+
+    def plus(self) -> "NFA":
+        """Return an NFA for ``L(self)+`` (one or more repetitions)."""
+        transitions: dict[tuple[State, Symbol], set[State]] = {
+            key: set(dsts) for key, dsts in self.transitions.items()
+        }
+        for (src, sym), dsts in self.transitions.items():
+            if src in self.initials:
+                for final in self.finals:
+                    transitions.setdefault((final, sym), set()).update(dsts)
+        return NFA(self.states, self.alphabet, transitions, self.initials, self.finals)
+
+    def optional(self) -> "NFA":
+        """Return an NFA for ``L(self)?`` (self or the empty word)."""
+        fresh = ("opt-init", id(self))
+        transitions: dict[tuple[State, Symbol], set[State]] = {
+            key: set(dsts) for key, dsts in self.transitions.items()
+        }
+        for (src, sym), dsts in self.transitions.items():
+            if src in self.initials:
+                transitions.setdefault((fresh, sym), set()).update(dsts)
+        return NFA(
+            self.states | {fresh},
+            self.alphabet,
+            transitions,
+            self.initials | {fresh},
+            self.finals | {fresh},
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"NFA(states={len(self.states)}, alphabet={sorted(map(repr, self.alphabet))}, "
+            f"transitions={self.num_transitions()}, "
+            f"initials={len(self.initials)}, finals={len(self.finals)})"
+        )

@@ -1,0 +1,220 @@
+"""Language-level operations and coercions on regular string languages.
+
+This module is the public face of the string substrate.  Most schema-level
+code works with "language-like" values — a :class:`~repro.strings.dfa.DFA`,
+an :class:`~repro.strings.nfa.NFA`, a :class:`~repro.strings.regex.Regex`,
+or a string in the concrete regex syntax — and coerces them through
+:func:`as_min_dfa` (the paper's canonical content-model representation).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+
+from repro.errors import AutomatonError
+from repro.strings.determinize import determinize
+from repro.strings.dfa import DFA
+from repro.strings.glushkov import glushkov_nfa
+from repro.strings.minimize import minimize_dfa
+from repro.strings.nfa import NFA
+from repro.strings.regex import Regex, parse
+
+Symbol = Hashable
+LanguageLike = "DFA | NFA | Regex | str"
+
+
+# ----------------------------------------------------------------------
+# Coercions
+# ----------------------------------------------------------------------
+
+def as_nfa(language: DFA | NFA | Regex | str) -> NFA:
+    """Coerce *language* to an NFA."""
+    if isinstance(language, NFA):
+        return language
+    if isinstance(language, DFA):
+        return language.to_nfa()
+    if isinstance(language, str):
+        language = parse(language)
+    if isinstance(language, Regex):
+        return glushkov_nfa(language)
+    raise TypeError(f"cannot interpret {language!r} as a regular language")
+
+
+def as_dfa(language: DFA | NFA | Regex | str) -> DFA:
+    """Coerce *language* to a DFA (not necessarily minimal)."""
+    if isinstance(language, DFA):
+        return language
+    return determinize(as_nfa(language))
+
+
+def as_min_dfa(language: DFA | NFA | Regex | str) -> DFA:
+    """Coerce *language* to the minimal (trim) DFA — the paper's canonical
+    content-model representation (Section 2.2)."""
+    return minimize_dfa(as_dfa(language))
+
+
+# ----------------------------------------------------------------------
+# Decision procedures
+# ----------------------------------------------------------------------
+
+def is_empty(language: DFA | NFA | Regex | str) -> bool:
+    """True iff the language contains no word."""
+    nfa = as_nfa(language)
+    return nfa.is_empty_language()
+
+
+def is_universal(language: DFA | NFA | Regex | str, alphabet: Iterable[Symbol]) -> bool:
+    """True iff the language equals ``Sigma*`` over *alphabet*."""
+    dfa = as_dfa(language).completed(alphabet)
+    complement = dfa.complement(alphabet)
+    restricted = _restrict_alphabet(complement, frozenset(alphabet))
+    return restricted.is_empty_language()
+
+
+def _restrict_alphabet(dfa: DFA, alphabet: frozenset) -> DFA:
+    transitions = {
+        (src, sym): dst
+        for (src, sym), dst in dfa.transitions.items()
+        if sym in alphabet
+    }
+    return DFA(dfa.states, alphabet, transitions, dfa.initial, dfa.finals)
+
+
+def includes(
+    sup: DFA | NFA | Regex | str,
+    sub: DFA | NFA | Regex | str,
+) -> bool:
+    """True iff ``L(sub)`` is a subset of ``L(sup)``."""
+    sub_dfa = as_dfa(sub)
+    sup_dfa = as_dfa(sup)
+    return sub_dfa.difference(sup_dfa).is_empty_language()
+
+
+def equivalent(
+    left: DFA | NFA | Regex | str,
+    right: DFA | NFA | Regex | str,
+) -> bool:
+    """True iff both languages are equal."""
+    return includes(left, right) and includes(right, left)
+
+
+# ----------------------------------------------------------------------
+# Enumeration / counting / sampling
+# ----------------------------------------------------------------------
+
+def enumerate_words(
+    language: DFA | NFA | Regex | str,
+    max_length: int,
+) -> Iterator[tuple[Symbol, ...]]:
+    """Yield all words of the language with length <= *max_length*.
+
+    Words are produced in shortlex order (shorter first, then by the sorted
+    order of symbol reprs).  The generator explores the DFA breadth-first and
+    is linear in the number of produced prefixes, so it is safe on automata
+    whose languages are infinite.
+    """
+    dfa = as_dfa(language)
+    symbols = sorted(dfa.alphabet, key=repr)
+    frontier: list[tuple[tuple[Symbol, ...], object]] = [((), dfa.initial)]
+    for _ in range(max_length + 1):
+        next_frontier: list[tuple[tuple[Symbol, ...], object]] = []
+        for word, state in frontier:
+            if state in dfa.finals:
+                yield word
+            for symbol in symbols:
+                dst = dfa.successor(state, symbol)
+                if dst is not None:
+                    next_frontier.append((word + (symbol,), dst))
+        frontier = next_frontier
+
+
+def count_words_by_length(
+    language: DFA | NFA | Regex | str,
+    max_length: int,
+) -> list[int]:
+    """Return ``[c_0, c_1, ..., c_max]`` where ``c_n`` is the number of
+    accepted words of length exactly ``n``.
+
+    Computed by dynamic programming over the DFA; runs in
+    ``O(max_length * |transitions|)``.
+    """
+    dfa = as_dfa(language)
+    counts: list[int] = []
+    # vector: state -> number of words of current length reaching it
+    vector: dict[object, int] = {dfa.initial: 1}
+    for _ in range(max_length + 1):
+        counts.append(sum(n for state, n in vector.items() if state in dfa.finals))
+        nxt: dict[object, int] = {}
+        for (src, _), dst in dfa.transitions.items():
+            if src in vector:
+                nxt[dst] = nxt.get(dst, 0) + vector[src]
+        vector = nxt
+    return counts
+
+
+def sample_word(
+    language: DFA | NFA | Regex | str,
+    length: int,
+    rng: random.Random,
+) -> tuple[Symbol, ...]:
+    """Sample a uniformly random accepted word of exactly *length* symbols.
+
+    Raises :class:`AutomatonError` if the language has no word of that
+    length.  Uses the standard backward-counting DP, so sampling is exact.
+    """
+    dfa = as_dfa(language)
+    # paths_to_final[k][state] = number of accepted suffixes of length k from state
+    paths: list[dict[object, int]] = [dict.fromkeys(dfa.finals, 1)]
+    for _ in range(length):
+        prev = paths[-1]
+        step: dict[object, int] = {}
+        for (src, _), dst in dfa.transitions.items():
+            if dst in prev:
+                step[src] = step.get(src, 0) + prev[dst]
+        paths.append(step)
+    total = paths[length].get(dfa.initial, 0)
+    if total == 0:
+        raise AutomatonError(f"language has no word of length {length}")
+    word: list[Symbol] = []
+    state = dfa.initial
+    for remaining in range(length, 0, -1):
+        choices: list[tuple[Symbol, object, int]] = []
+        for (src, sym), dst in dfa.transitions.items():
+            if src == state:
+                weight = paths[remaining - 1].get(dst, 0)
+                if weight:
+                    choices.append((sym, dst, weight))
+        choices.sort(key=lambda item: repr(item[0]))
+        pick = rng.randrange(sum(weight for _, _, weight in choices))
+        for sym, dst, weight in choices:
+            if pick < weight:
+                word.append(sym)
+                state = dst
+                break
+            pick -= weight
+    return tuple(word)
+
+
+def shortest_word(language: DFA | NFA | Regex | str) -> tuple[Symbol, ...] | None:
+    """Return a shortest accepted word, or None if the language is empty."""
+    dfa = as_dfa(language)
+    for word in enumerate_words(dfa, max_length=max(1, len(dfa.states))):
+        return word
+    return None
+
+
+def symbols_of(language: DFA | NFA | Regex | str) -> frozenset:
+    """Return the alphabet over which *language* is defined."""
+    if isinstance(language, (DFA, NFA)):
+        return language.alphabet
+    if isinstance(language, str):
+        language = parse(language)
+    if isinstance(language, Regex):
+        return language.symbols()
+    raise TypeError(f"cannot interpret {language!r} as a regular language")
+
+
+def words_equal(left: Sequence, right: Sequence) -> bool:
+    """Positional equality of two words (helper used by tests)."""
+    return tuple(left) == tuple(right)

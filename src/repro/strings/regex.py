@@ -1,0 +1,415 @@
+"""Regular expressions per the paper's grammar (Section 2.1).
+
+The AST mirrors the grammar
+
+    r ::= emptyset | epsilon | a | r . r | r + r | (r)* | (r)+ | (r)?
+
+The concrete syntax accepted by :func:`parse` follows XML DTD content-model
+conventions (which avoid the ambiguity between the paper's infix union ``+``
+and postfix one-or-more ``+``):
+
+* ``|``   — union (the paper's infix ``+``)
+* ``,``   — concatenation (juxtaposition also works: ``a b`` == ``a, b``)
+* ``*``   — Kleene star (postfix)
+* ``+``   — one-or-more (postfix)
+* ``?``   — optional (postfix)
+* ``~``   — the empty word epsilon
+* ``#``   — the empty language
+* symbols — identifiers matching ``[A-Za-z_][A-Za-z0-9_]*``
+
+Examples: ``"(a | b)* , c"``, ``"store, item+"``, ``"~ | a, a"``.
+"""
+
+from __future__ import annotations
+
+import re as _re
+from dataclasses import dataclass
+from functools import reduce
+
+from repro.errors import RegexSyntaxError
+
+
+class Regex:
+    """Base class of regular-expression AST nodes.
+
+    Nodes are immutable and hashable.  Combinators are available both as
+    functions of this module and as operators:
+
+    * ``r1 | r2`` — union
+    * ``r1 + r2`` — concatenation
+    * ``r.star()``, ``r.plus()``, ``r.opt()`` — postfix operators
+    """
+
+    def __or__(self, other: "Regex") -> "Regex":
+        return union(self, other)
+
+    def __add__(self, other: "Regex") -> "Regex":
+        return concat(self, other)
+
+    def star(self) -> "Regex":
+        return Star(self)
+
+    def plus(self) -> "Regex":
+        return Plus(self)
+
+    def opt(self) -> "Regex":
+        return Opt(self)
+
+    # -- Structural queries -------------------------------------------------
+
+    def nullable(self) -> bool:
+        """True iff the empty word is in ``L(r)``."""
+        raise NotImplementedError
+
+    def symbols(self) -> frozenset:
+        """The set of alphabet symbols occurring in the expression."""
+        raise NotImplementedError
+
+    def rpn_size(self) -> int:
+        """Number of AST nodes (a standard expression-size measure)."""
+        raise NotImplementedError
+
+    def denotes_empty_language(self) -> bool:
+        """True iff ``L(r)`` is the empty language (syntactic check)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Empty(Regex):
+    """The empty language (the paper's ∅)."""
+
+    def nullable(self) -> bool:
+        return False
+
+    def symbols(self) -> frozenset:
+        return frozenset()
+
+    def rpn_size(self) -> int:
+        return 1
+
+    def denotes_empty_language(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "#"
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """The language containing only the empty word."""
+
+    def nullable(self) -> bool:
+        return True
+
+    def symbols(self) -> frozenset:
+        return frozenset()
+
+    def rpn_size(self) -> int:
+        return 1
+
+    def denotes_empty_language(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "~"
+
+
+@dataclass(frozen=True)
+class Sym(Regex):
+    """A single alphabet symbol."""
+
+    symbol: object
+
+    def nullable(self) -> bool:
+        return False
+
+    def symbols(self) -> frozenset:
+        return frozenset([self.symbol])
+
+    def rpn_size(self) -> int:
+        return 1
+
+    def denotes_empty_language(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return str(self.symbol)
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    """Concatenation ``left . right``."""
+
+    left: Regex
+    right: Regex
+
+    def nullable(self) -> bool:
+        return self.left.nullable() and self.right.nullable()
+
+    def symbols(self) -> frozenset:
+        return self.left.symbols() | self.right.symbols()
+
+    def rpn_size(self) -> int:
+        return 1 + self.left.rpn_size() + self.right.rpn_size()
+
+    def denotes_empty_language(self) -> bool:
+        return self.left.denotes_empty_language() or self.right.denotes_empty_language()
+
+    def __str__(self) -> str:
+        parts = []
+        for child in (self.left, self.right):
+            text = str(child)
+            if isinstance(child, Union):
+                text = f"({text})"
+            parts.append(text)
+        return ", ".join(parts)
+
+
+@dataclass(frozen=True)
+class Union(Regex):
+    """Union ``left + right`` (written ``|`` in the concrete syntax)."""
+
+    left: Regex
+    right: Regex
+
+    def nullable(self) -> bool:
+        return self.left.nullable() or self.right.nullable()
+
+    def symbols(self) -> frozenset:
+        return self.left.symbols() | self.right.symbols()
+
+    def rpn_size(self) -> int:
+        return 1 + self.left.rpn_size() + self.right.rpn_size()
+
+    def denotes_empty_language(self) -> bool:
+        return self.left.denotes_empty_language() and self.right.denotes_empty_language()
+
+    def __str__(self) -> str:
+        return f"{self.left} | {self.right}"
+
+
+def _unary_str(child: Regex, op: str) -> str:
+    text = str(child)
+    if isinstance(child, (Union, Concat)):
+        text = f"({text})"
+    return text + op
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene closure ``(r)*``."""
+
+    child: Regex
+
+    def nullable(self) -> bool:
+        return True
+
+    def symbols(self) -> frozenset:
+        return self.child.symbols()
+
+    def rpn_size(self) -> int:
+        return 1 + self.child.rpn_size()
+
+    def denotes_empty_language(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return _unary_str(self.child, "*")
+
+
+@dataclass(frozen=True)
+class Plus(Regex):
+    """One-or-more ``(r)+``."""
+
+    child: Regex
+
+    def nullable(self) -> bool:
+        return self.child.nullable()
+
+    def symbols(self) -> frozenset:
+        return self.child.symbols()
+
+    def rpn_size(self) -> int:
+        return 1 + self.child.rpn_size()
+
+    def denotes_empty_language(self) -> bool:
+        return self.child.denotes_empty_language()
+
+    def __str__(self) -> str:
+        return _unary_str(self.child, "+")
+
+
+@dataclass(frozen=True)
+class Opt(Regex):
+    """Optional ``(r)?``."""
+
+    child: Regex
+
+    def nullable(self) -> bool:
+        return True
+
+    def symbols(self) -> frozenset:
+        return self.child.symbols()
+
+    def rpn_size(self) -> int:
+        return 1 + self.child.rpn_size()
+
+    def denotes_empty_language(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return _unary_str(self.child, "?")
+
+
+# ----------------------------------------------------------------------
+# Smart constructors
+# ----------------------------------------------------------------------
+
+EMPTY = Empty()
+EPSILON = Epsilon()
+
+
+def sym(symbol: object) -> Sym:
+    """Wrap a raw symbol into a :class:`Sym` node."""
+    return Sym(symbol)
+
+
+def concat(*parts: Regex) -> Regex:
+    """Concatenation of *parts* (with the obvious ∅/ε simplifications)."""
+    if not parts:
+        return EPSILON
+
+    def combine(left: Regex, right: Regex) -> Regex:
+        if isinstance(left, Empty) or isinstance(right, Empty):
+            return EMPTY
+        if isinstance(left, Epsilon):
+            return right
+        if isinstance(right, Epsilon):
+            return left
+        return Concat(left, right)
+
+    return reduce(combine, parts)
+
+
+def union(*parts: Regex) -> Regex:
+    """Union of *parts* (with the obvious ∅ simplifications)."""
+    if not parts:
+        return EMPTY
+
+    def combine(left: Regex, right: Regex) -> Regex:
+        if isinstance(left, Empty):
+            return right
+        if isinstance(right, Empty):
+            return left
+        if left == right:
+            return left
+        return Union(left, right)
+
+    return reduce(combine, parts)
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = _re.compile(
+    r"\s*(?:(?P<ident>[A-Za-z_][A-Za-z0-9_]*)|(?P<op>[|,*+?()~#]))"
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise RegexSyntaxError(f"unexpected character at {pos}: {remainder[0]!r}")
+        tokens.append(match.group("ident") or match.group("op"))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser for the concrete syntax documented above."""
+
+    def __init__(self, tokens: list[str]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self) -> str | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> str:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def parse(self) -> Regex:
+        expr = self._union()
+        if self._peek() is not None:
+            raise RegexSyntaxError(f"trailing input at token {self._peek()!r}")
+        return expr
+
+    def _union(self) -> Regex:
+        parts = [self._concat()]
+        while self._peek() == "|":
+            self._advance()
+            parts.append(self._concat())
+        return union(*parts)
+
+    def _concat(self) -> Regex:
+        parts = [self._postfix()]
+        while True:
+            token = self._peek()
+            if token == ",":
+                self._advance()
+                parts.append(self._postfix())
+            elif token is not None and (token == "(" or token in "~#" or token[0].isalpha() or token[0] == "_"):
+                parts.append(self._postfix())
+            else:
+                break
+        return concat(*parts)
+
+    def _postfix(self) -> Regex:
+        expr = self._atom()
+        while self._peek() in ("*", "+", "?"):
+            op = self._advance()
+            if op == "*":
+                expr = Star(expr)
+            elif op == "+":
+                expr = Plus(expr)
+            else:
+                expr = Opt(expr)
+        return expr
+
+    def _atom(self) -> Regex:
+        token = self._peek()
+        if token is None:
+            raise RegexSyntaxError("unexpected end of expression")
+        if token == "(":
+            self._advance()
+            expr = self._union()
+            if self._peek() != ")":
+                raise RegexSyntaxError("missing closing parenthesis")
+            self._advance()
+            return expr
+        if token == "~":
+            self._advance()
+            return EPSILON
+        if token == "#":
+            self._advance()
+            return EMPTY
+        if token[0].isalpha() or token[0] == "_":
+            self._advance()
+            return Sym(token)
+        raise RegexSyntaxError(f"unexpected token {token!r}")
+
+
+def parse(text: str) -> Regex:
+    """Parse the concrete syntax into a :class:`Regex` AST."""
+    return _Parser(_tokenize(text)).parse()

@@ -1,0 +1,35 @@
+"""Tree automata: unranked NTAs, binary TAs, exact EDTD decision procedures."""
+
+from repro.tree_automata.bta import BTA
+from repro.tree_automata.inclusion import (
+    bta_difference_empty,
+    bta_from_edtd,
+    edtd_equivalent,
+    edtd_includes,
+    edtd_universal,
+    universal_edtd,
+)
+from repro.tree_automata.monoid import (
+    FiniteMonoid,
+    MonoidForestAutomaton,
+    forest_automaton_for_child_language,
+    transition_monoid_from_dfa,
+)
+from repro.tree_automata.nta import NTA, edtd_from_nta, nta_from_edtd
+
+__all__ = [
+    "BTA",
+    "FiniteMonoid",
+    "MonoidForestAutomaton",
+    "forest_automaton_for_child_language",
+    "transition_monoid_from_dfa",
+    "NTA",
+    "bta_difference_empty",
+    "bta_from_edtd",
+    "edtd_equivalent",
+    "edtd_from_nta",
+    "edtd_includes",
+    "edtd_universal",
+    "nta_from_edtd",
+    "universal_edtd",
+]

@@ -1,0 +1,170 @@
+"""Exact (EXPTIME) decision procedures on general EDTDs.
+
+The paper recalls (Theorem 2.13) that universality/inclusion for EDTDs is
+EXPTIME-complete.  This module implements the exact procedures anyway —
+they are the ground truth against which the polynomial special cases
+(Lemma 3.3) and all approximation constructions are verified:
+
+1. translate each EDTD into a binary tree automaton over the binary
+   encoding of :mod:`repro.trees.encoding` (:func:`bta_from_edtd`);
+2. decide ``L(B1) - L(B2) = {}`` by a lazy product of ``B1`` with the
+   determinization of ``B2`` (:func:`bta_difference_empty`), never
+   materializing more subset states than reachable.
+
+``edtd_includes``/``edtd_equivalent``/``edtd_universal`` are the public
+entry points.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable
+
+from repro.schemas.edtd import EDTD
+from repro.trees.encoding import MARKER
+from repro.tree_automata.bta import BTA
+
+Symbol = Hashable
+
+_END = ("end",)
+
+
+def bta_from_edtd(edtd: EDTD, marker: object = MARKER) -> BTA:
+    """A BTA accepting exactly the binary encodings of ``L(edtd)``.
+
+    States:
+
+    * ``("type", tau)`` — the subtree encodes a tree derivable with root
+      type ``tau``;
+    * ``("seq", tau, q)`` — the subtree encodes a non-empty suffix of a
+      child sequence driving ``d(tau)`` from state ``q`` to acceptance;
+    * ``("end",)`` — the subtree is the end-marker leaf.
+    """
+    edtd = edtd.reduced()
+    alphabet = edtd.alphabet | {marker}
+    states: set = {_END}
+    leaf_rules: dict = {marker: {_END}}
+    internal_rules: dict = {}
+
+    def add_internal(key: tuple, target: object) -> None:
+        internal_rules.setdefault(key, set()).add(target)
+
+    for tau in edtd.types:
+        label = edtd.mu[tau]
+        dfa = edtd.rules[tau]
+        type_state = ("type", tau)
+        states.add(type_state)
+        for q in dfa.states:
+            states.add(("seq", tau, q))
+        # Leaf: tau derives a childless node iff d(tau) accepts epsilon.
+        if dfa.accepts_empty_word():
+            leaf_rules.setdefault(label, set()).add(type_state)
+        # Sigma-node with children: label( chain , # ).
+        # Single child sigma: chain is ("type", sigma) directly.
+        for (q, sigma), q_next in dfa.transitions.items():
+            if q == dfa.initial and q_next in dfa.finals:
+                add_internal((label, ("type", sigma), _END), type_state)
+        # Longer chains: chain carries ("seq", tau, initial).
+        add_internal((label, ("seq", tau, dfa.initial), _END), type_state)
+        # Chain cons nodes: #( enc(t_i), rest ).
+        for (q, sigma), q_next in dfa.transitions.items():
+            # rest is itself a seq suffix from q_next ...
+            add_internal(
+                (marker, ("type", sigma), ("seq", tau, q_next)),
+                ("seq", tau, q),
+            )
+            # ... or rest is the final element ("type", sigma2).
+            for (q_mid, sigma2), q_last in dfa.transitions.items():
+                if q_mid == q_next and q_last in dfa.finals:
+                    add_internal(
+                        (marker, ("type", sigma), ("type", sigma2)),
+                        ("seq", tau, q),
+                    )
+
+    finals = {("type", tau) for tau in edtd.starts}
+    return BTA(states, alphabet, leaf_rules, internal_rules, finals)
+
+
+def bta_difference_empty(left: BTA, right: BTA) -> bool:
+    """Decide ``L(left) subseteq L(right)`` by emptiness of the lazy product
+    of *left* with the (on-the-fly) determinization of *right*."""
+    alphabet = left.alphabet | right.alphabet
+    # Reachable pairs (q, S): q a left state, S the subset of right states.
+    pair_states: set[tuple] = set()
+    for label in alphabet:
+        left_leaf = left.leaf_rules.get(label, frozenset())
+        right_leaf = right.leaf_rules.get(label, frozenset())
+        for q in left_leaf:
+            pair_states.add((q, right_leaf))
+
+    right_by_label: dict = {}
+    for (label, q1, q2), targets in right.internal_rules.items():
+        right_by_label.setdefault(label, []).append((q1, q2, targets))
+    left_by_label: dict = {}
+    for (label, q1, q2), targets in left.internal_rules.items():
+        left_by_label.setdefault(label, []).append((q1, q2, targets))
+
+    def right_step(label: Symbol, s1: frozenset, s2: frozenset) -> frozenset:
+        combined: set = set()
+        for q1, q2, targets in right_by_label.get(label, ()):
+            if q1 in s1 and q2 in s2:
+                combined |= targets
+        return frozenset(combined)
+
+    changed = True
+    while changed:
+        changed = False
+        snapshot = list(pair_states)
+        for (p1, s1) in snapshot:
+            for (p2, s2) in snapshot:
+                for label in alphabet:
+                    targets = set()
+                    for q1, q2, tgt in left_by_label.get(label, ()):
+                        if q1 == p1 and q2 == p2:
+                            targets |= tgt
+                    if not targets:
+                        continue
+                    subset = right_step(label, s1, s2)
+                    for target in targets:
+                        pair = (target, subset)
+                        if pair not in pair_states:
+                            pair_states.add(pair)
+                            changed = True
+    for (q, subset) in pair_states:
+        if q in left.finals and not (subset & right.finals):
+            return False
+    return True
+
+
+def edtd_includes(sup: EDTD, sub: EDTD) -> bool:
+    """Exact decision of ``L(sub) subseteq L(sup)`` (EXPTIME in general)."""
+    return bta_difference_empty(bta_from_edtd(sub), bta_from_edtd(sup))
+
+
+def edtd_equivalent(left: EDTD, right: EDTD) -> bool:
+    """Exact language equivalence of two EDTDs."""
+    return edtd_includes(left, right) and edtd_includes(right, left)
+
+
+def universal_edtd(alphabet: Iterable[Symbol]) -> EDTD:
+    """The EDTD accepting every Sigma-tree (one type per symbol, content
+    ``Sigma*``)."""
+    from repro.strings.builders import sigma_star
+
+    alphabet = frozenset(alphabet)
+    types = {("all", a) for a in alphabet}
+    star = sigma_star(types)
+    rules = {("all", a): star for a in alphabet}
+    return EDTD(
+        alphabet=alphabet,
+        types=types,
+        rules=rules,
+        starts=types,
+        mu={("all", a): a for a in alphabet},
+    )
+
+
+def edtd_universal(edtd: EDTD, alphabet: Iterable[Symbol] | None = None) -> bool:
+    """Exact universality test (Theorem 2.13's EXPTIME-complete problem)."""
+    sigma = frozenset(alphabet) if alphabet is not None else edtd.alphabet
+    return edtd_includes(edtd, universal_edtd(sigma))

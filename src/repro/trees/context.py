@@ -1,0 +1,166 @@
+"""Contexts and forks (Sections 2.1 and 4.4.2).
+
+A *context* is a tree with a distinguished "hole" leaf carrying a label
+``(a, HOLE)``: applying the context to a tree whose root is labeled ``a``
+plugs the tree into the hole.  The hole label matters — the paper only
+allows applying a context ``C`` to ``t'`` when the root of ``t'`` bears the
+same Sigma-label as the distinguished leaf of ``C``.
+
+A *fork* is the 3-node, 2-hole binary tree ``a((b, HOLE), (c, HOLE))`` used
+in the partitioning argument of Section 4.4.2 (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.trees.tree import Path, Tree
+
+
+class HoleLabel:
+    """The label of a context's hole leaf: the pair ``(symbol, HOLE)``."""
+
+    __slots__ = ("symbol",)
+
+    def __init__(self, symbol: object) -> None:
+        self.symbol = symbol
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, HoleLabel) and self.symbol == other.symbol
+
+    def __hash__(self) -> int:
+        return hash(("__hole__", self.symbol))
+
+    def __repr__(self) -> str:
+        return f"HoleLabel({self.symbol!r})"
+
+    def __str__(self) -> str:
+        return f"[{self.symbol}]"
+
+
+@dataclass(frozen=True)
+class Context:
+    """A tree over ``Sigma + Sigma x {HOLE}`` with exactly one hole leaf.
+
+    Attributes
+    ----------
+    tree:
+        The underlying tree; the node at :attr:`hole_path` is a leaf labeled
+        :class:`HoleLabel`.
+    hole_path:
+        The path of the hole leaf.
+    """
+
+    tree: Tree
+    hole_path: Path
+
+    def __post_init__(self) -> None:
+        hole = self.tree.subtree(self.hole_path)
+        if not isinstance(hole.label, HoleLabel):
+            raise ReproError("the node at hole_path must be labeled with a HoleLabel")
+        if hole.children:
+            raise ReproError("the hole must be a leaf")
+
+    @property
+    def hole_symbol(self) -> object:
+        """The Sigma-label the plugged tree's root must carry."""
+        label = self.tree.subtree(self.hole_path).label
+        assert isinstance(label, HoleLabel)
+        return label.symbol
+
+    def apply(self, plug: Tree) -> Tree:
+        """Return ``C[plug]``; the root label of *plug* must match the hole."""
+        if plug.label != self.hole_symbol:
+            raise ReproError(
+                f"cannot plug a tree rooted {plug.label!r} into a hole labeled "
+                f"{self.hole_symbol!r}"
+            )
+        return self.tree.replace_at(self.hole_path, plug)
+
+    def compose(self, inner: "Context") -> "Context":
+        """Return the context ``C[inner]`` (plug a context into the hole).
+
+        The root of *inner* must carry the hole's Sigma-label.
+        """
+        root_label = inner.tree.label
+        if isinstance(root_label, HoleLabel):
+            root_symbol = root_label.symbol
+        else:
+            root_symbol = root_label
+        if root_symbol != self.hole_symbol:
+            raise ReproError(
+                f"cannot compose: inner root {root_symbol!r} does not match hole "
+                f"{self.hole_symbol!r}"
+            )
+        combined = self.tree.replace_at(self.hole_path, inner.tree)
+        return Context(combined, self.hole_path + inner.hole_path)
+
+    def spine_labels(self) -> tuple:
+        """The ancestor string of the hole (Sigma-labels, hole included)."""
+        labels = []
+        node = self.tree
+        for index in self.hole_path:
+            labels.append(node.label)
+            node = node.children[index]
+        labels.append(self.hole_symbol)
+        return tuple(labels)
+
+    def __str__(self) -> str:
+        return str(self.tree)
+
+
+def context_of(tree: Tree, path: Path) -> Context:
+    """Return ``context^t(path)``: *tree* with the subtree at *path* replaced
+    by a hole carrying that node's label (children dropped)."""
+    label = tree.label_at(path)
+    hole = Tree(HoleLabel(label))
+    return Context(tree.replace_at(path, hole), path)
+
+
+def is_context_tree(tree: Tree) -> bool:
+    """True iff *tree* has exactly one hole leaf (i.e. encodes a context)."""
+    holes = [
+        path
+        for path, node in tree.nodes()
+        if isinstance(node.label, HoleLabel)
+    ]
+    if len(holes) != 1:
+        return False
+    return not tree.subtree(holes[0]).children
+
+
+@dataclass(frozen=True)
+class Fork:
+    """A binary 3-node tree with two holes: ``a((b, HOLE), (c, HOLE))``.
+
+    Used by the tree-automaton construction of Section 4.4.2 to summarize
+    the effect of a branching node on reachable types.
+    """
+
+    root_label: object
+    left_symbol: object
+    right_symbol: object
+
+    def apply(self, left: Tree, right: Tree) -> Tree:
+        """Plug trees into both holes (root labels must match)."""
+        if left.label != self.left_symbol:
+            raise ReproError(
+                f"left plug rooted {left.label!r} does not match {self.left_symbol!r}"
+            )
+        if right.label != self.right_symbol:
+            raise ReproError(
+                f"right plug rooted {right.label!r} does not match {self.right_symbol!r}"
+            )
+        return Tree(self.root_label, [left, right])
+
+    def __str__(self) -> str:
+        return f"{self.root_label}([{self.left_symbol}], [{self.right_symbol}])"
+
+
+def fork_of(tree: Tree, path: Path) -> Fork:
+    """Return the fork induced by the binary node at *path* (Section 4.4.2)."""
+    node = tree.subtree(path)
+    if len(node.children) != 2:
+        raise ReproError("forks are induced by nodes with exactly two children")
+    return Fork(node.label, node.children[0].label, node.children[1].label)

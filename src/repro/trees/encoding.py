@@ -1,0 +1,99 @@
+"""Binary encoding of unranked trees (Fig. 3 / Section 4.4.2).
+
+The paper uses an encoding "similar to the well-known first-child
+next-sibling encoding" whose crucial property is that **each subtree of the
+binary tree rooted at a Sigma-label corresponds to a subtree of the unranked
+tree** (plain FCNS does not have this property: an FCNS subtree drags the
+original node's right siblings along).
+
+We realize that property with an explicit list marker ``#``:
+
+* ``enc(a)            = a``                                  (childless node)
+* ``enc(a(t1,...,tn)) = a( chain(t1,...,tn), # )``           (n >= 1)
+* ``chain(t1)         = enc(t1)``
+* ``chain(t1,...,tn)  = #( enc(t1), chain(t2,...,tn) )``     (n >= 2)
+
+Every encoded node has zero or two children (a *binary* tree in the paper's
+sense), ``#`` never labels the root of an encoded subtree, and the encoding
+is a bijection — :func:`decode` inverts :func:`encode` exactly.
+
+Ancestor strings in the encoded tree interleave ``#`` symbols with the
+original labels; per the paper (proof of Lemma 4.22), DFAs guarding
+ancestor-types are lifted by adding ``#`` self-loops, which
+:func:`lift_dfa_with_marker` provides.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.strings.dfa import DFA
+from repro.trees.tree import Tree
+
+#: The list-marker label.  ``#`` is not a valid identifier in the tree term
+#: syntax, so it can never collide with user labels built via parsing.
+MARKER = "#"
+
+
+def encode(tree: Tree, marker: object = MARKER) -> Tree:
+    """Encode an unranked tree as a binary tree (see module docstring)."""
+    if tree.label == marker:
+        raise ReproError(f"input tree already uses the marker label {marker!r}")
+    if not tree.children:
+        return Tree(tree.label)
+    return Tree(tree.label, [_chain(tree.children, marker), Tree(marker)])
+
+
+def _chain(children: tuple[Tree, ...], marker: object) -> Tree:
+    if len(children) == 1:
+        return encode(children[0], marker)
+    return Tree(marker, [encode(children[0], marker), _chain(children[1:], marker)])
+
+
+def decode(binary: Tree, marker: object = MARKER) -> Tree:
+    """Invert :func:`encode`.  Raises :class:`ReproError` on malformed input."""
+    if binary.label == marker:
+        raise ReproError("an encoded tree cannot be rooted at the marker")
+    if not binary.children:
+        return Tree(binary.label)
+    if len(binary.children) != 2:
+        raise ReproError("encoded Sigma-nodes have exactly zero or two children")
+    chain, end = binary.children
+    if end.label != marker or end.children:
+        raise ReproError("the right child of an encoded Sigma-node must be a marker leaf")
+    return Tree(binary.label, _unchain(chain, marker))
+
+
+def _unchain(chain: Tree, marker: object) -> list[Tree]:
+    if chain.label != marker:
+        return [decode(chain, marker)]
+    if len(chain.children) != 2:
+        raise ReproError("marker chain nodes must have exactly two children")
+    head, tail = chain.children
+    return [decode(head, marker)] + _unchain(tail, marker)
+
+
+def is_binary(tree: Tree) -> bool:
+    """True iff every node has zero or two children (paper, Section 4.4.2)."""
+    return all(
+        len(node.children) in (0, 2) for _, node in tree.nodes()
+    )
+
+
+def lift_dfa_with_marker(dfa: DFA, marker: object = MARKER) -> DFA:
+    """Add ``marker`` self-loops to every state of *dfa*.
+
+    If *dfa* reads ancestor strings of unranked trees, the lifted automaton
+    reads ancestor strings of their encodings and reaches the same states on
+    corresponding nodes (the marker symbols are ignored).  This is the
+    lifting used in the proof of Lemma 4.22.
+    """
+    transitions = dict(dfa.transitions)
+    for state in dfa.states:
+        transitions[(state, marker)] = state
+    return DFA(
+        dfa.states,
+        dfa.alphabet | {marker},
+        transitions,
+        dfa.initial,
+        dfa.finals,
+    )

@@ -1,0 +1,323 @@
+"""Enumeration, counting and sampling of the trees of an EDTD language.
+
+These are the measurement instruments of the reproduction:
+
+* :func:`enumerate_trees` — all member trees with at most ``max_size``
+  nodes, used by tests to compare languages extensionally on a bounded
+  universe;
+* :func:`count_trees_by_size` — exact member counts per node count, the
+  engine behind the approximation-quality metric ("how many extra documents
+  does an upper approximation admit?", cf. the data-integration motivation
+  in Section 1);
+* :func:`sample_tree` — seeded random member trees for benchmarks;
+* :func:`enumerate_all_trees` — all Sigma-trees up to a size bound (the
+  bounded universe itself).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Iterable, Iterator
+
+from repro.errors import SchemaError
+from repro.schemas.edtd import EDTD
+from repro.strings.dfa import DFA
+from repro.trees.tree import Tree
+
+Symbol = Hashable
+Type = Hashable
+
+
+# ----------------------------------------------------------------------
+# Enumeration
+# ----------------------------------------------------------------------
+
+def enumerate_trees(edtd: EDTD, max_size: int) -> list[Tree]:
+    """Return all trees of ``L(edtd)`` with at most *max_size* nodes.
+
+    Exhaustive and exact; exponential in *max_size* in general, intended
+    for the bounded-universe comparisons in tests and experiment harnesses.
+    """
+    edtd = edtd.reduced()
+    if not edtd.types:
+        return []
+    # by_type[tau][s] = list of trees of size exactly s derivable with root
+    # type tau.
+    by_type: dict[Type, list[list[Tree]]] = {
+        tau: [[] for _ in range(max_size + 1)] for tau in edtd.types
+    }
+    for size in range(1, max_size + 1):
+        for tau in edtd.types:
+            label = edtd.mu[tau]
+            dfa = edtd.rules[tau]
+            for children in _child_lists(dfa, dfa.initial, size - 1, by_type, {}):
+                by_type[tau][size].append(Tree(label, children))
+    result: list[Tree] = []
+    seen: set[Tree] = set()
+    for tau in sorted(edtd.starts, key=repr):
+        for size in range(1, max_size + 1):
+            for tree in by_type[tau][size]:
+                if tree not in seen:
+                    seen.add(tree)
+                    result.append(tree)
+    result.sort(key=lambda t: (t.size(), str(t)))
+    return result
+
+
+def _child_lists(
+    dfa: DFA,
+    state: object,
+    budget: int,
+    by_type: dict[Type, list[list[Tree]]],
+    memo: dict,
+) -> list[tuple[Tree, ...]]:
+    """All tuples of child trees with total size exactly *budget* whose type
+    word drives *dfa* from *state* to a final state."""
+    key = (state, budget)
+    if key in memo:
+        return memo[key]
+    results: list[tuple[Tree, ...]] = []
+    if budget == 0 and state in dfa.finals:
+        results.append(())
+    if budget > 0:
+        for (src, tau), dst in sorted(dfa.transitions.items(), key=repr):
+            if src != state:
+                continue
+            for first_size in range(1, budget + 1):
+                for first in by_type[tau][first_size]:
+                    for rest in _child_lists(dfa, dst, budget - first_size, by_type, memo):
+                        results.append((first,) + rest)
+    memo[key] = results
+    return results
+
+
+def enumerate_all_trees(alphabet: Iterable[Symbol], max_size: int) -> list[Tree]:
+    """All Sigma-trees with at most *max_size* nodes (the bounded universe)."""
+    alphabet = sorted(set(alphabet), key=repr)
+    by_size: list[list[Tree]] = [[] for _ in range(max_size + 1)]
+    forests: dict[int, list[tuple[Tree, ...]]] = {0: [()]}
+
+    def forests_of(total: int) -> list[tuple[Tree, ...]]:
+        if total in forests:
+            return forests[total]
+        result: list[tuple[Tree, ...]] = []
+        for first_size in range(1, total + 1):
+            for first in by_size[first_size]:
+                for rest in forests_of(total - first_size):
+                    result.append((first,) + rest)
+        forests[total] = result
+        return result
+
+    for size in range(1, max_size + 1):
+        # Recompute forests incrementally: clear cached totals that may grow.
+        forests.clear()
+        forests[0] = [()]
+        for label in alphabet:
+            for children in forests_of(size - 1):
+                by_size[size].append(Tree(label, children))
+    out: list[Tree] = []
+    for size in range(1, max_size + 1):
+        out.extend(by_size[size])
+    return out
+
+
+# ----------------------------------------------------------------------
+# Counting
+# ----------------------------------------------------------------------
+
+def count_trees_by_size(edtd: EDTD, max_size: int) -> list[int]:
+    """Return ``[c_0, c_1, ..., c_max]``: ``c_n`` = number of distinct trees
+    of ``L(edtd)`` with exactly ``n`` nodes.
+
+    Exact dynamic programming — no enumeration.  The count is of *trees*,
+    not typings; the EDTD is determinized implicitly by counting over the
+    powerset of types per (label, size) slice.  To keep this tractable we
+    require the EDTD to be *unambiguous at the tree level*, which holds for
+    all single-type EDTDs; for ambiguous EDTDs use
+    :func:`count_trees_exact` (enumeration-based, slower).
+    """
+    from repro.schemas.type_automaton import is_single_type
+
+    if not is_single_type(edtd):
+        return count_trees_exact(edtd, max_size)
+    edtd = edtd.reduced()
+    counts_by_type: dict[Type, list[int]] = {
+        tau: [0] * (max_size + 1) for tau in edtd.types
+    }
+    for size in range(1, max_size + 1):
+        for tau in edtd.types:
+            dfa = edtd.rules[tau]
+            counts_by_type[tau][size] = _count_child_lists(
+                dfa, dfa.initial, size - 1, counts_by_type, {}
+            )
+    totals = [0] * (max_size + 1)
+    for size in range(1, max_size + 1):
+        # Distinct start types of a single-type EDTD have distinct root
+        # labels, so their tree sets are disjoint and the counts add up.
+        totals[size] = sum(counts_by_type[tau][size] for tau in edtd.starts)
+    return totals
+
+
+def _count_child_lists(
+    dfa: DFA,
+    state: object,
+    budget: int,
+    counts_by_type: dict[Type, list[int]],
+    memo: dict,
+) -> int:
+    key = (state, budget)
+    if key in memo:
+        return memo[key]
+    total = 0
+    if budget == 0 and state in dfa.finals:
+        total += 1
+    if budget > 0:
+        for (src, tau), dst in dfa.transitions.items():
+            if src != state:
+                continue
+            for first_size in range(1, budget + 1):
+                first_count = counts_by_type[tau][first_size]
+                if first_count:
+                    total += first_count * _count_child_lists(
+                        dfa, dst, budget - first_size, counts_by_type, memo
+                    )
+    memo[key] = total
+    return total
+
+
+def count_trees_exact(edtd: EDTD, max_size: int) -> list[int]:
+    """Tree counts per size by explicit enumeration (correct for ambiguous
+    EDTDs, exponential in *max_size*)."""
+    totals = [0] * (max_size + 1)
+    for tree in enumerate_trees(edtd, max_size):
+        totals[tree.size()] += 1
+    return totals
+
+
+# ----------------------------------------------------------------------
+# Sampling
+# ----------------------------------------------------------------------
+
+def min_derivation_sizes(edtd: EDTD) -> dict[Type, int]:
+    """Smallest tree size derivable per type (infinity for unproductive)."""
+    sizes: dict[Type, float] = dict.fromkeys(edtd.types, float("inf"))
+    changed = True
+    while changed:
+        changed = False
+        for tau in edtd.types:
+            dfa = edtd.rules[tau]
+            best = _min_word_cost(dfa, sizes)
+            if best + 1 < sizes[tau]:
+                sizes[tau] = best + 1
+                changed = True
+    return {tau: int(s) if s != float("inf") else -1 for tau, s in sizes.items()}
+
+
+def _min_word_cost(dfa: DFA, cost: dict[Type, float]) -> float:
+    """Cheapest total cost of a word in ``L(dfa)`` with per-symbol costs."""
+    best: dict[object, float] = {dfa.initial: 0.0}
+    # Bellman-Ford style relaxation; |states| rounds suffice since costs > 0.
+    for _ in range(len(dfa.states) + 1):
+        updated = False
+        for (src, sym), dst in dfa.transitions.items():
+            if src in best and cost.get(sym, float("inf")) != float("inf"):
+                candidate = best[src] + cost[sym]
+                if candidate < best.get(dst, float("inf")):
+                    best[dst] = candidate
+                    updated = True
+        if not updated:
+            break
+    return min(
+        (value for state, value in best.items() if state in dfa.finals),
+        default=float("inf"),
+    )
+
+
+def _completion_costs(dfa: DFA, cost: dict[Type, float]) -> dict[object, float]:
+    """Per-state cheapest cost of a word completing to a final state."""
+    best: dict[object, float] = dict.fromkeys(dfa.finals, 0.0)
+    for _ in range(len(dfa.states) + 1):
+        updated = False
+        for (src, sym), dst in dfa.transitions.items():
+            symbol_cost = cost.get(sym, float("inf"))
+            if dst in best and symbol_cost != float("inf"):
+                candidate = symbol_cost + best[dst]
+                if candidate < best.get(src, float("inf")):
+                    best[src] = candidate
+                    updated = True
+        if not updated:
+            break
+    return best
+
+
+def sample_tree(
+    edtd: EDTD,
+    rng: random.Random,
+    target_size: int = 20,
+    _type: Type | None = None,
+) -> Tree:
+    """Sample a member tree of roughly *target_size* nodes.
+
+    The sampler walks content models randomly but steers toward short
+    completions once the size budget is spent (using per-type minimum
+    derivation sizes), so it always terminates.  Raises
+    :class:`SchemaError` on empty languages.
+    """
+    edtd = edtd.reduced()
+    if not edtd.types:
+        raise SchemaError("cannot sample from an empty language")
+    minimums = min_derivation_sizes(edtd)
+    if _type is None:
+        start = rng.choice(sorted(edtd.starts, key=repr))
+    else:
+        start = _type
+    return _sample_from_type(edtd, start, rng, target_size, minimums)
+
+
+def _sample_from_type(
+    edtd: EDTD,
+    tau: Type,
+    rng: random.Random,
+    budget: int,
+    minimums: dict[Type, int],
+) -> Tree:
+    dfa = edtd.rules[tau]
+    costs = {sym: float(minimums[sym]) if minimums[sym] >= 0 else float("inf")
+             for sym in dfa.alphabet}
+    completion = _completion_costs(dfa, costs)
+    word: list[Type] = []
+    state = dfa.initial
+    remaining = max(budget - 1, 0)
+    while True:
+        options = [
+            (sym, dst)
+            for (src, sym), dst in sorted(dfa.transitions.items(), key=repr)
+            if src == state
+            and minimums[sym] >= 0
+            and completion.get(dst, float("inf")) != float("inf")
+        ]
+        can_stop = state in dfa.finals
+        spent = sum(minimums[sym] for sym in word)
+        over_budget = spent >= remaining
+        if can_stop and (not options or over_budget or rng.random() < 0.1):
+            break
+        if not options:
+            # Dead end without acceptance cannot happen on trimmed content
+            # DFAs of a reduced EDTD, but guard anyway.
+            break
+        if over_budget:
+            # Steer toward the cheapest acceptance: each such step strictly
+            # decreases the completion cost, so the loop terminates.
+            options.sort(
+                key=lambda item: (costs[item[0]] + completion[item[1]], repr(item[0]))
+            )
+            sym, dst = options[0]
+        else:
+            sym, dst = rng.choice(options)
+        word.append(sym)
+        state = dst
+    share = max((remaining // max(len(word), 1)), 1)
+    children = [
+        _sample_from_type(edtd, sym, rng, share, minimums) for sym in word
+    ]
+    return Tree(edtd.mu[tau], children)

@@ -1,0 +1,286 @@
+"""Unranked Sigma-trees (Section 2.1 of the paper).
+
+A :class:`Tree` is an immutable labeled node with an ordered tuple of
+children.  Nodes of a tree are addressed by *paths*: tuples of 0-based child
+indices, with the empty tuple denoting the root (the paper uses 1-based
+strings ``i1 i2 ...``; the translation is off-by-one per component).
+
+The module implements all tree notions the paper uses:
+
+* ``Dom(t)`` — :meth:`Tree.dom`
+* ``lab^t(v)`` — :meth:`Tree.label_at`
+* ``ch-str^t(v)`` — :meth:`Tree.ch_str`
+* ``anc-str^t(v)`` — :meth:`Tree.anc_str` (includes the label of ``v``)
+* depth (a root-only tree has depth 1) — :meth:`Tree.depth`
+* ``t1[v <- t2]`` — :meth:`Tree.replace_at`
+* ``subtree^t(v)`` — :meth:`Tree.subtree`
+
+plus a compact term syntax: ``parse_tree("a(b, c(d))")``.
+"""
+
+from __future__ import annotations
+
+import re as _re
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.errors import TreeSyntaxError
+
+Path = tuple[int, ...]
+
+
+class Tree:
+    """An immutable unranked ordered tree with hashable node labels."""
+
+    __slots__ = ("label", "children", "_hash")
+
+    def __init__(self, label: object, children: Iterable["Tree"] = ()) -> None:
+        self.label = label
+        self.children: tuple[Tree, ...] = tuple(children)
+        for child in self.children:
+            if not isinstance(child, Tree):
+                raise TypeError(f"children must be Tree instances, got {child!r}")
+        self._hash = hash((label, self.children))
+
+    # ------------------------------------------------------------------
+    # Equality / hashing / printing
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tree):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.label == other.label
+            and self.children == other.children
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Tree({str(self)!r})"
+
+    def __str__(self) -> str:
+        if not self.children:
+            return str(self.label)
+        inner = ", ".join(str(child) for child in self.children)
+        return f"{self.label}({inner})"
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def dom(self) -> Iterator[Path]:
+        """Yield all node paths in depth-first pre-order (root first)."""
+        stack: list[tuple[Path, Tree]] = [((), self)]
+        while stack:
+            path, node = stack.pop()
+            yield path
+            for index in range(len(node.children) - 1, -1, -1):
+                stack.append((path + (index,), node.children[index]))
+
+    def dom_bfs(self) -> Iterator[Path]:
+        """Yield all node paths in breadth-first order (as in Theorem 3.2)."""
+        frontier: list[tuple[Path, Tree]] = [((), self)]
+        while frontier:
+            nxt: list[tuple[Path, Tree]] = []
+            for path, node in frontier:
+                yield path
+                for index, child in enumerate(node.children):
+                    nxt.append((path + (index,), child))
+            frontier = nxt
+
+    def subtree(self, path: Path) -> "Tree":
+        """Return ``subtree^t(path)``."""
+        node = self
+        for index in path:
+            node = node.children[index]
+        return node
+
+    def label_at(self, path: Path) -> object:
+        """Return ``lab^t(path)``."""
+        return self.subtree(path).label
+
+    def ch_str(self, path: Path = ()) -> tuple:
+        """Return the child string of the node at *path* (tuple of labels)."""
+        return tuple(child.label for child in self.subtree(path).children)
+
+    def anc_str(self, path: Path) -> tuple:
+        """Return the ancestor string of *path*, root label through ``lab(path)``."""
+        labels = [self.label]
+        node = self
+        for index in path:
+            node = node.children[index]
+            labels.append(node.label)
+        return tuple(labels)
+
+    def replace_at(self, path: Path, replacement: "Tree") -> "Tree":
+        """Return ``t[path <- replacement]`` (the paper's subtree
+        substitution).  Iterative, safe for arbitrarily deep paths."""
+        if not path:
+            return replacement
+        spine: list[Tree] = [self]
+        for index in path[:-1]:
+            spine.append(spine[-1].children[index])
+        result = replacement
+        for node, index in zip(reversed(spine), reversed(path)):
+            children = list(node.children)
+            children[index] = result
+            result = Tree(node.label, children)
+        return result
+
+    def depth(self) -> int:
+        """Paper's depth: a single-node tree has depth 1.
+
+        Iterative, so arbitrarily deep documents are safe.
+        """
+        best = 1
+        stack: list[tuple[Tree, int]] = [(self, 1)]
+        while stack:
+            node, level = stack.pop()
+            if level > best:
+                best = level
+            for child in node.children:
+                stack.append((child, level + 1))
+        return best
+
+    def size(self) -> int:
+        """Number of nodes (iterative)."""
+        count = 0
+        stack: list[Tree] = [self]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children)
+        return count
+
+    def labels(self) -> frozenset:
+        """The set of labels occurring in the tree (iterative)."""
+        out = set()
+        stack: list[Tree] = [self]
+        while stack:
+            node = stack.pop()
+            out.add(node.label)
+            stack.extend(node.children)
+        return frozenset(out)
+
+    def is_unary(self) -> bool:
+        """True iff every node has at most one child (the paper's unary trees)."""
+        node = self
+        while node.children:
+            if len(node.children) > 1:
+                return False
+            node = node.children[0]
+        return True
+
+    def nodes(self) -> Iterator[tuple[Path, "Tree"]]:
+        """Yield ``(path, subtree)`` pairs in pre-order."""
+        stack: list[tuple[Path, Tree]] = [((), self)]
+        while stack:
+            path, node = stack.pop()
+            yield path, node
+            for index in range(len(node.children) - 1, -1, -1):
+                stack.append((path + (index,), node.children[index]))
+
+    def map_labels(self, func) -> "Tree":
+        """Return the tree with every label replaced by ``func(label)``.
+
+        This is the homomorphic relabeling ``mu(t')`` of EDTD semantics
+        (Definition 2.2).  Iterative post-order rebuild.
+        """
+        rebuilt: dict[Path, Tree] = {}
+        # Post-order: children are rebuilt before their parent.
+        order = list(self.nodes())
+        for path, node in reversed(order):
+            children = [
+                rebuilt[path + (index,)] for index in range(len(node.children))
+            ]
+            rebuilt[path] = Tree(func(node.label), children)
+        return rebuilt[()]
+
+    def to_word(self) -> tuple:
+        """View a unary tree as a word (root label first; cf. Theorem 3.2)."""
+        labels = [self.label]
+        node = self
+        while node.children:
+            if len(node.children) != 1:
+                raise ValueError("to_word requires a unary tree")
+            node = node.children[0]
+            labels.append(node.label)
+        return tuple(labels)
+
+
+# ----------------------------------------------------------------------
+# Construction helpers
+# ----------------------------------------------------------------------
+
+def leaf(label: object) -> Tree:
+    """A single-node tree."""
+    return Tree(label)
+
+
+def unary_tree(labels: Sequence) -> Tree:
+    """Build the unary (non-branching) tree for a non-empty label word.
+
+    ``unary_tree("aab")`` is the tree ``a(a(b))`` — the paper's view of
+    strings as unary trees (Theorem 3.2).
+    """
+    labels = list(labels)
+    if not labels:
+        raise ValueError("unary_tree requires at least one label")
+    node = Tree(labels[-1])
+    for label in reversed(labels[:-1]):
+        node = Tree(label, [node])
+    return node
+
+
+_TOKEN = _re.compile(r"\s*(?:(?P<ident>[A-Za-z_][A-Za-z0-9_]*)|(?P<op>[(),]))")
+
+
+def parse_tree(text: str) -> Tree:
+    """Parse the term syntax ``a(b, c(d))`` into a :class:`Tree`.
+
+    Labels are identifiers; children are comma-separated inside parentheses.
+    """
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise TreeSyntaxError(f"unexpected character: {remainder[0]!r}")
+        tokens.append(match.group("ident") or match.group("op"))
+        pos = match.end()
+
+    index = 0
+
+    def parse_node() -> Tree:
+        nonlocal index
+        if index >= len(tokens):
+            raise TreeSyntaxError("unexpected end of input")
+        label = tokens[index]
+        if label in "(),":
+            raise TreeSyntaxError(f"expected a label, got {label!r}")
+        index += 1
+        children: list[Tree] = []
+        if index < len(tokens) and tokens[index] == "(":
+            index += 1
+            while True:
+                children.append(parse_node())
+                if index >= len(tokens):
+                    raise TreeSyntaxError("missing closing parenthesis")
+                if tokens[index] == ",":
+                    index += 1
+                    continue
+                if tokens[index] == ")":
+                    index += 1
+                    break
+                raise TreeSyntaxError(f"unexpected token {tokens[index]!r}")
+        return Tree(label, children)
+
+    tree = parse_node()
+    if index != len(tokens):
+        raise TreeSyntaxError(f"trailing input: {tokens[index]!r}")
+    return tree

@@ -1,0 +1,105 @@
+"""Serialization between :class:`Tree` and a structural XML fragment syntax.
+
+The paper abstracts XML documents as unranked trees over element names
+(attributes, text and namespaces are out of scope — the EDC constraint only
+concerns element structure).  This module converts between the two views so
+examples and downstream users can work with familiar markup:
+
+    >>> from repro.trees.xml_io import to_xml, from_xml
+    >>> from repro.trees.tree import parse_tree
+    >>> print(to_xml(parse_tree("store(item(price))")))
+    <store>
+      <item>
+        <price/>
+      </item>
+    </store>
+    >>> from_xml("<a><b/><b/></a>")
+    Tree('a(b, b)')
+
+Only well-formed element-only fragments are supported; text nodes,
+attributes, comments and processing instructions are rejected with
+:class:`TreeSyntaxError` rather than silently dropped.
+"""
+
+from __future__ import annotations
+
+import re as _re
+
+from repro.errors import TreeSyntaxError
+from repro.trees.tree import Tree
+
+_NAME = r"[A-Za-z_][A-Za-z0-9_.\-]*"
+_TOKEN = _re.compile(
+    rf"\s*(?:"
+    rf"<(?P<open>{_NAME})\s*>"
+    rf"|<(?P<selfclose>{_NAME})\s*/\s*>"
+    rf"|</(?P<close>{_NAME})\s*>"
+    rf")"
+)
+
+
+def to_xml(tree: Tree, indent: int = 2) -> str:
+    """Render *tree* as an indented XML fragment (childless nodes become
+    self-closing tags)."""
+    lines: list[str] = []
+
+    def render(node: Tree, depth: int) -> None:
+        pad = " " * (indent * depth)
+        if not node.children:
+            lines.append(f"{pad}<{node.label}/>")
+            return
+        lines.append(f"{pad}<{node.label}>")
+        for child in node.children:
+            render(child, depth + 1)
+        lines.append(f"{pad}</{node.label}>")
+
+    render(tree, 0)
+    return "\n".join(lines)
+
+
+def from_xml(text: str) -> Tree:
+    """Parse an element-only XML fragment into a :class:`Tree`.
+
+    Raises :class:`TreeSyntaxError` on mismatched tags, trailing content,
+    or anything that is not a start/end/self-closing element tag.
+    """
+    pos = 0
+    stack: list[tuple[str, list[Tree]]] = []
+    root: Tree | None = None
+    while pos < len(text):
+        if text[pos:].strip() == "":
+            break
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            snippet = text[pos:pos + 20].strip()
+            raise TreeSyntaxError(f"unsupported XML content near: {snippet!r}")
+        pos = match.end()
+        if root is not None:
+            raise TreeSyntaxError("content after the root element")
+        if match.group("open"):
+            stack.append((match.group("open"), []))
+        elif match.group("selfclose"):
+            node = Tree(match.group("selfclose"))
+            if stack:
+                stack[-1][1].append(node)
+            else:
+                root = node
+        else:
+            name = match.group("close")
+            if not stack:
+                raise TreeSyntaxError(f"unexpected closing tag </{name}>")
+            open_name, children = stack.pop()
+            if open_name != name:
+                raise TreeSyntaxError(
+                    f"mismatched tags: <{open_name}> closed by </{name}>"
+                )
+            node = Tree(open_name, children)
+            if stack:
+                stack[-1][1].append(node)
+            else:
+                root = node
+    if stack:
+        raise TreeSyntaxError(f"unclosed element <{stack[-1][0]}>")
+    if root is None:
+        raise TreeSyntaxError("no root element found")
+    return root

@@ -1,0 +1,126 @@
+"""Tests for closures and derivation trees (Definitions 2.14, 2.16;
+Lemma 2.17)."""
+
+from __future__ import annotations
+
+from repro.closure.closure import (
+    bounded_closure,
+    closure_of_pair,
+    derivation_tree_for,
+    is_closed_under_exchange,
+    is_derivation_tree,
+)
+from repro.trees.tree import Tree, parse_tree, unary_tree
+
+
+class TestBoundedClosure:
+    def test_contains_inputs(self):
+        t1, t2 = parse_tree("a(b)"), parse_tree("a(b(b))")
+        closure = bounded_closure([t1, t2], max_size=4)
+        assert t1 in closure and t2 in closure
+
+    def test_paper_theorem_4_3_exchange(self):
+        # closure(a^m(b), a^n(a,a)) contains the mixed tree from the proof
+        # of Theorem 4.3 (with m=2, n=1): exchanging at the depth-2 nodes.
+        t = unary_tree("aab")           # a(a(b))
+        s = parse_tree("a(a, a)")
+        closure = closure_of_pair(t, s, max_size=5)
+        assert parse_tree("a(a(b), a)") in closure
+
+    def test_closed_set_is_fixpoint(self):
+        t1 = parse_tree("a(b)")
+        closure = bounded_closure([t1], max_size=4)
+        assert closure == {t1}
+
+    def test_growth_within_size_bound(self):
+        t1 = parse_tree("a(a(b))")
+        t2 = parse_tree("a(a, a)")
+        closure = bounded_closure([t1, t2], max_size=5)
+        # Depth-2 nodes share the ancestor string (a, a): mixing produces
+        # branchy trees with b-leaves.
+        assert parse_tree("a(a(b), a)") in closure
+        assert parse_tree("a(a(b), a(b))") in closure
+        assert parse_tree("a(a)") in closure
+        assert all(tree.size() <= 5 for tree in closure)
+
+    def test_is_closed_under_exchange(self):
+        t1 = unary_tree("ab")
+        closed = bounded_closure([t1], max_size=3)
+        assert is_closed_under_exchange(closed)
+        assert not is_closed_under_exchange(
+            [parse_tree("a(a(b))"), parse_tree("a(a, a)")]
+        )
+
+    def test_different_depth_nodes_never_exchange(self):
+        # anc-str equality implies equal depth: {a(b), a(a(b))} is closed.
+        assert is_closed_under_exchange([unary_tree("ab"), unary_tree("aab")])
+
+    def test_type_guarded_closure_is_coarser_or_equal(self):
+        from repro.schemas.type_automaton import type_automaton
+        from repro.schemas.st_edtd import SingleTypeEDTD
+        from repro.schemas.ops import edtd_union
+
+        d1 = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"r", "x"},
+            rules={"r": "x?", "x": "~"},
+            starts={"r"},
+            mu={"r": "a", "x": "b"},
+        )
+        automaton = type_automaton(d1)
+        trees = [parse_tree("a"), parse_tree("a(b)")]
+        typed = bounded_closure(trees, max_size=4, automaton=automaton)
+        plain = bounded_closure(trees, max_size=4)
+        assert typed <= plain
+
+
+class TestDerivationTrees:
+    def test_base_member_has_trivial_derivation(self):
+        t = parse_tree("a(b)")
+        theta = derivation_tree_for(t, [t], max_size=3)
+        assert theta == Tree(t)
+        assert is_derivation_tree(theta, [t], t)
+
+    def test_derivation_of_exchanged_tree(self):
+        t1 = parse_tree("a(a(b))")
+        t2 = parse_tree("a(a, a)")
+        target = parse_tree("a(a(b), a)")
+        theta = derivation_tree_for(target, [t1, t2], max_size=4)
+        assert theta is not None
+        assert is_derivation_tree(theta, [t1, t2], target)
+
+    def test_no_derivation_outside_closure(self):
+        t1 = parse_tree("a(b)")
+        target = parse_tree("a(c)")
+        assert derivation_tree_for(target, [t1], max_size=4) is None
+
+    def test_checker_rejects_wrong_root(self):
+        t = parse_tree("a(b)")
+        theta = Tree(parse_tree("a(c)"))
+        assert not is_derivation_tree(theta, [t], t)
+
+    def test_checker_rejects_non_base_leaf(self):
+        t = parse_tree("a(b)")
+        other = parse_tree("a(c)")
+        assert not is_derivation_tree(Tree(other), [t], other)
+
+    def test_checker_rejects_invalid_internal_step(self):
+        t1 = parse_tree("a(b)")
+        t2 = parse_tree("a(c)")
+        bogus = Tree(parse_tree("a(b, c)"), [Tree(t1), Tree(t2)])
+        assert not is_derivation_tree(bogus, [t1, t2], parse_tree("a(b, c)"))
+
+    def test_checker_rejects_unary_internal_node(self):
+        t = parse_tree("a(b)")
+        bogus = Tree(t, [Tree(t)])
+        assert not is_derivation_tree(bogus, [t], t)
+
+    def test_lemma_2_17_equivalence_bounded(self):
+        # Everything in the bounded closure has a derivation tree and vice
+        # versa (Lemma 2.17 restricted to the bounded universe).
+        base = [unary_tree("ab"), parse_tree("a(a, a)"), unary_tree("aa")]
+        closure = bounded_closure(base, max_size=4)
+        for member in closure:
+            theta = derivation_tree_for(member, base, max_size=4)
+            assert theta is not None, member
+            assert is_derivation_tree(theta, base, member)

@@ -1,0 +1,127 @@
+"""Tests for ancestor-(type-)guarded subtree exchange (Definitions 2.10, 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.closure.exchange import (
+    all_exchanges,
+    all_type_guarded_exchanges,
+    anc_type,
+    exchange,
+    try_exchange,
+    type_guarded_exchange,
+)
+from repro.families.hard import example_2_6
+from repro.schemas.type_automaton import type_automaton
+from repro.trees.tree import parse_tree, unary_tree
+
+
+class TestGuardedExchange:
+    def test_valid_exchange(self):
+        t1 = parse_tree("a(b(c), d)")
+        t2 = parse_tree("a(b(e, e), d)")
+        result = exchange(t1, (0,), t2, (0,))
+        assert result == parse_tree("a(b(e, e), d)")
+
+    def test_exchange_at_different_paths_same_ancstr(self):
+        t1 = unary_tree("aab")   # a(a(b))
+        t2 = unary_tree("aaab")  # a(a(a(b)))
+        # node (0,) in t1 has anc-str (a,a); node (0,) in t2 too.
+        result = exchange(t1, (0,), t2, (0,))
+        assert result == unary_tree("aaab")
+
+    def test_guard_violation_raises(self):
+        t1 = parse_tree("a(b)")
+        t2 = parse_tree("a(c)")
+        with pytest.raises(ValueError):
+            exchange(t1, (0,), t2, (0,))
+
+    def test_try_exchange_returns_none_on_violation(self):
+        assert try_exchange(parse_tree("a(b)"), (0,), parse_tree("a(c)"), (0,)) is None
+
+    def test_root_exchange(self):
+        t1 = parse_tree("a(b)")
+        t2 = parse_tree("a(c, c)")
+        assert exchange(t1, (), t2, ()) == t2
+
+    def test_all_exchanges_cover_pairs(self):
+        t1 = parse_tree("a(b, b)")
+        t2 = parse_tree("a(b(b), b)")
+        results = set(all_exchanges(t1, t2))
+        # Replacing either b-child of t1 by the b(b) subtree of t2:
+        assert parse_tree("a(b(b), b)") in results
+        assert parse_tree("a(b, b(b))") in results
+
+    def test_all_exchanges_respect_guard(self):
+        t1 = parse_tree("a(b)")
+        t2 = parse_tree("c(b)")
+        # anc-strs (a,b) vs (c,b): only no-op root exchanges... roots differ
+        # too, so no exchange at all.
+        assert list(all_exchanges(t1, t2)) == []
+
+    def test_self_exchange_contains_identity(self):
+        t = parse_tree("a(b, c)")
+        assert t in set(all_exchanges(t, t))
+
+
+class TestTypeGuardedExchange:
+    def test_anc_type(self):
+        edtd = example_2_6()
+        automaton = type_automaton(edtd)
+        tree = parse_tree("a(b)")
+        assert anc_type(tree, (0,), automaton) == {"t2a", "t2b"}
+
+    def test_type_guard_allows_exchange(self):
+        edtd = example_2_6()
+        automaton = type_automaton(edtd)
+        t1 = parse_tree("a(b)")
+        t2 = parse_tree("a(b(b))")
+        result = type_guarded_exchange(t1, (0,), t2, (0,), automaton)
+        assert result == parse_tree("a(b(b))")
+
+    def test_type_guard_rejects_empty_type(self):
+        edtd = example_2_6()
+        automaton = type_automaton(edtd)
+        # anc-str (b,) is unreachable: type set empty -> guard fails.
+        t1 = parse_tree("b(b)")
+        assert type_guarded_exchange(t1, (0,), t1, (0,), automaton) is None
+
+    def test_type_guard_finer_than_label_guard(self):
+        # With a DFA automaton distinguishing depth, nodes with equal labels
+        # but different depths cannot be exchanged.
+        from repro.strings.dfa import DFA
+
+        depth_dfa = DFA(
+            states={0, 1, 2, 3},
+            alphabet={"a"},
+            transitions={(0, "a"): 1, (1, "a"): 2, (2, "a"): 3, (3, "a"): 3},
+            initial=0,
+            finals=set(),
+        ).to_nfa()
+        t1 = unary_tree("aa")
+        t2 = unary_tree("aaa")
+        # Depths 2 and 3 reach different states: the guard rejects.
+        assert (
+            type_guarded_exchange(t1, (0,), t2, (0, 0), depth_dfa) is None
+        )
+        # Equal depths reach the same state: the guard accepts.
+        assert (
+            type_guarded_exchange(t1, (0,), t2, (0,), depth_dfa) is not None
+        )
+
+    def test_restrict_labels(self):
+        edtd = example_2_6()
+        automaton = type_automaton(edtd)
+        t1 = parse_tree("a(b)")
+        t2 = parse_tree("a(b(b))")
+        none_allowed = list(
+            all_type_guarded_exchanges(t1, t2, automaton, restrict_labels=frozenset())
+        )
+        assert none_allowed == []
+        only_b = set(
+            all_type_guarded_exchanges(
+                t1, t2, automaton, restrict_labels=frozenset({"b"})
+            )
+        )
+        assert parse_tree("a(b(b))") in only_b

@@ -1,0 +1,131 @@
+"""Executable versions of the closure lemmas (2.15, 2.17, 4.9, Cor 4.10).
+
+All statements are checked on bounded universes: exchanges never deepen
+trees, and the test sets are chosen so the size bound covers every tree the
+closures can produce (making the bounded checks exact).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.closure.closure import (
+    bounded_closure,
+    derivation_tree_for,
+    is_closed_under_exchange,
+    is_derivation_tree,
+)
+from repro.schemas.inclusion import single_type_equivalent
+from repro.schemas.ops import st_intersection
+from repro.trees.tree import Tree, parse_tree
+
+
+def small_trees():
+    """Trees of depth <= 3 with <= 2 children per node.
+
+    Exchanges preserve depth and never widen a node, so every tree in the
+    closure of such a set has at most 1 + 2 + 4 = 7 nodes — ``BOUND`` below
+    makes the bounded closure the *true* closure, which the lemmas need.
+    """
+    labels = st.sampled_from(["a", "b"])
+    leaf = st.builds(Tree, labels)
+    depth2 = st.builds(Tree, labels, st.lists(leaf, min_size=0, max_size=2))
+    depth3 = st.builds(Tree, labels, st.lists(depth2, min_size=0, max_size=2))
+    return st.one_of(leaf, depth2, depth3)
+
+
+BOUND = 7
+
+
+class TestLemma215:
+    """Intersections of exchange-closed families are exchange-closed."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(small_trees(), min_size=1, max_size=3),
+           st.lists(small_trees(), min_size=1, max_size=3))
+    def test_intersection_of_closures_is_closed(self, set1, set2):
+        closed1 = bounded_closure(set1, max_size=BOUND)
+        closed2 = bounded_closure(set2, max_size=BOUND)
+        intersection = closed1 & closed2
+        assert is_closed_under_exchange(intersection)
+
+
+class TestClosureAlgebra:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(small_trees(), min_size=1, max_size=3))
+    def test_idempotent(self, trees):
+        once = bounded_closure(trees, max_size=BOUND)
+        twice = bounded_closure(once, max_size=BOUND)
+        assert once == twice
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(small_trees(), min_size=1, max_size=2),
+           st.lists(small_trees(), min_size=1, max_size=2))
+    def test_monotone(self, smaller, extra):
+        closed_small = bounded_closure(smaller, max_size=BOUND)
+        closed_large = bounded_closure(smaller + extra, max_size=BOUND)
+        assert closed_small <= closed_large
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(small_trees(), min_size=1, max_size=2),
+           st.lists(small_trees(), min_size=1, max_size=2))
+    def test_closure_of_union_absorbs_inner_closures(self, set1, set2):
+        direct = bounded_closure(set1 + set2, max_size=BOUND)
+        staged = bounded_closure(
+            list(bounded_closure(set1, max_size=BOUND))
+            + list(bounded_closure(set2, max_size=BOUND)),
+            max_size=BOUND,
+        )
+        assert direct == staged
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(small_trees(), min_size=1, max_size=3))
+    def test_lemma_2_17_every_member_has_a_derivation(self, trees):
+        closure = bounded_closure(trees, max_size=6)
+        for member in sorted(closure, key=str)[:10]:
+            theta = derivation_tree_for(member, trees, max_size=6)
+            assert theta is not None
+            assert is_derivation_tree(theta, trees, member)
+
+
+class TestLemma49:
+    """If X | Y1 and X | Y2 are exchange-closed, so is
+    X | closure(Y1 | Y2)."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(small_trees(), min_size=1, max_size=2),
+           st.lists(small_trees(), min_size=1, max_size=2),
+           st.lists(small_trees(), min_size=1, max_size=2))
+    def test_statement(self, x_seed, y1_seed, y2_seed):
+        # Build closed sets of the required shape: close X first, then
+        # close the unions (so X | Yi is closed by construction).
+        x = bounded_closure(x_seed, max_size=BOUND)
+        xy1 = bounded_closure(list(x) + y1_seed, max_size=BOUND)
+        xy2 = bounded_closure(list(x) + y2_seed, max_size=BOUND)
+        y1 = xy1 - x
+        y2 = xy2 - x
+        assert is_closed_under_exchange(x | y1)
+        assert is_closed_under_exchange(x | y2)
+        combined = x | bounded_closure(y1 | y2, max_size=BOUND)
+        assert is_closed_under_exchange(combined)
+
+
+class TestCorollary410:
+    """Maximal lower approximations are determined by either intersection:
+    contrapositive check on the Theorem 4.3 family."""
+
+    def test_xn_intersections_differ_in_both_components(self):
+        from repro.families.hard import theorem_4_3_d1_d2, theorem_4_3_xn
+
+        d1, d2 = theorem_4_3_d1_d2()
+        x1, x2 = theorem_4_3_xn(1), theorem_4_3_xn(2)
+        # Different in the D2 part (branching gates differ) ...
+        in_d2_1 = st_intersection(x1, d2)
+        in_d2_2 = st_intersection(x2, d2)
+        assert not single_type_equivalent(in_d2_1, in_d2_2)
+        # ... so by Corollary 4.10 they must differ in the D1 part too.
+        in_d1_1 = st_intersection(x1, d1)
+        in_d1_2 = st_intersection(x2, d1)
+        assert not single_type_equivalent(in_d1_1, in_d1_2)

@@ -1,0 +1,51 @@
+"""Tests for the ancestor-separating automaton N_k (Section 4.4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.closure.closure import bounded_closure
+from repro.closure.nk_automaton import nk_automaton, separates_up_to
+from repro.trees.tree import parse_tree
+
+
+class TestNk:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_separation_property(self, k):
+        automaton = nk_automaton({"a", "b"}, k)
+        assert separates_up_to(automaton, {"a", "b"}, k)
+
+    def test_size_shape(self):
+        # |Sigma|-ary tree of depth k plus |Sigma| sinks.
+        automaton = nk_automaton({"a", "b"}, 2)
+        expected = 1 + 2 + 4 + 2  # root, depth-1, depth-2, sinks
+        assert len(automaton.states) == expected
+
+    def test_deterministic_and_state_labeled(self):
+        automaton = nk_automaton({"a", "b"}, 2)
+        assert all(len(d) == 1 for d in automaton.transitions.values())
+        assert automaton.is_state_labeled()
+
+    def test_total_on_long_strings(self):
+        automaton = nk_automaton({"a"}, 1)
+        assert automaton.read(("a",) * 10)  # nonempty state set
+
+    def test_deep_strings_collapse_by_last_symbol(self):
+        automaton = nk_automaton({"a", "b"}, 1)
+        deep_ab = automaton.read(("a", "b", "a", "b"))
+        deep_bb = automaton.read(("b", "b", "b", "b"))
+        assert deep_ab == deep_bb  # both end in b beyond depth 1...
+
+    def test_type_closure_wrt_nk_equals_plain_closure_on_bounded_depth(self):
+        """For trees of depth <= k, N_k-type-guarded exchange coincides
+        with ancestor-guarded exchange (the paper's bridge)."""
+        trees = [
+            parse_tree("a(a(b))"),
+            parse_tree("a(a, a)"),
+            parse_tree("a(b, a(b))"),
+        ]
+        k = max(t.depth() for t in trees)
+        automaton = nk_automaton({"a", "b"}, k)
+        plain = bounded_closure(trees, max_size=5)
+        typed = bounded_closure(trees, max_size=5, automaton=automaton)
+        assert plain == typed

@@ -1,0 +1,44 @@
+"""Tests for the Theorem 2.11 / 4.2 closure characterizations."""
+
+from __future__ import annotations
+
+from repro.closure.properties import exchange_violation, type_exchange_violation
+from repro.families.hard import theorem_4_3_d1_d2
+from repro.schemas.ops import edtd_union
+from repro.schemas.st_edtd import SingleTypeEDTD
+
+
+class TestExchangeViolation:
+    def test_single_type_language_has_no_violation(self, store_schema):
+        assert exchange_violation(store_schema, max_size=6) is None
+
+    def test_union_violation_found(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        union = edtd_union(d1, d2)
+        violation = exchange_violation(union, max_size=5)
+        assert violation is not None
+        assert union.accepts(violation.left)
+        assert union.accepts(violation.right)
+        assert not union.accepts(violation.result)
+
+    def test_violation_fields_consistent(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        union = edtd_union(d1, d2)
+        violation = exchange_violation(union, max_size=5)
+        from repro.closure.exchange import all_exchanges
+
+        assert violation.result in set(
+            all_exchanges(violation.left, violation.right)
+        )
+
+    def test_type_guarded_violation(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        union = edtd_union(d1, d2)
+        violation = type_exchange_violation(union, max_size=5)
+        assert violation is not None
+
+    def test_intersection_closed(self, ab_star_schema, ab_pair_schema):
+        from repro.schemas.ops import st_intersection
+
+        inter = st_intersection(ab_star_schema, ab_pair_schema)
+        assert exchange_violation(inter, max_size=5) is None

@@ -1,0 +1,69 @@
+"""Shared fixtures: canonical schemas and bounded tree universes."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.trees.generate import enumerate_all_trees
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def store_schema() -> SingleTypeEDTD:
+    """store(item(price)*) — a small but non-trivial stEDTD."""
+    return SingleTypeEDTD(
+        alphabet={"store", "item", "price"},
+        types={"s", "i", "p"},
+        rules={"s": "i*", "i": "p", "p": "~"},
+        starts={"s"},
+        mu={"s": "store", "i": "item", "p": "price"},
+    )
+
+
+@pytest.fixture
+def ab_star_schema() -> SingleTypeEDTD:
+    """a-root with b* children."""
+    return SingleTypeEDTD(
+        alphabet={"a", "b"},
+        types={"ra", "tb"},
+        rules={"ra": "tb*", "tb": "~"},
+        starts={"ra"},
+        mu={"ra": "a", "tb": "b"},
+    )
+
+
+@pytest.fixture
+def ab_pair_schema() -> SingleTypeEDTD:
+    """a-root with exactly two b children."""
+    return SingleTypeEDTD(
+        alphabet={"a", "b"},
+        types={"ra", "tb"},
+        rules={"ra": "tb, tb", "tb": "~"},
+        starts={"ra"},
+        mu={"ra": "a", "tb": "b"},
+    )
+
+
+@pytest.fixture(scope="session")
+def ab_universe_4():
+    """All {a,b}-trees with at most 4 nodes (102 trees)."""
+    return enumerate_all_trees({"a", "b"}, 4)
+
+
+@pytest.fixture(scope="session")
+def ab_universe_5():
+    """All {a,b}-trees with at most 5 nodes (550 trees)."""
+    return enumerate_all_trees({"a", "b"}, 5)
+
+
+@pytest.fixture(scope="session")
+def a_universe_5():
+    """All {a}-trees with at most 5 nodes."""
+    return enumerate_all_trees({"a"}, 5)

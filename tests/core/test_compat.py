@@ -1,0 +1,51 @@
+"""Tests for the compatibility checker."""
+
+from __future__ import annotations
+
+from repro.core.compat import Compatibility, check_compatibility
+from repro.families.real_world import purchase_orders_v1, purchase_orders_v2
+from repro.schemas.st_edtd import SingleTypeEDTD
+
+
+class TestCompatibility:
+    def test_backward_compatible_evolution(self):
+        report = check_compatibility(purchase_orders_v1(), purchase_orders_v2())
+        assert report.verdict is Compatibility.BACKWARD
+        assert report.backward_compatible
+        assert not report.forward_compatible
+        # The new-only witness uses a v2 feature.
+        assert report.new_only is not None
+        labels = report.new_only.labels()
+        assert "discount" in labels or "priority" in labels
+
+    def test_forward_compatible_evolution(self):
+        report = check_compatibility(purchase_orders_v2(), purchase_orders_v1())
+        assert report.verdict is Compatibility.FORWARD
+        assert report.old_only is not None
+
+    def test_equivalent(self, store_schema):
+        report = check_compatibility(store_schema, store_schema.relabel_types())
+        assert report.verdict is Compatibility.EQUIVALENT
+        assert report.old_only is None and report.new_only is None
+
+    def test_breaking_change(self):
+        old = SingleTypeEDTD(
+            alphabet={"a", "b", "c"},
+            types={"r", "x"},
+            rules={"r": "x", "x": "~"},
+            starts={"r"},
+            mu={"r": "a", "x": "b"},
+        )
+        new = SingleTypeEDTD(
+            alphabet={"a", "b", "c"},
+            types={"r", "y"},
+            rules={"r": "y", "y": "~"},
+            starts={"r"},
+            mu={"r": "a", "y": "c"},
+        )
+        report = check_compatibility(old, new)
+        assert report.verdict is Compatibility.BREAKING
+        assert old.accepts(report.old_only)
+        assert not new.accepts(report.old_only)
+        assert new.accepts(report.new_only)
+        assert not old.accepts(report.new_only)

@@ -1,0 +1,153 @@
+"""Tests for the decision procedures (Theorem 3.5, definability, Section
+4.4.2 maximality)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.decision import (
+    Maximality,
+    is_lower_approximation,
+    is_maximal_lower_approximation,
+    is_minimal_upper_approximation,
+    is_single_type_definable,
+    is_upper_approximation,
+    singleton_edtd,
+)
+from repro.core.upper import minimal_upper_approximation, upper_union
+from repro.families.hard import (
+    example_2_6,
+    theorem_3_2_family,
+    theorem_4_3_d1_d2,
+    theorem_4_3_xn,
+    theorem_4_11_dtd,
+    theorem_4_11_xn,
+)
+from repro.families.random_schemas import random_edtd
+from repro.schemas.ops import complement_edtd, edtd_union
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.trees.generate import enumerate_all_trees
+from repro.trees.tree import parse_tree
+
+
+class TestUpperApproximationChecks:
+    def test_upper_check_positive(self):
+        edtd = example_2_6()
+        assert is_upper_approximation(minimal_upper_approximation(edtd), edtd)
+
+    def test_upper_check_negative(self, ab_pair_schema):
+        edtd = example_2_6()
+        assert not is_upper_approximation(ab_pair_schema, edtd)
+
+    def test_minimal_upper_positive(self):
+        edtd = example_2_6()
+        upper = minimal_upper_approximation(edtd)
+        assert is_minimal_upper_approximation(upper, edtd)
+
+    def test_minimal_upper_negative_too_large(self):
+        # The universal schema contains L(D) but is not minimal.
+        edtd = example_2_6()
+        universal = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"ua", "ub"},
+            rules={"ua": "(ua | ub)*", "ub": "(ua | ub)*"},
+            starts={"ua", "ub"},
+            mu={"ua": "a", "ub": "b"},
+        )
+        assert is_upper_approximation(universal, edtd)
+        assert not is_minimal_upper_approximation(universal, edtd)
+
+    def test_minimal_upper_negative_not_containing(self, ab_pair_schema):
+        assert not is_minimal_upper_approximation(ab_pair_schema, example_2_6())
+
+    def test_minimal_upper_union_candidates(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        union = edtd_union(d1, d2)
+        assert is_minimal_upper_approximation(upper_union(d1, d2), union)
+        assert not is_minimal_upper_approximation(d1, union)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_positive_cases(self, seed):
+        edtd = random_edtd(random.Random(600 + seed), num_labels=2, num_types=4)
+        upper = minimal_upper_approximation(edtd)
+        assert is_minimal_upper_approximation(upper, edtd), seed
+
+
+class TestDefinability:
+    """The EXPTIME-complete ST-REG membership test."""
+
+    def test_single_type_schema_definable(self, store_schema):
+        assert is_single_type_definable(store_schema)
+
+    def test_unary_languages_always_definable(self):
+        # On unary trees EDTD=NFA and stEDTD=DFA: every regular unary tree
+        # language is ST-definable (Theorem 3.2's discussion).
+        assert is_single_type_definable(theorem_3_2_family(3))
+
+    def test_theorem_4_3_union_not_definable(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        assert not is_single_type_definable(edtd_union(d1, d2))
+
+    def test_complement_of_chains_not_definable(self):
+        chains = SingleTypeEDTD(
+            alphabet={"a"},
+            types={"t"},
+            rules={"t": "t?"},
+            starts={"t"},
+            mu={"t": "a"},
+        )
+        assert not is_single_type_definable(complement_edtd(chains))
+
+    def test_example_2_6_definability(self):
+        edtd = example_2_6()
+        # Whatever the answer, it must agree with comparing against the
+        # constructed upper approximation extensionally on a bounded
+        # universe when the answer is positive.
+        definable = is_single_type_definable(edtd)
+        if definable:
+            upper = minimal_upper_approximation(edtd)
+            for tree in enumerate_all_trees({"a", "b"}, 4):
+                assert upper.accepts(tree) == edtd.accepts(tree), tree
+
+
+class TestSingletonEdtd:
+    def test_accepts_exactly_the_tree(self, ab_universe_4):
+        tree = parse_tree("a(b, a(b))")
+        schema = singleton_edtd(tree, frozenset({"a", "b"}))
+        for candidate in ab_universe_4:
+            assert schema.accepts(candidate) == (candidate == tree), candidate
+
+    def test_leaf_singleton(self):
+        schema = singleton_edtd(parse_tree("a"))
+        assert schema.accepts(parse_tree("a"))
+        assert not schema.accepts(parse_tree("a(a)"))
+
+
+class TestMaximalLower:
+    def test_xn_family_maximal(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        union = edtd_union(d1, d2)
+        for n in (1, 2):
+            xn = theorem_4_3_xn(n)
+            verdict = is_maximal_lower_approximation(xn, union, max_size=5)
+            assert verdict.outcome is Maximality.MAXIMAL_WITHIN_BOUND, n
+
+    def test_xn_complement_family_maximal(self):
+        dtd = theorem_4_11_dtd()
+        complement = complement_edtd(SingleTypeEDTD.from_edtd(dtd.to_edtd()))
+        for n in (1, 2):
+            xn = theorem_4_11_xn(n)
+            assert is_lower_approximation(xn, complement), n
+            verdict = is_maximal_lower_approximation(xn, complement, max_size=5)
+            assert verdict.outcome is Maximality.MAXIMAL_WITHIN_BOUND, n
+
+    def test_non_maximal_refuted_with_witness(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        union = edtd_union(d1, d2)
+        verdict = is_maximal_lower_approximation(d2, union, max_size=4)
+        assert verdict.outcome is Maximality.NOT_MAXIMAL
+        assert verdict.witness is not None
+        assert union.accepts(verdict.witness)
+        assert not d2.accepts(verdict.witness)

@@ -1,0 +1,110 @@
+"""Tests for the constructive Theorem 4.12 companion (greedy maximal
+lower approximations)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.decision import (
+    Maximality,
+    is_lower_approximation,
+    is_maximal_lower_approximation,
+)
+from repro.core.greedy import empty_schema, greedy_maximal_lower, try_absorb
+from repro.families.hard import theorem_4_3_d1_d2
+from repro.schemas.inclusion import included_in_single_type, single_type_equivalent
+from repro.schemas.ops import edtd_union
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.trees.tree import parse_tree
+
+
+@pytest.fixture
+def union_target():
+    d1, d2 = theorem_4_3_d1_d2()
+    return d1, d2, edtd_union(d1, d2)
+
+
+class TestTryAbsorb:
+    def test_absorbable_tree(self, union_target):
+        d1, _, union = union_target
+        current = empty_schema(union.alphabet)
+        absorbed = try_absorb(current, parse_tree("a(b)"), union)
+        assert absorbed is not None
+        assert absorbed.accepts(parse_tree("a(b)"))
+
+    def test_unabsorbable_combination(self, union_target):
+        d1, d2, union = union_target
+        # d1 contains all a^m(b); adding the branching tree escapes.
+        absorbed = try_absorb(d1.reduced(), parse_tree("a(a, a)"), union)
+        assert absorbed is None
+
+    def test_absorption_is_closure(self, union_target):
+        _, _, union = union_target
+        current = empty_schema(union.alphabet)
+        first = try_absorb(current, parse_tree("a(b)"), union)
+        second = try_absorb(first, parse_tree("a(a(b))"), union)
+        assert second is not None
+        # The closure of {a(b), a(a(b))} adds nothing (different depths).
+        assert second.accepts(parse_tree("a(b)"))
+        assert second.accepts(parse_tree("a(a(b))"))
+        assert not second.accepts(parse_tree("a(a)"))
+
+
+class TestGreedy:
+    def test_result_is_lower_approximation(self, union_target):
+        _, _, union = union_target
+        result = greedy_maximal_lower(union, max_size=4)
+        assert is_lower_approximation(result, union)
+
+    def test_result_is_maximal_within_bound(self, union_target):
+        _, _, union = union_target
+        result = greedy_maximal_lower(union, max_size=4)
+        verdict = is_maximal_lower_approximation(result, union, max_size=4)
+        assert verdict.outcome is Maximality.MAXIMAL_WITHIN_BOUND
+
+    def test_different_orders_reach_different_maxima(self, union_target):
+        """Executable non-uniqueness (the phenomenon of Theorem 4.3)."""
+        _, _, union = union_target
+        default = greedy_maximal_lower(union, max_size=4)
+        shuffled = greedy_maximal_lower(union, max_size=4, rng=random.Random(5))
+        assert not single_type_equivalent(default, shuffled)
+
+    def test_seed_schema_is_preserved(self, union_target):
+        d1, _, union = union_target
+        result = greedy_maximal_lower(union, max_size=4, seed_schema=d1.reduced())
+        assert included_in_single_type(d1, result)
+
+    def test_seeded_greedy_stays_within_nv_construction(self, union_target):
+        """Growing from D1 can only absorb non-violating trees, so the
+        greedy result sits between L(D1) and the Theorem 4.8 optimum
+        L(D1) | nv(D2, D1), agreeing with it on the bounded fragment.
+
+        (Exact equality needs unboundedly many witnesses — nv here is the
+        infinite family of all unary a-chains.)
+        """
+        from repro.core.lower import maximal_lower_union
+        from repro.trees.generate import enumerate_trees
+
+        d1, d2, union = union_target
+        greedy = greedy_maximal_lower(union, max_size=4, seed_schema=d1.reduced())
+        nv_based = maximal_lower_union(d1, d2)
+        assert included_in_single_type(greedy, nv_based)
+        for tree in enumerate_trees(nv_based, 4):
+            assert greedy.accepts(tree), tree
+
+    def test_on_single_type_target_absorbs_all_bounded_members(self, store_schema):
+        from repro.trees.generate import enumerate_trees
+
+        result = greedy_maximal_lower(store_schema, max_size=6)
+        assert included_in_single_type(result, store_schema)
+        for tree in enumerate_trees(store_schema, 6):
+            assert result.accepts(tree), tree
+
+    def test_empty_target(self):
+        empty = SingleTypeEDTD(
+            alphabet={"a"}, types=set(), rules={}, starts=set(), mu={}
+        )
+        result = greedy_maximal_lower(empty, max_size=3)
+        assert result.is_empty_language()

@@ -1,0 +1,244 @@
+"""Tests for maximal lower XSD-approximations (Section 4.2.2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.decision import (
+    Maximality,
+    is_lower_approximation,
+    is_maximal_lower_approximation,
+)
+from repro.core.lower import (
+    _PairContext,
+    is_c_type,
+    is_s_type,
+    maximal_lower_union,
+    non_violating,
+    swap_language_edtd,
+)
+from repro.core.upper import minimal_upper_approximation
+from repro.families.hard import theorem_4_3_d1_d2
+from repro.families.random_schemas import random_single_type_edtd
+from repro.schemas.inclusion import included_in_single_type, single_type_equivalent
+from repro.schemas.ops import edtd_union
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.schemas.type_automaton import is_single_type
+from repro.trees.generate import enumerate_all_trees, enumerate_trees
+from repro.trees.tree import Tree, parse_tree, unary_tree
+
+
+@pytest.fixture
+def t43():
+    d1, d2 = theorem_4_3_d1_d2()
+    return d1.reduced(), d2.reduced()
+
+
+class TestTypeClassification:
+    def test_s_type_with_bottom_d2(self, t43):
+        d1, d2 = t43
+        ctx = _PairContext(d1, d2)
+        # anc-str (a, b): defined in D1 (type tb), undefined in D2.
+        pair = (ctx.step(ctx.start_pair("a"), "b"))
+        assert pair[0] is not None and pair[1] is None
+        assert is_s_type(ctx, pair)
+        assert is_c_type(ctx, pair)
+
+    def test_root_pair_is_s_type(self, t43):
+        # Subtrees at the root: L(D1) vs L(D2) — D1 has a^m(b) trees D2
+        # lacks, so the root pair is an s-type.
+        d1, d2 = t43
+        ctx = _PairContext(d1, d2)
+        pair = ctx.start_pair("a")
+        assert is_s_type(ctx, pair)
+
+    def test_bottom_d1_never_s_or_c(self, t43):
+        d1, d2 = t43
+        ctx = _PairContext(d1, d2)
+        pair = (None, "sa")
+        assert not is_s_type(ctx, pair)
+        assert not is_c_type(ctx, pair)
+
+    def test_s_type_via_inclusion(self):
+        # D1-subtrees included in D2-subtrees at the matching pair: not s.
+        d1 = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"r", "x"},
+            rules={"r": "x", "x": "~"},
+            starts={"r"},
+            mu={"r": "a", "x": "b"},
+        )
+        d2 = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"r", "x"},
+            rules={"r": "x*", "x": "~"},
+            starts={"r"},
+            mu={"r": "a", "x": "b"},
+        )
+        ctx = _PairContext(d1.reduced(), d2.reduced())
+        root = ctx.start_pair("a")
+        assert not is_s_type(ctx, root)  # L1 = {a(b)} subset of L2
+
+
+class TestSwapLanguage:
+    def test_swap_language_members(self, t43):
+        d1, d2 = t43
+        ctx = _PairContext(d1, d2)
+        # In this schema the a-step is a self-loop in both type automata, so
+        # the pair at every a-spine depth (root included) is the same.
+        target = ctx.step(ctx.start_pair("a"), "a")
+        assert target == ("ta", "sa")
+        assert target == ctx.start_pair("a")
+        swap = swap_language_edtd(ctx, target)
+        # Deep swaps: a^m(b) spine with the a-subtree replaced by L(D2).
+        assert swap.accepts(parse_tree("a(a)"))
+        assert swap.accepts(parse_tree("a(a(a, a))"))
+        # Root swaps: any member of L(D2).
+        assert swap.accepts(parse_tree("a(a, a)"))
+        assert swap.accepts(parse_tree("a"))
+        # Non-members: D1-only trees and anything with b below the swap.
+        assert not swap.accepts(parse_tree("a(b)"))
+        assert not swap.accepts(parse_tree("b"))
+        assert not swap.accepts(parse_tree("a(a(b))"))
+
+
+class TestNonViolating:
+    def test_nv_subset_of_d2(self, t43, ab_universe_5):
+        d1, d2 = t43
+        nv = non_violating(d2, d1)
+        for tree in ab_universe_5:
+            if nv.accepts(tree):
+                assert d2.accepts(tree), tree
+
+    def test_nv_is_single_type(self, t43):
+        d1, d2 = t43
+        assert is_single_type(non_violating(d2, d1))
+
+    def test_nv_of_theorem_4_3_is_unary_chains(self, t43, ab_universe_5):
+        # Branching D2-trees violate: exchanged with long a^m(b) chains
+        # they escape the union.  Only the unary all-a chains survive.
+        d1, d2 = t43
+        nv = non_violating(d2, d1)
+        for tree in ab_universe_5:
+            expected = d2.accepts(tree) and tree.is_unary()
+            assert nv.accepts(tree) == expected, tree
+
+    def test_nv_definition_extensionally(self, t43, ab_universe_4):
+        # Direct check of Definition 4.4 on the bounded universe: t is
+        # non-violating iff closure(t1, t) stays in the union for every
+        # (bounded) t1 in L(D1).
+        from repro.closure.closure import closure_of_pair
+
+        d1, d2 = t43
+        union = edtd_union(d1, d2)
+        nv = non_violating(d2, d1)
+        d1_members = enumerate_trees(d1, 6)
+        for tree in ab_universe_4:
+            if not d2.accepts(tree):
+                continue
+            violates = False
+            for t1 in d1_members:
+                for result in closure_of_pair(t1, tree, max_size=7):
+                    if not union.accepts(result):
+                        violates = True
+                        break
+                if violates:
+                    break
+            if violates:
+                assert not nv.accepts(tree), tree
+            else:
+                assert nv.accepts(tree), tree
+
+    def test_nv_with_included_d2_is_d2(self, ab_star_schema):
+        smaller = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"r", "x"},
+            rules={"r": "x, x", "x": "~"},
+            starts={"r"},
+            mu={"r": "a", "x": "b"},
+        )
+        nv = non_violating(smaller, ab_star_schema)
+        assert single_type_equivalent(nv, smaller)
+
+    def test_nv_empty_inputs(self, ab_star_schema):
+        empty = SingleTypeEDTD(
+            alphabet={"a", "b"}, types=set(), rules={}, starts=set(), mu={}
+        )
+        assert non_violating(empty, ab_star_schema).is_empty_language()
+        nv = non_violating(ab_star_schema, empty)
+        assert single_type_equivalent(nv, ab_star_schema)
+
+
+class TestMaximalLowerUnion:
+    def test_contains_d1(self, t43):
+        d1, d2 = t43
+        lower = maximal_lower_union(d1, d2)
+        assert included_in_single_type(d1, lower)
+
+    def test_is_lower_approximation(self, t43):
+        d1, d2 = t43
+        lower = maximal_lower_union(d1, d2)
+        assert is_lower_approximation(lower, edtd_union(d1, d2))
+
+    def test_is_single_type(self, t43):
+        d1, d2 = t43
+        assert is_single_type(maximal_lower_union(d1, d2))
+
+    def test_maximality_verdict(self, t43):
+        d1, d2 = t43
+        lower = maximal_lower_union(d1, d2)
+        verdict = is_maximal_lower_approximation(
+            lower, edtd_union(d1, d2), max_size=5
+        )
+        assert verdict.outcome is Maximality.MAXIMAL_WITHIN_BOUND
+
+    def test_strict_sub_approximation_refuted(self, t43):
+        d1, d2 = t43
+        verdict = is_maximal_lower_approximation(d1, edtd_union(d1, d2), max_size=4)
+        assert verdict.outcome is Maximality.NOT_MAXIMAL
+        assert verdict.witness is not None
+
+    def test_not_lower_detected(self, t43):
+        d1, d2 = t43
+        upper = minimal_upper_approximation(edtd_union(d1, d2))
+        verdict = is_maximal_lower_approximation(upper, edtd_union(d1, d2), max_size=3)
+        assert verdict.outcome is Maximality.NOT_LOWER
+
+    def test_symmetric_direction(self, t43, ab_universe_5):
+        # Fixing D2 instead: the maximal lower approximation containing
+        # L(D2) keeps all of D2 and the short chains of D1 it can absorb.
+        d1, d2 = t43
+        lower = maximal_lower_union(d2, d1)
+        union = edtd_union(d1, d2)
+        assert included_in_single_type(d2, lower)
+        assert is_lower_approximation(lower, union)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_pairs_lower_property(self, seed):
+        rng = random.Random(400 + seed)
+        d1 = random_single_type_edtd(rng, num_labels=2, num_types=4)
+        d2 = random_single_type_edtd(rng, num_labels=2, num_types=4)
+        lower = maximal_lower_union(d1, d2)
+        union = edtd_union(d1, d2)
+        assert included_in_single_type(d1, lower), seed
+        universe = enumerate_all_trees(d1.alphabet | d2.alphabet, 4)
+        for tree in universe:
+            if lower.accepts(tree):
+                assert union.accepts(tree), (seed, tree)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_pairs_nv_never_violates(self, seed):
+        from repro.closure.closure import closure_of_pair
+
+        rng = random.Random(500 + seed)
+        d1 = random_single_type_edtd(rng, num_labels=2, num_types=3)
+        d2 = random_single_type_edtd(rng, num_labels=2, num_types=3)
+        union = edtd_union(d1, d2)
+        nv = non_violating(d2, d1)
+        d1_members = enumerate_trees(d1, 5)
+        for tree in enumerate_trees(nv, 4):
+            for t1 in d1_members:
+                for result in closure_of_pair(t1, tree, max_size=6):
+                    assert union.accepts(result), (seed, tree, t1, result)

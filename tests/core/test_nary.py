@@ -1,0 +1,70 @@
+"""Tests for n-ary merging (fold correctness = closure idempotence)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.nary import merge_all, merge_all_direct, union_all
+from repro.errors import SchemaError
+from repro.families.random_schemas import random_single_type_edtd
+from repro.families.real_world import atom_feed, purchase_orders_v1, rss_feed
+from repro.schemas.inclusion import included_in_single_type, single_type_equivalent
+
+
+class TestMergeAll:
+    def test_single_input_is_identity(self, store_schema):
+        merged = merge_all([store_schema])
+        assert single_type_equivalent(merged, store_schema)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SchemaError):
+            merge_all([])
+        with pytest.raises(SchemaError):
+            union_all([])
+
+    def test_contains_every_input(self):
+        schemas = [rss_feed(), atom_feed(), purchase_orders_v1()]
+        merged = merge_all(schemas)
+        for schema in schemas:
+            assert included_in_single_type(schema, merged)
+
+    def test_fold_equals_direct_construction(self):
+        rng = random.Random(31)
+        schemas = [
+            random_single_type_edtd(rng, num_labels=2, num_types=3)
+            for _ in range(3)
+        ]
+        folded = merge_all(schemas)
+        direct = merge_all_direct(schemas)
+        assert single_type_equivalent(folded, direct)
+
+    def test_order_independence(self):
+        rng = random.Random(32)
+        schemas = [
+            random_single_type_edtd(rng, num_labels=2, num_types=3)
+            for _ in range(3)
+        ]
+        reference = merge_all(schemas)
+        for permutation in itertools.permutations(schemas):
+            assert single_type_equivalent(merge_all(list(permutation)), reference)
+
+    def test_is_minimal_upper_of_nary_union(self):
+        from repro.core.decision import is_minimal_upper_approximation
+
+        schemas = [rss_feed(), atom_feed(), purchase_orders_v1()]
+        merged = merge_all(schemas)
+        assert is_minimal_upper_approximation(merged, union_all(schemas))
+
+    def test_no_intermediate_minimization_same_language(self):
+        rng = random.Random(33)
+        schemas = [
+            random_single_type_edtd(rng, num_labels=2, num_types=3)
+            for _ in range(3)
+        ]
+        assert single_type_equivalent(
+            merge_all(schemas, minimize_intermediates=False),
+            merge_all(schemas),
+        )

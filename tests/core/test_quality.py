@@ -1,0 +1,51 @@
+"""Tests for the approximation-quality metrics."""
+
+from __future__ import annotations
+
+from repro.core.quality import extra_documents, lower_quality, upper_quality
+from repro.core.upper import upper_union
+from repro.families.hard import theorem_4_3_d1_d2
+from repro.schemas.ops import edtd_union
+
+
+class TestUpperQuality:
+    def test_exact_approximation_has_zero_slack(self, store_schema):
+        quality = upper_quality(store_schema, store_schema, max_size=8)
+        assert quality.is_exact_within_bound()
+        assert quality.total_slack() == 0
+
+    def test_union_overshoot_measured(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        union = edtd_union(d1, d2)
+        upper = upper_union(d1, d2)
+        quality = upper_quality(union, upper, max_size=6)
+        assert all(s >= 0 for s in quality.slack)
+        assert quality.total_slack() > 0
+        assert not quality.is_exact_within_bound()
+
+    def test_extra_documents_are_genuinely_extra(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        union = edtd_union(d1, d2)
+        upper = upper_union(d1, d2)
+        extras = extra_documents(union, upper, max_size=5)
+        assert extras
+        for tree in extras:
+            assert upper.accepts(tree)
+            assert not union.accepts(tree)
+
+    def test_slack_counts_match_extra_documents(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        union = edtd_union(d1, d2)
+        upper = upper_union(d1, d2)
+        quality = upper_quality(union, upper, max_size=5)
+        extras = extra_documents(union, upper, max_size=5)
+        assert quality.total_slack() == len(extras)
+
+
+class TestLowerQuality:
+    def test_lower_loss_measured(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        union = edtd_union(d1, d2)
+        quality = lower_quality(union, d1, max_size=6)
+        assert all(s >= 0 for s in quality.slack)
+        assert quality.total_slack() > 0  # d1 alone loses all branching trees

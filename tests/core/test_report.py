@@ -1,0 +1,55 @@
+"""Tests for the schema-merge/difference reports."""
+
+from __future__ import annotations
+
+from repro.core.report import difference_report, merge_report
+from repro.families.hard import theorem_4_3_d1_d2
+from repro.families.real_world import purchase_orders_v1, purchase_orders_v2
+
+
+class TestMergeReport:
+    def test_inexact_merge(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        report = merge_report(d1, d2, max_size=6, left_name="chains", right_name="trees")
+        assert report.startswith("# Merge report: chains | trees")
+        assert "**not** expressible" in report
+        assert "## Approximation slack" in report
+        assert "```xml" in report
+
+    def test_exact_merge(self, ab_star_schema):
+        # Merging a schema with a subset of itself is exact.
+        from repro.schemas.st_edtd import SingleTypeEDTD
+
+        sub = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"r", "x"},
+            rules={"r": "x, x", "x": "~"},
+            starts={"r"},
+            mu={"r": "a", "x": "b"},
+        )
+        report = merge_report(ab_star_schema, sub)
+        assert "**exact**" in report
+        assert "## Approximation slack" not in report
+
+    def test_contains_result_schema_block(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        report = merge_report(d1, d2, max_size=5)
+        assert "## Result schema" in report
+        assert "start:" in report
+
+
+class TestDifferenceReport:
+    def test_orders_evolution(self):
+        report = difference_report(
+            purchase_orders_v2(),
+            purchase_orders_v1(),
+            max_size=8,
+            left_name="v2",
+            right_name="v1",
+        )
+        assert report.startswith("# Difference report: v2 - v1")
+        assert "## Result schema" in report
+
+    def test_empty_difference_is_exact(self, store_schema):
+        report = difference_report(store_schema, store_schema)
+        assert "**exact**" in report

@@ -1,0 +1,69 @@
+"""Tests for Monte Carlo slack estimation."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.sampling_eval import SlackEstimate, estimate_slack_ratio
+from repro.core.upper import upper_union
+from repro.families.hard import theorem_4_3_d1_d2
+from repro.schemas.ops import edtd_union
+
+
+class TestSlackEstimate:
+    def test_ratio_and_stderr(self):
+        estimate = SlackEstimate(samples=100, outside=25)
+        assert estimate.ratio == 0.25
+        assert 0.04 < estimate.stderr < 0.05
+
+    def test_zero_samples(self):
+        estimate = SlackEstimate(samples=0, outside=0)
+        assert estimate.ratio == 0.0
+        assert estimate.stderr == 0.0
+
+
+class TestEstimation:
+    def test_exact_approximation_has_zero_ratio(self, store_schema):
+        estimate = estimate_slack_ratio(
+            store_schema, store_schema, random.Random(1), samples=50
+        )
+        assert estimate.outside == 0
+
+    def test_genuine_overshoot_detected(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        union = edtd_union(d1, d2)
+        upper = upper_union(d1, d2)
+        estimate = estimate_slack_ratio(
+            union, upper, random.Random(2), target_size=10, samples=150
+        )
+        # Mixed chains/branching documents dominate larger sizes.
+        assert estimate.outside > 0
+        assert 0.0 < estimate.ratio <= 1.0
+
+    def test_seed_determinism(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        union = edtd_union(d1, d2)
+        upper = upper_union(d1, d2)
+        e1 = estimate_slack_ratio(union, upper, random.Random(3), samples=60)
+        e2 = estimate_slack_ratio(union, upper, random.Random(3), samples=60)
+        assert e1 == e2
+
+    def test_qualitative_agreement_with_exact_counts(self):
+        """Sampling and exact counting must agree on which of two
+        approximations is tighter."""
+        from repro.core.quality import upper_quality
+
+        d1, d2 = theorem_4_3_d1_d2()
+        union = edtd_union(d1, d2)
+        upper = upper_union(d1, d2)
+        # Exact counts say the upper approximation has genuine slack:
+        quality = upper_quality(union, upper, max_size=7)
+        assert quality.total_slack() > 0
+        # ... and sampling detects the same (vs the zero-slack identity).
+        overshoot = estimate_slack_ratio(
+            union, upper, random.Random(4), target_size=8, samples=120
+        )
+        identity = estimate_slack_ratio(
+            union, union, random.Random(4), target_size=8, samples=120
+        )
+        assert overshoot.ratio > identity.ratio == 0.0

@@ -1,0 +1,150 @@
+"""Tests for counterexample/witness generation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.witness import (
+    difference_witness,
+    inclusion_counterexample,
+    minimal_tree_of_type,
+)
+from repro.errors import NotSingleTypeError
+from repro.families.hard import example_2_6, theorem_4_3_d1_d2
+from repro.families.random_schemas import random_edtd, random_single_type_edtd
+from repro.schemas.inclusion import included_in_single_type
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.trees.tree import parse_tree
+
+
+class TestMinimalTree:
+    def test_minimal_tree_is_member(self, store_schema):
+        tree = minimal_tree_of_type(store_schema, "s")
+        assert store_schema.accepts(tree)
+        assert tree == parse_tree("store")  # i* allows zero items
+
+    def test_minimal_tree_respects_mandatory_children(self, store_schema):
+        tree = minimal_tree_of_type(store_schema, "i")
+        assert tree == parse_tree("item(price)")
+
+    def test_recursive_type(self):
+        d1, _ = theorem_4_3_d1_d2()
+        tree = minimal_tree_of_type(d1.reduced(), "ta")
+        assert d1.accepts(tree)
+        assert tree.size() == 2  # a(b)
+
+
+class TestInclusionCounterexample:
+    def test_none_when_included(self, store_schema):
+        smaller = SingleTypeEDTD(
+            alphabet=store_schema.alphabet,
+            types=store_schema.types,
+            rules={"s": "i", "i": "p", "p": "~"},
+            starts=store_schema.starts,
+            mu=store_schema.mu,
+        )
+        assert inclusion_counterexample(smaller, store_schema) is None
+
+    def test_witness_for_content_violation(self, store_schema):
+        bigger = SingleTypeEDTD(
+            alphabet=store_schema.alphabet,
+            types=store_schema.types,
+            rules={"s": "i* | p", "i": "p", "p": "~"},
+            starts=store_schema.starts,
+            mu=store_schema.mu,
+        )
+        witness = inclusion_counterexample(bigger, store_schema)
+        assert witness is not None
+        assert bigger.accepts(witness)
+        assert not store_schema.accepts(witness)
+
+    def test_witness_for_root_violation(self, store_schema):
+        other_root = SingleTypeEDTD(
+            alphabet=store_schema.alphabet,
+            types={"p"},
+            rules={"p": "~"},
+            starts={"p"},
+            mu={"p": "price"},
+        )
+        witness = inclusion_counterexample(other_root, store_schema)
+        assert witness == parse_tree("price")
+
+    def test_witness_deep_violation(self):
+        # Violation only visible two levels down.
+        deep = SingleTypeEDTD(
+            alphabet={"a", "b", "c"},
+            types={"r", "x", "y"},
+            rules={"r": "x", "x": "y, y", "y": "~"},
+            starts={"r"},
+            mu={"r": "a", "x": "b", "y": "c"},
+        )
+        shallow = SingleTypeEDTD(
+            alphabet={"a", "b", "c"},
+            types={"r", "x", "y"},
+            rules={"r": "x", "x": "y", "y": "~"},
+            starts={"r"},
+            mu={"r": "a", "x": "b", "y": "c"},
+        )
+        witness = inclusion_counterexample(deep, shallow)
+        assert witness == parse_tree("a(b(c, c))")
+
+    def test_witness_from_general_edtd(self, store_schema):
+        witness = inclusion_counterexample(example_2_6(), _universal_ab())
+        assert witness is None  # everything over {a, b} is included
+        witness = inclusion_counterexample(example_2_6(), _only_depth_2_ab())
+        assert witness is not None
+        assert example_2_6().accepts(witness)
+
+    def test_superset_must_be_single_type(self, store_schema):
+        with pytest.raises(NotSingleTypeError):
+            inclusion_counterexample(store_schema, example_2_6())
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_agreement_with_decision(self, seed):
+        rng = random.Random(7000 + seed)
+        sub = random_edtd(rng, num_labels=3, num_types=4)
+        sup = random_single_type_edtd(rng, num_labels=3, num_types=4)
+        included = included_in_single_type(sub, sup)
+        witness = inclusion_counterexample(sub, sup)
+        if included:
+            assert witness is None, seed
+        else:
+            assert witness is not None, seed
+            assert sub.accepts(witness), (seed, witness)
+            assert not sup.accepts(witness), (seed, witness)
+
+
+def _universal_ab() -> SingleTypeEDTD:
+    from repro.strings.builders import sigma_star
+
+    types = {"ua", "ub"}
+    star = sigma_star(types)
+    return SingleTypeEDTD(
+        alphabet={"a", "b"},
+        types=types,
+        rules={"ua": star, "ub": star},
+        starts=types,
+        mu={"ua": "a", "ub": "b"},
+    )
+
+
+def _only_depth_2_ab() -> SingleTypeEDTD:
+    return SingleTypeEDTD(
+        alphabet={"a", "b"},
+        types={"ra", "xa", "xb"},
+        rules={"ra": "(xa | xb)*", "xa": "~", "xb": "~"},
+        starts={"ra"},
+        mu={"ra": "a", "xa": "a", "xb": "b"},
+    )
+
+
+class TestDifferenceWitness:
+    def test_distinguishing_document(self, ab_star_schema, ab_pair_schema):
+        witness = difference_witness(ab_star_schema, ab_pair_schema)
+        assert witness is not None
+        assert ab_star_schema.accepts(witness) != ab_pair_schema.accepts(witness)
+
+    def test_none_for_equivalent(self, store_schema):
+        assert difference_witness(store_schema, store_schema.relabel_types()) is None

@@ -1,0 +1,189 @@
+"""Tests for the paper's hard-instance families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.upper import minimal_upper_approximation, upper_intersection, upper_union
+from repro.families.hard import (
+    example_2_6,
+    theorem_3_2_family,
+    theorem_3_6_family,
+    theorem_3_8_family,
+    theorem_4_3_d1_d2,
+    theorem_4_3_xn,
+    theorem_4_11_dtd,
+    theorem_4_11_xn,
+    unary_edtd_from_nfa,
+    unary_single_type_from_dfa,
+)
+from repro.schemas.minimize import minimize_single_type
+from repro.schemas.ops import complement_edtd, edtd_union
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.schemas.type_automaton import is_single_type
+from repro.strings.builders import at_most_k_occurrences
+from repro.strings.ops import as_nfa
+from repro.trees.tree import Tree, parse_tree, unary_tree
+
+
+class TestUnaryLifting:
+    def test_unary_edtd_membership_matches_words(self):
+        edtd = unary_edtd_from_nfa(as_nfa("a, (b, a)*"))
+        assert edtd.accepts(unary_tree("a"))
+        assert edtd.accepts(unary_tree("aba"))
+        assert not edtd.accepts(unary_tree("ab"))
+        assert not edtd.accepts(parse_tree("a(b, a)"))  # branching excluded
+
+    def test_unary_single_type_from_dfa(self):
+        schema = unary_single_type_from_dfa(
+            at_most_k_occurrences({"a", "b"}, "a", 1)
+        )
+        assert is_single_type(schema)
+        assert schema.accepts(unary_tree("bab"))
+        assert not schema.accepts(unary_tree("aa"))
+
+    def test_empty_language_rejected(self):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            unary_edtd_from_nfa(as_nfa("#"))
+
+
+class TestExample26:
+    def test_not_single_type(self):
+        assert not is_single_type(example_2_6())
+
+    def test_membership(self):
+        edtd = example_2_6()
+        # d(t1) requires exactly one child (t1, t2a or t2b).
+        assert not edtd.accepts(parse_tree("a"))
+        assert edtd.accepts(parse_tree("a(b)"))
+        assert edtd.accepts(parse_tree("a(a(b))"))
+        assert edtd.accepts(parse_tree("a(b(b(a(b))))"))  # via the t2b chain
+        assert not edtd.accepts(parse_tree("b"))
+
+
+class TestTheorem32:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_membership(self, n):
+        edtd = theorem_3_2_family(n)
+        assert edtd.accepts(unary_tree("a" + "b" * n))
+        assert edtd.accepts(unary_tree("ba" + "a" * n))
+        assert not edtd.accepts(unary_tree("b" * (n + 1)))
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_exponential_blowup(self, n):
+        edtd = theorem_3_2_family(n)
+        upper = minimal_upper_approximation(edtd, minimize=True)
+        # The minimal DFA for (a+b)* a (a+b)^n has 2^(n+1) states; the
+        # type-size of the minimal upper approximation matches.
+        assert len(upper.types) == 2 ** (n + 1)
+        # while the input stays linear:
+        assert edtd.type_size() <= 3 * n + 5
+
+    def test_upper_is_exact_on_unary(self):
+        # Unary languages are ST-definable, so the approximation is exact.
+        from repro.core.decision import is_single_type_definable
+
+        assert is_single_type_definable(theorem_3_2_family(2))
+
+
+class TestTheorem36:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_membership(self, n):
+        d1, d2 = theorem_3_6_family(n)
+        assert d1.accepts(unary_tree("a" * n + "b" * 5))
+        assert not d1.accepts(unary_tree("a" * (n + 1)))
+        assert d2.accepts(unary_tree("b" * n + "a" * 5))
+        assert not d2.accepts(unary_tree("b" * (n + 1)))
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_quadratic_type_size(self, n):
+        d1, d2 = theorem_3_6_family(n)
+        upper = upper_union(d1, d2, minimize=True)
+        # Omega(n^2): the (k, l) counting pairs must stay distinct.
+        assert len(upper.types) >= n * n
+        # ... but still O(|D1| |D2|).
+        assert len(upper.types) <= (len(d1.types) + 2) * (len(d2.types) + 2)
+
+
+class TestTheorem38:
+    def test_intersection_periods(self):
+        d1, d2 = theorem_3_8_family(2)  # primes 3 and 5
+        inter = upper_intersection(d1, d2, minimize=True)
+        assert inter.accepts(unary_tree("a" * 15))
+        assert inter.accepts(unary_tree("a" * 30))
+        assert not inter.accepts(unary_tree("a" * 3))
+        assert not inter.accepts(unary_tree("a" * 5))
+
+    def test_quadratic_type_size(self):
+        d1, d2 = theorem_3_8_family(2)
+        inter = upper_intersection(d1, d2, minimize=True)
+        assert len(inter.types) >= 15  # p1 * p2
+
+
+class TestTheorem43:
+    def test_xn_pairwise_distinct(self):
+        d1, _ = theorem_4_3_d1_d2()
+        for n in (1, 2, 3):
+            xn = theorem_4_3_xn(n)
+            # L(X_n) & L(D1) = {a^m(b) : m <= n}
+            for m in range(1, n + 3):
+                assert xn.accepts(unary_tree("a" * m + "b")) == (m <= n), (n, m)
+
+    def test_xn_is_lower_approximation(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        union = edtd_union(d1, d2)
+        from repro.core.decision import is_lower_approximation
+
+        for n in (1, 2, 3):
+            assert is_lower_approximation(theorem_4_3_xn(n), union), n
+
+    def test_branching_depth_gate(self):
+        xn = theorem_4_3_xn(2)
+        assert not xn.accepts(parse_tree("a(a, a)"))       # branch at depth 2
+        assert xn.accepts(parse_tree("a(a(a, a))"))        # branch at depth 3
+        assert xn.accepts(unary_tree("aaaaa"))             # pure chains fine
+
+    def test_paper_escape_tree(self):
+        # The proof exchanges a^m(b) (m > n) with a^n(a, a) to reach a tree
+        # outside the union — X_n must therefore reject a^m(b) for m > n.
+        d1, d2 = theorem_4_3_d1_d2()
+        union = edtd_union(d1, d2)
+        escape = parse_tree("a(a(a(b)), a)")  # a^1( a^2 b , a )
+        assert not union.accepts(escape)
+
+
+class TestTheorem411:
+    def test_dtd_and_complement(self):
+        dtd = theorem_4_11_dtd()
+        assert dtd.accepts(unary_tree("aaa"))
+        assert not dtd.accepts(parse_tree("a(a, a)"))
+        complement = complement_edtd(SingleTypeEDTD.from_edtd(dtd.to_edtd()))
+        assert complement.accepts(parse_tree("a(a, a)"))
+        assert not complement.accepts(unary_tree("aaa"))
+
+    def test_xn_pairwise_distinct(self):
+        def t_of_depth(m: int) -> Tree:
+            tree = parse_tree("a(a, a)")
+            for _ in range(m - 2):
+                tree = Tree("a", [tree])
+            return tree
+
+        for n in (1, 2, 3):
+            xn = theorem_4_11_xn(n)
+            for m in range(2, n + 4):
+                assert xn.accepts(t_of_depth(m)) == (m == n + 1), (n, m)
+
+    def test_xn_subset_of_complement(self):
+        dtd = theorem_4_11_dtd()
+        complement = complement_edtd(SingleTypeEDTD.from_edtd(dtd.to_edtd()))
+        from repro.core.decision import is_lower_approximation
+
+        for n in (1, 2):
+            assert is_lower_approximation(theorem_4_11_xn(n), complement), n
+
+    def test_wide_branching_allowed(self):
+        xn = theorem_4_11_xn(1)
+        assert xn.accepts(parse_tree("a(a, a, a, a)"))
+        assert xn.accepts(parse_tree("a(a(a), a)"))

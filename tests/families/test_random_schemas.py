@@ -1,0 +1,74 @@
+"""Tests for the random schema generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.families.random_schemas import random_edtd, random_pair, random_single_type_edtd
+from repro.schemas.type_automaton import is_single_type
+
+
+class TestRandomSingleType:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_is_single_type_and_reduced(self, seed):
+        schema = random_single_type_edtd(random.Random(seed))
+        assert is_single_type(schema)
+        assert schema.is_reduced()
+        assert not schema.is_empty_language()
+
+    def test_seed_determinism(self):
+        s1 = random_single_type_edtd(random.Random(11))
+        s2 = random_single_type_edtd(random.Random(11))
+        assert s1.types == s2.types
+        assert s1.mu == s2.mu
+
+    def test_size_parameters_respected(self):
+        schema = random_single_type_edtd(random.Random(3), num_labels=2, num_types=8)
+        assert len(schema.alphabet) <= 2
+        assert len(schema.types) <= 8
+
+    def test_recursive_schemas_generated(self):
+        # With recursion=1.0 some seed must produce an unbounded-depth
+        # schema (a type reachable from itself).
+        found = False
+        for seed in range(20):
+            schema = random_single_type_edtd(
+                random.Random(seed), num_types=5, recursion=1.0
+            )
+            reachable = {t: schema.occurring_types(t) for t in schema.types}
+            for start in schema.types:
+                seen, stack = set(), [start]
+                while stack:
+                    current = stack.pop()
+                    for nxt in reachable[current]:
+                        if nxt == start:
+                            found = True
+                        if nxt not in seen:
+                            seen.add(nxt)
+                            stack.append(nxt)
+            if found:
+                break
+        assert found
+
+
+class TestRandomEdtd:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_reduced_and_nonempty(self, seed):
+        schema = random_edtd(random.Random(seed))
+        assert schema.is_reduced()
+        assert not schema.is_empty_language()
+
+    def test_sometimes_not_single_type(self):
+        results = {
+            is_single_type(random_edtd(random.Random(seed)))
+            for seed in range(30)
+        }
+        assert False in results  # the generator exercises the general case
+
+
+class TestRandomPair:
+    def test_shared_alphabet(self):
+        left, right = random_pair(random.Random(0))
+        assert left.alphabet & right.alphabet

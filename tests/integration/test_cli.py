@@ -1,0 +1,226 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.schemas.inclusion import single_type_equivalent
+from repro.schemas.text_format import dumps, load_file
+
+ORDERS = """
+start: o
+o [order] -> i+
+i [item]  -> p
+p [price] -> ~
+"""
+
+RETURNS = """
+start: o
+o [order] -> i*
+i [item]  -> r
+r [reason] -> ~
+"""
+
+RELAXNG = """
+start: r1 r2
+r1 [doc] -> x+
+r2 [doc] -> y+
+x [sec] -> ~
+y [sec] -> y?
+"""
+
+
+@pytest.fixture
+def schemas(tmp_path):
+    a = tmp_path / "a.schema"
+    b = tmp_path / "b.schema"
+    g = tmp_path / "g.schema"
+    a.write_text(ORDERS)
+    b.write_text(RETURNS)
+    g.write_text(RELAXNG)
+    return tmp_path, str(a), str(b), str(g)
+
+
+class TestInfoValidate:
+    def test_info(self, schemas, capsys):
+        _, a, _, _ = schemas
+        assert main(["info", a]) == 0
+        out = capsys.readouterr().out
+        assert "types:        3" in out
+        assert "single-type:  True" in out
+
+    def test_info_non_single_type(self, schemas, capsys):
+        _, _, _, g = schemas
+        assert main(["info", g]) == 0
+        out = capsys.readouterr().out
+        assert "single-type:  False" in out
+        assert "ST-definable:" in out
+
+    def test_validate_ok(self, schemas, tmp_path, capsys):
+        _, a, _, _ = schemas
+        doc = tmp_path / "doc.xml"
+        doc.write_text("<order><item><price/></item></order>")
+        assert main(["validate", a, str(doc)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_validate_invalid(self, schemas, tmp_path, capsys):
+        _, a, _, _ = schemas
+        doc = tmp_path / "doc.xml"
+        doc.write_text("<order/>")
+        assert main(["validate", a, str(doc)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_missing_file_is_error(self, capsys):
+        assert main(["info", "/nonexistent/x.schema"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOperations:
+    def test_union_writes_schema(self, schemas, tmp_path):
+        _, a, b, _ = schemas
+        out = tmp_path / "union.schema"
+        assert main(["union", a, b, "-o", str(out)]) == 0
+        merged = load_file(str(out))
+        from repro.trees.tree import parse_tree
+
+        assert merged.accepts(parse_tree("order(item(price), item(reason))"))
+
+    def test_union_stdout(self, schemas, capsys):
+        _, a, b, _ = schemas
+        assert main(["union", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "start:" in out and "order" in out
+
+    def test_intersect(self, schemas, tmp_path):
+        _, a, b, _ = schemas
+        out = tmp_path / "meet.schema"
+        assert main(["intersect", a, b, "-o", str(out)]) == 0
+        meet = load_file(str(out))
+        # orders requires price items, returns requires reason items:
+        # the intersection is empty.
+        assert meet.is_empty_language()
+
+    def test_difference(self, schemas, tmp_path):
+        _, a, b, _ = schemas
+        out = tmp_path / "diff.schema"
+        assert main(["difference", a, b, "-o", str(out)]) == 0
+        from repro.trees.tree import parse_tree
+
+        diff = load_file(str(out))
+        assert diff.accepts(parse_tree("order(item(price))"))
+
+    def test_complement(self, schemas, tmp_path):
+        _, a, _, _ = schemas
+        out = tmp_path / "comp.schema"
+        assert main(["complement", a, "-o", str(out)]) == 0
+        from repro.trees.tree import parse_tree
+
+        comp = load_file(str(out))
+        assert comp.accepts(parse_tree("price"))
+        assert comp.accepts(parse_tree("order(item)"))
+        # Note: the upper approximation of this complement legitimately
+        # overshoots back into L(A) (exchange between error documents can
+        # reassemble valid ones), so no negative membership is asserted.
+
+    def test_to_xsd(self, schemas, tmp_path):
+        _, _, _, g = schemas
+        out = tmp_path / "xsd.schema"
+        assert main(["to-xsd", g, "-o", str(out)]) == 0
+        from repro.schemas.st_edtd import SingleTypeEDTD
+
+        xsd = load_file(str(out))
+        assert isinstance(xsd, SingleTypeEDTD)
+
+    def test_lower(self, schemas, tmp_path):
+        _, a, b, _ = schemas
+        out = tmp_path / "lower.schema"
+        assert main(["lower", a, b, "-o", str(out)]) == 0
+        lower = load_file(str(out))
+        sub = load_file(a)
+        from repro.schemas.inclusion import included_in_single_type
+
+        assert included_in_single_type(sub, lower)
+
+    def test_minimize_preserves_language(self, schemas, tmp_path, capsys):
+        _, a, _, _ = schemas
+        assert main(["minimize", a]) == 0
+        out = capsys.readouterr().out
+        from repro.schemas.text_format import loads
+
+        assert single_type_equivalent(loads(out), load_file(a))
+
+    def test_binary_command_rejects_non_single_type(self, schemas, capsys):
+        _, a, _, g = schemas
+        assert main(["union", a, g]) == 2
+        assert "not single-type" in capsys.readouterr().err
+
+
+class TestIncluded:
+    def test_yes(self, schemas, tmp_path, capsys):
+        _, a, b, _ = schemas
+        out = tmp_path / "union.schema"
+        main(["union", a, b, "-o", str(out)])
+        assert main(["included", a, str(out)]) == 0
+        assert "yes" in capsys.readouterr().out
+
+    def test_no(self, schemas, capsys):
+        _, a, b, _ = schemas
+        assert main(["included", a, b]) == 1
+        assert "no" in capsys.readouterr().out
+
+
+class TestExportXsd:
+    def test_export_xsd(self, schemas, tmp_path):
+        _, a, _, _ = schemas
+        out = tmp_path / "schema.xsd"
+        assert main(["export-xsd", a, "-o", str(out)]) == 0
+        document = out.read_text()
+        assert document.startswith('<?xml version="1.0"?>')
+        assert "<xs:schema" in document
+        assert '<xs:element name="order"' in document
+
+    def test_export_xsd_stdout(self, schemas, capsys):
+        _, a, _, _ = schemas
+        assert main(["export-xsd", a]) == 0
+        assert "<xs:schema" in capsys.readouterr().out
+
+
+class TestImportXsdAndMerge:
+    def test_import_round_trip(self, schemas, tmp_path, capsys):
+        _, a, _, _ = schemas
+        xsd_path = tmp_path / "a.xsd"
+        assert main(["export-xsd", a, "-o", str(xsd_path)]) == 0
+        assert main(["import-xsd", str(xsd_path)]) == 0
+        out = capsys.readouterr().out
+        from repro.schemas.text_format import loads
+
+        assert single_type_equivalent(loads(out), load_file(a))
+
+    def test_merge_many(self, schemas, tmp_path):
+        _, a, b, _ = schemas
+        out = tmp_path / "merged.schema"
+        assert main(["merge", a, b, a, "-o", str(out)]) == 0
+        merged = load_file(str(out))
+        from repro.schemas.inclusion import included_in_single_type
+
+        assert included_in_single_type(load_file(a), merged)
+        assert included_in_single_type(load_file(b), merged)
+
+
+class TestCompat:
+    def test_backward_compatible(self, schemas, tmp_path, capsys):
+        _, a, b, _ = schemas
+        union_path = tmp_path / "u.schema"
+        main(["union", a, b, "-o", str(union_path)])
+        assert main(["compat", a, str(union_path)]) == 0
+        out = capsys.readouterr().out
+        assert "backward compatible" in out
+        assert "only under the NEW schema" in out
+
+    def test_breaking(self, schemas, capsys):
+        _, a, b, _ = schemas
+        assert main(["compat", a, b]) == 1
+        out = capsys.readouterr().out
+        assert "breaking" in out
+        assert "only under the OLD schema" in out

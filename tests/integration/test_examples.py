@@ -1,0 +1,67 @@
+"""Smoke tests: every example script runs to completion and prints the
+headline facts it claims."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        check=True,
+    )
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Minimal upper XSD-approximation" in out
+    assert "extra documents" in out
+
+
+def test_schema_integration():
+    out = run_example("schema_integration.py")
+    assert "verified: the portal schema is THE minimal upper" in out
+    assert "extra documents" in out
+
+
+def test_relaxng_to_xsd():
+    out = run_example("relaxng_to_xsd.py")
+    assert "is it already an XSD (single-type)? False" in out
+    assert "is its *language* single-type definable? False" in out
+    assert "verified: no XSD between" in out
+
+
+def test_schema_evolution():
+    out = run_example("schema_evolution.py")
+    assert "Router XSD" in out
+    assert "Roll-out XSD" in out
+
+
+def test_merge_report():
+    out = run_example("merge_report.py")
+    assert "# Merge report: rss | atom" in out
+    assert "# Difference report: orders-v2 - orders-v1" in out
+    assert "<xs:schema" in out
+
+
+def test_all_examples_covered():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    tested = {
+        "quickstart.py",
+        "schema_integration.py",
+        "relaxng_to_xsd.py",
+        "schema_evolution.py",
+        "merge_report.py",
+    }
+    assert scripts == tested, scripts ^ tested

@@ -1,0 +1,172 @@
+"""Cross-cutting randomized invariants over the whole pipeline.
+
+Each test draws seeded random schemas and checks a semantic identity that
+ties several subsystems together (constructions vs exact tree-automata
+decisions vs bounded enumeration).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.lower import maximal_lower_union, non_violating
+from repro.core.upper import (
+    minimal_upper_approximation,
+    upper_complement,
+    upper_difference,
+    upper_intersection,
+    upper_union,
+)
+from repro.families.random_schemas import random_edtd, random_single_type_edtd
+from repro.schemas.inclusion import included_in_single_type, single_type_equivalent
+from repro.schemas.minimize import minimize_single_type
+from repro.schemas.ops import complement_edtd, difference_edtd, edtd_union
+from repro.schemas.type_automaton import is_single_type
+from repro.tree_automata.inclusion import edtd_equivalent, edtd_includes
+from repro.trees.generate import enumerate_all_trees, enumerate_trees, sample_tree
+
+SEEDS = range(6)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_upper_is_least_among_st_upper_bounds(seed):
+    """Any single-type language containing L(D) contains L(upper(D))."""
+    rng = random.Random(9000 + seed)
+    edtd = random_edtd(rng, num_labels=2, num_types=4)
+    other = random_single_type_edtd(rng, num_labels=2, num_types=4)
+    upper = minimal_upper_approximation(edtd)
+    if included_in_single_type(edtd, other):
+        assert included_in_single_type(upper, other), seed
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_upper_monotone(seed):
+    """L(A) subseteq L(B) implies L(upper(A)) subseteq L(upper(B))."""
+    rng = random.Random(9100 + seed)
+    a = random_edtd(rng, num_labels=2, num_types=3)
+    b = edtd_union(a, random_edtd(rng, num_labels=2, num_types=3))
+    upper_a = minimal_upper_approximation(a)
+    upper_b = minimal_upper_approximation(b)
+    assert included_in_single_type(upper_a, upper_b), seed
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_de_morgan_via_difference(seed):
+    """A - B == A & complement(B) as exact languages."""
+    rng = random.Random(9200 + seed)
+    a = random_single_type_edtd(rng, num_labels=2, num_types=3)
+    b = random_single_type_edtd(rng, num_labels=2, num_types=3)
+    from repro.schemas.ops import edtd_intersection
+
+    alphabet = a.alphabet | b.alphabet
+    diff = difference_edtd(a, b)
+    via = edtd_intersection(a, complement_edtd(_widen(b, alphabet)))
+    assert edtd_equivalent(diff, via), seed
+
+
+def _widen(schema, alphabet):
+    """Extend a schema's alphabet (language unchanged on old labels; the
+    complement is then taken over the shared alphabet)."""
+    from repro.schemas.st_edtd import SingleTypeEDTD
+
+    return SingleTypeEDTD(
+        alphabet=alphabet,
+        types=schema.types,
+        rules=schema.rules,
+        starts=schema.starts,
+        mu=schema.mu,
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_union_upper_equals_edtd_upper(seed):
+    """upper_union(A, B) == minimal_upper_approximation(A | B)."""
+    rng = random.Random(9300 + seed)
+    a = random_single_type_edtd(rng, num_labels=2, num_types=3)
+    b = random_single_type_edtd(rng, num_labels=2, num_types=3)
+    assert single_type_equivalent(
+        upper_union(a, b), minimal_upper_approximation(edtd_union(a, b))
+    ), seed
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_minimization_reaches_common_canonical_size(seed):
+    """Equivalent schemas minimize to the same type count."""
+    rng = random.Random(9400 + seed)
+    a = random_single_type_edtd(rng, num_labels=2, num_types=4)
+    b = upper_union(a, a)  # same language, noisier representation
+    assert single_type_equivalent(a, b)
+    assert len(minimize_single_type(a).types) == len(minimize_single_type(b).types)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_lower_union_between_d1_and_union(seed):
+    """L(D1) subseteq maximal_lower subseteq L(D1) | L(D2)."""
+    rng = random.Random(9500 + seed)
+    d1 = random_single_type_edtd(rng, num_labels=2, num_types=3)
+    d2 = random_single_type_edtd(rng, num_labels=2, num_types=3)
+    lower = maximal_lower_union(d1, d2)
+    union = edtd_union(d1, d2)
+    assert included_in_single_type(d1, lower), seed
+    assert edtd_includes(union, lower), seed
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_nv_members_extensionally_non_violating(seed):
+    """Every bounded nv member survives closure with every bounded
+    D1-member (Definition 4.4, brute force)."""
+    from repro.closure.closure import closure_of_pair
+
+    rng = random.Random(9600 + seed)
+    d1 = random_single_type_edtd(rng, num_labels=2, num_types=3)
+    d2 = random_single_type_edtd(rng, num_labels=2, num_types=3)
+    union = edtd_union(d1, d2)
+    nv = non_violating(d2, d1)
+    for tree in enumerate_trees(nv, 4)[:6]:
+        for member in enumerate_trees(d1, 4)[:6]:
+            for result in closure_of_pair(member, tree, max_size=6):
+                assert union.accepts(result), (seed, tree, member, result)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_complement_partitions_bounded_universe(seed):
+    rng = random.Random(9700 + seed)
+    schema = random_single_type_edtd(rng, num_labels=2, num_types=3)
+    comp = complement_edtd(schema)
+    for tree in enumerate_all_trees(schema.alphabet, 4):
+        assert comp.accepts(tree) != schema.accepts(tree), (seed, tree)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sampled_members_accepted_by_upper(seed):
+    rng = random.Random(9800 + seed)
+    edtd = random_edtd(rng, num_labels=3, num_types=4)
+    upper = minimal_upper_approximation(edtd)
+    for _ in range(5):
+        tree = sample_tree(edtd, rng, target_size=10)
+        assert edtd.accepts(tree)
+        assert upper.accepts(tree), (seed, tree)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_intersection_commutes(seed):
+    rng = random.Random(9900 + seed)
+    a = random_single_type_edtd(rng, num_labels=2, num_types=3)
+    b = random_single_type_edtd(rng, num_labels=2, num_types=3)
+    assert single_type_equivalent(
+        upper_intersection(a, b), upper_intersection(b, a)
+    ), seed
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_schema_with_upper_complement_covers_universe(seed):
+    """L(D) | L(upper_complement(D)) is universal — the approximation can
+    only *add* documents to the exact complement."""
+    from repro.tree_automata.inclusion import edtd_universal
+
+    rng = random.Random(10000 + seed)
+    schema = random_single_type_edtd(rng, num_labels=2, num_types=3)
+    covered = edtd_union(schema, upper_complement(schema))
+    assert edtd_universal(covered), seed

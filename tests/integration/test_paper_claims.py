@@ -1,0 +1,255 @@
+"""End-to-end tests: one test (class) per paper claim.
+
+These are the executable statements of the paper's theorems; EXPERIMENTS.md
+references them by name.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.closure.closure import bounded_closure
+from repro.closure.properties import exchange_violation
+from repro.core.decision import (
+    Maximality,
+    is_lower_approximation,
+    is_maximal_lower_approximation,
+    is_minimal_upper_approximation,
+    is_single_type_definable,
+)
+from repro.core.lower import maximal_lower_union, non_violating
+from repro.core.quality import upper_quality
+from repro.core.upper import (
+    minimal_upper_approximation,
+    upper_complement,
+    upper_difference,
+    upper_intersection,
+    upper_union,
+)
+from repro.families.hard import (
+    theorem_3_2_family,
+    theorem_3_6_family,
+    theorem_3_8_family,
+    theorem_4_3_d1_d2,
+    theorem_4_3_xn,
+    theorem_4_11_dtd,
+    theorem_4_11_xn,
+)
+from repro.schemas.inclusion import included_in_single_type, single_type_equivalent
+from repro.schemas.minimize import minimize_single_type
+from repro.schemas.ops import complement_edtd, difference_edtd, edtd_union
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.schemas.type_automaton import is_single_type
+from repro.tree_automata.inclusion import edtd_equivalent, edtd_includes
+from repro.trees.generate import enumerate_all_trees, enumerate_trees
+from repro.trees.tree import parse_tree, unary_tree
+
+
+class TestTheorem211:
+    """A regular tree language is ST-definable iff closed under
+    ancestor-guarded subtree exchange."""
+
+    def test_st_language_closed(self, store_schema):
+        members = enumerate_trees(store_schema, 7)
+        closure = bounded_closure(members, max_size=7)
+        assert set(closure) == set(members)
+
+    def test_non_st_language_not_closed(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        union = edtd_union(d1, d2)
+        assert exchange_violation(union, max_size=5) is not None
+        assert not is_single_type_definable(union)
+
+
+class TestTheorem32:
+    """Unique minimal upper approximation; EXPTIME; 2^n blow-up family."""
+
+    def test_uniqueness_via_canonical_minimization(self):
+        # Two routes to the approximation of the same language must agree.
+        d1, d2 = theorem_4_3_d1_d2()
+        union1 = edtd_union(d1, d2)
+        union2 = edtd_union(d2, d1)
+        u1 = minimal_upper_approximation(union1)
+        u2 = minimal_upper_approximation(union2)
+        assert single_type_equivalent(u1, u2)
+        m1 = minimize_single_type(u1)
+        m2 = minimize_single_type(u2)
+        assert len(m1.types) == len(m2.types)
+
+    def test_approximation_is_closure(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        union = edtd_union(d1, d2)
+        upper = minimal_upper_approximation(union)
+        members = enumerate_trees(union, 6)
+        closure = bounded_closure(members, max_size=6)
+        upper_members = set(enumerate_trees(upper, 5))
+        assert upper_members == {t for t in closure if t.size() <= 5}
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_exponential_blowup_unavoidable(self, n):
+        edtd = theorem_3_2_family(n)
+        upper = minimal_upper_approximation(edtd, minimize=True)
+        assert len(upper.types) == 2 ** (n + 1)
+
+
+class TestTheorem35:
+    """Deciding minimal-upper-approximation-ness."""
+
+    def test_positive_and_negative_instances(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        union = edtd_union(d1, d2)
+        upper = upper_union(d1, d2)
+        assert is_minimal_upper_approximation(upper, union)
+        assert is_minimal_upper_approximation(minimize_single_type(upper), union)
+        assert not is_minimal_upper_approximation(d1, union)
+
+
+class TestTheorem36:
+    """Union: unique minimal upper approximation in O(|D1||D2|); n^2 family."""
+
+    def test_union_approximation_minimal(self):
+        d1, d2 = theorem_3_6_family(2)
+        upper = upper_union(d1, d2)
+        assert is_minimal_upper_approximation(upper, edtd_union(d1, d2))
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_quadratic_lower_bound(self, n):
+        d1, d2 = theorem_3_6_family(n)
+        upper = upper_union(d1, d2, minimize=True)
+        assert len(upper.types) >= n * n
+
+    def test_approximation_strictly_contains_union_when_not_definable(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        union = edtd_union(d1, d2)
+        upper = upper_union(d1, d2)
+        quality = upper_quality(union, upper, max_size=6)
+        assert quality.total_slack() > 0
+
+
+class TestProposition37Theorem38:
+    """Intersections of stEDTDs are exactly ST-definable."""
+
+    def test_intersection_exact(self):
+        d1, d2 = theorem_3_8_family(2)
+        inter = upper_intersection(d1, d2)
+        assert is_single_type(inter)
+        assert inter.accepts(unary_tree("a" * 15))
+        assert not inter.accepts(unary_tree("a" * 10))
+
+    def test_intersection_is_closed_under_exchange(self):
+        d1, d2 = theorem_3_8_family(2)
+        inter = upper_intersection(d1, d2)
+        assert exchange_violation(inter, max_size=16) is None
+
+
+class TestTheorem39:
+    """Complement: minimal upper approximation in PTIME."""
+
+    def test_complement_edtd_is_exact_complement(self, ab_pair_schema, ab_universe_4):
+        comp = complement_edtd(ab_pair_schema)
+        for tree in ab_universe_4:
+            assert comp.accepts(tree) == (not ab_pair_schema.accepts(tree))
+
+    def test_upper_complement_contains_complement(self, ab_pair_schema):
+        comp = complement_edtd(ab_pair_schema)
+        upper = upper_complement(ab_pair_schema)
+        assert included_in_single_type(comp, upper)
+        assert is_minimal_upper_approximation(upper, comp)
+
+    def test_subsets_stay_small(self, store_schema):
+        # The paper's polynomiality argument: reachable subsets of the
+        # complement EDTD's type automaton have size <= 2.
+        from repro.schemas.type_automaton import type_automaton
+        from repro.strings.determinize import determinize
+
+        comp = complement_edtd(store_schema).reduced()
+        subset_dfa = determinize(type_automaton(comp))
+        for subset in subset_dfa.states:
+            assert len(subset) <= 2, subset
+
+
+class TestTheorem310:
+    """Difference: minimal upper approximation in PTIME."""
+
+    def test_difference_edtd_exact(self, ab_star_schema, ab_pair_schema, ab_universe_4):
+        diff = difference_edtd(ab_star_schema, ab_pair_schema)
+        for tree in ab_universe_4:
+            assert diff.accepts(tree) == (
+                ab_star_schema.accepts(tree) and not ab_pair_schema.accepts(tree)
+            )
+
+    def test_upper_difference_minimal(self, ab_star_schema, ab_pair_schema):
+        diff = difference_edtd(ab_star_schema, ab_pair_schema)
+        upper = upper_difference(ab_star_schema, ab_pair_schema)
+        assert is_minimal_upper_approximation(upper, diff)
+
+    def test_subsets_stay_small(self, ab_star_schema, ab_pair_schema):
+        from repro.schemas.type_automaton import type_automaton
+        from repro.strings.determinize import determinize
+
+        diff = difference_edtd(ab_star_schema, ab_pair_schema).reduced()
+        subset_dfa = determinize(type_automaton(diff))
+        for subset in subset_dfa.states:
+            assert len(subset) <= 2, subset
+
+
+class TestTheorem43:
+    """Infinitely many maximal lower approximations of a union."""
+
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_xn_maximal_lower(self, n):
+        d1, d2 = theorem_4_3_d1_d2()
+        union = edtd_union(d1, d2)
+        xn = theorem_4_3_xn(n)
+        assert is_lower_approximation(xn, union)
+        verdict = is_maximal_lower_approximation(xn, union, max_size=5)
+        assert verdict.outcome is Maximality.MAXIMAL_WITHIN_BOUND
+
+    def test_xn_pairwise_inequivalent(self):
+        schemas = [theorem_4_3_xn(n) for n in (1, 2, 3)]
+        for i, left in enumerate(schemas):
+            for right in schemas[i + 1:]:
+                assert not single_type_equivalent(left, right)
+
+
+class TestTheorem48:
+    """L(D1) | nv(D2, D1): unique maximal lower approximation containing D1."""
+
+    def test_lower_containing_d1(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        union = edtd_union(d1, d2)
+        lower = maximal_lower_union(d1, d2)
+        assert included_in_single_type(d1, lower)
+        assert is_lower_approximation(lower, union)
+        verdict = is_maximal_lower_approximation(lower, union, max_size=5)
+        assert verdict.outcome is Maximality.MAXIMAL_WITHIN_BOUND
+
+    def test_equals_d1_union_nv(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        nv = non_violating(d2, d1)
+        lower = maximal_lower_union(d1, d2)
+        assert edtd_equivalent(edtd_union(d1.reduced(), nv), lower)
+
+
+class TestTheorem411:
+    """Infinitely many maximal lower approximations of a complement."""
+
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_xn_maximal_lower_of_complement(self, n):
+        dtd = theorem_4_11_dtd()
+        complement = complement_edtd(SingleTypeEDTD.from_edtd(dtd.to_edtd()))
+        xn = theorem_4_11_xn(n)
+        assert is_lower_approximation(xn, complement)
+        verdict = is_maximal_lower_approximation(xn, complement, max_size=5)
+        assert verdict.outcome is Maximality.MAXIMAL_WITHIN_BOUND
+
+
+class TestLemma33:
+    """PTIME inclusion EDTD into stEDTD agrees with the exact procedure."""
+
+    def test_on_paper_instances(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        union = edtd_union(d1, d2)
+        upper = upper_union(d1, d2)
+        assert included_in_single_type(union, upper) == edtd_includes(upper, union)
+        assert included_in_single_type(upper, d1) == edtd_includes(d1, upper)

@@ -1,0 +1,65 @@
+"""The README's code and claims, executed."""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+README = pathlib.Path(__file__).resolve().parents[2] / "README.md"
+
+
+def test_quickstart_block_runs():
+    text = README.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, re.DOTALL)
+    assert blocks, "README must contain a python quickstart block"
+    namespace: dict = {}
+    exec(blocks[0], namespace)  # noqa: S102 - executing our own README
+    merged = namespace["merged"]
+    from repro.trees.tree import parse_tree
+
+    assert merged.accepts(parse_tree("order(item(price), item(reason))"))
+
+
+def test_cli_commands_listed_in_readme_exist():
+    from repro.cli import build_parser
+
+    text = README.read_text()
+    match = re.search(r"`python -m repro \{([^}]*)\}`", text)
+    assert match, "README must list the CLI commands"
+    listed = {c.strip() for c in match.group(1).replace("\n", " ").split(",")}
+    parser = build_parser()
+    subparsers = next(
+        action for action in parser._actions  # noqa: SLF001
+        if hasattr(action, "choices") and action.choices
+    )
+    actual = set(subparsers.choices)
+    assert listed == actual, listed ^ actual
+
+
+def test_documented_modules_exist():
+    import importlib
+
+    text = README.read_text()
+    for module in re.findall(r"`(repro(?:\.\w+)+)`", text):
+        # Strip trailing attribute accesses: import the longest importable
+        # prefix and getattr the rest.
+        parts = module.split(".")
+        for cut in range(len(parts), 0, -1):
+            try:
+                obj = importlib.import_module(".".join(parts[:cut]))
+                break
+            except ImportError:
+                continue
+        else:
+            raise AssertionError(f"cannot import {module}")
+        for attr in parts[cut:]:
+            obj = getattr(obj, attr)
+
+
+def test_referenced_files_exist():
+    root = README.parent
+    text = README.read_text()
+    for path in re.findall(r"`((?:examples|docs|benchmarks)/[\w./-]+)`", text):
+        assert (root / path).exists(), path
+    assert (root / "DESIGN.md").exists()
+    assert (root / "EXPERIMENTS.md").exists()

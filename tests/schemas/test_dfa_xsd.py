@@ -1,0 +1,141 @@
+"""Tests for DFA-based XSDs and the Proposition 2.9 translations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.families.random_schemas import random_single_type_edtd
+from repro.schemas.dfa_xsd import DFAXSD, from_single_type
+from repro.schemas.type_automaton import Q_INIT
+from repro.strings.dfa import DFA
+from repro.trees.generate import enumerate_trees, sample_tree
+from repro.trees.tree import parse_tree
+
+
+def manual_xsd() -> DFAXSD:
+    """Handmade DFA-based XSD: root a, children b*, grandchildren none."""
+    automaton = DFA(
+        states={"init", "qa", "qb"},
+        alphabet={"a", "b"},
+        transitions={("init", "a"): "qa", ("qa", "b"): "qb"},
+        initial="init",
+        finals=set(),
+    )
+    return DFAXSD(
+        alphabet={"a", "b"},
+        automaton=automaton,
+        rules={"qa": "b*", "qb": "~"},
+        starts={"a"},
+    )
+
+
+class TestConstruction:
+    def test_manual_xsd_accepts(self):
+        xsd = manual_xsd()
+        assert xsd.accepts(parse_tree("a"))
+        assert xsd.accepts(parse_tree("a(b, b)"))
+        assert not xsd.accepts(parse_tree("a(b(b))"))
+        assert not xsd.accepts(parse_tree("b"))
+
+    def test_initial_with_incoming_rejected(self):
+        automaton = DFA(
+            states={"init"},
+            alphabet={"a"},
+            transitions={("init", "a"): "init"},
+            initial="init",
+            finals=set(),
+        )
+        with pytest.raises(SchemaError):
+            DFAXSD(alphabet={"a"}, automaton=automaton, rules={}, starts={"a"})
+
+    def test_non_state_labeled_rejected(self):
+        automaton = DFA(
+            states={"init", "q"},
+            alphabet={"a", "b"},
+            transitions={("init", "a"): "q", ("init", "b"): "q"},
+            initial="init",
+            finals=set(),
+        )
+        with pytest.raises(SchemaError):
+            DFAXSD(alphabet={"a", "b"}, automaton=automaton, rules={}, starts={"a"})
+
+    def test_start_without_transition_rejected(self):
+        automaton = DFA(
+            states={"init", "q"},
+            alphabet={"a", "b"},
+            transitions={("init", "a"): "q"},
+            initial="init",
+            finals=set(),
+        )
+        with pytest.raises(SchemaError):
+            DFAXSD(alphabet={"a", "b"}, automaton=automaton, rules={}, starts={"b"})
+
+    def test_content_symbol_without_transition_rejected(self):
+        automaton = DFA(
+            states={"init", "qa"},
+            alphabet={"a", "b"},
+            transitions={("init", "a"): "qa"},
+            initial="init",
+            finals=set(),
+        )
+        with pytest.raises(SchemaError):
+            DFAXSD(
+                alphabet={"a", "b"},
+                automaton=automaton,
+                rules={"qa": "b"},
+                starts={"a"},
+            )
+
+    def test_state_of(self):
+        xsd = manual_xsd()
+        assert xsd.state_of(("a",)) == "qa"
+        assert xsd.state_of(("a", "b")) == "qb"
+        assert xsd.state_of(("b",)) is None
+
+    def test_type_size(self):
+        assert manual_xsd().type_size() == 2
+
+
+class TestProposition29:
+    """Both translations preserve the language; sizes stay linear."""
+
+    def test_xsd_to_single_type(self, ab_universe_4):
+        xsd = manual_xsd()
+        st = xsd.to_single_type()
+        for tree in ab_universe_4:
+            assert xsd.accepts(tree) == st.accepts(tree), tree
+
+    def test_single_type_to_xsd(self, store_schema):
+        xsd = from_single_type(store_schema.reduced())
+        assert xsd.accepts(parse_tree("store(item(price))"))
+        assert not xsd.accepts(parse_tree("store(price)"))
+
+    def test_round_trip_preserves_language(self, store_schema):
+        st = store_schema.reduced()
+        round_tripped = from_single_type(st).to_single_type()
+        for tree in enumerate_trees(st, 7):
+            assert round_tripped.accepts(tree)
+        assert not round_tripped.accepts(parse_tree("store(item)"))
+
+    def test_round_trip_random_schemas(self, rng):
+        for seed in range(10):
+            schema = random_single_type_edtd(random.Random(seed)).reduced()
+            xsd = from_single_type(schema)
+            back = xsd.to_single_type()
+            for _ in range(8):
+                tree = sample_tree(schema, rng, target_size=10)
+                assert xsd.accepts(tree), (seed, tree)
+                assert back.accepts(tree), (seed, tree)
+
+    def test_type_count_matches_states(self, store_schema):
+        st = store_schema.reduced()
+        xsd = from_single_type(st)
+        assert xsd.type_size() == len(st.types)
+        assert len(xsd.to_single_type().types) == len(st.types)
+
+    def test_ancestor_automaton_initial_is_q_init(self, store_schema):
+        xsd = from_single_type(store_schema.reduced())
+        assert xsd.automaton.initial is Q_INIT

@@ -1,0 +1,76 @@
+"""Unit tests for DTDs (Definition 2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schemas.dtd import DTD
+from repro.schemas.type_automaton import is_single_type
+from repro.trees.tree import parse_tree
+
+
+def catalog_dtd() -> DTD:
+    return DTD(
+        alphabet={"catalog", "product", "name", "price"},
+        rules={
+            "catalog": "product*",
+            "product": "name, price?",
+            "name": "~",
+            "price": "~",
+        },
+        starts={"catalog"},
+    )
+
+
+class TestConstruction:
+    def test_unknown_start_rejected(self):
+        with pytest.raises(SchemaError):
+            DTD(alphabet={"a"}, rules={}, starts={"z"})
+
+    def test_unknown_rule_symbol_rejected(self):
+        with pytest.raises(SchemaError):
+            DTD(alphabet={"a"}, rules={"z": "~"}, starts={"a"})
+
+    def test_content_over_unknown_symbols_rejected(self):
+        with pytest.raises(SchemaError):
+            DTD(alphabet={"a"}, rules={"a": "z"}, starts={"a"})
+
+    def test_missing_rules_default_to_leaf(self):
+        dtd = DTD(alphabet={"a", "b"}, rules={"a": "b"}, starts={"a"})
+        assert dtd.accepts(parse_tree("a(b)"))
+        assert not dtd.accepts(parse_tree("a(b(b))"))
+
+
+class TestAcceptance:
+    def test_accepts_valid_document(self):
+        assert catalog_dtd().accepts(
+            parse_tree("catalog(product(name, price), product(name))")
+        )
+
+    def test_rejects_wrong_root(self):
+        assert not catalog_dtd().accepts(parse_tree("product(name)"))
+
+    def test_rejects_bad_content(self):
+        assert not catalog_dtd().accepts(parse_tree("catalog(product(price))"))
+
+    def test_rejects_foreign_label(self):
+        assert not catalog_dtd().accepts(parse_tree("catalog(intruder)"))
+
+    def test_empty_catalog(self):
+        assert catalog_dtd().accepts(parse_tree("catalog"))
+
+
+class TestConversion:
+    def test_to_edtd_equivalent(self, ab_universe_4):
+        dtd = DTD(alphabet={"a", "b"}, rules={"a": "a? , b*"}, starts={"a"})
+        edtd = dtd.to_edtd()
+        for tree in ab_universe_4:
+            assert dtd.accepts(tree) == edtd.accepts(tree), tree
+
+    def test_to_edtd_is_single_type(self):
+        # DTDs are local tree languages, a subclass of ST-REG.
+        assert is_single_type(catalog_dtd().to_edtd())
+
+    def test_size_positive(self):
+        assert catalog_dtd().size() > 0

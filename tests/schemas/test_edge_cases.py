@@ -1,0 +1,152 @@
+"""Edge-case coverage for the schema layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.upper import minimal_upper_approximation, upper_union
+from repro.schemas.edtd import EDTD
+from repro.schemas.inclusion import included_in_single_type, single_type_equivalent
+from repro.schemas.minimize import minimize_single_type
+from repro.schemas.ops import complement_edtd, difference_edtd, edtd_union
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.trees.generate import count_trees_by_size, enumerate_trees
+from repro.trees.tree import parse_tree
+
+
+def leaf_only(label: str = "a", alphabet=None) -> SingleTypeEDTD:
+    return SingleTypeEDTD(
+        alphabet=alphabet or {label},
+        types={"t"},
+        rules={"t": "~"},
+        starts={"t"},
+        mu={"t": label},
+    )
+
+
+class TestSingletonLanguages:
+    def test_leaf_only_schema(self):
+        schema = leaf_only()
+        assert enumerate_trees(schema, 4) == [parse_tree("a")]
+        assert count_trees_by_size(schema, 4) == [0, 1, 0, 0, 0]
+
+    def test_upper_of_singleton_is_itself(self):
+        schema = leaf_only()
+        assert single_type_equivalent(minimal_upper_approximation(schema), schema)
+
+    def test_union_of_disjoint_singletons_is_exact(self):
+        a = leaf_only("a", {"a", "b"})
+        b = leaf_only("b", {"a", "b"})
+        merged = upper_union(a, b)
+        assert merged.accepts(parse_tree("a"))
+        assert merged.accepts(parse_tree("b"))
+        assert not merged.accepts(parse_tree("a(b)"))
+
+    def test_difference_of_singletons(self):
+        a = leaf_only("a", {"a", "b"})
+        assert difference_edtd(a, a).is_empty_language()
+
+
+class TestContentModelCoercion:
+    """Schema constructors accept DFAs, NFAs, Regex objects and strings."""
+
+    def test_dfa_content(self):
+        from repro.strings.ops import as_min_dfa
+
+        schema = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"r", "x"},
+            rules={"r": as_min_dfa("x*"), "x": "~"},
+            starts={"r"},
+            mu={"r": "a", "x": "b"},
+        )
+        assert schema.accepts(parse_tree("a(b, b)"))
+
+    def test_nfa_content(self):
+        from repro.strings.ops import as_nfa
+
+        schema = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"r", "x"},
+            rules={"r": as_nfa("x | x, x"), "x": "~"},
+            starts={"r"},
+            mu={"r": "a", "x": "b"},
+        )
+        assert schema.accepts(parse_tree("a(b)"))
+        assert schema.accepts(parse_tree("a(b, b)"))
+        assert not schema.accepts(parse_tree("a")) and not schema.accepts(
+            parse_tree("a(b, b, b)")
+        )
+
+    def test_regex_object_content(self):
+        from repro.strings.regex import Plus, Sym
+
+        schema = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"r", "x"},
+            rules={"r": Plus(Sym("x")), "x": "~"},
+            starts={"r"},
+            mu={"r": "a", "x": "b"},
+        )
+        assert not schema.accepts(parse_tree("a"))
+        assert schema.accepts(parse_tree("a(b)"))
+
+
+class TestMultiRootSchemas:
+    def test_three_roots(self):
+        schema = SingleTypeEDTD(
+            alphabet={"a", "b", "c"},
+            types={"ra", "rb", "rc"},
+            rules={"ra": "~", "rb": "~", "rc": "~"},
+            starts={"ra", "rb", "rc"},
+            mu={"ra": "a", "rb": "b", "rc": "c"},
+        )
+        for label in "abc":
+            assert schema.accepts(parse_tree(label))
+        assert schema.start_symbols() == {"a", "b", "c"}
+
+    def test_complement_of_multi_root(self, ab_universe_4):
+        schema = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"ra", "rb"},
+            rules={"ra": "~", "rb": "~"},
+            starts={"ra", "rb"},
+            mu={"ra": "a", "rb": "b"},
+        )
+        comp = complement_edtd(schema)
+        for tree in ab_universe_4:
+            assert comp.accepts(tree) == (tree.size() > 1), tree
+
+
+class TestWideContent:
+    def test_many_distinct_children(self):
+        labels = [f"l{i}" for i in range(8)]
+        types = {f"t{i}": l for i, l in enumerate(labels)}
+        rules = {"root": ", ".join(sorted(types))}
+        rules.update({t: "~" for t in types})
+        schema = SingleTypeEDTD(
+            alphabet=set(labels) | {"root_l"},
+            types=set(types) | {"root"},
+            rules=rules,
+            starts={"root"},
+            mu={**types, "root": "root_l"},
+        )
+        children = ", ".join(types[t] for t in sorted(types))
+        assert schema.accepts(parse_tree(f"root_l({children})"))
+        minimal = minimize_single_type(schema)
+        assert single_type_equivalent(minimal, schema)
+
+
+class TestIdempotenceChains:
+    def test_repeated_operations_stabilize(self, ab_star_schema, ab_pair_schema):
+        merged = upper_union(ab_star_schema, ab_pair_schema)
+        merged2 = upper_union(merged, ab_pair_schema)
+        merged3 = upper_union(merged2, merged)
+        assert single_type_equivalent(merged, merged2)
+        assert single_type_equivalent(merged, merged3)
+
+    def test_minimize_chain(self, store_schema):
+        current = store_schema
+        for _ in range(3):
+            current = minimize_single_type(current)
+        assert single_type_equivalent(current, store_schema)

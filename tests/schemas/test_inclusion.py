@@ -1,0 +1,128 @@
+"""Tests for Lemma 3.3 — PTIME inclusion into single-type EDTDs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import NotSingleTypeError
+from repro.families.hard import example_2_6
+from repro.families.random_schemas import random_edtd, random_single_type_edtd
+from repro.schemas.edtd import EDTD
+from repro.schemas.inclusion import included_in_single_type, single_type_equivalent
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.tree_automata.inclusion import edtd_includes
+from repro.trees.generate import enumerate_trees
+
+
+class TestBasicInclusion:
+    def test_reflexive(self, store_schema):
+        assert included_in_single_type(store_schema, store_schema)
+
+    def test_proper_subset(self, store_schema):
+        smaller = SingleTypeEDTD(
+            alphabet=store_schema.alphabet,
+            types=store_schema.types,
+            rules={"s": "i, i", "i": "p", "p": "~"},
+            starts=store_schema.starts,
+            mu=store_schema.mu,
+        )
+        assert included_in_single_type(smaller, store_schema)
+        assert not included_in_single_type(store_schema, smaller)
+
+    def test_root_label_mismatch(self, ab_star_schema):
+        other = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"rb"},
+            rules={"rb": "~"},
+            starts={"rb"},
+            mu={"rb": "b"},
+        )
+        assert not included_in_single_type(ab_star_schema, other)
+
+    def test_empty_language_included_everywhere(self, store_schema):
+        empty = EDTD(alphabet={"store"}, types=set(), rules={}, starts=set(), mu={})
+        assert included_in_single_type(empty, store_schema)
+
+    def test_nothing_included_in_empty(self, store_schema):
+        empty = SingleTypeEDTD(
+            alphabet=store_schema.alphabet, types=set(), rules={}, starts=set(), mu={}
+        )
+        assert not included_in_single_type(store_schema, empty)
+
+    def test_superset_must_be_single_type(self, store_schema):
+        with pytest.raises(NotSingleTypeError):
+            included_in_single_type(store_schema, example_2_6())
+
+    def test_non_single_type_subset_allowed(self):
+        # The *subset* side may be any EDTD (that is the point of the lemma).
+        edtd = example_2_6()
+        universal = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"ua", "ub"},
+            rules={"ua": "(ua | ub)*", "ub": "(ua | ub)*"},
+            starts={"ua", "ub"},
+            mu={"ua": "a", "ub": "b"},
+        )
+        assert included_in_single_type(edtd, universal)
+
+    def test_depth_sensitive_inclusion(self):
+        shallow = SingleTypeEDTD(
+            alphabet={"a"},
+            types={"t1", "t2"},
+            rules={"t1": "t2?", "t2": "~"},
+            starts={"t1"},
+            mu={"t1": "a", "t2": "a"},
+        )
+        deep = SingleTypeEDTD(
+            alphabet={"a"},
+            types={"t"},
+            rules={"t": "t?"},
+            starts={"t"},
+            mu={"t": "a"},
+        )
+        assert included_in_single_type(shallow, deep)
+        assert not included_in_single_type(deep, shallow)
+
+
+class TestAgainstExactInclusion:
+    """Lemma 3.3 must agree with the exact tree-automata procedure."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_pairs(self, seed):
+        rng = random.Random(seed)
+        sub = random_edtd(rng, num_labels=3, num_types=4)
+        sup = random_single_type_edtd(rng, num_labels=3, num_types=4)
+        fast = included_in_single_type(sub, sup)
+        exact = edtd_includes(sup, sub)
+        assert fast == exact, (seed, fast, exact)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_st_pairs_both_directions(self, seed):
+        rng = random.Random(1000 + seed)
+        left = random_single_type_edtd(rng, num_labels=3, num_types=4)
+        right = random_single_type_edtd(rng, num_labels=3, num_types=4)
+        assert included_in_single_type(left, right) == edtd_includes(right, left)
+        assert included_in_single_type(right, left) == edtd_includes(left, right)
+
+
+class TestEquivalence:
+    def test_equivalent_after_relabel(self, store_schema):
+        assert single_type_equivalent(store_schema, store_schema.relabel_types())
+
+    def test_not_equivalent(self, ab_star_schema, ab_pair_schema):
+        assert not single_type_equivalent(ab_star_schema, ab_pair_schema)
+
+    def test_equivalence_matches_enumeration(self, ab_star_schema):
+        other = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"r", "x"},
+            rules={"r": "x* | x", "x": "~"},
+            starts={"r"},
+            mu={"r": "a", "x": "b"},
+        )
+        assert single_type_equivalent(ab_star_schema, other)
+        assert set(enumerate_trees(ab_star_schema, 4)) == set(
+            enumerate_trees(other, 4)
+        )

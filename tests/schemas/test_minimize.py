@@ -1,0 +1,137 @@
+"""Tests for single-type EDTD minimization ([20])."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.families.random_schemas import random_single_type_edtd
+from repro.schemas.inclusion import single_type_equivalent
+from repro.schemas.minimize import canonical_dfa_key, minimize_single_type, type_minimal_size
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.strings.ops import as_min_dfa
+
+
+class TestCanonicalKey:
+    def test_equal_languages_equal_keys(self):
+        k1 = canonical_dfa_key(as_min_dfa("a | b, a"), {"a", "b"})
+        k2 = canonical_dfa_key(as_min_dfa("b?, a"), {"a", "b"})
+        assert k1 == k2
+
+    def test_different_languages_different_keys(self):
+        k1 = canonical_dfa_key(as_min_dfa("a"), {"a"})
+        k2 = canonical_dfa_key(as_min_dfa("a?"), {"a"})
+        assert k1 != k2
+
+    def test_alphabet_matters(self):
+        k1 = canonical_dfa_key(as_min_dfa("a"), {"a"})
+        k2 = canonical_dfa_key(as_min_dfa("a"), {"a", "b"})
+        assert k1 != k2
+
+
+class TestMinimization:
+    def test_collapses_duplicate_types(self):
+        # x1 and x2 are indistinguishable (same label, same content, same
+        # continuations) and should merge.
+        schema = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"r", "x1", "x2", "y"},
+            rules={"r": "x1", "x1": "x2?", "x2": "x1?", "y": "~"},
+            starts={"r"},
+            mu={"r": "b", "x1": "a", "x2": "a", "y": "b"},
+        )
+        minimal = minimize_single_type(schema)
+        assert len(minimal.types) == 2  # root + one recursive a-type
+        assert single_type_equivalent(minimal, schema)
+
+    def test_already_minimal_is_stable(self, store_schema):
+        minimal = minimize_single_type(store_schema)
+        assert len(minimal.types) == 3
+        assert single_type_equivalent(minimal, store_schema)
+
+    def test_unreachable_types_dropped(self):
+        schema = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"r", "island"},
+            rules={"r": "~", "island": "~"},
+            starts={"r"},
+            mu={"r": "a", "island": "b"},
+        )
+        assert len(minimize_single_type(schema).types) == 1
+
+    def test_canonical_output_for_equivalent_inputs(self, store_schema):
+        m1 = minimize_single_type(store_schema)
+        m2 = minimize_single_type(store_schema.relabel_types("zz"))
+        assert len(m1.types) == len(m2.types)
+        assert single_type_equivalent(m1, m2)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_minimization_preserves_language_random(self, seed):
+        schema = random_single_type_edtd(random.Random(seed))
+        minimal = minimize_single_type(schema)
+        assert single_type_equivalent(minimal, schema)
+        assert len(minimal.types) <= len(schema.reduced().types)
+
+    def test_idempotent(self, store_schema):
+        once = minimize_single_type(store_schema)
+        twice = minimize_single_type(once)
+        assert len(once.types) == len(twice.types)
+
+    def test_empty_language(self):
+        empty = SingleTypeEDTD(
+            alphabet={"a"}, types=set(), rules={}, starts=set(), mu={}
+        )
+        assert minimize_single_type(empty).types == frozenset()
+
+    def test_type_minimal_size(self, store_schema):
+        assert type_minimal_size(store_schema) == 3
+
+    def test_no_pairwise_merge_possible(self, store_schema):
+        """Local minimality: merging any two types of the minimal schema
+        changes the language (checked by brute force on all pairs)."""
+        minimal = minimize_single_type(store_schema)
+        types = sorted(minimal.types, key=repr)
+        for i, t1 in enumerate(types):
+            for t2 in types[i + 1:]:
+                if minimal.mu[t1] != minimal.mu[t2]:
+                    continue
+                merged = _merge_types(minimal, t1, t2)
+                if merged is None:
+                    continue
+                assert not single_type_equivalent(merged, minimal), (t1, t2)
+
+
+def _merge_types(schema: SingleTypeEDTD, keep, drop):
+    """Redirect all occurrences of `drop` to `keep`; None if ill-formed."""
+    from repro.errors import SchemaError, NotSingleTypeError
+    from repro.strings.dfa import DFA
+
+    def rename(t):
+        return keep if t == drop else t
+
+    rules = {}
+    for type_ in schema.types:
+        if type_ == drop:
+            continue
+        dfa = schema.rules[type_]
+        transitions = {}
+        for (src, sym), dst in dfa.transitions.items():
+            transitions[(src, rename(sym))] = dst
+        rules[type_] = DFA(
+            dfa.states,
+            {rename(s) for s in dfa.alphabet},
+            transitions,
+            dfa.initial,
+            dfa.finals,
+        )
+    try:
+        return SingleTypeEDTD(
+            alphabet=schema.alphabet,
+            types={t for t in schema.types if t != drop},
+            rules=rules,
+            starts={rename(t) for t in schema.starts},
+            mu={t: schema.mu[t] for t in schema.types if t != drop},
+        )
+    except (SchemaError, NotSingleTypeError):
+        return None

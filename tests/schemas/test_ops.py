@@ -1,0 +1,218 @@
+"""Tests for the boolean EDTD constructions (union, intersection,
+complement of Theorem 3.9, difference of Theorem 3.10)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.families.random_schemas import random_single_type_edtd
+from repro.schemas.edtd import EDTD
+from repro.schemas.ops import (
+    complement_edtd,
+    difference_edtd,
+    edtd_intersection,
+    edtd_union,
+    st_intersection,
+)
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.schemas.type_automaton import is_single_type
+from repro.tree_automata.inclusion import edtd_equivalent, edtd_universal
+from repro.trees.generate import enumerate_all_trees
+from repro.trees.tree import parse_tree
+
+
+class TestUnion:
+    def test_extensional(self, ab_star_schema, ab_pair_schema, ab_universe_4):
+        union = edtd_union(ab_star_schema, ab_pair_schema)
+        for tree in ab_universe_4:
+            expected = ab_star_schema.accepts(tree) or ab_pair_schema.accepts(tree)
+            assert union.accepts(tree) == expected, tree
+
+    def test_union_generally_not_single_type(self):
+        left = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"r", "x"},
+            rules={"r": "x?", "x": "~"},
+            starts={"r"},
+            mu={"r": "a", "x": "b"},
+        )
+        right = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"r", "x"},
+            rules={"r": "x, x", "x": "x?"},
+            starts={"r"},
+            mu={"r": "a", "x": "b"},
+        )
+        assert not is_single_type(edtd_union(left, right))
+
+    def test_union_with_disjoint_alphabets(self):
+        left = SingleTypeEDTD(
+            alphabet={"a"}, types={"t"}, rules={"t": "~"}, starts={"t"}, mu={"t": "a"}
+        )
+        right = SingleTypeEDTD(
+            alphabet={"c"}, types={"t"}, rules={"t": "~"}, starts={"t"}, mu={"t": "c"}
+        )
+        union = edtd_union(left, right)
+        assert union.accepts(parse_tree("a"))
+        assert union.accepts(parse_tree("c"))
+
+
+class TestIntersection:
+    def test_extensional(self, ab_star_schema, ab_universe_4):
+        other = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"r", "x"},
+            rules={"r": "x, x*", "x": "~"},
+            starts={"r"},
+            mu={"r": "a", "x": "b"},
+        )
+        inter = edtd_intersection(ab_star_schema, other)
+        for tree in ab_universe_4:
+            expected = ab_star_schema.accepts(tree) and other.accepts(tree)
+            assert inter.accepts(tree) == expected, tree
+
+    def test_st_intersection_is_single_type(self, ab_star_schema, ab_pair_schema):
+        inter = st_intersection(ab_star_schema, ab_pair_schema)
+        assert is_single_type(inter)
+
+    def test_empty_intersection(self, ab_pair_schema):
+        disjoint = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"r"},
+            rules={"r": "~"},
+            starts={"r"},
+            mu={"r": "b"},
+        )
+        inter = st_intersection(ab_pair_schema, disjoint)
+        assert inter.is_empty_language()
+
+    def test_deep_intersection(self, ab_universe_5):
+        left = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"r", "s", "x"},
+            rules={"r": "s*", "s": "x*", "x": "~"},
+            starts={"r"},
+            mu={"r": "a", "s": "a", "x": "b"},
+        )
+        right = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"r", "s", "x"},
+            rules={"r": "s?", "s": "x, x*", "x": "~"},
+            starts={"r"},
+            mu={"r": "a", "s": "a", "x": "b"},
+        )
+        inter = st_intersection(left, right)
+        for tree in ab_universe_5:
+            assert inter.accepts(tree) == (
+                left.accepts(tree) and right.accepts(tree)
+            ), tree
+
+
+class TestComplement:
+    def test_extensional(self, ab_star_schema, ab_universe_4):
+        comp = complement_edtd(ab_star_schema)
+        for tree in ab_universe_4:
+            assert comp.accepts(tree) == (not ab_star_schema.accepts(tree)), tree
+
+    def test_partition_of_universe(self, ab_pair_schema):
+        comp = complement_edtd(ab_pair_schema)
+        assert edtd_universal(edtd_union(ab_pair_schema, comp))
+        assert edtd_intersection(ab_pair_schema, comp).is_empty_language()
+
+    def test_complement_of_empty_is_universal(self):
+        empty = SingleTypeEDTD(
+            alphabet={"a", "b"}, types=set(), rules={}, starts=set(), mu={}
+        )
+        comp = complement_edtd(empty)
+        assert edtd_universal(comp)
+
+    def test_complement_of_recursive_schema(self, a_universe_5):
+        chains = SingleTypeEDTD(
+            alphabet={"a"},
+            types={"t"},
+            rules={"t": "t?"},
+            starts={"t"},
+            mu={"t": "a"},
+        )
+        comp = complement_edtd(chains)
+        for tree in a_universe_5:
+            assert comp.accepts(tree) == (not chains.accepts(tree)), tree
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_complement_random(self, seed):
+        schema = random_single_type_edtd(random.Random(seed), num_labels=2, num_types=4)
+        comp = complement_edtd(schema)
+        universe = enumerate_all_trees(schema.alphabet, 4)
+        for tree in universe:
+            assert comp.accepts(tree) == (not schema.accepts(tree)), (seed, tree)
+
+    def test_polynomial_size(self, store_schema):
+        comp = complement_edtd(store_schema)
+        # |D_c| = O(|Sigma| * |D|): generous constant-factor check.
+        assert comp.size() <= 40 * len(store_schema.alphabet) * store_schema.size()
+
+
+class TestDifference:
+    def test_extensional(self, ab_star_schema, ab_pair_schema, ab_universe_4):
+        diff = difference_edtd(ab_star_schema, ab_pair_schema)
+        for tree in ab_universe_4:
+            expected = ab_star_schema.accepts(tree) and not ab_pair_schema.accepts(tree)
+            assert diff.accepts(tree) == expected, tree
+
+    def test_difference_with_self_is_empty(self, ab_star_schema):
+        diff = difference_edtd(ab_star_schema, ab_star_schema)
+        assert diff.is_empty_language()
+
+    def test_difference_with_empty_is_identity(self, ab_star_schema, ab_universe_4):
+        empty = SingleTypeEDTD(
+            alphabet={"a", "b"}, types=set(), rules={}, starts=set(), mu={}
+        )
+        diff = difference_edtd(ab_star_schema, empty)
+        for tree in ab_universe_4:
+            assert diff.accepts(tree) == ab_star_schema.accepts(tree), tree
+
+    def test_empty_minus_anything_is_empty(self, ab_star_schema):
+        empty = SingleTypeEDTD(
+            alphabet={"a", "b"}, types=set(), rules={}, starts=set(), mu={}
+        )
+        assert difference_edtd(empty, ab_star_schema).is_empty_language()
+
+    def test_root_label_difference(self, ab_universe_4):
+        left = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"ra", "rb"},
+            rules={"ra": "~", "rb": "~"},
+            starts={"ra", "rb"},
+            mu={"ra": "a", "rb": "b"},
+        )
+        right = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"ra"},
+            rules={"ra": "~"},
+            starts={"ra"},
+            mu={"ra": "a"},
+        )
+        diff = difference_edtd(left, right)
+        assert diff.accepts(parse_tree("b"))
+        assert not diff.accepts(parse_tree("a"))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_difference_random(self, seed):
+        rng = random.Random(100 + seed)
+        left = random_single_type_edtd(rng, num_labels=2, num_types=4)
+        right = random_single_type_edtd(rng, num_labels=2, num_types=4)
+        diff = difference_edtd(left, right)
+        universe = enumerate_all_trees(left.alphabet | right.alphabet, 4)
+        for tree in universe:
+            expected = left.accepts(tree) and not right.accepts(tree)
+            assert diff.accepts(tree) == expected, (seed, tree)
+
+    def test_agrees_with_complement_route(self, ab_star_schema, ab_pair_schema):
+        # L1 - L2 == L1 & complement(L2)
+        diff = difference_edtd(ab_star_schema, ab_pair_schema)
+        via_complement = edtd_intersection(
+            ab_star_schema, complement_edtd(ab_pair_schema)
+        )
+        assert edtd_equivalent(diff, via_complement)

@@ -1,0 +1,62 @@
+"""Tests for schema pretty-printing and DFA -> regex conversion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schemas.dfa_xsd import from_single_type
+from repro.schemas.pretty import dfa_to_regex, format_edtd, format_xsd, simplify_display
+from repro.strings.ops import as_min_dfa, equivalent
+from repro.strings.regex import EPSILON, Opt, Plus, Star, Sym, Union
+
+
+class TestDfaToRegex:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "a",
+            "a, b",
+            "a | b",
+            "(a | b)*",
+            "a+, b?",
+            "a, (b, a)*",
+            "~",
+            "(a, b | b, a)+",
+        ],
+    )
+    def test_language_preserved(self, source):
+        dfa = as_min_dfa(source)
+        back = dfa_to_regex(dfa)
+        assert equivalent(back, source), (source, str(back))
+
+    def test_empty_language(self):
+        assert dfa_to_regex(as_min_dfa("#")).denotes_empty_language()
+
+
+class TestSimplifyDisplay:
+    def test_epsilon_union_plus_becomes_star(self):
+        expr = Union(EPSILON, Plus(Sym("a")))
+        assert simplify_display(expr) == Star(Sym("a"))
+
+    def test_epsilon_union_becomes_opt(self):
+        expr = Union(EPSILON, Sym("a"))
+        assert simplify_display(expr) == Opt(Sym("a"))
+
+    def test_nullable_opt_collapses(self):
+        expr = Opt(Star(Sym("a")))
+        assert simplify_display(expr) == Star(Sym("a"))
+
+
+class TestFormatting:
+    def test_format_edtd_mentions_everything(self, store_schema):
+        text = format_edtd(store_schema, title="Store")
+        assert "Store" in text
+        assert "alphabet" in text
+        assert "store" in text and "item" in text and "price" in text
+        assert "->" in text
+
+    def test_format_xsd(self, store_schema):
+        text = format_xsd(from_single_type(store_schema.reduced()), title="XSD")
+        assert "root elements" in text
+        assert "content" in text
+        assert "transitions" in text

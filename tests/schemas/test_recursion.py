@@ -1,0 +1,84 @@
+"""Tests for non-recursion and depth bounds (Observation 4.14)."""
+
+from __future__ import annotations
+
+from repro.families.hard import theorem_4_3_d1_d2, theorem_4_11_xn
+from repro.schemas.edtd import EDTD
+from repro.schemas.recursion import depth_bound, is_depth_bounded_by, is_non_recursive
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.trees.generate import enumerate_trees
+
+
+class TestNonRecursive:
+    def test_flat_schema(self, store_schema):
+        assert is_non_recursive(store_schema)
+
+    def test_recursive_schema(self):
+        d1, _ = theorem_4_3_d1_d2()
+        assert not is_non_recursive(d1)
+
+    def test_self_loop(self):
+        edtd = EDTD(
+            alphabet={"a"}, types={"t"}, rules={"t": "t?"}, starts={"t"}, mu={"t": "a"}
+        )
+        assert not is_non_recursive(edtd)
+
+    def test_recursion_through_useless_type_ignored(self):
+        edtd = EDTD(
+            alphabet={"a", "b"},
+            types={"r", "loop"},
+            rules={"r": "~", "loop": "loop"},
+            starts={"r"},
+            mu={"r": "a", "loop": "b"},
+        )
+        assert is_non_recursive(edtd)
+
+    def test_long_cycle(self):
+        edtd = EDTD(
+            alphabet={"a"},
+            types={"t1", "t2", "t3"},
+            rules={"t1": "t2?", "t2": "t3?", "t3": "t1?"},
+            starts={"t1"},
+            mu={"t1": "a", "t2": "a", "t3": "a"},
+        )
+        assert not is_non_recursive(edtd)
+
+
+class TestDepthBound:
+    def test_exact_bound(self, store_schema):
+        assert depth_bound(store_schema) == 3
+
+    def test_matches_enumeration(self, store_schema):
+        bound = depth_bound(store_schema)
+        depths = {t.depth() for t in enumerate_trees(store_schema, 8)}
+        assert max(depths) == bound
+
+    def test_unbounded_is_none(self):
+        d1, _ = theorem_4_3_d1_d2()
+        assert depth_bound(d1) is None
+
+    def test_empty_language(self):
+        empty = EDTD(alphabet={"a"}, types=set(), rules={}, starts=set(), mu={})
+        assert depth_bound(empty) == 0
+
+    def test_xn_of_4_11_is_recursive(self):
+        # x_{n+1} -> x_{n+1}* makes the family unbounded in depth.
+        assert depth_bound(theorem_4_11_xn(2)) is None
+
+    def test_bound_at_most_schema_size(self):
+        # Observation 4.14(3): depth bounded by |F|.
+        chain = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"t1", "t2", "t3"},
+            rules={"t1": "t2", "t2": "t3", "t3": "~"},
+            starts={"t1"},
+            mu={"t1": "a", "t2": "a", "t3": "b"},
+        )
+        bound = depth_bound(chain)
+        assert bound == 3
+        assert bound <= chain.size()
+
+    def test_is_depth_bounded_by(self, store_schema):
+        assert is_depth_bounded_by(store_schema, 3)
+        assert is_depth_bounded_by(store_schema, 5)
+        assert not is_depth_bounded_by(store_schema, 2)

@@ -1,0 +1,150 @@
+"""Tests for streaming one-pass validation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.families.random_schemas import random_single_type_edtd
+from repro.schemas.streaming import (
+    END,
+    START,
+    StreamingValidator,
+    events_of_tree,
+    validate_events,
+    validate_xml_stream,
+)
+from repro.trees.generate import sample_tree
+from repro.trees.tree import Tree, parse_tree
+
+
+class TestEventsOfTree:
+    def test_leaf(self):
+        assert list(events_of_tree(parse_tree("a"))) == [(START, "a"), (END,)]
+
+    def test_nested(self):
+        events = list(events_of_tree(parse_tree("a(b, c)")))
+        assert events == [
+            (START, "a"),
+            (START, "b"),
+            (END,),
+            (START, "c"),
+            (END,),
+            (END,),
+        ]
+
+    def test_balanced(self):
+        events = list(events_of_tree(parse_tree("a(b(c), d(e(f)))")))
+        assert sum(1 for e in events if e[0] == START) == sum(
+            1 for e in events if e[0] == END
+        )
+
+
+class TestStreamingValidator:
+    def test_valid_document(self, store_schema):
+        tree = parse_tree("store(item(price), item(price))")
+        assert validate_events(store_schema, events_of_tree(tree))
+
+    def test_agrees_with_tree_validation(self, store_schema, ab_universe_4):
+        schema = store_schema
+        docs = [
+            "store",
+            "store(item(price))",
+            "store(item)",
+            "store(price)",
+            "item(price)",
+            "store(item(price), price)",
+        ]
+        for source in docs:
+            tree = parse_tree(source)
+            assert validate_events(schema, events_of_tree(tree)) == schema.accepts(
+                tree
+            ), source
+
+    def test_agrees_with_tree_validation_random(self, rng):
+        for seed in range(6):
+            schema = random_single_type_edtd(random.Random(seed))
+            for _ in range(8):
+                tree = sample_tree(schema, rng, target_size=12)
+                assert validate_events(schema, events_of_tree(tree))
+                mutated = _mutate(tree, rng, sorted(schema.alphabet))
+                assert validate_events(
+                    schema, events_of_tree(mutated)
+                ) == schema.accepts(mutated), (seed, mutated)
+
+    def test_fails_eagerly_on_bad_root(self, store_schema):
+        validator = StreamingValidator(store_schema)
+        with pytest.raises(ValidationError):
+            validator.feed((START, "price"))
+
+    def test_fails_eagerly_on_bad_child(self, store_schema):
+        validator = StreamingValidator(store_schema)
+        validator.feed((START, "store"))
+        with pytest.raises(ValidationError):
+            validator.feed((START, "price"))
+
+    def test_fails_on_incomplete_content(self, store_schema):
+        validator = StreamingValidator(store_schema)
+        validator.feed((START, "store"))
+        validator.feed((START, "item"))
+        with pytest.raises(ValidationError):
+            validator.feed((END,))  # item needs a price
+
+    def test_fails_on_unclosed_elements(self, store_schema):
+        validator = StreamingValidator(store_schema)
+        validator.feed((START, "store"))
+        with pytest.raises(ValidationError):
+            validator.finish()
+
+    def test_fails_on_second_root(self, store_schema):
+        validator = StreamingValidator(store_schema)
+        validator.feed((START, "store"))
+        validator.feed((END,))
+        with pytest.raises(ValidationError):
+            validator.feed((START, "store"))
+
+    def test_fails_on_stray_end(self, store_schema):
+        validator = StreamingValidator(store_schema)
+        with pytest.raises(ValidationError):
+            validator.feed((END,))
+
+    def test_empty_stream_rejected(self, store_schema):
+        validator = StreamingValidator(store_schema)
+        with pytest.raises(ValidationError):
+            validator.finish()
+
+    def test_depth_tracks_open_elements(self, store_schema):
+        validator = StreamingValidator(store_schema)
+        assert validator.depth == 0
+        validator.feed((START, "store"))
+        validator.feed((START, "item"))
+        assert validator.depth == 2
+        validator.feed((START, "price"))
+        validator.feed((END,))
+        assert validator.depth == 2
+
+
+class TestXmlStream:
+    def test_valid(self, store_schema):
+        assert validate_xml_stream(
+            store_schema, "<store><item><price/></item></store>"
+        )
+
+    def test_invalid_content(self, store_schema):
+        assert not validate_xml_stream(store_schema, "<store><price/></store>")
+
+    def test_not_well_formed(self, store_schema):
+        assert not validate_xml_stream(store_schema, "<store><item></store>")
+        assert not validate_xml_stream(store_schema, "<store></item>")
+
+    def test_garbage(self, store_schema):
+        assert not validate_xml_stream(store_schema, "<store>text</store>")
+
+
+def _mutate(tree: Tree, rng: random.Random, labels: list) -> Tree:
+    paths = list(tree.dom())
+    path = paths[rng.randrange(len(paths))]
+    node = tree.subtree(path)
+    return tree.replace_at(path, Tree(rng.choice(labels), node.children))

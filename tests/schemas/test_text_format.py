@@ -1,0 +1,93 @@
+"""Tests for the plain-text schema format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schemas.edtd import EDTD
+from repro.schemas.inclusion import single_type_equivalent
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.schemas.text_format import dump_file, dumps, load_file, loads
+from repro.schemas.type_automaton import is_single_type
+from repro.trees.tree import parse_tree
+
+STORE = """
+# a store schema
+alphabet: store item price
+start: s
+s [store] -> i*
+i [item]  -> p
+p [price] -> ~
+"""
+
+
+class TestLoads:
+    def test_basic(self):
+        schema = loads(STORE)
+        assert isinstance(schema, SingleTypeEDTD)
+        assert schema.accepts(parse_tree("store(item(price))"))
+        assert not schema.accepts(parse_tree("store(price)"))
+
+    def test_alphabet_inferred(self):
+        schema = loads("start: t\nt [a] -> t?\n")
+        assert schema.alphabet == {"a"}
+
+    def test_alphabet_can_add_unused_labels(self):
+        schema = loads("alphabet: a b\nstart: t\nt [a] -> ~\n")
+        assert schema.alphabet == {"a", "b"}
+
+    def test_comments_and_blank_lines(self):
+        schema = loads("# c\n\nstart: t\nt [a] -> ~  # leaf\n")
+        assert schema.accepts(parse_tree("a"))
+
+    def test_non_single_type_degrades(self):
+        text = "start: r\nr [a] -> x | y\nx [b] -> ~\ny [b] -> ~\n"
+        schema = loads(text)
+        assert isinstance(schema, EDTD)
+        assert not is_single_type(schema)
+
+    def test_strict_rejects_non_single_type(self):
+        text = "start: r\nr [a] -> x | y\nx [b] -> ~\ny [b] -> ~\n"
+        with pytest.raises(SchemaError):
+            loads(text, strict=True)
+
+    def test_missing_start_rejected(self):
+        with pytest.raises(SchemaError):
+            loads("t [a] -> ~\n")
+
+    def test_start_without_rule_rejected(self):
+        with pytest.raises(SchemaError):
+            loads("start: zz\nt [a] -> ~\n")
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(SchemaError):
+            loads("start: t\nt [a] -> ~\nt [a] -> ~\n")
+
+    def test_malformed_head_rejected(self):
+        with pytest.raises(SchemaError):
+            loads("start: t\nt a -> ~\n")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(SchemaError):
+            loads("start: t\nt [a] ~\n")
+
+
+class TestDumps:
+    def test_round_trip(self, store_schema):
+        text = dumps(store_schema)
+        back = loads(text)
+        assert single_type_equivalent(back, store_schema)
+
+    def test_round_trip_tuple_types(self, store_schema):
+        from repro.core.upper import minimal_upper_approximation
+
+        upper = minimal_upper_approximation(store_schema)  # tuple types
+        back = loads(dumps(upper))
+        assert single_type_equivalent(back, store_schema)
+
+    def test_file_round_trip(self, store_schema, tmp_path):
+        path = tmp_path / "schema.txt"
+        dump_file(store_schema, str(path))
+        back = load_file(str(path))
+        assert single_type_equivalent(back, store_schema)

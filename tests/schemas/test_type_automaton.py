@@ -1,0 +1,100 @@
+"""Tests for type automata (Definition 2.5, Observation 2.7)."""
+
+from __future__ import annotations
+
+from repro.families.hard import example_2_6
+from repro.schemas.edtd import EDTD
+from repro.schemas.type_automaton import (
+    Q_INIT,
+    assignable_types,
+    is_single_type,
+    type_automaton,
+)
+
+
+class TestConstruction:
+    def test_states_are_types_plus_init(self, store_schema):
+        automaton = type_automaton(store_schema)
+        assert automaton.states == store_schema.types | {Q_INIT}
+
+    def test_initial_transitions_from_starts(self, store_schema):
+        automaton = type_automaton(store_schema)
+        assert automaton.successors(Q_INIT, "store") == {"s"}
+        assert automaton.successors(Q_INIT, "item") == frozenset()
+
+    def test_observation_2_7_2_no_incoming_to_init(self, store_schema):
+        automaton = type_automaton(store_schema)
+        assert automaton.incoming_labels(Q_INIT) == frozenset()
+
+    def test_state_labeled(self, store_schema):
+        assert type_automaton(store_schema).is_state_labeled()
+
+    def test_example_2_6_is_nondeterministic(self):
+        automaton = type_automaton(example_2_6())
+        # Both b-types reachable from t1 on label b.
+        assert automaton.successors("t1", "b") == {"t2a", "t2b"}
+
+    def test_no_finals(self, store_schema):
+        assert type_automaton(store_schema).finals == frozenset()
+
+
+class TestObservation273:
+    """Type automaton is a DFA iff the EDTD is single-type."""
+
+    def test_single_type_gives_dfa(self, store_schema):
+        automaton = type_automaton(store_schema)
+        assert all(len(dsts) <= 1 for dsts in automaton.transitions.values())
+        assert is_single_type(store_schema)
+
+    def test_non_single_type_gives_nfa(self):
+        edtd = example_2_6()
+        automaton = type_automaton(edtd)
+        assert any(len(dsts) > 1 for dsts in automaton.transitions.values())
+        assert not is_single_type(edtd)
+
+    def test_start_conflict_detected(self):
+        edtd = EDTD(
+            alphabet={"a"},
+            types={"r1", "r2"},
+            rules={"r1": "~", "r2": "r2?"},
+            starts={"r1", "r2"},
+            mu={"r1": "a", "r2": "a"},
+        )
+        assert not is_single_type(edtd)
+
+    def test_content_conflict_across_words_detected(self):
+        # tau1 and tau2 never occur in the same word but share a label:
+        # Definition 2.4 still forbids it.
+        edtd = EDTD(
+            alphabet={"a", "b"},
+            types={"r", "t1", "t2"},
+            rules={"r": "t1 | t2", "t1": "~", "t2": "~"},
+            starts={"r"},
+            mu={"r": "a", "t1": "b", "t2": "b"},
+        )
+        assert not is_single_type(edtd)
+
+    def test_unused_duplicate_label_type_is_fine(self):
+        # Two same-label types in different content models are allowed.
+        edtd = EDTD(
+            alphabet={"a", "b"},
+            types={"r", "u", "b1", "b2"},
+            rules={"r": "u?, b1", "u": "b2", "b1": "~", "b2": "~"},
+            starts={"r"},
+            mu={"r": "a", "u": "a", "b1": "b", "b2": "b"},
+        )
+        assert is_single_type(edtd)
+
+
+class TestAssignableTypes:
+    def test_matches_ancestor_semantics(self, store_schema):
+        assert assignable_types(store_schema, ("store",)) == {"s"}
+        assert assignable_types(store_schema, ("store", "item")) == {"i"}
+        assert assignable_types(store_schema, ("store", "item", "price")) == {"p"}
+
+    def test_unreachable_string(self, store_schema):
+        assert assignable_types(store_schema, ("item",)) == frozenset()
+        assert assignable_types(store_schema, ("store", "price")) == frozenset()
+
+    def test_nondeterministic_assignment(self):
+        assert assignable_types(example_2_6(), ("a", "b")) == {"t2a", "t2b"}

@@ -1,0 +1,105 @@
+"""Tests for W3C XSD export."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.schemas.xsd_export import export_xsd
+
+
+class TestExport:
+    def test_basic_structure(self, store_schema):
+        xsd = export_xsd(store_schema)
+        assert xsd.startswith('<?xml version="1.0"?>')
+        assert '<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">' in xsd
+        assert xsd.rstrip().endswith("</xs:schema>")
+        assert '<xs:element name="store"' in xsd
+        assert xsd.count("<xs:complexType") == 3
+
+    def test_balanced_tags(self, store_schema):
+        xsd = export_xsd(store_schema)
+        for tag in ("xs:schema", "xs:complexType", "xs:sequence", "xs:choice"):
+            opens = len(re.findall(rf"<{tag}[ />]", xsd))
+            closes = xsd.count(f"</{tag}>")
+            selfclosed = len(re.findall(rf"<{tag}[^>]*/>", xsd))
+            assert opens == closes + selfclosed, tag
+
+    def test_occurs_attributes(self, store_schema):
+        xsd = export_xsd(store_schema)
+        # store has item*: minOccurs 0 maxOccurs unbounded
+        assert 'minOccurs="0"' in xsd
+        assert 'maxOccurs="unbounded"' in xsd
+
+    def test_choice_rendering(self):
+        schema = SingleTypeEDTD(
+            alphabet={"a", "b", "c"},
+            types={"r", "x", "y"},
+            rules={"r": "x | y", "x": "~", "y": "~"},
+            starts={"r"},
+            mu={"r": "a", "x": "b", "y": "c"},
+        )
+        xsd = export_xsd(schema)
+        assert "<xs:choice>" in xsd
+        assert '<xs:element name="b"' in xsd
+        assert '<xs:element name="c"' in xsd
+
+    def test_leaf_type_empty_sequence(self, store_schema):
+        xsd = export_xsd(store_schema)
+        assert "<xs:sequence/>" in xsd  # price has no children
+
+    def test_multiple_roots(self):
+        schema = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"ra", "rb"},
+            rules={"ra": "~", "rb": "~"},
+            starts={"ra", "rb"},
+            mu={"ra": "a", "rb": "b"},
+        )
+        xsd = export_xsd(schema)
+        assert xsd.count("<xs:element name=") >= 2
+
+    def test_empty_language_rejected(self):
+        empty = SingleTypeEDTD(
+            alphabet={"a"}, types=set(), rules={}, starts=set(), mu={}
+        )
+        with pytest.raises(SchemaError):
+            export_xsd(empty)
+
+    def test_upa_warning_emitted(self):
+        # (b|c)* b (b|c) — "second-to-last child is b" has NO
+        # deterministic expression (the classic UPA-impossible language).
+        schema = SingleTypeEDTD(
+            alphabet={"a", "b", "c"},
+            types={"r", "x", "y"},
+            rules={"r": "(x | y)*, x, (x | y)", "x": "~", "y": "~"},
+            starts={"r"},
+            mu={"r": "a", "x": "b", "y": "c"},
+        )
+        xsd = export_xsd(schema)
+        assert "UPA warning" in xsd
+
+    def test_no_upa_warning_for_deterministic(self, store_schema):
+        assert "UPA warning" not in export_xsd(store_schema)
+
+    def test_upa_check_can_be_disabled(self):
+        schema = SingleTypeEDTD(
+            alphabet={"a", "b", "c"},
+            types={"r", "x", "y"},
+            rules={"r": "(x | y)*, x, (x | y)", "x": "~", "y": "~"},
+            starts={"r"},
+            mu={"r": "a", "x": "b", "y": "c"},
+        )
+        assert "UPA warning" not in export_xsd(schema, check_upa=False)
+
+    def test_export_of_construction_output(self, ab_star_schema, ab_pair_schema):
+        from repro.core.upper import upper_union
+        from repro.schemas.minimize import minimize_single_type
+
+        merged = minimize_single_type(upper_union(ab_star_schema, ab_pair_schema))
+        xsd = export_xsd(merged)
+        assert "<xs:schema" in xsd
+        assert "<xs:complexType" in xsd

@@ -1,0 +1,133 @@
+"""Tests for the W3C XSD importer and export/import round trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.families.real_world import ALL_FIXTURES
+from repro.schemas.inclusion import single_type_equivalent
+from repro.schemas.xsd_export import export_xsd
+from repro.schemas.xsd_import import import_xsd
+from repro.trees.tree import parse_tree
+
+HANDWRITTEN = """<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <!-- a library of books -->
+  <xs:element name="library" type="Lib"/>
+  <xs:complexType name="Lib">
+    <xs:element name="book" type="Book" minOccurs="0" maxOccurs="unbounded"/>
+  </xs:complexType>
+  <xs:complexType name="Book">
+    <xs:sequence>
+      <xs:element name="title" type="Leaf"/>
+      <xs:choice minOccurs="0">
+        <xs:element name="isbn" type="Leaf2"/>
+        <xs:element name="issn" type="Leaf3"/>
+      </xs:choice>
+    </xs:sequence>
+  </xs:complexType>
+  <xs:complexType name="Leaf"><xs:sequence/></xs:complexType>
+  <xs:complexType name="Leaf2"><xs:sequence/></xs:complexType>
+  <xs:complexType name="Leaf3"><xs:sequence/></xs:complexType>
+</xs:schema>
+"""
+
+
+class TestImport:
+    def test_handwritten_schema(self):
+        schema = import_xsd(HANDWRITTEN)
+        assert schema.accepts(parse_tree("library"))
+        assert schema.accepts(parse_tree("library(book(title, isbn))"))
+        assert schema.accepts(parse_tree("library(book(title), book(title, issn))"))
+        assert not schema.accepts(parse_tree("library(book(isbn))"))
+        assert not schema.accepts(parse_tree("book(title)"))
+
+    def test_occurs_combinations(self):
+        text = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="r" type="R"/>
+          <xs:complexType name="R">
+            <xs:sequence>
+              <xs:element name="x" type="X" minOccurs="2" maxOccurs="3"/>
+              <xs:element name="y" type="Y" minOccurs="1" maxOccurs="unbounded"/>
+            </xs:sequence>
+          </xs:complexType>
+          <xs:complexType name="X"/>
+          <xs:complexType name="Y"/>
+        </xs:schema>"""
+        schema = import_xsd(text)
+        assert schema.accepts(parse_tree("r(x, x, y)"))
+        assert schema.accepts(parse_tree("r(x, x, x, y, y, y)"))
+        assert not schema.accepts(parse_tree("r(x, y)"))
+        assert not schema.accepts(parse_tree("r(x, x, x, x, y)"))
+        assert not schema.accepts(parse_tree("r(x, x)"))
+
+    def test_min_occurs_with_unbounded(self):
+        text = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="r" type="R"/>
+          <xs:complexType name="R">
+            <xs:element name="x" type="X" minOccurs="2" maxOccurs="unbounded"/>
+          </xs:complexType>
+          <xs:complexType name="X"/>
+        </xs:schema>"""
+        schema = import_xsd(text)
+        assert not schema.accepts(parse_tree("r(x)"))
+        assert schema.accepts(parse_tree("r(x, x)"))
+        assert schema.accepts(parse_tree("r(x, x, x, x)"))
+
+    def test_rejects_wrong_root(self):
+        with pytest.raises(SchemaError):
+            import_xsd("<xs:element name='r' type='R'/>")
+
+    def test_rejects_dangling_type(self):
+        text = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="r" type="Missing"/>
+        </xs:schema>"""
+        with pytest.raises(SchemaError):
+            import_xsd(text)
+
+    def test_rejects_conflicting_element_names(self):
+        text = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="r" type="R"/>
+          <xs:complexType name="R">
+            <xs:sequence>
+              <xs:element name="x" type="T"/>
+              <xs:element name="y" type="T"/>
+            </xs:sequence>
+          </xs:complexType>
+          <xs:complexType name="T"/>
+        </xs:schema>"""
+        with pytest.raises(SchemaError):
+            import_xsd(text)
+
+    def test_rejects_unsupported_construct(self):
+        text = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="r" type="R"/>
+          <xs:complexType name="R"><xs:all/></xs:complexType>
+        </xs:schema>"""
+        with pytest.raises(SchemaError):
+            import_xsd(text)
+
+    def test_rejects_mismatched_tags(self):
+        with pytest.raises(SchemaError):
+            import_xsd("<xs:schema><xs:element></xs:schema>")
+
+
+class TestRoundTrip:
+    def test_store_round_trip(self, store_schema):
+        back = import_xsd(export_xsd(store_schema))
+        assert single_type_equivalent(back, store_schema)
+
+    @pytest.mark.parametrize("name", sorted(ALL_FIXTURES))
+    def test_fixture_round_trips(self, name):
+        schema = ALL_FIXTURES[name]()
+        back = import_xsd(export_xsd(schema))
+        assert single_type_equivalent(back, schema), name
+
+    def test_construction_output_round_trip(self, ab_star_schema, ab_pair_schema):
+        from repro.core.upper import upper_union
+        from repro.schemas.minimize import minimize_single_type
+
+        merged = minimize_single_type(upper_union(ab_star_schema, ab_pair_schema))
+        back = import_xsd(export_xsd(merged))
+        assert single_type_equivalent(back, merged)

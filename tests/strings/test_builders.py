@@ -1,0 +1,92 @@
+"""Tests for the concrete language builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.strings.builders import (
+    at_most_k_occurrences,
+    contains_symbol_from,
+    empty_language,
+    epsilon_language,
+    exactly_length,
+    finite_language,
+    nth_from_end_is,
+    sigma_plus,
+    sigma_star,
+    unary_exactly,
+    word_language,
+)
+from repro.strings.ops import count_words_by_length, enumerate_words, equivalent
+
+
+class TestBasicBuilders:
+    def test_empty_language(self):
+        assert empty_language({"a"}).is_empty_language()
+
+    def test_epsilon_language(self):
+        dfa = epsilon_language({"a"})
+        assert dfa.accepts("")
+        assert not dfa.accepts("a")
+
+    def test_word_language(self):
+        dfa = word_language("abc")
+        assert dfa.accepts("abc")
+        assert not dfa.accepts("ab")
+        assert not dfa.accepts("abcc")
+
+    def test_finite_language(self):
+        dfa = finite_language(["ab", "a", ""])
+        assert sorted(enumerate_words(dfa, 3)) == [(), ("a",), ("a", "b")]
+
+    def test_finite_language_prefix_sharing(self):
+        dfa = finite_language(["aa", "ab"])
+        assert dfa.accepts("aa")
+        assert dfa.accepts("ab")
+        assert not dfa.accepts("a")
+
+    def test_sigma_star(self):
+        assert equivalent(sigma_star({"a", "b"}), "(a | b)*")
+
+    def test_sigma_plus(self):
+        assert equivalent(sigma_plus({"a", "b"}), "(a | b)+")
+
+    def test_unary_exactly(self):
+        dfa = unary_exactly("a", 3)
+        assert dfa.accepts("aaa")
+        assert not dfa.accepts("aa")
+
+
+class TestCountingBuilders:
+    def test_contains_symbol_from(self):
+        dfa = contains_symbol_from({"a", "b", "c"}, {"b", "c"})
+        assert dfa.accepts("ab")
+        assert dfa.accepts("c")
+        assert not dfa.accepts("aaa")
+        assert not dfa.accepts("")
+
+    @pytest.mark.parametrize("k", [0, 1, 3])
+    def test_at_most_k_occurrences(self, k):
+        dfa = at_most_k_occurrences({"a", "b"}, "a", k)
+        assert dfa.accepts("a" * k)
+        assert not dfa.accepts("a" * (k + 1))
+        assert dfa.accepts("b" * 5 + "a" * k)
+        assert not dfa.accepts("b".join("a" * (k + 1)))
+
+    def test_exactly_length(self):
+        dfa = exactly_length({"a", "b"}, 2)
+        assert count_words_by_length(dfa, 3) == [0, 0, 4, 0]
+
+
+class TestBlowupFamily:
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    def test_membership(self, n):
+        nfa = nth_from_end_is("a", "b", n)
+        assert nfa.accepts("a" + "b" * n)
+        assert nfa.accepts("bba" + "a" * n)
+        assert not nfa.accepts("b" + "a" * (n - 1) + "b") if n > 1 else True
+        assert not nfa.accepts("b" * (n + 1))
+        assert not nfa.accepts("a" * n)  # too short
+
+    def test_linear_size(self):
+        assert len(nth_from_end_is("a", "b", 10).states) == 12

@@ -1,0 +1,163 @@
+"""Tests for Brzozowski derivatives, incl. differential testing against the
+Glushkov pipeline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.strings.derivatives import (
+    derivative,
+    dfa_from_regex,
+    matches,
+    normalize,
+    word_derivative,
+)
+from repro.strings.determinize import determinize
+from repro.strings.glushkov import glushkov_nfa
+from repro.strings.minimize import minimize_dfa
+from repro.strings.ops import equivalent
+from repro.strings.regex import (
+    EMPTY,
+    EPSILON,
+    Concat,
+    Opt,
+    Plus,
+    Star,
+    Sym,
+    Union,
+    parse,
+)
+
+
+class TestNormalize:
+    def test_union_flatten_dedupe_sort(self):
+        expr = Union(Sym("b"), Union(Sym("a"), Sym("b")))
+        normalized = normalize(expr)
+        assert normalized == normalize(Union(Sym("a"), Sym("b")))
+
+    def test_union_drops_empty(self):
+        assert normalize(Union(EMPTY, Sym("a"))) == Sym("a")
+
+    def test_concat_right_associated(self):
+        expr = Concat(Concat(Sym("a"), Sym("b")), Sym("c"))
+        assert normalize(expr) == Concat(Sym("a"), Concat(Sym("b"), Sym("c")))
+
+    def test_star_of_star(self):
+        assert normalize(Star(Star(Sym("a")))) == Star(Sym("a"))
+
+    def test_star_of_opt(self):
+        assert normalize(Star(Opt(Sym("a")))) == Star(Sym("a"))
+
+    def test_plus_expansion(self):
+        assert normalize(Plus(Sym("a"))) == Concat(Sym("a"), Star(Sym("a")))
+
+    def test_opt_of_nullable_collapses(self):
+        assert normalize(Opt(Star(Sym("a")))) == Star(Sym("a"))
+
+    def test_language_preserved(self):
+        for source in ["a, b | b, a", "(a | b)*, a", "a+, b?", "(a?)+"]:
+            expr = parse(source)
+            assert equivalent(normalize(expr), expr), source
+
+
+class TestDerivative:
+    def test_symbol(self):
+        assert derivative(Sym("a"), "a") == EPSILON
+        assert derivative(Sym("a"), "b") == EMPTY
+
+    def test_concat_non_nullable(self):
+        assert derivative(parse("a, b"), "a") == Sym("b")
+        assert derivative(parse("a, b"), "b") == EMPTY
+
+    def test_concat_nullable_head(self):
+        d = derivative(parse("a?, b"), "b")
+        assert d == EPSILON
+
+    def test_star(self):
+        d = derivative(parse("(a, b)*"), "a")
+        assert equivalent(d, parse("b, (a, b)*"))
+
+    def test_word_derivative(self):
+        d = word_derivative(parse("a, b, c"), "ab")
+        assert d == Sym("c")
+
+    def test_matches(self):
+        expr = parse("(a | b)*, a")
+        assert matches(expr, "ba")
+        assert not matches(expr, "ab")
+        assert not matches(expr, "")
+
+
+class TestDerivativeAutomaton:
+    @pytest.mark.parametrize(
+        "source",
+        ["a", "~", "#", "a, b", "(a | b)*, a", "a+, b?", "(a, b | b, a)+"],
+    )
+    def test_equivalent_to_glushkov_route(self, source):
+        expr = parse(source)
+        derivative_dfa = dfa_from_regex(expr, alphabet={"a", "b"})
+        glushkov_dfa = determinize(glushkov_nfa(expr))
+        assert equivalent(derivative_dfa, glushkov_dfa), source
+
+    def test_derivative_dfa_close_to_minimal(self):
+        expr = parse("(a | b)*, a, (a | b)")
+        derivative_dfa = dfa_from_regex(expr)
+        minimal = minimize_dfa(derivative_dfa)
+        # Derivative automata are small; within 2x of minimal here.
+        assert len(derivative_dfa.states) <= 2 * len(minimal.states)
+
+
+def regexes():
+    atoms = st.sampled_from([Sym("a"), Sym("b"), EPSILON, EMPTY])
+    return st.recursive(
+        atoms,
+        lambda inner: st.one_of(
+            st.builds(Concat, inner, inner),
+            st.builds(Union, inner, inner),
+            st.builds(Star, inner),
+            st.builds(Plus, inner),
+            st.builds(Opt, inner),
+        ),
+        max_leaves=8,
+    )
+
+
+def words_up_to(n: int):
+    out = [()]
+    frontier = [()]
+    for _ in range(n):
+        frontier = [w + (c,) for w in frontier for c in ("a", "b")]
+        out.extend(frontier)
+    return out
+
+
+WORDS = words_up_to(4)
+
+
+@settings(max_examples=60, deadline=None)
+@given(regexes())
+def test_differential_membership(expr):
+    """Derivative membership == Glushkov membership on all short words."""
+    nfa = glushkov_nfa(expr)
+    for word in WORDS:
+        assert matches(expr, word) == nfa.accepts(word), (expr, word)
+
+
+@settings(max_examples=40, deadline=None)
+@given(regexes())
+def test_differential_automata(expr):
+    """The two regex-to-DFA pipelines build language-equal automata."""
+    derivative_dfa = dfa_from_regex(expr, alphabet={"a", "b"})
+    glushkov_dfa = determinize(glushkov_nfa(expr).with_alphabet({"a", "b"}))
+    assert equivalent(derivative_dfa, glushkov_dfa), expr
+
+
+@settings(max_examples=40, deadline=None)
+@given(regexes())
+def test_normalize_preserves_language(expr):
+    normalized = normalize(expr)
+    nfa = glushkov_nfa(expr)
+    nfa_norm = glushkov_nfa(normalized)
+    for word in WORDS:
+        assert nfa.accepts(word) == nfa_norm.accepts(word), (expr, word)

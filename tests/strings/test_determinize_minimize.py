@@ -1,0 +1,104 @@
+"""Tests for the subset construction and minimization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.strings.builders import nth_from_end_is
+from repro.strings.determinize import determinize
+from repro.strings.dfa import DFA
+from repro.strings.minimize import minimal_dfa_equal, minimize_dfa, moore_partition
+from repro.strings.ops import as_min_dfa, as_nfa, equivalent
+
+
+class TestDeterminize:
+    def test_preserves_language(self):
+        nfa = as_nfa("(a | b)*, a, b")
+        dfa = determinize(nfa)
+        assert equivalent(dfa, nfa)
+
+    def test_result_is_deterministic(self):
+        dfa = determinize(as_nfa("a | a, b"))
+        # DFA type already enforces determinism; just sanity-check runs.
+        assert dfa.accepts("a")
+        assert dfa.accepts("ab")
+        assert not dfa.accepts("b")
+
+    def test_keep_empty_gives_complete_dfa(self):
+        dfa = determinize(as_nfa("a"), keep_empty=True)
+        assert dfa.is_complete()
+
+    def test_partial_by_default(self):
+        dfa = determinize(as_nfa("a"))
+        assert frozenset() not in dfa.states
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_exponential_blowup_family(self, n):
+        nfa = nth_from_end_is("a", "b", n)
+        dfa = minimize_dfa(determinize(nfa))
+        assert len(nfa.states) == n + 2
+        assert len(dfa.states) == 2 ** (n + 1)
+
+
+class TestMinimize:
+    def test_minimal_size_known_language(self):
+        # (ab)* needs 2 states trim (+1 sink when complete).
+        dfa = minimize_dfa(as_min_dfa("(a, b)*"))
+        assert len(dfa.states) == 2
+
+    def test_minimize_idempotent(self):
+        dfa = as_min_dfa("a, (b | c)*, a")
+        again = minimize_dfa(dfa)
+        assert len(again.states) == len(dfa.states)
+        assert equivalent(again, dfa)
+
+    def test_complete_flag_keeps_sink(self):
+        trim = minimize_dfa(as_min_dfa("a"))
+        complete = minimize_dfa(as_min_dfa("a"), complete=True)
+        assert len(complete.states) == len(trim.states) + 1
+        assert complete.is_complete()
+
+    def test_merges_equivalent_states(self):
+        # A deliberately redundant DFA for a*: states 0,1 both loop/accept.
+        dfa = DFA(
+            {0, 1},
+            {"a"},
+            {(0, "a"): 1, (1, "a"): 0},
+            0,
+            {0, 1},
+        )
+        assert len(minimize_dfa(dfa).states) == 1
+
+    def test_empty_language(self):
+        dfa = DFA({0}, {"a"}, {}, 0, set())
+        minimal = minimize_dfa(dfa)
+        assert minimal.is_empty_language()
+        assert len(minimal.states) == 1
+
+    def test_minimal_dfa_equal_positive(self):
+        assert minimal_dfa_equal(as_min_dfa("a | b, a"), as_min_dfa("b?, a"))
+
+    def test_minimal_dfa_equal_negative(self):
+        assert not minimal_dfa_equal(as_min_dfa("a"), as_min_dfa("a?"))
+
+    def test_minimal_dfa_equal_different_alphabets(self):
+        assert not minimal_dfa_equal(as_min_dfa("a"), as_min_dfa("c"))
+
+
+class TestMoorePartition:
+    def test_refines_by_output(self):
+        states = [0, 1, 2]
+        delta = {(0, "a"): 1, (1, "a"): 2, (2, "a"): 2}
+        partition = moore_partition(states, ["a"], delta, {0: "x", 1: "x", 2: "y"})
+        assert partition[0] != partition[1]  # 0 steps to x-class, 1 steps to y
+        assert partition[1] != partition[2]
+
+    def test_merges_bisimilar(self):
+        states = [0, 1]
+        delta = {(0, "a"): 1, (1, "a"): 0}
+        partition = moore_partition(states, ["a"], delta, {0: "x", 1: "x"})
+        assert partition[0] == partition[1]
+
+    def test_empty_alphabet(self):
+        partition = moore_partition([0, 1], [], {}, {0: "x", 1: "y"})
+        assert partition[0] != partition[1]

@@ -1,0 +1,151 @@
+"""Unit tests for repro.strings.dfa."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AutomatonError
+from repro.strings.dfa import DFA
+from repro.strings.ops import as_min_dfa, equivalent
+
+
+def ab_dfa() -> DFA:
+    """Accepts a b* (partial: no b-transition from the initial state)."""
+    return DFA(
+        states={0, 1},
+        alphabet={"a", "b"},
+        transitions={(0, "a"): 1, (1, "b"): 1},
+        initial=0,
+        finals={1},
+    )
+
+
+class TestConstruction:
+    def test_unknown_initial_rejected(self):
+        with pytest.raises(AutomatonError):
+            DFA({0}, {"a"}, {}, 9, set())
+
+    def test_unknown_final_rejected(self):
+        with pytest.raises(AutomatonError):
+            DFA({0}, {"a"}, {}, 0, {9})
+
+    def test_unknown_transition_state_rejected(self):
+        with pytest.raises(AutomatonError):
+            DFA({0}, {"a"}, {(0, "a"): 9}, 0, set())
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(AutomatonError):
+            DFA({0}, {"a"}, {(0, "z"): 0}, 0, set())
+
+
+class TestRuns:
+    def test_accepts(self):
+        assert ab_dfa().accepts("abb")
+
+    def test_rejects(self):
+        assert not ab_dfa().accepts("ba")
+
+    def test_dead_run(self):
+        assert ab_dfa().read("b") is None
+
+    def test_read_final_state(self):
+        assert ab_dfa().read("ab") == 1
+
+    def test_accepts_empty_word(self):
+        assert not ab_dfa().accepts_empty_word()
+        assert as_min_dfa("a*").accepts_empty_word()
+
+    def test_size(self):
+        assert ab_dfa().size() == 2 + 2
+
+
+class TestCompletion:
+    def test_completed_is_complete(self):
+        assert not ab_dfa().is_complete()
+        assert ab_dfa().completed().is_complete()
+
+    def test_completed_preserves_language(self):
+        assert equivalent(ab_dfa().completed(), ab_dfa())
+
+    def test_completed_extends_alphabet(self):
+        extended = ab_dfa().completed({"c"})
+        assert "c" in extended.alphabet
+        assert equivalent(extended, ab_dfa())
+
+    def test_complete_input_is_unchanged(self):
+        complete = ab_dfa().completed()
+        again = complete.completed()
+        assert again.states == complete.states
+
+
+class TestTrim:
+    def test_trim_drops_sink(self):
+        complete = ab_dfa().completed()
+        trimmed = complete.trim()
+        assert len(trimmed.states) == 2
+        assert equivalent(trimmed, ab_dfa())
+
+    def test_trim_keeps_initial_for_empty_language(self):
+        dfa = DFA({0}, {"a"}, {(0, "a"): 0}, 0, set())
+        trimmed = dfa.trim()
+        assert trimmed.initial == 0
+        assert trimmed.is_empty_language()
+
+
+class TestBooleanOps:
+    def test_intersection(self):
+        result = as_min_dfa("(a|b)*").intersection(as_min_dfa("a, (a|b)*"))
+        assert equivalent(result, "a, (a|b)*")
+
+    def test_union(self):
+        result = as_min_dfa("a").union(as_min_dfa("b"))
+        assert equivalent(result, "a | b")
+
+    def test_union_over_different_alphabets(self):
+        result = as_min_dfa("a").union(as_min_dfa("c"))
+        assert result.accepts("a")
+        assert result.accepts("c")
+
+    def test_difference(self):
+        result = as_min_dfa("a*").difference(as_min_dfa("a, a"))
+        assert result.accepts("")
+        assert result.accepts("a")
+        assert not result.accepts("aa")
+        assert result.accepts("aaa")
+
+    def test_complement_involution(self):
+        original = as_min_dfa("a, b | b, a")
+        assert equivalent(original.complement().complement(), original)
+
+    def test_complement_membership_flips(self):
+        comp = as_min_dfa("a, b").complement()
+        assert not comp.accepts("ab")
+        assert comp.accepts("")
+        assert comp.accepts("ba")
+
+    def test_empty_language(self):
+        dfa = DFA({0}, {"a"}, {}, 0, set())
+        assert dfa.is_empty_language()
+        assert not ab_dfa().is_empty_language()
+
+
+class TestStructure:
+    def test_relabel_preserves_language(self):
+        relabeled = ab_dfa().relabel()
+        assert equivalent(relabeled, ab_dfa())
+
+    def test_relabel_canonical_bfs_names(self):
+        relabeled = ab_dfa().relabel("q")
+        assert relabeled.initial == "q0"
+
+    def test_isomorphic_to_self(self):
+        assert ab_dfa().isomorphic_to(ab_dfa())
+
+    def test_isomorphic_after_relabel(self):
+        assert ab_dfa().isomorphic_to(ab_dfa().relabel())
+
+    def test_not_isomorphic_different_language(self):
+        assert not ab_dfa().isomorphic_to(as_min_dfa("b, a*").completed({"a", "b"}).trim())
+
+    def test_to_nfa_language(self):
+        assert equivalent(ab_dfa().to_nfa(), ab_dfa())

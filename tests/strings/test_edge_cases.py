@@ -1,0 +1,87 @@
+"""Edge-case coverage for the string substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.strings.builders import sigma_star
+from repro.strings.determinize import determinize
+from repro.strings.dfa import DFA
+from repro.strings.minimize import minimize_dfa
+from repro.strings.nfa import NFA
+from repro.strings.ops import as_min_dfa, count_words_by_length, enumerate_words, equivalent
+
+
+class TestEmptyAlphabet:
+    def test_dfa_empty_alphabet(self):
+        dfa = DFA({0}, set(), {}, 0, {0})
+        assert dfa.accepts("")
+        assert dfa.is_complete()
+        assert minimize_dfa(dfa).accepts("")
+
+    def test_nfa_empty_alphabet(self):
+        nfa = NFA({0}, set(), {}, {0}, {0})
+        assert nfa.accepts(())
+        assert not nfa.is_empty_language()
+        assert determinize(nfa).accepts(())
+
+    def test_counting_empty_alphabet(self):
+        dfa = DFA({0}, set(), {}, 0, {0})
+        assert count_words_by_length(dfa, 3) == [1, 0, 0, 0]
+
+
+class TestSingletonStates:
+    def test_self_loop_only(self):
+        dfa = DFA({0}, {"a"}, {(0, "a"): 0}, 0, {0})
+        assert equivalent(dfa, sigma_star({"a"}))
+
+    def test_no_finals(self):
+        dfa = DFA({0}, {"a"}, {(0, "a"): 0}, 0, set())
+        assert dfa.is_empty_language()
+        assert minimize_dfa(dfa).is_empty_language()
+
+
+class TestNonStringSymbols:
+    """The whole stack works over arbitrary hashable symbols (the schema
+    layer relies on tuple-typed alphabets)."""
+
+    def test_tuple_symbols(self):
+        a, b = ("t", 1), ("t", 2)
+        dfa = DFA({0, 1}, {a, b}, {(0, a): 1, (1, b): 1}, 0, {1})
+        assert dfa.accepts([a, b, b])
+        assert not dfa.accepts([b])
+        minimal = minimize_dfa(dfa)
+        assert minimal.accepts([a, b])
+
+    def test_mixed_symbol_kinds(self):
+        symbols = {("x",), 7, "s"}
+        nfa = NFA(
+            {0, 1},
+            symbols,
+            {(0, ("x",)): {1}, (0, 7): {1}, (0, "s"): {1}},
+            {0},
+            {1},
+        )
+        determinized = determinize(nfa)
+        assert determinized.accepts([7])
+        assert determinized.accepts([("x",)])
+
+    def test_enumeration_with_tuple_symbols(self):
+        a = ("only",)
+        dfa = DFA({0, 1}, {a}, {(0, a): 1}, 0, {1})
+        assert list(enumerate_words(dfa, 2)) == [(a,)]
+
+
+class TestLargeAlphabet:
+    def test_thirty_symbols(self):
+        symbols = [f"s{i}" for i in range(30)]
+        star = sigma_star(symbols)
+        assert star.accepts(symbols)
+        assert count_words_by_length(star, 2) == [1, 30, 900]
+
+
+class TestReprSmoke:
+    def test_reprs_do_not_crash(self):
+        dfa = as_min_dfa("a, b | c")
+        assert "DFA(" in repr(dfa)
+        assert "NFA(" in repr(dfa.to_nfa())

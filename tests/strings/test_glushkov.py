@@ -1,0 +1,70 @@
+"""Tests for the Glushkov construction and determinism of expressions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.strings.glushkov import glushkov_nfa, is_deterministic_expression
+from repro.strings.ops import equivalent
+from repro.strings.regex import parse
+
+
+class TestGlushkov:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "a",
+            "~",
+            "#",
+            "a, b",
+            "a | b",
+            "a*",
+            "a+",
+            "a?",
+            "(a | b)*, a, (a | b)",
+            "(a, b)+ | c?",
+            "a, # | b",
+            "(#)* , a",
+        ],
+    )
+    def test_language_matches_expression(self, source):
+        expr = parse(source)
+        assert equivalent(glushkov_nfa(expr), expr)
+
+    def test_state_labeled(self):
+        for source in ["(a | b)*, a", "a, a, a", "(a, b | b, a)+"]:
+            assert glushkov_nfa(parse(source)).is_state_labeled(), source
+
+    def test_position_count(self):
+        # One state per symbol occurrence plus the initial state.
+        nfa = glushkov_nfa(parse("a, b, a"))
+        assert len(nfa.states) == 4
+
+    def test_empty_language_automaton(self):
+        nfa = glushkov_nfa(parse("#"))
+        assert nfa.is_empty_language()
+
+    def test_epsilon_automaton(self):
+        nfa = glushkov_nfa(parse("~"))
+        assert nfa.accepts("")
+        assert not nfa.accepts("a") if "a" in nfa.alphabet else True
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "source",
+        ["a", "a, b", "a | b", "a*, b", "(a, b)*", "a?, b"],
+    )
+    def test_deterministic_expressions(self, source):
+        assert is_deterministic_expression(parse(source))
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "a, b | a, c",       # classic one-ambiguity
+            "(a | b)*, a",       # needs lookahead
+            "a*, a",
+        ],
+    )
+    def test_nondeterministic_expressions(self, source):
+        assert not is_deterministic_expression(parse(source))

@@ -1,0 +1,214 @@
+"""Unit tests for repro.strings.nfa."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AutomatonError
+from repro.strings.nfa import NFA
+from repro.strings.ops import equivalent
+
+
+def simple_nfa() -> NFA:
+    """Accepts a(a|b)* — states: 0 -a-> 1, 1 loops on a,b."""
+    return NFA(
+        states={0, 1},
+        alphabet={"a", "b"},
+        transitions={(0, "a"): {1}, (1, "a"): {1}, (1, "b"): {1}},
+        initials={0},
+        finals={1},
+    )
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        nfa = simple_nfa()
+        assert nfa.states == {0, 1}
+        assert nfa.alphabet == {"a", "b"}
+        assert nfa.initials == {0}
+        assert nfa.finals == {1}
+
+    def test_empty_target_sets_are_dropped(self):
+        nfa = NFA({0}, {"a"}, {(0, "a"): set()}, {0}, {0})
+        assert not nfa.transitions
+
+    def test_unknown_initial_rejected(self):
+        with pytest.raises(AutomatonError):
+            NFA({0}, {"a"}, {}, {1}, set())
+
+    def test_unknown_final_rejected(self):
+        with pytest.raises(AutomatonError):
+            NFA({0}, {"a"}, {}, {0}, {1})
+
+    def test_unknown_transition_source_rejected(self):
+        with pytest.raises(AutomatonError):
+            NFA({0}, {"a"}, {(1, "a"): {0}}, {0}, set())
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(AutomatonError):
+            NFA({0}, {"a"}, {(0, "b"): {0}}, {0}, set())
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(AutomatonError):
+            NFA({0}, {"a"}, {(0, "a"): {7}}, {0}, set())
+
+
+class TestRuns:
+    def test_accepts_member(self):
+        assert simple_nfa().accepts("aab")
+
+    def test_rejects_nonmember(self):
+        assert not simple_nfa().accepts("ba")
+
+    def test_rejects_empty(self):
+        assert not simple_nfa().accepts("")
+
+    def test_read_returns_state_set(self):
+        assert simple_nfa().read("a") == {1}
+
+    def test_read_dead_run_is_empty(self):
+        assert simple_nfa().read("b") == frozenset()
+
+    def test_step_unions_successors(self):
+        nfa = NFA({0, 1, 2}, {"a"}, {(0, "a"): {1}, (1, "a"): {2}}, {0}, {2})
+        assert nfa.step(frozenset({0, 1}), "a") == {1, 2}
+
+    def test_size_counts_states_and_edges(self):
+        assert simple_nfa().size() == 2 + 3
+
+    def test_num_transitions(self):
+        assert simple_nfa().num_transitions() == 3
+
+
+class TestStateLabeled:
+    def test_simple_nfa_is_state_labeled(self):
+        # state 1 is entered on both a and b -> not state-labeled
+        assert not simple_nfa().is_state_labeled()
+
+    def test_state_labeled_conversion_preserves_language(self):
+        converted = simple_nfa().state_labeled()
+        assert converted.is_state_labeled()
+        assert equivalent(converted, simple_nfa())
+
+    def test_label_of_unique(self):
+        nfa = NFA({0, 1}, {"a"}, {(0, "a"): {1}}, {0}, {1})
+        assert nfa.label_of(1) == "a"
+
+    def test_label_of_no_incoming_raises(self):
+        nfa = NFA({0, 1}, {"a"}, {(0, "a"): {1}}, {0}, {1})
+        with pytest.raises(AutomatonError):
+            nfa.label_of(0)
+
+    def test_incoming_labels(self):
+        assert simple_nfa().incoming_labels(1) == {"a", "b"}
+
+
+class TestReachability:
+    def test_reachable_states(self):
+        nfa = NFA({0, 1, 2}, {"a"}, {(0, "a"): {1}}, {0}, {1})
+        assert nfa.reachable_states() == {0, 1}
+
+    def test_coreachable_states(self):
+        nfa = NFA({0, 1, 2}, {"a"}, {(0, "a"): {1}, (2, "a"): {2}}, {0}, {1})
+        assert nfa.coreachable_states() == {0, 1}
+
+    def test_trim_preserves_language(self):
+        nfa = NFA(
+            {0, 1, 2, 3},
+            {"a"},
+            {(0, "a"): {1, 2}, (2, "a"): {2}},
+            {0},
+            {1},
+        )
+        trimmed = nfa.trim()
+        assert trimmed.states == {0, 1}
+        assert equivalent(trimmed, nfa)
+
+    def test_empty_language_detection(self):
+        nfa = NFA({0, 1}, {"a"}, {(0, "a"): {0}}, {0}, {1})
+        assert nfa.is_empty_language()
+
+    def test_nonempty_language_detection(self):
+        assert not simple_nfa().is_empty_language()
+
+
+class TestCombinators:
+    def test_union(self):
+        assert equivalent(simple_nfa().union(simple_nfa()), simple_nfa())
+
+    def test_concat(self):
+        from repro.strings.ops import as_nfa
+
+        result = as_nfa("a").concat(as_nfa("b"))
+        assert result.accepts("ab")
+        assert not result.accepts("a")
+        assert not result.accepts("ba")
+
+    def test_concat_with_nullable_right(self):
+        from repro.strings.ops import as_nfa
+
+        result = as_nfa("a").concat(as_nfa("b?"))
+        assert result.accepts("a")
+        assert result.accepts("ab")
+
+    def test_concat_with_nullable_left(self):
+        from repro.strings.ops import as_nfa
+
+        result = as_nfa("a?").concat(as_nfa("b"))
+        assert result.accepts("b")
+        assert result.accepts("ab")
+        assert not result.accepts("")
+
+    def test_star_accepts_empty(self):
+        from repro.strings.ops import as_nfa
+
+        assert as_nfa("a").star().accepts("")
+
+    def test_star_accepts_repetitions(self):
+        from repro.strings.ops import as_nfa
+
+        star = as_nfa("a, b").star()
+        assert star.accepts("abab")
+        assert not star.accepts("aba")
+
+    def test_plus_rejects_empty(self):
+        from repro.strings.ops import as_nfa
+
+        plus = as_nfa("a").plus()
+        assert not plus.accepts("")
+        assert plus.accepts("aaa")
+
+    def test_optional(self):
+        from repro.strings.ops import as_nfa
+
+        opt = as_nfa("a, b").optional()
+        assert opt.accepts("")
+        assert opt.accepts("ab")
+        assert not opt.accepts("a")
+
+    def test_reverse(self):
+        from repro.strings.ops import as_nfa
+
+        assert equivalent(as_nfa("a, b, c").reverse(), "c, b, a")
+
+    def test_map_symbols(self):
+        mapped = simple_nfa().map_symbols(lambda s: s.upper())
+        assert mapped.accepts(["A", "B"])
+        assert mapped.alphabet == {"A", "B"}
+
+    def test_map_symbols_can_merge(self):
+        from repro.strings.ops import as_nfa
+
+        merged = as_nfa("a | b").map_symbols(lambda _: "x")
+        assert merged.accepts("x")
+        assert not merged.accepts("xx")
+
+    def test_relabel_preserves_language(self):
+        relabeled = simple_nfa().relabel()
+        assert equivalent(relabeled, simple_nfa())
+        assert all(isinstance(s, str) for s in relabeled.states)
+
+    def test_with_alphabet_extends(self):
+        extended = simple_nfa().with_alphabet({"c"})
+        assert "c" in extended.alphabet
+        assert equivalent(extended, simple_nfa())

@@ -1,0 +1,146 @@
+"""Tests for language-level operations (coercions, decisions, enumeration)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import AutomatonError
+from repro.strings.dfa import DFA
+from repro.strings.nfa import NFA
+from repro.strings.ops import (
+    as_dfa,
+    as_min_dfa,
+    as_nfa,
+    count_words_by_length,
+    enumerate_words,
+    equivalent,
+    includes,
+    is_empty,
+    is_universal,
+    sample_word,
+    shortest_word,
+    symbols_of,
+)
+from repro.strings.regex import parse
+
+
+class TestCoercions:
+    def test_string_to_nfa(self):
+        assert as_nfa("a, b").accepts("ab")
+
+    def test_regex_to_nfa(self):
+        assert as_nfa(parse("a | b")).accepts("b")
+
+    def test_dfa_passthrough(self):
+        dfa = as_min_dfa("a")
+        assert as_dfa(dfa) is dfa
+
+    def test_nfa_passthrough(self):
+        nfa = as_nfa("a")
+        assert as_nfa(nfa) is nfa
+
+    def test_min_dfa_is_minimal(self):
+        dfa = as_min_dfa("a | a, a | a, a, a")
+        assert len(dfa.states) == 4  # chain of three a's with three accepts
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_nfa(42)
+
+    def test_symbols_of(self):
+        assert symbols_of("a, (b | c)") == {"a", "b", "c"}
+        assert symbols_of(as_min_dfa("a, b")) == {"a", "b"}
+
+
+class TestDecisions:
+    def test_is_empty(self):
+        assert is_empty("#")
+        assert is_empty("a, #")
+        assert not is_empty("a?")
+
+    def test_is_universal(self):
+        assert is_universal("(a | b)*", {"a", "b"})
+        assert not is_universal("(a | b)+", {"a", "b"})
+        assert is_universal("a*", {"a"})
+
+    def test_is_universal_smaller_alphabet(self):
+        # (a|b)* restricted to {a} is still universal over {a}.
+        assert is_universal("(a | b)*", {"a"})
+
+    def test_includes(self):
+        assert includes("(a | b)*", "a, b")
+        assert not includes("a, b", "(a | b)*")
+        assert includes("a*", "#")
+
+    def test_equivalent(self):
+        assert equivalent("(a | b)*", "(b | a)*")
+        assert not equivalent("a*", "a+")
+
+
+class TestEnumeration:
+    def test_shortlex_order(self):
+        words = list(enumerate_words("(a | b)*", 2))
+        assert words == [
+            (),
+            ("a",),
+            ("b",),
+            ("a", "a"),
+            ("a", "b"),
+            ("b", "a"),
+            ("b", "b"),
+        ]
+
+    def test_enumeration_respects_membership(self):
+        dfa = as_min_dfa("a, (b, a)*")
+        for word in enumerate_words(dfa, 7):
+            assert dfa.accepts(word)
+
+    def test_counts_match_enumeration(self):
+        source = "(a | b, b)*"
+        counts = count_words_by_length(source, 6)
+        by_len = [0] * 7
+        for word in enumerate_words(source, 6):
+            by_len[len(word)] += 1
+        assert counts == by_len
+
+    def test_counts_of_universal(self):
+        assert count_words_by_length("(a | b)*", 4) == [1, 2, 4, 8, 16]
+
+    def test_shortest_word(self):
+        assert shortest_word("a, a | b") == ("b",)
+        assert shortest_word("#") is None
+        assert shortest_word("~") == ()
+
+
+class TestSampling:
+    def test_sampled_words_are_members(self):
+        rng = random.Random(7)
+        dfa = as_min_dfa("a, (b | c)*, a")
+        for length in [2, 3, 5, 8]:
+            word = sample_word(dfa, length, rng)
+            assert len(word) == length
+            assert dfa.accepts(word)
+
+    def test_sampling_impossible_length_raises(self):
+        rng = random.Random(7)
+        with pytest.raises(AutomatonError):
+            sample_word("a, a", 3, rng)
+
+    def test_sampling_is_seed_deterministic(self):
+        dfa = as_min_dfa("(a | b)*")
+        w1 = sample_word(dfa, 6, random.Random(42))
+        w2 = sample_word(dfa, 6, random.Random(42))
+        assert w1 == w2
+
+    def test_sampling_roughly_uniform(self):
+        # Over (a|b)* at length 2 there are 4 words; with 400 draws each
+        # should appear a decent number of times.
+        rng = random.Random(3)
+        seen: dict = {}
+        for _ in range(400):
+            word = sample_word("(a | b)*", 2, rng)
+            seen[word] = seen.get(word, 0) + 1
+        assert len(seen) == 4
+        assert min(seen.values()) > 50

@@ -1,0 +1,169 @@
+"""Unit tests for the regex AST and parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RegexSyntaxError
+from repro.strings.ops import as_min_dfa, enumerate_words, equivalent
+from repro.strings.regex import (
+    EMPTY,
+    EPSILON,
+    Concat,
+    Opt,
+    Plus,
+    Star,
+    Sym,
+    Union,
+    concat,
+    parse,
+    sym,
+    union,
+)
+
+
+class TestParsing:
+    def test_symbol(self):
+        assert parse("a") == Sym("a")
+
+    def test_multi_char_identifier(self):
+        assert parse("item_1") == Sym("item_1")
+
+    def test_epsilon(self):
+        assert parse("~") == EPSILON
+
+    def test_empty_language(self):
+        assert parse("#") == EMPTY
+
+    def test_union(self):
+        assert parse("a | b") == Union(Sym("a"), Sym("b"))
+
+    def test_concat_comma(self):
+        assert parse("a, b") == Concat(Sym("a"), Sym("b"))
+
+    def test_concat_juxtaposition(self):
+        assert parse("a b") == Concat(Sym("a"), Sym("b"))
+
+    def test_star(self):
+        assert parse("a*") == Star(Sym("a"))
+
+    def test_plus(self):
+        assert parse("a+") == Plus(Sym("a"))
+
+    def test_opt(self):
+        assert parse("a?") == Opt(Sym("a"))
+
+    def test_double_postfix(self):
+        assert parse("a*?") == Opt(Star(Sym("a")))
+
+    def test_precedence_postfix_over_concat(self):
+        assert parse("a, b*") == Concat(Sym("a"), Star(Sym("b")))
+
+    def test_precedence_concat_over_union(self):
+        assert parse("a, b | c") == Union(Concat(Sym("a"), Sym("b")), Sym("c"))
+
+    def test_parentheses(self):
+        assert parse("(a | b)*") == Star(Union(Sym("a"), Sym("b")))
+
+    def test_group_concat(self):
+        assert parse("a, (b | c)") == Concat(Sym("a"), Union(Sym("b"), Sym("c")))
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("(a")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a )")
+
+    def test_empty_input(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("")
+
+    def test_bad_character(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a $ b")
+
+    def test_str_round_trip(self):
+        for source in ["a", "a, b", "a | b", "(a | b)*", "a+, b?", "~", "#", "(a, b)+"]:
+            expr = parse(source)
+            assert parse(str(expr)) == expr, source
+
+
+class TestSemantics:
+    def test_nullable(self):
+        assert parse("a*").nullable()
+        assert parse("a?").nullable()
+        assert parse("~").nullable()
+        assert not parse("a").nullable()
+        assert not parse("a+").nullable()
+        assert parse("(a?)+").nullable()
+        assert not parse("#").nullable()
+
+    def test_symbols(self):
+        assert parse("(a | b)*, c").symbols() == {"a", "b", "c"}
+
+    def test_rpn_size(self):
+        assert parse("a").rpn_size() == 1
+        assert parse("a, b").rpn_size() == 3
+        assert parse("(a | b)*").rpn_size() == 4
+
+    def test_denotes_empty_language(self):
+        assert parse("#").denotes_empty_language()
+        assert parse("a, #").denotes_empty_language()
+        assert not parse("# | a").denotes_empty_language()
+        assert not parse("#*").denotes_empty_language()
+        assert parse("#+").denotes_empty_language()
+
+
+class TestSmartConstructors:
+    def test_concat_identities(self):
+        assert concat(EPSILON, Sym("a")) == Sym("a")
+        assert concat(Sym("a"), EPSILON) == Sym("a")
+        assert concat(Sym("a"), EMPTY) == EMPTY
+        assert concat() == EPSILON
+
+    def test_union_identities(self):
+        assert union(EMPTY, Sym("a")) == Sym("a")
+        assert union(Sym("a"), Sym("a")) == Sym("a")
+        assert union() == EMPTY
+
+    def test_operators(self):
+        assert (sym("a") | sym("b")) == Union(Sym("a"), Sym("b"))
+        assert (sym("a") + sym("b")) == Concat(Sym("a"), Sym("b"))
+        assert sym("a").star() == Star(Sym("a"))
+        assert sym("a").plus() == Plus(Sym("a"))
+        assert sym("a").opt() == Opt(Sym("a"))
+
+
+class TestLanguages:
+    @pytest.mark.parametrize(
+        ("source", "members", "non_members"),
+        [
+            ("a, b", ["ab"], ["", "a", "ba", "abb"]),
+            ("a | b", ["a", "b"], ["", "ab"]),
+            ("a*", ["", "a", "aaa"], ["b"]),
+            ("a+", ["a", "aa"], [""]),
+            ("a?", ["", "a"], ["aa"]),
+            ("(a, b)+", ["ab", "abab"], ["", "a", "aba"]),
+            ("~", [""], ["a"]),
+            ("#", [], ["", "a"]),
+            ("a, (b | c)*, a", ["aa", "abca"], ["a", "ab"]),
+        ],
+    )
+    def test_membership(self, source, members, non_members):
+        dfa = as_min_dfa(source)
+        for word in members:
+            assert dfa.accepts(word), (source, word)
+        for word in non_members:
+            assert not dfa.accepts(word), (source, word)
+
+    def test_plus_equals_concat_star(self):
+        assert equivalent("a+", "a, a*")
+
+    def test_opt_equals_union_epsilon(self):
+        assert equivalent("a?", "a | ~")
+
+    def test_enumerate_small(self):
+        words = list(enumerate_words("a | a, b", 2))
+        assert words == [("a",), ("a", "b")]

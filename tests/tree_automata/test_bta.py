@@ -1,0 +1,152 @@
+"""Tests for binary tree automata: runs, determinization, boolean ops."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AutomatonError
+from repro.tree_automata.bta import BTA
+from repro.trees.tree import Tree, parse_tree
+
+
+def parity_bta() -> BTA:
+    """Accepts binary {a}-trees with an even number of leaves."""
+    return BTA(
+        states={"even", "odd"},
+        alphabet={"a"},
+        leaf_rules={"a": {"odd"}},
+        internal_rules={
+            ("a", "even", "even"): {"even"},
+            ("a", "odd", "odd"): {"even"},
+            ("a", "even", "odd"): {"odd"},
+            ("a", "odd", "even"): {"odd"},
+        },
+        finals={"even"},
+    )
+
+
+def binary_trees_up_to(n: int, label: str = "a") -> list[Tree]:
+    by_size: dict[int, list[Tree]] = {1: [Tree(label)]}
+    for size in range(2, n + 1):
+        trees = []
+        for left_size in range(1, size - 1):
+            right_size = size - 1 - left_size
+            if right_size < 1:
+                continue
+            for left in by_size.get(left_size, []):
+                for right in by_size.get(right_size, []):
+                    trees.append(Tree(label, [left, right]))
+        by_size[size] = trees
+    out: list[Tree] = []
+    for size in range(1, n + 1):
+        out.extend(by_size.get(size, []))
+    return out
+
+
+def leaf_count(tree: Tree) -> int:
+    if not tree.children:
+        return 1
+    return sum(leaf_count(child) for child in tree.children)
+
+
+class TestRuns:
+    def test_parity_semantics(self):
+        bta = parity_bta()
+        for tree in binary_trees_up_to(9):
+            assert bta.accepts(tree) == (leaf_count(tree) % 2 == 0), tree
+
+    def test_non_binary_tree_rejected(self):
+        with pytest.raises(AutomatonError):
+            parity_bta().accepts(parse_tree("a(a)"))
+
+    def test_unknown_leaf_label(self):
+        bta = parity_bta()
+        assert bta.possible_states(Tree("z")) == frozenset() if "z" in bta.alphabet else True
+
+    def test_malformed_rules_rejected(self):
+        with pytest.raises(AutomatonError):
+            BTA({"q"}, {"a"}, {"a": {"zz"}}, {}, set())
+        with pytest.raises(AutomatonError):
+            BTA({"q"}, {"a"}, {}, {("a", "q", "zz"): {"q"}}, set())
+
+
+class TestEmptiness:
+    def test_nonempty(self):
+        assert not parity_bta().is_empty_language()
+
+    def test_empty(self):
+        bta = BTA(
+            states={"q"},
+            alphabet={"a"},
+            leaf_rules={},
+            internal_rules={("a", "q", "q"): {"q"}},
+            finals={"q"},
+        )
+        assert bta.is_empty_language()
+        assert bta.witness_tree() is None
+
+    def test_witness_is_member(self):
+        witness = parity_bta().witness_tree()
+        assert witness is not None
+        assert parity_bta().accepts(witness)
+
+
+class TestDeterminize:
+    def test_preserves_language(self):
+        bta = parity_bta()
+        det = bta.determinize()
+        for tree in binary_trees_up_to(9):
+            assert det.accepts(tree) == bta.accepts(tree), tree
+
+    def test_result_deterministic_complete(self):
+        det = parity_bta().determinize()
+        assert det.is_deterministic()
+
+    def test_nondeterministic_input(self):
+        # Accepts trees that have *some* leaf-only left spine — built
+        # nondeterministically.
+        bta = BTA(
+            states={"q", "g"},
+            alphabet={"a", "b"},
+            leaf_rules={"a": {"q"}, "b": {"q", "g"}},
+            internal_rules={
+                ("a", "g", "q"): {"g"},
+                ("a", "q", "q"): {"q"},
+                ("b", "q", "q"): {"q"},
+            },
+            finals={"g"},
+        )
+        det = bta.determinize()
+        assert det.is_deterministic()
+        assert det.accepts(parse_tree("a(b, a)"))
+        assert not det.accepts(parse_tree("a(a, b)"))
+
+
+class TestBooleanOps:
+    def test_complement(self):
+        comp = parity_bta().complement()
+        for tree in binary_trees_up_to(9):
+            assert comp.accepts(tree) == (leaf_count(tree) % 2 == 1), tree
+
+    def test_complement_involution_extensional(self):
+        double = parity_bta().complement().complement()
+        for tree in binary_trees_up_to(7):
+            assert double.accepts(tree) == parity_bta().accepts(tree)
+
+    def test_intersection(self):
+        # Even number of leaves AND at least 3 nodes.
+        small = BTA(
+            states={"one", "big"},
+            alphabet={"a"},
+            leaf_rules={"a": {"one"}},
+            internal_rules={
+                ("a", s1, s2): {"big"}
+                for s1 in ("one", "big")
+                for s2 in ("one", "big")
+            },
+            finals={"big"},
+        )
+        inter = parity_bta().intersection(small)
+        for tree in binary_trees_up_to(9):
+            expected = (leaf_count(tree) % 2 == 0) and tree.size() >= 3
+            assert inter.accepts(tree) == expected, tree

@@ -1,0 +1,107 @@
+"""Tests for exact EDTD inclusion via binary encodings (Theorem 2.13's
+problem, solved exactly)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.families.hard import example_2_6
+from repro.families.random_schemas import random_edtd
+from repro.schemas.edtd import EDTD
+from repro.schemas.ops import complement_edtd, edtd_union
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.tree_automata.inclusion import (
+    bta_from_edtd,
+    edtd_equivalent,
+    edtd_includes,
+    edtd_universal,
+    universal_edtd,
+)
+from repro.trees.encoding import encode
+from repro.trees.generate import enumerate_all_trees
+
+
+class TestBtaFromEdtd:
+    def test_agrees_with_edtd_membership(self, ab_universe_4):
+        edtd = example_2_6()
+        bta = bta_from_edtd(edtd)
+        for tree in ab_universe_4:
+            assert bta.accepts(encode(tree)) == edtd.accepts(tree), tree
+
+    def test_store_schema(self, store_schema):
+        bta = bta_from_edtd(store_schema)
+        from repro.trees.tree import parse_tree
+
+        assert bta.accepts(encode(parse_tree("store(item(price), item(price))")))
+        assert not bta.accepts(encode(parse_tree("store(item)")))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_edtds(self, seed):
+        edtd = random_edtd(random.Random(seed), num_labels=2, num_types=4)
+        bta = bta_from_edtd(edtd)
+        for tree in enumerate_all_trees(edtd.alphabet, 4):
+            assert bta.accepts(encode(tree)) == edtd.accepts(tree), (seed, tree)
+
+
+class TestInclusion:
+    def test_reflexive(self, store_schema):
+        assert edtd_includes(store_schema, store_schema)
+
+    def test_union_superset(self, ab_star_schema):
+        # A schema with a different shape: root a with one a-leaf child.
+        other = SingleTypeEDTD(
+            alphabet={"a", "b"},
+            types={"r", "x"},
+            rules={"r": "x", "x": "~"},
+            starts={"r"},
+            mu={"r": "a", "x": "a"},
+        )
+        union = edtd_union(ab_star_schema, other)
+        assert edtd_includes(union, ab_star_schema)
+        assert edtd_includes(union, other)
+        assert not edtd_includes(ab_star_schema, union)
+        assert not edtd_includes(other, union)
+
+    def test_agrees_with_bounded_enumeration(self, ab_universe_4):
+        left = example_2_6()
+        right = universal_edtd({"a", "b"})
+        assert edtd_includes(right, left)
+        assert not edtd_includes(left, right)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_inclusion_vs_enumeration(self, seed):
+        rng = random.Random(200 + seed)
+        left = random_edtd(rng, num_labels=2, num_types=3)
+        right = random_edtd(rng, num_labels=2, num_types=3)
+        exact = edtd_includes(right, left)
+        universe = enumerate_all_trees(left.alphabet | right.alphabet, 4)
+        bounded_counterexample = any(
+            left.accepts(t) and not right.accepts(t) for t in universe
+        )
+        if bounded_counterexample:
+            assert not exact, seed
+        # (no assertion in the other direction: witnesses can be larger)
+
+
+class TestEquivalenceUniversality:
+    def test_equivalent_reflexive(self, store_schema):
+        assert edtd_equivalent(store_schema, store_schema.relabel_types())
+
+    def test_not_equivalent(self, ab_star_schema, ab_pair_schema):
+        assert not edtd_equivalent(ab_star_schema, ab_pair_schema)
+
+    def test_universal_edtd_is_universal(self):
+        assert edtd_universal(universal_edtd({"a", "b"}))
+
+    def test_schema_union_complement_universal(self, ab_pair_schema):
+        comp = complement_edtd(ab_pair_schema)
+        assert edtd_universal(edtd_union(ab_pair_schema, comp))
+
+    def test_non_universal(self, ab_star_schema):
+        assert not edtd_universal(ab_star_schema)
+
+    def test_empty_not_universal(self):
+        empty = EDTD(alphabet={"a"}, types=set(), rules={}, starts=set(), mu={})
+        assert not edtd_universal(empty)

@@ -1,0 +1,131 @@
+"""Tests for monoid forest automata (Section 4.4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AutomatonError
+from repro.strings.ops import as_min_dfa
+from repro.tree_automata.monoid import (
+    FiniteMonoid,
+    MonoidForestAutomaton,
+    forest_automaton_for_child_language,
+    transition_monoid_from_dfa,
+)
+from repro.trees.tree import Tree, parse_tree
+
+
+def z2() -> FiniteMonoid:
+    return FiniteMonoid(
+        elements={0, 1},
+        operation={(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0},
+        identity=0,
+    )
+
+
+class TestFiniteMonoid:
+    def test_z2_laws(self):
+        monoid = z2()
+        assert monoid.sum([1, 1, 1]) == 1
+        assert monoid.sum([]) == 0
+
+    def test_identity_must_be_element(self):
+        with pytest.raises(AutomatonError):
+            FiniteMonoid({0}, {(0, 0): 0}, identity=7)
+
+    def test_closure_enforced(self):
+        with pytest.raises(AutomatonError):
+            FiniteMonoid({0, 1}, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 7}, 0)
+
+    def test_associativity_enforced(self):
+        # A magma that is not associative: x+y = x unless both are 1.
+        with pytest.raises(AutomatonError):
+            FiniteMonoid(
+                {0, 1, 2},
+                {
+                    (a, b): (2 if (a, b) == (1, 1) else a) if (a or b) else 0
+                    for a in (0, 1, 2)
+                    for b in (0, 1, 2)
+                },
+                0,
+            )
+
+    def test_identity_law_enforced(self):
+        with pytest.raises(AutomatonError):
+            FiniteMonoid({0, 1}, {(a, b): 0 for a in (0, 1) for b in (0, 1)}, 0)
+
+
+class TestMonoidForestAutomaton:
+    def test_leaf_parity(self):
+        """Count a-leaves modulo 2 across a whole forest."""
+        monoid = z2()
+        automaton = MonoidForestAutomaton(
+            monoid,
+            alphabet={"a", "b"},
+            delta={
+                ("a", 0): 1, ("a", 1): 1,   # an a-node flips to odd-ish
+                ("b", 0): 0, ("b", 1): 1,   # b passes the subforest parity
+            },
+            finals={0},
+        )
+        # Interpretation: value = parity of a-nodes along ... check a few.
+        assert automaton.value_of_tree(parse_tree("a")) == 1
+        assert automaton.value_of_forest(
+            [parse_tree("a"), parse_tree("a")]
+        ) == 0
+        assert automaton.accepts_forest([parse_tree("b"), parse_tree("b")])
+
+    def test_unknown_label_rejected(self):
+        automaton = MonoidForestAutomaton(
+            z2(), {"a"}, {("a", 0): 1, ("a", 1): 0}, {0}
+        )
+        with pytest.raises(AutomatonError):
+            automaton.value_of_tree(parse_tree("z"))
+
+    def test_delta_must_be_total(self):
+        with pytest.raises(AutomatonError):
+            MonoidForestAutomaton(z2(), {"a"}, {("a", 0): 1}, {0})
+
+
+class TestTransitionMonoid:
+    def test_generators_compose_like_words(self):
+        dfa = as_min_dfa("a, b").completed({"a", "b"})
+        monoid, generators = transition_monoid_from_dfa(dfa)
+        ab = monoid.add(generators["a"], generators["b"])
+        # The element of 'ab' maps the initial state to an accepting state.
+        states = sorted(dfa.states, key=repr)
+        index = {s: i for i, s in enumerate(states)}
+        assert states[ab[index[dfa.initial]]] in dfa.finals
+
+    def test_identity_is_identity_function(self):
+        dfa = as_min_dfa("a*").completed({"a"})
+        monoid, _ = transition_monoid_from_dfa(dfa)
+        assert monoid.identity == tuple(range(len(dfa.states)))
+
+
+class TestChildLanguageAutomaton:
+    def test_flat_forests(self):
+        automaton = forest_automaton_for_child_language(
+            as_min_dfa("a, b*"), {"a", "b"}
+        )
+        assert automaton.accepts_forest([parse_tree("a")])
+        assert automaton.accepts_forest([parse_tree("a"), parse_tree("b")])
+        assert not automaton.accepts_forest([parse_tree("b")])
+        assert not automaton.accepts_forest([])
+
+    def test_deep_trees_rejected(self):
+        automaton = forest_automaton_for_child_language(
+            as_min_dfa("a, b*"), {"a", "b"}
+        )
+        assert not automaton.accepts_forest([Tree("a", [Tree("b")])])
+
+    def test_value_equivalence_substitution(self):
+        """The Theorem 4.12 mechanism: forests with equal values can be
+        substituted without changing acceptance."""
+        automaton = forest_automaton_for_child_language(
+            as_min_dfa("a, (b, b)*"), {"a", "b"}
+        )
+        f1 = [parse_tree("a")]
+        f2 = [parse_tree("a"), parse_tree("b"), parse_tree("b")]
+        assert automaton.value_of_forest(f1) == automaton.value_of_forest(f2)
+        assert automaton.accepts_forest(f1) == automaton.accepts_forest(f2)

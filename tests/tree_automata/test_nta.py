@@ -1,0 +1,76 @@
+"""Tests for unranked non-deterministic tree automata."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AutomatonError
+from repro.families.hard import example_2_6
+from repro.tree_automata.nta import NTA, edtd_from_nta, nta_from_edtd
+from repro.trees.tree import parse_tree
+
+
+def boolean_nta() -> NTA:
+    """Evaluates and/or/true/false trees to their truth value."""
+    return NTA(
+        states={"T", "F"},
+        alphabet={"and", "or", "true", "false"},
+        rules={
+            ("T", "true"): "~",
+            ("F", "false"): "~",
+            ("T", "and"): "(T)+",
+            ("F", "and"): "(T | F)*, F, (T | F)*",
+            ("T", "or"): "(T | F)*, T, (T | F)*",
+            ("F", "or"): "(F)+",
+        },
+        finals={"T"},
+    )
+
+
+class TestRuns:
+    def test_accepts_true_formula(self):
+        assert boolean_nta().accepts(parse_tree("and(true, or(false, true))"))
+
+    def test_rejects_false_formula(self):
+        assert not boolean_nta().accepts(parse_tree("and(true, false)"))
+
+    def test_possible_states(self):
+        nta = boolean_nta()
+        assert nta.possible_states(parse_tree("or(false, false)")) == {"F"}
+        assert nta.possible_states(parse_tree("true")) == {"T"}
+
+    def test_no_rule_no_state(self):
+        nta = boolean_nta()
+        assert nta.possible_states(parse_tree("true(true)")) == frozenset()
+
+    def test_bad_rule_state_rejected(self):
+        with pytest.raises(AutomatonError):
+            NTA({"q"}, {"a"}, {("z", "a"): "~"}, set())
+
+    def test_bad_final_rejected(self):
+        with pytest.raises(AutomatonError):
+            NTA({"q"}, {"a"}, {}, {"z"})
+
+
+class TestTranslations:
+    def test_nta_from_edtd(self, store_schema, ab_universe_4):
+        nta = nta_from_edtd(store_schema)
+        assert nta.accepts(parse_tree("store(item(price))"))
+        assert not nta.accepts(parse_tree("store(price)"))
+
+    def test_round_trip_on_ambiguous_edtd(self, ab_universe_4):
+        edtd = example_2_6()
+        nta = nta_from_edtd(edtd)
+        back = edtd_from_nta(nta)
+        for tree in ab_universe_4:
+            expected = edtd.accepts(tree)
+            assert nta.accepts(tree) == expected, tree
+            assert back.accepts(tree) == expected, tree
+
+    def test_edtd_from_nta_boolean(self):
+        edtd = edtd_from_nta(boolean_nta())
+        assert edtd.accepts(parse_tree("or(false, true)"))
+        assert not edtd.accepts(parse_tree("or(false, false)"))
+
+    def test_size(self):
+        assert boolean_nta().size() > 0

@@ -1,0 +1,111 @@
+"""Unit tests for contexts and forks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.trees.context import Context, Fork, HoleLabel, context_of, fork_of, is_context_tree
+from repro.trees.tree import Tree, parse_tree
+
+
+class TestHoleLabel:
+    def test_equality(self):
+        assert HoleLabel("a") == HoleLabel("a")
+        assert HoleLabel("a") != HoleLabel("b")
+
+    def test_hash(self):
+        assert hash(HoleLabel("a")) == hash(HoleLabel("a"))
+
+    def test_str(self):
+        assert str(HoleLabel("a")) == "[a]"
+
+
+class TestContext:
+    def test_context_of_drops_subtree(self):
+        tree = parse_tree("a(b(c), d)")
+        context = context_of(tree, (0,))
+        assert context.hole_symbol == "b"
+        assert context.tree.subtree((0,)).children == ()
+
+    def test_apply(self):
+        tree = parse_tree("a(b(c), d)")
+        context = context_of(tree, (0,))
+        assert context.apply(parse_tree("b(x, y)")) == parse_tree("a(b(x, y), d)")
+
+    def test_apply_wrong_root_label_rejected(self):
+        context = context_of(parse_tree("a(b)"), (0,))
+        with pytest.raises(ReproError):
+            context.apply(parse_tree("z"))
+
+    def test_apply_restores_original(self):
+        tree = parse_tree("a(b(c), d)")
+        context = context_of(tree, (0,))
+        assert context.apply(tree.subtree((0,))) == tree
+
+    def test_root_context(self):
+        tree = parse_tree("a(b)")
+        context = context_of(tree, ())
+        assert context.hole_symbol == "a"
+        assert context.apply(parse_tree("a(x)")) == parse_tree("a(x)")
+
+    def test_compose(self):
+        outer = context_of(parse_tree("a(b)"), (0,))       # a([b])
+        inner = context_of(parse_tree("b(c)"), (0,))       # b([c])
+        combined = outer.compose(inner)
+        assert combined.hole_symbol == "c"
+        assert combined.apply(parse_tree("c(z)")) == parse_tree("a(b(c(z)))")
+
+    def test_compose_label_mismatch_rejected(self):
+        outer = context_of(parse_tree("a(b)"), (0,))
+        inner = context_of(parse_tree("c(d)"), (0,))
+        with pytest.raises(ReproError):
+            outer.compose(inner)
+
+    def test_spine_labels(self):
+        context = context_of(parse_tree("a(b(c), d)"), (0, 0))
+        assert context.spine_labels() == ("a", "b", "c")
+
+    def test_hole_must_be_hole_labeled(self):
+        with pytest.raises(ReproError):
+            Context(parse_tree("a(b)"), (0,))
+
+    def test_hole_must_be_leaf(self):
+        bad = Tree("a", [Tree(HoleLabel("b"), [Tree("c")])])
+        with pytest.raises(ReproError):
+            Context(bad, (0,))
+
+    def test_is_context_tree(self):
+        good = context_of(parse_tree("a(b)"), (0,)).tree
+        assert is_context_tree(good)
+        assert not is_context_tree(parse_tree("a(b)"))
+
+    def test_contexts_with_same_shape_equal(self):
+        c1 = context_of(parse_tree("a(b(c), d)"), (0,))
+        c2 = context_of(parse_tree("a(b(zzz), d)"), (0,))
+        assert c1 == c2  # subtrees below the hole are dropped
+
+
+class TestFork:
+    def test_fork_of(self):
+        fork = fork_of(parse_tree("a(b(x), c)"), ())
+        assert fork == Fork("a", "b", "c")
+
+    def test_fork_of_non_binary_rejected(self):
+        with pytest.raises(ReproError):
+            fork_of(parse_tree("a(b)"), ())
+
+    def test_apply(self):
+        fork = Fork("a", "b", "c")
+        result = fork.apply(parse_tree("b(x)"), parse_tree("c"))
+        assert result == parse_tree("a(b(x), c)")
+
+    def test_apply_label_mismatch(self):
+        fork = Fork("a", "b", "c")
+        with pytest.raises(ReproError):
+            fork.apply(parse_tree("z"), parse_tree("c"))
+        with pytest.raises(ReproError):
+            fork.apply(parse_tree("b"), parse_tree("z"))
+
+    def test_str(self):
+        assert str(Fork("a", "b", "c")) == "a([b], [c])"

@@ -1,0 +1,67 @@
+"""Contexts/forks interacting with exchange — the Fig. 2 decomposition
+made testable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.closure.exchange import all_exchanges, exchange
+from repro.trees.context import Context, Fork, context_of, fork_of
+from repro.trees.tree import Tree, parse_tree
+
+
+class TestContextExchangeInterplay:
+    def test_exchange_as_context_application(self):
+        """``t1[v <- subtree^t2(v2)]`` equals ``context_of(t1, v)[plug]``."""
+        t1 = parse_tree("a(b(c), d)")
+        t2 = parse_tree("a(b(c, c), d)")
+        v = (0,)
+        via_exchange = exchange(t1, v, t2, v)
+        via_context = context_of(t1, v).apply(t2.subtree(v))
+        assert via_exchange == via_context
+
+    def test_closure_members_decompose_into_parts(self):
+        """Every one-step exchange result is made of one context of t1 and
+        one subtree of t2 — the base case of the Fig. 2 patchwork."""
+        t1 = parse_tree("a(b, b(c))")
+        t2 = parse_tree("a(b(c, c), b)")
+        contexts_of_t1 = {context_of(t1, v) for v in t1.dom()}
+        subtrees_of_t2 = {t2.subtree(v) for v in t2.dom()}
+        for result in all_exchanges(t1, t2):
+            decomposed = any(
+                context.hole_symbol == plug.label
+                and context.apply(plug) == result
+                for context in contexts_of_t1
+                for plug in subtrees_of_t2
+            )
+            assert decomposed, result
+
+    def test_context_composition_associates_with_application(self):
+        outer = context_of(parse_tree("a(b, c)"), (1,))       # a(b, [c])
+        inner = context_of(parse_tree("c(d(e))"), (0,))       # c([d])
+        plug = parse_tree("d(e, e)")
+        assert outer.compose(inner).apply(plug) == outer.apply(inner.apply(plug))
+
+    def test_fork_decomposes_binary_node(self):
+        tree = parse_tree("a(b(c), d)")
+        fork = fork_of(tree, ())
+        rebuilt = fork.apply(tree.subtree((0,)), tree.subtree((1,)))
+        assert rebuilt == tree
+
+    def test_forks_plus_contexts_rebuild_generalized_contexts(self):
+        """Lemma 4.18's statement on a concrete instance: a 2-hole tree is
+        a fork with a context plugged into one hole."""
+        # Generalized context: a( b(c, [d]), [e] ) — two holes.
+        fork = Fork("a", "b", "e")
+        left_context = context_of(parse_tree("b(c, d)"), (1,))   # b(c, [d])
+        # Plug the two holes and compare against direct construction.
+        d_plug = parse_tree("d(x)")
+        e_plug = parse_tree("e")
+        assembled = fork.apply(left_context.apply(d_plug), e_plug)
+        assert assembled == parse_tree("a(b(c, d(x)), e)")
+
+    def test_hole_label_equality_is_part_of_context_identity(self):
+        c1 = context_of(parse_tree("a(b)"), (0,))
+        c2 = context_of(parse_tree("a(c)"), (0,))
+        assert c1 != c2
+        assert c1 == context_of(parse_tree("a(b(c, d))"), (0,))

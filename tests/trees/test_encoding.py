@@ -1,0 +1,123 @@
+"""Tests for the binary encoding (Fig. 3 variant)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.strings.builders import sigma_star
+from repro.trees.encoding import MARKER, decode, encode, is_binary, lift_dfa_with_marker
+from repro.trees.tree import Tree, parse_tree
+
+
+def random_trees():
+    labels = st.sampled_from(["a", "b", "c"])
+    return st.recursive(
+        st.builds(Tree, labels),
+        lambda children: st.builds(
+            Tree, labels, st.lists(children, min_size=1, max_size=3)
+        ),
+        max_leaves=12,
+    )
+
+
+class TestEncode:
+    def test_leaf(self):
+        assert encode(parse_tree("a")) == Tree("a")
+
+    def test_single_child(self):
+        assert encode(parse_tree("a(b)")) == parse_tree("a(b)").__class__(
+            "a", [Tree("b"), Tree(MARKER)]
+        )
+
+    def test_two_children_structure(self):
+        encoded = encode(parse_tree("a(b, c)"))
+        assert encoded.label == "a"
+        chain, end = encoded.children
+        assert end == Tree(MARKER)
+        assert chain.label == MARKER
+        assert chain.children[0] == Tree("b")
+        assert chain.children[1] == Tree("c")
+
+    def test_result_is_binary(self):
+        for source in ["a", "a(b)", "a(b, c, d)", "a(b(c, d), e)"]:
+            assert is_binary(encode(parse_tree(source))), source
+
+    def test_marker_label_in_input_rejected(self):
+        with pytest.raises(ReproError):
+            encode(Tree(MARKER))
+
+    def test_sigma_subtree_correspondence(self):
+        # Every Sigma-labeled subtree of the encoding decodes to a subtree
+        # of the original (the property plain FCNS lacks).
+        tree = parse_tree("a(b(c, d), e(f))")
+        original_subtrees = {node for _, node in tree.nodes()}
+        encoded = encode(tree)
+        for _, node in encoded.nodes():
+            if node.label != MARKER:
+                assert decode(node) in original_subtrees, node
+
+
+class TestDecode:
+    @pytest.mark.parametrize(
+        "source",
+        ["a", "a(b)", "a(b, c)", "a(b, c, d, e)", "a(b(c), d(e(f, g), h))"],
+    )
+    def test_round_trip(self, source):
+        tree = parse_tree(source)
+        assert decode(encode(tree)) == tree
+
+    def test_decode_marker_root_rejected(self):
+        with pytest.raises(ReproError):
+            decode(Tree(MARKER))
+
+    def test_decode_bad_arity_rejected(self):
+        with pytest.raises(ReproError):
+            decode(Tree("a", [Tree("b")]))
+
+    def test_decode_missing_end_marker_rejected(self):
+        with pytest.raises(ReproError):
+            decode(Tree("a", [Tree("b"), Tree("c")]))
+
+    @settings(max_examples=80, deadline=None)
+    @given(random_trees())
+    def test_round_trip_random(self, tree):
+        encoded = encode(tree)
+        assert is_binary(encoded)
+        assert decode(encoded) == tree
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_trees())
+    def test_encoding_injective_size(self, tree):
+        # Marker nodes: one end-marker per internal node plus one cons node
+        # per extra child.
+        encoded = encode(tree)
+        internal = sum(1 for _, node in tree.nodes() if node.children)
+        extra_children = sum(
+            len(node.children) - 1 for _, node in tree.nodes() if node.children
+        )
+        assert encoded.size() == tree.size() + internal + extra_children
+
+
+class TestLiftDFA:
+    def test_marker_self_loops_added(self):
+        dfa = sigma_star({"a"})
+        lifted = lift_dfa_with_marker(dfa)
+        assert lifted.accepts(["a", MARKER, "a", MARKER])
+        assert MARKER in lifted.alphabet
+
+    def test_original_behaviour_preserved(self):
+        dfa = sigma_star({"a"})
+        lifted = lift_dfa_with_marker(dfa)
+        assert lifted.accepts(["a", "a"])
+
+
+class TestIsBinary:
+    def test_binary(self):
+        assert is_binary(parse_tree("a(b, c)"))
+        assert is_binary(parse_tree("a"))
+
+    def test_not_binary(self):
+        assert not is_binary(parse_tree("a(b)"))
+        assert not is_binary(parse_tree("a(b, c, d)"))

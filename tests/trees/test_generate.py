@@ -1,0 +1,163 @@
+"""Tests for enumeration / counting / sampling of EDTD languages."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schemas.edtd import EDTD
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.trees.generate import (
+    count_trees_by_size,
+    count_trees_exact,
+    enumerate_all_trees,
+    enumerate_trees,
+    min_derivation_sizes,
+    sample_tree,
+)
+from repro.trees.tree import parse_tree
+
+
+class TestEnumerateAll:
+    def test_catalan_counts_single_label(self):
+        # Ordered trees with n nodes over one label: Catalan(n-1).
+        universe = enumerate_all_trees({"a"}, 5)
+        by_size = {}
+        for tree in universe:
+            by_size[tree.size()] = by_size.get(tree.size(), 0) + 1
+        assert by_size == {1: 1, 2: 1, 3: 2, 4: 5, 5: 14}
+
+    def test_two_labels_count(self):
+        # n-node trees over k labels: Catalan(n-1) * k^n.
+        universe = enumerate_all_trees({"a", "b"}, 3)
+        by_size = {}
+        for tree in universe:
+            by_size[tree.size()] = by_size.get(tree.size(), 0) + 1
+        assert by_size == {1: 2, 2: 4, 3: 16}
+
+    def test_no_duplicates(self):
+        universe = enumerate_all_trees({"a", "b"}, 4)
+        assert len(universe) == len(set(universe))
+
+
+class TestEnumerateEDTD:
+    def test_members_only(self, store_schema):
+        for tree in enumerate_trees(store_schema, 7):
+            assert store_schema.accepts(tree)
+
+    def test_exhaustive(self, ab_star_schema, ab_universe_4):
+        enumerated = set(enumerate_trees(ab_star_schema, 4))
+        expected = {t for t in ab_universe_4 if ab_star_schema.accepts(t)}
+        assert enumerated == expected
+
+    def test_empty_language(self):
+        empty = EDTD(alphabet={"a"}, types=set(), rules={}, starts=set(), mu={})
+        assert enumerate_trees(empty, 5) == []
+
+    def test_sorted_by_size(self, store_schema):
+        sizes = [t.size() for t in enumerate_trees(store_schema, 9)]
+        assert sizes == sorted(sizes)
+
+    def test_ambiguous_edtd_no_duplicates(self):
+        # Both types derive the same trees; enumeration must dedupe.
+        edtd = EDTD(
+            alphabet={"a"},
+            types={"t1", "t2"},
+            rules={"t1": "~", "t2": "~"},
+            starts={"t1", "t2"},
+            mu={"t1": "a", "t2": "a"},
+        )
+        assert enumerate_trees(edtd, 3) == [parse_tree("a")]
+
+
+class TestCounting:
+    def test_matches_enumeration_single_type(self, store_schema):
+        counts = count_trees_by_size(store_schema, 9)
+        by_size = [0] * 10
+        for tree in enumerate_trees(store_schema, 9):
+            by_size[tree.size()] += 1
+        assert counts == by_size
+
+    def test_matches_enumeration_ambiguous(self):
+        edtd = EDTD(
+            alphabet={"a"},
+            types={"t1", "t2"},
+            rules={"t1": "t2?", "t2": "t1?"},
+            starts={"t1", "t2"},
+            mu={"t1": "a", "t2": "a"},
+        )
+        assert count_trees_by_size(edtd, 4) == count_trees_exact(edtd, 4)
+
+    def test_universal_counts_are_catalan(self):
+        universal = SingleTypeEDTD(
+            alphabet={"a"},
+            types={"t"},
+            rules={"t": "t*"},
+            starts={"t"},
+            mu={"t": "a"},
+        )
+        assert count_trees_by_size(universal, 5) == [0, 1, 1, 2, 5, 14]
+
+
+class TestSampling:
+    def test_samples_are_members(self, store_schema, rng):
+        for _ in range(20):
+            tree = sample_tree(store_schema, rng, target_size=10)
+            assert store_schema.accepts(tree)
+
+    def test_sampling_recursive_schema_terminates(self, rng):
+        deep = SingleTypeEDTD(
+            alphabet={"a"},
+            types={"t"},
+            rules={"t": "t | (t, t) | ~"},
+            starts={"t"},
+            mu={"t": "a"},
+        )
+        for _ in range(20):
+            tree = sample_tree(deep, rng, target_size=15)
+            assert deep.accepts(tree)
+            assert tree.size() <= 200  # budget steering keeps sizes sane
+
+    def test_sampling_empty_language_raises(self, rng):
+        empty = EDTD(alphabet={"a"}, types=set(), rules={}, starts=set(), mu={})
+        with pytest.raises(SchemaError):
+            sample_tree(empty, rng)
+
+    def test_seeded_determinism(self, store_schema):
+        t1 = sample_tree(store_schema, random.Random(5), target_size=12)
+        t2 = sample_tree(store_schema, random.Random(5), target_size=12)
+        assert t1 == t2
+
+    def test_mandatory_children_sampled(self, rng):
+        # i requires exactly one p child; samples must honour that.
+        schema = SingleTypeEDTD(
+            alphabet={"r", "i", "p"},
+            types={"tr", "ti", "tp"},
+            rules={"tr": "ti+", "ti": "tp", "tp": "~"},
+            starts={"tr"},
+            mu={"tr": "r", "ti": "i", "tp": "p"},
+        )
+        tree = sample_tree(schema, rng, target_size=9)
+        assert schema.accepts(tree)
+
+
+class TestMinDerivationSizes:
+    def test_simple_chain(self, store_schema):
+        sizes = min_derivation_sizes(store_schema)
+        assert sizes["p"] == 1
+        assert sizes["i"] == 2
+        assert sizes["s"] == 1  # i* allows zero items
+
+    def test_unproductive_type(self):
+        edtd = EDTD(
+            alphabet={"a"},
+            types={"t", "loop"},
+            rules={"t": "~", "loop": "loop"},
+            starts={"t"},
+            mu={"t": "a", "loop": "a"},
+        )
+        sizes = min_derivation_sizes(edtd)
+        assert sizes["t"] == 1
+        assert sizes["loop"] == -1

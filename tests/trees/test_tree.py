@@ -1,0 +1,149 @@
+"""Unit tests for repro.trees.tree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TreeSyntaxError
+from repro.trees.tree import Tree, leaf, parse_tree, unary_tree
+
+
+class TestParsing:
+    def test_leaf(self):
+        assert parse_tree("a") == Tree("a")
+
+    def test_nested(self):
+        assert parse_tree("a(b, c(d))") == Tree(
+            "a", [Tree("b"), Tree("c", [Tree("d")])]
+        )
+
+    def test_identifiers(self):
+        tree = parse_tree("store(item_1)")
+        assert tree.label == "store"
+        assert tree.children[0].label == "item_1"
+
+    def test_str_round_trip(self):
+        for source in ["a", "a(b)", "a(b, c)", "a(b(c, d), e(f))"]:
+            assert str(parse_tree(source)) == source
+
+    def test_missing_close(self):
+        with pytest.raises(TreeSyntaxError):
+            parse_tree("a(b")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(TreeSyntaxError):
+            parse_tree("a b")
+
+    def test_empty_input(self):
+        with pytest.raises(TreeSyntaxError):
+            parse_tree("")
+
+    def test_bad_token(self):
+        with pytest.raises(TreeSyntaxError):
+            parse_tree("a(,b)")
+
+
+class TestStructure:
+    def test_dom_preorder(self):
+        tree = parse_tree("a(b, c(d))")
+        assert list(tree.dom()) == [(), (0,), (1,), (1, 0)]
+
+    def test_dom_bfs(self):
+        tree = parse_tree("a(b(d), c)")
+        assert list(tree.dom_bfs()) == [(), (0,), (1,), (0, 0)]
+
+    def test_subtree(self):
+        tree = parse_tree("a(b, c(d))")
+        assert tree.subtree((1,)) == parse_tree("c(d)")
+        assert tree.subtree(()) == tree
+
+    def test_label_at(self):
+        tree = parse_tree("a(b, c(d))")
+        assert tree.label_at((1, 0)) == "d"
+
+    def test_ch_str(self):
+        tree = parse_tree("a(b, c(d))")
+        assert tree.ch_str() == ("b", "c")
+        assert tree.ch_str((1,)) == ("d",)
+        assert tree.ch_str((0,)) == ()
+
+    def test_anc_str_includes_node(self):
+        tree = parse_tree("a(b, c(d))")
+        assert tree.anc_str((1, 0)) == ("a", "c", "d")
+        assert tree.anc_str(()) == ("a",)
+
+    def test_depth_per_paper(self):
+        # A root-only tree has depth 1 (Section 2.1).
+        assert parse_tree("a").depth() == 1
+        assert parse_tree("a(b)").depth() == 2
+        assert parse_tree("a(b, c(d))").depth() == 3
+
+    def test_size(self):
+        assert parse_tree("a(b, c(d))").size() == 4
+
+    def test_labels(self):
+        assert parse_tree("a(b, a(c))").labels() == {"a", "b", "c"}
+
+    def test_nodes_iteration(self):
+        tree = parse_tree("a(b)")
+        pairs = dict(tree.nodes())
+        assert pairs[()] == tree
+        assert pairs[(0,)] == Tree("b")
+
+
+class TestModification:
+    def test_replace_at_root(self):
+        tree = parse_tree("a(b)")
+        assert tree.replace_at((), Tree("z")) == Tree("z")
+
+    def test_replace_at_inner(self):
+        tree = parse_tree("a(b, c)")
+        replaced = tree.replace_at((1,), parse_tree("x(y)"))
+        assert replaced == parse_tree("a(b, x(y))")
+
+    def test_replace_does_not_mutate(self):
+        tree = parse_tree("a(b)")
+        tree.replace_at((0,), Tree("z"))
+        assert tree == parse_tree("a(b)")
+
+    def test_map_labels(self):
+        tree = parse_tree("a(b)")
+        assert tree.map_labels(str.upper) == Tree("A", [Tree("B")])
+
+
+class TestUnary:
+    def test_unary_tree(self):
+        assert unary_tree("ab") == parse_tree("a(b)")
+
+    def test_unary_tree_single(self):
+        assert unary_tree("a") == leaf("a")
+
+    def test_unary_tree_empty_rejected(self):
+        with pytest.raises(ValueError):
+            unary_tree("")
+
+    def test_to_word_round_trip(self):
+        assert unary_tree("aabab").to_word() == tuple("aabab")
+
+    def test_to_word_rejects_branching(self):
+        with pytest.raises(ValueError):
+            parse_tree("a(b, c)").to_word()
+
+    def test_is_unary(self):
+        assert unary_tree("aaa").is_unary()
+        assert not parse_tree("a(b, c)").is_unary()
+
+
+class TestEqualityHashing:
+    def test_equal_trees_hash_equal(self):
+        assert hash(parse_tree("a(b, c)")) == hash(parse_tree("a(b, c)"))
+
+    def test_unequal_children_order(self):
+        assert parse_tree("a(b, c)") != parse_tree("a(c, b)")
+
+    def test_usable_in_sets(self):
+        trees = {parse_tree("a"), parse_tree("a"), parse_tree("a(b)")}
+        assert len(trees) == 2
+
+    def test_non_tree_comparison(self):
+        assert parse_tree("a") != "a"

@@ -1,0 +1,83 @@
+"""Tests for XML serialization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TreeSyntaxError
+from repro.trees.tree import Tree, parse_tree
+from repro.trees.xml_io import from_xml, to_xml
+
+
+class TestToXml:
+    def test_leaf_self_closes(self):
+        assert to_xml(parse_tree("a")) == "<a/>"
+
+    def test_nested(self):
+        assert to_xml(parse_tree("a(b, c)")) == "<a>\n  <b/>\n  <c/>\n</a>"
+
+    def test_indentation(self):
+        text = to_xml(parse_tree("a(b(c))"), indent=4)
+        assert "    <b>" in text
+        assert "        <c/>" in text
+
+
+class TestFromXml:
+    def test_self_closing_root(self):
+        assert from_xml("<a/>") == parse_tree("a")
+
+    def test_nested(self):
+        assert from_xml("<a><b/><c><d/></c></a>") == parse_tree("a(b, c(d))")
+
+    def test_whitespace_tolerant(self):
+        assert from_xml("  <a>\n  <b/>\n</a>  ") == parse_tree("a(b)")
+
+    def test_hyphen_dot_names(self):
+        tree = from_xml("<order-list><item.x/></order-list>")
+        assert tree.label == "order-list"
+
+    def test_mismatched_tags(self):
+        with pytest.raises(TreeSyntaxError):
+            from_xml("<a></b>")
+
+    def test_unclosed(self):
+        with pytest.raises(TreeSyntaxError):
+            from_xml("<a><b/>")
+
+    def test_stray_close(self):
+        with pytest.raises(TreeSyntaxError):
+            from_xml("</a>")
+
+    def test_text_content_rejected(self):
+        with pytest.raises(TreeSyntaxError):
+            from_xml("<a>hello</a>")
+
+    def test_attributes_rejected(self):
+        with pytest.raises(TreeSyntaxError):
+            from_xml('<a id="1"/>')
+
+    def test_content_after_root(self):
+        with pytest.raises(TreeSyntaxError):
+            from_xml("<a/><b/>")
+
+    def test_empty_input(self):
+        with pytest.raises(TreeSyntaxError):
+            from_xml("   ")
+
+
+def xml_trees():
+    labels = st.sampled_from(["a", "b", "item", "x_1"])
+    return st.recursive(
+        st.builds(Tree, labels),
+        lambda children: st.builds(
+            Tree, labels, st.lists(children, min_size=1, max_size=3)
+        ),
+        max_leaves=10,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(xml_trees())
+def test_round_trip(tree):
+    assert from_xml(to_xml(tree)) == tree
