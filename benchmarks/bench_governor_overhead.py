@@ -1,0 +1,93 @@
+"""EXP-GOV — overhead of the resource governor on polynomial inputs.
+
+The governor must be observationally free when nothing trips: on
+polynomially-sized constructions the governed run must stay within 5%
+of the ungoverned run.  The cheap counters are plain int compares; the
+expensive checks (clock, cancellation, RSS) are amortized to every
+``check_interval`` ticks, so the expected overhead is noise-level.
+
+Methodology: interleave governed and ungoverned repetitions and compare
+*minimum* wall-clock times (min-of-N is robust against scheduler noise,
+means are not).  These benchmarks opt out of the ambient per-test budget
+(``@pytest.mark.ungoverned``) — the baseline leg must really run bare.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.upper import minimal_upper_approximation, upper_union
+from repro.families.hard import theorem_3_6_family
+from repro.runtime import Budget
+from repro.strings.builders import nth_from_end_is
+from repro.strings.determinize import determinize
+
+EXPERIMENT = "EXP-GOV  governor overhead on polynomial constructions"
+NOTE = "acceptance: governed/ungoverned min-time ratio < 1.05 (plus 1 ms slack)"
+
+ROUNDS = 15
+GENEROUS = dict(timeout=600.0, max_states=50_000_000)
+
+
+def _min_times(workload, make_budget) -> tuple[float, float]:
+    """Interleaved min-of-ROUNDS timing of *workload* bare vs governed."""
+    bare = governed = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        workload(None)
+        bare = min(bare, time.perf_counter() - start)
+        budget = make_budget()
+        start = time.perf_counter()
+        workload(budget)
+        governed = min(governed, time.perf_counter() - start)
+    return bare, governed
+
+
+def _assert_and_record(record, name, bare, governed):
+    ratio = governed / bare if bare > 0 else 1.0
+    record(
+        EXPERIMENT,
+        {
+            "workload": name,
+            "ungoverned_ms": f"{bare * 1e3:.2f}",
+            "governed_ms": f"{governed * 1e3:.2f}",
+            "ratio": f"{ratio:.3f}",
+        },
+        note=NOTE,
+    )
+    assert governed <= bare * 1.05 + 1e-3, (
+        f"{name}: governed {governed:.4f}s vs ungoverned {bare:.4f}s "
+        f"(ratio {ratio:.3f})"
+    )
+
+
+@pytest.mark.ungoverned
+def test_overhead_determinize(record):
+    nfa = nth_from_end_is("a", "b", 10)
+    bare, governed = _min_times(
+        lambda b: determinize(nfa, budget=b), lambda: Budget(**GENEROUS)
+    )
+    _assert_and_record(record, "determinize(nth_from_end, n=10)", bare, governed)
+
+
+@pytest.mark.ungoverned
+def test_overhead_upper_union(record):
+    d1, d2 = theorem_3_6_family(4)
+    bare, governed = _min_times(
+        lambda b: upper_union(d1, d2, budget=b), lambda: Budget(**GENEROUS)
+    )
+    _assert_and_record(record, "upper_union(theorem_3_6, n=4)", bare, governed)
+
+
+@pytest.mark.ungoverned
+def test_overhead_upper_approximation(record):
+    from repro.families.hard import theorem_3_2_family
+
+    edtd = theorem_3_2_family(6)
+    bare, governed = _min_times(
+        lambda b: minimal_upper_approximation(edtd, budget=b),
+        lambda: Budget(**GENEROUS),
+    )
+    _assert_and_record(record, "minimal_upper(theorem_3_2, n=6)", bare, governed)

@@ -13,11 +13,59 @@ captures both the timing table and the reproduction tables.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 
 import pytest
 
+from repro.runtime import Budget
+
 _TABLES: "OrderedDict[str, dict]" = OrderedDict()
+
+#: Per-test governor defaults — generous enough that every benchmark in
+#: the sweep completes unchanged, tight enough that a regression (or a
+#: hostile parameter bump) fails deterministically with a one-line
+#: :class:`~repro.errors.BudgetExceededError` instead of hanging the run.
+DEFAULT_BENCH_TIMEOUT = 600.0
+DEFAULT_BENCH_MAX_STATES = 50_000_000
+
+
+def _env_limit(name: str, default: float | int, cast):
+    """Read a governor limit from the environment; ``0``/``none`` disables."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    if raw.strip().lower() in ("", "0", "none", "off"):
+        return None
+    return cast(raw)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "ungoverned: opt this benchmark out of the ambient per-test Budget "
+        "(needed when the benchmark itself measures governor overhead)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def bench_budget(request):
+    """Ambient per-test :class:`repro.runtime.Budget` for every benchmark.
+
+    Override with ``REPRO_BENCH_TIMEOUT`` / ``REPRO_BENCH_MAX_STATES``
+    (seconds / states; ``0`` or ``none`` disables that limit).
+    """
+    if request.node.get_closest_marker("ungoverned"):
+        yield None
+        return
+    budget = Budget(
+        timeout=_env_limit("REPRO_BENCH_TIMEOUT", DEFAULT_BENCH_TIMEOUT, float),
+        max_states=_env_limit(
+            "REPRO_BENCH_MAX_STATES", DEFAULT_BENCH_MAX_STATES, int
+        ),
+    )
+    with budget:
+        yield budget
 
 
 def record_row(experiment: str, row: dict, note: str = "") -> None:

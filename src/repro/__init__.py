@@ -48,6 +48,8 @@ Subpackages
 """
 
 from repro.core import (
+    Definability,
+    DefinabilityResult,
     difference_witness,
     greedy_maximal_lower,
     inclusion_counterexample,
@@ -60,6 +62,7 @@ from repro.core import (
     maximal_lower_union,
     minimal_upper_approximation,
     non_violating,
+    single_type_definability,
     upper_complement,
     upper_difference,
     upper_intersection,
@@ -68,12 +71,19 @@ from repro.core import (
 )
 from repro.errors import (
     AutomatonError,
+    BudgetExceededError,
     NotSingleTypeError,
     RegexSyntaxError,
     ReproError,
     SchemaError,
     TreeSyntaxError,
     ValidationError,
+)
+from repro.runtime import (
+    Budget,
+    BudgetProgress,
+    CancellationToken,
+    current_budget,
 )
 from repro.schemas import (
     DTD,
@@ -97,9 +107,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AutomatonError",
+    "Budget",
+    "BudgetExceededError",
+    "BudgetProgress",
+    "CancellationToken",
     "DFAXSD",
     "DTD",
+    "Definability",
+    "DefinabilityResult",
     "EDTD",
+    "current_budget",
+    "single_type_definability",
     "NotSingleTypeError",
     "RegexSyntaxError",
     "ReproError",

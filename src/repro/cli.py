@@ -21,6 +21,16 @@ fragments):
 
 Every schema-producing command minimizes its output and prints it (or
 writes it with ``-o``).
+
+Resource governance: the global flags ``--timeout SECONDS``,
+``--max-states N`` and ``--max-steps N`` install a
+:class:`repro.runtime.Budget` around the command, so hostile or
+pathological schemas (the constructions are worst-case exponential)
+terminate promptly with a clean one-line diagnostic.
+
+Exit codes: ``0`` success, ``1`` negative answer (invalid document,
+not included, not backward-compatible), ``2`` bad input or I/O error,
+``3`` resource budget exceeded.
 """
 
 from __future__ import annotations
@@ -37,7 +47,8 @@ from repro.core.upper import (
     upper_intersection,
     upper_union,
 )
-from repro.errors import ReproError
+from repro.errors import BudgetExceededError, ReproError
+from repro.runtime import Budget
 from repro.schemas.inclusion import included_in_single_type
 from repro.schemas.minimize import minimize_single_type
 from repro.schemas.st_edtd import SingleTypeEDTD
@@ -195,6 +206,32 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Single-type approximations of regular tree languages",
     )
+    governor = parser.add_argument_group(
+        "resource limits",
+        "bound the worst-case-exponential constructions; exceeding a limit "
+        "exits with code 3",
+    )
+    governor.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline for the whole command",
+    )
+    governor.add_argument(
+        "--max-states",
+        type=int,
+        default=None,
+        metavar="N",
+        help="maximum automaton/product states any construction may build",
+    )
+    governor.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="maximum abstract construction steps",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def schema_cmd(name, func, help_text, *, binary=False, doc=False):
@@ -241,14 +278,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+EXIT_BAD_INPUT = 2
+EXIT_BUDGET_EXCEEDED = 3
+
+
+def _build_budget(args) -> Budget | None:
+    if args.timeout is None and args.max_states is None and args.max_steps is None:
+        return None
+    return Budget(
+        timeout=args.timeout,
+        max_states=args.max_states,
+        max_steps=args.max_steps,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        budget = _build_budget(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    try:
+        if budget is None:
+            return args.func(args)
+        with budget:
+            return args.func(args)
+    except BudgetExceededError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_BUDGET_EXCEEDED
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_BAD_INPUT
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ from collections import deque
 from collections.abc import Iterable
 
 from repro.closure.exchange import all_exchanges, all_type_guarded_exchanges
+from repro.runtime.budget import budget_phase, resolve_budget
 from repro.strings.nfa import NFA
 from repro.trees.tree import Tree
 
@@ -35,6 +36,8 @@ def bounded_closure(
     max_size: int,
     automaton: NFA | None = None,
     restrict_labels: frozenset | None = None,
+    *,
+    budget=None,
 ) -> frozenset[Tree]:
     """Fixpoint of guarded subtree exchange, keeping trees of at most
     *max_size* nodes.
@@ -43,24 +46,36 @@ def bounded_closure(
     (Definition 4.1 / ``type-closure``); otherwise plain ancestor-guarded.
     *restrict_labels* further limits exchanged nodes to those labels
     (``type-closure^{N, Sigma'}``).
+
+    The fixpoint can explode combinatorially even under a size bound, so
+    the loop is governed: one state is charged per tree added to the
+    closure, one step per exchange pair examined.
     """
+    budget = resolve_budget(budget)
     current: set[Tree] = {t for t in trees if t.size() <= max_size}
     queue: deque[Tree] = deque(current)
-    while queue:
-        tree = queue.popleft()
-        snapshot = list(current)
-        for other in snapshot:
-            for left, right in ((tree, other), (other, tree)):
-                if automaton is None:
-                    produced = all_exchanges(left, right)
-                else:
-                    produced = all_type_guarded_exchanges(
-                        left, right, automaton, restrict_labels
-                    )
-                for result in produced:
-                    if result.size() <= max_size and result not in current:
-                        current.add(result)
-                        queue.append(result)
+    if budget is not None:
+        budget.charge_states(len(current), frontier=len(queue))
+    with budget_phase(budget, "closure"):
+        while queue:
+            tree = queue.popleft()
+            snapshot = list(current)
+            for other in snapshot:
+                if budget is not None:
+                    budget.tick(1, frontier=len(queue))
+                for left, right in ((tree, other), (other, tree)):
+                    if automaton is None:
+                        produced = all_exchanges(left, right)
+                    else:
+                        produced = all_type_guarded_exchanges(
+                            left, right, automaton, restrict_labels
+                        )
+                    for result in produced:
+                        if result.size() <= max_size and result not in current:
+                            current.add(result)
+                            queue.append(result)
+                            if budget is not None:
+                                budget.charge_states(1, frontier=len(queue))
     return frozenset(current)
 
 
@@ -113,6 +128,8 @@ def derivation_tree_for(
     target: Tree,
     base: Iterable[Tree],
     max_size: int,
+    *,
+    budget=None,
 ) -> Tree | None:
     """Produce a derivation tree of *target* w.r.t. *base* (Lemma 2.17),
     searching within the size-*max_size* bounded closure.
@@ -121,6 +138,7 @@ def derivation_tree_for(
     object is a :class:`Tree` whose labels are the derived trees (leaf
     labels are members of *base*).
     """
+    budget = resolve_budget(budget)
     base_list = [t for t in base if t.size() <= max_size]
     # provenance: tree -> None (base member) or (left parent, right parent)
     provenance: dict[Tree, tuple[Tree, Tree] | None] = {
@@ -129,18 +147,23 @@ def derivation_tree_for(
     queue: deque[Tree] = deque(base_list)
     if target in provenance:
         return Tree(target)
-    while queue:
-        tree = queue.popleft()
-        snapshot = list(provenance)
-        for other in snapshot:
-            for left, right in ((tree, other), (other, tree)):
-                for result in all_exchanges(left, right):
-                    if result.size() > max_size or result in provenance:
-                        continue
-                    provenance[result] = (left, right)
-                    if result == target:
-                        return _build_derivation(target, provenance)
-                    queue.append(result)
+    with budget_phase(budget, "derivation-search"):
+        while queue:
+            tree = queue.popleft()
+            snapshot = list(provenance)
+            for other in snapshot:
+                if budget is not None:
+                    budget.tick(1, frontier=len(queue))
+                for left, right in ((tree, other), (other, tree)):
+                    for result in all_exchanges(left, right):
+                        if result.size() > max_size or result in provenance:
+                            continue
+                        provenance[result] = (left, right)
+                        if budget is not None:
+                            budget.charge_states(1, frontier=len(queue))
+                        if result == target:
+                            return _build_derivation(target, provenance)
+                        queue.append(result)
     return None
 
 

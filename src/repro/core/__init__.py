@@ -1,6 +1,8 @@
 """The paper's contribution: optimal single-type approximations."""
 
 from repro.core.decision import (
+    Definability,
+    DefinabilityResult,
     Maximality,
     MaximalityVerdict,
     is_lower_approximation,
@@ -8,6 +10,7 @@ from repro.core.decision import (
     is_minimal_upper_approximation,
     is_single_type_definable,
     is_upper_approximation,
+    single_type_definability,
     singleton_edtd,
 )
 from repro.core.greedy import greedy_maximal_lower, try_absorb
@@ -43,8 +46,11 @@ from repro.core.upper import (
 
 __all__ = [
     "ApproximationQuality",
+    "Definability",
+    "DefinabilityResult",
     "Maximality",
     "MaximalityVerdict",
+    "single_type_definability",
     "extra_documents",
     "greedy_maximal_lower",
     "try_absorb",

@@ -26,6 +26,8 @@ from dataclasses import dataclass
 from enum import Enum
 
 from repro.core.upper import minimal_upper_approximation
+from repro.errors import BudgetExceededError
+from repro.runtime.budget import resolve_budget
 from repro.schemas.edtd import EDTD
 from repro.schemas.inclusion import included_in_single_type, single_type_equivalent
 from repro.schemas.ops import edtd_union
@@ -61,7 +63,7 @@ def is_minimal_upper_approximation(candidate: SingleTypeEDTD, edtd: EDTD) -> boo
     return included_in_single_type(candidate, reference)
 
 
-def is_single_type_definable(edtd: EDTD) -> bool:
+def is_single_type_definable(edtd: EDTD, *, budget=None) -> bool:
     """Is ``L(edtd)`` definable by a single-type EDTD?  (EXPTIME-complete,
     Martens et al. [19].)
 
@@ -69,9 +71,72 @@ def is_single_type_definable(edtd: EDTD) -> bool:
     nothing: ``L(upper(edtd)) subseteq L(edtd)`` (the other containment
     always holds).  The containment of a single-type EDTD in a general EDTD
     is checked exactly via tree automata.
+
+    Under a budget this raises :class:`repro.errors.BudgetExceededError` on
+    exhaustion; use :func:`single_type_definability` for the three-valued
+    variant that degrades to ``UNKNOWN`` with a resumable checkpoint.
     """
-    upper = minimal_upper_approximation(edtd)
-    return edtd_includes(edtd, upper)
+    budget = resolve_budget(budget)
+    upper = minimal_upper_approximation(edtd, budget=budget)
+    return edtd_includes(edtd, upper, budget=budget)
+
+
+class Definability(Enum):
+    """Three-valued verdict of the governed definability test."""
+
+    YES = "single-type definable"
+    NO = "not single-type definable"
+    UNKNOWN = "budget exhausted before a verdict was reached"
+
+
+@dataclass(frozen=True)
+class DefinabilityResult:
+    """Outcome of :func:`single_type_definability`.
+
+    ``verdict`` is conclusive for ``YES``/``NO``.  On ``UNKNOWN`` the
+    budget tripped: ``error`` holds the :class:`BudgetExceededError` (with
+    partial-progress counters) and ``checkpoint``, when not ``None``, is a
+    :class:`repro.strings.determinize.SubsetCheckpoint` of the interrupted
+    subset construction — pass it back via
+    ``single_type_definability(edtd, checkpoint=...)`` with a fresh budget
+    to *resume* rather than restart.
+    """
+
+    verdict: Definability
+    error: BudgetExceededError | None = None
+    checkpoint: object | None = None
+
+    def __bool__(self) -> bool:
+        return self.verdict is Definability.YES
+
+
+def single_type_definability(
+    edtd: EDTD,
+    *,
+    budget=None,
+    checkpoint=None,
+) -> DefinabilityResult:
+    """Three-valued, budget-aware version of
+    :func:`is_single_type_definable`.
+
+    Instead of propagating :class:`BudgetExceededError`, exhaustion yields
+    ``Definability.UNKNOWN`` together with the error (carrying
+    partial-progress counters) and, when the subset construction was the
+    phase that tripped, a resumable checkpoint.
+    """
+    budget = resolve_budget(budget)
+    try:
+        upper = minimal_upper_approximation(edtd, budget=budget, checkpoint=checkpoint)
+        answer = edtd_includes(edtd, upper, budget=budget)
+    except BudgetExceededError as error:
+        return DefinabilityResult(
+            verdict=Definability.UNKNOWN,
+            error=error,
+            checkpoint=error.checkpoint,
+        )
+    return DefinabilityResult(
+        Definability.YES if answer else Definability.NO
+    )
 
 
 def singleton_edtd(tree: Tree, alphabet: frozenset | None = None) -> EDTD:
@@ -131,6 +196,8 @@ def is_maximal_lower_approximation(
     candidate: SingleTypeEDTD,
     edtd: EDTD,
     max_size: int = 6,
+    *,
+    budget=None,
 ) -> MaximalityVerdict:
     """Bounded-exact check of Section 4.4.2's decision problem.
 
@@ -149,13 +216,16 @@ def is_maximal_lower_approximation(
     otherwise the best any terminating procedure can report without the
     paper's 2EXPTIME automaton.
     """
+    budget = resolve_budget(budget)
     if not is_lower_approximation(candidate, edtd):
         return MaximalityVerdict(Maximality.NOT_LOWER)
     for tree in enumerate_trees(edtd, max_size):
+        if budget is not None:
+            budget.tick(1)
         if candidate.accepts(tree):
             continue
         extended = edtd_union(candidate, singleton_edtd(tree, edtd.alphabet))
-        closure_schema = minimal_upper_approximation(extended)
-        if edtd_includes(edtd, closure_schema):
+        closure_schema = minimal_upper_approximation(extended, budget=budget)
+        if edtd_includes(edtd, closure_schema, budget=budget):
             return MaximalityVerdict(Maximality.NOT_MAXIMAL, witness=tree)
     return MaximalityVerdict(Maximality.MAXIMAL_WITHIN_BOUND)

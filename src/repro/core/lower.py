@@ -28,6 +28,7 @@ from collections import deque
 from collections.abc import Hashable
 
 from repro.core.upper import minimal_upper_approximation
+from repro.runtime.budget import budget_phase, resolve_budget
 from repro.schemas.dfa_xsd import from_single_type
 from repro.schemas.edtd import EDTD
 from repro.schemas.inclusion import included_in_single_type
@@ -69,17 +70,21 @@ class _PairContext:
         n2 = self.step2.get((t2, label)) if t2 is not None else None
         return (n1, n2)
 
-    def reachable_pairs_from(self, seeds: set[Pair]) -> set[Pair]:
+    def reachable_pairs_from(self, seeds: set[Pair], budget=None) -> set[Pair]:
         seen = set(seeds)
         queue = deque(seeds)
         while queue:
             pair = queue.popleft()
             for label in self.alphabet:
+                if budget is not None:
+                    budget.tick(1, frontier=len(queue))
                 nxt = self.step(pair, label)
                 if nxt == (None, None) or nxt in seen:
                     continue
                 seen.add(nxt)
                 queue.append(nxt)
+                if budget is not None:
+                    budget.charge_states(1, frontier=len(queue))
         return seen
 
 
@@ -265,7 +270,9 @@ def _path_content(ctx: _PairContext, p: Pair, target: Pair, pairs: set) -> DFA:
 # nv(D2, D1) and the maximal lower approximation (Lemma 4.6, Theorem 4.8)
 # ----------------------------------------------------------------------
 
-def non_violating(d2: SingleTypeEDTD, d1: SingleTypeEDTD) -> SingleTypeEDTD:
+def non_violating(
+    d2: SingleTypeEDTD, d1: SingleTypeEDTD, *, budget=None
+) -> SingleTypeEDTD:
     """Lemma 4.6: the single-type EDTD ``D'`` with ``L(D') = nv(d2, d1)``.
 
     ``nv(d2, d1)`` (Definition 4.4) is the set of trees of ``L(d2)`` whose
@@ -280,6 +287,7 @@ def non_violating(d2: SingleTypeEDTD, d1: SingleTypeEDTD) -> SingleTypeEDTD:
       plus child strings in both content models containing a slab symbol,
       where ``slab(tau)`` collects the labels stepping to an s-type.
     """
+    budget = resolve_budget(budget)
     d1 = d1.reduced()
     d2 = d2.reduced()
     if not d2.types:
@@ -291,9 +299,12 @@ def non_violating(d2: SingleTypeEDTD, d1: SingleTypeEDTD) -> SingleTypeEDTD:
     start_pairs = {
         ctx.start_pair(a) for a in ctx.alphabet if ctx.start_pair(a)[1] is not None
     }
-    pairs = {
-        p for p in ctx.reachable_pairs_from(start_pairs) if p[1] is not None
-    }
+    with budget_phase(budget, "nv-pairs"):
+        pairs = {
+            p
+            for p in ctx.reachable_pairs_from(start_pairs, budget=budget)
+            if p[1] is not None
+        }
 
     s_cache: dict[Pair, bool] = {}
     c_cache: dict[Pair, bool] = {}
@@ -311,6 +322,8 @@ def non_violating(d2: SingleTypeEDTD, d1: SingleTypeEDTD) -> SingleTypeEDTD:
     rules: dict = {}
     mu: dict = {}
     for pair in pairs:
+        if budget is not None:
+            budget.tick(1)
         t1, t2 = pair
         mu[pair] = d2.mu[t2]
         content2 = d2.content_over_sigma(t2)
@@ -372,6 +385,8 @@ def _pair_typed(content: DFA, ctx: _PairContext, pair: Pair) -> DFA:
 def maximal_lower_union(
     d1: SingleTypeEDTD,
     d2: SingleTypeEDTD,
+    *,
+    budget=None,
 ) -> SingleTypeEDTD:
     """Theorem 4.8: the unique maximal lower XSD-approximation of
     ``L(d1) | L(d2)`` that contains ``L(d1)``, namely
@@ -381,5 +396,6 @@ def maximal_lower_union(
     upper approximation of the (non-single-type) union EDTD returns a schema
     for exactly the union.  Polynomial time overall.
     """
-    nv = non_violating(d2, d1)
-    return minimal_upper_approximation(edtd_union(d1.reduced(), nv))
+    budget = resolve_budget(budget)
+    nv = non_violating(d2, d1, budget=budget)
+    return minimal_upper_approximation(edtd_union(d1.reduced(), nv), budget=budget)

@@ -22,6 +22,8 @@ All functions return reduced :class:`SingleTypeEDTD` objects; pass
 
 from __future__ import annotations
 
+from repro.errors import BudgetExceededError
+from repro.runtime.budget import budget_phase, resolve_budget
 from repro.schemas.dfa_xsd import DFAXSD
 from repro.schemas.edtd import EDTD
 from repro.schemas.minimize import minimize_single_type
@@ -42,6 +44,8 @@ def minimal_upper_approximation(
     edtd: EDTD,
     *,
     minimize: bool = False,
+    budget=None,
+    checkpoint=None,
 ) -> SingleTypeEDTD:
     """Construction 3.1: the unique minimal upper XSD-approximation of
     ``L(edtd)``.
@@ -56,8 +60,20 @@ def minimal_upper_approximation(
         Any EDTD (reduced internally, Proviso 2.3).
     minimize:
         Also minimize the resulting single-type EDTD (polynomial extra
-        cost in the output size).
+        cost in the output size).  **Degrades gracefully**: if the budget
+        trips during this optional phase, the unminimized — still exactly
+        correct — approximation is returned instead of failing.
+    budget:
+        A :class:`repro.runtime.Budget` governing the construction
+        (explicit argument wins over the ``with Budget(...):`` context
+        default).  Exhaustion during the mandatory phases raises
+        :class:`repro.errors.BudgetExceededError` whose ``checkpoint``
+        resumes the subset construction.
+    checkpoint:
+        A :class:`repro.strings.determinize.SubsetCheckpoint` from a
+        previous budget-interrupted run on the *same* EDTD.
     """
+    budget = resolve_budget(budget)
     reduced = edtd.reduced()
     if not reduced.types:
         empty = SingleTypeEDTD(
@@ -66,14 +82,26 @@ def minimal_upper_approximation(
         return empty
 
     n = type_automaton(reduced)
-    subset_dfa = determinize(n)  # states are frozensets of types / {Q_INIT}
+    # States are frozensets of types / {Q_INIT}.
+    subset_dfa = determinize(n, budget=budget, checkpoint=checkpoint)
 
     rules: dict[frozenset, object] = {}
-    for subset in subset_dfa.states:
-        if subset == subset_dfa.initial:
-            continue
-        union_nfa = _content_union(reduced, subset)
-        rules[subset] = minimize_dfa(determinize(union_nfa))
+    with budget_phase(budget, "content-union"):
+        try:
+            for subset in subset_dfa.states:
+                if subset == subset_dfa.initial:
+                    continue
+                if budget is not None:
+                    budget.tick(1)
+                union_nfa = _content_union(reduced, subset)
+                rules[subset] = minimize_dfa(
+                    determinize(union_nfa, budget=budget), budget=budget
+                )
+        except BudgetExceededError as error:
+            # A checkpoint raised here belongs to a *content* NFA, not the
+            # type automaton — it must not be fed back into a resumed run.
+            error.checkpoint = None
+            raise
 
     xsd = DFAXSD(
         alphabet=reduced.alphabet,
@@ -83,7 +111,14 @@ def minimal_upper_approximation(
     )
     result = xsd.to_single_type().reduced()
     if minimize:
-        result = minimize_single_type(result)
+        # Degradation ladder, rung 1: minimization is an optional
+        # representation optimization — the unminimized result is already
+        # the exact minimal upper approximation, so a budget trip here
+        # falls back instead of failing.
+        try:
+            result = minimize_single_type(result, budget=budget)
+        except BudgetExceededError:
+            pass
     return result
 
 
@@ -104,6 +139,7 @@ def upper_union(
     right: SingleTypeEDTD,
     *,
     minimize: bool = False,
+    budget=None,
 ) -> SingleTypeEDTD:
     """Theorem 3.6: the unique minimal upper XSD-approximation of
     ``L(left) | L(right)``, in time O(|left| |right|).
@@ -112,7 +148,9 @@ def upper_union(
     construction only ever produces subsets with at most one type from each
     side (the reachable pairs), so the bound holds.
     """
-    return minimal_upper_approximation(edtd_union(left, right), minimize=minimize)
+    return minimal_upper_approximation(
+        edtd_union(left, right), minimize=minimize, budget=budget
+    )
 
 
 def upper_intersection(
@@ -120,12 +158,19 @@ def upper_intersection(
     right: SingleTypeEDTD,
     *,
     minimize: bool = False,
+    budget=None,
 ) -> SingleTypeEDTD:
     """Theorem 3.8: the minimal upper XSD-approximation of an intersection
     is the intersection itself (ST-REG is closed under intersection)."""
-    result = st_intersection(left, right)
+    budget = resolve_budget(budget)
+    result = st_intersection(left, right, budget=budget)
     if minimize:
-        result = minimize_single_type(result)
+        # Same graceful degradation as Construction 3.1: the unminimized
+        # intersection is already exact.
+        try:
+            result = minimize_single_type(result, budget=budget)
+        except BudgetExceededError:
+            pass
     return result
 
 
@@ -133,6 +178,7 @@ def upper_complement(
     schema: SingleTypeEDTD,
     *,
     minimize: bool = False,
+    budget=None,
 ) -> SingleTypeEDTD:
     """Theorem 3.9: minimal upper XSD-approximation of ``T_Sigma - L(D)``,
     in time polynomial in |D|.
@@ -140,7 +186,10 @@ def upper_complement(
     The complement EDTD's type automaton only ever reaches subsets
     ``{tau, a}`` of size <= 2, so Construction 3.1 stays polynomial.
     """
-    return minimal_upper_approximation(complement_edtd(schema), minimize=minimize)
+    budget = resolve_budget(budget)
+    return minimal_upper_approximation(
+        complement_edtd(schema, budget=budget), minimize=minimize, budget=budget
+    )
 
 
 def upper_difference(
@@ -148,9 +197,11 @@ def upper_difference(
     right: SingleTypeEDTD,
     *,
     minimize: bool = False,
+    budget=None,
 ) -> SingleTypeEDTD:
     """Theorem 3.10: minimal upper XSD-approximation of
     ``L(left) - L(right)`` in polynomial time."""
+    budget = resolve_budget(budget)
     return minimal_upper_approximation(
-        difference_edtd(left, right), minimize=minimize
+        difference_edtd(left, right, budget=budget), minimize=minimize, budget=budget
     )

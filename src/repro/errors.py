@@ -20,7 +20,27 @@ class RegexSyntaxError(ReproError):
 
 
 class TreeSyntaxError(ReproError):
-    """Raised when a tree term string cannot be parsed."""
+    """Raised when a tree term string or XML fragment cannot be parsed.
+
+    ``line`` and ``column`` (1-based) locate the offending input position
+    when the parser knows it; both are ``None`` otherwise.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        line: "int | None" = None,
+        column: "int | None" = None,
+    ) -> None:
+        if line is not None:
+            location = f"line {line}"
+            if column is not None:
+                location += f", column {column}"
+            message = f"{message} ({location})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
 
 
 class SchemaError(ReproError):
@@ -33,3 +53,39 @@ class NotSingleTypeError(SchemaError):
 
 class ValidationError(ReproError):
     """Raised when a tree does not conform to a schema (strict validation)."""
+
+
+class BudgetExceededError(ReproError):
+    """A governed construction ran out of budget (states, steps, time,
+    memory, or was cancelled).
+
+    Attributes
+    ----------
+    reason:
+        One of ``"max-states"``, ``"max-steps"``, ``"deadline"``,
+        ``"cancelled"``, ``"memory"``.
+    limit:
+        The limit that tripped (states/steps count, seconds, bytes), or
+        ``None`` for cancellation.
+    progress:
+        A :class:`repro.runtime.BudgetProgress` snapshot — states
+        explored, steps executed, frontier size, elapsed seconds, phase.
+    checkpoint:
+        When the interrupted construction supports resumption, an opaque
+        checkpoint object to pass back in (e.g. to
+        :func:`repro.strings.determinize.determinize` or
+        :func:`repro.core.decision.single_type_definability`); ``None``
+        otherwise.
+    """
+
+    def __init__(self, reason: str, limit=None, progress=None, checkpoint=None):
+        detail = f"budget exceeded ({reason})"
+        if limit is not None:
+            detail += f" at limit {limit}"
+        if progress is not None:
+            detail += f": {progress.describe()}"
+        super().__init__(detail)
+        self.reason = reason
+        self.limit = limit
+        self.progress = progress
+        self.checkpoint = checkpoint

@@ -1,0 +1,35 @@
+"""Resource governance for worst-case-exponential constructions.
+
+See :mod:`repro.runtime.budget` for the model and
+``docs/ROBUSTNESS.md`` for the degradation ladder.  Typical use::
+
+    from repro.runtime import Budget
+    from repro import minimal_upper_approximation
+
+    with Budget(timeout=1.0, max_states=10_000):
+        xsd = minimal_upper_approximation(hostile_edtd)
+
+or explicitly::
+
+    xsd = minimal_upper_approximation(hostile_edtd, budget=Budget(timeout=1.0))
+"""
+
+from repro.errors import BudgetExceededError
+from repro.runtime.budget import (
+    Budget,
+    BudgetProgress,
+    CancellationToken,
+    budget_phase,
+    current_budget,
+    resolve_budget,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExceededError",
+    "BudgetProgress",
+    "CancellationToken",
+    "budget_phase",
+    "current_budget",
+    "resolve_budget",
+]

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterable
 
+from repro.runtime.budget import budget_phase, resolve_budget
 from repro.schemas.dfa_xsd import DFAXSD, from_single_type
 from repro.schemas.st_edtd import SingleTypeEDTD
 from repro.schemas.type_automaton import Q_INIT
@@ -50,12 +51,19 @@ def canonical_dfa_key(dfa: DFA, alphabet: Iterable[Symbol]) -> tuple:
     )
 
 
-def minimize_single_type(st_edtd: SingleTypeEDTD) -> SingleTypeEDTD:
+def minimize_single_type(st_edtd: SingleTypeEDTD, *, budget=None) -> SingleTypeEDTD:
     """Return the type-minimal single-type EDTD for ``L(st_edtd)``.
 
-    Polynomial time.  The result is reduced and its types are canonical
-    integers; two language-equal inputs yield isomorphic outputs.
+    Polynomial time — but the *input* here is routinely the exponentially
+    large output of Construction 3.1, so the Moore refinement and the
+    per-type canonicalization are governed (one step per type
+    canonicalized; refinement rounds charge through
+    :func:`repro.strings.minimize.moore_partition`).
+
+    The result is reduced and its types are canonical integers; two
+    language-equal inputs yield isomorphic outputs.
     """
+    budget = resolve_budget(budget)
     reduced = st_edtd.reduced()
     if not reduced.types:
         return reduced
@@ -71,20 +79,27 @@ def minimize_single_type(st_edtd: SingleTypeEDTD) -> SingleTypeEDTD:
     label_of: dict[object, Symbol] = {}
     for (_, symbol), dst in automaton.transitions.items():
         label_of[dst] = symbol
-    for state in complete.states:
-        if state in sink_states:
-            outputs[state] = _SINK_CLASS
-        elif state == automaton.initial:
-            outputs[state] = _INIT_CLASS
-        else:
-            outputs[state] = (
-                label_of[state],
-                canonical_dfa_key(xsd.rules[state], xsd.alphabet),
-            )
+    with budget_phase(budget, "st-minimize"):
+        for state in complete.states:
+            if budget is not None:
+                budget.tick(1)
+            if state in sink_states:
+                outputs[state] = _SINK_CLASS
+            elif state == automaton.initial:
+                outputs[state] = _INIT_CLASS
+            else:
+                outputs[state] = (
+                    label_of[state],
+                    canonical_dfa_key(xsd.rules[state], xsd.alphabet),
+                )
 
-    partition = moore_partition(
-        complete.states, complete.alphabet, complete.transitions, outputs
-    )
+        partition = moore_partition(
+            complete.states,
+            complete.alphabet,
+            complete.transitions,
+            outputs,
+            budget=budget,
+        )
 
     # Rebuild the ancestor automaton on blocks, dropping the dead block.
     dead_blocks = {partition[state] for state in sink_states}

@@ -23,6 +23,7 @@ from collections import deque
 from collections.abc import Hashable
 
 from repro.errors import SchemaError
+from repro.runtime.budget import budget_phase, resolve_budget
 from repro.schemas.edtd import EDTD
 from repro.schemas.dfa_xsd import from_single_type
 from repro.schemas.st_edtd import SingleTypeEDTD
@@ -81,13 +82,16 @@ def _retag_content(dfa: DFA, tag) -> DFA:
     )
 
 
-def edtd_intersection(left: EDTD, right: EDTD) -> EDTD:
+def edtd_intersection(left: EDTD, right: EDTD, *, budget=None) -> EDTD:
     """EDTD for ``L(left) & L(right)`` via the pairing product.
 
     Types are label-compatible pairs ``(tau1, tau2)``; a content model pairs
     words of ``d1(tau1)`` and ``d2(tau2)`` position-wise.  Only pairs
-    reachable from the start pairs are materialized.
+    reachable from the start pairs are materialized.  The product BFS
+    charges one state per pair type and governs the per-pair content
+    products.
     """
+    budget = resolve_budget(budget)
     alphabet = left.alphabet | right.alphabet
     start_pairs = {
         (t1, t2)
@@ -99,16 +103,23 @@ def edtd_intersection(left: EDTD, right: EDTD) -> EDTD:
     mu: dict[tuple, Symbol] = {}
     pending: deque[tuple] = deque(start_pairs)
     seen: set[tuple] = set(start_pairs)
-    while pending:
-        pair = pending.popleft()
-        t1, t2 = pair
-        mu[pair] = left.mu[t1]
-        content = _paired_content(left.rules[t1], right.rules[t2], left.mu, right.mu)
-        rules[pair] = content
-        for symbol in content.alphabet:
-            if symbol not in seen:
-                seen.add(symbol)
-                pending.append(symbol)
+    with budget_phase(budget, "intersection-product"):
+        if budget is not None:
+            budget.charge_states(len(seen), frontier=len(pending))
+        while pending:
+            pair = pending.popleft()
+            t1, t2 = pair
+            mu[pair] = left.mu[t1]
+            content = _paired_content(
+                left.rules[t1], right.rules[t2], left.mu, right.mu, budget=budget
+            )
+            rules[pair] = content
+            for symbol in content.alphabet:
+                if symbol not in seen:
+                    seen.add(symbol)
+                    pending.append(symbol)
+                    if budget is not None:
+                        budget.charge_states(1, frontier=len(pending))
     return EDTD(
         alphabet=alphabet,
         types=seen,
@@ -118,7 +129,7 @@ def edtd_intersection(left: EDTD, right: EDTD) -> EDTD:
     )
 
 
-def _paired_content(d1: DFA, d2: DFA, mu1: dict, mu2: dict) -> DFA:
+def _paired_content(d1: DFA, d2: DFA, mu1: dict, mu2: dict, *, budget=None) -> DFA:
     """DFA over pairs accepting ``{(s1,r1)...(sn,rn) : s in L(d1), r in L(d2),
     mu1(si) == mu2(ri)}`` — restricted to its useful part."""
     pairs = [
@@ -134,6 +145,8 @@ def _paired_content(d1: DFA, d2: DFA, mu1: dict, mu2: dict) -> DFA:
     while queue:
         q1, q2 = queue.popleft()
         for (s, r) in pairs:
+            if budget is not None:
+                budget.tick(1, frontier=len(queue))
             n1 = d1.successor(q1, s)
             n2 = d2.successor(q2, r)
             if n1 is None or n2 is None:
@@ -142,6 +155,8 @@ def _paired_content(d1: DFA, d2: DFA, mu1: dict, mu2: dict) -> DFA:
             if (n1, n2) not in states:
                 states.add((n1, n2))
                 queue.append((n1, n2))
+                if budget is not None:
+                    budget.charge_states(1, frontier=len(queue))
     finals = {(q1, q2) for (q1, q2) in states if q1 in d1.finals and q2 in d2.finals}
     dfa = DFA(states, set(pairs), transitions, initial, finals).trim()
     # Restrict the alphabet to symbols actually used, so the enclosing EDTD
@@ -150,14 +165,16 @@ def _paired_content(d1: DFA, d2: DFA, mu1: dict, mu2: dict) -> DFA:
     return DFA(dfa.states, used, dfa.transitions, dfa.initial, dfa.finals)
 
 
-def st_intersection(left: SingleTypeEDTD, right: SingleTypeEDTD) -> SingleTypeEDTD:
+def st_intersection(
+    left: SingleTypeEDTD, right: SingleTypeEDTD, *, budget=None
+) -> SingleTypeEDTD:
     """Single-type EDTD for ``L(left) & L(right)`` (Proposition 3.7).
 
     ST-REG is closed under intersection; the pairing product of two
     single-type EDTDs is single-type, so this is exact (and is also the
     minimal upper XSD-approximation, Theorem 3.8).
     """
-    product = edtd_intersection(left, right).reduced()
+    product = edtd_intersection(left, right, budget=budget).reduced()
     return SingleTypeEDTD.from_edtd(product)
 
 
@@ -165,7 +182,7 @@ def st_intersection(left: SingleTypeEDTD, right: SingleTypeEDTD) -> SingleTypeED
 # Complement (Theorem 3.9 construction)
 # ----------------------------------------------------------------------
 
-def complement_edtd(schema: SingleTypeEDTD) -> EDTD:
+def complement_edtd(schema: SingleTypeEDTD, *, budget=None) -> EDTD:
     """EDTD ``D_c`` with ``L(D_c) = T_Sigma - L(schema)`` (Theorem 3.9).
 
     Types are ``Delta + Sigma``: the ``Delta``-types guess the path from the
@@ -173,6 +190,7 @@ def complement_edtd(schema: SingleTypeEDTD) -> EDTD:
     ``Sigma``-types accept arbitrary trees below/off that path.  Size is
     ``O(|Sigma| * |schema|)``.
     """
+    budget = resolve_budget(budget)
     reduced = schema.reduced()
     alphabet = schema.alphabet
     sym_types = {("sym", a) for a in alphabet}
@@ -200,6 +218,8 @@ def complement_edtd(schema: SingleTypeEDTD) -> EDTD:
         rules[("sym", a)] = _retag_sigma_star(alphabet)
 
     for tau in reduced.types:
+        if budget is not None:
+            budget.charge_states(1)
         content = xsd.rules[tau]  # f(tau), a DFA over Sigma
         # Part 1: child strings over Sigma-types whose word is NOT in f(tau).
         violating = content.complement(alphabet)
@@ -207,7 +227,7 @@ def complement_edtd(schema: SingleTypeEDTD) -> EDTD:
         # Part 2: child strings with exactly one Delta-typed child
         # (continuing the guessed path); all other children are Sigma-typed.
         part2 = _one_marked_child(alphabet, automaton, tau)
-        rules[("t", tau)] = minimize_dfa(part1.union(part2))
+        rules[("t", tau)] = minimize_dfa(part1.union(part2), budget=budget)
 
     starts = {("t", tau) for tau in reduced.starts}
     starts |= {("sym", a) for a in alphabet - reduced.start_symbols()}
@@ -250,7 +270,9 @@ def _one_marked_child(alphabet: frozenset, automaton: DFA, tau: Type) -> DFA:
 # Difference (Theorem 3.10 construction)
 # ----------------------------------------------------------------------
 
-def difference_edtd(left: SingleTypeEDTD, right: SingleTypeEDTD) -> EDTD:
+def difference_edtd(
+    left: SingleTypeEDTD, right: SingleTypeEDTD, *, budget=None
+) -> EDTD:
     """EDTD for ``L(left) - L(right)`` of polynomial size (Theorem 3.10).
 
     Types are ``Delta1 + P`` with ``P`` the label-compatible type pairs:
@@ -259,6 +281,7 @@ def difference_edtd(left: SingleTypeEDTD, right: SingleTypeEDTD) -> EDTD:
     ``("o", tau1)``-types validate the remaining subtrees against ``left``
     only.
     """
+    budget = resolve_budget(budget)
     d1 = left.reduced()
     d2 = right.reduced()
     alphabet = left.alphabet | right.alphabet
@@ -294,6 +317,8 @@ def difference_edtd(left: SingleTypeEDTD, right: SingleTypeEDTD) -> EDTD:
         if pair in pairs:
             continue
         pairs.add(pair)
+        if budget is not None:
+            budget.charge_states(1, frontier=len(queue))
         t1, t2 = pair
         for a in alphabet:
             n1 = a1.get((t1, a))
@@ -304,7 +329,7 @@ def difference_edtd(left: SingleTypeEDTD, right: SingleTypeEDTD) -> EDTD:
     for (t1, t2) in pairs:
         mu[("p", t1, t2)] = d1.mu[t1]
         rules[("p", t1, t2)] = _difference_pair_content(
-            d1, xsd2, a1, a2, t1, t2, alphabet
+            d1, xsd2, a1, a2, t1, t2, alphabet, budget=budget
         )
 
     starts = {("p", t1, t2) for (t1, t2) in start_pairs}
@@ -349,6 +374,8 @@ def _difference_pair_content(
     t1: Type,
     t2: Type,
     alphabet: frozenset,
+    *,
+    budget=None,
 ) -> DFA:
     """Content model of the pair type ``("p", t1, t2)`` (Theorem 3.10).
 
@@ -375,6 +402,8 @@ def _difference_pair_content(
         state = queue.popleft()
         q1, q2, flag = state
         for sigma in content1.alphabet:
+            if budget is not None:
+                budget.tick(1, frontier=len(queue))
             n1 = content1.successor(q1, sigma)
             if n1 is None:
                 continue
@@ -405,4 +434,4 @@ def _difference_pair_content(
         if (flag == 1 and in_f2) or (flag == 0 and not in_f2):
             finals.add((q1, q2, flag))
     dfa = DFA(states, symbols, transitions, initial, finals)
-    return minimize_dfa(dfa)
+    return minimize_dfa(dfa, budget=budget)

@@ -4,37 +4,136 @@ Construction 3.1 of the paper hinges on exactly this operation applied to
 type automata, so the implementation exposes the raw subset states (frozen
 sets of NFA states) — the approximation constructions need to inspect which
 EDTD types were merged into each subset state.
+
+This is the canonical worst-case-exponential loop of the library
+(``2^n`` reachable subsets — :func:`repro.families.hard.theorem_3_2_family`
+triggers it on purpose), so it is fully governed: pass ``budget=`` or run
+inside ``with Budget(...):`` and the BFS charges one state per subset
+materialized and one step per transition computed.  On exhaustion the
+raised :class:`repro.errors.BudgetExceededError` carries a
+:class:`SubsetCheckpoint` from which a later call can *resume* the
+construction instead of restarting it.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 
+from repro.runtime.budget import budget_phase, resolve_budget
 from repro.strings.dfa import DFA
 from repro.strings.nfa import NFA
 
+#: Batch size (in steps) for flushing locally-accumulated tick charges;
+#: bounds how stale the step counter may run during the hot loop.
+_FLUSH = 256
 
-def determinize(nfa: NFA, *, keep_empty: bool = False) -> DFA:
+
+@dataclass(frozen=True)
+class SubsetCheckpoint:
+    """Resumable snapshot of a partially-run subset construction.
+
+    Captures the explored subset states, the transitions discovered so
+    far, and the BFS frontier.  Opaque to callers: obtain one from
+    ``BudgetExceededError.checkpoint`` and pass it back via
+    ``determinize(..., checkpoint=...)`` (with the *same* NFA and
+    ``keep_empty`` flag) to continue where the budget tripped.
+    """
+
+    states: frozenset
+    transitions: tuple
+    frontier: tuple
+
+    @property
+    def states_explored(self) -> int:
+        return len(self.states)
+
+    @property
+    def frontier_size(self) -> int:
+        return len(self.frontier)
+
+
+def determinize(
+    nfa: NFA,
+    *,
+    keep_empty: bool = False,
+    budget=None,
+    checkpoint: SubsetCheckpoint | None = None,
+) -> DFA:
     """Return a DFA equivalent to *nfa* via the standard subset construction.
 
     States of the result are frozensets of NFA states.  Only subsets
     reachable from the initial subset are constructed.  By default the empty
     subset (dead state) is omitted, yielding a partial DFA; pass
     ``keep_empty=True`` to keep it (producing a complete DFA).
+
+    *budget* (or the ambient ``with Budget(...):`` default) bounds the
+    construction; *checkpoint* resumes a previous budget-interrupted run.
     """
+    budget = resolve_budget(budget)
     initial = nfa.initials
-    states: set[frozenset] = {initial}
-    transitions: dict[tuple[frozenset, object], frozenset] = {}
-    queue: deque[frozenset] = deque([initial])
-    while queue:
-        subset = queue.popleft()
-        for symbol in nfa.alphabet:
-            target = nfa.step(subset, symbol)
-            if not target and not keep_empty:
-                continue
-            transitions[(subset, symbol)] = target
-            if target not in states:
-                states.add(target)
-                queue.append(target)
+    if checkpoint is None:
+        states: set[frozenset] = {initial}
+        transitions: dict[tuple[frozenset, object], frozenset] = {}
+        queue: deque[frozenset] = deque([initial])
+        if budget is not None:
+            budget.charge_states(1, frontier=1)
+    else:
+        states = set(checkpoint.states)
+        transitions = dict(checkpoint.transitions)
+        queue = deque(checkpoint.frontier)
+    with budget_phase(budget, "determinize"):
+        fanout = len(nfa.alphabet)
+        if budget is not None:
+            # Governed-loop overhead discipline: one shared lazy snapshot
+            # closure (a cursor cell tracks the subset being expanded, so
+            # no per-iteration allocation), pre-bound charge methods, and
+            # step charges accumulated locally and flushed in batches —
+            # the hot loop pays one charge_states per *new* subset and a
+            # tick only every ~_FLUSH steps.  Totals are unchanged: the
+            # tail flush lands after the loop.
+            cursor = [initial]
+            snapshot = lambda: _snapshot(states, transitions, queue, cursor[0])
+            tick, charge_states = budget.tick, budget.charge_states
+            pending = 0
+        while queue:
+            subset = queue.popleft()
+            if budget is not None:
+                cursor[0] = subset
+                pending += fanout
+                if pending >= _FLUSH:
+                    tick(pending, len(queue), snapshot)
+                    pending = 0
+            for symbol in nfa.alphabet:
+                target = nfa.step(subset, symbol)
+                if not target and not keep_empty:
+                    continue
+                transitions[(subset, symbol)] = target
+                if target not in states:
+                    states.add(target)
+                    queue.append(target)
+                    if budget is not None:
+                        charge_states(1, len(queue), snapshot)
+        if budget is not None and pending:
+            budget.tick(pending, 0)
     finals = {subset for subset in states if subset & nfa.finals}
     return DFA(states, nfa.alphabet, transitions, initial, finals)
+
+
+def _snapshot(
+    states: set,
+    transitions: dict,
+    queue: deque,
+    current: frozenset,
+) -> SubsetCheckpoint:
+    """Checkpoint the BFS with *current* re-enqueued for a clean resume.
+
+    Re-processing *current* from scratch recomputes at most ``|alphabet|``
+    transitions — all idempotent — so resumption never loses or
+    duplicates states.
+    """
+    return SubsetCheckpoint(
+        states=frozenset(states),
+        transitions=tuple(transitions.items()),
+        frontier=(current, *queue),
+    )

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Mapping
 
+from repro.runtime.budget import budget_phase, resolve_budget
 from repro.strings.dfa import DFA
 
 State = Hashable
@@ -30,13 +31,20 @@ def moore_partition(
     alphabet: Iterable[Symbol],
     delta: Mapping[tuple[State, Symbol], State],
     initial_partition: Mapping[State, Hashable],
+    *,
+    budget=None,
 ) -> dict[State, int]:
     """Coarsest refinement of *initial_partition* stable under *delta*.
 
     *delta* must be total on ``states x alphabet``.  Returns a mapping from
     each state to its block index; two states get the same index iff they are
     Moore-equivalent (same output class now and after every input word).
+
+    Polynomial, but its inputs can be exponentially large outputs of the
+    subset construction, so refinement rounds are governed: one step is
+    charged per state signature per round.
     """
+    budget = resolve_budget(budget)
     states = list(states)
     alphabet = list(alphabet)
     # Block ids: normalize initial partition to consecutive ints.
@@ -51,6 +59,9 @@ def moore_partition(
     changed = True
     while changed:
         changed = False
+        if budget is not None:
+            with budget_phase(budget, "minimize"):
+                budget.tick(len(states), frontier=len(set(block_of.values())))
         signature: dict[State, tuple] = {}
         for state in states:
             signature[state] = (
@@ -70,7 +81,7 @@ def moore_partition(
     return block_of
 
 
-def minimize_dfa(dfa: DFA, *, complete: bool = False) -> DFA:
+def minimize_dfa(dfa: DFA, *, complete: bool = False, budget=None) -> DFA:
     """Return the minimal DFA for ``L(dfa)``.
 
     By default the result is *trim* (no dead/sink state), which is the
@@ -101,6 +112,7 @@ def minimize_dfa(dfa: DFA, *, complete: bool = False) -> DFA:
         total.alphabet,
         total.transitions,
         {state: (state in total.finals) for state in total.states},
+        budget=budget,
     )
     block_states = set(partition.values())
     transitions = {

@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Hashable, Iterable
 
+from repro.runtime.budget import budget_phase, resolve_budget
 from repro.schemas.edtd import EDTD
 from repro.trees.encoding import MARKER
 from repro.tree_automata.bta import BTA
@@ -85,9 +86,15 @@ def bta_from_edtd(edtd: EDTD, marker: object = MARKER) -> BTA:
     return BTA(states, alphabet, leaf_rules, internal_rules, finals)
 
 
-def bta_difference_empty(left: BTA, right: BTA) -> bool:
+def bta_difference_empty(left: BTA, right: BTA, *, budget=None) -> bool:
     """Decide ``L(left) subseteq L(right)`` by emptiness of the lazy product
-    of *left* with the (on-the-fly) determinization of *right*."""
+    of *left* with the (on-the-fly) determinization of *right*.
+
+    The reachable ``(state, subset)`` pair space is the EXPTIME part of
+    Theorem 2.13, so the saturation loop is governed: one state per pair
+    discovered, one step per pair-pair-label combination examined.
+    """
+    budget = resolve_budget(budget)
     alphabet = left.alphabet | right.alphabet
     # Reachable pairs (q, S): q a left state, S the subset of right states.
     pair_states: set[tuple] = set()
@@ -112,33 +119,42 @@ def bta_difference_empty(left: BTA, right: BTA) -> bool:
         return frozenset(combined)
 
     changed = True
-    while changed:
-        changed = False
-        snapshot = list(pair_states)
-        for (p1, s1) in snapshot:
-            for (p2, s2) in snapshot:
-                for label in alphabet:
-                    targets = set()
-                    for q1, q2, tgt in left_by_label.get(label, ()):
-                        if q1 == p1 and q2 == p2:
-                            targets |= tgt
-                    if not targets:
-                        continue
-                    subset = right_step(label, s1, s2)
-                    for target in targets:
-                        pair = (target, subset)
-                        if pair not in pair_states:
-                            pair_states.add(pair)
-                            changed = True
+    with budget_phase(budget, "bta-inclusion"):
+        while changed:
+            changed = False
+            snapshot = list(pair_states)
+            for (p1, s1) in snapshot:
+                if budget is not None:
+                    budget.tick(len(snapshot), frontier=len(pair_states))
+                for (p2, s2) in snapshot:
+                    for label in alphabet:
+                        targets = set()
+                        for q1, q2, tgt in left_by_label.get(label, ()):
+                            if q1 == p1 and q2 == p2:
+                                targets |= tgt
+                        if not targets:
+                            continue
+                        subset = right_step(label, s1, s2)
+                        for target in targets:
+                            pair = (target, subset)
+                            if pair not in pair_states:
+                                pair_states.add(pair)
+                                if budget is not None:
+                                    budget.charge_states(
+                                        1, frontier=len(pair_states)
+                                    )
+                                changed = True
     for (q, subset) in pair_states:
         if q in left.finals and not (subset & right.finals):
             return False
     return True
 
 
-def edtd_includes(sup: EDTD, sub: EDTD) -> bool:
+def edtd_includes(sup: EDTD, sub: EDTD, *, budget=None) -> bool:
     """Exact decision of ``L(sub) subseteq L(sup)`` (EXPTIME in general)."""
-    return bta_difference_empty(bta_from_edtd(sub), bta_from_edtd(sup))
+    return bta_difference_empty(
+        bta_from_edtd(sub), bta_from_edtd(sup), budget=budget
+    )
 
 
 def edtd_equivalent(left: EDTD, right: EDTD) -> bool:

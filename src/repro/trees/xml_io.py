@@ -19,6 +19,21 @@ examples and downstream users can work with familiar markup:
 Only well-formed element-only fragments are supported; text nodes,
 attributes, comments and processing instructions are rejected with
 :class:`TreeSyntaxError` rather than silently dropped.
+
+Hostile input hardening (this parser is exposed to untrusted documents
+via ``repro validate``):
+
+* **DTD / entity declarations are rejected outright** — ``<!DOCTYPE``,
+  ``<!ENTITY`` and every other markup declaration.  Entity expansion is
+  the classic billion-laughs amplification vector; since the tree model
+  has no text content there is no legitimate use for entities here.
+* **Depth and node-count limits** — :func:`from_xml` enforces a
+  configurable ``max_depth`` (default ``DEFAULT_MAX_DEPTH`` = 200) and
+  ``max_nodes`` (default ``DEFAULT_MAX_NODES`` = 100000), so deeply
+  nested or enormous documents fail fast with a precise message instead
+  of exhausting the recursion limit or memory downstream.
+* **Positions** — every :class:`TreeSyntaxError` carries 1-based
+  ``line``/``column`` attributes locating the offending token.
 """
 
 from __future__ import annotations
@@ -28,6 +43,12 @@ import re as _re
 from repro.errors import TreeSyntaxError
 from repro.trees.tree import Tree
 
+#: Default cap on element nesting depth for :func:`from_xml`.
+DEFAULT_MAX_DEPTH = 200
+
+#: Default cap on the total number of elements for :func:`from_xml`.
+DEFAULT_MAX_NODES = 100_000
+
 _NAME = r"[A-Za-z_][A-Za-z0-9_.\-]*"
 _TOKEN = _re.compile(
     rf"\s*(?:"
@@ -36,6 +57,8 @@ _TOKEN = _re.compile(
     rf"|</(?P<close>{_NAME})\s*>"
     rf")"
 )
+_DECLARATION = _re.compile(r"\s*<!(?P<keyword>[A-Za-z\[]*)")
+_PROCESSING = _re.compile(r"\s*<\?")
 
 
 def to_xml(tree: Tree, indent: int = 2) -> str:
@@ -57,28 +80,100 @@ def to_xml(tree: Tree, indent: int = 2) -> str:
     return "\n".join(lines)
 
 
-def from_xml(text: str) -> Tree:
+def _position(text: str, pos: int) -> tuple[int, int]:
+    """1-based (line, column) of offset *pos* in *text*."""
+    line = text.count("\n", 0, pos) + 1
+    column = pos - text.rfind("\n", 0, pos)
+    return line, column
+
+
+def _syntax_error(message: str, text: str, pos: int) -> TreeSyntaxError:
+    line, column = _position(text, pos)
+    return TreeSyntaxError(message, line=line, column=column)
+
+
+def from_xml(
+    text: str,
+    *,
+    max_depth: int | None = DEFAULT_MAX_DEPTH,
+    max_nodes: int | None = DEFAULT_MAX_NODES,
+) -> Tree:
     """Parse an element-only XML fragment into a :class:`Tree`.
 
-    Raises :class:`TreeSyntaxError` on mismatched tags, trailing content,
-    or anything that is not a start/end/self-closing element tag.
+    Raises :class:`TreeSyntaxError` — carrying 1-based ``line``/``column``
+    attributes — on mismatched tags, trailing content, DTD/entity
+    declarations (billion-laughs hardening), or anything that is not a
+    start/end/self-closing element tag.
+
+    *max_depth* bounds element nesting and *max_nodes* the total element
+    count; pass ``None`` to disable either limit (trusted input only).
     """
     pos = 0
     stack: list[tuple[str, list[Tree]]] = []
     root: Tree | None = None
+    node_count = 0
     while pos < len(text):
         if text[pos:].strip() == "":
             break
         match = _TOKEN.match(text, pos)
         if match is None:
+            skipped = len(text) - len(text[pos:].lstrip())
+            declaration = _DECLARATION.match(text, pos)
+            if declaration is not None:
+                if text.startswith("<!--", skipped):
+                    raise _syntax_error(
+                        "comments are not supported (element-only fragments)",
+                        text,
+                        skipped,
+                    )
+                keyword = declaration.group("keyword").rstrip("[").upper()
+                what = f"<!{keyword}" if keyword else "markup declaration"
+                raise _syntax_error(
+                    f"{what} is not allowed: DTD and entity declarations are "
+                    "rejected (entity-expansion hardening)",
+                    text,
+                    skipped,
+                )
+            if _PROCESSING.match(text, pos) is not None:
+                raise _syntax_error(
+                    "processing instructions and XML declarations are not "
+                    "supported (element-only fragments)",
+                    text,
+                    skipped,
+                )
             snippet = text[pos:pos + 20].strip()
-            raise TreeSyntaxError(f"unsupported XML content near: {snippet!r}")
+            raise _syntax_error(
+                f"unsupported XML content near: {snippet!r}", text, skipped
+            )
+        token_start = match.start() + len(match.group(0)) - len(match.group(0).lstrip())
         pos = match.end()
         if root is not None:
-            raise TreeSyntaxError("content after the root element")
+            raise _syntax_error("content after the root element", text, token_start)
         if match.group("open"):
+            if max_depth is not None and len(stack) >= max_depth:
+                raise _syntax_error(
+                    f"maximum element depth exceeded ({max_depth})",
+                    text,
+                    token_start,
+                )
+            node_count += 1
+            if max_nodes is not None and node_count > max_nodes:
+                raise _syntax_error(
+                    f"maximum node count exceeded ({max_nodes})", text, token_start
+                )
             stack.append((match.group("open"), []))
         elif match.group("selfclose"):
+            if max_depth is not None and len(stack) >= max_depth:
+                raise _syntax_error(
+                    f"maximum element depth exceeded ({max_depth})",
+                    text,
+                    token_start,
+                )
+            node_count += 1
+            if max_nodes is not None and node_count > max_nodes:
+                raise _syntax_error(
+                    f"maximum node count exceeded ({max_nodes})", text, token_start
+                )
             node = Tree(match.group("selfclose"))
             if stack:
                 stack[-1][1].append(node)
@@ -87,11 +182,15 @@ def from_xml(text: str) -> Tree:
         else:
             name = match.group("close")
             if not stack:
-                raise TreeSyntaxError(f"unexpected closing tag </{name}>")
+                raise _syntax_error(
+                    f"unexpected closing tag </{name}>", text, token_start
+                )
             open_name, children = stack.pop()
             if open_name != name:
-                raise TreeSyntaxError(
-                    f"mismatched tags: <{open_name}> closed by </{name}>"
+                raise _syntax_error(
+                    f"mismatched tags: <{open_name}> closed by </{name}>",
+                    text,
+                    token_start,
                 )
             node = Tree(open_name, children)
             if stack:
@@ -99,7 +198,7 @@ def from_xml(text: str) -> Tree:
             else:
                 root = node
     if stack:
-        raise TreeSyntaxError(f"unclosed element <{stack[-1][0]}>")
+        raise _syntax_error(f"unclosed element <{stack[-1][0]}>", text, len(text))
     if root is None:
-        raise TreeSyntaxError("no root element found")
+        raise TreeSyntaxError("no root element found", line=1, column=1)
     return root

@@ -1,0 +1,276 @@
+"""Budget governance of the worst-case-exponential constructions.
+
+The acceptance contract: a run that *trips* terminates promptly with
+accurate partial-progress counters; a run that completes *within* budget
+is bit-identical to an ungoverned run; and the degradation ladder returns
+correct (if unminimized / UNKNOWN) results where soundness allows.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.decision import (
+    Definability,
+    is_single_type_definable,
+    single_type_definability,
+)
+from repro.core.lower import maximal_lower_union, non_violating
+from repro.core.upper import (
+    minimal_upper_approximation,
+    upper_complement,
+    upper_difference,
+    upper_intersection,
+    upper_union,
+)
+from repro.closure.closure import bounded_closure
+from repro.errors import BudgetExceededError
+from repro.families.hard import (
+    theorem_3_2_family,
+    theorem_3_6_family,
+    theorem_4_3_d1_d2,
+)
+from repro.runtime import Budget, CancellationToken
+from repro.schemas.ops import edtd_intersection, edtd_union
+from repro.strings.builders import nth_from_end_is
+from repro.strings.determinize import SubsetCheckpoint, determinize
+from repro.tree_automata.inclusion import edtd_includes
+from repro.trees.tree import parse_tree
+
+
+def schemas_equal(left, right) -> bool:
+    """Structural identity of two single-type EDTDs (types, rules, starts,
+    mu, alphabet) — stronger than language equality."""
+    return (
+        left.alphabet == right.alphabet
+        and left.types == right.types
+        and left.starts == right.starts
+        and left.mu == right.mu
+        and set(left.rules) == set(right.rules)
+        and all(
+            left.rules[t].states == right.rules[t].states
+            and left.rules[t].transitions == right.rules[t].transitions
+            and left.rules[t].initial == right.rules[t].initial
+            and left.rules[t].finals == right.rules[t].finals
+            for t in left.rules
+        )
+    )
+
+
+class TestHardFamilyExhaustion:
+    """The acceptance criterion: theorem_3_2_family(14) under a 1 s / 10k
+    state budget trips promptly with populated partial progress."""
+
+    def test_upper_approximation_trips_promptly(self):
+        edtd = theorem_3_2_family(14)
+        started = time.monotonic()
+        with pytest.raises(BudgetExceededError) as exc_info:
+            minimal_upper_approximation(
+                edtd, budget=Budget(timeout=1.0, max_states=10_000)
+            )
+        elapsed = time.monotonic() - started
+        assert elapsed < 5.0  # "promptly": far below the ungoverned blow-up
+        error = exc_info.value
+        assert error.reason in ("max-states", "deadline")
+        progress = error.progress
+        assert progress.states_explored > 0
+        assert progress.steps >= progress.states_explored
+        assert progress.elapsed_seconds <= elapsed + 0.1
+
+    def test_partial_progress_counters_are_accurate(self):
+        edtd = theorem_3_2_family(14)
+        with pytest.raises(BudgetExceededError) as exc_info:
+            minimal_upper_approximation(edtd, budget=Budget(max_states=10_000))
+        error = exc_info.value
+        # max-states trips on the state *after* the limit.
+        assert error.reason == "max-states"
+        assert error.progress.states_explored == 10_001
+        assert error.progress.frontier_size > 0
+        assert error.progress.phase == "determinize"
+        # The interrupted subset construction is resumable.
+        assert isinstance(error.checkpoint, SubsetCheckpoint)
+        assert error.checkpoint.states_explored == 10_001
+
+    def test_ambient_context_budget_governs_too(self):
+        edtd = theorem_3_2_family(14)
+        with pytest.raises(BudgetExceededError):
+            with Budget(max_states=5_000):
+                minimal_upper_approximation(edtd)
+
+    def test_ungoverned_run_unaffected(self):
+        edtd = theorem_3_2_family(5)
+        result = minimal_upper_approximation(edtd)
+        # Theorem 3.2's exact prediction survives the governor plumbing.
+        from repro.schemas.minimize import minimize_single_type
+
+        assert len(minimize_single_type(result).types) == 2 ** 6
+
+
+class TestWithinBudgetIdentity:
+    """A run completing within budget is bit-identical to an ungoverned
+    run — governance only observes, it never perturbs."""
+
+    def test_upper_approximation_identical(self):
+        edtd = theorem_3_2_family(5)
+        ungoverned = minimal_upper_approximation(edtd, minimize=True)
+        governed = minimal_upper_approximation(
+            edtd, minimize=True, budget=Budget(timeout=120.0, max_states=10**8)
+        )
+        assert schemas_equal(ungoverned, governed)
+
+    def test_union_identical(self):
+        d1, d2 = theorem_3_6_family(3)
+        assert schemas_equal(
+            upper_union(d1, d2), upper_union(d1, d2, budget=Budget(timeout=120.0))
+        )
+
+    def test_lower_identical(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        assert schemas_equal(
+            maximal_lower_union(d1, d2),
+            maximal_lower_union(d1, d2, budget=Budget(timeout=120.0)),
+        )
+
+    def test_complement_and_difference_identical(self):
+        d1, d2 = theorem_3_6_family(2)
+        assert schemas_equal(
+            upper_complement(d1), upper_complement(d1, budget=Budget(timeout=120.0))
+        )
+        assert schemas_equal(
+            upper_difference(d1, d2),
+            upper_difference(d1, d2, budget=Budget(timeout=120.0)),
+        )
+
+    def test_closure_identical(self):
+        t1 = parse_tree("a(b, c)")
+        t2 = parse_tree("a(c, b)")
+        assert bounded_closure([t1, t2], 5) == bounded_closure(
+            [t1, t2], 5, budget=Budget(timeout=120.0)
+        )
+
+    def test_definability_matches_ungoverned(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        union = edtd_union(d1, d2)
+        expected = is_single_type_definable(union)
+        result = single_type_definability(union, budget=Budget(timeout=120.0))
+        assert (result.verdict is Definability.YES) == expected
+
+
+class TestCheckpointResume:
+    def test_determinize_resume_equals_one_shot(self):
+        nfa = nth_from_end_is("a", "b", 9)
+        full = determinize(nfa)
+        with pytest.raises(BudgetExceededError) as exc_info:
+            determinize(nfa, budget=Budget(max_states=40))
+        checkpoint = exc_info.value.checkpoint
+        assert isinstance(checkpoint, SubsetCheckpoint)
+        assert 0 < checkpoint.states_explored < len(full.states)
+        resumed = determinize(nfa, checkpoint=checkpoint)
+        assert resumed.states == full.states
+        assert resumed.transitions == full.transitions
+        assert resumed.finals == full.finals
+        assert resumed.initial == full.initial
+
+    def test_resume_across_multiple_interruptions(self):
+        nfa = nth_from_end_is("a", "b", 9)
+        full = determinize(nfa)
+        checkpoint = None
+        for attempt in range(200):
+            try:
+                resumed = determinize(
+                    nfa, budget=Budget(max_states=64), checkpoint=checkpoint
+                )
+                break
+            except BudgetExceededError as error:
+                assert error.checkpoint is not None
+                checkpoint = error.checkpoint
+        else:  # pragma: no cover - would mean no forward progress
+            pytest.fail("resume never completed")
+        assert resumed.transitions == full.transitions
+
+    def test_definability_resume(self):
+        edtd = theorem_3_2_family(6)
+        first = single_type_definability(edtd, budget=Budget(max_states=40))
+        assert first.verdict is Definability.UNKNOWN
+        assert first.error is not None
+        assert first.checkpoint is not None
+        resumed = single_type_definability(
+            edtd, budget=Budget(timeout=120.0), checkpoint=first.checkpoint
+        )
+        assert resumed.verdict is Definability.YES
+        assert bool(resumed)
+
+
+class TestGracefulDegradation:
+    def test_minimize_falls_back_to_unminimized(self):
+        """minimize=True degrades to the (still exact) unminimized result
+        when only the minimization phase runs out of budget."""
+        edtd = theorem_3_2_family(6)
+        unminimized = minimal_upper_approximation(edtd)
+        # Find how much the mandatory phases cost, then grant barely more,
+        # so the budget trips inside minimize_single_type.
+        probe = Budget()
+        minimal_upper_approximation(edtd, budget=probe)
+        budget = Budget(max_steps=probe.steps + 10)
+        degraded = minimal_upper_approximation(edtd, minimize=True, budget=budget)
+        assert schemas_equal(degraded, unminimized)
+
+    def test_minimize_still_minimizes_with_room(self):
+        edtd = theorem_3_2_family(4)
+        governed = minimal_upper_approximation(
+            edtd, minimize=True, budget=Budget(timeout=120.0)
+        )
+        assert schemas_equal(governed, minimal_upper_approximation(edtd, minimize=True))
+
+    def test_unknown_verdict_is_falsy(self):
+        edtd = theorem_3_2_family(10)
+        result = single_type_definability(edtd, budget=Budget(max_states=20))
+        assert result.verdict is Definability.UNKNOWN
+        assert not result
+        assert result.error.progress.states_explored > 0
+
+
+class TestCancellationIntegration:
+    def test_pre_cancelled_token_stops_construction(self):
+        token = CancellationToken()
+        token.cancel()
+        edtd = theorem_3_2_family(12)
+        with pytest.raises(BudgetExceededError) as exc_info:
+            minimal_upper_approximation(
+                edtd, budget=Budget(cancel=token, check_interval=1)
+            )
+        assert exc_info.value.reason == "cancelled"
+
+
+class TestOtherGovernedLoops:
+    def test_closure_budget_trips(self):
+        t1 = parse_tree("a(b, c, b, c)")
+        t2 = parse_tree("a(c, b, c, b)")
+        with pytest.raises(BudgetExceededError):
+            bounded_closure([t1, t2], 9, budget=Budget(max_steps=5))
+
+    def test_intersection_budget_trips(self):
+        d1, d2 = theorem_3_6_family(6)
+        with pytest.raises(BudgetExceededError):
+            edtd_intersection(d1, d2, budget=Budget(max_steps=50))
+
+    def test_inclusion_budget_trips(self):
+        d1, d2 = theorem_3_6_family(3)
+        union = edtd_union(d1, d2)
+        with pytest.raises(BudgetExceededError):
+            edtd_includes(union, union, budget=Budget(max_steps=100))
+
+    def test_non_violating_within_budget_identical(self):
+        d1, d2 = theorem_4_3_d1_d2()
+        assert schemas_equal(
+            non_violating(d2, d1), non_violating(d2, d1, budget=Budget(timeout=120.0))
+        )
+
+    def test_intersection_within_budget_identical(self):
+        d1, d2 = theorem_3_6_family(2)
+        assert schemas_equal(
+            upper_intersection(d1, d2),
+            upper_intersection(d1, d2, budget=Budget(timeout=120.0)),
+        )

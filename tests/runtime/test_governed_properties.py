@@ -1,0 +1,118 @@
+"""Property tests: governance is observationally transparent.
+
+For *any* input, a construction that completes within its budget must
+return exactly what the ungoverned construction returns — the governor
+may only abort, never perturb.  Random schemas come from the library's
+seeded generators and from hypothesis-driven regex NFAs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.upper import minimal_upper_approximation, upper_union
+from repro.errors import BudgetExceededError
+from repro.families.random_schemas import random_edtd, random_single_type_edtd
+from repro.runtime import Budget
+from repro.schemas.inclusion import single_type_equivalent
+from repro.strings.determinize import determinize
+from repro.strings.glushkov import glushkov_nfa
+from repro.strings.minimize import minimize_dfa
+from repro.strings.regex import parse as parse_regex
+
+from tests.runtime.test_governed_constructions import schemas_equal
+
+GENEROUS = dict(timeout=300.0, max_states=10**7)
+
+
+@st.composite
+def regexes(draw) -> str:
+    """Small regex strings over {a, b} in the paper's grammar."""
+    atom = st.sampled_from(["a", "b", "~"])
+    expr = draw(
+        st.recursive(
+            atom,
+            lambda inner: st.one_of(
+                st.tuples(inner, inner).map(lambda p: f"({p[0]}, {p[1]})"),
+                st.tuples(inner, inner).map(lambda p: f"({p[0]} | {p[1]})"),
+                inner.map(lambda e: f"({e})*"),
+                inner.map(lambda e: f"({e})+"),
+                inner.map(lambda e: f"({e})?"),
+            ),
+            max_leaves=6,
+        )
+    )
+    return expr
+
+
+@given(regexes())
+@settings(max_examples=40, deadline=None)
+def test_determinize_governed_identical(expr):
+    nfa = glushkov_nfa(parse_regex(expr))
+    plain = determinize(nfa)
+    governed = determinize(nfa, budget=Budget(**GENEROUS))
+    assert governed.states == plain.states
+    assert governed.transitions == plain.transitions
+    assert governed.finals == plain.finals
+
+
+@given(regexes())
+@settings(max_examples=40, deadline=None)
+def test_minimize_dfa_governed_identical(expr):
+    dfa = determinize(glushkov_nfa(parse_regex(expr)))
+    plain = minimize_dfa(dfa)
+    governed = minimize_dfa(dfa, budget=Budget(**GENEROUS))
+    assert governed.states == plain.states
+    assert governed.transitions == plain.transitions
+    assert governed.finals == plain.finals
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_upper_approximation_governed_identical(seed):
+    rng = random.Random(seed)
+    edtd = random_edtd(rng, num_labels=3, num_types=4)
+    plain = minimal_upper_approximation(edtd, minimize=True)
+    governed = minimal_upper_approximation(
+        edtd, minimize=True, budget=Budget(**GENEROUS)
+    )
+    assert schemas_equal(plain, governed)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_upper_union_governed_identical(seed):
+    rng = random.Random(seed)
+    left = random_single_type_edtd(rng, num_labels=3, num_types=4)
+    right = random_single_type_edtd(rng, num_labels=3, num_types=4)
+    plain = upper_union(left, right)
+    governed = upper_union(left, right, budget=Budget(**GENEROUS))
+    assert schemas_equal(plain, governed)
+    assert single_type_equivalent(plain, governed)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_interrupted_then_resumed_equals_one_shot(seed):
+    """Even when the governor interrupts mid-construction, resuming from
+    the checkpoint converges to the exact one-shot result."""
+    rng = random.Random(seed)
+    edtd = random_edtd(rng, num_labels=3, num_types=5)
+    plain = minimal_upper_approximation(edtd)
+    checkpoint = None
+    for _ in range(500):
+        try:
+            governed = minimal_upper_approximation(
+                edtd, budget=Budget(max_states=3), checkpoint=checkpoint
+            )
+            break
+        except BudgetExceededError as error:
+            if error.checkpoint is None:
+                # Tripped outside the resumable subset-construction phase:
+                # restart that attempt with an unlimited budget instead.
+                governed = minimal_upper_approximation(edtd, checkpoint=checkpoint)
+                break
+            checkpoint = error.checkpoint
+    assert schemas_equal(plain, governed)

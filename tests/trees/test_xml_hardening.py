@@ -1,0 +1,157 @@
+"""Hostile-input hardening of :func:`repro.trees.xml_io.from_xml`.
+
+``from_xml`` feeds ``repro validate`` with untrusted documents, so it
+must reject DTD/entity declarations (billion-laughs amplification),
+bound nesting depth and node count, and locate every rejection with
+1-based line/column coordinates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TreeSyntaxError
+from repro.trees.xml_io import (
+    DEFAULT_MAX_DEPTH,
+    DEFAULT_MAX_NODES,
+    from_xml,
+    to_xml,
+)
+
+BILLION_LAUGHS = """<!DOCTYPE lolz [
+  <!ENTITY lol "lol">
+  <!ENTITY lol2 "&lol;&lol;&lol;&lol;&lol;&lol;&lol;&lol;&lol;&lol;">
+  <!ENTITY lol3 "&lol2;&lol2;&lol2;&lol2;&lol2;&lol2;&lol2;&lol2;&lol2;&lol2;">
+]>
+<lolz>&lol3;</lolz>"""
+
+
+class TestDeclarationRejection:
+    def test_doctype_rejected(self):
+        with pytest.raises(TreeSyntaxError) as exc_info:
+            from_xml('<!DOCTYPE a><a/>')
+        assert "<!DOCTYPE" in str(exc_info.value)
+        assert "entity-expansion hardening" in str(exc_info.value)
+
+    def test_billion_laughs_rejected_before_any_expansion(self):
+        with pytest.raises(TreeSyntaxError) as exc_info:
+            from_xml(BILLION_LAUGHS)
+        error = exc_info.value
+        assert "DTD and entity declarations are rejected" in str(error)
+        assert error.line == 1
+        assert error.column == 1
+
+    def test_entity_declaration_rejected(self):
+        with pytest.raises(TreeSyntaxError) as exc_info:
+            from_xml('<a><!ENTITY x "y"></a>')
+        assert "<!ENTITY" in str(exc_info.value)
+
+    def test_internal_subset_bracket_rejected(self):
+        with pytest.raises(TreeSyntaxError):
+            from_xml("<![CDATA[boom]]>")
+
+    def test_comment_gets_specific_message(self):
+        with pytest.raises(TreeSyntaxError) as exc_info:
+            from_xml("<a><!-- hi --></a>")
+        assert "comments are not supported" in str(exc_info.value)
+
+    def test_processing_instruction_rejected(self):
+        with pytest.raises(TreeSyntaxError) as exc_info:
+            from_xml('<?xml version="1.0"?><a/>')
+        assert "processing instructions" in str(exc_info.value)
+
+
+class TestDepthAndNodeLimits:
+    def test_default_depth_limit(self):
+        deep = "<a>" * (DEFAULT_MAX_DEPTH + 1) + "</a>" * (DEFAULT_MAX_DEPTH + 1)
+        with pytest.raises(TreeSyntaxError) as exc_info:
+            from_xml(deep)
+        assert f"maximum element depth exceeded ({DEFAULT_MAX_DEPTH})" in str(
+            exc_info.value
+        )
+
+    def test_depth_at_limit_is_fine(self):
+        text = "<a>" * 10 + "</a>" * 10
+        tree = from_xml(text, max_depth=10)
+        depth = 0
+        node = tree
+        while node.children:
+            depth += 1
+            node = node.children[0]
+        assert depth == 9
+
+    def test_depth_just_over_custom_limit(self):
+        text = "<a>" * 11 + "</a>" * 11
+        with pytest.raises(TreeSyntaxError):
+            from_xml(text, max_depth=10)
+
+    def test_self_closing_counts_toward_depth(self):
+        with pytest.raises(TreeSyntaxError):
+            from_xml("<a><b/></a>", max_depth=1)
+
+    def test_node_count_limit(self):
+        text = "<a>" + "<b/>" * 10 + "</a>"
+        with pytest.raises(TreeSyntaxError) as exc_info:
+            from_xml(text, max_nodes=5)
+        assert "maximum node count exceeded (5)" in str(exc_info.value)
+
+    def test_node_count_at_limit_is_fine(self):
+        text = "<a>" + "<b/>" * 9 + "</a>"
+        tree = from_xml(text, max_nodes=10)
+        assert len(tree.children) == 9
+
+    def test_limits_disabled_with_none(self):
+        deep = "<a>" * 300 + "</a>" * 300
+        tree = from_xml(deep, max_depth=None)
+        assert tree.label == "a"
+        wide = "<a>" + "<b/>" * 20 + "</a>"
+        assert len(from_xml(wide, max_nodes=None).children) == 20
+
+    def test_default_node_limit_exists(self):
+        assert DEFAULT_MAX_NODES == 100_000
+
+
+class TestErrorPositions:
+    def test_mismatched_tag_position(self):
+        with pytest.raises(TreeSyntaxError) as exc_info:
+            from_xml("<a>\n  <b>\n  </c>\n</a>")
+        error = exc_info.value
+        assert error.line == 3
+        assert error.column == 3
+        assert "(line 3, column 3)" in str(error)
+
+    def test_doctype_position_mid_document(self):
+        with pytest.raises(TreeSyntaxError) as exc_info:
+            from_xml("<a>\n<!DOCTYPE x>\n</a>")
+        assert exc_info.value.line == 2
+        assert exc_info.value.column == 1
+
+    def test_unclosed_element_position_at_eof(self):
+        text = "<a>\n<b>"
+        with pytest.raises(TreeSyntaxError) as exc_info:
+            from_xml(text)
+        assert "unclosed element <b>" in str(exc_info.value)
+        assert exc_info.value.line == 2
+
+    def test_content_after_root_position(self):
+        with pytest.raises(TreeSyntaxError) as exc_info:
+            from_xml("<a/><b/>")
+        assert exc_info.value.column == 5
+
+    def test_text_content_position(self):
+        with pytest.raises(TreeSyntaxError) as exc_info:
+            from_xml("<a>hello</a>")
+        assert exc_info.value.line == 1
+        assert exc_info.value.column == 4
+
+
+class TestBenignInputStillWorks:
+    def test_roundtrip(self):
+        from repro.trees.tree import parse_tree
+
+        tree = parse_tree("store(item(price), item(price, note))")
+        assert from_xml(to_xml(tree)) == tree
+
+    def test_defaults_admit_realistic_documents(self):
+        text = "<r>" + "<x/>" * 500 + "</r>"
+        assert len(from_xml(text).children) == 500
