@@ -65,10 +65,19 @@ def _assert_and_record(record, name, bare, governed):
 
 @pytest.mark.ungoverned
 def test_overhead_determinize(record):
+    # Pin the scalar kernel for both legs: the PR-2 vectorized fast path
+    # only engages ungoverned, so leaving it on would measure the fast
+    # path's speedup (bench_kernels.py's job), not the charging overhead.
+    from repro.strings import kernels
+
     nfa = nth_from_end_is("a", "b", 10)
-    bare, governed = _min_times(
-        lambda b: determinize(nfa, budget=b), lambda: Budget(**GENEROUS)
-    )
+    kernels.USE_FAST_PATH = False
+    try:
+        bare, governed = _min_times(
+            lambda b: determinize(nfa, budget=b), lambda: Budget(**GENEROUS)
+        )
+    finally:
+        kernels.USE_FAST_PATH = True
     _assert_and_record(record, "determinize(nth_from_end, n=10)", bare, governed)
 
 

@@ -1,0 +1,259 @@
+"""EXP-K — PR-2 bitmask kernel speedups: old frozenset loops vs. the
+integer-coded kernels of :mod:`repro.strings.kernels`.
+
+Acceptance measurements for the kernels PR:
+
+* ``determinize`` of the ``theorem_3_2_family`` type automaton at n=14
+  (the paper's exponential blow-up instance) — kernel vs. the preserved
+  reference loop, required >= 5x.
+* ``edtd_includes`` on the benchmark EDTD pairs of
+  ``bench_inclusion.py`` — worklist saturation with early exit vs. the
+  round-based reference, required >= 5x in aggregate.
+* ``moore_partition`` (Hopcroft) vs. the quadratic Moore reference —
+  informational.
+* the memo-cache amortization of repeated ``as_min_dfa`` — informational.
+
+Set ``REPRO_BENCH_SMOKE=1`` to run a small-n slice (used by the CI bench
+smoke job): same code paths, tiny instances, no speedup assertions —
+machine-noise-proof while still catching kernel regressions and
+accidental quadratic re-introductions via the ambient budget.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import record_bench, run_timed
+from repro.core.upper import minimal_upper_approximation
+from repro.families.hard import theorem_3_2_family
+from repro.families.random_schemas import random_edtd
+from repro.schemas.type_automaton import type_automaton
+from repro.strings.determinize import determinize, determinize_reference
+from repro.strings.kernels import cache_stats, clear_caches
+from repro.strings.minimize import moore_partition, moore_partition_reference
+from repro.strings.ops import as_min_dfa
+from repro.tree_automata.inclusion import (
+    bta_difference_empty,
+    bta_difference_empty_reference,
+    bta_from_edtd,
+)
+
+EXPERIMENT = "EXP-K  bitmask kernel speedups (old frozenset loops vs PR-2 kernels)"
+NOTE = "old = pre-PR reference implementations, preserved as differential oracles"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip().lower() in ("1", "true", "yes")
+
+#: Family parameter for the determinize blow-up measurement (2^n subsets).
+DETERMINIZE_N = 8 if SMOKE else 14
+#: Rounds for best-of timing of the old/new comparison.
+ROUNDS = 1 if SMOKE else 3
+#: Benchmark EDTD pairs (same seeds/sizes as bench_inclusion.py).
+INCLUSION_TYPES = [3, 5] if SMOKE else [3, 5, 7, 9]
+#: Family parameter for the Hopcroft-vs-Moore comparison.
+MINIMIZE_N = 5 if SMOKE else 9
+
+
+def _best_of(func, *args, rounds: int = ROUNDS):
+    """Return ``(result, best_seconds)`` over *rounds* runs."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = func(*args)
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+@pytest.mark.ungoverned
+def test_determinize_speedup(record, benchmark):
+    """Kernel subset construction vs. the reference frozenset loop on the
+    theorem-3.2 exponential instance (ungoverned: the vectorized fast
+    path only engages without an ambient budget, matching library use)."""
+    nfa = type_automaton(theorem_3_2_family(DETERMINIZE_N))
+    determinize(nfa)  # warm-up (chunk tables, allocator)
+
+    new_dfa, _ = run_timed(benchmark, determinize, nfa, rounds=ROUNDS)
+    new_seconds = float(benchmark.stats.stats.min)
+    old_dfa, old_seconds = _best_of(determinize_reference, nfa)
+
+    assert new_dfa.states == old_dfa.states
+    assert new_dfa.transitions == old_dfa.transitions
+    assert new_dfa.finals == old_dfa.finals
+    speedup = old_seconds / max(new_seconds, 1e-9)
+    record_bench(
+        "determinize_speedup",
+        n=DETERMINIZE_N,
+        seconds=new_seconds,
+        states=len(new_dfa.states),
+        old_seconds=old_seconds,
+        speedup=round(speedup, 2),
+    )
+    record(
+        EXPERIMENT,
+        {
+            "op": "determinize",
+            "n": DETERMINIZE_N,
+            "dfa_states": len(new_dfa.states),
+            "new_s": f"{new_seconds:.4f}",
+            "old_s": f"{old_seconds:.4f}",
+            "speedup": f"{speedup:.1f}x",
+        },
+        note=NOTE,
+    )
+    if not SMOKE:
+        assert speedup >= 5.0, (
+            f"determinize kernel speedup regressed to {speedup:.1f}x "
+            f"(old {old_seconds:.3f}s vs new {new_seconds:.3f}s)"
+        )
+
+
+@pytest.mark.ungoverned
+def test_edtd_inclusion_speedup(record, benchmark):
+    """On-the-fly worklist inclusion vs. the round-based reference on the
+    benchmark EDTD pairs of bench_inclusion.py."""
+    pairs = []
+    for num_types in INCLUSION_TYPES:
+        rng = random.Random(3300 + num_types)
+        sub = random_edtd(rng, num_labels=3, num_types=num_types)
+        sup = minimal_upper_approximation(sub)
+        pairs.append((num_types, bta_from_edtd(sub), bta_from_edtd(sup)))
+
+    def run_all_new():
+        return [bta_difference_empty(left, right) for _, left, right in pairs]
+
+    answers, _ = run_timed(benchmark, run_all_new, rounds=ROUNDS)
+    new_total = float(benchmark.stats.stats.min)
+    old_total = 0.0
+    for (num_types, left, right), new_answer in zip(pairs, answers):
+        old_answer, old_seconds = _best_of(
+            bta_difference_empty_reference, left, right
+        )
+        new_answer_single, new_seconds = _best_of(
+            bta_difference_empty, left, right
+        )
+        assert new_answer == new_answer_single == old_answer is True
+        old_total += old_seconds
+        pair_speedup = old_seconds / max(new_seconds, 1e-9)
+        record_bench(
+            "edtd_includes_speedup",
+            n=num_types,
+            seconds=new_seconds,
+            old_seconds=old_seconds,
+            speedup=round(pair_speedup, 2),
+        )
+        record(
+            EXPERIMENT,
+            {
+                "op": "edtd_includes",
+                "n": num_types,
+                "dfa_states": "",
+                "new_s": f"{new_seconds:.4f}",
+                "old_s": f"{old_seconds:.4f}",
+                "speedup": f"{pair_speedup:.1f}x",
+            },
+            note=NOTE,
+        )
+
+    aggregate = old_total / max(new_total, 1e-9)
+    record_bench(
+        "edtd_includes_speedup_aggregate",
+        n=len(pairs),
+        seconds=new_total,
+        old_seconds=old_total,
+        speedup=round(aggregate, 2),
+    )
+    record(
+        EXPERIMENT,
+        {
+            "op": "edtd_includes (aggregate)",
+            "n": len(pairs),
+            "dfa_states": "",
+            "new_s": f"{new_total:.4f}",
+            "old_s": f"{old_total:.4f}",
+            "speedup": f"{aggregate:.1f}x",
+        },
+        note=NOTE,
+    )
+    if not SMOKE:
+        assert aggregate >= 5.0, (
+            f"edtd_includes kernel speedup regressed to {aggregate:.1f}x"
+        )
+
+
+@pytest.mark.ungoverned
+def test_hopcroft_vs_moore(record, benchmark):
+    """Hopcroft refinement vs. the quadratic Moore loop (informational —
+    the asymptotic gap only opens on large DFAs)."""
+    dfa = determinize(
+        type_automaton(theorem_3_2_family(MINIMIZE_N))
+    ).completed(type_automaton(theorem_3_2_family(MINIMIZE_N)).alphabet)
+    initial = {state: (state in dfa.finals) for state in dfa.states}
+
+    fast, _ = run_timed(
+        benchmark, moore_partition, dfa.states, dfa.alphabet,
+        dfa.transitions, initial, rounds=ROUNDS,
+    )
+    new_seconds = float(benchmark.stats.stats.min)
+    slow, old_seconds = _best_of(
+        moore_partition_reference, dfa.states, dfa.alphabet,
+        dfa.transitions, initial,
+    )
+    assert fast == slow
+    speedup = old_seconds / max(new_seconds, 1e-9)
+    record_bench(
+        "minimize_speedup",
+        n=MINIMIZE_N,
+        seconds=new_seconds,
+        states=len(dfa.states),
+        old_seconds=old_seconds,
+        speedup=round(speedup, 2),
+    )
+    record(
+        EXPERIMENT,
+        {
+            "op": "moore_partition",
+            "n": MINIMIZE_N,
+            "dfa_states": len(dfa.states),
+            "new_s": f"{new_seconds:.4f}",
+            "old_s": f"{old_seconds:.4f}",
+            "speedup": f"{speedup:.1f}x",
+        },
+        note=NOTE,
+    )
+
+
+def test_memo_cache_amortization(record, benchmark):
+    """Warm-cache ``as_min_dfa`` hits skip the whole pipeline; the hit
+    counters land in BENCH_kernels.json's cache section."""
+    clear_caches()
+    pattern = "(a | b)*, a, (a | b), (a | b), (a | b)"
+    _, cold_seconds = _best_of(as_min_dfa, pattern, rounds=1)
+
+    result, _ = run_timed(benchmark, as_min_dfa, pattern, rounds=ROUNDS)
+    warm_seconds = float(benchmark.stats.stats.min)
+    stats = cache_stats()["min_dfa"]
+    assert stats["hits"] >= 1
+    assert result is as_min_dfa(pattern)
+    record_bench(
+        "min_dfa_cache_amortization",
+        seconds=warm_seconds,
+        cache_hits=stats["hits"],
+        cold_seconds=cold_seconds,
+        misses=stats["misses"],
+    )
+    record(
+        EXPERIMENT,
+        {
+            "op": "as_min_dfa (warm cache)",
+            "n": "",
+            "dfa_states": len(result.states),
+            "new_s": f"{warm_seconds:.6f}",
+            "old_s": f"{cold_seconds:.6f}",
+            "speedup": f"{cold_seconds / max(warm_seconds, 1e-9):.0f}x",
+        },
+        note=NOTE,
+    )

@@ -9,18 +9,32 @@ experiment tables in the terminal summary, so
     pytest benchmarks/ --benchmark-only | tee bench_output.txt
 
 captures both the timing table and the reproduction tables.
+
+Since PR 2 every run additionally lands in ``BENCH_kernels.json`` (path
+overridable via ``REPRO_BENCH_JSON``): :func:`run_timed` routes every
+timing through :func:`record_bench`, which records machine-readable rows
+(op, n, wall time, states, cache hits), and the reproduction tables are
+dumped alongside — so the repo's perf trajectory is diffable from this
+PR onward.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from collections import OrderedDict
 
 import pytest
 
 from repro.runtime import Budget
+from repro.runtime.budget import current_budget
+from repro.strings.kernels import cache_stats
 
 _TABLES: "OrderedDict[str, dict]" = OrderedDict()
+_BENCH_ROWS: list[dict] = []
+
+#: Default output path of the machine-readable results (repo root).
+BENCH_JSON_DEFAULT = os.path.join(os.path.dirname(__file__), "..", "BENCH_kernels.json")
 
 #: Per-test governor defaults — generous enough that every benchmark in
 #: the sweep completes unchanged, tight enough that a regression (or a
@@ -86,16 +100,52 @@ def record():
     return record_row
 
 
+def record_bench(
+    op: str,
+    *,
+    n=None,
+    seconds: float | None = None,
+    states: int | None = None,
+    cache_hits: int | None = None,
+    **extra,
+) -> None:
+    """Shared machine-readable writer: one structured result row destined
+    for ``BENCH_kernels.json``.
+
+    Every benchmark module writes through here — either explicitly or via
+    :func:`run_timed` — so the JSON schema stays uniform across the suite.
+    """
+    row: dict = {"op": op, "n": n, "seconds": seconds, "states": states,
+                 "cache_hits": cache_hits}
+    row.update(extra)
+    _BENCH_ROWS.append(row)
+
+
+def _total_cache_hits() -> int:
+    return sum(stats["hits"] for stats in cache_stats().values())
+
+
 def run_timed(benchmark, func, *args, rounds: int = 1, **kwargs):
     """Run *func* under pytest-benchmark and return ``(result, seconds)``.
 
     Heavy constructions use ``rounds=1`` so the sweep stays fast; the
-    mean time still lands in the benchmark table.
+    mean time still lands in the benchmark table.  Each call also records
+    a structured row (op, wall time, budget states, kernel cache hits)
+    through :func:`record_bench`.
     """
+    hits_before = _total_cache_hits()
+    budget = current_budget()
+    states_before = budget.states if budget is not None else None
     result = benchmark.pedantic(
         func, args=args, kwargs=kwargs, rounds=rounds, iterations=1
     )
     seconds = float(benchmark.stats.stats.mean) if benchmark.stats else float("nan")
+    record_bench(
+        getattr(benchmark, "name", getattr(func, "__name__", str(func))),
+        seconds=seconds,
+        states=(budget.states - states_before) if budget is not None else None,
+        cache_hits=_total_cache_hits() - hits_before,
+    )
     return result, seconds
 
 
@@ -116,6 +166,7 @@ def _format_table(rows: list[dict]) -> list[str]:
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    _write_bench_json()
     if not _TABLES:
         return
     write = terminalreporter.write_line
@@ -131,3 +182,26 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         if table["rows"]:
             for line in _format_table(table["rows"]):
                 write("  " + line)
+
+
+def _write_bench_json() -> None:
+    """Dump the structured rows and reproduction tables to
+    ``BENCH_kernels.json`` (set ``REPRO_BENCH_JSON`` to redirect, or to
+    ``none`` to skip)."""
+    if not _BENCH_ROWS and not _TABLES:
+        return
+    path = os.environ.get("REPRO_BENCH_JSON", BENCH_JSON_DEFAULT)
+    if path.strip().lower() in ("", "0", "none", "off"):
+        return
+    payload = {
+        "schema": 1,
+        "results": _BENCH_ROWS,
+        "tables": {
+            name: {"note": table["note"], "rows": table["rows"]}
+            for name, table in _TABLES.items()
+        },
+        "cache": cache_stats(),
+    }
+    with open(os.path.abspath(path), "w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")

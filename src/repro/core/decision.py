@@ -70,7 +70,11 @@ def is_single_type_definable(edtd: EDTD, *, budget=None) -> bool:
     ``L(edtd) in ST-REG`` iff the minimal upper approximation changes
     nothing: ``L(upper(edtd)) subseteq L(edtd)`` (the other containment
     always holds).  The containment of a single-type EDTD in a general EDTD
-    is checked exactly via tree automata.
+    is checked exactly via tree automata — since PR 2 by the on-the-fly
+    worklist saturation of
+    :func:`repro.tree_automata.inclusion.bta_difference_empty`, which
+    exits early on the first counterexample tree, so non-definable inputs
+    are usually refuted long before the pair space saturates.
 
     Under a budget this raises :class:`repro.errors.BudgetExceededError` on
     exhaustion; use :func:`single_type_definability` for the three-valued

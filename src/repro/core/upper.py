@@ -36,7 +36,7 @@ from repro.schemas.ops import (
 from repro.schemas.st_edtd import SingleTypeEDTD
 from repro.schemas.type_automaton import type_automaton
 from repro.strings.determinize import determinize
-from repro.strings.minimize import minimize_dfa
+from repro.strings.kernels import cached_min_dfa
 from repro.strings.nfa import NFA
 
 
@@ -94,9 +94,10 @@ def minimal_upper_approximation(
                 if budget is not None:
                     budget.tick(1)
                 union_nfa = _content_union(reduced, subset)
-                rules[subset] = minimize_dfa(
-                    determinize(union_nfa, budget=budget), budget=budget
-                )
+                # Memoized: merged-type unions repeat across subsets (and
+                # across constructions); hits recharge *budget* with the
+                # recorded construction cost so trips stay deterministic.
+                rules[subset] = cached_min_dfa(union_nfa, budget=budget)
         except BudgetExceededError as error:
             # A checkpoint raised here belongs to a *content* NFA, not the
             # type automaton — it must not be fed back into a resumed run.

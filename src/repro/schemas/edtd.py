@@ -21,11 +21,10 @@ from collections import deque
 from collections.abc import Hashable, Iterable, Mapping
 
 from repro.errors import SchemaError
-from repro.strings.determinize import determinize
 from repro.strings.dfa import DFA
+from repro.strings.kernels import cached_content_model, cached_min_dfa
 from repro.strings.minimize import minimize_dfa
 from repro.strings.nfa import NFA
-from repro.strings.ops import as_min_dfa
 from repro.strings.regex import Regex
 from repro.trees.tree import Tree
 
@@ -74,13 +73,15 @@ class EDTD:
         self.rules: dict[Type, DFA] = {}
         for type_ in self.types:
             content = rules.get(type_, "~")
-            dfa = as_min_dfa(content)
-            if not dfa.alphabet <= self.types:
+            try:
+                # Memoized pipeline (minimal DFA, completed over the type
+                # set, trimmed) — leaf content models and shared retagged
+                # models are interned across schema constructions.
+                self.rules[type_] = cached_content_model(content, self.types)
+            except SchemaError as error:
                 raise SchemaError(
-                    f"content model of type {type_!r} uses unknown types: "
-                    f"{set(dfa.alphabet) - set(self.types)!r}"
-                )
-            self.rules[type_] = dfa.completed(self.types).trim()
+                    f"content model of type {type_!r}: {error}"
+                ) from None
 
     # ------------------------------------------------------------------
     # Structure
@@ -94,10 +95,11 @@ class EDTD:
         """``mu(d(type_))`` — the content model projected to ``Sigma``.
 
         The projection of a DFA under ``mu`` may be non-deterministic; the
-        result is re-determinized and minimized.
+        result is re-determinized and minimized (memoized — Lemma 3.3's
+        inclusion test asks for the same projections over and over).
         """
         image = self.rules[type_].to_nfa().map_symbols(lambda t: self.mu[t])
-        return minimize_dfa(determinize(image))
+        return cached_min_dfa(image)
 
     def label(self, type_: Type) -> Symbol:
         """``mu(type_)``."""

@@ -30,7 +30,7 @@ from repro.schemas.st_edtd import SingleTypeEDTD
 from repro.schemas.type_automaton import Q_INIT, type_automaton
 from repro.strings.builders import sigma_star
 from repro.strings.dfa import DFA
-from repro.strings.minimize import minimize_dfa
+from repro.strings.kernels import cached_min_dfa
 
 Symbol = Hashable
 Type = Hashable
@@ -227,7 +227,7 @@ def complement_edtd(schema: SingleTypeEDTD, *, budget=None) -> EDTD:
         # Part 2: child strings with exactly one Delta-typed child
         # (continuing the guessed path); all other children are Sigma-typed.
         part2 = _one_marked_child(alphabet, automaton, tau)
-        rules[("t", tau)] = minimize_dfa(part1.union(part2), budget=budget)
+        rules[("t", tau)] = cached_min_dfa(part1.union(part2), budget=budget)
 
     starts = {("t", tau) for tau in reduced.starts}
     starts |= {("sym", a) for a in alphabet - reduced.start_symbols()}
@@ -244,8 +244,20 @@ def _dfa_union(left: DFA, right: DFA) -> DFA:
     return left.union(right)
 
 
+#: ``Sigma* -> ("sym", .)*`` retags are identical for every type of a
+#: complement construction (and across constructions over the same
+#: alphabet), so intern them per alphabet.
+_SIGMA_STAR_CACHE: dict[frozenset, DFA] = {}
+
+
 def _retag_sigma_star(alphabet: frozenset) -> DFA:
-    return _retag_content(sigma_star(alphabet), lambda a: ("sym", a))
+    dfa = _SIGMA_STAR_CACHE.get(alphabet)
+    if dfa is None:
+        dfa = _retag_content(sigma_star(alphabet), lambda a: ("sym", a))
+        if len(_SIGMA_STAR_CACHE) >= 256:
+            _SIGMA_STAR_CACHE.pop(next(iter(_SIGMA_STAR_CACHE)))
+        _SIGMA_STAR_CACHE[alphabet] = dfa
+    return dfa
 
 
 def _one_marked_child(alphabet: frozenset, automaton: DFA, tau: Type) -> DFA:
@@ -434,4 +446,4 @@ def _difference_pair_content(
         if (flag == 1 and in_f2) or (flag == 0 and not in_f2):
             finals.add((q1, q2, flag))
     dfa = DFA(states, symbols, transitions, initial, finals)
-    return minimize_dfa(dfa, budget=budget)
+    return cached_min_dfa(dfa, budget=budget)

@@ -9,6 +9,8 @@ Public API:
 * :func:`~repro.strings.glushkov.glushkov_nfa` — state-labeled NFAs
 * :mod:`~repro.strings.ops` — coercions and decision procedures
 * :mod:`~repro.strings.builders` — the paper's concrete languages
+* :mod:`~repro.strings.kernels` — integer-coded bitmask hot loops and the
+  structural memo cache (see ``docs/PERFORMANCE.md``)
 """
 
 from repro.strings.derivatives import derivative, dfa_from_regex, matches, normalize
@@ -16,6 +18,15 @@ from repro.strings.determinize import determinize
 from repro.strings.dfa import DFA
 from repro.strings.glushkov import glushkov_nfa, is_deterministic_expression
 from repro.strings.hopcroft import hopcroft_minimize
+from repro.strings.kernels import (
+    cache_stats,
+    cached_min_dfa,
+    clear_caches,
+    hopcroft_refine,
+    nfa_includes,
+    structural_key,
+    subset_construction,
+)
 from repro.strings.minimize import minimal_dfa_equal, minimize_dfa, moore_partition
 from repro.strings.nfa import NFA
 from repro.strings.ops import (
@@ -50,6 +61,9 @@ __all__ = [
     "as_dfa",
     "as_min_dfa",
     "as_nfa",
+    "cache_stats",
+    "cached_min_dfa",
+    "clear_caches",
     "concat",
     "count_words_by_length",
     "derivative",
@@ -61,6 +75,7 @@ __all__ = [
     "equivalent",
     "glushkov_nfa",
     "hopcroft_minimize",
+    "hopcroft_refine",
     "includes",
     "is_deterministic_expression",
     "is_empty",
@@ -68,9 +83,12 @@ __all__ = [
     "minimal_dfa_equal",
     "minimize_dfa",
     "moore_partition",
+    "nfa_includes",
     "parse",
     "sample_word",
     "shortest_word",
+    "structural_key",
+    "subset_construction",
     "sym",
     "union",
 ]

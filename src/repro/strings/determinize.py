@@ -68,8 +68,33 @@ def determinize(
     ``keep_empty=True`` to keep it (producing a complete DFA).
 
     *budget* (or the ambient ``with Budget(...):`` default) bounds the
-    construction; *checkpoint* resumes a previous budget-interrupted run.
+    construction; *checkpoint* resumes a previous budget-interrupted run —
+    checkpoints are interchangeable between this function and
+    :func:`determinize_reference` (same frozenset format, same charge
+    sequence).
+
+    Since PR 2 the BFS runs on the integer-coded bitmask kernel
+    (:func:`repro.strings.kernels.subset_construction`); subset states
+    are interned int masks and the frozenset views are reconstructed only
+    at this API boundary.
     """
+    from repro.strings.kernels import subset_construction
+
+    return subset_construction(
+        nfa, keep_empty=keep_empty, budget=budget, checkpoint=checkpoint
+    )
+
+
+def determinize_reference(
+    nfa: NFA,
+    *,
+    keep_empty: bool = False,
+    budget=None,
+    checkpoint: SubsetCheckpoint | None = None,
+) -> DFA:
+    """Frozenset-based subset construction — the pre-kernel implementation,
+    kept as the differential-testing oracle for
+    :func:`repro.strings.kernels.subset_construction`."""
     budget = resolve_budget(budget)
     initial = nfa.initials
     if checkpoint is None:

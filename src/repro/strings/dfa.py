@@ -58,6 +58,23 @@ class DFA:
         self.finals: frozenset[State] = frozenset(finals)
         self._validate()
 
+    @classmethod
+    def _from_parts(cls, states, alphabet, transitions, initial, finals) -> "DFA":
+        """Trusted internal constructor: skips :meth:`_validate`.
+
+        Only for construction sites that produce the invariants by
+        *construction* (the bitmask kernels decode every state, symbol and
+        transition from the same coded tables, so re-checking them is pure
+        overhead on the hot path).
+        """
+        self = object.__new__(cls)
+        self.states = frozenset(states)
+        self.alphabet = frozenset(alphabet)
+        self.transitions = transitions if type(transitions) is dict else dict(transitions)
+        self.initial = initial
+        self.finals = frozenset(finals)
+        return self
+
     def _validate(self) -> None:
         if self.initial not in self.states:
             raise AutomatonError("initial state must be a state")

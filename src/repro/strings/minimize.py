@@ -13,6 +13,12 @@ Two flavours are provided:
   reference [20]): a DFA-based XSD is a Moore machine mapping ancestor
   strings to content models, and merging Moore-equivalent states yields the
   type-minimal XSD.
+
+Since PR 2 the refinement engine is Hopcroft's O(n log n) "smaller half"
+worklist on integer-coded states
+(:func:`repro.strings.kernels.hopcroft_refine`); the original quadratic
+signature-re-hashing loop is kept as :func:`moore_partition_reference`
+for differential testing.
 """
 
 from __future__ import annotations
@@ -39,10 +45,34 @@ def moore_partition(
     *delta* must be total on ``states x alphabet``.  Returns a mapping from
     each state to its block index; two states get the same index iff they are
     Moore-equivalent (same output class now and after every input word).
+    Block indices are assigned in first-occurrence order over *states*.
 
-    Polynomial, but its inputs can be exponentially large outputs of the
-    subset construction, so refinement rounds are governed: one step is
-    charged per state signature per round.
+    Runs Hopcroft's O(|delta| log n) refinement
+    (:func:`repro.strings.kernels.hopcroft_refine`).  Polynomial, but its
+    inputs can be exponentially large outputs of the subset construction,
+    so the refinement work is governed (steps charged per predecessor
+    scanned, flushed in batches).
+    """
+    from repro.strings.kernels import hopcroft_refine
+
+    return hopcroft_refine(
+        states, alphabet, delta, initial_partition, budget=budget
+    )
+
+
+def moore_partition_reference(
+    states: Iterable[State],
+    alphabet: Iterable[Symbol],
+    delta: Mapping[tuple[State, Symbol], State],
+    initial_partition: Mapping[State, Hashable],
+    *,
+    budget=None,
+) -> dict[State, int]:
+    """Quadratic Moore refinement loop — the pre-kernel implementation,
+    kept as the differential-testing oracle for
+    :func:`repro.strings.kernels.hopcroft_refine`.
+
+    One step is charged per state signature per round.
     """
     budget = resolve_budget(budget)
     states = list(states)

@@ -16,7 +16,6 @@ from repro.errors import AutomatonError
 from repro.strings.determinize import determinize
 from repro.strings.dfa import DFA
 from repro.strings.glushkov import glushkov_nfa
-from repro.strings.minimize import minimize_dfa
 from repro.strings.nfa import NFA
 from repro.strings.regex import Regex, parse
 
@@ -50,8 +49,16 @@ def as_dfa(language: DFA | NFA | Regex | str) -> DFA:
 
 def as_min_dfa(language: DFA | NFA | Regex | str) -> DFA:
     """Coerce *language* to the minimal (trim) DFA — the paper's canonical
-    content-model representation (Section 2.2)."""
-    return minimize_dfa(as_dfa(language))
+    content-model representation (Section 2.2).
+
+    Memoized through :func:`repro.strings.kernels.cached_min_dfa`:
+    structurally-equal inputs return the *same* (interned, treat as
+    immutable) DFA object, and cache hits recharge the ambient budget
+    with the recorded construction cost.
+    """
+    from repro.strings.kernels import cached_min_dfa
+
+    return cached_min_dfa(language)
 
 
 # ----------------------------------------------------------------------
@@ -66,36 +73,46 @@ def is_empty(language: DFA | NFA | Regex | str) -> bool:
 
 def is_universal(language: DFA | NFA | Regex | str, alphabet: Iterable[Symbol]) -> bool:
     """True iff the language equals ``Sigma*`` over *alphabet*."""
-    dfa = as_dfa(language).completed(alphabet)
-    complement = dfa.complement(alphabet)
-    restricted = _restrict_alphabet(complement, frozenset(alphabet))
-    return restricted.is_empty_language()
-
-
-def _restrict_alphabet(dfa: DFA, alphabet: frozenset) -> DFA:
-    transitions = {
-        (src, sym): dst
-        for (src, sym), dst in dfa.transitions.items()
-        if sym in alphabet
-    }
-    return DFA(dfa.states, alphabet, transitions, dfa.initial, dfa.finals)
+    alphabet = frozenset(alphabet)
+    sink = "__universal__"
+    sigma_star = DFA(
+        {sink},
+        alphabet,
+        {(sink, symbol): sink for symbol in alphabet},
+        sink,
+        {sink},
+    )
+    return includes(language, sigma_star)
 
 
 def includes(
     sup: DFA | NFA | Regex | str,
     sub: DFA | NFA | Regex | str,
 ) -> bool:
-    """True iff ``L(sub)`` is a subset of ``L(sup)``."""
-    sub_dfa = as_dfa(sub)
-    sup_dfa = as_dfa(sup)
-    return sub_dfa.difference(sup_dfa).is_empty_language()
+    """True iff ``L(sub)`` is a subset of ``L(sup)``.
+
+    Decided on the fly (:func:`repro.strings.kernels.nfa_includes`): the
+    product of the two lazily-determinized automata is explored BFS and
+    the search aborts on the first counterexample instead of
+    materializing the full difference automaton.
+    """
+    from repro.strings.kernels import nfa_includes
+
+    return nfa_includes(as_nfa(sup), as_nfa(sub))
 
 
 def equivalent(
     left: DFA | NFA | Regex | str,
     right: DFA | NFA | Regex | str,
 ) -> bool:
-    """True iff both languages are equal."""
+    """True iff both languages are equal.
+
+    Two on-the-fly inclusion passes with early exit (not
+    minimize-both-and-compare), so unequal languages are usually refuted
+    after exploring only a short counterexample prefix.  Unequal
+    alphabets are fine: symbols missing from one side simply send its
+    lazy subset to the rejecting empty set.
+    """
     return includes(left, right) and includes(right, left)
 
 

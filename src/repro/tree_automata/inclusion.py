@@ -91,8 +91,124 @@ def bta_difference_empty(left: BTA, right: BTA, *, budget=None) -> bool:
     of *left* with the (on-the-fly) determinization of *right*.
 
     The reachable ``(state, subset)`` pair space is the EXPTIME part of
-    Theorem 2.13, so the saturation loop is governed: one state per pair
-    discovered, one step per pair-pair-label combination examined.
+    Theorem 2.13, so the saturation is governed: one state per pair
+    discovered, one step per combination examined.
+
+    Since PR 2 this is a worklist saturation on integer-coded right
+    subsets: each discovered pair is combined once with the pairs known
+    so far (instead of re-scanning the full pair set every round), right
+    subsets are int bitmasks, and the search **exits early** on the first
+    counterexample pair — a left-final state whose right subset misses
+    every right final — rather than saturating first and scanning after.
+    The original quadratic loop is kept as
+    :func:`bta_difference_empty_reference` for differential testing.
+    """
+    budget = resolve_budget(budget)
+    # Integer-code the right automaton: subsets become int bitmasks.
+    right_order = sorted(right.states, key=repr)
+    right_code = {state: i for i, state in enumerate(right_order)}
+
+    def right_mask(states: Iterable) -> int:
+        mask = 0
+        for state in states:
+            mask |= 1 << right_code[state]
+        return mask
+
+    right_finals = right_mask(right.finals)
+    right_rules: dict = {}
+    for (label, q1, q2), targets in right.internal_rules.items():
+        right_rules.setdefault(label, []).append(
+            (1 << right_code[q1], 1 << right_code[q2], right_mask(targets))
+        )
+
+    # Left internal rules indexed by each child position, so a popped pair
+    # finds its combination partners without scanning every rule.
+    by_first: dict = {}
+    by_second: dict = {}
+    for (label, q1, q2), targets in left.internal_rules.items():
+        targets = tuple(targets)
+        by_first.setdefault(q1, []).append((label, q2, targets))
+        by_second.setdefault(q2, []).append((label, q1, targets))
+
+    left_finals = left.finals
+    seen: set[tuple] = set()
+    by_left: dict = {}  # left state -> list of discovered right masks
+    worklist: deque[tuple] = deque()
+    counterexample = False
+
+    def discover(q, mask: int) -> bool:
+        """Record pair ``(q, mask)``; True iff it is a counterexample."""
+        pair = (q, mask)
+        if pair in seen:
+            return False
+        if q in left_finals and not mask & right_finals:
+            return True  # early exit: a tree in L(left) - L(right)
+        seen.add(pair)
+        by_left.setdefault(q, []).append(mask)
+        worklist.append(pair)
+        if budget is not None:
+            budget.charge_states(1, frontier=len(worklist))
+        return False
+
+    step_cache: dict = {}
+    pending = 0
+    with budget_phase(budget, "bta-inclusion"):
+        for label, left_leaf in left.leaf_rules.items():
+            leaf_mask = right_mask(right.leaf_rules.get(label, frozenset()))
+            for q in left_leaf:
+                if discover(q, leaf_mask):
+                    counterexample = True
+                    break
+            if counterexample:
+                break
+
+        while worklist and not counterexample:
+            q, mask = worklist.popleft()
+            # Combine (q, mask) in both child positions with every pair
+            # discovered so far; pairs discovered later re-run the
+            # combination from their side, so coverage is complete.
+            for position, rules in ((0, by_first.get(q)), (1, by_second.get(q))):
+                if not rules:
+                    continue
+                for label, partner, targets in rules:
+                    masks = by_left.get(partner)
+                    if not masks:
+                        continue
+                    rules_for_label = right_rules.get(label, ())
+                    for other in list(masks):
+                        m1, m2 = (mask, other) if position == 0 else (other, mask)
+                        key = (label, m1, m2)
+                        subset = step_cache.get(key)
+                        if subset is None:
+                            subset = 0
+                            for b1, b2, tmask in rules_for_label:
+                                if m1 & b1 and m2 & b2:
+                                    subset |= tmask
+                            step_cache[key] = subset
+                        if budget is not None:
+                            pending += 1
+                            if pending >= 256:
+                                budget.tick(pending, frontier=len(worklist))
+                                pending = 0
+                        for target in targets:
+                            if discover(target, subset):
+                                counterexample = True
+                                break
+                        if counterexample:
+                            break
+                    if counterexample:
+                        break
+                if counterexample:
+                    break
+        if budget is not None and pending:
+            budget.tick(pending, frontier=len(worklist))
+    return not counterexample
+
+
+def bta_difference_empty_reference(left: BTA, right: BTA, *, budget=None) -> bool:
+    """Round-based full-rescan saturation — the pre-kernel implementation,
+    kept as the differential-testing oracle for
+    :func:`bta_difference_empty`.
     """
     budget = resolve_budget(budget)
     alphabet = left.alphabet | right.alphabet

@@ -78,6 +78,21 @@ class TestDecisions:
         assert equivalent("(a | b)*", "(b | a)*")
         assert not equivalent("a*", "a+")
 
+    def test_equivalent_unequal_alphabets(self):
+        # The on-the-fly product only walks the sub-side's symbols, so
+        # languages that merely *mention* different alphabets but agree on
+        # their words compare equal ...
+        from repro.strings.dfa import DFA
+
+        padded = DFA({0}, {"a", "b"}, {(0, "a"): 0}, 0, {0})  # a* over {a,b}
+        assert equivalent("a*", padded)
+        assert equivalent(padded, "a*")
+        # ... while a word over a symbol the other side lacks is found as
+        # an early counterexample.
+        assert not equivalent("a | b", "a | c")
+        assert not equivalent(padded, "(a | b)*")
+        assert not equivalent("#", "b")
+
 
 class TestEnumeration:
     def test_shortlex_order(self):

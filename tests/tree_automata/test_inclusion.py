@@ -13,6 +13,8 @@ from repro.schemas.edtd import EDTD
 from repro.schemas.ops import complement_edtd, edtd_union
 from repro.schemas.st_edtd import SingleTypeEDTD
 from repro.tree_automata.inclusion import (
+    bta_difference_empty,
+    bta_difference_empty_reference,
     bta_from_edtd,
     edtd_equivalent,
     edtd_includes,
@@ -83,6 +85,44 @@ class TestInclusion:
         if bounded_counterexample:
             assert not exact, seed
         # (no assertion in the other direction: witnesses can be larger)
+
+
+class TestWorklistDifferential:
+    """The PR-2 worklist saturation with early exit must agree with the
+    round-based reference on every instance."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_pairs(self, seed):
+        rng = random.Random(500 + seed)
+        left = bta_from_edtd(random_edtd(rng, num_labels=2, num_types=3))
+        right = bta_from_edtd(random_edtd(rng, num_labels=2, num_types=3))
+        assert bta_difference_empty(left, right) == (
+            bta_difference_empty_reference(left, right)
+        )
+        assert bta_difference_empty(right, left) == (
+            bta_difference_empty_reference(right, left)
+        )
+
+    def test_positive_and_negative_instances(self, store_schema, ab_star_schema):
+        store = bta_from_edtd(store_schema)
+        universal = bta_from_edtd(universal_edtd(store_schema.alphabet))
+        assert bta_difference_empty(store, store)
+        assert bta_difference_empty(store, universal)
+        assert not bta_difference_empty(universal, store)
+        other = bta_from_edtd(ab_star_schema)
+        assert bta_difference_empty_reference(other, store) == (
+            bta_difference_empty(other, store)
+        )
+
+    def test_early_exit_is_cheap_on_non_inclusion(self):
+        # universal ⊄ example: a counterexample tree exists near the root,
+        # so the worklist run finishes under a budget the reference's full
+        # saturation could never respect.
+        left = bta_from_edtd(universal_edtd({"a", "b"}))
+        right = bta_from_edtd(example_2_6())
+        from repro.runtime.budget import Budget
+
+        assert not bta_difference_empty(left, right, budget=Budget(max_steps=5000))
 
 
 class TestEquivalenceUniversality:
