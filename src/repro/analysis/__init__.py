@@ -1,0 +1,76 @@
+"""repro-lint: AST-based invariant checking for this repository.
+
+The paper's constructions are worst-case exponential, which is why PR 1
+threaded :class:`repro.runtime.Budget` through every closure / determinize
+/ inclusion loop and PR 2 split the hot paths into integer-coded kernels
+with ``*_reference`` differential oracles.  This package makes those
+contracts — plus the determinism and error-taxonomy conventions the
+regression suite pins — mechanically checkable on every commit:
+
+========  =========================  ==========================================
+Rule      Name                       Invariant
+========  =========================  ==========================================
+``R001``  governed-loop              worklist/fixpoint loops in governed
+                                     packages charge the Budget (or carry an
+                                     explicit ``# ungoverned:`` marker)
+``R002``  deterministic-iteration    no hash-order iteration where state
+                                     numbers are assigned or output is emitted
+``R003``  kernel-boundary            frozenset-of-frozensets hot loops stay
+                                     inside ``kernels.py`` / ``*_reference``
+``R004``  error-taxonomy             no bare/broad excepts; only the
+                                     ``repro.errors`` taxonomy crosses the API
+``R005``  frozen-mutation            no attribute assignment on frozen
+                                     dataclass instances outside sanctioned
+                                     factories
+========  =========================  ==========================================
+
+Run it as ``python -m repro.analysis [paths]`` (see ``--help``) or use the
+pytest-importable API: :func:`analyze_paths` / :func:`analyze_source` plus
+:func:`~repro.analysis.baseline.apply_baseline`.  ``docs/ANALYSIS.md`` has
+the full catalog, pragma syntax, and baseline workflow.
+"""
+
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    BaselineResult,
+    apply_baseline,
+)
+from repro.analysis.engine import (
+    ModuleContext,
+    Rule,
+    analyze_paths,
+    analyze_source,
+    collect_files,
+    default_rules,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import (
+    ALL_RULES,
+    DeterministicIterationRule,
+    ErrorTaxonomyRule,
+    FrozenMutationRule,
+    GovernedLoopRule,
+    KernelBoundaryRule,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "BaselineEntry",
+    "BaselineResult",
+    "DeterministicIterationRule",
+    "ErrorTaxonomyRule",
+    "Finding",
+    "FrozenMutationRule",
+    "GovernedLoopRule",
+    "KernelBoundaryRule",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "analyze_paths",
+    "analyze_source",
+    "apply_baseline",
+    "collect_files",
+    "default_rules",
+]

@@ -1,0 +1,14 @@
+"""Command-line entry point: ``python -m repro.analysis [paths]``.
+
+Exit codes: 0 — clean (modulo baseline); 1 — new findings; 2 — usage
+error.  ``--format json`` emits a machine-readable report for CI.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Checked-in baseline of grandfathered findings.
+
+A baseline entry acknowledges one existing finding *with a one-line
+justification* so the analysis can gate CI on the invariant "no new
+violations" without forcing a flag-day cleanup.  Matching is by
+:attr:`~repro.analysis.findings.Finding.fingerprint` — (rule, path,
+enclosing scope, stripped source line) — so unrelated edits that shift
+line numbers do not invalidate entries, while edits to the flagged line
+itself do (the finding then resurfaces as *new* and must be re-justified
+or fixed).
+
+Baseline entries are consumed multiset-style: two identical findings need
+two entries.  Entries that no longer match anything are reported as
+*stale* so the baseline shrinks as the code heals.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+Fingerprint = tuple[str, str, str, str]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    context: str
+    snippet: str
+    justification: str
+
+    @property
+    def fingerprint(self) -> Fingerprint:
+        return (self.rule, self.path, self.context, self.snippet)
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "context": self.context,
+            "snippet": self.snippet,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        entries = [
+            BaselineEntry(
+                rule=item["rule"],
+                path=item["path"],
+                context=item["context"],
+                snippet=item["snippet"],
+                justification=item.get("justification", ""),
+            )
+            for item in data.get("entries", [])
+        ]
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], justification: str = "TODO: justify"
+    ) -> "Baseline":
+        return cls(
+            entries=[
+                BaselineEntry(
+                    rule=f.rule,
+                    path=f.path,
+                    context=f.context,
+                    snippet=f.snippet,
+                    justification=justification,
+                )
+                for f in findings
+            ]
+        )
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of filtering findings through a baseline."""
+
+    new: list[Finding]
+    suppressed: list[Finding]
+    stale: list[BaselineEntry]
+
+
+def apply_baseline(findings: list[Finding], baseline: Baseline | None) -> BaselineResult:
+    """Split *findings* into new vs. baseline-suppressed; report stale entries."""
+    if baseline is None:
+        return BaselineResult(new=list(findings), suppressed=[], stale=[])
+    budget = Counter(entry.fingerprint for entry in baseline.entries)
+    new: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        if budget.get(finding.fingerprint, 0) > 0:
+            budget[finding.fingerprint] -= 1
+            suppressed.append(finding)
+        else:
+            new.append(finding)
+    stale = [entry for entry in baseline.entries if budget.get(entry.fingerprint, 0) > 0]
+    for entry in stale:
+        budget[entry.fingerprint] -= 1
+    return BaselineResult(new=new, suppressed=suppressed, stale=stale)

@@ -1,0 +1,92 @@
+"""Findings model for the repro-lint static analysis pass.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+are value objects: they carry everything a reviewer (or CI) needs — the
+rule id, severity, location, message, and a fix hint — plus a *fingerprint*
+that identifies the finding across unrelated line-number drift, which is
+what the baseline mechanism (:mod:`repro.analysis.baseline`) keys on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings gate CI; ``WARNING`` findings gate CI too but mark
+    rules whose static approximation is coarser (reviewers should expect
+    the occasional justified baseline entry).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule:
+        Rule id (``"R001"`` .. ``"R005"``).
+    severity:
+        :class:`Severity` of the owning rule.
+    path:
+        Path of the offending file, normalized to ``/`` separators and
+        relative to the analysis root when possible.
+    line, col:
+        1-based line and 0-based column of the offending node.
+    message:
+        One-sentence statement of the violation.
+    hint:
+        How to fix it (or how to mark it as intentional).
+    context:
+        Dotted qualified name of the enclosing class/function scope
+        (``"<module>"`` at top level).  Part of the fingerprint.
+    snippet:
+        The stripped source line.  Part of the fingerprint.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str
+    context: str
+    snippet: str
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str, str]:
+        """Line-number-independent identity used for baseline matching."""
+        return (self.rule, self.path, self.context, self.snippet)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (machine-readable CI output)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "context": self.context,
+            "snippet": self.snippet,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable rendering (``path:line:col: Rxxx ...``)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity}] {self.message} ({self.context})"
+        )

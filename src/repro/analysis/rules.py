@@ -1,0 +1,632 @@
+"""The repro-lint rule catalog (R001–R005).
+
+Each rule encodes one repo-specific invariant that otherwise lives only in
+reviewers' heads — see ``docs/ANALYSIS.md`` for the catalog with examples
+and the rationale tying each rule back to the PR-1 governor and PR-2
+kernel contracts.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from collections.abc import Iterator
+
+from repro.analysis.engine import ModuleContext, Rule
+from repro.analysis.findings import Finding, Severity
+
+#: Packages whose loops run the paper's worst-case-exponential
+#: constructions and therefore fall under the PR-1 budget regime.
+GOVERNED_DIRS = frozenset({"strings", "tree_automata", "closure", "core"})
+
+#: Budget methods whose presence in a loop body counts as governance.
+BUDGET_METHODS = frozenset({"tick", "charge_states", "charge", "check"})
+
+#: Attribute names that are set-typed throughout this codebase (automata
+#: and schema state containers).
+SET_ATTRS = frozenset({"states", "alphabet", "initials", "finals", "starts", "types"})
+
+#: dict view methods — unordered only insofar as the dict's own insertion
+#: order is; flagged in emission contexts where output must be canonical.
+DICT_VIEW_METHODS = frozenset({"keys", "values", "items"})
+
+#: Consumers whose result is independent of iteration order; comprehensions
+#: feeding these directly are exempt from R002's emission-path check.
+ORDER_INDEPENDENT_REDUCERS = frozenset(
+    {"all", "any", "sum", "min", "max", "len", "set", "frozenset", "sorted", "Counter"}
+)
+
+#: Module basenames whose job is emitting canonical output.
+EMISSION_MODULES = frozenset({"pretty.py", "text_format.py", "xsd_export.py", "report.py"})
+
+#: Function-name prefixes that mark output-emitting or numbering code.
+EMISSION_PREFIXES = (
+    "format",
+    "render",
+    "emit",
+    "pretty",
+    "write",
+    "dump",
+    "describe",
+    "report",
+    "to_",
+)
+
+#: Order-insensitive wrappers: iterating a set inside these is fine.
+ORDER_INSENSITIVE_CALLS = frozenset(
+    {"sorted", "set", "frozenset", "len", "sum", "any", "all", "min", "max"}
+)
+
+#: Builtin exceptions that conventionally signal programmer errors and are
+#: allowed to cross the public API alongside the repro.errors taxonomy.
+ALLOWED_BUILTIN_RAISES = frozenset(
+    {
+        "ValueError",
+        "TypeError",
+        "KeyError",
+        "IndexError",
+        "NotImplementedError",
+        "AssertionError",
+        "StopIteration",
+        "StopAsyncIteration",
+        "SystemExit",
+        "KeyboardInterrupt",
+    }
+)
+
+_BUILTIN_EXCEPTION_NAMES = frozenset(
+    name
+    for name, value in vars(builtins).items()
+    if isinstance(value, type) and issubclass(value, BaseException)
+)
+
+
+def _loop_ancestor(ctx: ModuleContext, node: ast.AST) -> ast.AST | None:
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, (ast.While, ast.For, ast.AsyncFor)):
+            return ancestor
+    return None
+
+
+def _while_ancestor(ctx: ModuleContext, node: ast.AST) -> ast.While | None:
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, ast.While):
+            return ancestor
+    return None
+
+
+# ----------------------------------------------------------------------
+# R001 — governed worklist loops
+# ----------------------------------------------------------------------
+
+class GovernedLoopRule(Rule):
+    """Worklist/fixpoint ``while`` loops in governed packages must charge
+    the ambient :class:`repro.runtime.Budget` (or be marked ungoverned).
+
+    A loop is considered a worklist/fixpoint loop when its test is a bare
+    name (``while queue:``, ``while changed:``), an attribute
+    (``while frontier.size:``), ``while True:``, a negation, or a boolean
+    combination starting with one of those — i.e. when nothing in the test
+    syntactically bounds the trip count by the input size.  Bounded scans
+    (``while pos < len(text):``) are exempt, as is any loop nested inside
+    another loop (the outermost loop carries the charging obligation; inner
+    loops amortize into its per-iteration charge).
+
+    Governance is satisfied by a budget method call (``tick`` /
+    ``charge_states`` / ``charge`` / ``check``, also via locally-bound
+    method names) anywhere in the loop body, or by delegating to a callee
+    that accepts a ``budget=`` keyword.
+    """
+
+    rule_id = "R001"
+    title = "governed-loop"
+    severity = Severity.ERROR
+    hint = (
+        "charge the Budget every iteration (budget.tick()/charge_states()), "
+        "delegate to a governed callee with budget=..., or mark the loop "
+        "with `# ungoverned: <reason>`"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:  # type: ignore[override]
+        if not ctx.in_dirs(GOVERNED_DIRS):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While):
+                continue
+            if not self._is_worklist_test(node.test):
+                continue
+            if _loop_ancestor(ctx, node) is not None:
+                continue  # inner loops amortize into the outer loop's charge
+            if self._is_governed(node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                "worklist loop runs without charging the resource budget",
+            )
+
+    @staticmethod
+    def _is_worklist_test(test: ast.expr) -> bool:
+        if isinstance(test, ast.Name):
+            return True
+        if isinstance(test, ast.Attribute):
+            return True
+        if isinstance(test, ast.Constant) and test.value is True:
+            return True
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            return GovernedLoopRule._is_worklist_test(test.operand)
+        if isinstance(test, ast.BoolOp) and test.values:
+            return GovernedLoopRule._is_worklist_test(test.values[0])
+        return False
+
+    @staticmethod
+    def _is_governed(loop: ast.While) -> bool:
+        for child in ast.walk(loop):
+            if not isinstance(child, ast.Call):
+                continue
+            func = child.func
+            if isinstance(func, ast.Attribute) and func.attr in BUDGET_METHODS:
+                return True
+            if isinstance(func, ast.Name) and func.id in BUDGET_METHODS:
+                return True
+            if any(kw.arg == "budget" for kw in child.keywords):
+                return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# R002 — deterministic iteration in numbering/output code
+# ----------------------------------------------------------------------
+
+class DeterministicIterationRule(Rule):
+    """Code that assigns state numbers or emits output must not iterate
+    sets in hash order.
+
+    Two patterns are flagged:
+
+    * ``enumerate(<set-like>)`` anywhere — enumeration indices become
+      state numbers, and hash order silently varies across runs and
+      Python versions, breaking the regression-pinned numberings.
+    * iteration over a set-like value (or a dict view) in *emission*
+      code — ``for``/list- and generator-comprehensions and
+      ``str.join`` arguments inside output-formatting functions — unless
+      wrapped in ``sorted(...)``.
+
+    "Set-like" covers set/frozenset literals, comprehensions and calls,
+    unions/intersections of those, names locally bound to them, and the
+    codebase's set-typed attributes (``.states``, ``.finals``, ...).
+    Set/dict comprehensions *producing* unordered containers are
+    order-insensitive consumers and stay exempt.
+    """
+
+    rule_id = "R002"
+    title = "deterministic-iteration"
+    severity = Severity.ERROR
+    hint = "wrap the iterable in sorted(..., key=repr) or iterate a deterministically ordered container"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:  # type: ignore[override]
+        set_bindings = self._collect_set_bindings(ctx)
+        for node in ast.walk(ctx.tree):
+            # Pattern 1: enumerate over a set-like value, anywhere.
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "enumerate"
+                and node.args
+                and self._is_set_like(node.args[0], set_bindings)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "enumerate() over a set assigns nondeterministic indices",
+                )
+                continue
+            # Pattern 2: unsorted iteration in emission code.
+            if not self._in_emission_context(ctx, node):
+                continue
+            if self._feeds_order_independent_reducer(ctx, node):
+                continue
+            for iterable in self._ordered_iteration_sites(node):
+                if self._is_set_like(iterable, set_bindings) or self._is_dict_view(
+                    iterable
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "output path iterates an unordered container without sorted()",
+                    )
+
+    # -- emission context ----------------------------------------------
+
+    @staticmethod
+    def _in_emission_context(ctx: ModuleContext, node: ast.AST) -> bool:
+        if _basename(ctx.relpath) in EMISSION_MODULES:
+            return True
+        func = ctx.enclosing_function(node)
+        if func is None:
+            return False
+        name = func.name
+        return (
+            name in ("__str__", "__repr__", "__format__")
+            or name.startswith(EMISSION_PREFIXES)
+            or name.lstrip("_").startswith(EMISSION_PREFIXES)
+        )
+
+    @staticmethod
+    def _feeds_order_independent_reducer(ctx: ModuleContext, node: ast.AST) -> bool:
+        """True when *node* is a comprehension consumed by a reducer whose
+        result does not depend on iteration order (``all``, ``sum``, ...) or
+        by a ``sorted()`` that restores determinism."""
+        if not isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            return False
+        parent = ctx.parent(node)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in ORDER_INDEPENDENT_REDUCERS
+            and parent.args
+            and parent.args[0] is node
+        )
+
+    # -- iteration sites ------------------------------------------------
+
+    @staticmethod
+    def _ordered_iteration_sites(node: ast.AST) -> list[ast.expr]:
+        """Expressions *node* iterates in a way where order reaches output."""
+        sites: list[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            sites.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            sites.extend(gen.iter for gen in node.generators)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and node.args
+        ):
+            sites.append(node.args[0])
+        return sites
+
+    # -- set-likeness ---------------------------------------------------
+
+    @classmethod
+    def _collect_set_bindings(cls, ctx: ModuleContext) -> set[str]:
+        """Names assigned from an obviously set-valued expression."""
+        bindings: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None:
+                continue
+            if cls._is_set_like(value, bindings):
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        bindings.add(target.id)
+        return bindings
+
+    @classmethod
+    def _is_set_like(cls, expr: ast.expr, bindings: set[str]) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in bindings
+        if isinstance(expr, ast.Attribute):
+            return expr.attr in SET_ATTRS
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in (
+                "union",
+                "intersection",
+                "difference",
+                "symmetric_difference",
+            ):
+                return cls._is_set_like(func.value, bindings)
+            return False
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return cls._is_set_like(expr.left, bindings) or cls._is_set_like(
+                expr.right, bindings
+            )
+        return False
+
+    @staticmethod
+    def _is_dict_view(expr: ast.expr) -> bool:
+        return (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in DICT_VIEW_METHODS
+            and not expr.args
+        )
+
+
+def _basename(relpath: str) -> str:
+    """Basename of a ``/``-separated relative path."""
+    return relpath.rsplit("/", 1)[-1]
+
+
+# ----------------------------------------------------------------------
+# R003 — kernel boundary
+# ----------------------------------------------------------------------
+
+class KernelBoundaryRule(Rule):
+    """Hot worklist loops must not allocate frozensets per iteration.
+
+    PR 2 moved the library's hot loops onto integer-coded bitmask kernels
+    precisely because frozenset-of-frozensets state makes every membership
+    test re-hash whole subsets.  Inside the governed packages, a
+    ``frozenset(...)`` allocation lexically inside a ``while`` loop body is
+    therefore forbidden outside ``kernels.py``, ``*_reference``
+    differential oracles, and checkpoint ``*_snapshot`` helpers (which
+    exist to decode kernel state back to frozensets at trip time).
+    """
+
+    rule_id = "R003"
+    title = "kernel-boundary"
+    severity = Severity.WARNING
+    hint = (
+        "integer-code the loop state (move the hot path into "
+        "repro.strings.kernels) or rename the function to *_reference if "
+        "it is a differential-testing oracle"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:  # type: ignore[override]
+        if not ctx.in_dirs(GOVERNED_DIRS):
+            return
+        if _basename(ctx.relpath) == "kernels.py":
+            return
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "frozenset"
+                and node.args
+            ):
+                continue
+            if _while_ancestor(ctx, node) is None:
+                continue
+            func = ctx.enclosing_function(node)
+            if func is not None and (
+                func.name.endswith("_reference")
+                or func.name.endswith("_snapshot")
+                or func.name.lstrip("_").startswith("snapshot")
+            ):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                "frozenset allocation inside a worklist loop outside the kernel boundary",
+            )
+
+
+# ----------------------------------------------------------------------
+# R004 — error taxonomy
+# ----------------------------------------------------------------------
+
+class ErrorTaxonomyRule(Rule):
+    """Only the :mod:`repro.errors` taxonomy (plus conventional builtin
+    programmer-error types) crosses the public API.
+
+    Flags bare ``except:``, ``except Exception``/``BaseException`` (single
+    or inside a tuple), and ``raise`` of builtin exceptions outside the
+    allowlist (``Exception``, ``RuntimeError``, ``OSError``, ... must be
+    wrapped in a :class:`repro.errors.ReproError` subclass instead).
+    Raising names the rule cannot resolve statically (locally defined
+    classes, helper factories, imported repro errors) is allowed — mypy
+    owns those.
+    """
+
+    rule_id = "R004"
+    title = "error-taxonomy"
+    severity = Severity.ERROR
+    hint = (
+        "catch the narrowest matching repro.errors type (or the specific "
+        "stdlib error) and raise only repro.errors subclasses across the API"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:  # type: ignore[override]
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(ctx, node)
+            elif isinstance(node, ast.Raise):
+                yield from self._check_raise(ctx, node)
+
+    def _check_handler(
+        self, ctx: ModuleContext, node: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        if node.type is None:
+            yield self.finding(ctx, node, "bare except: swallows every error")
+            return
+        names: list[ast.expr] = (
+            list(node.type.elts) if isinstance(node.type, ast.Tuple) else [node.type]
+        )
+        for expr in names:
+            name = _terminal_name(expr)
+            if name in ("Exception", "BaseException"):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"broad `except {name}` hides unrelated failures",
+                )
+
+    def _check_raise(self, ctx: ModuleContext, node: ast.Raise) -> Iterator[Finding]:
+        if node.exc is None:
+            return  # bare re-raise
+        expr = node.exc
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        name = _terminal_name(expr)
+        if name is None:
+            return
+        if name in ALLOWED_BUILTIN_RAISES:
+            return
+        if name in _BUILTIN_EXCEPTION_NAMES:
+            yield self.finding(
+                ctx,
+                node,
+                f"raises builtin {name}; wrap it in a repro.errors type",
+            )
+
+
+def _terminal_name(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+# ----------------------------------------------------------------------
+# R005 — frozen dataclass mutation
+# ----------------------------------------------------------------------
+
+class FrozenMutationRule(Rule):
+    """No attribute assignment on frozen dataclass instances.
+
+    Frozen dataclasses are this library's value objects (checkpoints,
+    progress snapshots, regex nodes); mutating one corrupts hashes that
+    memo caches and interning tables already hold.  The rule flags:
+
+    * ``self.attr = ...`` inside methods of a frozen dataclass (even in
+      ``__post_init__`` this raises at runtime — use
+      ``object.__setattr__``);
+    * ``object.__setattr__(...)`` outside ``__post_init__`` / ``__new__``
+      (the only sanctioned factory contexts);
+    * ``name.attr = ...`` where *name* is locally bound to a frozen
+      dataclass constructor call in the same function.
+    """
+
+    rule_id = "R005"
+    title = "frozen-mutation"
+    severity = Severity.ERROR
+    hint = (
+        "build a new instance (dataclasses.replace) instead of mutating; "
+        "factories belong in __post_init__ via object.__setattr__"
+    )
+
+    _FACTORY_METHODS = frozenset({"__post_init__", "__new__"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:  # type: ignore[override]
+        frozen_classes = self._frozen_class_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and node.name in frozen_classes:
+                yield from self._check_frozen_methods(ctx, node)
+            elif isinstance(node, ast.Call) and _is_object_setattr(node):
+                func = ctx.enclosing_function(node)
+                if func is None or func.name not in self._FACTORY_METHODS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "object.__setattr__ outside a __post_init__/__new__ factory",
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_local_instances(ctx, node, frozen_classes)
+
+    @staticmethod
+    def _frozen_class_names(tree: ast.Module) -> set[str]:
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for decorator in node.decorator_list:
+                if not isinstance(decorator, ast.Call):
+                    continue
+                dec_name = _terminal_name(decorator.func)
+                if dec_name != "dataclass":
+                    continue
+                for kw in decorator.keywords:
+                    if (
+                        kw.arg == "frozen"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                    ):
+                        names.add(node.name)
+        return names
+
+    def _check_frozen_methods(
+        self, ctx: ModuleContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in ast.walk(method):
+                for target in _assignment_targets(node):
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"direct attribute assignment in frozen dataclass "
+                            f"{cls.name}.{method.name}",
+                        )
+
+    def _check_local_instances(
+        self,
+        ctx: ModuleContext,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        frozen_classes: set[str],
+    ) -> Iterator[Finding]:
+        if not frozen_classes:
+            return
+        instances: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                callee = _terminal_name(node.value.func)
+                if callee in frozen_classes:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            instances.add(target.id)
+        if not instances:
+            return
+        for node in ast.walk(func):
+            for target in _assignment_targets(node):
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in instances
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"attribute assignment on frozen dataclass instance "
+                        f"{target.value.id!r}",
+                    )
+
+
+def _assignment_targets(node: ast.AST) -> list[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, ast.AugAssign):
+        return [node.target]
+    if isinstance(node, ast.AnnAssign):
+        return [node.target]
+    return []
+
+
+def _is_object_setattr(call: ast.Call) -> bool:
+    func = call.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "__setattr__"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "object"
+    )
+
+
+#: Registry consumed by :func:`repro.analysis.engine.default_rules`.
+ALL_RULES: tuple[type[Rule], ...] = (
+    GovernedLoopRule,
+    DeterministicIterationRule,
+    KernelBoundaryRule,
+    ErrorTaxonomyRule,
+    FrozenMutationRule,
+)

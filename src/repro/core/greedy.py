@@ -90,7 +90,7 @@ def greedy_maximal_lower(
     if rng is not None:
         rng.shuffle(candidates)
     changed = True
-    while changed:
+    while changed:  # ungoverned: passes bounded by |candidates|; each absorb check is governed
         changed = False
         for tree in candidates:
             if current.accepts(tree):

@@ -228,7 +228,7 @@ def _path_content(ctx: _PairContext, p: Pair, target: Pair, pairs: set) -> DFA:
     transitions: dict = {}
     symbols: set = set()
     queue: deque = deque([initial])
-    while queue:
+    while queue:  # ungoverned: BFS bounded by |content states| x 2
         state = queue.popleft()
         q1, flag = state
         for sigma in content1.alphabet:

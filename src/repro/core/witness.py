@@ -53,7 +53,7 @@ def _cheapest_word(dfa: DFA, cost: dict) -> list:
     best: dict = {dfa.initial: (0.0, [])}
     # Dijkstra-light: costs are positive integers, the automaton is small.
     frontier = deque([dfa.initial])
-    while frontier:
+    while frontier:  # ungoverned: cost relaxation over a materialized content DFA
         state = frontier.popleft()
         state_cost, word = best[state]
         for (src, symbol), dst in dfa.transitions.items():
@@ -80,7 +80,7 @@ def _cheapest_word_containing(dfa: DFA, needle: Type, cost: dict) -> list:
     start = (dfa.initial, False)
     best: dict = {start: (0.0, [])}
     frontier = deque([start])
-    while frontier:
+    while frontier:  # ungoverned: cost relaxation over |states| x 2 product
         state = frontier.popleft()
         (q, seen) = state
         state_cost, word = best[state]
@@ -142,7 +142,7 @@ def inclusion_counterexample(sub: EDTD, sup: EDTD) -> Tree | None:
             parents[pair] = None
             queue.append(pair)
     separating: tuple | None = None
-    while queue and separating is None:
+    while queue and separating is None:  # ungoverned: product BFS bounded by |types1| x |types2|
         pair = queue.popleft()
         tau1, tau2 = pair
         if not _content_included(sub, sup, tau1, tau2):
@@ -226,7 +226,7 @@ def _lift_to_type_word(
     back: dict = {start: None}
     queue: deque = deque([start])
     goal = None
-    while queue:
+    while queue:  # ungoverned: BFS bounded by |states| x |word|
         state = queue.popleft()
         q, position = state
         if position == len(label_word):

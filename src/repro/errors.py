@@ -6,6 +6,11 @@ catch everything coming out of this package with a single ``except`` clause.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.runtime.budget import BudgetProgress
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -78,7 +83,13 @@ class BudgetExceededError(ReproError):
         otherwise.
     """
 
-    def __init__(self, reason: str, limit=None, progress=None, checkpoint=None):
+    def __init__(
+        self,
+        reason: str,
+        limit: int | float | None = None,
+        progress: BudgetProgress | None = None,
+        checkpoint: Any | None = None,
+    ) -> None:
         detail = f"budget exceeded ({reason})"
         if limit is not None:
             detail += f" at limit {limit}"

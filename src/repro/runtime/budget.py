@@ -39,8 +39,9 @@ from __future__ import annotations
 
 import threading
 import time
-from contextvars import ContextVar
+from contextvars import ContextVar, Token
 from dataclasses import dataclass
+from typing import Any
 
 from repro.errors import BudgetExceededError, ReproError
 
@@ -196,7 +197,7 @@ class Budget:
         self.steps = 0
         self.phase: str | None = None
         self._mask = check_interval - 1
-        self._token = None
+        self._token: Token[Budget | None] | None = None
 
     # -- context-manager default ---------------------------------------
 
@@ -206,7 +207,8 @@ class Budget:
         self._token = _ACTIVE.set(self)
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._token is not None
         _ACTIVE.reset(self._token)
         self._token = None
 
@@ -234,7 +236,7 @@ class Budget:
     # -- charging -------------------------------------------------------
 
     def _trip(
-        self, reason: str, limit, frontier: int, checkpoint=None
+        self, reason: str, limit: int | float | None, frontier: int, checkpoint: Any = None
     ) -> "BudgetExceededError":
         # Checkpoints are expensive to materialize, so call sites pass a
         # zero-arg factory that only runs here, at trip time.
@@ -247,7 +249,7 @@ class Budget:
             checkpoint=checkpoint,
         )
 
-    def check(self, frontier: int = 0, checkpoint=None) -> None:
+    def check(self, frontier: int = 0, checkpoint: Any = None) -> None:
         """Run the expensive checks unconditionally: cancellation, clock,
         memory watermark."""
         if self.cancel is not None and self.cancel.cancelled:
@@ -261,7 +263,7 @@ class Budget:
             if rss is not None and rss > self.max_memory_bytes:
                 raise self._trip("memory", self.max_memory_bytes, frontier, checkpoint)
 
-    def tick(self, n: int = 1, frontier: int = 0, checkpoint=None) -> None:
+    def tick(self, n: int = 1, frontier: int = 0, checkpoint: Any = None) -> None:
         """Charge *n* abstract steps; periodically run the expensive checks."""
         steps = self.steps + n
         self.steps = steps
@@ -270,7 +272,7 @@ class Budget:
         if steps & self._mask < n:
             self.check(frontier, checkpoint)
 
-    def charge_states(self, n: int = 1, frontier: int = 0, checkpoint=None) -> None:
+    def charge_states(self, n: int = 1, frontier: int = 0, checkpoint: Any = None) -> None:
         """Charge *n* materialized states (and one step each)."""
         states = self.states + n
         self.states = states
@@ -340,6 +342,6 @@ class budget_phase:
             self._previous = self._budget.phase
             self._budget.phase = self._phase
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         if self._budget is not None:
             self._budget.phase = self._previous

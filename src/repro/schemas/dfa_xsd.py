@@ -138,18 +138,18 @@ class DFAXSD:
         automaton = self.automaton
         reachable = automaton.reachable_states()
         label_of: dict[State, Symbol] = {}
-        for (_, symbol), dst in automaton.transitions.items():
+        for (_, symbol), dst in sorted(automaton.transitions.items(), key=repr):
             if dst in reachable:
                 label_of[dst] = symbol
         types = {(label_of[q], q) for q in reachable if q in label_of}
 
         rules: dict[tuple, DFA] = {}
         mu: dict[tuple, Symbol] = {}
-        for (a, q) in types:
+        for (a, q) in sorted(types, key=repr):
             mu[(a, q)] = a
             content = self.rules[q]
             transitions = {}
-            for (src, symbol), dst in content.transitions.items():
+            for (src, symbol), dst in sorted(content.transitions.items(), key=repr):
                 target = automaton.successor(q, symbol)
                 if target is None:
                     # Content acceptance never uses this edge (constructor
@@ -164,7 +164,7 @@ class DFAXSD:
                 content.finals,
             )
         starts = set()
-        for symbol in self.starts:
+        for symbol in sorted(self.starts, key=repr):
             target = automaton.successor(automaton.initial, symbol)
             starts.add((symbol, target))
         return SingleTypeEDTD(

@@ -41,17 +41,18 @@ def dfa_to_regex(dfa: DFA) -> Regex:
         key = (src, dst)
         edges[key] = union(edges[key], expr) if key in edges else expr
 
-    for (src, symbol), dst in trimmed.transitions.items():
+    for (src, symbol), dst in sorted(trimmed.transitions.items(), key=repr):
         add(src, dst, Sym(symbol))
     add(start, trimmed.initial, EPSILON)
-    for final in trimmed.finals:
+    for final in sorted(trimmed.finals, key=repr):
         add(final, end, EPSILON)
 
     for state in states:
         loop = edges.pop((state, state), None)
         loop_expr: Regex = Star(loop) if loop is not None else EPSILON
-        incoming = [(s, e) for (s, d), e in edges.items() if d == state and s != state]
-        outgoing = [(d, e) for (s, d), e in edges.items() if s == state and d != state]
+        ordered = sorted(edges.items(), key=lambda item: repr(item[0]))
+        incoming = [(s, e) for (s, d), e in ordered if d == state and s != state]
+        outgoing = [(d, e) for (s, d), e in ordered if s == state and d != state]
         for (src, _) in incoming:
             edges.pop((src, state))
         for (dst, _) in outgoing:

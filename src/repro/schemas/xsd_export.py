@@ -54,7 +54,7 @@ def export_xsd(schema: SingleTypeEDTD, *, check_upa: bool = True) -> str:
 
     regexes = {
         type_: simplify_display(dfa_to_regex(named.rules[type_]))
-        for type_ in named.types
+        for type_ in sorted(named.types, key=str)
     }
     lines: list[str] = ['<?xml version="1.0"?>']
     if check_upa:

@@ -45,7 +45,7 @@ def finite_language(words: Iterable[Sequence[Symbol]], alphabet: Iterable[Symbol
     alphabet = set(alphabet)
     for word in words:
         alphabet.update(word)
-    root: tuple = ()
+    root: tuple[str, ...] = ()
     states: set[tuple] = {root}
     transitions: dict[tuple[tuple, Symbol], tuple] = {}
     finals: set[tuple] = set()

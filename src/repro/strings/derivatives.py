@@ -18,8 +18,10 @@ foundational layers honest.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Hashable, Iterable
 from functools import lru_cache
 
+from repro.runtime.budget import Budget, budget_phase, resolve_budget
 from repro.strings.dfa import DFA
 from repro.strings.regex import (
     EMPTY,
@@ -151,7 +153,7 @@ def _derive(expr: Regex, symbol: object) -> Regex:
     raise TypeError(f"unknown Regex node {expr!r}")
 
 
-def word_derivative(expr: Regex, word) -> Regex:
+def word_derivative(expr: Regex, word: Iterable[Hashable]) -> Regex:
     """``d_w(expr)``: the derivative by a whole word."""
     current = normalize(expr)
     for symbol in word:
@@ -159,24 +161,35 @@ def word_derivative(expr: Regex, word) -> Regex:
     return current
 
 
-def matches(expr: Regex, word) -> bool:
+def matches(expr: Regex, word: Iterable[Hashable]) -> bool:
     """Membership by derivatives: ``w in L(r)`` iff ``d_w(r)`` is nullable."""
     return word_derivative(expr, word).nullable()
 
 
-def dfa_from_regex(expr: Regex, alphabet=None) -> DFA:
+def dfa_from_regex(
+    expr: Regex,
+    alphabet: Iterable[Hashable] | None = None,
+    *,
+    budget: Budget | None = None,
+) -> DFA:
     """The (deterministic) derivative automaton of *expr*.
 
     States are normalized derivatives; finite by Brzozowski's theorem under
     similarity.  The result is usually close to minimal but not guaranteed
-    minimal.
+    minimal.  Each fresh derivative state is charged to the resolved
+    *budget* (the state count is finite but can be large for nested
+    expressions).
     """
+    budget = resolve_budget(budget)
     sigma = frozenset(alphabet) if alphabet is not None else expr.symbols()
     initial = normalize(expr)
     states: set[Regex] = {initial}
-    transitions: dict = {}
+    transitions: dict[tuple[Regex, Hashable], Regex] = {}
     queue: deque[Regex] = deque([initial])
     while queue:
+        if budget is not None:
+            with budget_phase(budget, "derivative-dfa"):
+                budget.tick(frontier=len(queue))
         state = queue.popleft()
         for symbol in sigma:
             successor = derivative(state, symbol)
@@ -186,5 +199,8 @@ def dfa_from_regex(expr: Regex, alphabet=None) -> DFA:
             if successor not in states:
                 states.add(successor)
                 queue.append(successor)
+                if budget is not None:
+                    with budget_phase(budget, "derivative-dfa"):
+                        budget.charge_states(frontier=len(queue))
     finals = {state for state in states if state.nullable()}
     return DFA(states, sigma, transitions, initial, finals)

@@ -18,9 +18,10 @@ construction instead of restarting it.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Hashable
 from dataclasses import dataclass
 
-from repro.runtime.budget import budget_phase, resolve_budget
+from repro.runtime.budget import Budget, budget_phase, resolve_budget
 from repro.strings.dfa import DFA
 from repro.strings.nfa import NFA
 
@@ -40,9 +41,9 @@ class SubsetCheckpoint:
     ``keep_empty`` flag) to continue where the budget tripped.
     """
 
-    states: frozenset
-    transitions: tuple
-    frontier: tuple
+    states: frozenset[frozenset[Hashable]]
+    transitions: tuple[tuple[tuple[frozenset[Hashable], Hashable], frozenset[Hashable]], ...]
+    frontier: tuple[frozenset[Hashable], ...]
 
     @property
     def states_explored(self) -> int:
@@ -57,7 +58,7 @@ def determinize(
     nfa: NFA,
     *,
     keep_empty: bool = False,
-    budget=None,
+    budget: Budget | None = None,
     checkpoint: SubsetCheckpoint | None = None,
 ) -> DFA:
     """Return a DFA equivalent to *nfa* via the standard subset construction.
@@ -89,7 +90,7 @@ def determinize_reference(
     nfa: NFA,
     *,
     keep_empty: bool = False,
-    budget=None,
+    budget: Budget | None = None,
     checkpoint: SubsetCheckpoint | None = None,
 ) -> DFA:
     """Frozenset-based subset construction — the pre-kernel implementation,
@@ -146,10 +147,10 @@ def determinize_reference(
 
 
 def _snapshot(
-    states: set,
-    transitions: dict,
+    states: set[frozenset[Hashable]],
+    transitions: dict[tuple[frozenset[Hashable], Hashable], frozenset[Hashable]],
     queue: deque,
-    current: frozenset,
+    current: frozenset[Hashable],
 ) -> SubsetCheckpoint:
     """Checkpoint the BFS with *current* re-enqueued for a clean resume.
 

@@ -59,7 +59,14 @@ class DFA:
         self._validate()
 
     @classmethod
-    def _from_parts(cls, states, alphabet, transitions, initial, finals) -> "DFA":
+    def _from_parts(
+        cls,
+        states: Iterable[State],
+        alphabet: Iterable[Symbol],
+        transitions: dict[tuple[State, Symbol], State],
+        initial: State,
+        finals: Iterable[State],
+    ) -> "DFA":
         """Trusted internal constructor: skips :meth:`_validate`.
 
         Only for construction sites that produce the invariants by
@@ -140,7 +147,7 @@ class DFA:
         seen: set[State] = {self.initial}
         queue: deque[State] = deque([self.initial])
         symbols = sorted(self.alphabet, key=repr)
-        while queue:
+        while queue:  # ungoverned: linear BFS over a materialized automaton
             state = queue.popleft()
             for symbol in symbols:
                 dst = self.successor(state, symbol)
@@ -203,7 +210,7 @@ class DFA:
         """Return the states reachable from the initial state."""
         seen: set[State] = {self.initial}
         queue: deque[State] = deque([self.initial])
-        while queue:
+        while queue:  # ungoverned: linear BFS over a materialized automaton
             state = queue.popleft()
             for symbol in self.alphabet:
                 dst = self.successor(state, symbol)
@@ -255,7 +262,7 @@ class DFA:
         states: set[tuple[State, State]] = {initial}
         transitions: dict[tuple[tuple[State, State], Symbol], tuple[State, State]] = {}
         queue: deque[tuple[State, State]] = deque([initial])
-        while queue:
+        while queue:  # ungoverned: pair product bounded by |A| x |B| states
             pair = queue.popleft()
             for symbol in alphabet:
                 nxt = (
@@ -314,7 +321,7 @@ class DFA:
         mapping: dict[State, State] = {self.initial: other.initial}
         queue: deque[State] = deque([self.initial])
         symbols = sorted(self.alphabet, key=repr)
-        while queue:
+        while queue:  # ungoverned: linear scan over two materialized automata
             state = queue.popleft()
             image = mapping[state]
             if (state in self.finals) != (image in other.finals):

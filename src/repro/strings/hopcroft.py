@@ -14,17 +14,23 @@ the smaller part of each split re-enters the worklist.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Hashable
 
+from repro.runtime.budget import Budget, budget_phase, resolve_budget
 from repro.strings.dfa import DFA
 
 
-def hopcroft_minimize(dfa: DFA, *, complete: bool = False) -> DFA:
+def hopcroft_minimize(
+    dfa: DFA, *, complete: bool = False, budget: Budget | None = None
+) -> DFA:
     """Return the minimal DFA for ``L(dfa)`` via Hopcroft's algorithm.
 
     Same contract as :func:`repro.strings.minimize.minimize_dfa`: the
     result is trim by default (pass ``complete=True`` to keep the sink),
-    with canonical BFS state names.
+    with canonical BFS state names.  Charges one step per splitter drawn
+    and one state per block created against the resolved *budget*.
     """
+    budget = resolve_budget(budget)
     # Restrict to the reachable part and complete it.
     reachable = dfa.reachable_states()
     restricted = DFA(
@@ -51,7 +57,7 @@ def hopcroft_minimize(dfa: DFA, *, complete: bool = False) -> DFA:
     non_finals = set(states) - finals
     # Partition as a list of blocks; block index per state.
     blocks: list[set] = []
-    block_of: dict = {}
+    block_of: dict[Hashable, int] = {}
     for group in (finals, non_finals):
         if group:
             index = len(blocks)
@@ -67,10 +73,13 @@ def hopcroft_minimize(dfa: DFA, *, complete: bool = False) -> DFA:
         worklist.append((seed, symbol))
 
     while worklist:
+        if budget is not None:
+            with budget_phase(budget, "hopcroft"):
+                budget.tick(frontier=len(worklist))
         splitter_index, symbol = worklist.popleft()
         splitter = blocks[splitter_index]
         # States with a `symbol`-transition into the splitter.
-        predecessors: set = set()
+        predecessors: set[Hashable] = set()
         for dst in splitter:
             predecessors |= inverse.get((symbol, dst), set())
         if not predecessors:
@@ -92,6 +101,9 @@ def hopcroft_minimize(dfa: DFA, *, complete: bool = False) -> DFA:
             blocks[block_index] = old_part
             new_index = len(blocks)
             blocks.append(new_part)
+            if budget is not None:
+                with budget_phase(budget, "hopcroft"):
+                    budget.charge_states(frontier=len(worklist))
             for state in new_part:
                 block_of[state] = new_index
             # Update the worklist (smaller-half rule).

@@ -39,10 +39,16 @@ invalidation story.
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Hashable, Iterable, Mapping
+from collections.abc import Callable, Hashable, Iterable, Mapping
 from itertools import repeat
+from typing import TYPE_CHECKING, Any
 
 from repro.runtime.budget import Budget, budget_phase, resolve_budget
+
+if TYPE_CHECKING:  # pragma: no cover - runtime imports stay lazy
+    from repro.strings.determinize import SubsetCheckpoint
+    from repro.strings.dfa import DFA as _DFA
+    from repro.strings.nfa import NFA as _NFA
 
 try:  # the vectorized fast path is optional — the scalar kernels are exact
     import numpy as _np
@@ -81,9 +87,9 @@ def _mask_of(states: Iterable[State], code: dict[State, int]) -> int:
     return mask
 
 
-def _unmask(mask: int, order: list[State]) -> frozenset:
+def _unmask(mask: int, order: list[State]) -> frozenset[State]:
     members = []
-    while mask:
+    while mask:  # ungoverned: bit-scan bounded by one machine word
         low = mask & -mask
         members.append(order[low.bit_length() - 1])
         mask ^= low
@@ -114,7 +120,15 @@ def _chunk_frozensets(order: list[State], base: int, values: list[int]) -> dict[
     return sets
 
 
-def _subset_fast(nfa, keep_empty, order, symbols, succ, initial_mask, finals_mask):
+def _subset_fast(
+    nfa: "_NFA",
+    keep_empty: bool,
+    order: list[State],
+    symbols: list[Hashable],
+    succ: list[list[int]],
+    initial_mask: int,
+    finals_mask: int,
+) -> "_DFA":
     """Vectorized (numpy) subset construction for ungoverned runs.
 
     The BFS runs level-synchronously on int64 mask arrays: one fancy-indexed
@@ -145,8 +159,15 @@ def _subset_fast(nfa, keep_empty, order, symbols, succ, initial_mask, finals_mas
 
 
 def _subset_fast_inner(
-    nfa, keep_empty, order, symbols, succ, initial_mask, finals_mask, DFA
-):
+    nfa: "_NFA",
+    keep_empty: bool,
+    order: list[State],
+    symbols: list[Hashable],
+    succ: list[list[int]],
+    initial_mask: int,
+    finals_mask: int,
+    DFA: "type[_DFA]",
+) -> "_DFA":
     size = len(order)
     nchunks = ((size + 15) >> 4) or 1
     int64 = _np.int64
@@ -166,9 +187,9 @@ def _subset_fast_inner(
     frontier = seen
     src_parts: list[list] = [[] for _ in symbols]
     dst_parts: list[list] = [[] for _ in symbols]
-    while frontier.size:
+    while frontier.size:  # ungoverned: fast path, entered only when no budget is active
         chunks = [(frontier >> (16 * c)) & 0xFFFF for c in range(nchunks)]
-        level: list = []
+        level: list[int] = []
         for sym_index, per_chunk in enumerate(tables):
             targets = per_chunk[0][chunks[0]]
             for chunk_index in range(1, nchunks):
@@ -208,7 +229,7 @@ def _subset_fast_inner(
     for chunk_views in per_chunk_views[1:]:
         views = list(map(frozenset.union, views, chunk_views))
 
-    transitions: dict = {}
+    transitions: dict[tuple[frozenset[Hashable], Hashable], frozenset[Hashable]] = {}
     getter = views.__getitem__
     for sym_index, symbol in enumerate(symbols):
         if not src_parts[sym_index]:
@@ -235,12 +256,12 @@ def _subset_fast_inner(
 # ----------------------------------------------------------------------
 
 def subset_construction(
-    nfa,
+    nfa: "_NFA",
     *,
     keep_empty: bool = False,
     budget: Budget | None = None,
-    checkpoint=None,
-):
+    checkpoint: "SubsetCheckpoint | None" = None,
+) -> "_DFA":
     """Bitmask subset construction; same contract as
     :func:`repro.strings.determinize.determinize`.
 
@@ -382,7 +403,7 @@ def subset_construction(
     # API boundary: reconstruct frozenset views.  Chunk-level frozensets
     # are interned and combined with set union, which reuses the stored
     # element hashes instead of rehashing every member of every subset.
-    empty: frozenset = frozenset()
+    empty: frozenset[Hashable] = frozenset()
     member_tab: list[dict[int, frozenset]] = [{0: empty} for _ in range(nchunks)]
     views: dict[int, frozenset] = {}
     for mask in seen:
@@ -551,7 +572,7 @@ def hopcroft_refine(
 # On-the-fly product inclusion
 # ----------------------------------------------------------------------
 
-def nfa_includes(sup, sub, *, budget: Budget | None = None) -> bool:
+def nfa_includes(sup: "_NFA", sub: "_NFA", *, budget: Budget | None = None) -> bool:
     """Decide ``L(sub) subseteq L(sup)`` without materializing either DFA.
 
     Both automata are determinized *lazily* as int bitmasks and the pair
@@ -654,12 +675,12 @@ class _KernelCache:
 
     def __init__(self, name: str, max_entries: int = 4096) -> None:
         self.name = name
-        self.entries: dict = {}
+        self.entries: dict[Any, tuple[Any, int, int]] = {}
         self.hits = 0
         self.misses = 0
         self.max_entries = max_entries
 
-    def get(self, key):
+    def get(self, key: Any) -> tuple[Any, int, int] | None:
         entry = self.entries.get(key)
         if entry is not None:
             self.hits += 1
@@ -667,7 +688,7 @@ class _KernelCache:
             self.misses += 1
         return entry
 
-    def store(self, key, value) -> None:
+    def store(self, key: Any, value: tuple[Any, int, int]) -> None:
         if len(self.entries) >= self.max_entries:
             # Evict the oldest entry (dicts preserve insertion order).
             self.entries.pop(next(iter(self.entries)))
@@ -678,7 +699,7 @@ class _KernelCache:
         self.hits = 0
         self.misses = 0
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, dict[str, int]]:
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -704,7 +725,7 @@ def clear_caches() -> None:
     _CONTENT_CACHE.clear()
 
 
-def _symbol_reprs(alphabet) -> tuple | None:
+def _symbol_reprs(alphabet: Iterable[Hashable]) -> tuple[str, ...] | None:
     """Sorted symbol reprs, or None when reprs collide (uncacheable —
     repr is the only portable total order over mixed symbol types, and a
     collision would let two distinct automata share a key)."""
@@ -715,7 +736,7 @@ def _symbol_reprs(alphabet) -> tuple | None:
     return tuple(reprs)
 
 
-def structural_key(language) -> tuple | None:
+def structural_key(language: object) -> tuple[Any, ...] | None:
     """A hashable structural fingerprint of a language-like value.
 
     Equal keys imply isomorphic automata (hence equal minimal DFAs);
@@ -737,10 +758,10 @@ def structural_key(language) -> tuple | None:
         # Canonical BFS order over the reachable part (unreachable states
         # cannot change the minimal DFA).
         symbols = sorted(language.alphabet, key=repr)
-        order: dict = {language.initial: 0}
+        order: dict[Hashable, int] = {language.initial: 0}
         queue = deque([language.initial])
         edges: list[tuple[int, str, int]] = []
-        while queue:
+        while queue:  # ungoverned: linear BFS for a cache key over a materialized DFA
             state = queue.popleft()
             src = order[state]
             for symbol in symbols:
@@ -791,7 +812,12 @@ def _recharge(budget: Budget | None, states_cost: int, steps_cost: int) -> None:
         budget.tick(extra)
 
 
-def _memoized(cache: _KernelCache, key, build, budget: Budget | None):
+def _memoized(
+    cache: _KernelCache,
+    key: Any,
+    build: Callable[[Budget | None], Any],
+    budget: Budget | None,
+) -> Any:
     """Look *key* up in *cache*; on a miss run *build* under a metering
     budget and record the charged cost alongside the result."""
     if key is None:
@@ -813,7 +839,7 @@ def _memoized(cache: _KernelCache, key, build, budget: Budget | None):
     return value
 
 
-def cached_min_dfa(language, *, budget: Budget | None = None):
+def cached_min_dfa(language: object, *, budget: Budget | None = None) -> "_DFA":
     """Memoized ``as_min_dfa``: coerce *language* to its minimal trim DFA,
     interning structurally-equal inputs.
 
@@ -828,7 +854,7 @@ def cached_min_dfa(language, *, budget: Budget | None = None):
 
     budget = resolve_budget(budget)
 
-    def build(inner_budget):
+    def build(inner_budget: Budget | None) -> "_DFA":
         if isinstance(language, DFA):
             return minimize_dfa(language, budget=inner_budget)
         return minimize_dfa(
@@ -838,7 +864,9 @@ def cached_min_dfa(language, *, budget: Budget | None = None):
     return _memoized(_MIN_DFA_CACHE, structural_key(language), build, budget)
 
 
-def cached_content_model(language, types: frozenset, *, budget: Budget | None = None):
+def cached_content_model(
+    language: object, types: frozenset[Hashable], *, budget: Budget | None = None
+) -> "_DFA":
     """Memoized EDTD content-model pipeline: minimal DFA completed over
     *types* and trimmed (what :class:`repro.schemas.edtd.EDTD` stores per
     type).
@@ -858,7 +886,7 @@ def cached_content_model(language, types: frozenset, *, budget: Budget | None = 
     if types_key is not None and language_key is not None:
         key = (language_key, types_key)
 
-    def build(inner_budget):
+    def build(inner_budget: Budget | None) -> "_DFA":
         dfa = cached_min_dfa(language, budget=inner_budget)
         if not dfa.alphabet <= types:
             raise SchemaError(

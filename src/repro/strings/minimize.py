@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Mapping
 
-from repro.runtime.budget import budget_phase, resolve_budget
+from repro.runtime.budget import Budget, budget_phase, resolve_budget
 from repro.strings.dfa import DFA
 
 State = Hashable
@@ -38,7 +38,7 @@ def moore_partition(
     delta: Mapping[tuple[State, Symbol], State],
     initial_partition: Mapping[State, Hashable],
     *,
-    budget=None,
+    budget: Budget | None = None,
 ) -> dict[State, int]:
     """Coarsest refinement of *initial_partition* stable under *delta*.
 
@@ -66,7 +66,7 @@ def moore_partition_reference(
     delta: Mapping[tuple[State, Symbol], State],
     initial_partition: Mapping[State, Hashable],
     *,
-    budget=None,
+    budget: Budget | None = None,
 ) -> dict[State, int]:
     """Quadratic Moore refinement loop — the pre-kernel implementation,
     kept as the differential-testing oracle for
@@ -111,7 +111,9 @@ def moore_partition_reference(
     return block_of
 
 
-def minimize_dfa(dfa: DFA, *, complete: bool = False, budget=None) -> DFA:
+def minimize_dfa(
+    dfa: DFA, *, complete: bool = False, budget: Budget | None = None
+) -> DFA:
     """Return the minimal DFA for ``L(dfa)``.
 
     By default the result is *trim* (no dead/sink state), which is the

@@ -186,7 +186,7 @@ class NFA:
         """Return all states reachable from the initial states."""
         seen: set[State] = set(self.initials)
         queue: deque[State] = deque(self.initials)
-        while queue:
+        while queue:  # ungoverned: linear BFS over a materialized automaton
             state = queue.popleft()
             for (src, _), dsts in self.transitions.items():
                 if src != state:
@@ -205,7 +205,7 @@ class NFA:
                 inverse.setdefault(dst, set()).add(src)
         seen: set[State] = set(self.finals)
         queue: deque[State] = deque(self.finals)
-        while queue:
+        while queue:  # ungoverned: linear BFS over a materialized automaton
             state = queue.popleft()
             for pred in inverse.get(state, ()):
                 if pred not in seen:

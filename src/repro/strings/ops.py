@@ -221,7 +221,7 @@ def shortest_word(language: DFA | NFA | Regex | str) -> tuple[Symbol, ...] | Non
     return None
 
 
-def symbols_of(language: DFA | NFA | Regex | str) -> frozenset:
+def symbols_of(language: DFA | NFA | Regex | str) -> frozenset[Hashable]:
     """Return the alphabet over which *language* is defined."""
     if isinstance(language, (DFA, NFA)):
         return language.alphabet

@@ -61,7 +61,7 @@ class Regex:
         """True iff the empty word is in ``L(r)``."""
         raise NotImplementedError
 
-    def symbols(self) -> frozenset:
+    def symbols(self) -> frozenset[Hashable]:
         """The set of alphabet symbols occurring in the expression."""
         raise NotImplementedError
 
@@ -81,7 +81,7 @@ class Empty(Regex):
     def nullable(self) -> bool:
         return False
 
-    def symbols(self) -> frozenset:
+    def symbols(self) -> frozenset[Hashable]:
         return frozenset()
 
     def rpn_size(self) -> int:
@@ -101,7 +101,7 @@ class Epsilon(Regex):
     def nullable(self) -> bool:
         return True
 
-    def symbols(self) -> frozenset:
+    def symbols(self) -> frozenset[Hashable]:
         return frozenset()
 
     def rpn_size(self) -> int:
@@ -123,7 +123,7 @@ class Sym(Regex):
     def nullable(self) -> bool:
         return False
 
-    def symbols(self) -> frozenset:
+    def symbols(self) -> frozenset[Hashable]:
         return frozenset([self.symbol])
 
     def rpn_size(self) -> int:
@@ -146,7 +146,7 @@ class Concat(Regex):
     def nullable(self) -> bool:
         return self.left.nullable() and self.right.nullable()
 
-    def symbols(self) -> frozenset:
+    def symbols(self) -> frozenset[Hashable]:
         return self.left.symbols() | self.right.symbols()
 
     def rpn_size(self) -> int:
@@ -175,7 +175,7 @@ class Union(Regex):
     def nullable(self) -> bool:
         return self.left.nullable() or self.right.nullable()
 
-    def symbols(self) -> frozenset:
+    def symbols(self) -> frozenset[Hashable]:
         return self.left.symbols() | self.right.symbols()
 
     def rpn_size(self) -> int:
@@ -204,7 +204,7 @@ class Star(Regex):
     def nullable(self) -> bool:
         return True
 
-    def symbols(self) -> frozenset:
+    def symbols(self) -> frozenset[Hashable]:
         return self.child.symbols()
 
     def rpn_size(self) -> int:
@@ -226,7 +226,7 @@ class Plus(Regex):
     def nullable(self) -> bool:
         return self.child.nullable()
 
-    def symbols(self) -> frozenset:
+    def symbols(self) -> frozenset[Hashable]:
         return self.child.symbols()
 
     def rpn_size(self) -> int:
@@ -248,7 +248,7 @@ class Opt(Regex):
     def nullable(self) -> bool:
         return True
 
-    def symbols(self) -> frozenset:
+    def symbols(self) -> frozenset[Hashable]:
         return self.child.symbols()
 
     def rpn_size(self) -> int:
@@ -364,7 +364,7 @@ class _Parser:
 
     def _concat(self) -> Regex:
         parts = [self._postfix()]
-        while True:
+        while True:  # ungoverned: consumes one token per pass, bounded by input length
             token = self._peek()
             if token == ",":
                 self._advance()

@@ -13,10 +13,10 @@ EDTD-inclusion procedure of :mod:`repro.tree_automata.inclusion` needs.
 
 from __future__ import annotations
 
-from collections import deque
 from collections.abc import Hashable, Iterable, Mapping
 
 from repro.errors import AutomatonError
+from repro.runtime.budget import Budget, budget_phase, resolve_budget
 from repro.trees.tree import Tree
 
 Symbol = Hashable
@@ -103,7 +103,7 @@ class BTA:
         for targets in self.leaf_rules.values():
             reachable |= targets
         changed = True
-        while changed:
+        while changed:  # ungoverned: monotone fixpoint, at most |states| passes
             changed = False
             for (label, q1, q2), targets in self.internal_rules.items():
                 if q1 in reachable and q2 in reachable and not targets <= reachable:
@@ -121,7 +121,7 @@ class BTA:
             for state in targets:
                 builder.setdefault(state, Tree(label))
         changed = True
-        while changed:
+        while changed:  # ungoverned: monotone fixpoint, at most |states| passes
             changed = False
             for (label, q1, q2), targets in sorted(self.internal_rules.items(), key=repr):
                 if q1 in builder and q2 in builder:
@@ -138,25 +138,30 @@ class BTA:
     # Determinization and boolean operations
     # ------------------------------------------------------------------
 
-    def determinize(self) -> "BTA":
+    def determinize(self, budget: Budget | None = None) -> "BTA":
         """Bottom-up subset construction.
 
         The result is bottom-up deterministic and complete on the reachable
         subsets (including the empty subset, the dead state): every binary
-        tree is assigned exactly one subset state.
+        tree is assigned exactly one subset state.  Worst-case exponential;
+        charges the resolved *budget* one state per fresh subset and one
+        step per closure pass.
         """
+        budget = resolve_budget(budget)
         leaf_subsets: dict[Symbol, frozenset[State]] = {
             label: self.leaf_rules.get(label, frozenset()) for label in self.alphabet
         }
         subsets: set[frozenset[State]] = set(leaf_subsets.values())
         internal: dict[tuple[Symbol, frozenset, frozenset], frozenset] = {}
-        queue: deque[frozenset] = deque(subsets)
         # Index internal rules by label for the closure computation.
         by_label: dict[Symbol, list[tuple[State, State, frozenset[State]]]] = {}
         for (label, q1, q2), targets in self.internal_rules.items():
             by_label.setdefault(label, []).append((q1, q2, targets))
         changed = True
         while changed:
+            if budget is not None:
+                with budget_phase(budget, "bta-determinize"):
+                    budget.tick(frontier=len(subsets))
             changed = False
             snapshot = list(subsets)
             for s1 in snapshot:
@@ -174,6 +179,9 @@ class BTA:
                         if result not in subsets:
                             subsets.add(result)
                             changed = True
+                            if budget is not None:
+                                with budget_phase(budget, "bta-determinize"):
+                                    budget.charge_states(frontier=len(subsets))
         finals = {subset for subset in subsets if subset & self.finals}
         leaf_rules = {label: {subset} for label, subset in leaf_subsets.items()}
         internal_rules = {key: {value} for key, value in internal.items()}
@@ -220,7 +228,7 @@ class BTA:
                 states |= pairs
         internal_rules: dict[tuple, set[tuple[State, State]]] = {}
         changed = True
-        while changed:
+        while changed:  # ungoverned: pair product, bounded by |Q1|*|Q2| states
             changed = False
             snapshot = list(states)
             for (label, a1, a2), targets1 in self.internal_rules.items():

@@ -20,6 +20,7 @@ from collections import deque
 from collections.abc import Hashable, Iterable, Mapping, Sequence
 
 from repro.errors import AutomatonError
+from repro.runtime.budget import Budget, budget_phase, resolve_budget
 from repro.trees.tree import Tree
 
 Value = Hashable
@@ -120,15 +121,20 @@ class MonoidForestAutomaton:
         )
 
 
-def transition_monoid_from_dfa(dfa) -> tuple[FiniteMonoid, dict]:
+def transition_monoid_from_dfa(
+    dfa, budget: Budget | None = None
+) -> tuple[FiniteMonoid, dict]:
     """The transition monoid of a complete DFA: elements are the functions
     ``Q -> Q`` induced by words, with composition; returns the monoid and
     the map from alphabet symbols to their generator elements.
 
     Elements are represented as tuples of successor states in a fixed
     state order.  Used to build forest automata whose "horizontal"
-    behaviour is a given regular language.
+    behaviour is a given regular language.  The monoid can have up to
+    ``n^n`` elements, so each fresh element is charged to the resolved
+    *budget*.
     """
+    budget = resolve_budget(budget)
     states = sorted(dfa.states, key=repr)
     index = {state: i for i, state in enumerate(states)}
 
@@ -145,12 +151,18 @@ def transition_monoid_from_dfa(dfa) -> tuple[FiniteMonoid, dict]:
     elements: set[tuple] = {identity}
     queue: deque[tuple] = deque([identity])
     while queue:
+        if budget is not None:
+            with budget_phase(budget, "transition-monoid"):
+                budget.tick(frontier=len(queue))
         current = queue.popleft()
         for gen in generators.values():
             nxt = compose(current, gen)
             if nxt not in elements:
                 elements.add(nxt)
                 queue.append(nxt)
+                if budget is not None:
+                    with budget_phase(budget, "transition-monoid"):
+                        budget.charge_states(frontier=len(queue))
     operation = {
         (f, g): compose(f, g) for f in elements for g in elements
     }
@@ -159,6 +171,9 @@ def transition_monoid_from_dfa(dfa) -> tuple[FiniteMonoid, dict]:
     # elements may escape the reachable set; iterate to closure).
     changed = True
     while changed:
+        if budget is not None:
+            with budget_phase(budget, "transition-monoid"):
+                budget.tick(frontier=len(elements))
         changed = False
         for (f, g), h in list(operation.items()):
             if h not in elements:

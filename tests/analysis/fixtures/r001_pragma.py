@@ -1,0 +1,16 @@
+"""Pragma fixture: suppression markers for the engine tests.
+
+Lives outside the ``strings`` fixture package on purpose: the generic
+``repro-lint: disable=`` pragma is exercised through ``analyze_source``
+with a governed fake path.
+"""
+
+
+def disabled_generic(queue):
+    while queue:  # repro-lint: disable=R001 -- caller bounds the queue
+        queue.pop()
+
+
+def disabled_wrong_rule(queue):
+    while queue:  # repro-lint: disable=R002 -- does not cover R001
+        queue.pop()

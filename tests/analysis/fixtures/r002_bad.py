@@ -1,0 +1,29 @@
+"""R002 fixture: nondeterministic enumeration and emission-path iteration."""
+
+
+def number_states(dfa):
+    return {state: i for i, state in enumerate(dfa.states)}  # line 5 -> R002
+
+
+def to_table(dfa):
+    rows = []
+    for state in dfa.states:  # line 10: unsorted set in a to_* function -> R002
+        rows.append(str(state))
+    return rows
+
+
+def format_finals(dfa):
+    return ", ".join(str(q) for q in dfa.finals)  # line 16 -> R002
+
+
+def format_sorted(dfa):
+    return ", ".join(sorted(str(q) for q in dfa.finals))  # sorted, clean
+
+
+def to_flag(dfa):
+    return all(isinstance(q, str) for q in dfa.states)  # order-independent, clean
+
+
+def build_index(dfa):
+    for state in dfa.states:  # not an emission function, clean
+        yield state

@@ -1,0 +1,46 @@
+"""R004 fixture: taxonomy-violating error handling."""
+
+
+def swallow_everything(task):
+    try:
+        task()
+    except:  # line 7 -> R004 (bare)
+        pass
+
+
+def too_broad(task):
+    try:
+        task()
+    except Exception:  # line 14 -> R004 (broad)
+        return None
+
+
+def broad_in_tuple(task):
+    try:
+        task()
+    except (ValueError, BaseException):  # line 21 -> R004 (broad in tuple)
+        return None
+
+
+def raise_builtin():
+    raise RuntimeError("boom")  # line 26 -> R004 (builtin outside allowlist)
+
+
+def raise_allowed(value):
+    if value < 0:
+        raise ValueError("negative")  # allowlisted builtin, clean
+
+
+class LocalError(Exception):
+    pass
+
+
+def raise_local():
+    raise LocalError("domain error")  # unresolvable statically, clean
+
+
+def reraise(task):
+    try:
+        task()
+    except ValueError:
+        raise  # bare re-raise, clean

@@ -1,0 +1,36 @@
+"""R005 fixture: mutation of frozen dataclass instances."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    steps: int
+    phase: str
+
+    def __post_init__(self):
+        object.__setattr__(self, "phase", self.phase or "start")  # factory, clean
+
+    def bump(self):
+        self.steps = self.steps + 1  # line 15 -> R005 (self-mutation)
+
+
+def sneak_past_frozen(checkpoint):
+    object.__setattr__(checkpoint, "steps", 0)  # line 19 -> R005 (setattr outside factory)
+
+
+def mutate_local():
+    checkpoint = Checkpoint(steps=0, phase="start")
+    checkpoint.steps = 5  # line 24 -> R005 (local instance mutation)
+    return checkpoint
+
+
+@dataclass
+class MutableConfig:
+    retries: int
+
+
+def mutate_unfrozen():
+    config = MutableConfig(retries=0)
+    config.retries = 3  # not frozen, clean
+    return config

@@ -1,0 +1,31 @@
+"""R001 fixture: worklist loops in a governed package without charging."""
+
+from collections import deque
+
+
+def subset_construction(initial, successors):
+    states = {initial}
+    queue = deque([initial])
+    while queue:  # line 9: ungoverned worklist -> R001
+        state = queue.popleft()
+        for nxt in successors(state):
+            if nxt not in states:
+                states.add(nxt)
+                queue.append(nxt)
+    return states
+
+
+def fixpoint(step, seed):
+    changed = True
+    current = seed
+    while changed:  # line 20: ungoverned fixpoint -> R001
+        changed = False
+        nxt = step(current)
+        if nxt != current:
+            current, changed = nxt, True
+    return current
+
+
+def spin():
+    while True:  # line 30: unbounded spin -> R001
+        break

@@ -1,0 +1,50 @@
+"""R001 fixture: loops that satisfy (or are exempt from) the budget rule."""
+
+from collections import deque
+
+
+def governed_direct(initial, successors, budget):
+    states = {initial}
+    queue = deque([initial])
+    while queue:  # charges via a budget method call
+        budget.tick(frontier=len(queue))
+        state = queue.popleft()
+        for nxt in successors(state):
+            if nxt not in states:
+                states.add(nxt)
+                queue.append(nxt)
+    return states
+
+
+def governed_bound_method(initial, successors, budget):
+    tick = budget.tick
+    queue = deque([initial])
+    while queue:  # charges via a locally bound budget method
+        tick()
+        queue.popleft()
+
+
+def governed_delegation(items, process, budget):
+    queue = deque(items)
+    while queue:  # delegates to a governed callee
+        process(queue.popleft(), budget=budget)
+
+
+def bounded_scan(text):
+    pos = 0
+    while pos < len(text):  # input-bounded test, exempt
+        pos += 1
+    return pos
+
+
+def inner_loop_amortizes(rows, budget):
+    for row in rows:
+        budget.tick()
+        pending = list(row)
+        while pending:  # nested in a charged outer loop, exempt
+            pending.pop()
+
+
+def marked_ungoverned(queue):
+    while queue:  # ungoverned: bounded by the caller-provided queue
+        queue.pop()

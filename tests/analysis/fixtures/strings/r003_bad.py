@@ -1,0 +1,22 @@
+"""R003 fixture: frozenset allocation inside a worklist loop."""
+
+
+def subset_states(initial, successors):
+    subsets = {frozenset([initial])}
+    queue = [frozenset([initial])]
+    while queue:  # ungoverned: fixture loop
+        current = queue.pop()
+        nxt = frozenset(successors(current))  # line 9 -> R003
+        if nxt not in subsets:
+            subsets.add(nxt)
+            queue.append(nxt)
+    return subsets
+
+
+def subset_states_reference(initial, successors):
+    queue = [frozenset([initial])]
+    while queue:  # ungoverned: fixture loop
+        current = queue.pop()
+        nxt = frozenset(successors(current))  # oracle, exempt
+        queue.append(nxt) if False else None
+    return None

@@ -1,0 +1,86 @@
+"""Baseline mechanics: round-trip, multiset matching, staleness, versioning."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, BaselineEntry, analyze_source, apply_baseline
+
+UNGOVERNED = "def f(queue):\n    while queue:\n        queue.pop()\n"
+
+
+def one_finding():
+    (finding,) = analyze_source(UNGOVERNED, "strings/x.py")
+    return finding
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_entries(self, tmp_path):
+        finding = one_finding()
+        baseline = Baseline.from_findings([finding], justification="seed loop")
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == baseline.entries
+        assert loaded.entries[0].justification == "seed loop"
+
+    def test_version_mismatch_is_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}), encoding="utf-8")
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(path)
+
+
+class TestApplyBaseline:
+    def test_matching_finding_is_suppressed(self):
+        finding = one_finding()
+        baseline = Baseline.from_findings([finding], justification="known")
+        result = apply_baseline([finding], baseline)
+        assert result.new == []
+        assert result.suppressed == [finding]
+        assert result.stale == []
+
+    def test_no_baseline_passes_everything_through(self):
+        finding = one_finding()
+        result = apply_baseline([finding], None)
+        assert result.new == [finding]
+        assert result.suppressed == []
+
+    def test_matching_survives_line_drift(self):
+        finding = one_finding()
+        baseline = Baseline.from_findings([finding])
+        (drifted,) = analyze_source("# comment\n" + UNGOVERNED, "strings/x.py")
+        assert drifted.line != finding.line
+        result = apply_baseline([drifted], baseline)
+        assert result.new == []
+
+    def test_entries_are_consumed_multiset_style(self):
+        source = UNGOVERNED + "\n\ndef g(queue):\n    while queue:\n        queue.pop()\n"
+        findings = analyze_source(source, "strings/x.py")
+        assert len(findings) == 2
+        # The two findings have different contexts (f vs g), so one entry
+        # covers exactly one of them.
+        baseline = Baseline.from_findings(findings[:1])
+        result = apply_baseline(findings, baseline)
+        assert len(result.new) == 1
+        assert len(result.suppressed) == 1
+
+    def test_duplicate_fingerprints_need_matching_multiplicity(self):
+        finding = one_finding()
+        baseline = Baseline.from_findings([finding])
+        result = apply_baseline([finding, finding], baseline)
+        assert len(result.new) == 1
+        assert len(result.suppressed) == 1
+
+    def test_unmatched_entry_reported_stale(self):
+        entry = BaselineEntry(
+            rule="R001",
+            path="strings/gone.py",
+            context="deleted_function",
+            snippet="while queue:",
+            justification="the code was deleted",
+        )
+        result = apply_baseline([], Baseline(entries=[entry]))
+        assert result.stale == [entry]

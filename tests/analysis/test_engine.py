@@ -1,0 +1,133 @@
+"""Engine mechanics: pragmas, fingerprints, parse errors, file collection."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import ModuleContext, analyze_paths, analyze_source
+from repro.analysis.engine import _relpath
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestPragmas:
+    def test_generic_disable_suppresses_named_rule(self):
+        source = (
+            "def f(queue):\n"
+            "    while queue:  # repro-lint: disable=R001 -- caller bounds it\n"
+            "        queue.pop()\n"
+        )
+        assert analyze_source(source, "strings/x.py") == []
+
+    def test_disable_for_other_rule_does_not_suppress(self):
+        source = (
+            "def f(queue):\n"
+            "    while queue:  # repro-lint: disable=R002 -- wrong rule\n"
+            "        queue.pop()\n"
+        )
+        assert [f.rule for f in analyze_source(source, "strings/x.py")] == ["R001"]
+
+    def test_disable_accepts_multiple_rules(self):
+        source = (
+            "def f(queue):\n"
+            "    while queue:  # repro-lint: disable=R002,R001 -- both\n"
+            "        queue.pop()\n"
+        )
+        assert analyze_source(source, "strings/x.py") == []
+
+    def test_ungoverned_marker_is_r001_shorthand(self):
+        source = (
+            "def f(queue):\n"
+            "    while queue:  # ungoverned: bounded by caller\n"
+            "        queue.pop()\n"
+        )
+        assert analyze_source(source, "strings/x.py") == []
+
+    def test_ungoverned_marker_does_not_cover_other_rules(self):
+        source = (
+            "def f(queue):\n"
+            "    while queue:  # ungoverned: bounded by caller\n"
+            "        queue.append(frozenset(queue.pop()))\n"
+        )
+        assert [f.rule for f in analyze_source(source, "strings/x.py")] == ["R003"]
+
+    def test_fixture_file_pragmas(self):
+        findings = analyze_paths([FIXTURES / "r001_pragma.py"], root=FIXTURES)
+        # The file is outside a governed dir, so R001 never fires at all;
+        # re-analyze the same source under a governed fake path.
+        assert findings == []
+        source = (FIXTURES / "r001_pragma.py").read_text(encoding="utf-8")
+        flagged = analyze_source(source, "strings/r001_pragma.py")
+        assert [f.context for f in flagged] == ["disabled_wrong_rule"]
+
+
+class TestModuleContext:
+    def test_qualname_nests_classes_and_functions(self):
+        source = (
+            "class Outer:\n"
+            "    def method(self):\n"
+            "        def inner():\n"
+            "            pass\n"
+        )
+        ctx = ModuleContext.from_source(source, Path("strings/q.py"))
+        import ast
+
+        inner = next(
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.FunctionDef) and node.name == "inner"
+        )
+        assert ctx.qualname(inner) == "Outer.method.inner"
+
+    def test_in_dirs_matches_any_path_component(self):
+        ctx = ModuleContext.from_source("x = 1\n", Path("src/repro/strings/nfa.py"))
+        assert ctx.in_dirs({"strings"})
+        assert not ctx.in_dirs({"closure"})
+
+    def test_relpath_prefers_root(self, tmp_path):
+        target = tmp_path / "pkg" / "mod.py"
+        assert _relpath(target, tmp_path) == "pkg/mod.py"
+
+
+class TestFindingShape:
+    def test_fingerprint_is_line_independent(self):
+        source_a = "def f(queue):\n    while queue:\n        queue.pop()\n"
+        source_b = "# a new leading comment\n" + source_a
+        (finding_a,) = analyze_source(source_a, "strings/x.py")
+        (finding_b,) = analyze_source(source_b, "strings/x.py")
+        assert finding_a.line != finding_b.line
+        assert finding_a.fingerprint == finding_b.fingerprint
+
+    def test_render_and_to_dict_carry_location_and_hint(self):
+        (finding,) = analyze_source(
+            "def f(queue):\n    while queue:\n        queue.pop()\n",
+            "strings/x.py",
+        )
+        rendered = finding.render()
+        assert rendered.startswith("strings/x.py:2:")
+        assert "R001" in rendered
+        payload = finding.to_dict()
+        assert payload["severity"] == "error"
+        assert payload["hint"]
+        assert payload["snippet"] == "while queue:"
+
+
+class TestParseErrors:
+    def test_unparsable_file_yields_r000(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n", encoding="utf-8")
+        findings = analyze_paths([bad], root=tmp_path)
+        assert [f.rule for f in findings] == ["R000"]
+        assert "does not parse" in findings[0].message
+
+
+class TestCollectFiles:
+    def test_skips_pycache_and_non_python(self, tmp_path):
+        from repro.analysis import collect_files
+
+        (tmp_path / "keep.py").write_text("x = 1\n", encoding="utf-8")
+        (tmp_path / "notes.txt").write_text("not python\n", encoding="utf-8")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "skip.py").write_text("x = 1\n", encoding="utf-8")
+        assert collect_files([tmp_path]) == [tmp_path / "keep.py"]

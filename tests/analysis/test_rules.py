@@ -1,0 +1,156 @@
+"""Golden-finding tests: each rule against its known-bad fixture."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import Severity, analyze_paths, analyze_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_fixture(*parts: str):
+    path = FIXTURES.joinpath(*parts)
+    return analyze_paths([path], root=FIXTURES)
+
+
+def by_rule(findings, rule_id):
+    return [f for f in findings if f.rule == rule_id]
+
+
+class TestGovernedLoopRule:
+    def test_bad_fixture_flags_every_ungoverned_loop(self):
+        findings = run_fixture("strings", "r001_bad.py")
+        r001 = by_rule(findings, "R001")
+        assert [f.context for f in r001] == [
+            "subset_construction",
+            "fixpoint",
+            "spin",
+        ]
+        assert all(f.severity is Severity.ERROR for f in r001)
+        assert all("budget" in f.message for f in r001)
+
+    def test_no_other_rule_fires_on_bad_fixture(self):
+        findings = run_fixture("strings", "r001_bad.py")
+        assert findings == by_rule(findings, "R001")
+
+    def test_good_fixture_is_clean(self):
+        assert run_fixture("strings", "r001_good.py") == []
+
+    def test_outside_governed_dirs_is_exempt(self):
+        source = "def f(queue):\n    while queue:\n        queue.pop()\n"
+        assert analyze_source(source, "schemas/helper.py") == []
+        flagged = analyze_source(source, "strings/helper.py")
+        assert [f.rule for f in flagged] == ["R001"]
+
+
+class TestDeterministicIterationRule:
+    def test_bad_fixture_flags_exactly_the_bad_sites(self):
+        findings = run_fixture("r002_bad.py")
+        r002 = by_rule(findings, "R002")
+        assert [f.context for f in r002] == [
+            "number_states",
+            "to_table",
+            "format_finals",
+        ]
+        assert findings == r002
+
+    def test_enumerate_over_set_fires_anywhere(self):
+        source = (
+            "def build(dfa):\n"
+            "    return {q: i for i, q in enumerate(dfa.states)}\n"
+        )
+        findings = analyze_source(source, "schemas/numbering.py")
+        assert [f.rule for f in findings] == ["R002"]
+        assert "enumerate" in findings[0].message
+
+    def test_emission_module_basename_is_an_emission_context(self):
+        source = "def helper(dfa):\n    return [q for q in dfa.finals]\n"
+        assert analyze_source(source, "schemas/pretty.py")
+        assert analyze_source(source, "schemas/builders.py") == []
+
+    def test_sorted_wrapping_is_clean(self):
+        source = (
+            "def format_states(dfa):\n"
+            "    return [q for q in sorted(dfa.states, key=repr)]\n"
+        )
+        assert analyze_source(source, "schemas/pretty.py") == []
+
+    def test_order_independent_reducers_are_exempt(self):
+        source = (
+            "def dumps(edtd):\n"
+            "    return all(isinstance(t, str) for t in edtd.types)\n"
+        )
+        assert analyze_source(source, "schemas/text_format.py") == []
+
+    def test_dict_views_flagged_in_emission_context(self):
+        source = (
+            "def format_rules(rules):\n"
+            "    return [str(k) for k in rules.keys()]\n"
+        )
+        assert [f.rule for f in analyze_source(source, "x/pretty.py")] == ["R002"]
+
+
+class TestKernelBoundaryRule:
+    def test_bad_fixture_flags_the_hot_loop_only(self):
+        findings = run_fixture("strings", "r003_bad.py")
+        r003 = by_rule(findings, "R003")
+        assert [f.context for f in r003] == ["subset_states"]
+        assert r003[0].severity is Severity.WARNING
+        assert findings == r003
+
+    def test_kernels_module_is_exempt(self):
+        source = (
+            "def hot(queue):\n"
+            "    while queue:  # ungoverned: fixture\n"
+            "        queue.append(frozenset(queue.pop()))\n"
+        )
+        assert analyze_source(source, "strings/kernels.py") == []
+        assert [f.rule for f in analyze_source(source, "strings/other.py")] == ["R003"]
+
+    def test_outside_loops_is_exempt(self):
+        source = "def snapshot(states):\n    return frozenset(states)\n"
+        assert analyze_source(source, "strings/helper.py") == []
+
+
+class TestErrorTaxonomyRule:
+    def test_bad_fixture_flags_each_violation(self):
+        findings = run_fixture("r004_bad.py")
+        r004 = by_rule(findings, "R004")
+        assert [f.context for f in r004] == [
+            "swallow_everything",
+            "too_broad",
+            "broad_in_tuple",
+            "raise_builtin",
+        ]
+        assert findings == r004
+
+    def test_messages_name_the_violation(self):
+        findings = run_fixture("r004_bad.py")
+        messages = "\n".join(f.message for f in findings)
+        assert "bare except" in messages
+        assert "except Exception" in messages
+        assert "RuntimeError" in messages
+
+
+class TestFrozenMutationRule:
+    def test_bad_fixture_flags_each_mutation(self):
+        findings = run_fixture("r005_bad.py")
+        r005 = by_rule(findings, "R005")
+        assert [f.context for f in r005] == [
+            "Checkpoint.bump",
+            "sneak_past_frozen",
+            "mutate_local",
+        ]
+        assert findings == r005
+
+    def test_post_init_setattr_is_sanctioned(self):
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class Point:\n"
+            "    x: int\n"
+            "    def __post_init__(self):\n"
+            "        object.__setattr__(self, 'x', abs(self.x))\n"
+        )
+        assert analyze_source(source, "runtime/point.py") == []

@@ -1,0 +1,33 @@
+"""The library's own source must stay clean modulo the checked-in baseline."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import Baseline, analyze_paths, apply_baseline
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+BASELINE = REPO_ROOT / "analysis-baseline.json"
+
+
+def test_src_tree_is_clean_modulo_baseline():
+    findings = analyze_paths([SRC], root=REPO_ROOT)
+    baseline = Baseline.load(BASELINE) if BASELINE.exists() else None
+    result = apply_baseline(findings, baseline)
+    assert result.new == [], "\n".join(f.render() for f in result.new)
+
+
+def test_baseline_has_no_stale_entries():
+    findings = analyze_paths([SRC], root=REPO_ROOT)
+    baseline = Baseline.load(BASELINE) if BASELINE.exists() else None
+    result = apply_baseline(findings, baseline)
+    assert result.stale == [], [e.to_dict() for e in result.stale]
+
+
+def test_baseline_entries_are_justified():
+    if not BASELINE.exists():
+        return
+    for entry in Baseline.load(BASELINE).entries:
+        assert entry.justification
+        assert "TODO" not in entry.justification, entry.to_dict()
