@@ -1,0 +1,170 @@
+"""Shared machinery of the experiment benchmarks (importable, no pytest
+hooks).
+
+:mod:`benchmarks.conftest` wires these helpers into pytest (fixtures and
+the terminal-summary hook); everything stateful lives here so one-off
+scripts can reuse the writers without a pytest session:
+
+* :func:`record_row` / :func:`record_bench` — accumulate reproduction
+  tables and machine-readable result rows.
+* :func:`run_timed` — pytest-benchmark wrapper that routes every timing
+  through :func:`record_bench`.
+* :func:`write_bench_json` — dump everything to ``BENCH_kernels.json``.
+
+Tracing: set ``REPRO_BENCH_TRACE=1`` and :func:`run_timed` wraps each
+measured call in a :class:`repro.observability.Trace`, embedding the span
+tree (``Trace.to_dict()``) in that row of the JSON — so a regression in
+the timing table can be chased down to the construction phase that
+slowed, without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+
+from repro.observability import Trace
+from repro.runtime.budget import current_budget
+from repro.strings.kernels import cache_stats
+
+_TABLES: "OrderedDict[str, dict]" = OrderedDict()
+_BENCH_ROWS: list[dict] = []
+
+#: Default output path of the machine-readable results (repo root).
+BENCH_JSON_DEFAULT = os.path.join(os.path.dirname(__file__), "..", "BENCH_kernels.json")
+
+#: Per-test governor defaults — generous enough that every benchmark in
+#: the sweep completes unchanged, tight enough that a regression (or a
+#: hostile parameter bump) fails deterministically with a one-line
+#: :class:`~repro.errors.BudgetExceededError` instead of hanging the run.
+DEFAULT_BENCH_TIMEOUT = 600.0
+DEFAULT_BENCH_MAX_STATES = 50_000_000
+
+
+def env_limit(name: str, default: float | int, cast):
+    """Read a governor limit from the environment; ``0``/``none`` disables."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    if raw.strip().lower() in ("", "0", "none", "off"):
+        return None
+    return cast(raw)
+
+
+def trace_enabled() -> bool:
+    """Should :func:`run_timed` embed span trees?  (``REPRO_BENCH_TRACE``)"""
+    return os.environ.get("REPRO_BENCH_TRACE", "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
+
+
+def record_row(experiment: str, row: dict, note: str = "") -> None:
+    """Add one row to *experiment*'s reproduction table.
+
+    ``row`` is an ordered mapping of column name to value; all rows of one
+    experiment should share the same columns.
+    """
+    table = _TABLES.setdefault(experiment, {"note": note, "rows": []})
+    if note:
+        table["note"] = note
+    table["rows"].append(row)
+
+
+def record_bench(
+    op: str,
+    *,
+    n=None,
+    seconds: float | None = None,
+    states: int | None = None,
+    cache_hits: int | None = None,
+    **extra,
+) -> None:
+    """Shared machine-readable writer: one structured result row destined
+    for ``BENCH_kernels.json``.
+
+    Every benchmark module writes through here — either explicitly or via
+    :func:`run_timed` — so the JSON schema stays uniform across the suite.
+    """
+    row: dict = {"op": op, "n": n, "seconds": seconds, "states": states,
+                 "cache_hits": cache_hits}
+    row.update(extra)
+    _BENCH_ROWS.append(row)
+
+
+def _total_cache_hits() -> int:
+    return sum(stats["hits"] for stats in cache_stats().values())
+
+
+def run_timed(benchmark, func, *args, rounds: int = 1, **kwargs):
+    """Run *func* under pytest-benchmark and return ``(result, seconds)``.
+
+    Heavy constructions use ``rounds=1`` so the sweep stays fast; the
+    mean time still lands in the benchmark table.  Each call also records
+    a structured row (op, wall time, budget states, kernel cache hits)
+    through :func:`record_bench` — plus, under ``REPRO_BENCH_TRACE=1``,
+    the span tree of the measured call.
+    """
+    op = getattr(benchmark, "name", getattr(func, "__name__", str(func)))
+    hits_before = _total_cache_hits()
+    budget = current_budget()
+    states_before = budget.states if budget is not None else None
+    trace = Trace(op) if trace_enabled() else None
+    if trace is not None:
+        with trace:
+            result = benchmark.pedantic(
+                func, args=args, kwargs=kwargs, rounds=rounds, iterations=1
+            )
+    else:
+        result = benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=rounds, iterations=1
+        )
+    seconds = float(benchmark.stats.stats.mean) if benchmark.stats else float("nan")
+    extra = {"trace": trace.to_dict()} if trace is not None else {}
+    record_bench(
+        op,
+        seconds=seconds,
+        states=(budget.states - states_before) if budget is not None else None,
+        cache_hits=_total_cache_hits() - hits_before,
+        **extra,
+    )
+    return result, seconds
+
+
+def format_table(rows: list[dict]) -> list[str]:
+    columns = list(rows[0])
+    widths = {
+        col: max(len(str(col)), *(len(str(row.get(col, ""))) for row in rows))
+        for col in columns
+    }
+    header = "  ".join(str(col).ljust(widths[col]) for col in columns)
+    sep = "  ".join("-" * widths[col] for col in columns)
+    lines = [header, sep]
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns)
+        )
+    return lines
+
+
+def write_bench_json() -> None:
+    """Dump the structured rows and reproduction tables to
+    ``BENCH_kernels.json`` (set ``REPRO_BENCH_JSON`` to redirect, or to
+    ``none`` to skip)."""
+    if not _BENCH_ROWS and not _TABLES:
+        return
+    path = os.environ.get("REPRO_BENCH_JSON", BENCH_JSON_DEFAULT)
+    if path.strip().lower() in ("", "0", "none", "off"):
+        return
+    payload = {
+        "schema": 1,
+        "results": _BENCH_ROWS,
+        "tables": {
+            name: {"note": table["note"], "rows": table["rows"]}
+            for name, table in _TABLES.items()
+        },
+        "cache": cache_stats(),
+    }
+    with open(os.path.abspath(path), "w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")

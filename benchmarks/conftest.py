@@ -1,4 +1,4 @@
-"""Shared infrastructure for the experiment benchmarks.
+"""Pytest wiring for the experiment benchmarks.
 
 Each benchmark module reproduces one experiment of DESIGN.md's
 per-experiment index.  Timing is handled by pytest-benchmark; the
@@ -15,43 +15,46 @@ overridable via ``REPRO_BENCH_JSON``): :func:`run_timed` routes every
 timing through :func:`record_bench`, which records machine-readable rows
 (op, n, wall time, states, cache hits), and the reproduction tables are
 dumped alongside — so the repo's perf trajectory is diffable from this
-PR onward.
+PR onward.  Under ``REPRO_BENCH_TRACE=1`` each timed row additionally
+embeds the span tree of the measured call (see ``docs/OBSERVABILITY.md``).
+
+The reusable machinery lives in :mod:`benchmarks._util`; this module
+only holds the pytest hooks and fixtures, and re-exports the helper
+names so existing ``from benchmarks.conftest import run_timed``-style
+imports keep working.
 """
 
 from __future__ import annotations
 
-import json
-import os
-from collections import OrderedDict
-
 import pytest
 
+from benchmarks._util import (
+    BENCH_JSON_DEFAULT,
+    DEFAULT_BENCH_MAX_STATES,
+    DEFAULT_BENCH_TIMEOUT,
+    _TABLES,
+    env_limit,
+    format_table,
+    record_bench,
+    record_row,
+    run_timed,
+    trace_enabled,
+    write_bench_json,
+)
 from repro.runtime import Budget
-from repro.runtime.budget import current_budget
-from repro.strings.kernels import cache_stats
 
-_TABLES: "OrderedDict[str, dict]" = OrderedDict()
-_BENCH_ROWS: list[dict] = []
-
-#: Default output path of the machine-readable results (repo root).
-BENCH_JSON_DEFAULT = os.path.join(os.path.dirname(__file__), "..", "BENCH_kernels.json")
-
-#: Per-test governor defaults — generous enough that every benchmark in
-#: the sweep completes unchanged, tight enough that a regression (or a
-#: hostile parameter bump) fails deterministically with a one-line
-#: :class:`~repro.errors.BudgetExceededError` instead of hanging the run.
-DEFAULT_BENCH_TIMEOUT = 600.0
-DEFAULT_BENCH_MAX_STATES = 50_000_000
-
-
-def _env_limit(name: str, default: float | int, cast):
-    """Read a governor limit from the environment; ``0``/``none`` disables."""
-    raw = os.environ.get(name)
-    if raw is None:
-        return default
-    if raw.strip().lower() in ("", "0", "none", "off"):
-        return None
-    return cast(raw)
+__all__ = [
+    "BENCH_JSON_DEFAULT",
+    "DEFAULT_BENCH_MAX_STATES",
+    "DEFAULT_BENCH_TIMEOUT",
+    "env_limit",
+    "format_table",
+    "record_bench",
+    "record_row",
+    "run_timed",
+    "trace_enabled",
+    "write_bench_json",
+]
 
 
 def pytest_configure(config):
@@ -73,25 +76,13 @@ def bench_budget(request):
         yield None
         return
     budget = Budget(
-        timeout=_env_limit("REPRO_BENCH_TIMEOUT", DEFAULT_BENCH_TIMEOUT, float),
-        max_states=_env_limit(
+        timeout=env_limit("REPRO_BENCH_TIMEOUT", DEFAULT_BENCH_TIMEOUT, float),
+        max_states=env_limit(
             "REPRO_BENCH_MAX_STATES", DEFAULT_BENCH_MAX_STATES, int
         ),
     )
     with budget:
         yield budget
-
-
-def record_row(experiment: str, row: dict, note: str = "") -> None:
-    """Add one row to *experiment*'s reproduction table.
-
-    ``row`` is an ordered mapping of column name to value; all rows of one
-    experiment should share the same columns.
-    """
-    table = _TABLES.setdefault(experiment, {"note": note, "rows": []})
-    if note:
-        table["note"] = note
-    table["rows"].append(row)
 
 
 @pytest.fixture
@@ -100,73 +91,8 @@ def record():
     return record_row
 
 
-def record_bench(
-    op: str,
-    *,
-    n=None,
-    seconds: float | None = None,
-    states: int | None = None,
-    cache_hits: int | None = None,
-    **extra,
-) -> None:
-    """Shared machine-readable writer: one structured result row destined
-    for ``BENCH_kernels.json``.
-
-    Every benchmark module writes through here — either explicitly or via
-    :func:`run_timed` — so the JSON schema stays uniform across the suite.
-    """
-    row: dict = {"op": op, "n": n, "seconds": seconds, "states": states,
-                 "cache_hits": cache_hits}
-    row.update(extra)
-    _BENCH_ROWS.append(row)
-
-
-def _total_cache_hits() -> int:
-    return sum(stats["hits"] for stats in cache_stats().values())
-
-
-def run_timed(benchmark, func, *args, rounds: int = 1, **kwargs):
-    """Run *func* under pytest-benchmark and return ``(result, seconds)``.
-
-    Heavy constructions use ``rounds=1`` so the sweep stays fast; the
-    mean time still lands in the benchmark table.  Each call also records
-    a structured row (op, wall time, budget states, kernel cache hits)
-    through :func:`record_bench`.
-    """
-    hits_before = _total_cache_hits()
-    budget = current_budget()
-    states_before = budget.states if budget is not None else None
-    result = benchmark.pedantic(
-        func, args=args, kwargs=kwargs, rounds=rounds, iterations=1
-    )
-    seconds = float(benchmark.stats.stats.mean) if benchmark.stats else float("nan")
-    record_bench(
-        getattr(benchmark, "name", getattr(func, "__name__", str(func))),
-        seconds=seconds,
-        states=(budget.states - states_before) if budget is not None else None,
-        cache_hits=_total_cache_hits() - hits_before,
-    )
-    return result, seconds
-
-
-def _format_table(rows: list[dict]) -> list[str]:
-    columns = list(rows[0])
-    widths = {
-        col: max(len(str(col)), *(len(str(row.get(col, ""))) for row in rows))
-        for col in columns
-    }
-    header = "  ".join(str(col).ljust(widths[col]) for col in columns)
-    sep = "  ".join("-" * widths[col] for col in columns)
-    lines = [header, sep]
-    for row in rows:
-        lines.append(
-            "  ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns)
-        )
-    return lines
-
-
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    _write_bench_json()
+    write_bench_json()
     if not _TABLES:
         return
     write = terminalreporter.write_line
@@ -180,28 +106,5 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         if table["note"]:
             write(table["note"])
         if table["rows"]:
-            for line in _format_table(table["rows"]):
+            for line in format_table(table["rows"]):
                 write("  " + line)
-
-
-def _write_bench_json() -> None:
-    """Dump the structured rows and reproduction tables to
-    ``BENCH_kernels.json`` (set ``REPRO_BENCH_JSON`` to redirect, or to
-    ``none`` to skip)."""
-    if not _BENCH_ROWS and not _TABLES:
-        return
-    path = os.environ.get("REPRO_BENCH_JSON", BENCH_JSON_DEFAULT)
-    if path.strip().lower() in ("", "0", "none", "off"):
-        return
-    payload = {
-        "schema": 1,
-        "results": _BENCH_ROWS,
-        "tables": {
-            name: {"note": table["note"], "rows": table["rows"]}
-            for name, table in _TABLES.items()
-        },
-        "cache": cache_stats(),
-    }
-    with open(os.path.abspath(path), "w") as handle:
-        json.dump(payload, handle, indent=2, default=str)
-        handle.write("\n")

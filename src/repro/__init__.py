@@ -45,8 +45,30 @@ Subpackages
     and the associated decision procedures.
 ``repro.families``
     The paper's lower-bound families and random schema generators.
+``repro.api``
+    The stable high-level facade: :func:`approximate_upper`,
+    :func:`approximate_lower`, :func:`definability`,
+    :func:`schema_includes`, :func:`schema_equivalent`, :func:`validate`
+    — each returning a frozen result object carrying the answer plus the
+    :class:`~repro.observability.Trace` and budget usage of the call.
+``repro.observability``
+    Zero-dependency structured tracing (span trees) and metrics for every
+    governed construction; see ``docs/OBSERVABILITY.md``.
 """
 
+from repro.api import (
+    ApproximationResult,
+    BudgetUsage,
+    DefinabilityReport,
+    InclusionResult,
+    ValidationResult,
+    approximate_lower,
+    approximate_upper,
+    definability,
+    schema_equivalent,
+    schema_includes,
+    validate,
+)
 from repro.core import (
     Definability,
     DefinabilityResult,
@@ -101,23 +123,38 @@ from repro.schemas import (
     single_type_equivalent,
     type_automaton,
 )
+from repro.observability import METRICS, Span, Trace
 from repro.trees import Tree, parse_tree, unary_tree
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ApproximationResult",
     "AutomatonError",
     "Budget",
+    "BudgetUsage",
     "BudgetExceededError",
     "BudgetProgress",
     "CancellationToken",
     "DFAXSD",
     "DTD",
     "Definability",
+    "DefinabilityReport",
     "DefinabilityResult",
     "EDTD",
+    "InclusionResult",
+    "METRICS",
+    "Span",
+    "Trace",
+    "ValidationResult",
+    "approximate_lower",
+    "approximate_upper",
     "current_budget",
+    "definability",
+    "schema_equivalent",
+    "schema_includes",
     "single_type_definability",
+    "validate",
     "NotSingleTypeError",
     "RegexSyntaxError",
     "ReproError",

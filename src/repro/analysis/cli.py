@@ -19,7 +19,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description=(
             "repro-lint: AST-based checker for the repository's governor, "
-            "kernel, and determinism invariants (rules R001-R005)."
+            "kernel, and determinism invariants (rules R001-R006)."
         ),
     )
     parser.add_argument(

@@ -1,4 +1,4 @@
-"""The repro-lint rule catalog (R001–R005).
+"""The repro-lint rule catalog (R001–R006).
 
 Each rule encodes one repo-specific invariant that otherwise lives only in
 reviewers' heads — see ``docs/ANALYSIS.md`` for the catalog with examples
@@ -602,6 +602,91 @@ class FrozenMutationRule(Rule):
                     )
 
 
+# ----------------------------------------------------------------------
+# R006 — uniform governed keyword surface
+# ----------------------------------------------------------------------
+
+#: Directories whose module-level public functions form the governed API
+#: surface normalized by R006 (plus the ``repro/api.py`` facade).
+API_SURFACE_DIRS = frozenset({"core"})
+
+
+class ApiSignatureRule(Rule):
+    """Governed public entry points expose a uniform keyword surface.
+
+    Every module-level public function in :mod:`repro.core` (and the
+    :mod:`repro.api` facade) that participates in governance — i.e.
+    declares a ``budget`` parameter — must accept the full trailing trio
+    ``*, budget=None, checkpoint=None, trace=None``, all keyword-only and
+    all defaulting to ``None``.  Callers then never need to know which
+    construction happens to support resumption or tracing: the keywords
+    are always legal, and ``None`` always means "resolve the ambient
+    context default".
+
+    Methods, nested helpers, and underscore-prefixed functions manage
+    their own (private) surface and are exempt.
+    """
+
+    rule_id = "R006"
+    title = "api-signature"
+    severity = Severity.ERROR
+    hint = (
+        "declare the governed trio as trailing keyword-only parameters: "
+        "`*, budget=None, checkpoint=None, trace=None`"
+    )
+
+    _REQUIRED = ("budget", "checkpoint", "trace")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:  # type: ignore[override]
+        if not (
+            ctx.in_dirs(API_SURFACE_DIRS) or _basename(ctx.relpath) == "api.py"
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if not isinstance(ctx.parent(node), ast.Module):
+                continue  # methods and nested helpers: private surface
+            positional = {
+                arg.arg for arg in node.args.posonlyargs + node.args.args
+            }
+            keyword_only = {
+                arg.arg: default
+                for arg, default in zip(node.args.kwonlyargs, node.args.kw_defaults)
+            }
+            if "budget" not in positional and "budget" not in keyword_only:
+                continue  # ungoverned entry point: surface is its own business
+            for name in self._REQUIRED:
+                if name in positional:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"governed parameter {name!r} of {node.name}() must be "
+                        "keyword-only",
+                    )
+                    continue
+                if name not in keyword_only:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"governed entry point {node.name}() is missing "
+                        f"keyword-only parameter {name!r}",
+                    )
+                    continue
+                default = keyword_only[name]
+                if not (
+                    isinstance(default, ast.Constant) and default.value is None
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"governed parameter {name!r} of {node.name}() must "
+                        "default to None",
+                    )
+
+
 def _assignment_targets(node: ast.AST) -> list[ast.expr]:
     if isinstance(node, ast.Assign):
         return list(node.targets)
@@ -629,4 +714,5 @@ ALL_RULES: tuple[type[Rule], ...] = (
     KernelBoundaryRule,
     ErrorTaxonomyRule,
     FrozenMutationRule,
+    ApiSignatureRule,
 )

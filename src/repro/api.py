@@ -1,0 +1,356 @@
+"""The stable high-level facade: one call, one result object.
+
+Every entry point here wraps one of the paper's constructions or decision
+procedures behind a uniform contract:
+
+* the governed trio ``budget=None, checkpoint=None, trace=None`` is always
+  accepted (R006 keyword surface; ``None`` resolves the ambient
+  context-manager defaults);
+* when no budget is supplied a fresh *unlimited metering*
+  :class:`repro.runtime.Budget` is installed, so the returned
+  :class:`BudgetUsage` is always populated;
+* when no trace is supplied a fresh :class:`repro.observability.Trace` is
+  opened around the call, so the result always carries the span tree of
+  what actually ran — the facade *is* the observability surface.
+
+Results are frozen dataclasses: :class:`ApproximationResult`,
+:class:`InclusionResult`, :class:`ValidationResult`,
+:class:`DefinabilityReport`.  The lower-level entry points
+(:func:`repro.core.upper.minimal_upper_approximation` and friends) remain
+public and unchanged for callers who want the raw schema objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro import observability as _obs
+from repro.core.decision import (
+    Definability,
+    single_type_definability,
+)
+from repro.core.greedy import greedy_maximal_lower
+from repro.core.upper import minimal_upper_approximation
+from repro.errors import BudgetExceededError
+from repro.observability import Trace
+from repro.runtime.budget import Budget, resolve_budget
+from repro.schemas.edtd import EDTD
+from repro.schemas.inclusion import included_in_single_type
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.schemas.type_automaton import is_single_type
+from repro.tree_automata.inclusion import edtd_includes
+from repro.trees.tree import Tree
+from repro.trees.xml_io import from_xml
+
+__all__ = [
+    "ApproximationResult",
+    "BudgetUsage",
+    "DefinabilityReport",
+    "InclusionResult",
+    "ValidationResult",
+    "approximate_lower",
+    "approximate_upper",
+    "definability",
+    "schema_equivalent",
+    "schema_includes",
+    "validate",
+]
+
+
+# ----------------------------------------------------------------------
+# Result objects
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BudgetUsage:
+    """What one facade call charged against its (possibly shared) budget."""
+
+    states: int
+    steps: int
+    elapsed_seconds: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.states} states, {self.steps} steps, "
+            f"{self.elapsed_seconds:.3f}s"
+        )
+
+
+@dataclass(frozen=True)
+class ApproximationResult:
+    """An approximation schema plus the evidence of how it was built.
+
+    ``direction`` is ``"upper"`` (unique minimal upper XSD-approximation,
+    Theorem 3.2) or ``"lower"`` (greedy maximal-within-bound lower
+    approximation, Theorem 4.12 made constructive).
+    """
+
+    schema: SingleTypeEDTD
+    direction: str
+    trace: Trace
+    usage: BudgetUsage
+
+
+@dataclass(frozen=True)
+class InclusionResult:
+    """Boolean verdict of an inclusion or equivalence check; truthy iff
+    the inclusion holds."""
+
+    verdict: bool
+    trace: Trace
+    usage: BudgetUsage
+
+    def __bool__(self) -> bool:
+        return self.verdict
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Boolean verdict of document validation; truthy iff the document is
+    in the schema's language."""
+
+    valid: bool
+    trace: Trace
+    usage: BudgetUsage
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+@dataclass(frozen=True)
+class DefinabilityReport:
+    """Three-valued single-type definability verdict with budget evidence.
+
+    Truthy iff the verdict is ``Definability.YES``.  On ``UNKNOWN`` the
+    budget tripped: ``error`` carries the partial-progress counters and
+    ``checkpoint``, when not ``None``, resumes the interrupted subset
+    construction via ``definability(edtd, checkpoint=...)``.
+    """
+
+    verdict: Definability
+    error: BudgetExceededError | None
+    checkpoint: object | None
+    trace: Trace
+    usage: BudgetUsage
+
+    def __bool__(self) -> bool:
+        return self.verdict is Definability.YES
+
+
+# ----------------------------------------------------------------------
+# Shared context plumbing
+# ----------------------------------------------------------------------
+
+class _FacadeCall:
+    """Resolve (budget, trace) for one facade call and meter the deltas.
+
+    An explicit or ambient budget/trace wins; otherwise a fresh unlimited
+    metering budget and a fresh trace are created and — for the trace —
+    installed for the call's dynamic extent so every nested construction
+    span attaches to it.
+    """
+
+    __slots__ = (
+        "budget",
+        "trace",
+        "_owned_trace",
+        "_states0",
+        "_steps0",
+        "_elapsed0",
+    )
+
+    def __init__(self, name: str, budget: Budget | None, trace: Trace | None) -> None:
+        resolved = resolve_budget(budget)
+        self.budget = resolved if resolved is not None else Budget()
+        if trace is None:
+            trace = _obs.current_trace()
+        self._owned_trace = Trace(name) if trace is None else None
+        self.trace = trace if trace is not None else self._owned_trace
+        self._states0 = 0
+        self._steps0 = 0
+        self._elapsed0 = 0.0
+
+    def __enter__(self) -> "_FacadeCall":
+        if self._owned_trace is not None:
+            self._owned_trace.__enter__()
+        self._states0 = self.budget.states
+        self._steps0 = self.budget.steps
+        self._elapsed0 = self.budget.elapsed
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._owned_trace is not None:
+            self._owned_trace.__exit__(*exc_info)
+
+    def usage(self) -> BudgetUsage:
+        # Deltas, not totals: the budget may be a long-lived ambient one
+        # shared across several facade calls.
+        return BudgetUsage(
+            states=self.budget.states - self._states0,
+            steps=self.budget.steps - self._steps0,
+            elapsed_seconds=self.budget.elapsed - self._elapsed0,
+        )
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+def approximate_upper(
+    edtd: EDTD,
+    *,
+    minimize: bool = False,
+    budget: Budget | None = None,
+    checkpoint: Any = None,
+    trace: Trace | None = None,
+) -> ApproximationResult:
+    """Construction 3.1: the unique minimal upper XSD-approximation of
+    ``L(edtd)``, wrapped with trace and budget-usage evidence."""
+    with _FacadeCall("approximate-upper", budget, trace) as call:
+        schema = minimal_upper_approximation(
+            edtd,
+            minimize=minimize,
+            budget=call.budget,
+            checkpoint=checkpoint,
+            trace=call.trace,
+        )
+        return ApproximationResult(
+            schema=schema, direction="upper", trace=call.trace, usage=call.usage()
+        )
+
+
+def approximate_lower(
+    target: EDTD,
+    *,
+    max_size: int = 6,
+    seed_schema: SingleTypeEDTD | None = None,
+    budget: Budget | None = None,
+    checkpoint: Any = None,
+    trace: Trace | None = None,
+) -> ApproximationResult:
+    """A greedy maximal-within-bound lower XSD-approximation of
+    ``L(target)`` (the constructive side of Theorem 4.12)."""
+    with _FacadeCall("approximate-lower", budget, trace) as call:
+        schema = greedy_maximal_lower(
+            target,
+            max_size=max_size,
+            seed_schema=seed_schema,
+            budget=call.budget,
+            checkpoint=checkpoint,
+            trace=call.trace,
+        )
+        return ApproximationResult(
+            schema=schema, direction="lower", trace=call.trace, usage=call.usage()
+        )
+
+
+def definability(
+    edtd: EDTD,
+    *,
+    budget: Budget | None = None,
+    checkpoint: Any = None,
+    trace: Trace | None = None,
+) -> DefinabilityReport:
+    """Three-valued single-type definability of ``L(edtd)``
+    (EXPTIME-complete; degrades to ``UNKNOWN`` with a resumable
+    checkpoint when the budget trips)."""
+    with _FacadeCall("definability", budget, trace) as call:
+        result = single_type_definability(
+            edtd, budget=call.budget, checkpoint=checkpoint, trace=call.trace
+        )
+        return DefinabilityReport(
+            verdict=result.verdict,
+            error=result.error,
+            checkpoint=result.checkpoint,
+            trace=call.trace,
+            usage=call.usage(),
+        )
+
+
+def schema_includes(
+    sup: EDTD,
+    sub: EDTD,
+    *,
+    budget: Budget | None = None,
+    checkpoint: Any = None,
+    trace: Trace | None = None,
+) -> InclusionResult:
+    """Decide ``L(sub) subseteq L(sup)``.
+
+    Dispatches on the superset schema: single-type superset schemas take
+    the PTIME route of Lemma 3.3; general EDTDs take the exact EXPTIME
+    tree-automata procedure (Theorem 2.13).
+
+    *checkpoint* is accepted for keyword-surface uniformity but unused —
+    neither inclusion route has a resumable phase.
+    """
+    del checkpoint  # no resumable phase
+    with _FacadeCall("schema-includes", budget, trace) as call:
+        with _obs.construction_span(
+            "schema-includes", trace=call.trace, budget=call.budget
+        ) as span:
+            if is_single_type(sup):
+                verdict = included_in_single_type(sub, sup)
+            else:
+                verdict = edtd_includes(sup, sub, budget=call.budget)
+            if span is not None:
+                span.annotate(included=verdict)
+        return InclusionResult(verdict=verdict, trace=call.trace, usage=call.usage())
+
+
+def schema_equivalent(
+    left: EDTD,
+    right: EDTD,
+    *,
+    budget: Budget | None = None,
+    checkpoint: Any = None,
+    trace: Trace | None = None,
+) -> InclusionResult:
+    """Decide ``L(left) == L(right)`` (two inclusion checks, each routed
+    as in :func:`schema_includes`)."""
+    first = schema_includes(
+        left, right, budget=budget, checkpoint=checkpoint, trace=trace
+    )
+    if not first.verdict:
+        return first
+    second = schema_includes(
+        right, left, budget=budget, checkpoint=checkpoint, trace=first.trace
+    )
+    return InclusionResult(
+        verdict=second.verdict,
+        trace=first.trace,
+        usage=BudgetUsage(
+            states=first.usage.states + second.usage.states,
+            steps=first.usage.steps + second.usage.steps,
+            elapsed_seconds=max(
+                first.usage.elapsed_seconds, second.usage.elapsed_seconds
+            ),
+        ),
+    )
+
+
+def validate(
+    schema: EDTD,
+    document: "Tree | str",
+    *,
+    budget: Budget | None = None,
+    checkpoint: Any = None,
+    trace: Trace | None = None,
+) -> ValidationResult:
+    """Validate *document* (a :class:`Tree` or an element-only XML
+    fragment string) against *schema*.
+
+    *checkpoint* is accepted for keyword-surface uniformity but unused —
+    validation has no resumable phase.
+    """
+    del checkpoint  # no resumable phase
+    with _FacadeCall("validate", budget, trace) as call:
+        with _obs.construction_span(
+            "validate", trace=call.trace, budget=call.budget
+        ) as span:
+            tree = from_xml(document) if isinstance(document, str) else document
+            valid = schema.accepts(tree)
+            if span is not None:
+                span.annotate(valid=valid, nodes=tree.size())
+        return ValidationResult(valid=valid, trace=call.trace, usage=call.usage())

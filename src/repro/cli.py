@@ -28,6 +28,13 @@ Resource governance: the global flags ``--timeout SECONDS``,
 pathological schemas (the constructions are worst-case exponential)
 terminate promptly with a clean one-line diagnostic.
 
+Observability: the global flag ``--trace`` renders the span tree of
+every governed construction the command ran to stderr; ``--trace-json
+PATH`` writes the same trace (plus the metrics registry) as JSON
+conforming to ``repro/observability/trace_schema.json``.  Both emit
+even when the command fails or the budget trips, so partial traces of
+interrupted constructions are preserved.
+
 Exit codes: ``0`` success, ``1`` negative answer (invalid document,
 not included, not backward-compatible), ``2`` bad input or I/O error,
 ``3`` resource budget exceeded.
@@ -36,6 +43,7 @@ not included, not backward-compatible), ``2`` bad input or I/O error,
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from repro.core.decision import is_single_type_definable
@@ -48,6 +56,7 @@ from repro.core.upper import (
     upper_union,
 )
 from repro.errors import BudgetExceededError, ReproError
+from repro.observability import Trace
 from repro.runtime import Budget
 from repro.schemas.inclusion import included_in_single_type
 from repro.schemas.minimize import minimize_single_type
@@ -232,6 +241,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="maximum abstract construction steps",
     )
+    observability = parser.add_argument_group(
+        "observability",
+        "structured tracing of the governed constructions the command runs",
+    )
+    observability.add_argument(
+        "--trace",
+        action="store_true",
+        help="render the span tree of the command to stderr",
+    )
+    observability.add_argument(
+        "--trace-json",
+        default=None,
+        metavar="PATH",
+        help="write the trace (span tree + metrics) as JSON to PATH",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def schema_cmd(name, func, help_text, *, binary=False, doc=False):
@@ -292,6 +316,15 @@ def _build_budget(args) -> Budget | None:
     )
 
 
+def _emit_trace(trace: Trace, args) -> None:
+    if args.trace:
+        print(trace.render(), file=sys.stderr)
+    if args.trace_json:
+        with open(args.trace_json, "w", encoding="utf-8") as handle:
+            handle.write(trace.to_json())
+            handle.write("\n")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -300,10 +333,13 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_BAD_INPUT
+    trace = Trace(args.command) if (args.trace or args.trace_json) else None
     try:
-        if budget is None:
-            return args.func(args)
-        with budget:
+        with contextlib.ExitStack() as stack:
+            if budget is not None:
+                stack.enter_context(budget)
+            if trace is not None:
+                stack.enter_context(trace)
             return args.func(args)
     except BudgetExceededError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -311,6 +347,11 @@ def main(argv: list[str] | None = None) -> int:
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_BAD_INPUT
+    finally:
+        # Emit even on failure: partial traces of interrupted
+        # constructions are exactly when you want them.
+        if trace is not None:
+            _emit_trace(trace, args)
 
 
 if __name__ == "__main__":

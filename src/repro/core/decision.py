@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from repro import observability as _obs
 from repro.core.upper import minimal_upper_approximation
 from repro.errors import BudgetExceededError
 from repro.runtime.budget import resolve_budget
@@ -63,7 +64,9 @@ def is_minimal_upper_approximation(candidate: SingleTypeEDTD, edtd: EDTD) -> boo
     return included_in_single_type(candidate, reference)
 
 
-def is_single_type_definable(edtd: EDTD, *, budget=None) -> bool:
+def is_single_type_definable(
+    edtd: EDTD, *, budget=None, checkpoint=None, trace=None
+) -> bool:
     """Is ``L(edtd)`` definable by a single-type EDTD?  (EXPTIME-complete,
     Martens et al. [19].)
 
@@ -81,8 +84,18 @@ def is_single_type_definable(edtd: EDTD, *, budget=None) -> bool:
     variant that degrades to ``UNKNOWN`` with a resumable checkpoint.
     """
     budget = resolve_budget(budget)
-    upper = minimal_upper_approximation(edtd, budget=budget)
-    return edtd_includes(edtd, upper, budget=budget)
+    with _obs.construction_span(
+        "definability", trace=trace, budget=budget
+    ) as span:
+        upper = minimal_upper_approximation(
+            edtd, budget=budget, checkpoint=checkpoint
+        )
+        answer = edtd_includes(edtd, upper, budget=budget)
+        if span is not None:
+            span.annotate(definable=answer)
+        if _obs.ENABLED:
+            _obs.METRICS.counter("definability.runs").inc()
+    return answer
 
 
 class Definability(Enum):
@@ -119,6 +132,7 @@ def single_type_definability(
     *,
     budget=None,
     checkpoint=None,
+    trace=None,
 ) -> DefinabilityResult:
     """Three-valued, budget-aware version of
     :func:`is_single_type_definable`.
@@ -129,15 +143,26 @@ def single_type_definability(
     phase that tripped, a resumable checkpoint.
     """
     budget = resolve_budget(budget)
-    try:
-        upper = minimal_upper_approximation(edtd, budget=budget, checkpoint=checkpoint)
-        answer = edtd_includes(edtd, upper, budget=budget)
-    except BudgetExceededError as error:
-        return DefinabilityResult(
-            verdict=Definability.UNKNOWN,
-            error=error,
-            checkpoint=error.checkpoint,
-        )
+    with _obs.construction_span(
+        "definability", trace=trace, budget=budget
+    ) as span:
+        try:
+            upper = minimal_upper_approximation(
+                edtd, budget=budget, checkpoint=checkpoint
+            )
+            answer = edtd_includes(edtd, upper, budget=budget)
+        except BudgetExceededError as error:
+            if span is not None:
+                span.annotate(verdict="UNKNOWN")
+            return DefinabilityResult(
+                verdict=Definability.UNKNOWN,
+                error=error,
+                checkpoint=error.checkpoint,
+            )
+        if span is not None:
+            span.annotate(verdict="YES" if answer else "NO")
+        if _obs.ENABLED:
+            _obs.METRICS.counter("definability.runs").inc()
     return DefinabilityResult(
         Definability.YES if answer else Definability.NO
     )
@@ -202,6 +227,8 @@ def is_maximal_lower_approximation(
     max_size: int = 6,
     *,
     budget=None,
+    checkpoint=None,
+    trace=None,
 ) -> MaximalityVerdict:
     """Bounded-exact check of Section 4.4.2's decision problem.
 
@@ -219,17 +246,36 @@ def is_maximal_lower_approximation(
     improving witnesses, if any, must appear within the bound — and is
     otherwise the best any terminating procedure can report without the
     paper's 2EXPTIME automaton.
+
+    *checkpoint* is accepted for keyword-surface uniformity but unused —
+    the tree enumeration has no resumable phase.
     """
+    del checkpoint  # no resumable phase
     budget = resolve_budget(budget)
-    if not is_lower_approximation(candidate, edtd):
-        return MaximalityVerdict(Maximality.NOT_LOWER)
-    for tree in enumerate_trees(edtd, max_size):
-        if budget is not None:
-            budget.tick(1)
-        if candidate.accepts(tree):
-            continue
-        extended = edtd_union(candidate, singleton_edtd(tree, edtd.alphabet))
-        closure_schema = minimal_upper_approximation(extended, budget=budget)
-        if edtd_includes(edtd, closure_schema, budget=budget):
-            return MaximalityVerdict(Maximality.NOT_MAXIMAL, witness=tree)
+    with _obs.construction_span(
+        "maximality", trace=trace, budget=budget
+    ) as span:
+        if not is_lower_approximation(candidate, edtd):
+            if span is not None:
+                span.annotate(outcome=Maximality.NOT_LOWER.name)
+            return MaximalityVerdict(Maximality.NOT_LOWER)
+        examined = 0
+        for tree in enumerate_trees(edtd, max_size):
+            if budget is not None:
+                budget.tick(1)
+            examined += 1
+            if candidate.accepts(tree):
+                continue
+            extended = edtd_union(candidate, singleton_edtd(tree, edtd.alphabet))
+            closure_schema = minimal_upper_approximation(extended, budget=budget)
+            if edtd_includes(edtd, closure_schema, budget=budget):
+                if span is not None:
+                    span.annotate(
+                        outcome=Maximality.NOT_MAXIMAL.name, trees_examined=examined
+                    )
+                return MaximalityVerdict(Maximality.NOT_MAXIMAL, witness=tree)
+        if span is not None:
+            span.annotate(
+                outcome=Maximality.MAXIMAL_WITHIN_BOUND.name, trees_examined=examined
+            )
     return MaximalityVerdict(Maximality.MAXIMAL_WITHIN_BOUND)

@@ -25,8 +25,10 @@ from __future__ import annotations
 import random
 from collections.abc import Sequence
 
+from repro import observability as _obs
 from repro.core.decision import singleton_edtd
 from repro.core.upper import minimal_upper_approximation
+from repro.runtime.budget import resolve_budget
 from repro.schemas.edtd import EDTD
 from repro.schemas.ops import edtd_union
 from repro.schemas.st_edtd import SingleTypeEDTD
@@ -46,16 +48,27 @@ def try_absorb(
     current: SingleTypeEDTD,
     tree: Tree,
     target: EDTD,
+    *,
+    budget=None,
+    checkpoint=None,
+    trace=None,
 ) -> SingleTypeEDTD | None:
     """If ``closure(L(current) | {tree})`` stays inside ``L(target)``,
     return the (single-type) closure schema; otherwise None.
 
     Exact: the closure is ``upper(current | {tree})`` (Theorem 3.2) and
     the containment is checked with tree automata.
+
+    *checkpoint* is accepted for keyword-surface uniformity but unused —
+    the absorb check has no resumable phase.
     """
+    del checkpoint  # no resumable phase
+    budget = resolve_budget(budget)
     extended = edtd_union(current, singleton_edtd(tree, target.alphabet))
-    closure_schema = minimal_upper_approximation(extended)
-    if edtd_includes(target, closure_schema):
+    closure_schema = minimal_upper_approximation(
+        extended, budget=budget, trace=trace
+    )
+    if edtd_includes(target, closure_schema, budget=budget):
         return closure_schema
     return None
 
@@ -66,6 +79,10 @@ def greedy_maximal_lower(
     seed_schema: SingleTypeEDTD | None = None,
     order: Sequence[Tree] | None = None,
     rng: random.Random | None = None,
+    *,
+    budget=None,
+    checkpoint=None,
+    trace=None,
 ) -> SingleTypeEDTD:
     """Grow a lower XSD-approximation of ``L(target)`` until no member tree
     of at most *max_size* nodes improves it.
@@ -84,19 +101,38 @@ def greedy_maximal_lower(
         Explicit candidate order; defaults to size-lexicographic
         enumeration, optionally shuffled with *rng* (different orders can
         reach different maximal approximations).
+    budget / trace:
+        Resource budget and trace threaded through every absorb check
+        (explicit argument wins over the context-manager defaults).
+        *checkpoint* is accepted for keyword-surface uniformity but unused
+        — the greedy loop has no resumable phase.
     """
+    del checkpoint  # no resumable phase
+    budget = resolve_budget(budget)
     current = seed_schema if seed_schema is not None else empty_schema(target.alphabet)
     candidates = list(order) if order is not None else enumerate_trees(target, max_size)
     if rng is not None:
         rng.shuffle(candidates)
-    changed = True
-    while changed:  # ungoverned: passes bounded by |candidates|; each absorb check is governed
-        changed = False
-        for tree in candidates:
-            if current.accepts(tree):
-                continue
-            absorbed = try_absorb(current, tree, target)
-            if absorbed is not None:
-                current = absorbed
-                changed = True
+    with _obs.construction_span(
+        "greedy-lower", trace=trace, budget=budget, candidates=len(candidates)
+    ) as span:
+        changed = True
+        passes = 0
+        absorbed_count = 0
+        while changed:  # ungoverned: passes bounded by |candidates|; each absorb check is governed
+            changed = False
+            passes += 1
+            for tree in candidates:
+                if current.accepts(tree):
+                    continue
+                absorbed = try_absorb(current, tree, target, budget=budget)
+                if absorbed is not None:
+                    current = absorbed
+                    absorbed_count += 1
+                    changed = True
+        if span is not None:
+            span.annotate(passes=passes, absorbed=absorbed_count)
+        if _obs.ENABLED:
+            _obs.METRICS.counter("greedy.runs").inc()
+            _obs.METRICS.counter("greedy.absorbed").inc(absorbed_count)
     return current

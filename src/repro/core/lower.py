@@ -27,6 +27,7 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Hashable
 
+from repro import observability as _obs
 from repro.core.upper import minimal_upper_approximation
 from repro.runtime.budget import budget_phase, resolve_budget
 from repro.schemas.dfa_xsd import from_single_type
@@ -271,7 +272,7 @@ def _path_content(ctx: _PairContext, p: Pair, target: Pair, pairs: set) -> DFA:
 # ----------------------------------------------------------------------
 
 def non_violating(
-    d2: SingleTypeEDTD, d1: SingleTypeEDTD, *, budget=None
+    d2: SingleTypeEDTD, d1: SingleTypeEDTD, *, budget=None, checkpoint=None, trace=None
 ) -> SingleTypeEDTD:
     """Lemma 4.6: the single-type EDTD ``D'`` with ``L(D') = nv(d2, d1)``.
 
@@ -286,7 +287,11 @@ def non_violating(
     * otherwise: child strings of ``d2`` avoiding *slab* symbols entirely,
       plus child strings in both content models containing a slab symbol,
       where ``slab(tau)`` collects the labels stepping to an s-type.
+
+    *checkpoint* is accepted for keyword-surface uniformity but unused —
+    the pair classification has no resumable phase.
     """
+    del checkpoint  # no resumable phase
     budget = resolve_budget(budget)
     d1 = d1.reduced()
     d2 = d2.reduced()
@@ -294,61 +299,71 @@ def non_violating(
         return d2
     if not d1.types:
         return d2
-    ctx = _PairContext(d1, d2)
+    with _obs.construction_span("nv", trace=trace, budget=budget) as span:
+        ctx = _PairContext(d1, d2)
 
-    start_pairs = {
-        ctx.start_pair(a) for a in ctx.alphabet if ctx.start_pair(a)[1] is not None
-    }
-    with budget_phase(budget, "nv-pairs"):
-        pairs = {
-            p
-            for p in ctx.reachable_pairs_from(start_pairs, budget=budget)
-            if p[1] is not None
+        start_pairs = {
+            ctx.start_pair(a) for a in ctx.alphabet if ctx.start_pair(a)[1] is not None
         }
+        with budget_phase(budget, "nv-pairs"):
+            pairs = {
+                p
+                for p in ctx.reachable_pairs_from(start_pairs, budget=budget)
+                if p[1] is not None
+            }
 
-    s_cache: dict[Pair, bool] = {}
-    c_cache: dict[Pair, bool] = {}
+        s_cache: dict[Pair, bool] = {}
+        c_cache: dict[Pair, bool] = {}
 
-    def s_type(pair: Pair) -> bool:
-        if pair not in s_cache:
-            s_cache[pair] = is_s_type(ctx, pair)
-        return s_cache[pair]
+        def s_type(pair: Pair) -> bool:
+            if pair not in s_cache:
+                s_cache[pair] = is_s_type(ctx, pair)
+            return s_cache[pair]
 
-    def c_type(pair: Pair) -> bool:
-        if pair not in c_cache:
-            c_cache[pair] = is_c_type(ctx, pair)
-        return c_cache[pair]
+        def c_type(pair: Pair) -> bool:
+            if pair not in c_cache:
+                c_cache[pair] = is_c_type(ctx, pair)
+            return c_cache[pair]
 
-    rules: dict = {}
-    mu: dict = {}
-    for pair in pairs:
-        if budget is not None:
-            budget.tick(1)
-        t1, t2 = pair
-        mu[pair] = d2.mu[t2]
-        content2 = d2.content_over_sigma(t2)
-        content1 = (
-            d1.content_over_sigma(t1) if t1 is not None else None
-        )
-        slab = frozenset(
-            a for a in ctx.alphabet
-            if ctx.step(pair, a)[0] is not None and s_type(ctx.step(pair, a))
-        )
-        if c_type(pair):
-            assert content1 is not None  # c-types have a defined D1 component
-            selected = content2.intersection(content1)
-        else:
-            no_slab = _avoiding(ctx.alphabet, slab)
-            part_a = content2.intersection(no_slab)
-            if content1 is None or not slab:
-                selected = part_a
+        rules: dict = {}
+        mu: dict = {}
+        for pair in pairs:
+            if budget is not None:
+                budget.tick(1)
+            t1, t2 = pair
+            mu[pair] = d2.mu[t2]
+            content2 = d2.content_over_sigma(t2)
+            content1 = (
+                d1.content_over_sigma(t1) if t1 is not None else None
+            )
+            slab = frozenset(
+                a for a in ctx.alphabet
+                if ctx.step(pair, a)[0] is not None and s_type(ctx.step(pair, a))
+            )
+            if c_type(pair):
+                assert content1 is not None  # c-types have a defined D1 component
+                selected = content2.intersection(content1)
             else:
-                with_slab = contains_symbol_from(ctx.alphabet, slab)
-                part_b = content2.intersection(content1).intersection(with_slab)
-                selected = part_a.union(part_b)
-        rules[pair] = _pair_typed(minimize_dfa(selected), ctx, pair)
+                no_slab = _avoiding(ctx.alphabet, slab)
+                part_a = content2.intersection(no_slab)
+                if content1 is None or not slab:
+                    selected = part_a
+                else:
+                    with_slab = contains_symbol_from(ctx.alphabet, slab)
+                    part_b = content2.intersection(content1).intersection(with_slab)
+                    selected = part_a.union(part_b)
+            rules[pair] = _pair_typed(minimize_dfa(selected), ctx, pair)
 
-    starts = {p for p in start_pairs if p in pairs}
+        starts = {p for p in start_pairs if p in pairs}
+        if span is not None:
+            span.annotate(
+                pairs=len(pairs),
+                s_types=sum(1 for v in s_cache.values() if v),
+                c_types=sum(1 for v in c_cache.values() if v),
+            )
+        if _obs.ENABLED:
+            _obs.METRICS.counter("nv.runs").inc()
+            _obs.METRICS.histogram("nv.pairs").observe(len(pairs))
     return SingleTypeEDTD(
         alphabet=ctx.alphabet,
         types=pairs,
@@ -387,6 +402,8 @@ def maximal_lower_union(
     d2: SingleTypeEDTD,
     *,
     budget=None,
+    checkpoint=None,
+    trace=None,
 ) -> SingleTypeEDTD:
     """Theorem 4.8: the unique maximal lower XSD-approximation of
     ``L(d1) | L(d2)`` that contains ``L(d1)``, namely
@@ -397,5 +414,9 @@ def maximal_lower_union(
     for exactly the union.  Polynomial time overall.
     """
     budget = resolve_budget(budget)
-    nv = non_violating(d2, d1, budget=budget)
-    return minimal_upper_approximation(edtd_union(d1.reduced(), nv), budget=budget)
+    with _obs.construction_span("lower-union", trace=trace, budget=budget):
+        nv = non_violating(d2, d1, budget=budget)
+        result = minimal_upper_approximation(
+            edtd_union(d1.reduced(), nv), budget=budget, checkpoint=checkpoint
+        )
+    return result

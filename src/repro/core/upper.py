@@ -22,6 +22,7 @@ All functions return reduced :class:`SingleTypeEDTD` objects; pass
 
 from __future__ import annotations
 
+from repro import observability as _obs
 from repro.errors import BudgetExceededError
 from repro.runtime.budget import budget_phase, resolve_budget
 from repro.schemas.dfa_xsd import DFAXSD
@@ -46,6 +47,7 @@ def minimal_upper_approximation(
     minimize: bool = False,
     budget=None,
     checkpoint=None,
+    trace=None,
 ) -> SingleTypeEDTD:
     """Construction 3.1: the unique minimal upper XSD-approximation of
     ``L(edtd)``.
@@ -72,6 +74,10 @@ def minimal_upper_approximation(
     checkpoint:
         A :class:`repro.strings.determinize.SubsetCheckpoint` from a
         previous budget-interrupted run on the *same* EDTD.
+    trace:
+        A :class:`repro.observability.Trace` collecting the construction's
+        span tree (explicit argument wins over the ``with Trace():``
+        context default).
     """
     budget = resolve_budget(budget)
     reduced = edtd.reduced()
@@ -81,45 +87,55 @@ def minimal_upper_approximation(
         )
         return empty
 
-    n = type_automaton(reduced)
-    # States are frozensets of types / {Q_INIT}.
-    subset_dfa = determinize(n, budget=budget, checkpoint=checkpoint)
+    with _obs.construction_span(
+        "upper-approximation", trace=trace, budget=budget, input_types=len(reduced.types)
+    ) as span:
+        n = type_automaton(reduced)
+        # States are frozensets of types / {Q_INIT}.
+        subset_dfa = determinize(n, budget=budget, checkpoint=checkpoint)
 
-    rules: dict[frozenset, object] = {}
-    with budget_phase(budget, "content-union"):
-        try:
-            for subset in subset_dfa.states:
-                if subset == subset_dfa.initial:
-                    continue
-                if budget is not None:
-                    budget.tick(1)
-                union_nfa = _content_union(reduced, subset)
-                # Memoized: merged-type unions repeat across subsets (and
-                # across constructions); hits recharge *budget* with the
-                # recorded construction cost so trips stay deterministic.
-                rules[subset] = cached_min_dfa(union_nfa, budget=budget)
-        except BudgetExceededError as error:
-            # A checkpoint raised here belongs to a *content* NFA, not the
-            # type automaton — it must not be fed back into a resumed run.
-            error.checkpoint = None
-            raise
+        rules: dict[frozenset, object] = {}
+        with _obs.construction_span(
+            "content-union", budget=budget
+        ), budget_phase(budget, "content-union"):
+            try:
+                for subset in subset_dfa.states:
+                    if subset == subset_dfa.initial:
+                        continue
+                    if budget is not None:
+                        budget.tick(1)
+                    union_nfa = _content_union(reduced, subset)
+                    # Memoized: merged-type unions repeat across subsets (and
+                    # across constructions); hits recharge *budget* with the
+                    # recorded construction cost so trips stay deterministic.
+                    rules[subset] = cached_min_dfa(union_nfa, budget=budget)
+            except BudgetExceededError as error:
+                # A checkpoint raised here belongs to a *content* NFA, not the
+                # type automaton — it must not be fed back into a resumed run.
+                error.checkpoint = None
+                raise
 
-    xsd = DFAXSD(
-        alphabet=reduced.alphabet,
-        automaton=subset_dfa,
-        rules=rules,
-        starts=reduced.start_symbols(),
-    )
-    result = xsd.to_single_type().reduced()
-    if minimize:
-        # Degradation ladder, rung 1: minimization is an optional
-        # representation optimization — the unminimized result is already
-        # the exact minimal upper approximation, so a budget trip here
-        # falls back instead of failing.
-        try:
-            result = minimize_single_type(result, budget=budget)
-        except BudgetExceededError:
-            pass
+        xsd = DFAXSD(
+            alphabet=reduced.alphabet,
+            automaton=subset_dfa,
+            rules=rules,
+            starts=reduced.start_symbols(),
+        )
+        result = xsd.to_single_type().reduced()
+        if minimize:
+            # Degradation ladder, rung 1: minimization is an optional
+            # representation optimization — the unminimized result is already
+            # the exact minimal upper approximation, so a budget trip here
+            # falls back instead of failing.
+            try:
+                result = minimize_single_type(result, budget=budget)
+            except BudgetExceededError:
+                pass
+        if span is not None:
+            span.annotate(output_types=len(result.types))
+        if _obs.ENABLED:
+            _obs.METRICS.counter("upper.runs").inc()
+            _obs.METRICS.histogram("upper.output_types").observe(len(result.types))
     return result
 
 
@@ -141,6 +157,8 @@ def upper_union(
     *,
     minimize: bool = False,
     budget=None,
+    checkpoint=None,
+    trace=None,
 ) -> SingleTypeEDTD:
     """Theorem 3.6: the unique minimal upper XSD-approximation of
     ``L(left) | L(right)``, in time O(|left| |right|).
@@ -150,7 +168,11 @@ def upper_union(
     side (the reachable pairs), so the bound holds.
     """
     return minimal_upper_approximation(
-        edtd_union(left, right), minimize=minimize, budget=budget
+        edtd_union(left, right),
+        minimize=minimize,
+        budget=budget,
+        checkpoint=checkpoint,
+        trace=trace,
     )
 
 
@@ -160,18 +182,28 @@ def upper_intersection(
     *,
     minimize: bool = False,
     budget=None,
+    checkpoint=None,
+    trace=None,
 ) -> SingleTypeEDTD:
     """Theorem 3.8: the minimal upper XSD-approximation of an intersection
-    is the intersection itself (ST-REG is closed under intersection)."""
+    is the intersection itself (ST-REG is closed under intersection).
+
+    *checkpoint* is accepted for keyword-surface uniformity but unused —
+    the product construction has no resumable phase.
+    """
+    del checkpoint  # no resumable phase
     budget = resolve_budget(budget)
-    result = st_intersection(left, right, budget=budget)
-    if minimize:
-        # Same graceful degradation as Construction 3.1: the unminimized
-        # intersection is already exact.
-        try:
-            result = minimize_single_type(result, budget=budget)
-        except BudgetExceededError:
-            pass
+    with _obs.construction_span(
+        "upper-intersection", trace=trace, budget=budget
+    ):
+        result = st_intersection(left, right, budget=budget)
+        if minimize:
+            # Same graceful degradation as Construction 3.1: the unminimized
+            # intersection is already exact.
+            try:
+                result = minimize_single_type(result, budget=budget)
+            except BudgetExceededError:
+                pass
     return result
 
 
@@ -180,6 +212,8 @@ def upper_complement(
     *,
     minimize: bool = False,
     budget=None,
+    checkpoint=None,
+    trace=None,
 ) -> SingleTypeEDTD:
     """Theorem 3.9: minimal upper XSD-approximation of ``T_Sigma - L(D)``,
     in time polynomial in |D|.
@@ -189,7 +223,11 @@ def upper_complement(
     """
     budget = resolve_budget(budget)
     return minimal_upper_approximation(
-        complement_edtd(schema, budget=budget), minimize=minimize, budget=budget
+        complement_edtd(schema, budget=budget),
+        minimize=minimize,
+        budget=budget,
+        checkpoint=checkpoint,
+        trace=trace,
     )
 
 
@@ -199,10 +237,16 @@ def upper_difference(
     *,
     minimize: bool = False,
     budget=None,
+    checkpoint=None,
+    trace=None,
 ) -> SingleTypeEDTD:
     """Theorem 3.10: minimal upper XSD-approximation of
     ``L(left) - L(right)`` in polynomial time."""
     budget = resolve_budget(budget)
     return minimal_upper_approximation(
-        difference_edtd(left, right, budget=budget), minimize=minimize, budget=budget
+        difference_edtd(left, right, budget=budget),
+        minimize=minimize,
+        budget=budget,
+        checkpoint=checkpoint,
+        trace=trace,
     )

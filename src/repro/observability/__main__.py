@@ -1,0 +1,67 @@
+"""``python -m repro.observability`` — validate exported trace files.
+
+Usage::
+
+    python -m repro.observability validate TRACE.json [TRACE2.json ...]
+    python -m repro.observability validate --schema CUSTOM.json TRACE.json
+
+Exit codes mirror the main CLI: ``0`` every file is schema-valid, ``1``
+at least one file is invalid, ``2`` bad input or I/O error.  CI uses this
+to gate the ``--trace-json`` output of a governed construction against
+the checked-in ``trace_schema.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from repro.observability.schema import load_trace_schema, trace_schema_errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.observability",
+        description="Validate exported trace JSON against the checked-in schema",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    validate = sub.add_parser("validate", help="validate trace files")
+    validate.add_argument("files", nargs="+", metavar="TRACE.json")
+    validate.add_argument(
+        "--schema", default=None, help="override the packaged trace_schema.json"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if args.schema is not None:
+            with open(args.schema, encoding="utf-8") as handle:
+                schema: dict[str, Any] = json.load(handle)
+        else:
+            schema = load_trace_schema()
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    invalid = 0
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: {path}: {error}", file=sys.stderr)
+            return 2
+        errors = trace_schema_errors(data, schema)
+        if errors:
+            invalid += 1
+            print(f"INVALID {path}")
+            for message in errors:
+                print(f"  {message}")
+        else:
+            print(f"valid   {path}")
+    return 1 if invalid else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,117 @@
+"""Structural validation of exported traces against the checked-in schema.
+
+``trace_schema.json`` (shipped inside the package so installed
+deployments can validate without the repo checkout) is written in a small
+subset of JSON Schema draft-07 — ``type``, ``enum``, ``required``,
+``properties``, ``additionalProperties``, ``items``, and local
+``$ref``/``definitions`` — and this module interprets exactly that subset
+so no third-party ``jsonschema`` dependency is needed.  CI runs one
+governed construction with ``--trace-json`` and validates the emitted
+file through :func:`validate_trace` (``python -m repro.observability
+validate TRACE.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+
+#: The checked-in schema every exported trace must satisfy.
+TRACE_SCHEMA_PATH = Path(__file__).with_name("trace_schema.json")
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+class TraceSchemaError(ReproError):
+    """An exported trace does not match the checked-in schema."""
+
+
+def load_trace_schema() -> dict[str, Any]:
+    with TRACE_SCHEMA_PATH.open(encoding="utf-8") as handle:
+        schema: dict[str, Any] = json.load(handle)
+    return schema
+
+
+def _resolve_ref(schema: dict[str, Any], root: dict[str, Any]) -> dict[str, Any]:
+    ref = schema.get("$ref")
+    if ref is None:
+        return schema
+    if not isinstance(ref, str) or not ref.startswith("#/"):
+        raise TraceSchemaError(f"unsupported $ref {ref!r} (only local refs)")
+    node: Any = root
+    for part in ref[2:].split("/"):
+        if not isinstance(node, dict) or part not in node:
+            raise TraceSchemaError(f"dangling $ref {ref!r}")
+        node = node[part]
+    if not isinstance(node, dict):
+        raise TraceSchemaError(f"$ref {ref!r} does not name a schema object")
+    return node
+
+
+def _check(value: Any, schema: dict[str, Any], root: dict[str, Any], path: str,
+           errors: list[str]) -> None:
+    schema = _resolve_ref(schema, root)
+
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[t](value) for t in types if t in _TYPE_CHECKS):
+            errors.append(f"{path}: expected {' or '.join(types)}, got "
+                          f"{type(value).__name__}")
+            return
+
+    enum = schema.get("enum")
+    if enum is not None and value not in enum:
+        errors.append(f"{path}: {value!r} not one of {enum!r}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        for key, subschema in properties.items():
+            if key in value:
+                _check(value[key], subschema, root, f"{path}.{key}", errors)
+        additional = schema.get("additionalProperties")
+        if isinstance(additional, dict):
+            for key, item in value.items():
+                if key not in properties:
+                    _check(item, additional, root, f"{path}.{key}", errors)
+        elif additional is False:
+            for key in value:
+                if key not in properties:
+                    errors.append(f"{path}: unexpected key {key!r}")
+
+    if isinstance(value, list):
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for index, item in enumerate(value):
+                _check(item, items, root, f"{path}[{index}]", errors)
+
+
+def trace_schema_errors(data: Any, schema: dict[str, Any] | None = None) -> list[str]:
+    """Every point where *data* departs from the trace schema (empty = valid)."""
+    root = schema if schema is not None else load_trace_schema()
+    errors: list[str] = []
+    _check(data, root, root, "$", errors)
+    return errors
+
+
+def validate_trace(data: Any, schema: dict[str, Any] | None = None) -> None:
+    """Raise :class:`TraceSchemaError` unless *data* matches the schema."""
+    errors = trace_schema_errors(data, schema)
+    if errors:
+        raise TraceSchemaError(
+            "trace does not match trace_schema.json:\n  " + "\n  ".join(errors)
+        )

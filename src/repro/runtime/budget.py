@@ -43,6 +43,7 @@ from contextvars import ContextVar, Token
 from dataclasses import dataclass
 from typing import Any
 
+from repro import observability as _obs
 from repro.errors import BudgetExceededError, ReproError
 
 _ACTIVE: ContextVar["Budget | None"] = ContextVar("repro_budget", default=None)
@@ -242,6 +243,8 @@ class Budget:
         # zero-arg factory that only runs here, at trip time.
         if callable(checkpoint):
             checkpoint = checkpoint()
+        if _obs.ENABLED:
+            _obs.METRICS.counter(f"budget.trips.{reason}").inc()
         return BudgetExceededError(
             reason=reason,
             limit=limit,
@@ -267,6 +270,10 @@ class Budget:
         """Charge *n* abstract steps; periodically run the expensive checks."""
         steps = self.steps + n
         self.steps = steps
+        # Observability report site — one global load + branch when off
+        # (hot loops already batch ticks, so the enabled cost amortizes).
+        if _obs.ENABLED:
+            _obs.METRICS.counter("budget.steps").inc(n)
         if self.max_steps is not None and steps > self.max_steps:
             raise self._trip("max-steps", self.max_steps, frontier, checkpoint)
         if steps & self._mask < n:
@@ -276,6 +283,9 @@ class Budget:
         """Charge *n* materialized states (and one step each)."""
         states = self.states + n
         self.states = states
+        if _obs.ENABLED:
+            _obs.METRICS.counter("budget.states").inc(n)
+            _obs.METRICS.counter("budget.steps").inc(n)
         if self.max_states is not None and states > self.max_states:
             raise self._trip("max-states", self.max_states, frontier, checkpoint)
         # Step accounting inlined (not delegated to tick()) — this runs

@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Hashable
 
+from repro import observability as _obs
 from repro.runtime.budget import Budget, budget_phase, resolve_budget
 from repro.strings.dfa import DFA
 
@@ -72,51 +73,59 @@ def hopcroft_minimize(
     for symbol in alphabet:
         worklist.append((seed, symbol))
 
-    while worklist:
-        if budget is not None:
-            with budget_phase(budget, "hopcroft"):
-                budget.tick(frontier=len(worklist))
-        splitter_index, symbol = worklist.popleft()
-        splitter = blocks[splitter_index]
-        # States with a `symbol`-transition into the splitter.
-        predecessors: set[Hashable] = set()
-        for dst in splitter:
-            predecessors |= inverse.get((symbol, dst), set())
-        if not predecessors:
-            continue
-        # Group the affected blocks.
-        touched: dict[int, set] = {}
-        for state in predecessors:
-            touched.setdefault(block_of[state], set()).add(state)
-        for block_index, inside in touched.items():
-            block = blocks[block_index]
-            if len(inside) == len(block):
-                continue  # no split
-            outside = block - inside
-            # Keep the larger part in place; the smaller becomes new.
-            if len(inside) <= len(outside):
-                new_part, old_part = inside, outside
-            else:
-                new_part, old_part = outside, inside
-            blocks[block_index] = old_part
-            new_index = len(blocks)
-            blocks.append(new_part)
+    with _obs.construction_span(
+        "hopcroft-minimize", budget=budget, n_states=len(states)
+    ) as span:
+        while worklist:
             if budget is not None:
                 with budget_phase(budget, "hopcroft"):
-                    budget.charge_states(frontier=len(worklist))
-            for state in new_part:
-                block_of[state] = new_index
-            # Update the worklist (smaller-half rule).
-            for sym in alphabet:
-                if (block_index, sym) in worklist:
-                    worklist.append((new_index, sym))
+                    budget.tick(frontier=len(worklist))
+            splitter_index, symbol = worklist.popleft()
+            splitter = blocks[splitter_index]
+            # States with a `symbol`-transition into the splitter.
+            predecessors: set[Hashable] = set()
+            for dst in splitter:
+                predecessors |= inverse.get((symbol, dst), set())
+            if not predecessors:
+                continue
+            # Group the affected blocks.
+            touched: dict[int, set] = {}
+            for state in predecessors:
+                touched.setdefault(block_of[state], set()).add(state)
+            for block_index, inside in touched.items():
+                block = blocks[block_index]
+                if len(inside) == len(block):
+                    continue  # no split
+                outside = block - inside
+                # Keep the larger part in place; the smaller becomes new.
+                if len(inside) <= len(outside):
+                    new_part, old_part = inside, outside
                 else:
-                    smaller = (
-                        new_index
-                        if len(new_part) <= len(old_part)
-                        else block_index
-                    )
-                    worklist.append((smaller, sym))
+                    new_part, old_part = outside, inside
+                blocks[block_index] = old_part
+                new_index = len(blocks)
+                blocks.append(new_part)
+                if budget is not None:
+                    with budget_phase(budget, "hopcroft"):
+                        budget.charge_states(frontier=len(worklist))
+                for state in new_part:
+                    block_of[state] = new_index
+                # Update the worklist (smaller-half rule).
+                for sym in alphabet:
+                    if (block_index, sym) in worklist:
+                        worklist.append((new_index, sym))
+                    else:
+                        smaller = (
+                            new_index
+                            if len(new_part) <= len(old_part)
+                            else block_index
+                        )
+                        worklist.append((smaller, sym))
+        if span is not None:
+            span.annotate(blocks=len(blocks))
+        if _obs.ENABLED:
+            _obs.METRICS.counter("hopcroft.runs").inc()
+            _obs.METRICS.histogram("hopcroft.blocks").observe(len(blocks))
 
     transitions = {
         (block_of[src], sym): block_of[dst]

@@ -43,6 +43,7 @@ from collections.abc import Callable, Hashable, Iterable, Mapping
 from itertools import repeat
 from typing import TYPE_CHECKING, Any
 
+from repro import observability as _obs
 from repro.runtime.budget import Budget, budget_phase, resolve_budget
 
 if TYPE_CHECKING:  # pragma: no cover - runtime imports stay lazy
@@ -274,9 +275,6 @@ def subset_construction(
     checkpoints and exhaustion counts are interchangeable with
     :func:`~repro.strings.determinize.determinize_reference`.
     """
-    from repro.strings.determinize import SubsetCheckpoint
-    from repro.strings.dfa import DFA
-
     budget = resolve_budget(budget)
     order, code = _code_states(nfa.states)
     symbols = sorted(nfa.alphabet, key=repr)
@@ -304,19 +302,57 @@ def subset_construction(
     initial_mask = _mask_of(nfa.initials, code)
     finals_mask = _mask_of(nfa.finals, code)
 
-    if (
+    fast = (
         budget is None
         and checkpoint is None
         and _np is not None
         and USE_FAST_PATH
         and len(order) <= 63
-    ):
-        # Ungoverned, uninterrupted runs take the vectorized path; the
-        # scalar loop below stays the single source of truth for budget
-        # charging and checkpoint semantics.
-        return _subset_fast(
-            nfa, keep_empty, order, symbols, succ, initial_mask, finals_mask
-        )
+    )
+    with _obs.construction_span(
+        "determinize",
+        budget=budget,
+        kernel="fast" if fast else "scalar",
+        nfa_states=len(order),
+    ) as span:
+        if fast:
+            # Ungoverned, uninterrupted runs take the vectorized path; the
+            # scalar loop stays the single source of truth for budget
+            # charging and checkpoint semantics.
+            dfa = _subset_fast(
+                nfa, keep_empty, order, symbols, succ, initial_mask, finals_mask
+            )
+        else:
+            dfa = _subset_scalar(
+                nfa, keep_empty, budget, checkpoint, order, code, symbols,
+                fanout, succ, step_tab, nchunks, initial_mask, finals_mask,
+            )
+        if span is not None:
+            span.annotate(dfa_states=len(dfa.states))
+        if _obs.ENABLED:
+            _obs.METRICS.counter("determinize.runs").inc()
+            _obs.METRICS.histogram("determinize.dfa_states").observe(len(dfa.states))
+    return dfa
+
+
+def _subset_scalar(
+    nfa: "_NFA",
+    keep_empty: bool,
+    budget: Budget | None,
+    checkpoint: "SubsetCheckpoint | None",
+    order: list[State],
+    code: dict[State, int],
+    symbols: list[Hashable],
+    fanout: int,
+    succ: list[list[int]],
+    step_tab: list[list[dict[int, int]]],
+    nchunks: int,
+    initial_mask: int,
+    finals_mask: int,
+) -> "_DFA":
+    """The governed scalar subset loop (see :func:`subset_construction`)."""
+    from repro.strings.determinize import SubsetCheckpoint
+    from repro.strings.dfa import DFA
 
     if checkpoint is None:
         seen: set[int] = {initial_mask}
@@ -505,7 +541,9 @@ def hopcroft_refine(
                 in_worklist.add((block_id, sym_i))
 
     pending = 0
-    with budget_phase(budget, "minimize"):
+    with _obs.construction_span(
+        "hopcroft-refine", budget=budget, n_states=n, n_symbols=len(alphabet)
+    ) as span, budget_phase(budget, "minimize"):
         if budget is not None:
             # One step per state for the initial classification pass, so
             # even refinements that never split charge something (the
@@ -555,6 +593,11 @@ def hopcroft_refine(
                         in_worklist.add((smaller, s))
         if budget is not None and pending:
             budget.tick(pending)
+        if span is not None:
+            span.annotate(blocks=len(blocks))
+        if _obs.ENABLED:
+            _obs.METRICS.counter("hopcroft.runs").inc()
+            _obs.METRICS.histogram("hopcroft.blocks").observe(len(blocks))
 
     # Normalize block ids to first-occurrence order over *states* — the
     # numbering the Moore reference loop produces.
@@ -616,7 +659,11 @@ def nfa_includes(sup: "_NFA", sub: "_NFA", *, budget: Budget | None = None) -> b
     seen: set[tuple[int, int]] = {initial}
     queue: deque[tuple[int, int]] = deque([initial])
     pending = 0
-    with budget_phase(budget, "inclusion"):
+    with _obs.construction_span(
+        "inclusion", budget=budget
+    ) as span, budget_phase(budget, "inclusion"):
+        if _obs.ENABLED:
+            _obs.METRICS.counter("inclusion.runs").inc()
         if budget is not None:
             budget.charge_states(1, frontier=1)
         while queue:
@@ -646,6 +693,8 @@ def nfa_includes(sup: "_NFA", sub: "_NFA", *, budget: Budget | None = None) -> b
                 if sub_next & sub_finals and not sup_next & sup_finals:
                     if budget is not None and pending:
                         budget.tick(pending, len(queue))
+                    if span is not None:
+                        span.annotate(included=False, pairs=len(seen))
                     return False  # early exit on the first counterexample
                 pair = (sub_next, sup_next)
                 if pair not in seen:
@@ -655,6 +704,8 @@ def nfa_includes(sup: "_NFA", sub: "_NFA", *, budget: Budget | None = None) -> b
                         budget.charge_states(1, len(queue))
         if budget is not None and pending:
             budget.tick(pending, 0)
+        if span is not None:
+            span.annotate(included=True, pairs=len(seen))
     return True
 
 
@@ -684,8 +735,12 @@ class _KernelCache:
         entry = self.entries.get(key)
         if entry is not None:
             self.hits += 1
+            if _obs.ENABLED:
+                _obs.METRICS.counter(f"cache.{self.name}.hits").inc()
         else:
             self.misses += 1
+            if _obs.ENABLED:
+                _obs.METRICS.counter(f"cache.{self.name}.misses").inc()
         return entry
 
     def store(self, key: Any, value: tuple[Any, int, int]) -> None:
@@ -710,6 +765,16 @@ class _KernelCache:
 
 _MIN_DFA_CACHE = _KernelCache("min_dfa")
 _CONTENT_CACHE = _KernelCache("content_model")
+
+
+def _kernel_cache_totals() -> tuple[int, int]:
+    return (
+        _MIN_DFA_CACHE.hits + _CONTENT_CACHE.hits,
+        _MIN_DFA_CACHE.misses + _CONTENT_CACHE.misses,
+    )
+
+
+_obs.register_cache_provider(_kernel_cache_totals)
 
 
 def cache_stats() -> dict[str, dict]:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Mapping
 
+from repro import observability as _obs
 from repro.errors import AutomatonError
 from repro.runtime.budget import Budget, budget_phase, resolve_budget
 from repro.trees.tree import Tree
@@ -158,30 +159,38 @@ class BTA:
         for (label, q1, q2), targets in self.internal_rules.items():
             by_label.setdefault(label, []).append((q1, q2, targets))
         changed = True
-        while changed:
-            if budget is not None:
-                with budget_phase(budget, "bta-determinize"):
-                    budget.tick(frontier=len(subsets))
-            changed = False
-            snapshot = list(subsets)
-            for s1 in snapshot:
-                for s2 in snapshot:
-                    for label in self.alphabet:
-                        key = (label, s1, s2)
-                        if key in internal:
-                            continue
-                        combined: set[State] = set()
-                        for q1, q2, targets in by_label.get(label, ()):
-                            if q1 in s1 and q2 in s2:
-                                combined |= targets
-                        result = frozenset(combined)
-                        internal[key] = result
-                        if result not in subsets:
-                            subsets.add(result)
-                            changed = True
-                            if budget is not None:
-                                with budget_phase(budget, "bta-determinize"):
-                                    budget.charge_states(frontier=len(subsets))
+        with _obs.construction_span(
+            "bta-determinize", budget=budget, nta_states=len(self.states)
+        ) as span:
+            while changed:
+                if budget is not None:
+                    with budget_phase(budget, "bta-determinize"):
+                        budget.tick(frontier=len(subsets))
+                changed = False
+                snapshot = list(subsets)
+                for s1 in snapshot:
+                    for s2 in snapshot:
+                        for label in self.alphabet:
+                            key = (label, s1, s2)
+                            if key in internal:
+                                continue
+                            combined: set[State] = set()
+                            for q1, q2, targets in by_label.get(label, ()):
+                                if q1 in s1 and q2 in s2:
+                                    combined |= targets
+                            result = frozenset(combined)
+                            internal[key] = result
+                            if result not in subsets:
+                                subsets.add(result)
+                                changed = True
+                                if budget is not None:
+                                    with budget_phase(budget, "bta-determinize"):
+                                        budget.charge_states(frontier=len(subsets))
+            if span is not None:
+                span.annotate(subsets=len(subsets))
+            if _obs.ENABLED:
+                _obs.METRICS.counter("bta_determinize.runs").inc()
+                _obs.METRICS.histogram("bta_determinize.subsets").observe(len(subsets))
         finals = {subset for subset in subsets if subset & self.finals}
         leaf_rules = {label: {subset} for label, subset in leaf_subsets.items()}
         internal_rules = {key: {value} for key, value in internal.items()}

@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Hashable, Iterable
 
+from repro import observability as _obs
 from repro.runtime.budget import budget_phase, resolve_budget
 from repro.schemas.edtd import EDTD
 from repro.trees.encoding import MARKER
@@ -152,7 +153,11 @@ def bta_difference_empty(left: BTA, right: BTA, *, budget=None) -> bool:
 
     step_cache: dict = {}
     pending = 0
-    with budget_phase(budget, "bta-inclusion"):
+    with _obs.construction_span(
+        "bta-inclusion", budget=budget
+    ) as span, budget_phase(budget, "bta-inclusion"):
+        if _obs.ENABLED:
+            _obs.METRICS.counter("bta_inclusion.runs").inc()
         for label, left_leaf in left.leaf_rules.items():
             leaf_mask = right_mask(right.leaf_rules.get(label, frozenset()))
             for q in left_leaf:
@@ -202,6 +207,10 @@ def bta_difference_empty(left: BTA, right: BTA, *, budget=None) -> bool:
                     break
         if budget is not None and pending:
             budget.tick(pending, frontier=len(worklist))
+        if span is not None:
+            span.annotate(included=not counterexample, pairs=len(seen))
+        if _obs.ENABLED:
+            _obs.METRICS.histogram("bta_inclusion.pairs").observe(len(seen))
     return not counterexample
 
 

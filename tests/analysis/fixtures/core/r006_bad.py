@@ -1,0 +1,51 @@
+"""Known-bad fixture for R006 (api-signature).
+
+Module-level public functions under ``core/`` that declare a ``budget``
+parameter must expose the full governed trio ``*, budget=None,
+checkpoint=None, trace=None``.
+"""
+
+
+def positional_budget(edtd, budget=None, *, checkpoint=None, trace=None):
+    """Flagged: ``budget`` declared positionally."""
+    return edtd, budget, checkpoint, trace
+
+
+def missing_trio(edtd, *, budget=None):
+    """Flagged twice: ``checkpoint`` and ``trace`` both missing."""
+    return edtd, budget
+
+
+def bad_default(edtd, *, budget=None, checkpoint=None, trace=False):
+    """Flagged: ``trace`` defaults to something other than None."""
+    return edtd, budget, checkpoint, trace
+
+
+def conforming(edtd, *, budget=None, checkpoint=None, trace=None):
+    """Clean: the full trio, keyword-only, all defaulting to None."""
+    return edtd, budget, checkpoint, trace
+
+
+def ungoverned(edtd, max_size=6):
+    """Clean: no budget parameter, so the surface is its own business."""
+    return edtd, max_size
+
+
+def _private_helper(edtd, budget=None):
+    """Clean: underscore-prefixed functions manage their own surface."""
+    return edtd, budget
+
+
+class Wrapper:
+    def method(self, edtd, budget=None):
+        """Clean: methods are exempt."""
+        return edtd, budget
+
+
+def outer(edtd, *, budget=None, checkpoint=None, trace=None):
+    """Clean, and so is the nested helper."""
+
+    def inner(chunk, budget=None):
+        return chunk, budget
+
+    return inner(edtd)

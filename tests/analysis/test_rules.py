@@ -154,3 +154,38 @@ class TestFrozenMutationRule:
             "        object.__setattr__(self, 'x', abs(self.x))\n"
         )
         assert analyze_source(source, "runtime/point.py") == []
+
+
+class TestApiSignatureRule:
+    def test_bad_fixture_flags_each_violation(self):
+        findings = run_fixture("core", "r006_bad.py")
+        r006 = by_rule(findings, "R006")
+        assert [f.context for f in r006] == [
+            "positional_budget",
+            "missing_trio",
+            "missing_trio",
+            "bad_default",
+        ]
+        assert all(f.severity is Severity.ERROR for f in r006)
+        assert findings == r006
+
+    def test_messages_name_the_violation(self):
+        messages = "\n".join(f.message for f in run_fixture("core", "r006_bad.py"))
+        assert "must be keyword-only" in messages
+        assert "missing keyword-only parameter 'checkpoint'" in messages
+        assert "missing keyword-only parameter 'trace'" in messages
+        assert "must default to None" in messages
+
+    def test_api_facade_module_is_in_scope(self):
+        source = "def approximate(edtd, budget=None):\n    return edtd\n"
+        flagged = analyze_source(source, "api.py")
+        # positional budget + missing checkpoint + missing trace
+        assert [f.rule for f in flagged] == ["R006"] * 3
+
+    def test_outside_the_api_surface_is_exempt(self):
+        source = "def approximate(edtd, budget=None):\n    return edtd\n"
+        assert analyze_source(source, "strings/helper.py") == []
+
+    def test_ungoverned_functions_are_exempt(self):
+        source = "def enumerate_members(edtd, max_size=6):\n    return []\n"
+        assert analyze_source(source, "core/helper.py") == []

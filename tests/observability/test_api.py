@@ -1,0 +1,153 @@
+"""Tests for the `repro.api` facade: result objects, trace attachment,
+budget metering, and the dispatch logic of the inclusion entry points."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.api import (
+    ApproximationResult,
+    DefinabilityReport,
+    approximate_lower,
+    approximate_upper,
+    definability,
+    schema_equivalent,
+    schema_includes,
+    validate,
+)
+from repro.core.decision import Definability
+from repro.errors import TreeSyntaxError
+from repro.families.hard import example_2_6
+from repro.observability import METRICS, Trace
+from repro.runtime import Budget
+from repro.schemas.inclusion import single_type_equivalent
+from repro.schemas.type_automaton import is_single_type
+from repro.strings.kernels import clear_caches
+from repro.trees.tree import parse_tree
+
+
+@pytest.fixture(autouse=True)
+def fresh_observability():
+    clear_caches()
+    METRICS.reset()
+    yield
+    METRICS.reset()
+
+
+class TestApproximateUpper:
+    def test_returns_schema_with_evidence(self):
+        result = approximate_upper(example_2_6())
+        assert isinstance(result, ApproximationResult)
+        assert result.direction == "upper"
+        assert is_single_type(result.schema)
+        # The owned trace captured the construction that ran.
+        assert result.trace.root.name == "approximate-upper"
+        names = {span.name for span in result.trace.root.walk()}
+        assert "upper-approximation" in names
+        # The owned metering budget captured the work.
+        assert result.usage.states > 0
+        assert result.usage.steps > 0
+        assert result.usage.elapsed_seconds >= 0.0
+
+    def test_result_is_frozen(self):
+        result = approximate_upper(example_2_6())
+        with pytest.raises(AttributeError):
+            result.direction = "lower"
+
+    def test_explicit_trace_and_budget_are_used(self):
+        budget = Budget()
+        with Trace("mine") as trace:
+            result = approximate_upper(example_2_6(), budget=budget, trace=trace)
+        assert result.trace is trace
+        assert result.usage.states == budget.states
+        assert budget.states > 0
+
+    def test_usage_is_a_delta_on_shared_budgets(self):
+        budget = Budget()
+        first = approximate_upper(example_2_6(), budget=budget)
+        clear_caches()
+        second = approximate_upper(example_2_6(), budget=budget)
+        assert first.usage.states + second.usage.states == budget.states
+
+    def test_matches_the_underlying_construction(self):
+        from repro.core.upper import minimal_upper_approximation
+
+        facade = approximate_upper(example_2_6()).schema
+        direct = minimal_upper_approximation(example_2_6())
+        assert single_type_equivalent(facade, direct)
+
+
+class TestApproximateLower:
+    def test_lower_is_included_in_target(self):
+        target = example_2_6()
+        result = approximate_lower(target, max_size=4)
+        assert result.direction == "lower"
+        assert bool(schema_includes(target, result.schema))
+        assert result.trace.root.name == "approximate-lower"
+
+
+class TestDefinability:
+    def test_yes_verdict(self):
+        report = definability(example_2_6())
+        assert isinstance(report, DefinabilityReport)
+        assert report.verdict is Definability.YES
+        assert bool(report)
+        assert report.error is None
+        names = {span.name for span in report.trace.root.walk()}
+        assert "definability" in names
+
+    def test_unknown_on_tiny_budget(self):
+        report = definability(example_2_6(), budget=Budget(max_steps=1))
+        assert report.verdict is Definability.UNKNOWN
+        assert not report
+        assert report.error is not None
+
+
+class TestInclusionAndValidation:
+    def test_schema_includes_single_type_route(self):
+        target = example_2_6()
+        upper = approximate_upper(target).schema
+        result = schema_includes(upper, target)
+        assert bool(result)
+        assert result.verdict is True
+
+    def test_schema_includes_general_route(self):
+        # A general (non-single-type) superset forces the tree-automata
+        # route; example 2.6 included in itself.
+        edtd = example_2_6()
+        assert not is_single_type(edtd)
+        assert bool(schema_includes(edtd, edtd))
+
+    def test_schema_equivalent(self):
+        edtd = example_2_6()
+        assert bool(schema_equivalent(edtd, edtd))
+        upper = approximate_upper(edtd).schema
+        # Example 2.6 is single-type definable, so upper is equivalent.
+        assert bool(schema_equivalent(edtd, upper))
+
+    def test_validate_tree_and_xml(self, store_schema):
+        tree = parse_tree("store(item(price))")
+        assert bool(validate(store_schema, tree))
+        assert bool(validate(store_schema, "<store><item><price/></item></store>"))
+        assert not validate(store_schema, "<store><price/></store>")
+
+    def test_validate_rejects_malformed_xml(self, store_schema):
+        with pytest.raises(TreeSyntaxError):
+            validate(store_schema, "<store><item>")
+
+
+class TestPackageRootReExports:
+    def test_facade_is_importable_from_repro(self):
+        assert repro.approximate_upper is approximate_upper
+        assert repro.Trace is Trace
+        for name in (
+            "approximate_lower",
+            "definability",
+            "schema_includes",
+            "schema_equivalent",
+            "validate",
+            "METRICS",
+            "Span",
+        ):
+            assert name in repro.__all__
