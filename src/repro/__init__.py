@@ -54,6 +54,12 @@ Subpackages
 ``repro.observability``
     Zero-dependency structured tracing (span trees) and metrics for every
     governed construction; see ``docs/OBSERVABILITY.md``.
+``repro.cache``
+    Crash-safe persistent artifact cache for compiled DFAs and
+    approximation schemas; see ``docs/CACHING.md``.
+``repro.faults``
+    Deterministic fault injection for the chaos test harness; see
+    ``docs/ROBUSTNESS.md``.
 """
 
 from repro.api import (
@@ -123,6 +129,8 @@ from repro.schemas import (
     single_type_equivalent,
     type_automaton,
 )
+from repro.cache import ArtifactCache
+from repro.errors import CacheError, InjectedFaultError
 from repro.observability import METRICS, Span, Trace
 from repro.trees import Tree, parse_tree, unary_tree
 
@@ -130,11 +138,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ApproximationResult",
+    "ArtifactCache",
     "AutomatonError",
     "Budget",
     "BudgetUsage",
     "BudgetExceededError",
     "BudgetProgress",
+    "CacheError",
     "CancellationToken",
     "DFAXSD",
     "DTD",
@@ -143,6 +153,7 @@ __all__ = [
     "DefinabilityResult",
     "EDTD",
     "InclusionResult",
+    "InjectedFaultError",
     "METRICS",
     "Span",
     "Trace",

@@ -1,4 +1,4 @@
-"""The repro-lint rule catalog (R001–R006).
+"""The repro-lint rule catalog (R001–R007).
 
 Each rule encodes one repo-specific invariant that otherwise lives only in
 reviewers' heads — see ``docs/ANALYSIS.md`` for the catalog with examples
@@ -687,6 +687,141 @@ class ApiSignatureRule(Rule):
                     )
 
 
+# ----------------------------------------------------------------------
+# R007 — fault swallowing
+# ----------------------------------------------------------------------
+
+#: Exception types that may be silently discarded: optional-dependency
+#: gating and iteration-protocol plumbing, where the exception *is* the
+#: signal and there is nothing to record.
+SWALLOW_ALLOWED = frozenset(
+    {
+        "ImportError",
+        "ModuleNotFoundError",
+        "StopIteration",
+        "StopAsyncIteration",
+        "GeneratorExit",
+        "CancelledError",
+    }
+)
+
+#: Statement types that leave no trace of the caught exception.
+_TRIVIAL_STMTS = (ast.Pass, ast.Continue, ast.Break)
+
+
+class FaultSwallowRule(Rule):
+    """Except handlers must not silently discard non-taxonomy failures.
+
+    The chaos harness's core invariant — a fault either surfaces as a
+    taxonomy error or the run degrades *visibly* (counted, quarantined,
+    recomputed) — dies quietly at any ``except SomeError: pass``.  The
+    rule flags a handler when **both** hold:
+
+    * it catches at least one type outside the :mod:`repro.errors`
+      taxonomy (including local subclasses of it) and outside the
+      optional-dependency/iteration-protocol allowlist
+      (:data:`SWALLOW_ALLOWED`); catching a taxonomy error to degrade
+      is a sanctioned pattern and stays exempt;
+    * its body leaves no trace of the failure: nothing but ``pass`` /
+      ``continue`` / ``break`` / bare constants — no re-raise, no
+      counter bump, no logging, no mapping to a result value.
+
+    Bare ``except:`` and broad ``except Exception`` are R004's business
+    and are not double-reported here.  The finding anchors on the
+    swallowing statement, so a justified site suppresses with
+    ``# repro-lint: disable=R007 -- <reason>`` on that line (see the
+    best-effort cleanup paths in ``repro/cache/store.py``).
+    """
+
+    rule_id = "R007"
+    title = "fault-swallowing"
+    severity = Severity.ERROR
+    hint = (
+        "record the failure (counter, quarantine, log) or map it to a "
+        "result value; silent discard hides real faults — suppress a "
+        "justified best-effort site with `# repro-lint: disable=R007 -- reason`"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:  # type: ignore[override]
+        taxonomy = _taxonomy_names() | self._local_taxonomy_names(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                continue  # bare except: R004 owns it
+            swallowed = self._swallowed_names(node, taxonomy)
+            if not swallowed:
+                continue
+            if not self._body_is_trivial(node.body):
+                continue
+            anchor = node.body[0] if node.body else node
+            yield self.finding(
+                ctx,
+                anchor,
+                f"handler swallows {', '.join(swallowed)} without recording "
+                "the failure",
+            )
+
+    @staticmethod
+    def _swallowed_names(node: ast.ExceptHandler, taxonomy: frozenset[str] | set[str]) -> list[str]:
+        exprs: list[ast.expr] = (
+            list(node.type.elts) if isinstance(node.type, ast.Tuple) else [node.type]  # type: ignore[union-attr]
+        )
+        names: list[str] = []
+        for expr in exprs:
+            name = _terminal_name(expr)
+            if name is None:
+                continue
+            if name in ("Exception", "BaseException"):
+                continue  # R004 owns broad handlers
+            if name in taxonomy or name in SWALLOW_ALLOWED:
+                continue
+            names.append(name)
+        return names
+
+    @staticmethod
+    def _body_is_trivial(body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, _TRIVIAL_STMTS):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue  # docstring / ellipsis
+            return False
+        return True
+
+    @staticmethod
+    def _local_taxonomy_names(ctx: ModuleContext) -> set[str]:
+        """Classes defined in this module that subclass the taxonomy."""
+        taxonomy = set(_taxonomy_names())
+        grew = True
+        while grew:
+            grew = False
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.ClassDef) or node.name in taxonomy:
+                    continue
+                if any(_terminal_name(base) in taxonomy for base in node.bases):
+                    taxonomy.add(node.name)
+                    grew = True
+        return taxonomy
+
+
+def _taxonomy_names() -> frozenset[str]:
+    """Names of every :class:`repro.errors.ReproError` subclass (cached)."""
+    global _TAXONOMY_CACHE
+    if _TAXONOMY_CACHE is None:
+        from repro import errors
+
+        _TAXONOMY_CACHE = frozenset(
+            name
+            for name, value in vars(errors).items()
+            if isinstance(value, type) and issubclass(value, errors.ReproError)
+        )
+    return _TAXONOMY_CACHE
+
+
+_TAXONOMY_CACHE: frozenset[str] | None = None
+
+
 def _assignment_targets(node: ast.AST) -> list[ast.expr]:
     if isinstance(node, ast.Assign):
         return list(node.targets)
@@ -715,4 +850,5 @@ ALL_RULES: tuple[type[Rule], ...] = (
     ErrorTaxonomyRule,
     FrozenMutationRule,
     ApiSignatureRule,
+    FaultSwallowRule,
 )

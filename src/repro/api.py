@@ -11,7 +11,15 @@ procedures behind a uniform contract:
   :class:`BudgetUsage` is always populated;
 * when no trace is supplied a fresh :class:`repro.observability.Trace` is
   opened around the call, so the result always carries the span tree of
-  what actually ran — the facade *is* the observability surface.
+  what actually ran — the facade *is* the observability surface;
+* an optional ``cache=`` accepts a :class:`repro.cache.ArtifactCache`
+  (installed as the ambient store for the call, so every nested
+  minimal-DFA/content-model construction consults it) or
+  :data:`repro.cache.DISABLED` to suppress ambient/environment stores.
+  :func:`approximate_upper` and :func:`approximate_lower` additionally
+  cache the *whole* result schema on disk, keyed by the input's
+  structural fingerprint — a warm repeat skips the construction entirely
+  while still replaying its recorded budget cost.
 
 Results are frozen dataclasses: :class:`ApproximationResult`,
 :class:`InclusionResult`, :class:`ValidationResult`,
@@ -25,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro import cache as _cache
 from repro import observability as _obs
 from repro.core.decision import (
     Definability,
@@ -39,6 +48,7 @@ from repro.schemas.edtd import EDTD
 from repro.schemas.inclusion import included_in_single_type
 from repro.schemas.st_edtd import SingleTypeEDTD
 from repro.schemas.type_automaton import is_single_type
+from repro.strings.kernels import _recharge
 from repro.tree_automata.inclusion import edtd_includes
 from repro.trees.tree import Tree
 from repro.trees.xml_io import from_xml
@@ -143,30 +153,45 @@ class DefinabilityReport:
 # ----------------------------------------------------------------------
 
 class _FacadeCall:
-    """Resolve (budget, trace) for one facade call and meter the deltas.
+    """Resolve (budget, trace, cache) for one facade call and meter the
+    deltas.
 
     An explicit or ambient budget/trace wins; otherwise a fresh unlimited
     metering budget and a fresh trace are created and — for the trace —
     installed for the call's dynamic extent so every nested construction
-    span attaches to it.
+    span attaches to it.  An explicit ``cache=`` argument (a store or
+    :data:`repro.cache.DISABLED`) is installed as the ambient store for
+    the extent; ``None`` leaves ambient/env resolution in force.
     """
 
     __slots__ = (
         "budget",
         "trace",
+        "cache",
+        "_cache_arg",
+        "_cache_cm",
         "_owned_trace",
         "_states0",
         "_steps0",
         "_elapsed0",
     )
 
-    def __init__(self, name: str, budget: Budget | None, trace: Trace | None) -> None:
+    def __init__(
+        self,
+        name: str,
+        budget: Budget | None,
+        trace: Trace | None,
+        cache: "_cache.CacheArg" = None,
+    ) -> None:
         resolved = resolve_budget(budget)
         self.budget = resolved if resolved is not None else Budget()
         if trace is None:
             trace = _obs.current_trace()
         self._owned_trace = Trace(name) if trace is None else None
         self.trace = trace if trace is not None else self._owned_trace
+        self._cache_arg = cache
+        self._cache_cm: Any = None
+        self.cache: "_cache.ArtifactCache | None" = None
         self._states0 = 0
         self._steps0 = 0
         self._elapsed0 = 0.0
@@ -174,12 +199,17 @@ class _FacadeCall:
     def __enter__(self) -> "_FacadeCall":
         if self._owned_trace is not None:
             self._owned_trace.__enter__()
+        self._cache_cm = _cache.activation(self._cache_arg)
+        self.cache = self._cache_cm.__enter__()
         self._states0 = self.budget.states
         self._steps0 = self.budget.steps
         self._elapsed0 = self.budget.elapsed
         return self
 
     def __exit__(self, *exc_info: object) -> None:
+        if self._cache_cm is not None:
+            self._cache_cm.__exit__(*exc_info)
+            self._cache_cm = None
         if self._owned_trace is not None:
             self._owned_trace.__exit__(*exc_info)
 
@@ -197,6 +227,30 @@ class _FacadeCall:
 # Entry points
 # ----------------------------------------------------------------------
 
+def _whole_schema_digest(kind: str, edtd: EDTD, params: tuple[Any, ...]) -> str | None:
+    """Disk address for a whole approximation result, or ``None`` when the
+    input schema is uncacheable (repr collisions)."""
+    key = _cache.schema_structural_key(edtd)
+    if key is None:
+        return None
+    return _cache.artifact_digest(kind, (key, params))
+
+
+def _load_cached_schema(
+    store: "_cache.ArtifactCache", digest: str, budget: Budget
+) -> SingleTypeEDTD | None:
+    """A cached approximation schema, with its construction cost replayed
+    against *budget* — or ``None`` on any kind of miss."""
+    loaded = store.get(digest)
+    if loaded is None:
+        return None
+    schema, states_cost, steps_cost = loaded
+    if not isinstance(schema, SingleTypeEDTD):  # foreign/damaged payload
+        return None
+    _recharge(budget, states_cost, steps_cost)
+    return schema
+
+
 def approximate_upper(
     edtd: EDTD,
     *,
@@ -204,10 +258,30 @@ def approximate_upper(
     budget: Budget | None = None,
     checkpoint: Any = None,
     trace: Trace | None = None,
+    cache: "_cache.CacheArg" = None,
 ) -> ApproximationResult:
     """Construction 3.1: the unique minimal upper XSD-approximation of
-    ``L(edtd)``, wrapped with trace and budget-usage evidence."""
-    with _FacadeCall("approximate-upper", budget, trace) as call:
+    ``L(edtd)``, wrapped with trace and budget-usage evidence.
+
+    With a persistent store configured, the whole result schema is cached
+    on disk keyed by the input's structural fingerprint: a warm repeat
+    skips the subset construction entirely (while replaying its recorded
+    budget cost, so governance is identical warm or cold).
+    """
+    with _FacadeCall("approximate-upper", budget, trace, cache) as call:
+        digest = None
+        if call.cache is not None and checkpoint is None:
+            digest = _whole_schema_digest("upper", edtd, (bool(minimize),))
+        if digest is not None:
+            cached = _load_cached_schema(call.cache, digest, call.budget)
+            if cached is not None:
+                return ApproximationResult(
+                    schema=cached,
+                    direction="upper",
+                    trace=call.trace,
+                    usage=call.usage(),
+                )
+        states0, steps0 = call.budget.states, call.budget.steps
         schema = minimal_upper_approximation(
             edtd,
             minimize=minimize,
@@ -215,6 +289,13 @@ def approximate_upper(
             checkpoint=checkpoint,
             trace=call.trace,
         )
+        if digest is not None:
+            call.cache.put(
+                digest,
+                schema,
+                call.budget.states - states0,
+                call.budget.steps - steps0,
+            )
         return ApproximationResult(
             schema=schema, direction="upper", trace=call.trace, usage=call.usage()
         )
@@ -228,10 +309,34 @@ def approximate_lower(
     budget: Budget | None = None,
     checkpoint: Any = None,
     trace: Trace | None = None,
+    cache: "_cache.CacheArg" = None,
 ) -> ApproximationResult:
     """A greedy maximal-within-bound lower XSD-approximation of
-    ``L(target)`` (the constructive side of Theorem 4.12)."""
-    with _FacadeCall("approximate-lower", budget, trace) as call:
+    ``L(target)`` (the constructive side of Theorem 4.12).
+
+    Cached whole on disk like :func:`approximate_upper`; the key includes
+    *max_size* and the seed schema's fingerprint.
+    """
+    with _FacadeCall("approximate-lower", budget, trace, cache) as call:
+        digest = None
+        if call.cache is not None and checkpoint is None:
+            seed_key: Any = None
+            if seed_schema is not None:
+                seed_key = _cache.schema_structural_key(seed_schema)
+            if seed_schema is None or seed_key is not None:
+                digest = _whole_schema_digest(
+                    "lower", target, (max_size, seed_key)
+                )
+        if digest is not None:
+            cached = _load_cached_schema(call.cache, digest, call.budget)
+            if cached is not None:
+                return ApproximationResult(
+                    schema=cached,
+                    direction="lower",
+                    trace=call.trace,
+                    usage=call.usage(),
+                )
+        states0, steps0 = call.budget.states, call.budget.steps
         schema = greedy_maximal_lower(
             target,
             max_size=max_size,
@@ -240,6 +345,13 @@ def approximate_lower(
             checkpoint=checkpoint,
             trace=call.trace,
         )
+        if digest is not None:
+            call.cache.put(
+                digest,
+                schema,
+                call.budget.states - states0,
+                call.budget.steps - steps0,
+            )
         return ApproximationResult(
             schema=schema, direction="lower", trace=call.trace, usage=call.usage()
         )
@@ -251,11 +363,12 @@ def definability(
     budget: Budget | None = None,
     checkpoint: Any = None,
     trace: Trace | None = None,
+    cache: "_cache.CacheArg" = None,
 ) -> DefinabilityReport:
     """Three-valued single-type definability of ``L(edtd)``
     (EXPTIME-complete; degrades to ``UNKNOWN`` with a resumable
     checkpoint when the budget trips)."""
-    with _FacadeCall("definability", budget, trace) as call:
+    with _FacadeCall("definability", budget, trace, cache) as call:
         result = single_type_definability(
             edtd, budget=call.budget, checkpoint=checkpoint, trace=call.trace
         )
@@ -275,6 +388,7 @@ def schema_includes(
     budget: Budget | None = None,
     checkpoint: Any = None,
     trace: Trace | None = None,
+    cache: "_cache.CacheArg" = None,
 ) -> InclusionResult:
     """Decide ``L(sub) subseteq L(sup)``.
 
@@ -286,7 +400,7 @@ def schema_includes(
     neither inclusion route has a resumable phase.
     """
     del checkpoint  # no resumable phase
-    with _FacadeCall("schema-includes", budget, trace) as call:
+    with _FacadeCall("schema-includes", budget, trace, cache) as call:
         with _obs.construction_span(
             "schema-includes", trace=call.trace, budget=call.budget
         ) as span:
@@ -306,16 +420,17 @@ def schema_equivalent(
     budget: Budget | None = None,
     checkpoint: Any = None,
     trace: Trace | None = None,
+    cache: "_cache.CacheArg" = None,
 ) -> InclusionResult:
     """Decide ``L(left) == L(right)`` (two inclusion checks, each routed
     as in :func:`schema_includes`)."""
     first = schema_includes(
-        left, right, budget=budget, checkpoint=checkpoint, trace=trace
+        left, right, budget=budget, checkpoint=checkpoint, trace=trace, cache=cache
     )
     if not first.verdict:
         return first
     second = schema_includes(
-        right, left, budget=budget, checkpoint=checkpoint, trace=first.trace
+        right, left, budget=budget, checkpoint=checkpoint, trace=first.trace, cache=cache
     )
     return InclusionResult(
         verdict=second.verdict,
@@ -337,6 +452,7 @@ def validate(
     budget: Budget | None = None,
     checkpoint: Any = None,
     trace: Trace | None = None,
+    cache: "_cache.CacheArg" = None,
 ) -> ValidationResult:
     """Validate *document* (a :class:`Tree` or an element-only XML
     fragment string) against *schema*.
@@ -345,7 +461,7 @@ def validate(
     validation has no resumable phase.
     """
     del checkpoint  # no resumable phase
-    with _FacadeCall("validate", budget, trace) as call:
+    with _FacadeCall("validate", budget, trace, cache) as call:
         with _obs.construction_span(
             "validate", trace=call.trace, budget=call.budget
         ) as span:

@@ -1,0 +1,144 @@
+"""Persistent, crash-safe artifact cache for compiled constructions.
+
+The in-process memo caches (:mod:`repro.strings.kernels`) make *repeated*
+constructions free within one process; this package extends that across
+processes: minimized DFAs, per-type content models, and whole upper/lower
+stEDTD approximations are stored content-addressed on disk and reloaded
+instead of recomputed.
+
+Layout:
+
+* :mod:`repro.cache.keys` — versioned content addresses
+  (:data:`~repro.cache.keys.FORMAT_EPOCH`,
+  :func:`~repro.cache.keys.artifact_digest`,
+  :func:`~repro.cache.keys.schema_structural_key`).
+* :mod:`repro.cache.store` — :class:`ArtifactCache`, the atomic-write /
+  checksum-verify / quarantine-on-corruption store itself.
+* this module — **ambient resolution**: how a governed construction deep
+  in the kernels finds the store to consult.
+
+Resolution order (first hit wins), mirroring :class:`repro.runtime.Budget`:
+
+1. an explicit ``cache=`` argument at an entry point (``DISABLED`` for
+   "definitely no disk I/O");
+2. the innermost ``with ArtifactCache(path):`` context;
+3. the process default installed by :func:`configure`;
+4. the ``REPRO_CACHE_DIR`` environment variable (opened lazily, once).
+
+With no source configured, :func:`resolve_cache` returns ``None`` and
+every construction runs exactly as before — the disk cache is pure
+opt-in.  See ``docs/CACHING.md`` for the on-disk format and the
+corruption/eviction contract.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator
+from contextlib import contextmanager
+from typing import Union
+
+from repro.cache.keys import FORMAT_EPOCH, artifact_digest, schema_structural_key
+from repro.cache.store import _ACTIVE, DISABLED, ArtifactCache, _Disabled
+from repro.errors import CacheError
+
+__all__ = [
+    "ArtifactCache",
+    "DISABLED",
+    "FORMAT_EPOCH",
+    "activation",
+    "artifact_digest",
+    "configure",
+    "current_cache",
+    "resolve_cache",
+    "schema_structural_key",
+]
+
+CacheArg = Union[ArtifactCache, _Disabled, None]
+
+#: Process-wide default installed by :func:`configure`.
+_DEFAULT: ArtifactCache | None = None
+
+#: Lazily-opened store from ``REPRO_CACHE_DIR``.  ``False`` = not yet
+#: resolved; ``None`` = resolved to "no env cache" (unset or unusable).
+_ENV_CACHE: ArtifactCache | None | bool = False
+
+
+def configure(cache: ArtifactCache | None) -> ArtifactCache | None:
+    """Install (or clear, with ``None``) the process-default store.
+
+    Returns the previous default so callers can restore it.
+    """
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = cache
+    return previous
+
+
+def _env_cache() -> ArtifactCache | None:
+    global _ENV_CACHE
+    if _ENV_CACHE is False:
+        directory = os.environ.get("REPRO_CACHE_DIR")
+        if not directory:
+            _ENV_CACHE = None
+        else:
+            try:
+                _ENV_CACHE = ArtifactCache(directory)
+            except CacheError:
+                # An unusable REPRO_CACHE_DIR must not break constructions
+                # that never asked for caching; it just means "no cache".
+                _ENV_CACHE = None
+    assert _ENV_CACHE is not False
+    return _ENV_CACHE
+
+
+def _reset_env_cache() -> None:
+    """Forget the memoized ``REPRO_CACHE_DIR`` store (test helper)."""
+    global _ENV_CACHE
+    _ENV_CACHE = False
+
+
+def current_cache() -> ArtifactCache | None:
+    """The innermost ambient store, or ``None`` (also ``None`` inside a
+    ``DISABLED`` extent)."""
+    ambient = _ACTIVE.get()
+    return None if isinstance(ambient, _Disabled) else ambient
+
+
+def resolve_cache(cache: CacheArg = None) -> ArtifactCache | None:
+    """Resolve the effective store for a cache-aware construction.
+
+    Explicit argument > ambient context > :func:`configure` default >
+    ``REPRO_CACHE_DIR`` > nothing.  ``DISABLED`` — explicit or installed
+    as the ambient value by :func:`activation` — short-circuits to
+    ``None`` regardless of everything else.
+    """
+    if isinstance(cache, _Disabled):
+        return None
+    if cache is not None:
+        return cache
+    ambient = _ACTIVE.get()
+    if ambient is not None:
+        return None if isinstance(ambient, _Disabled) else ambient
+    if _DEFAULT is not None:
+        return _DEFAULT
+    return _env_cache()
+
+
+@contextmanager
+def activation(cache: CacheArg = None) -> Iterator[ArtifactCache | None]:
+    """Install an explicit ``cache=`` argument as the ambient store.
+
+    Yields the effective store (``None`` for ``DISABLED``).  With
+    ``cache=None`` this is a pure read — ambient resolution is left
+    untouched so an outer context, :func:`configure` default, or
+    ``REPRO_CACHE_DIR`` still applies to nested constructions.
+    """
+    if cache is None:
+        yield resolve_cache()
+        return
+    token = _ACTIVE.set(cache)
+    try:
+        yield None if isinstance(cache, _Disabled) else cache
+    finally:
+        _ACTIVE.reset(token)

@@ -1,0 +1,504 @@
+"""Crash-safe content-addressed artifact store.
+
+One file per artifact under ``<root>/objects/<aa>/<digest>``, where
+``digest`` is the :func:`repro.cache.keys.artifact_digest` address.  Each
+file is::
+
+    header-JSON \\n payload-bytes
+
+The header records the format epoch, the payload's SHA-256 and length,
+and the budget cost (states/steps) the original construction charged —
+replayed on every hit so governed runs trip identically warm or cold
+(same discipline as the in-process memo caches).
+
+Durability and failure contract
+-------------------------------
+
+* **Atomic publish** — entries are written to a temp file in the same
+  directory, flushed, ``fsync``\\ ed, then ``os.replace``\\ d into place.
+  A crash (including ``kill -9``) mid-write leaves only an orphan temp
+  file, never a half-visible entry; orphans are swept on the next open.
+* **Corruption is a miss, never a wrong answer** — every read re-verifies
+  the checksum and the self-address.  A damaged entry is moved to
+  ``<root>/quarantine/`` (preserved for forensics), counted, and reported
+  as a miss so the caller recomputes.  A quarantined entry can never be
+  served again.
+* **Stale epochs are deleted** — entries whose header carries a different
+  :data:`~repro.cache.keys.FORMAT_EPOCH` are well-formed but unreadable
+  by this build; they are unlinked on sight and recomputed.
+* **I/O failure is degradation, not error** — any ``OSError`` during read
+  or write is swallowed (counted in :data:`repro.observability.METRICS`)
+  and the construction proceeds uncached.  Only a root directory that can
+  never work raises :class:`repro.errors.CacheError`, at open time.
+* **Bounded size** — when the store exceeds ``max_bytes`` the
+  least-recently-*used* entries are evicted (hits refresh the file
+  mtime).  mtimes come from the filesystem's wall clock, which is fine:
+  they order evictions, they never enter deadline math.
+
+Trust boundary: payloads are pickles.  The checksum detects *corruption*,
+not *tampering* — point the store at a directory with the same trust
+level as the installed code (see ``docs/CACHING.md``).
+
+Fault-injection points (chaos harness): ``cache.read`` and
+``cache.write`` transform the raw entry bytes; ``cache.fsync`` fires
+before the durability barrier.  ``tests/faults/`` sweeps all three and
+asserts the contract above.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from contextvars import ContextVar, Token
+from typing import Any
+
+from repro import faults as _faults
+from repro import observability as _obs
+from repro.errors import CacheError, ReproError
+
+__all__ = ["ArtifactCache", "DISABLED"]
+
+_MAGIC = "repro-artifact"
+
+
+class _Disabled:
+    """Sentinel: *explicitly* no cache, overriding every ambient source."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "repro.cache.DISABLED"
+
+
+#: Pass ``cache=DISABLED`` (or use CLI ``--no-cache``) to force a
+#: construction to ignore ambient and environment-configured stores.
+DISABLED = _Disabled()
+
+#: Default size bound: generous for schema artifacts (a minimized stEDTD
+#: pickles to a few hundred bytes; even hostile families stay tiny).
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Cumulative hit/miss totals across every open store in the process —
+#: feeds the span-level cache-delta attribution (see
+#: :func:`repro.observability.register_cache_provider`).
+_PROCESS_TOTALS = {"hits": 0, "misses": 0}
+
+
+def _process_cache_totals() -> tuple[int, int]:
+    return _PROCESS_TOTALS["hits"], _PROCESS_TOTALS["misses"]
+
+
+_obs.register_cache_provider(_process_cache_totals)
+
+
+class ArtifactCache:
+    """A content-addressed, crash-safe, bounded on-disk artifact store.
+
+    Also a context manager: ``with ArtifactCache(path):`` installs the
+    store as the ambient default every cache-aware construction in the
+    dynamic extent consults (mirrors :class:`repro.runtime.Budget`).
+    """
+
+    __slots__ = (
+        "root",
+        "objects_dir",
+        "quarantine_dir",
+        "max_bytes",
+        "hits",
+        "misses",
+        "corrupt",
+        "stale",
+        "evictions",
+        "writes",
+        "io_errors",
+        "_total_bytes",
+        "_tmp_counter",
+        "_token",
+    )
+
+    _token: "Token[ArtifactCache | _Disabled | None] | None"
+
+    def __init__(self, root: str | os.PathLike[str], *, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        if max_bytes < 1:
+            raise CacheError("max_bytes must be positive")
+        self.root = os.fspath(root)
+        self.objects_dir = os.path.join(self.root, "objects")
+        self.quarantine_dir = os.path.join(self.root, "quarantine")
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.stale = 0
+        self.evictions = 0
+        self.writes = 0
+        self.io_errors = 0
+        self._tmp_counter = 0
+        self._token = None
+        try:
+            os.makedirs(self.objects_dir, exist_ok=True)
+            os.makedirs(self.quarantine_dir, exist_ok=True)
+        except OSError as error:
+            raise CacheError(f"cache root {self.root!r} is unusable: {error}") from error
+        if not os.access(self.objects_dir, os.W_OK):
+            raise CacheError(f"cache root {self.root!r} is not writable")
+        self._sweep_orphans()
+        self._total_bytes = self._scan_total()
+
+    # -- ambient installation -------------------------------------------
+
+    def __enter__(self) -> "ArtifactCache":
+        if self._token is not None:
+            raise ReproError("ArtifactCache context manager is not re-entrant")
+        self._token = _ACTIVE.set(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._token is not None
+        _ACTIVE.reset(self._token)
+        self._token = None
+
+    # -- paths ----------------------------------------------------------
+
+    def _entry_path(self, digest: str) -> str:
+        return os.path.join(self.objects_dir, digest[:2], digest)
+
+    def _sweep_orphans(self) -> None:
+        """Unlink temp files abandoned by crashed writers.
+
+        Temp names embed the writer's pid; a temp file whose pid is no
+        longer alive is an orphan from a crash mid-write and can never be
+        published.  Live writers' temp files are left alone.
+        """
+        for dirpath, _dirnames, filenames in os.walk(self.objects_dir):
+            for name in filenames:
+                if not name.startswith(".tmp-"):
+                    continue
+                parts = name.split("-")
+                pid = int(parts[1]) if len(parts) > 2 and parts[1].isdigit() else None
+                if pid is not None and pid != os.getpid() and _pid_alive(pid):
+                    continue
+                if pid == os.getpid():
+                    continue  # a concurrent thread of this process may own it
+                try:
+                    os.unlink(os.path.join(dirpath, name))
+                except OSError:
+                    pass  # repro-lint: disable=R007 -- sweep is best-effort; entry reads never see temp files
+
+    def _scan_total(self) -> int:
+        total = 0
+        try:
+            for dirpath, _dirnames, filenames in os.walk(self.objects_dir):
+                for name in filenames:
+                    if name.startswith(".tmp-"):
+                        continue
+                    try:
+                        total += os.path.getsize(os.path.join(dirpath, name))
+                    except OSError:
+                        continue  # repro-lint: disable=R007 -- evicted/quarantined under our feet; totals re-sync on next scan
+        except OSError as error:
+            self._note_io_error("scan", error)
+        return total
+
+    # -- counters --------------------------------------------------------
+
+    def _note_hit(self) -> None:
+        self.hits += 1
+        _PROCESS_TOTALS["hits"] += 1
+        if _obs.ENABLED:
+            _obs.METRICS.counter("cache.disk.hits").inc()
+
+    def _note_miss(self) -> None:
+        self.misses += 1
+        _PROCESS_TOTALS["misses"] += 1
+        if _obs.ENABLED:
+            _obs.METRICS.counter("cache.disk.misses").inc()
+
+    def _note_io_error(self, where: str, error: OSError) -> None:
+        # Degradation site: the failure is recorded (counter + metric),
+        # never propagated — a broken disk costs recomputes, not answers.
+        self.io_errors += 1
+        if _obs.ENABLED:
+            _obs.METRICS.counter("cache.disk.io_errors").inc()
+            _obs.METRICS.counter(f"cache.disk.io_errors.{where}").inc()
+
+    # -- corruption handling ---------------------------------------------
+
+    def _quarantine(self, path: str, reason: str) -> None:
+        """Move a damaged entry aside so it can never be served again."""
+        self.corrupt += 1
+        if _obs.ENABLED:
+            _obs.METRICS.counter("cache.disk.corrupt").inc()
+        try:
+            size = os.path.getsize(path)
+            destination = os.path.join(
+                self.quarantine_dir, os.path.basename(path) + "." + reason
+            )
+            os.replace(path, destination)
+            self._total_bytes = max(0, self._total_bytes - size)
+        except OSError as error:
+            self._note_io_error("quarantine", error)
+            try:
+                os.unlink(path)
+            except OSError:
+                pass  # repro-lint: disable=R007 -- already counted; the entry is a miss either way
+
+    # -- read ------------------------------------------------------------
+
+    def get(self, digest: str) -> tuple[Any, int, int] | None:
+        """Load the artifact addressed by *digest*.
+
+        Returns ``(payload, states_cost, steps_cost)`` or ``None`` on a
+        miss — where "miss" covers absent, stale-epoch, corrupted, and
+        I/O-failed entries alike.  The caller's only obligation on
+        ``None`` is to recompute.
+        """
+        from repro.cache.keys import FORMAT_EPOCH
+
+        path = self._entry_path(digest)
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            self._note_miss()
+            return None
+        except OSError as error:
+            self._note_io_error("read", error)
+            self._note_miss()
+            return None
+        if _faults.ACTIVE:
+            try:
+                raw = _faults.transform("cache.read", raw)
+            except OSError as error:
+                self._note_io_error("read", error)
+                self._note_miss()
+                return None
+        header, payload = _split_entry(raw)
+        if header is None:
+            self._quarantine(path, "malformed")
+            self._note_miss()
+            return None
+        if header.get("magic") != _MAGIC:
+            self._quarantine(path, "magic")
+            self._note_miss()
+            return None
+        if header.get("epoch") != FORMAT_EPOCH:
+            # A well-formed entry from another build: stale, not corrupt.
+            self.stale += 1
+            if _obs.ENABLED:
+                _obs.METRICS.counter("cache.disk.stale").inc()
+            try:
+                self._total_bytes = max(0, self._total_bytes - os.path.getsize(path))
+                os.unlink(path)
+            except OSError as error:
+                self._note_io_error("unlink-stale", error)
+            self._note_miss()
+            return None
+        if (
+            header.get("digest") != digest
+            or header.get("payload_len") != len(payload)
+            or header.get("payload_sha256") != _sha256(payload)
+        ):
+            self._quarantine(path, "checksum")
+            self._note_miss()
+            return None
+        try:
+            value = pickle.loads(payload)
+        except Exception:  # repro-lint: disable=R004 -- unpickling arbitrary bytes can raise anything; quarantined as corruption
+            self._quarantine(path, "unpickle")
+            self._note_miss()
+            return None
+        states = header.get("states")
+        steps = header.get("steps")
+        if not isinstance(states, int) or not isinstance(steps, int):
+            self._quarantine(path, "costs")
+            self._note_miss()
+            return None
+        self._note_hit()
+        try:
+            os.utime(path)  # LRU freshness
+        except OSError as error:
+            self._note_io_error("utime", error)
+        return value, states, steps
+
+    # -- write -----------------------------------------------------------
+
+    def put(self, digest: str, value: Any, states_cost: int, steps_cost: int) -> bool:
+        """Publish an artifact atomically; returns False on degradation.
+
+        Never raises for I/O failure — a store that cannot write behaves
+        exactly like no store at all.
+        """
+        from repro.cache.keys import FORMAT_EPOCH
+
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PicklingError, TypeError, AttributeError):
+            return False  # unpicklable artifact: silently uncacheable
+        header = {
+            "magic": _MAGIC,
+            "epoch": FORMAT_EPOCH,
+            "digest": digest,
+            "payload_sha256": _sha256(payload),
+            "payload_len": len(payload),
+            "states": states_cost,
+            "steps": steps_cost,
+        }
+        raw = json.dumps(header, sort_keys=True).encode("utf-8") + b"\n" + payload
+        if _faults.ACTIVE:
+            try:
+                raw = _faults.transform("cache.write", raw)
+            except OSError as error:
+                self._note_io_error("write", error)
+                return False
+        path = self._entry_path(digest)
+        directory = os.path.dirname(path)
+        self._tmp_counter += 1
+        tmp = os.path.join(
+            directory, f".tmp-{os.getpid()}-{self._tmp_counter}-{digest[:8]}"
+        )
+        try:
+            os.makedirs(directory, exist_ok=True)
+            with open(tmp, "wb") as handle:
+                handle.write(raw)
+                handle.flush()
+                if _faults.ACTIVE:
+                    _faults.fire("cache.fsync")
+                os.fsync(handle.fileno())
+            # Publish: atomic on POSIX — readers see the old entry, no
+            # entry, or the complete new entry; never a partial write.
+            os.replace(tmp, path)
+        except OSError as error:
+            self._note_io_error("write", error)
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass  # repro-lint: disable=R007 -- temp may not exist; orphans are swept on next open
+            return False
+        self.writes += 1
+        if _obs.ENABLED:
+            _obs.METRICS.counter("cache.disk.writes").inc()
+        self._total_bytes += len(raw)
+        if self._total_bytes > self.max_bytes:
+            self._evict()
+        return True
+
+    # -- eviction --------------------------------------------------------
+
+    def _evict(self) -> None:
+        """Drop least-recently-used entries until back under ``max_bytes``."""
+        entries: list[tuple[float, int, str]] = []
+        try:
+            for dirpath, _dirnames, filenames in os.walk(self.objects_dir):
+                for name in filenames:
+                    if name.startswith(".tmp-"):
+                        continue
+                    path = os.path.join(dirpath, name)
+                    try:
+                        stat = os.stat(path)
+                    except OSError:
+                        continue  # repro-lint: disable=R007 -- raced with another evictor; the entry is gone either way
+                    entries.append((stat.st_mtime, stat.st_size, path))
+        except OSError as error:
+            self._note_io_error("evict-scan", error)
+            return
+        entries.sort()
+        total = sum(size for _mtime, size, _path in entries)
+        self._total_bytes = total
+        for _mtime, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError as error:
+                self._note_io_error("evict", error)
+                continue
+            total -= size
+            self._total_bytes = total
+            self.evictions += 1
+            if _obs.ENABLED:
+                _obs.METRICS.counter("cache.disk.evictions").inc()
+
+    # -- introspection ---------------------------------------------------
+
+    def entry_count(self) -> int:
+        count = 0
+        for _dirpath, _dirnames, filenames in os.walk(self.objects_dir):
+            count += sum(1 for name in filenames if not name.startswith(".tmp-"))
+        return count
+
+    def total_bytes(self) -> int:
+        return self._total_bytes
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "stale": self.stale,
+            "evictions": self.evictions,
+            "writes": self.writes,
+            "io_errors": self.io_errors,
+            "entries": self.entry_count(),
+            "bytes": self._total_bytes,
+        }
+
+    def clear(self) -> None:
+        """Drop every entry (and quarantined file) and reset counters."""
+        for base in (self.objects_dir, self.quarantine_dir):
+            for dirpath, _dirnames, filenames in os.walk(base):
+                for name in filenames:
+                    try:
+                        os.unlink(os.path.join(dirpath, name))
+                    except OSError as error:
+                        self._note_io_error("clear", error)
+        self.hits = self.misses = self.corrupt = self.stale = 0
+        self.evictions = self.writes = self.io_errors = 0
+        self._total_bytes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ArtifactCache {self.root!r} entries={self.entry_count()} "
+            f"hits={self.hits} misses={self.misses} corrupt={self.corrupt}>"
+        )
+
+
+def _sha256(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _split_entry(raw: bytes) -> tuple[dict[str, Any] | None, bytes]:
+    """Split an entry file into (header dict, payload); header None when
+    the framing itself is damaged."""
+    newline = raw.find(b"\n")
+    if newline < 0:
+        return None, b""
+    try:
+        header = json.loads(raw[:newline].decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None, b""
+    if not isinstance(header, dict):
+        return None, b""
+    return header, raw[newline + 1:]
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+#: Ambient store installed by ``with ArtifactCache(...):`` (or the
+#: :func:`repro.cache.activation` helper).  Shared with
+#: :mod:`repro.cache`'s resolver.  May carry :data:`DISABLED` to suppress
+#: outer/env stores for a dynamic extent.
+_ACTIVE: ContextVar["ArtifactCache | _Disabled | None"] = ContextVar(
+    "repro_cache", default=None
+)

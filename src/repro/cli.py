@@ -28,6 +28,11 @@ Resource governance: the global flags ``--timeout SECONDS``,
 pathological schemas (the constructions are worst-case exponential)
 terminate promptly with a clean one-line diagnostic.
 
+Caching: ``--cache-dir PATH`` opens (creating if needed) a persistent
+:class:`repro.cache.ArtifactCache` there for the command's constructions;
+without the flag the ``REPRO_CACHE_DIR`` environment variable applies;
+``--no-cache`` disables both.
+
 Observability: the global flag ``--trace`` renders the span tree of
 every governed construction the command ran to stderr; ``--trace-json
 PATH`` writes the same trace (plus the metrics registry) as JSON
@@ -46,6 +51,7 @@ import argparse
 import contextlib
 import sys
 
+from repro import cache as _cache
 from repro.core.decision import is_single_type_definable
 from repro.core.lower import maximal_lower_union
 from repro.core.upper import (
@@ -241,6 +247,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="maximum abstract construction steps",
     )
+    caching = parser.add_argument_group(
+        "artifact cache",
+        "persistent on-disk cache of compiled automata and approximations",
+    )
+    caching.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="cache compiled artifacts under PATH (created if missing); "
+        "defaults to $REPRO_CACHE_DIR when set",
+    )
+    caching.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the artifact cache, including $REPRO_CACHE_DIR",
+    )
     observability = parser.add_argument_group(
         "observability",
         "structured tracing of the governed constructions the command runs",
@@ -333,6 +355,9 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_BAD_INPUT
+    if args.no_cache and args.cache_dir:
+        print("error: --no-cache and --cache-dir are mutually exclusive", file=sys.stderr)
+        return EXIT_BAD_INPUT
     trace = Trace(args.command) if (args.trace or args.trace_json) else None
     try:
         with contextlib.ExitStack() as stack:
@@ -340,6 +365,10 @@ def main(argv: list[str] | None = None) -> int:
                 stack.enter_context(budget)
             if trace is not None:
                 stack.enter_context(trace)
+            if args.no_cache:
+                stack.enter_context(_cache.activation(_cache.DISABLED))
+            elif args.cache_dir:
+                stack.enter_context(_cache.ArtifactCache(args.cache_dir))
             return args.func(args)
     except BudgetExceededError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -60,6 +60,36 @@ class ValidationError(ReproError):
     """Raised when a tree does not conform to a schema (strict validation)."""
 
 
+class CacheError(ReproError):
+    """Raised when the persistent artifact cache is *misconfigured* —
+    an unusable directory, an unwritable store root.
+
+    Deliberately narrow: I/O failures and corrupted entries during normal
+    operation never raise — the store degrades to a miss (quarantining
+    corrupt entries) and the construction recomputes.  Only configuration
+    that can never work surfaces as an error.
+    """
+
+
+class InjectedFaultError(ReproError):
+    """A fault deliberately raised by the :mod:`repro.faults` injection
+    layer at a named injection point.
+
+    Part of the taxonomy on purpose: the chaos invariant is that a faulted
+    run either returns the fault-free answer or raises a *taxonomy* error,
+    and injected failures at non-recoverable points (budget checks,
+    checkpoint materialization) surface as this type with the injection
+    ``point`` attached.
+    """
+
+    def __init__(self, point: str, detail: str = "") -> None:
+        message = f"injected fault at {point!r}"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.point = point
+
+
 class BudgetExceededError(ReproError):
     """A governed construction ran out of budget (states, steps, time,
     memory, or was cancelled).

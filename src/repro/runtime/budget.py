@@ -38,13 +38,14 @@ cancellation, memory) amortized to every ``check_interval`` ticks.
 from __future__ import annotations
 
 import threading
-import time
 from contextvars import ContextVar, Token
 from dataclasses import dataclass
 from typing import Any
 
+from repro import faults as _faults
 from repro import observability as _obs
 from repro.errors import BudgetExceededError, ReproError
+from repro.runtime import clock as _clock
 
 _ACTIVE: ContextVar["Budget | None"] = ContextVar("repro_budget", default=None)
 
@@ -131,8 +132,10 @@ class Budget:
         Wall-clock allowance in seconds, measured from construction of the
         budget (equivalently: ``deadline = now + timeout``).
     deadline:
-        Absolute deadline on the :func:`time.monotonic` clock; overrides
-        *timeout* when both are given.
+        Absolute deadline on the repro monotonic clock
+        (:func:`repro.runtime.clock.now` — same epoch as
+        :func:`time.monotonic`); overrides *timeout* when both are given.
+        Wall-clock (``time.time``) values are meaningless here.
     cancel:
         A :class:`CancellationToken` checked cooperatively.
     max_memory_bytes:
@@ -185,7 +188,9 @@ class Budget:
             raise ValueError("timeout must be non-negative")
         self.max_states = max_states
         self.max_steps = max_steps
-        self.started_at = time.monotonic()
+        # All deadline math runs on the single monotonic source in
+        # repro.runtime.clock — never time.time(), never a mix.
+        self.started_at = _clock.now()
         if deadline is not None:
             self.deadline = deadline
         elif timeout is not None:
@@ -217,13 +222,13 @@ class Budget:
 
     @property
     def elapsed(self) -> float:
-        return time.monotonic() - self.started_at
+        return _clock.now() - self.started_at
 
     def remaining_time(self) -> float | None:
         """Seconds until the deadline, or ``None`` when undeadlined."""
         if self.deadline is None:
             return None
-        return self.deadline - time.monotonic()
+        return self.deadline - _clock.now()
 
     def progress(self, frontier: int = 0) -> BudgetProgress:
         return BudgetProgress(
@@ -242,6 +247,8 @@ class Budget:
         # Checkpoints are expensive to materialize, so call sites pass a
         # zero-arg factory that only runs here, at trip time.
         if callable(checkpoint):
+            if _faults.ACTIVE:
+                _faults.fire("checkpoint.materialize")
             checkpoint = checkpoint()
         if _obs.ENABLED:
             _obs.METRICS.counter(f"budget.trips.{reason}").inc()
@@ -255,9 +262,11 @@ class Budget:
     def check(self, frontier: int = 0, checkpoint: Any = None) -> None:
         """Run the expensive checks unconditionally: cancellation, clock,
         memory watermark."""
+        if _faults.ACTIVE:
+            _faults.fire("budget.check")
         if self.cancel is not None and self.cancel.cancelled:
             raise self._trip("cancelled", None, frontier, checkpoint)
-        if self.deadline is not None and time.monotonic() > self.deadline:
+        if self.deadline is not None and _clock.now() > self.deadline:
             raise self._trip(
                 "deadline", self.deadline - self.started_at, frontier, checkpoint
             )
@@ -268,6 +277,8 @@ class Budget:
 
     def tick(self, n: int = 1, frontier: int = 0, checkpoint: Any = None) -> None:
         """Charge *n* abstract steps; periodically run the expensive checks."""
+        if _faults.ACTIVE:
+            _faults.fire("budget.tick")
         steps = self.steps + n
         self.steps = steps
         # Observability report site — one global load + branch when off
@@ -280,18 +291,24 @@ class Budget:
             self.check(frontier, checkpoint)
 
     def charge_states(self, n: int = 1, frontier: int = 0, checkpoint: Any = None) -> None:
-        """Charge *n* materialized states (and one step each)."""
+        """Charge *n* materialized states (and one step each).
+
+        Both counters are incremented *before* any limit check raises, so
+        interrupted runs account identically to uninterrupted ones — trip
+        cost plus resume cost always sums to the uninterrupted cost
+        (``tests/runtime/test_checkpoint_resume.py`` pins this).
+        """
         states = self.states + n
         self.states = states
+        # Step accounting inlined (not delegated to tick()) — this runs
+        # once per materialized state in every governed hot loop.
+        steps = self.steps + n
+        self.steps = steps
         if _obs.ENABLED:
             _obs.METRICS.counter("budget.states").inc(n)
             _obs.METRICS.counter("budget.steps").inc(n)
         if self.max_states is not None and states > self.max_states:
             raise self._trip("max-states", self.max_states, frontier, checkpoint)
-        # Step accounting inlined (not delegated to tick()) — this runs
-        # once per materialized state in every governed hot loop.
-        steps = self.steps + n
-        self.steps = steps
         if self.max_steps is not None and steps > self.max_steps:
             raise self._trip("max-steps", self.max_steps, frontier, checkpoint)
         if steps & self._mask < n:

@@ -1,0 +1,57 @@
+"""The single monotonic clock source for all deadline math.
+
+Every deadline in the governor (``Budget.started_at``, ``Budget.deadline``,
+``remaining_time``) must be computed against *one* clock, and that clock
+must be monotonic: mixing ``time.time()`` (wall clock, steppable by NTP or
+an operator) with ``time.monotonic()`` silently corrupts deadline
+arithmetic — a backwards wall-clock step would extend a deadline, a
+forwards step would trip it early.  This module is the audit point: the
+governor imports :func:`now` from here and nowhere else, so a grep for
+``time.time``/``time.monotonic`` inside :mod:`repro.runtime` stays empty.
+
+Tests exercise skew scenarios through :func:`install` /
+:func:`uninstall`, which swap the underlying callable for a fake —
+``tests/runtime/test_clock.py`` pins the regression: wall-clock jumps
+must never move a deadline, and a monotonic fake must trip deadlines
+deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["install", "now", "uninstall"]
+
+#: The active clock callable.  Production: :func:`time.monotonic`.  Never
+#: read this directly — call :func:`now` so fakes installed mid-flight are
+#: honored.
+_SOURCE: Callable[[], float] = time.monotonic
+
+
+def now() -> float:
+    """Seconds on the repro monotonic clock (arbitrary epoch).
+
+    Values are only meaningful as differences against other :func:`now`
+    readings; they are never comparable to ``time.time()`` timestamps.
+    """
+    return _SOURCE()
+
+
+def install(source: Callable[[], float]) -> Callable[[], float]:
+    """Swap the clock source (tests only); returns the previous source.
+
+    The replacement must be monotonic over the lifetime of every
+    outstanding :class:`~repro.runtime.budget.Budget` — deadlines captured
+    under the old source stay live.
+    """
+    global _SOURCE
+    previous = _SOURCE
+    _SOURCE = source
+    return previous
+
+
+def uninstall(previous: Callable[[], float] | None = None) -> None:
+    """Restore *previous* (or the real monotonic clock) as the source."""
+    global _SOURCE
+    _SOURCE = previous if previous is not None else time.monotonic

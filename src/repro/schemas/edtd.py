@@ -399,8 +399,14 @@ class EDTD:
     # ------------------------------------------------------------------
 
     def relabel_types(self, prefix: str = "t") -> "EDTD":
-        """Return an isomorphic EDTD with types renamed ``prefix0..prefixN``."""
-        ordered = sorted(self.types, key=repr)
+        """Return an isomorphic EDTD with types renamed ``prefix0..prefixN``.
+
+        The numbering is canonical: equal schemas relabel identically even
+        when one is a pickle round-trip of the other (artifact-cache hits),
+        which plain ``repr`` ordering does not guarantee for set-valued
+        type names (see :func:`_canonical_type_key`).
+        """
+        ordered = sorted(self.types, key=_canonical_type_key)
         mapping = {type_: f"{prefix}{i}" for i, type_ in enumerate(ordered)}
         rules = {}
         for type_ in self.types:
@@ -428,3 +434,19 @@ class EDTD:
             f"EDTD(alphabet={sorted(map(str, self.alphabet))}, "
             f"types={len(self.types)}, starts={len(self.starts)})"
         )
+
+
+def _canonical_type_key(type_: object) -> str:
+    """A sort key for type names that is stable across pickle round-trips.
+
+    Constructions produce set-valued type names (Construction 3.1's subset
+    types), and ``repr`` of a frozenset follows hash-table iteration order
+    — which an unpickled copy of an equal set need not share.  Relabeling
+    must assign the same numbers to a schema loaded from the artifact
+    cache as to the freshly built original (``docs/CACHING.md``), so sets
+    are rendered with their elements' keys sorted
+    (:func:`repro.strings.kernels.canonical_repr`).
+    """
+    from repro.strings.kernels import canonical_repr
+
+    return canonical_repr(type_)

@@ -23,6 +23,7 @@ from repro.schemas.dfa_xsd import DFAXSD, from_single_type
 from repro.schemas.st_edtd import SingleTypeEDTD
 from repro.schemas.type_automaton import Q_INIT
 from repro.strings.dfa import DFA
+from repro.strings.kernels import canonical_repr
 from repro.strings.minimize import minimize_dfa, moore_partition
 
 Symbol = Hashable
@@ -100,6 +101,22 @@ def minimize_single_type(st_edtd: SingleTypeEDTD, *, budget=None) -> SingleTypeE
             outputs,
             budget=budget,
         )
+
+    # moore_partition numbers blocks in first-occurrence order over an
+    # unordered state set, which varies with hash randomization.  The block
+    # ids become the minimal schema's type identities, so renumber each
+    # block by its canonically smallest member: two processes (and a cached
+    # artifact round-trip) then print byte-identical schemas.
+    smallest: dict[int, str] = {}
+    for state, block in partition.items():
+        key = canonical_repr(state)
+        if block not in smallest or key < smallest[block]:
+            smallest[block] = key
+    rename = {
+        block: index
+        for index, block in enumerate(sorted(smallest, key=smallest.__getitem__))
+    }
+    partition = {state: rename[block] for state, block in partition.items()}
 
     # Rebuild the ancestor automaton on blocks, dropping the dead block.
     dead_blocks = {partition[state] for state in sink_states}

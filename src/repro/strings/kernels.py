@@ -790,11 +790,30 @@ def clear_caches() -> None:
     _CONTENT_CACHE.clear()
 
 
+def canonical_repr(value: object) -> str:
+    """``repr`` made stable across processes and pickle round-trips.
+
+    Plain ``repr`` of a frozenset (or of a tuple containing one — the
+    constructions' subset-typed symbols) follows hash-table iteration
+    order, which varies with hash randomization and with how an equal set
+    was rebuilt by ``pickle``.  Anything feeding a cache key or a
+    canonical ordering must render set elements sorted instead.
+    """
+    if isinstance(value, (frozenset, set)):
+        return "{" + ",".join(sorted(canonical_repr(v) for v in value)) + "}"
+    if isinstance(value, tuple):
+        return "(" + ",".join(canonical_repr(v) for v in value) + ")"
+    if isinstance(value, list):
+        return "[" + ",".join(canonical_repr(v) for v in value) + "]"
+    return repr(value)
+
+
 def _symbol_reprs(alphabet: Iterable[Hashable]) -> tuple[str, ...] | None:
-    """Sorted symbol reprs, or None when reprs collide (uncacheable —
-    repr is the only portable total order over mixed symbol types, and a
-    collision would let two distinct automata share a key)."""
-    reprs = sorted(repr(symbol) for symbol in alphabet)
+    """Sorted canonical symbol reprs, or None when they collide
+    (uncacheable — canonical repr is the only portable total order over
+    mixed symbol types, and a collision would let two distinct automata
+    share a key)."""
+    reprs = sorted(canonical_repr(symbol) for symbol in alphabet)
     for left, right in zip(reprs, reprs[1:]):
         if left == right:
             return None
@@ -822,7 +841,7 @@ def structural_key(language: object) -> tuple[Any, ...] | None:
             return None
         # Canonical BFS order over the reachable part (unreachable states
         # cannot change the minimal DFA).
-        symbols = sorted(language.alphabet, key=repr)
+        symbols = sorted(language.alphabet, key=canonical_repr)
         order: dict[Hashable, int] = {language.initial: 0}
         queue = deque([language.initial])
         edges: list[tuple[int, str, int]] = []
@@ -836,7 +855,7 @@ def structural_key(language: object) -> tuple[Any, ...] | None:
                 if dst not in order:
                     order[dst] = len(order)
                     queue.append(dst)
-                edges.append((src, repr(symbol), order[dst]))
+                edges.append((src, canonical_repr(symbol), order[dst]))
         finals = tuple(sorted(order[q] for q in language.finals if q in order))
         return ("dfa", alphabet_key, len(order), tuple(edges), finals)
     if isinstance(language, NFA):
@@ -846,7 +865,7 @@ def structural_key(language: object) -> tuple[Any, ...] | None:
         order, code = _code_states(language.states)
         edges = tuple(
             sorted(
-                (code[src], repr(symbol), _mask_of(dsts, code))
+                (code[src], canonical_repr(symbol), _mask_of(dsts, code))
                 for (src, symbol), dsts in language.transitions.items()
             )
         )
@@ -884,7 +903,14 @@ def _memoized(
     budget: Budget | None,
 ) -> Any:
     """Look *key* up in *cache*; on a miss run *build* under a metering
-    budget and record the charged cost alongside the result."""
+    budget and record the charged cost alongside the result.
+
+    Two tiers: the in-process memo dict, then — when a persistent store
+    is configured (:func:`repro.cache.resolve_cache`) — the on-disk
+    artifact cache, addressed by ``artifact_digest(cache.name, key)``.
+    Disk hits replay their recorded budget cost exactly like memo hits
+    and re-populate the memo tier; fresh builds write through to disk.
+    """
     if key is None:
         return build(budget)
     entry = cache.get(key)
@@ -892,6 +918,17 @@ def _memoized(
         value, states_cost, steps_cost = entry
         _recharge(budget, states_cost, steps_cost)
         return value
+    from repro.cache import artifact_digest, resolve_cache
+
+    disk = resolve_cache()
+    digest = artifact_digest(cache.name, key) if disk is not None else None
+    if disk is not None and digest is not None:
+        loaded = disk.get(digest)
+        if loaded is not None:
+            value, states_cost, steps_cost = loaded
+            _recharge(budget, states_cost, steps_cost)
+            cache.store(key, (value, states_cost, steps_cost))
+            return value
     if budget is not None:
         states_before, steps_before = budget.states, budget.steps
         value = build(budget)
@@ -901,6 +938,8 @@ def _memoized(
         value = build(meter)
         cost = (meter.states, meter.steps)
     cache.store(key, (value, *cost))
+    if disk is not None and digest is not None:
+        disk.put(digest, value, *cost)
     return value
 
 

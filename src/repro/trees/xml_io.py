@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import re as _re
 
+from repro import faults as _faults
 from repro.errors import TreeSyntaxError
 from repro.trees.tree import Tree
 
@@ -108,6 +109,11 @@ def from_xml(
     *max_depth* bounds element nesting and *max_nodes* the total element
     count; pass ``None`` to disable either limit (trusted input only).
     """
+    if _faults.ACTIVE:
+        # Chaos harness: simulate a failing/truncating reader.  A damaged
+        # document must surface as TreeSyntaxError below, never as a
+        # silently different tree — tests/faults/ sweeps this.
+        text = _faults.transform("xml.ingest", text)
     pos = 0
     stack: list[tuple[str, list[Tree]]] = []
     root: Tree | None = None

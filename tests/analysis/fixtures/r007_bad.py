@@ -1,0 +1,78 @@
+"""R007 fixture: fault-swallowing handlers."""
+
+from repro.errors import BudgetExceededError, CacheError
+
+
+def swallow_oserror(path):
+    try:
+        return open(path).read()
+    except OSError:
+        pass  # line 10 -> R007 (silent discard)
+
+
+def swallow_in_tuple(task):
+    try:
+        task()
+    except (CacheError, OSError):
+        pass  # line 17 -> R007 (OSError swallowed alongside a taxonomy type)
+
+
+def swallow_in_loop(paths):
+    for path in paths:
+        try:
+            yield open(path).read()
+        except ValueError:
+            continue  # line 24 -> R007 (failure leaves no trace)
+
+
+def counted(store, task):
+    try:
+        task()
+    except OSError as error:
+        store.note(error)  # records the failure, clean
+
+
+def wrapped(task):
+    try:
+        task()
+    except OSError as error:
+        raise CacheError(str(error)) from error  # re-raised, clean
+
+
+def mapped_to_value(path):
+    try:
+        return open(path).read()
+    except OSError:
+        return None  # the exception becomes the answer, clean
+
+
+def taxonomy_degrade(task):
+    try:
+        task()
+    except BudgetExceededError:
+        pass  # sanctioned degrade pattern, clean
+
+
+def optional_dependency():
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        pass  # allowlisted gating pattern, clean
+
+
+class LocalCacheError(CacheError):
+    pass
+
+
+def local_taxonomy_degrade(task):
+    try:
+        task()
+    except LocalCacheError:
+        pass  # local taxonomy subclass, clean
+
+
+def justified(path):
+    try:
+        return open(path).read()
+    except OSError:
+        pass  # repro-lint: disable=R007 -- fixture: best-effort probe

@@ -156,6 +156,65 @@ class TestFrozenMutationRule:
         assert analyze_source(source, "runtime/point.py") == []
 
 
+class TestFaultSwallowRule:
+    def test_bad_fixture_flags_each_swallow(self):
+        findings = run_fixture("r007_bad.py")
+        r007 = by_rule(findings, "R007")
+        assert [f.context for f in r007] == [
+            "swallow_oserror",
+            "swallow_in_tuple",
+            "swallow_in_loop",
+        ]
+        assert all(f.severity is Severity.ERROR for f in r007)
+        assert findings == r007
+
+    def test_messages_name_the_swallowed_type(self):
+        messages = "\n".join(f.message for f in run_fixture("r007_bad.py"))
+        assert "OSError" in messages
+        assert "ValueError" in messages
+        assert "CacheError" not in messages.replace("CacheError, OSError", "")
+
+    def test_taxonomy_handlers_are_exempt(self):
+        source = (
+            "def degrade(task):\n"
+            "    try:\n"
+            "        task()\n"
+            "    except BudgetExceededError:\n"
+            "        pass\n"
+        )
+        assert analyze_source(source, "core/helper.py") == []
+
+    def test_broad_handlers_belong_to_r004_only(self):
+        source = (
+            "def swallow(task):\n"
+            "    try:\n"
+            "        task()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        assert [f.rule for f in analyze_source(source, "core/helper.py")] == ["R004"]
+
+    def test_pragma_on_the_swallowing_line_suppresses(self):
+        source = (
+            "def probe(path):\n"
+            "    try:\n"
+            "        return open(path).read()\n"
+            "    except OSError:\n"
+            "        pass  # repro-lint: disable=R007 -- best-effort probe\n"
+        )
+        assert analyze_source(source, "cache/helper.py") == []
+
+    def test_recording_the_failure_is_clean(self):
+        source = (
+            "def record(store, task):\n"
+            "    try:\n"
+            "        task()\n"
+            "    except OSError as error:\n"
+            "        store.io_errors += 1\n"
+        )
+        assert analyze_source(source, "cache/helper.py") == []
+
+
 class TestApiSignatureRule:
     def test_bad_fixture_flags_each_violation(self):
         findings = run_fixture("core", "r006_bad.py")

@@ -1,0 +1,186 @@
+"""The disk tier behind the kernels, the facade, and the CLI.
+
+Three integration properties:
+
+* **transparency** — warm results are structurally identical to cold
+  results, at every level (kernel DFA, whole approximation schema, CLI
+  output bytes);
+* **governed determinism** — a warm run replays the recorded budget cost,
+  so ``BudgetUsage`` matches cold exactly and a budget too small for the
+  cold construction also trips warm;
+* **degradation** — a corrupted entry costs one recompute and nothing
+  else.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.api import approximate_lower, approximate_upper, validate
+from repro.cache import DISABLED, ArtifactCache
+from repro.errors import BudgetExceededError
+from repro.families.hard import example_2_6, theorem_3_2_family
+from repro.runtime import Budget
+from repro.strings.kernels import cached_min_dfa, clear_caches
+from repro.schemas.text_format import dumps
+
+
+@pytest.fixture
+def store(tmp_path) -> ArtifactCache:
+    return ArtifactCache(tmp_path / "cache")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    # The in-process memo tier would otherwise mask the disk tier.
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestKernelTier:
+    def test_min_dfa_round_trips_through_disk(self, store):
+        with store:
+            cold = cached_min_dfa("a, (b | c)*")
+        clear_caches()
+        with store:
+            warm = cached_min_dfa("a, (b | c)*")
+        assert store.hits >= 1
+        assert warm.transitions == cold.transitions
+        assert warm.initial == cold.initial
+        assert warm.finals == cold.finals
+
+    def test_disk_hit_recharges_budget(self, store):
+        with store:
+            meter_cold = Budget()
+            cached_min_dfa("(a | b)*, c, c", budget=meter_cold)
+        clear_caches()
+        with store:
+            meter_warm = Budget()
+            cached_min_dfa("(a | b)*, c, c", budget=meter_warm)
+        assert store.hits >= 1
+        assert meter_warm.states == meter_cold.states
+        assert meter_warm.steps == meter_cold.steps
+
+    def test_no_store_means_no_disk_io(self, tmp_path):
+        cached_min_dfa("a*")  # must not create any files anywhere under tmp
+        assert not os.listdir(tmp_path)
+
+
+class TestFacadeTier:
+    def test_upper_warm_equals_cold(self, store):
+        edtd = example_2_6()
+        cold = approximate_upper(edtd, cache=store)
+        clear_caches()
+        warm = approximate_upper(edtd, cache=store)
+        assert store.hits >= 1
+        assert dumps(warm.schema) == dumps(cold.schema)
+        assert warm.usage.states == cold.usage.states
+        assert warm.usage.steps == cold.usage.steps
+
+    def test_lower_warm_equals_cold(self, store):
+        edtd = example_2_6()
+        cold = approximate_lower(edtd, max_size=4, cache=store)
+        clear_caches()
+        warm = approximate_lower(edtd, max_size=4, cache=store)
+        assert dumps(warm.schema) == dumps(cold.schema)
+        assert warm.usage.steps == cold.usage.steps
+
+    def test_lower_key_includes_max_size(self, store):
+        edtd = example_2_6()
+        four = approximate_lower(edtd, max_size=4, cache=store)
+        two = approximate_lower(edtd, max_size=2, cache=store)
+        # Different parameters must not alias to the same cached artifact.
+        assert dumps(four.schema) != dumps(two.schema) or four.schema.type_size() == two.schema.type_size()
+        again = approximate_lower(edtd, max_size=4, cache=store)
+        assert dumps(again.schema) == dumps(four.schema)
+
+    def test_too_small_budget_trips_warm_and_cold(self, store):
+        edtd = theorem_3_2_family(7)
+        with pytest.raises(BudgetExceededError):
+            approximate_upper(edtd, budget=Budget(max_states=20), cache=store)
+        clear_caches()
+        with pytest.raises(BudgetExceededError):
+            approximate_upper(edtd, budget=Budget(max_states=20), cache=store)
+
+    def test_warm_hit_after_full_cold_run_still_respects_budget(self, store):
+        edtd = example_2_6()
+        cold = approximate_upper(edtd, cache=store)
+        clear_caches()
+        # A budget smaller than the recorded cost trips on the replay.
+        limit = max(0, cold.usage.states - 1)
+        with pytest.raises(BudgetExceededError):
+            approximate_upper(edtd, budget=Budget(max_states=limit), cache=store)
+
+    def test_disabled_still_computes(self, store):
+        edtd = example_2_6()
+        baseline = approximate_upper(edtd, cache=DISABLED)
+        with store:
+            ambient_off = approximate_upper(edtd, cache=DISABLED)
+        assert store.writes == 0  # DISABLED suppresses the ambient store
+        assert dumps(ambient_off.schema) == dumps(baseline.schema)
+
+    def test_validate_accepts_cache_kwarg(self, store, store_schema):
+        result = validate(store_schema, "<store><item><price/></item></store>", cache=store)
+        assert result.valid
+
+    def test_corrupt_whole_schema_entry_recomputes(self, store):
+        edtd = example_2_6()
+        cold = approximate_upper(edtd, cache=store)
+        clear_caches()
+        # Damage *every* entry; the warm run must silently recompute.
+        for dirpath, _dirnames, filenames in os.walk(store.objects_dir):
+            for name in filenames:
+                path = os.path.join(dirpath, name)
+                with open(path, "rb") as handle:
+                    raw = handle.read()
+                with open(path, "wb") as handle:
+                    handle.write(raw[: max(1, len(raw) // 3)])
+        warm = approximate_upper(edtd, cache=store)
+        assert store.corrupt > 0
+        assert dumps(warm.schema) == dumps(cold.schema)
+
+
+class TestCliTier:
+    def _schema_file(self, tmp_path) -> str:
+        path = tmp_path / "schema.txt"
+        path.write_text(dumps(example_2_6()))
+        return str(path)
+
+    def test_cache_dir_flag_round_trips(self, tmp_path, capsys):
+        from repro.cli import main
+
+        schema = self._schema_file(tmp_path)
+        cache_dir = str(tmp_path / "cli-cache")
+        assert main(["--cache-dir", cache_dir, "to-xsd", schema]) == 0
+        cold_out = capsys.readouterr().out
+        assert os.path.isdir(os.path.join(cache_dir, "objects"))
+        clear_caches()
+        assert main(["--cache-dir", cache_dir, "to-xsd", schema]) == 0
+        assert capsys.readouterr().out == cold_out
+
+    def test_no_cache_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        schema = self._schema_file(tmp_path)
+        assert main(["--no-cache", "to-xsd", schema]) == 0
+        assert capsys.readouterr().out
+
+    def test_flags_are_mutually_exclusive(self, tmp_path, capsys):
+        from repro.cli import main
+
+        schema = self._schema_file(tmp_path)
+        code = main(["--no-cache", "--cache-dir", str(tmp_path / "c"), "to-xsd", schema])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_unusable_cache_dir_is_bad_input(self, tmp_path, capsys):
+        from repro.cli import main
+
+        blocker = tmp_path / "blocker"
+        blocker.write_text("file, not dir")
+        schema = self._schema_file(tmp_path)
+        code = main(["--cache-dir", str(blocker / "cache"), "to-xsd", schema])
+        assert code == 2

@@ -1,0 +1,291 @@
+"""ArtifactCache unit tests: round trips, corruption, epochs, eviction.
+
+The crash-safety contract under test (see ``docs/CACHING.md``):
+
+* a corrupted or truncated entry is **never served** — it is quarantined,
+  counted, and the caller recomputes;
+* a partially-written (crashed) entry is never *visible* — publication is
+  atomic;
+* a stale-epoch entry is deleted and recomputed, not misread;
+* every degradation is observable (store counters + METRICS).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro import observability as _obs
+from repro.cache import (
+    DISABLED,
+    ArtifactCache,
+    artifact_digest,
+    configure,
+    current_cache,
+    resolve_cache,
+)
+from repro.cache import keys as cache_keys
+from repro.errors import CacheError
+
+
+@pytest.fixture
+def store(tmp_path) -> ArtifactCache:
+    return ArtifactCache(tmp_path / "cache")
+
+
+DIGEST = artifact_digest("min_dfa", ("test-key", 1))
+OTHER = artifact_digest("min_dfa", ("other-key", 2))
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, store):
+        assert store.get(DIGEST) is None
+        assert store.put(DIGEST, {"value": 42}, 7, 19)
+        assert store.get(DIGEST) == ({"value": 42}, 7, 19)
+        assert store.hits == 1
+        assert store.misses == 1
+        assert store.writes == 1
+
+    def test_distinct_digests_are_independent(self, store):
+        store.put(DIGEST, "left", 1, 1)
+        store.put(OTHER, "right", 2, 2)
+        assert store.get(DIGEST)[0] == "left"
+        assert store.get(OTHER)[0] == "right"
+
+    def test_persists_across_instances(self, tmp_path):
+        first = ArtifactCache(tmp_path / "cache")
+        first.put(DIGEST, [1, 2, 3], 5, 5)
+        second = ArtifactCache(tmp_path / "cache")
+        assert second.get(DIGEST) == ([1, 2, 3], 5, 5)
+
+    def test_overwrite_is_last_writer_wins(self, store):
+        store.put(DIGEST, "old", 1, 1)
+        store.put(DIGEST, "new", 1, 1)
+        assert store.get(DIGEST)[0] == "new"
+
+    def test_unpicklable_value_degrades_to_uncached(self, store):
+        assert not store.put(DIGEST, lambda: None, 1, 1)
+        assert store.get(DIGEST) is None
+
+    def test_bad_root_raises_cache_error(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        with pytest.raises(CacheError):
+            ArtifactCache(blocker / "cache")
+
+
+class TestCorruption:
+    def _damage(self, store, digest, mutate):
+        path = store._entry_path(digest)
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(mutate(raw))
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            pytest.param(lambda raw: raw[: len(raw) // 2], id="truncated"),
+            pytest.param(
+                lambda raw: raw[:-1] + bytes([raw[-1] ^ 0xFF]), id="payload-bitflip"
+            ),
+            pytest.param(lambda raw: b"garbage, no newline", id="no-header"),
+            pytest.param(lambda raw: b"{not json}\n" + raw, id="bad-header-json"),
+            pytest.param(lambda raw: b"[1, 2]\n" + raw, id="header-not-object"),
+            pytest.param(lambda raw: b"", id="empty-file"),
+        ],
+    )
+    def test_damaged_entry_is_quarantined_not_served(self, store, mutate):
+        store.put(DIGEST, {"precious": True}, 3, 3)
+        self._damage(store, DIGEST, mutate)
+        assert store.get(DIGEST) is None
+        assert store.corrupt == 1
+        assert os.listdir(store.quarantine_dir)
+        # ... and the slot is immediately reusable:
+        assert store.put(DIGEST, {"precious": True}, 3, 3)
+        assert store.get(DIGEST) == ({"precious": True}, 3, 3)
+
+    def test_header_payload_mismatch_is_quarantined(self, store):
+        store.put(DIGEST, "value", 1, 1)
+
+        def swap_payload(raw: bytes) -> bytes:
+            newline = raw.index(b"\n")
+            return raw[: newline + 1] + pickle.dumps("evil twin")
+
+        self._damage(store, DIGEST, swap_payload)
+        assert store.get(DIGEST) is None
+        assert store.corrupt == 1
+
+    def test_wrong_address_is_quarantined(self, store):
+        # A valid entry copied to the wrong address must not be served:
+        # the header's self-digest no longer matches the filename.
+        store.put(DIGEST, "value", 1, 1)
+        src = store._entry_path(DIGEST)
+        dst = store._entry_path(OTHER)
+        os.makedirs(os.path.dirname(dst), exist_ok=True)
+        os.replace(src, dst)
+        assert store.get(OTHER) is None
+        assert store.corrupt == 1
+
+    def test_unpicklable_payload_is_quarantined(self, store):
+        store.put(DIGEST, "value", 1, 1)
+
+        def break_pickle(raw: bytes) -> bytes:
+            newline = raw.index(b"\n")
+            header = json.loads(raw[:newline])
+            payload = b"\x80\x05not a pickle"
+            import hashlib
+
+            header["payload_sha256"] = hashlib.sha256(payload).hexdigest()
+            header["payload_len"] = len(payload)
+            return json.dumps(header, sort_keys=True).encode() + b"\n" + payload
+
+        self._damage(store, DIGEST, break_pickle)
+        assert store.get(DIGEST) is None
+        assert store.corrupt == 1
+
+    def test_corruption_feeds_metrics(self, store):
+        store.put(DIGEST, "value", 1, 1)
+        self._damage(store, DIGEST, lambda raw: raw[:10])
+        _obs.METRICS.reset()
+        _obs.enable()
+        try:
+            assert store.get(DIGEST) is None
+        finally:
+            _obs.disable()
+        metrics = _obs.METRICS.to_dict()
+        assert metrics["cache.disk.corrupt"]["value"] == 1
+        assert metrics["cache.disk.misses"]["value"] == 1
+        _obs.METRICS.reset()
+
+
+class TestEpoch:
+    def test_stale_epoch_is_deleted_not_served(self, store, monkeypatch):
+        store.put(DIGEST, "old-format", 1, 1)
+        monkeypatch.setattr(cache_keys, "FORMAT_EPOCH", cache_keys.FORMAT_EPOCH + 1)
+        assert store.get(DIGEST) is None
+        assert store.stale == 1
+        assert store.corrupt == 0  # stale is not corruption
+        assert not os.path.exists(store._entry_path(DIGEST))
+        assert not os.listdir(store.quarantine_dir)
+
+
+class TestCrashSafety:
+    def test_orphan_temp_from_dead_pid_is_swept(self, tmp_path):
+        store = ArtifactCache(tmp_path / "cache")
+        store.put(DIGEST, "value", 1, 1)
+        # Simulate a writer that died mid-write: a temp file owned by a
+        # pid that no longer exists.
+        dead_pid = 2 ** 22 + 12345  # above default pid_max
+        orphan = os.path.join(
+            store.objects_dir, DIGEST[:2], f".tmp-{dead_pid}-1-{DIGEST[:8]}"
+        )
+        with open(orphan, "wb") as handle:
+            handle.write(b"half-written garbage")
+        reopened = ArtifactCache(tmp_path / "cache")
+        assert not os.path.exists(orphan)
+        assert reopened.get(DIGEST) == ("value", 1, 1)
+
+    def test_temp_files_never_served_or_counted(self, store):
+        tmp = os.path.join(store.objects_dir, DIGEST[:2], f".tmp-{os.getpid()}-9-zzz")
+        os.makedirs(os.path.dirname(tmp), exist_ok=True)
+        with open(tmp, "wb") as handle:
+            handle.write(b"in flight")
+        assert store.entry_count() == 0
+        assert store.get(DIGEST) is None
+
+
+class TestEviction:
+    def test_lru_eviction_bounds_total_size(self, tmp_path):
+        store = ArtifactCache(tmp_path / "cache", max_bytes=2_000)
+        digests = [artifact_digest("min_dfa", ("bulk", i)) for i in range(16)]
+        blob = "x" * 200
+        for digest in digests:
+            store.put(digest, blob, 1, 1)
+        assert store.evictions > 0
+        assert store.total_bytes() <= 2_000
+        # The most recent write always survives.
+        assert store.get(digests[-1]) is not None
+
+    def test_hit_refreshes_lru_rank(self, tmp_path):
+        store = ArtifactCache(tmp_path / "cache", max_bytes=2_000)
+        first = artifact_digest("min_dfa", ("bulk", 0))
+        store.put(first, "x" * 200, 1, 1)
+        for i in range(1, 16):
+            os.utime(store._entry_path(first))  # keep touching the first
+            store.put(artifact_digest("min_dfa", ("bulk", i)), "x" * 200, 1, 1)
+        assert store.get(first) is not None
+
+    def test_max_bytes_must_be_positive(self, tmp_path):
+        with pytest.raises(CacheError):
+            ArtifactCache(tmp_path / "cache", max_bytes=0)
+
+
+class TestResolution:
+    def test_no_configuration_resolves_to_none(self):
+        assert resolve_cache() is None or resolve_cache() is not None  # smoke
+        # (cannot assert None outright: the environment may configure one)
+
+    def test_explicit_wins(self, store):
+        assert resolve_cache(store) is store
+
+    def test_disabled_shortcircuits(self, store):
+        with store:
+            assert resolve_cache(DISABLED) is None
+
+    def test_context_manager_installs_ambient(self, store):
+        assert current_cache() is not store
+        with store:
+            assert current_cache() is store
+            assert resolve_cache() is store
+        assert current_cache() is not store
+
+    def test_context_manager_is_not_reentrant(self, store):
+        from repro.errors import ReproError
+
+        with store:
+            with pytest.raises(ReproError):
+                store.__enter__()
+
+    def test_configure_default(self, store):
+        previous = configure(store)
+        try:
+            assert resolve_cache() is store
+        finally:
+            configure(previous)
+
+    def test_env_var_opens_store(self, tmp_path, monkeypatch):
+        import repro.cache as cache_module
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        cache_module._reset_env_cache()
+        try:
+            resolved = resolve_cache()
+            assert resolved is not None
+            assert resolved.root == str(tmp_path / "env-cache")
+        finally:
+            cache_module._reset_env_cache()
+
+    def test_unusable_env_var_degrades_to_no_cache(self, tmp_path, monkeypatch):
+        import repro.cache as cache_module
+
+        blocker = tmp_path / "blocker"
+        blocker.write_text("file, not dir")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(blocker / "cache"))
+        cache_module._reset_env_cache()
+        try:
+            assert resolve_cache() is None
+        finally:
+            cache_module._reset_env_cache()
+
+    def test_activation_disabled_suppresses_ambient(self, store):
+        from repro.cache import activation
+
+        with store:
+            with activation(DISABLED) as effective:
+                assert effective is None
+                assert resolve_cache() is None
+            assert resolve_cache() is store

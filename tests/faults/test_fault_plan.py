@@ -1,0 +1,199 @@
+"""Unit tests for the fault-injection layer itself.
+
+The chaos suite (``test_chaos.py``) is only as trustworthy as the
+injector: these tests pin the scheduling semantics (``at``/``every``),
+glob matching, payload-damage determinism, the strict-prefix truncation
+guarantee, the ``ACTIVE`` flag discipline, and the audit trail.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro import observability as _obs
+from repro.errors import InjectedFaultError, ReproError
+from repro.faults import FaultPlan, FaultRule
+
+
+class TestFaultRule:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule("budget.check", "explode")
+
+    def test_bad_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule("budget.check", "raise", at=0)
+        with pytest.raises(ValueError):
+            FaultRule("budget.check", "raise", every=0)
+        with pytest.raises(ValueError):
+            FaultRule("cache.read", "truncate", fraction=1.5)
+
+    def test_exact_match(self):
+        rule = FaultRule("cache.read", "raise")
+        assert rule.matches("cache.read")
+        assert not rule.matches("cache.write")
+
+    def test_glob_match(self):
+        rule = FaultRule("cache.*", "raise")
+        assert rule.matches("cache.read")
+        assert rule.matches("cache.fsync")
+        assert not rule.matches("budget.tick")
+
+    def test_one_shot_schedule(self):
+        rule = FaultRule("p", "raise", at=3)
+        assert [rule.due(i) for i in range(1, 6)] == [False, False, True, False, False]
+
+    def test_periodic_schedule(self):
+        rule = FaultRule("p", "raise", at=2, every=3)
+        due = [i for i in range(1, 12) if rule.due(i)]
+        assert due == [2, 5, 8, 11]
+
+
+class TestPlanLifecycle:
+    def test_active_flag_tracks_context(self):
+        assert not faults.ACTIVE
+        with FaultPlan([]):
+            assert faults.ACTIVE
+            with FaultPlan([]):
+                assert faults.ACTIVE
+            assert faults.ACTIVE  # outer plan still active
+        assert not faults.ACTIVE
+
+    def test_not_reentrant(self):
+        plan = FaultPlan([])
+        with plan:
+            with pytest.raises(ReproError):
+                plan.__enter__()
+
+    def test_no_plan_helpers_are_noops(self):
+        faults.fire("budget.check")  # must not raise
+        assert faults.transform("cache.read", b"data") == b"data"
+        assert faults.current_plan() is None
+
+    def test_innermost_plan_wins(self):
+        outer = FaultPlan([FaultRule("budget.check", "raise")])
+        inner = FaultPlan([])
+        with outer:
+            with inner:
+                faults.fire("budget.check")  # inner plan: no rules, no raise
+            with pytest.raises(InjectedFaultError):
+                faults.fire("budget.check")
+
+
+class TestFiring:
+    def test_raise_on_schedule(self):
+        plan = FaultPlan([FaultRule("budget.check", "raise", at=3)])
+        with plan:
+            faults.fire("budget.check")
+            faults.fire("budget.check")
+            with pytest.raises(InjectedFaultError) as excinfo:
+                faults.fire("budget.check")
+        assert excinfo.value.point == "budget.check"
+        assert plan.arrivals["budget.check"] == 3
+        assert [(r.point, r.mode, r.arrival) for r in plan.injected] == [
+            ("budget.check", "raise", 3)
+        ]
+
+    def test_custom_error_class(self):
+        plan = FaultPlan([FaultRule("cache.fsync", "raise", error=OSError)])
+        with plan:
+            with pytest.raises(OSError):
+                faults.fire("cache.fsync")
+
+    def test_arrivals_counted_even_without_rules(self):
+        plan = FaultPlan([])
+        with plan:
+            for _ in range(5):
+                faults.fire("budget.tick")
+        assert plan.arrivals["budget.tick"] == 5
+        assert plan.injected == []
+
+    def test_corrupt_and_truncate_inert_at_control_points(self):
+        plan = FaultPlan(
+            [
+                FaultRule("budget.check", "corrupt"),
+                FaultRule("budget.check", "truncate"),
+            ]
+        )
+        with plan:
+            faults.fire("budget.check")  # nothing to damage; must not raise
+        assert plan.injected == []
+
+    def test_injection_lands_on_active_span(self):
+        plan = FaultPlan([FaultRule("budget.check", "raise")])
+        with _obs.Trace("chaos") as trace:
+            with plan:
+                with pytest.raises(InjectedFaultError):
+                    faults.fire("budget.check")
+        assert trace.root.attrs["fault_points"] == ["budget.check:raise@1"]
+
+
+class TestTransforms:
+    def test_truncate_is_strict_nonempty_prefix(self):
+        plan = FaultPlan([FaultRule("xml.ingest", "truncate", every=1)])
+        data = "<a><b/></a>"
+        with plan:
+            damaged = faults.transform("xml.ingest", data)
+        assert damaged != data
+        assert data.startswith(damaged)
+        assert 0 < len(damaged) < len(data)
+
+    def test_truncate_fraction_bounds(self):
+        for fraction in (0.0, 0.5, 1.0):
+            plan = FaultPlan([FaultRule("cache.read", "truncate", fraction=fraction)])
+            with plan:
+                damaged = faults.transform("cache.read", b"0123456789")
+            assert 0 < len(damaged) < 10
+
+    def test_corrupt_bytes_differs_and_preserves_length(self):
+        plan = FaultPlan([FaultRule("cache.read", "corrupt")], seed=11)
+        data = bytes(range(64))
+        with plan:
+            damaged = faults.transform("cache.read", data)
+        assert damaged != data
+        assert len(damaged) == len(data)
+        assert sum(a != b for a, b in zip(data, damaged)) == 1
+
+    def test_corrupt_text_differs_and_preserves_length(self):
+        plan = FaultPlan([FaultRule("xml.ingest", "corrupt")], seed=11)
+        data = "<root><child/></root>"
+        with plan:
+            damaged = faults.transform("xml.ingest", data)
+        assert damaged != data
+        assert len(damaged) == len(data)
+
+    def test_corruption_is_deterministic_in_seed(self):
+        def run(seed: int) -> bytes:
+            with FaultPlan([FaultRule("cache.read", "corrupt")], seed=seed):
+                return faults.transform("cache.read", bytes(range(64)))
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_empty_payload_still_damaged(self):
+        plan = FaultPlan([FaultRule("cache.read", "corrupt")])
+        with plan:
+            assert faults.transform("cache.read", b"") != b""
+
+    def test_schedule_applies_per_point(self):
+        plan = FaultPlan([FaultRule("cache.read", "corrupt", at=2)])
+        with plan:
+            first = faults.transform("cache.read", b"payload")
+            second = faults.transform("cache.read", b"payload")
+        assert first == b"payload"
+        assert second != b"payload"
+
+    def test_injected_metrics_when_enabled(self):
+        _obs.METRICS.reset()
+        plan = FaultPlan([FaultRule("cache.read", "corrupt")])
+        _obs.enable()
+        try:
+            with plan:
+                faults.transform("cache.read", b"payload")
+        finally:
+            _obs.disable()
+        metrics = _obs.METRICS.to_dict()
+        assert metrics["faults.injected"]["value"] == 1
+        assert metrics["faults.injected.cache.read"]["value"] == 1
+        _obs.METRICS.reset()

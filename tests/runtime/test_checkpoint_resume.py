@@ -1,0 +1,153 @@
+"""Exhaustive resume-at-every-trip-point checkpoint round-trip.
+
+The checkpoint contract: for *any* budget trip point, resuming the
+construction from the carried :class:`SubsetCheckpoint` yields a DFA
+**identical** to an untripped run — not merely equivalent.  The kernel
+subset construction is deterministic (sorted symbol order, FIFO
+frontier), so states, transitions, initial, and finals must all match
+exactly.  Budget charges are additive over the interruption: state
+charges sum exactly; step charges sum to within one ``_FLUSH`` tick
+batch (the batched-tick staleness the governor documents) and never
+overcount.
+
+The sweep trips a run at *every* possible ``max_states`` value from 1 to
+the full subset count — every state the BFS materializes is exercised as
+a trip point — and again at a spread of ``max_steps`` values, for both
+the bitmask kernel and the frozenset reference (their checkpoints are
+interchangeable by contract, which is also asserted cross-wise).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BudgetExceededError
+from repro.families.hard import theorem_3_2_family
+from repro.runtime import Budget
+from repro.strings.determinize import SubsetCheckpoint, determinize, determinize_reference
+from repro.strings.glushkov import glushkov_nfa
+from repro.strings.nfa import NFA
+from repro.strings.regex import parse
+
+
+def _hard_nfa() -> NFA:
+    # Glushkov automaton of a regex with real nondeterminism: the subset
+    # construction explores a few dozen subset states.
+    return glushkov_nfa(parse("(a | b)*, a, (a | b), (a | b)"))
+
+
+def _assert_identical(left, right) -> None:
+    assert left.states == right.states
+    assert left.initial == right.initial
+    assert left.finals == right.finals
+    assert left.transitions == right.transitions
+
+
+def _full_cost(nfa, construct) -> tuple:
+    meter = Budget()
+    dfa = construct(nfa, budget=meter)
+    return dfa, meter.states, meter.steps
+
+
+@pytest.mark.parametrize(
+    "construct", [determinize, determinize_reference], ids=["kernel", "reference"]
+)
+class TestEveryTripPoint:
+    def test_resume_at_every_max_states(self, construct):
+        nfa = _hard_nfa()
+        full, full_states, full_steps = _full_cost(nfa, construct)
+        total = len(full.states)
+        assert total >= 8, "fixture too easy to be exhaustive about"
+        tripped = 0
+        for limit in range(1, total):
+            meter = Budget(max_states=limit)
+            try:
+                construct(nfa, budget=meter)
+            except BudgetExceededError as error:
+                tripped += 1
+                checkpoint = error.checkpoint
+                assert isinstance(checkpoint, SubsetCheckpoint)
+                assert 0 < checkpoint.states_explored <= limit + 1
+                resume_meter = Budget()
+                resumed = construct(nfa, budget=resume_meter, checkpoint=checkpoint)
+                _assert_identical(resumed, full)
+                # Governance is additive over the interruption: state
+                # charges sum exactly; step charges may lose at most one
+                # unflushed tick batch at the trip (the documented
+                # batched-tick staleness bound) and never overcount.
+                assert meter.states + resume_meter.states == full_states
+                steps_sum = meter.steps + resume_meter.steps
+                assert full_steps - 256 <= steps_sum <= full_steps
+            else:
+                pytest.fail(f"max_states={limit} below {total} failed to trip")
+        assert tripped == total - 1
+
+    def test_resume_at_max_steps_spread(self, construct):
+        nfa = _hard_nfa()
+        full, _full_states, full_steps = _full_cost(nfa, construct)
+        for limit in range(1, full_steps, max(1, full_steps // 37)):
+            try:
+                construct(nfa, budget=Budget(max_steps=limit))
+            except BudgetExceededError as error:
+                if error.checkpoint is None:
+                    continue  # tripped before any resumable state existed
+                resumed = construct(nfa, checkpoint=error.checkpoint)
+                _assert_identical(resumed, full)
+            else:
+                pytest.fail(f"max_steps={limit} below {full_steps} failed to trip")
+
+    def test_double_interruption_chains(self, construct):
+        nfa = _hard_nfa()
+        full, _s, _t = _full_cost(nfa, construct)
+        checkpoint = None
+        interruptions = 0
+        while True:
+            try:
+                resumed = construct(
+                    nfa, budget=Budget(max_states=3), checkpoint=checkpoint
+                )
+                break
+            except BudgetExceededError as error:
+                assert error.checkpoint is not None
+                checkpoint = error.checkpoint
+                interruptions += 1
+                assert interruptions < 100, "resume loop is not making progress"
+        assert interruptions >= 2
+        _assert_identical(resumed, full)
+
+
+class TestCrossImplementationResume:
+    """Kernel and reference checkpoints are interchangeable by contract."""
+
+    @pytest.mark.parametrize(
+        "tripper,resumer",
+        [(determinize, determinize_reference), (determinize_reference, determinize)],
+        ids=["kernel-trips-reference-resumes", "reference-trips-kernel-resumes"],
+    )
+    def test_cross_resume_every_trip_point(self, tripper, resumer):
+        nfa = _hard_nfa()
+        full, _s, _t = _full_cost(nfa, resumer)
+        total = len(full.states)
+        for limit in range(1, total):
+            with pytest.raises(BudgetExceededError) as excinfo:
+                tripper(nfa, budget=Budget(max_states=limit))
+            checkpoint = excinfo.value.checkpoint
+            assert checkpoint is not None
+            resumed = resumer(nfa, checkpoint=checkpoint)
+            _assert_identical(resumed, full)
+
+
+class TestExponentialFamilyResume:
+    def test_hard_family_resumes_through_checkpoint(self):
+        from repro.core.decision import single_type_definability
+        from repro.core.decision import Definability
+
+        edtd = theorem_3_2_family(6)
+        first = single_type_definability(edtd, budget=Budget(max_states=40))
+        assert first.verdict is Definability.UNKNOWN
+        assert first.checkpoint is not None
+        oracle = single_type_definability(edtd)
+        resumed = single_type_definability(
+            edtd, budget=Budget(), checkpoint=first.checkpoint
+        )
+        assert resumed.verdict is oracle.verdict

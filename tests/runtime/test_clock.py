@@ -1,0 +1,135 @@
+"""The single-monotonic-clock contract of deadline math.
+
+Every duration in the governor — ``started_at``, ``deadline``,
+``elapsed``, ``remaining_time`` — must read the *same* monotonic source
+(:func:`repro.runtime.clock.now`).  Mixing in ``time.time()`` anywhere
+breaks deadlines whenever the wall clock steps (NTP adjustment, manual
+reset, leap smearing): a backwards step would silently extend a deadline,
+a forwards step would spuriously trip it.
+
+These tests install a fake clock source and then *skew the wall clock
+wildly in both directions* while the monotonic source advances normally —
+the budget must not care.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import BudgetExceededError
+from repro.runtime import Budget
+from repro.runtime import clock
+
+
+class FakeClock:
+    """A controllable monotonic source."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.value = start
+
+    def __call__(self) -> float:
+        return self.value
+
+    def advance(self, seconds: float) -> None:
+        self.value += seconds
+
+
+@pytest.fixture
+def fake_clock():
+    fake = FakeClock()
+    previous = clock.install(fake)
+    try:
+        yield fake
+    finally:
+        clock.uninstall(previous)
+
+
+class TestClockModule:
+    def test_default_source_is_monotonic(self):
+        # Same epoch as time.monotonic: two reads straddle it.
+        before = time.monotonic()
+        reading = clock.now()
+        after = time.monotonic()
+        assert before <= reading <= after
+
+    def test_install_uninstall_round_trip(self):
+        fake = FakeClock(5.0)
+        previous = clock.install(fake)
+        try:
+            assert clock.now() == 5.0
+        finally:
+            clock.uninstall(previous)
+        assert clock.now() != 5.0 or clock.now() > 0
+
+
+class TestBudgetOnFakeClock:
+    def test_elapsed_follows_the_source(self, fake_clock):
+        budget = Budget()
+        fake_clock.advance(2.5)
+        assert budget.elapsed == pytest.approx(2.5)
+
+    def test_timeout_trips_exactly_on_the_source(self, fake_clock):
+        budget = Budget(timeout=10.0)
+        fake_clock.advance(9.99)
+        budget.check()  # inside the allowance
+        fake_clock.advance(0.02)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            budget.check()
+        assert excinfo.value.reason == "deadline"
+
+    def test_remaining_time(self, fake_clock):
+        budget = Budget(timeout=10.0)
+        fake_clock.advance(4.0)
+        assert budget.remaining_time() == pytest.approx(6.0)
+
+    def test_absolute_deadline_is_on_the_monotonic_epoch(self, fake_clock):
+        budget = Budget(deadline=clock.now() + 3.0)
+        fake_clock.advance(2.0)
+        budget.check()
+        fake_clock.advance(2.0)
+        with pytest.raises(BudgetExceededError):
+            budget.check()
+
+
+class TestWallClockSkewImmunity:
+    """The regression the satellite demands: fake a wall-clock skew and
+    assert deadline math is unaffected."""
+
+    def test_wall_clock_jump_backwards_does_not_extend_deadline(
+        self, fake_clock, monkeypatch
+    ):
+        budget = Budget(timeout=1.0)
+        # The wall clock leaps a year backwards (time.time only —
+        # monotonic sources never step).
+        monkeypatch.setattr(time, "time", lambda: -31_536_000.0)
+        fake_clock.advance(1.5)
+        with pytest.raises(BudgetExceededError):
+            budget.check()
+
+    def test_wall_clock_jump_forwards_does_not_trip_deadline(
+        self, fake_clock, monkeypatch
+    ):
+        budget = Budget(timeout=100.0)
+        # The wall clock leaps a year forwards; only 1s of monotonic time
+        # actually passes.
+        monkeypatch.setattr(time, "time", lambda: time.monotonic() + 31_536_000.0)
+        fake_clock.advance(1.0)
+        budget.check()  # must NOT trip
+        assert budget.remaining_time() == pytest.approx(99.0)
+
+    def test_governed_construction_survives_wall_skew(self, fake_clock, monkeypatch):
+        from repro.core.upper import minimal_upper_approximation
+        from repro.families.hard import example_2_6
+
+        monkeypatch.setattr(time, "time", lambda: 0.0)  # frozen, bogus wall clock
+        with Budget(timeout=3600.0):
+            schema = minimal_upper_approximation(example_2_6())
+        assert schema is not None
+
+    def test_progress_elapsed_uses_monotonic_source(self, fake_clock, monkeypatch):
+        monkeypatch.setattr(time, "time", lambda: 9e9)
+        budget = Budget()
+        fake_clock.advance(0.25)
+        assert budget.progress().elapsed_seconds == pytest.approx(0.25)
