@@ -1,0 +1,326 @@
+"""EXP-TK — PR-7 tree-kernel speedups: old frozenset/round-based tree
+loops vs. the integer-coded kernels of :mod:`repro.tree_automata.kernels`
+and the arena walks of :mod:`repro.trees.arena`.
+
+Acceptance measurements for the tree-kernels PR:
+
+* ``BTA.determinize`` — bitmask worklist (numpy fast path) vs. the
+  preserved round-based reference, on a left-spine blow-up family
+  (~2^k subsets) and a dense random BTA; required >= 5x in aggregate.
+* ``bta_difference_empty`` — lazy-product worklist with chunk-table
+  steps vs. the full-rescan reference, on self-inclusion instances
+  (empty difference: the whole product must be explored); required
+  >= 5x in aggregate.
+* EDTD validation — one arena pass with type bitmasks vs. the
+  path-dict reference, on wide and very deep documents — informational.
+
+To (re)generate the committed ``BENCH_trees.json``::
+
+    PYTHONPATH=src REPRO_BENCH_JSON=BENCH_trees.json \\
+        python -m pytest benchmarks/bench_tree_kernels.py --benchmark-only -q
+
+Set ``REPRO_BENCH_SMOKE=1`` to run a small slice (used by the CI bench
+smoke job): same code paths, tiny instances, no speedup assertions.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import record_bench, run_timed
+from repro.families.random_schemas import random_edtd
+from repro.tree_automata.bta import BTA
+from repro.tree_automata.inclusion import (
+    bta_difference_empty,
+    bta_difference_empty_reference,
+)
+from repro.tree_automata.kernels import edtd_possible_types
+from repro.trees import Tree
+
+EXPERIMENT = "EXP-TK  tree kernel speedups (old tree loops vs PR-7 kernels)"
+NOTE = "old = pre-PR reference implementations, preserved as differential oracles"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip().lower() in ("1", "true", "yes")
+
+#: Rounds for best-of timing of the old/new comparison.
+ROUNDS = 1 if SMOKE else 3
+#: Left-spine family parameters for determinize (~2^k subsets each).
+DETERMINIZE_SPINES = [4, 5] if SMOKE else [7, 8]
+#: Dense random BTA for determinize: (seed, states, density, leaf_p).
+DETERMINIZE_RANDOM = (7, 8, 0.10, 0.3) if SMOKE else (7, 11, 0.05, 0.25)
+#: Self-inclusion instances for difference-emptiness.
+INCLUSION_SPINES = [4, 5] if SMOKE else [6, 7]
+INCLUSION_RANDOM = (7, 7, 0.12, 0.3) if SMOKE else (7, 9, 0.10, 0.3)
+#: Validation document sizes (nodes).
+WIDE_SIZE = 400 if SMOKE else 4000
+DEEP_DEPTH = 300 if SMOKE else 3000
+
+
+def spine_bta(k: int) -> BTA:
+    """The 'k-th left-spine label from the bottom is b' BTA — a string-NFA
+    blow-up lifted onto left combs, so determinizing reaches ~2^k subsets
+    while the automaton itself stays tiny (k + 2 states)."""
+    states = [f"q{i}" for i in range(k + 1)] + ["pad"]
+    leaf_rules = {"a": {"q0"}, "b": {"q0", "q1"}, "p": {"pad"}}
+    internal: dict = {}
+    for label in ("a", "b"):
+        for i in range(k):
+            targets = {"q0", "q1"} if label == "b" else {"q0"}
+            if i > 0:
+                targets = targets | {f"q{i + 1}"}
+            internal[(label, f"q{i}", "pad")] = targets
+    return BTA(states, ["a", "b", "p"], leaf_rules, internal, {f"q{k}"})
+
+
+def dense_random_bta(seed: int, n: int, density: float, leaf_p: float) -> BTA:
+    """A dense random BTA whose subset construction stays mid-sized."""
+    rng = random.Random(seed)
+    states = [f"q{i}" for i in range(n)]
+    labels = ["a", "b"]
+    leaf_rules: dict = {}
+    for label in labels:
+        targets = {q for q in states if rng.random() < leaf_p}
+        if targets:
+            leaf_rules[label] = targets
+    internal: dict = {}
+    for label in labels:
+        for q1 in states:
+            for q2 in states:
+                targets = {q for q in states if rng.random() < density}
+                if targets:
+                    internal[(label, q1, q2)] = targets
+    return BTA(states, labels, leaf_rules, internal, {states[-1]})
+
+
+def random_unranked_tree(rng: random.Random, labels: list, size: int) -> Tree:
+    """A random unranked tree with *size* nodes (uniform random parents)."""
+    children: dict[int, list[int]] = {0: []}
+    node_labels = [rng.choice(labels)]
+    for index in range(1, size):
+        parent = rng.randrange(0, index)
+        children.setdefault(parent, []).append(index)
+        children[index] = []
+        node_labels.append(rng.choice(labels))
+    built: dict[int, Tree] = {}
+    for index in range(size - 1, -1, -1):
+        built[index] = Tree(node_labels[index], [built[c] for c in children[index]])
+    return built[0]
+
+
+def _best_of(func, *args, rounds: int = ROUNDS):
+    """Return ``(result, best_seconds)`` over *rounds* runs."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = func(*args)
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def _same_bta(left: BTA, right: BTA) -> bool:
+    return (
+        left.states == right.states
+        and left.finals == right.finals
+        and {k: frozenset(v) for k, v in left.internal_rules.items()}
+        == {k: frozenset(v) for k, v in right.internal_rules.items()}
+    )
+
+
+@pytest.mark.ungoverned
+def test_bta_determinize_speedup(record, benchmark):
+    """Bitmask worklist subset construction vs. the round-based reference
+    (ungoverned: the numpy fast path only engages without an ambient
+    budget, matching library use)."""
+    instances = [(f"spine{k}", spine_bta(k)) for k in DETERMINIZE_SPINES]
+    instances.append(("dense-random", dense_random_bta(*DETERMINIZE_RANDOM)))
+    for _, bta in instances:
+        bta.determinize()  # warm-up (codings, chunk tables, allocator)
+
+    def run_all_new():
+        return [bta.determinize() for _, bta in instances]
+
+    new_results, _ = run_timed(benchmark, run_all_new, rounds=ROUNDS)
+
+    # Aggregate over per-instance best-of timings (same methodology on
+    # both sides; the batched run above feeds the pytest-benchmark table).
+    new_total = 0.0
+    old_total = 0.0
+    for (name, bta), new_det in zip(instances, new_results):
+        old_det, old_seconds = _best_of(bta.determinize_reference)
+        _, new_seconds = _best_of(bta.determinize)
+        assert _same_bta(new_det, old_det)
+        new_total += new_seconds
+        old_total += old_seconds
+        speedup = old_seconds / max(new_seconds, 1e-9)
+        record_bench(
+            "bta_determinize_speedup",
+            n=name,
+            seconds=new_seconds,
+            states=len(new_det.states),
+            old_seconds=old_seconds,
+            speedup=round(speedup, 2),
+        )
+        record(
+            EXPERIMENT,
+            {
+                "op": "bta_determinize",
+                "instance": name,
+                "subsets": len(new_det.states),
+                "new_s": f"{new_seconds:.4f}",
+                "old_s": f"{old_seconds:.4f}",
+                "speedup": f"{speedup:.1f}x",
+            },
+            note=NOTE,
+        )
+
+    aggregate = old_total / max(new_total, 1e-9)
+    record_bench(
+        "bta_determinize_speedup_aggregate",
+        n=len(instances),
+        seconds=new_total,
+        old_seconds=old_total,
+        speedup=round(aggregate, 2),
+    )
+    record(
+        EXPERIMENT,
+        {
+            "op": "bta_determinize (aggregate)",
+            "instance": f"{len(instances)} instances",
+            "subsets": "",
+            "new_s": f"{new_total:.4f}",
+            "old_s": f"{old_total:.4f}",
+            "speedup": f"{aggregate:.1f}x",
+        },
+        note=NOTE,
+    )
+    if not SMOKE:
+        assert aggregate >= 5.0, (
+            f"bta_determinize kernel speedup regressed to {aggregate:.1f}x "
+            f"(old {old_total:.3f}s vs new {new_total:.3f}s)"
+        )
+
+
+@pytest.mark.ungoverned
+def test_bta_difference_empty_speedup(record, benchmark):
+    """Lazy-product worklist vs. the full-rescan reference on
+    self-inclusion instances — the difference is empty, so no early exit:
+    both sides must saturate the whole reachable product."""
+    instances = [(f"spine{k}", spine_bta(k)) for k in INCLUSION_SPINES]
+    instances.append(("dense-random", dense_random_bta(*INCLUSION_RANDOM)))
+    for _, bta in instances:
+        bta_difference_empty(bta, bta)  # warm-up
+
+    def run_all_new():
+        return [bta_difference_empty(bta, bta) for _, bta in instances]
+
+    answers, _ = run_timed(benchmark, run_all_new, rounds=ROUNDS)
+
+    # Aggregate over per-instance best-of timings, as in the determinize
+    # benchmark above.
+    new_total = 0.0
+    old_total = 0.0
+    for (name, bta), new_answer in zip(instances, answers):
+        old_answer, old_seconds = _best_of(bta_difference_empty_reference, bta, bta)
+        _, new_seconds = _best_of(bta_difference_empty, bta, bta)
+        assert new_answer == old_answer is True
+        new_total += new_seconds
+        old_total += old_seconds
+        speedup = old_seconds / max(new_seconds, 1e-9)
+        record_bench(
+            "bta_difference_empty_speedup",
+            n=name,
+            seconds=new_seconds,
+            old_seconds=old_seconds,
+            speedup=round(speedup, 2),
+        )
+        record(
+            EXPERIMENT,
+            {
+                "op": "bta_difference_empty",
+                "instance": name,
+                "subsets": "",
+                "new_s": f"{new_seconds:.4f}",
+                "old_s": f"{old_seconds:.4f}",
+                "speedup": f"{speedup:.1f}x",
+            },
+            note=NOTE,
+        )
+
+    aggregate = old_total / max(new_total, 1e-9)
+    record_bench(
+        "bta_difference_empty_speedup_aggregate",
+        n=len(instances),
+        seconds=new_total,
+        old_seconds=old_total,
+        speedup=round(aggregate, 2),
+    )
+    record(
+        EXPERIMENT,
+        {
+            "op": "bta_difference_empty (aggregate)",
+            "instance": f"{len(instances)} instances",
+            "subsets": "",
+            "new_s": f"{new_total:.4f}",
+            "old_s": f"{old_total:.4f}",
+            "speedup": f"{aggregate:.1f}x",
+        },
+        note=NOTE,
+    )
+    if not SMOKE:
+        assert aggregate >= 5.0, (
+            f"bta_difference_empty kernel speedup regressed to {aggregate:.1f}x "
+            f"(old {old_total:.3f}s vs new {new_total:.3f}s)"
+        )
+
+
+@pytest.mark.ungoverned
+def test_arena_validation_speedup(record, benchmark):
+    """EDTD validation through the arena kernel vs. the path-dict object
+    walk, on wide random documents and one very deep document
+    (informational — the arena's big win is the deep case, where the
+    reference pays O(depth) per path tuple)."""
+    rng = random.Random(2026)
+    schema = random_edtd(rng, num_labels=3, num_types=8)
+    labels = sorted(schema.alphabet, key=repr)
+    wide = [random_unranked_tree(rng, labels, WIDE_SIZE) for _ in range(3)]
+    deep = Tree(labels[0])
+    for _ in range(DEEP_DEPTH):
+        deep = Tree(labels[0], [deep])
+    documents = wide + [deep]
+
+    def run_all_new():
+        return [edtd_possible_types(schema, doc) for doc in documents]
+
+    new_results, _ = run_timed(benchmark, run_all_new, rounds=ROUNDS)
+    new_total = float(benchmark.stats.stats.min)
+
+    def run_all_old():
+        return [schema.possible_types_reference(doc) for doc in documents]
+
+    old_results, old_total = _best_of(run_all_old)
+    assert new_results == old_results
+    speedup = old_total / max(new_total, 1e-9)
+    record_bench(
+        "edtd_validation_speedup",
+        n=f"3x{WIDE_SIZE}-wide + {DEEP_DEPTH}-deep",
+        seconds=new_total,
+        old_seconds=old_total,
+        speedup=round(speedup, 2),
+    )
+    record(
+        EXPERIMENT,
+        {
+            "op": "edtd_validation (arena)",
+            "instance": f"3x{WIDE_SIZE}-wide + {DEEP_DEPTH}-deep",
+            "subsets": "",
+            "new_s": f"{new_total:.4f}",
+            "old_s": f"{old_total:.4f}",
+            "speedup": f"{speedup:.1f}x",
+        },
+        note=NOTE,
+    )

@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 
 from repro.strings.nfa import NFA
+from repro.trees.arena import ArenaTree
 from repro.trees.tree import Path, Tree
 
 
@@ -37,15 +38,22 @@ def all_exchanges(t1: Tree, t2: Tree) -> Iterator[Tree]:
     (ordered) pair ``(t1, t2)``.
 
     Node pairs are matched by ancestor string; both directions follow by
-    also calling ``all_exchanges(t2, t1)``.
+    also calling ``all_exchanges(t2, t1)``.  Ancestor strings come from
+    one :class:`~repro.trees.arena.ArenaTree` pass per tree (prefix
+    tuples shared along each spine) instead of a per-node root-to-node
+    walk, so the matching is linear in tree size rather than
+    size-times-depth.
     """
+    arena2 = ArenaTree.from_tree(t2)
+    paths2 = arena2.paths()
     by_ancestor: dict[tuple, list[Path]] = {}
-    for v2 in t2.dom():
-        by_ancestor.setdefault(t2.anc_str(v2), []).append(v2)
-    for v1 in t1.dom():
-        key = t1.anc_str(v1)
-        for v2 in by_ancestor.get(key, ()):
-            yield t1.replace_at(v1, t2.subtree(v2))
+    for index, anc in enumerate(arena2.anc_strings()):
+        by_ancestor.setdefault(anc, []).append(paths2[index])
+    arena1 = ArenaTree.from_tree(t1)
+    paths1 = arena1.paths()
+    for index, anc in enumerate(arena1.anc_strings()):
+        for v2 in by_ancestor.get(anc, ()):
+            yield t1.replace_at(paths1[index], t2.subtree(v2))
 
 
 def anc_type(tree: Tree, path: Path, automaton: NFA) -> frozenset:
@@ -77,6 +85,31 @@ def type_guarded_exchange(
     return t1.replace_at(v1, t2.subtree(v2))
 
 
+def arena_anc_types(arena: ArenaTree, automaton: NFA) -> list[frozenset]:
+    """``anc-type`` of every arena node in one top-down pass.
+
+    Each node's state set is one :meth:`NFA.step` from its parent's
+    (memoized per ``(parent states, label)`` pair), instead of re-reading
+    the whole ancestor string per node — linear in tree size, not
+    size-times-depth.
+    """
+    step = automaton.step
+    labels = arena.labels
+    codes = arena.codes
+    parent = arena.parent
+    out: list[frozenset] = [frozenset()] * len(arena)
+    memo: dict[tuple[frozenset, int], frozenset] = {}
+    for index in range(len(arena)):
+        source = automaton.initials if index == 0 else out[parent[index]]
+        key = (source, codes[index])
+        states = memo.get(key)
+        if states is None:
+            states = step(source, labels[index])
+            memo[key] = states
+        out[index] = states
+    return out
+
+
 def all_type_guarded_exchanges(
     t1: Tree,
     t2: Tree,
@@ -88,20 +121,26 @@ def all_type_guarded_exchanges(
 
     If *restrict_labels* is given, only nodes with those labels are
     exchanged (the ``type-closure^{N, Sigma'}`` refinement of Section
-    4.4.2 used for binary encodings).
+    4.4.2 used for binary encodings).  Ancestor types come from
+    :func:`arena_anc_types` — one incremental NFA step per node instead
+    of a full ancestor-string read per node.
     """
+    arena2 = ArenaTree.from_tree(t2)
+    paths2 = arena2.paths()
+    types2 = arena_anc_types(arena2, automaton)
     by_type: dict[tuple, list[Path]] = {}
-    for v2 in t2.dom():
-        if restrict_labels is not None and t2.label_at(v2) not in restrict_labels:
+    for index, label in enumerate(arena2.labels):
+        if restrict_labels is not None and label not in restrict_labels:
             continue
-        key = (anc_type(t2, v2, automaton), t2.label_at(v2))
-        if key[0]:
-            by_type.setdefault(key, []).append(v2)
-    for v1 in t1.dom():
-        if restrict_labels is not None and t1.label_at(v1) not in restrict_labels:
+        if types2[index]:
+            by_type.setdefault((types2[index], label), []).append(paths2[index])
+    arena1 = ArenaTree.from_tree(t1)
+    paths1 = arena1.paths()
+    types1 = arena_anc_types(arena1, automaton)
+    for index, label in enumerate(arena1.labels):
+        if restrict_labels is not None and label not in restrict_labels:
             continue
-        key = (anc_type(t1, v1, automaton), t1.label_at(v1))
-        if not key[0]:
+        if not types1[index]:
             continue
-        for v2 in by_type.get(key, ()):
-            yield t1.replace_at(v1, t2.subtree(v2))
+        for v2 in by_type.get((types1[index], label), ()):
+            yield t1.replace_at(paths1[index], t2.subtree(v2))

@@ -149,8 +149,21 @@ class EDTD:
         ``mu(tau) == a`` and some word ``tau_1 ... tau_n`` in ``d(tau)``
         exists with ``tau_i`` possible at child ``i``.
 
-        Iterative post-order, safe for arbitrarily deep documents.
+        Runs on the arena/bitmask kernel
+        (:func:`repro.tree_automata.kernels.edtd_possible_types`): one
+        int type-mask per node, content-DFA subset simulation through
+        per-(type, DFA-state) chunk tables, no per-node path tuples or
+        frozensets.  :meth:`possible_types_reference` is the original
+        loop, kept as the differential oracle.
         """
+        from repro.tree_automata.kernels import edtd_possible_types
+
+        return edtd_possible_types(self, tree)
+
+    def possible_types_reference(self, tree: Tree) -> frozenset[Type]:
+        """Path-dict reference inference (differential oracle for the
+        kernel).  Iterative post-order, safe for arbitrarily deep
+        documents."""
         by_label: dict[Symbol, list[Type]] = {}
         for type_ in self.types:
             by_label.setdefault(self.mu[type_], []).append(type_)
@@ -189,7 +202,9 @@ class EDTD:
             return False
         if not tree.labels() <= self.alphabet:
             return False
-        return bool(self.possible_types(tree) & self.starts)
+        from repro.tree_automata.kernels import edtd_accepts
+
+        return edtd_accepts(self, tree)
 
     def typed_witness(self, tree: Tree) -> Tree | None:
         """Return a typing ``t'`` with ``t' in L(d)`` and ``mu(t') == tree``,
@@ -201,19 +216,24 @@ class EDTD:
         return None
 
     def _possible_types_memo(self, tree: Tree) -> dict[tuple, frozenset[Type]]:
-        by_label: dict[Symbol, list[Type]] = {}
-        for type_ in self.types:
-            by_label.setdefault(self.mu[type_], []).append(type_)
+        """Per-path possible-type sets (witness construction needs the
+        whole map): one arena-kernel pass, decoded node mask -> path."""
+        from repro.strings.kernels import _unmask
+        from repro.trees.arena import ArenaTree
+        from repro.tree_automata.kernels import edtd_type_masks
+
+        arena = ArenaTree.from_tree(tree)
+        tables, masks = edtd_type_masks(self, arena)
+        paths = arena.paths()
+        order = tables.types
+        views: dict[int, frozenset[Type]] = {}
         memo: dict[tuple, frozenset[Type]] = {}
-        for path, node in reversed(list(tree.nodes())):
-            child_sets = [
-                memo[path + (index,)] for index in range(len(node.children))
-            ]
-            memo[path] = frozenset(
-                type_
-                for type_ in by_label.get(node.label, ())
-                if self._content_matches(type_, child_sets)
-            )
+        for node, mask in enumerate(masks):
+            view = views.get(mask)
+            if view is None:
+                view = _unmask(mask, order)
+                views[mask] = view
+            memo[paths[node]] = view
         return memo
 
     def _build_witness(

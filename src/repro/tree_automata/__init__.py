@@ -9,10 +9,17 @@ from repro.tree_automata.inclusion import (
     edtd_universal,
     universal_edtd,
 )
+from repro.tree_automata.kernels import (
+    cached_bta_determinize,
+    cached_bta_from_edtd,
+    cache_stats as kernel_cache_stats,
+    clear_caches as clear_kernel_caches,
+)
 from repro.tree_automata.monoid import (
     FiniteMonoid,
     MonoidForestAutomaton,
     forest_automaton_for_child_language,
+    monoid_from_edtd,
     transition_monoid_from_dfa,
 )
 from repro.tree_automata.nta import NTA, edtd_from_nta, nta_from_edtd
@@ -22,14 +29,19 @@ __all__ = [
     "FiniteMonoid",
     "MonoidForestAutomaton",
     "forest_automaton_for_child_language",
+    "monoid_from_edtd",
     "transition_monoid_from_dfa",
     "NTA",
     "bta_difference_empty",
     "bta_from_edtd",
+    "cached_bta_determinize",
+    "cached_bta_from_edtd",
+    "clear_kernel_caches",
     "edtd_equivalent",
     "edtd_from_nta",
     "edtd_includes",
     "edtd_universal",
+    "kernel_cache_stats",
     "nta_from_edtd",
     "universal_edtd",
 ]

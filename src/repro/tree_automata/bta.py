@@ -9,10 +9,16 @@ The module provides runs, bottom-up determinization (the folklore subset
 construction the paper invokes for "bottom-up deterministic EDTDs"),
 complementation, pairwise products, emptiness — everything the exact
 EDTD-inclusion procedure of :mod:`repro.tree_automata.inclusion` needs.
+
+Since PR 7 the hot paths — :meth:`BTA.determinize`,
+:meth:`BTA.possible_states`, :meth:`BTA.accepts` — run on the
+integer-coded kernels of :mod:`repro.tree_automata.kernels`; the original
+loops survive as ``*_reference`` differential oracles.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
 from collections.abc import Hashable, Iterable, Mapping
 
 from repro import observability as _obs
@@ -20,8 +26,15 @@ from repro.errors import AutomatonError
 from repro.runtime.budget import Budget, budget_phase, resolve_budget
 from repro.trees.tree import Tree
 
+if TYPE_CHECKING:
+    from repro.tree_automata.kernels import BTADetCheckpoint
+
 Symbol = Hashable
 State = Hashable
+
+#: Shared empty target set — the run/lookup loops fall back to it instead
+#: of allocating a fresh ``frozenset()`` per missing rule.
+_EMPTY: frozenset[State] = frozenset()
 
 
 class BTA:
@@ -73,26 +86,62 @@ class BTA:
                 raise AutomatonError("malformed internal rule")
             self.internal_rules[(label, q1, q2)] = target_set
 
+    @classmethod
+    def _from_parts(
+        cls,
+        states: Iterable[State],
+        alphabet: frozenset[Symbol],
+        leaf_rules: dict[Symbol, frozenset[State]],
+        internal_rules: dict[tuple[Symbol, State, State], frozenset[State]],
+        finals: Iterable[State],
+    ) -> "BTA":
+        """Trusted constructor for the kernels: parts are adopted as-is
+        (already frozen, already validated by construction)."""
+        bta = object.__new__(cls)
+        bta.states = frozenset(states)
+        bta.alphabet = alphabet
+        bta.leaf_rules = leaf_rules
+        bta.internal_rules = internal_rules
+        bta.finals = frozenset(finals)
+        return bta
+
     # ------------------------------------------------------------------
     # Runs
     # ------------------------------------------------------------------
 
     def possible_states(self, tree: Tree) -> frozenset[State]:
-        """Bottom-up set of states reachable at the root of *tree*."""
+        """Bottom-up set of states reachable at the root of *tree*.
+
+        Runs on the arena/bitmask kernel (one int mask per node, no
+        recursion); :meth:`possible_states_reference` is the original
+        recursive loop, kept as the differential oracle.
+        """
+        from repro.tree_automata.kernels import bta_possible_states
+
+        return bta_possible_states(self, tree)
+
+    def possible_states_reference(self, tree: Tree) -> frozenset[State]:
+        """Recursive reference run (differential oracle for the kernel)."""
         if not tree.children:
-            return self.leaf_rules.get(tree.label, frozenset())
+            return self.leaf_rules.get(tree.label, _EMPTY)
         if len(tree.children) != 2:
             raise AutomatonError("BTA runs require binary trees")
-        left = self.possible_states(tree.children[0])
-        right = self.possible_states(tree.children[1])
-        result: set[State] = set()
+        left = self.possible_states_reference(tree.children[0])
+        right = self.possible_states_reference(tree.children[1])
+        rules = self.internal_rules
+        label = tree.label
+        result: frozenset[State] = _EMPTY
         for q1 in left:
             for q2 in right:
-                result |= self.internal_rules.get((tree.label, q1, q2), frozenset())
-        return frozenset(result)
+                targets = rules.get((label, q1, q2))
+                if targets:
+                    result = targets if not result else result | targets
+        return result
 
     def accepts(self, tree: Tree) -> bool:
-        return bool(self.possible_states(tree) & self.finals)
+        from repro.tree_automata.kernels import bta_accepts
+
+        return bta_accepts(self, tree)
 
     # ------------------------------------------------------------------
     # Emptiness
@@ -139,21 +188,46 @@ class BTA:
     # Determinization and boolean operations
     # ------------------------------------------------------------------
 
-    def determinize(self, budget: Budget | None = None) -> "BTA":
+    def determinize(
+        self,
+        budget: Budget | None = None,
+        *,
+        checkpoint: "BTADetCheckpoint | None" = None,
+        trace: Any = None,
+    ) -> "BTA":
         """Bottom-up subset construction.
 
         The result is bottom-up deterministic and complete on the reachable
         subsets (including the empty subset, the dead state): every binary
         tree is assigned exactly one subset state.  Worst-case exponential;
-        charges the resolved *budget* one state per fresh subset and one
-        step per closure pass.
+        charges the resolved *budget* one state per fresh subset (the leaf
+        subsets are free, matching :meth:`determinize_reference`) and trips
+        resumably — the raised ``BudgetExceededError`` carries a
+        :class:`~repro.tree_automata.kernels.BTADetCheckpoint` to pass back
+        via *checkpoint*.
+
+        Runs on the bitmask worklist kernel
+        (:func:`repro.tree_automata.kernels.bta_determinize`);
+        :meth:`determinize_reference` is the original round-based loop,
+        kept as the differential oracle.
         """
+        from repro.tree_automata.kernels import bta_determinize
+
+        return bta_determinize(
+            self, budget=budget, checkpoint=checkpoint, trace=trace
+        )
+
+    def determinize_reference(self, budget: Budget | None = None) -> "BTA":
+        """Round-based subset construction (differential oracle for the
+        kernel — same result, same state charges)."""
         budget = resolve_budget(budget)
         leaf_subsets: dict[Symbol, frozenset[State]] = {
             label: self.leaf_rules.get(label, frozenset()) for label in self.alphabet
         }
         subsets: set[frozenset[State]] = set(leaf_subsets.values())
-        internal: dict[tuple[Symbol, frozenset, frozenset], frozenset] = {}
+        internal: dict[
+            tuple[Symbol, frozenset[State], frozenset[State]], frozenset[State]
+        ] = {}
         # Index internal rules by label for the closure computation.
         by_label: dict[Symbol, list[tuple[State, State, frozenset[State]]]] = {}
         for (label, q1, q2), targets in self.internal_rules.items():
@@ -199,22 +273,26 @@ class BTA:
     def is_deterministic(self) -> bool:
         """True iff every leaf/internal rule has at most one target and all
         combinations are covered (complete)."""
+        leaf_rules = self.leaf_rules
         for label in self.alphabet:
-            if len(self.leaf_rules.get(label, frozenset())) != 1:
+            targets = leaf_rules.get(label)
+            if targets is None or len(targets) != 1:
                 return False
+        internal_rules = self.internal_rules
         for label in self.alphabet:
             for q1 in self.states:
                 for q2 in self.states:
-                    if len(self.internal_rules.get((label, q1, q2), frozenset())) != 1:
+                    targets = internal_rules.get((label, q1, q2))
+                    if targets is None or len(targets) != 1:
                         return False
         return True
 
-    def complement(self) -> "BTA":
+    def complement(self, *, budget: Budget | None = None) -> "BTA":
         """Complement w.r.t. all binary trees over the alphabet.
 
-        Determinizes first, then flips finals.
+        Determinizes first (charging *budget*), then flips finals.
         """
-        det = self.determinize()
+        det = self.determinize(budget)
         return BTA(
             det.states,
             det.alphabet,
@@ -235,7 +313,10 @@ class BTA:
             if pairs:
                 leaf_rules[label] = pairs
                 states |= pairs
-        internal_rules: dict[tuple, set[tuple[State, State]]] = {}
+        internal_rules: dict[
+            tuple[Symbol, tuple[State, State], tuple[State, State]],
+            set[tuple[State, State]],
+        ] = {}
         changed = True
         while changed:  # ungoverned: pair product, bounded by |Q1|*|Q2| states
             changed = False

@@ -13,15 +13,22 @@ they are the ground truth against which the polynomial special cases
 
 ``edtd_includes``/``edtd_equivalent``/``edtd_universal`` are the public
 entry points.
+
+Since PR 7 the product worklist runs on the integer-coded kernel of
+:mod:`repro.tree_automata.kernels` (per-``(label, q1)`` chunk tables over
+the right subsets, numpy partner batches on ungoverned small-right runs),
+``bta_from_edtd`` translations are interned by schema fingerprint, and
+``edtd_includes`` memoizes verdicts with recorded-cost budget recharge.
+The pre-kernel loops survive as ``bta_difference_empty_reference``.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from typing import Any
+
 from collections.abc import Hashable, Iterable
 
-from repro import observability as _obs
-from repro.runtime.budget import budget_phase, resolve_budget
+from repro.runtime.budget import Budget, budget_phase, resolve_budget
 from repro.schemas.edtd import EDTD
 from repro.trees.encoding import MARKER
 from repro.tree_automata.bta import BTA
@@ -44,11 +51,11 @@ def bta_from_edtd(edtd: EDTD, marker: object = MARKER) -> BTA:
     """
     edtd = edtd.reduced()
     alphabet = edtd.alphabet | {marker}
-    states: set = {_END}
-    leaf_rules: dict = {marker: {_END}}
-    internal_rules: dict = {}
+    states: set[object] = {_END}
+    leaf_rules: dict[object, set[object]] = {marker: {_END}}
+    internal_rules: dict[tuple[object, object, object], set[object]] = {}
 
-    def add_internal(key: tuple, target: object) -> None:
+    def add_internal(key: tuple[object, object, object], target: object) -> None:
         internal_rules.setdefault(key, set()).add(target)
 
     for tau in edtd.types:
@@ -87,134 +94,37 @@ def bta_from_edtd(edtd: EDTD, marker: object = MARKER) -> BTA:
     return BTA(states, alphabet, leaf_rules, internal_rules, finals)
 
 
-def bta_difference_empty(left: BTA, right: BTA, *, budget=None) -> bool:
+def bta_difference_empty(
+    left: BTA,
+    right: BTA,
+    *,
+    budget: Budget | None = None,
+    trace: Any = None,
+) -> bool:
     """Decide ``L(left) subseteq L(right)`` by emptiness of the lazy product
     of *left* with the (on-the-fly) determinization of *right*.
 
     The reachable ``(state, subset)`` pair space is the EXPTIME part of
     Theorem 2.13, so the saturation is governed: one state per pair
-    discovered, one step per combination examined.
+    discovered, one step per combination examined, and the search exits
+    early on the first counterexample pair — a left-final state whose
+    right subset misses every right final.
 
-    Since PR 2 this is a worklist saturation on integer-coded right
-    subsets: each discovered pair is combined once with the pairs known
-    so far (instead of re-scanning the full pair set every round), right
-    subsets are int bitmasks, and the search **exits early** on the first
-    counterexample pair — a left-final state whose right subset misses
-    every right final — rather than saturating first and scanning after.
-    The original quadratic loop is kept as
+    Since PR 7 the worklist runs on the integer-coded kernel
+    (:func:`repro.tree_automata.kernels.bta_difference_empty`): right
+    subsets step through per-``(label, q1)`` 16-bit chunk tables, and
+    ungoverned runs on right automata with <= 63 states batch partner
+    joins with numpy.  The original round-based loop is kept as
     :func:`bta_difference_empty_reference` for differential testing.
     """
-    budget = resolve_budget(budget)
-    # Integer-code the right automaton: subsets become int bitmasks.
-    right_order = sorted(right.states, key=repr)
-    right_code = {state: i for i, state in enumerate(right_order)}
+    from repro.tree_automata.kernels import bta_difference_empty as kernel
 
-    def right_mask(states: Iterable) -> int:
-        mask = 0
-        for state in states:
-            mask |= 1 << right_code[state]
-        return mask
-
-    right_finals = right_mask(right.finals)
-    right_rules: dict = {}
-    for (label, q1, q2), targets in right.internal_rules.items():
-        right_rules.setdefault(label, []).append(
-            (1 << right_code[q1], 1 << right_code[q2], right_mask(targets))
-        )
-
-    # Left internal rules indexed by each child position, so a popped pair
-    # finds its combination partners without scanning every rule.
-    by_first: dict = {}
-    by_second: dict = {}
-    for (label, q1, q2), targets in left.internal_rules.items():
-        targets = tuple(targets)
-        by_first.setdefault(q1, []).append((label, q2, targets))
-        by_second.setdefault(q2, []).append((label, q1, targets))
-
-    left_finals = left.finals
-    seen: set[tuple] = set()
-    by_left: dict = {}  # left state -> list of discovered right masks
-    worklist: deque[tuple] = deque()
-    counterexample = False
-
-    def discover(q, mask: int) -> bool:
-        """Record pair ``(q, mask)``; True iff it is a counterexample."""
-        pair = (q, mask)
-        if pair in seen:
-            return False
-        if q in left_finals and not mask & right_finals:
-            return True  # early exit: a tree in L(left) - L(right)
-        seen.add(pair)
-        by_left.setdefault(q, []).append(mask)
-        worklist.append(pair)
-        if budget is not None:
-            budget.charge_states(1, frontier=len(worklist))
-        return False
-
-    step_cache: dict = {}
-    pending = 0
-    with _obs.construction_span(
-        "bta-inclusion", budget=budget
-    ) as span, budget_phase(budget, "bta-inclusion"):
-        if _obs.ENABLED:
-            _obs.METRICS.counter("bta_inclusion.runs").inc()
-        for label, left_leaf in left.leaf_rules.items():
-            leaf_mask = right_mask(right.leaf_rules.get(label, frozenset()))
-            for q in left_leaf:
-                if discover(q, leaf_mask):
-                    counterexample = True
-                    break
-            if counterexample:
-                break
-
-        while worklist and not counterexample:
-            q, mask = worklist.popleft()
-            # Combine (q, mask) in both child positions with every pair
-            # discovered so far; pairs discovered later re-run the
-            # combination from their side, so coverage is complete.
-            for position, rules in ((0, by_first.get(q)), (1, by_second.get(q))):
-                if not rules:
-                    continue
-                for label, partner, targets in rules:
-                    masks = by_left.get(partner)
-                    if not masks:
-                        continue
-                    rules_for_label = right_rules.get(label, ())
-                    for other in list(masks):
-                        m1, m2 = (mask, other) if position == 0 else (other, mask)
-                        key = (label, m1, m2)
-                        subset = step_cache.get(key)
-                        if subset is None:
-                            subset = 0
-                            for b1, b2, tmask in rules_for_label:
-                                if m1 & b1 and m2 & b2:
-                                    subset |= tmask
-                            step_cache[key] = subset
-                        if budget is not None:
-                            pending += 1
-                            if pending >= 256:
-                                budget.tick(pending, frontier=len(worklist))
-                                pending = 0
-                        for target in targets:
-                            if discover(target, subset):
-                                counterexample = True
-                                break
-                        if counterexample:
-                            break
-                    if counterexample:
-                        break
-                if counterexample:
-                    break
-        if budget is not None and pending:
-            budget.tick(pending, frontier=len(worklist))
-        if span is not None:
-            span.annotate(included=not counterexample, pairs=len(seen))
-        if _obs.ENABLED:
-            _obs.METRICS.histogram("bta_inclusion.pairs").observe(len(seen))
-    return not counterexample
+    return kernel(left, right, budget=budget, trace=trace)
 
 
-def bta_difference_empty_reference(left: BTA, right: BTA, *, budget=None) -> bool:
+def bta_difference_empty_reference(
+    left: BTA, right: BTA, *, budget: Budget | None = None
+) -> bool:
     """Round-based full-rescan saturation — the pre-kernel implementation,
     kept as the differential-testing oracle for
     :func:`bta_difference_empty`.
@@ -222,22 +132,25 @@ def bta_difference_empty_reference(left: BTA, right: BTA, *, budget=None) -> boo
     budget = resolve_budget(budget)
     alphabet = left.alphabet | right.alphabet
     # Reachable pairs (q, S): q a left state, S the subset of right states.
-    pair_states: set[tuple] = set()
+    pair_states: set[tuple[object, frozenset[object]]] = set()
     for label in alphabet:
         left_leaf = left.leaf_rules.get(label, frozenset())
-        right_leaf = right.leaf_rules.get(label, frozenset())
+        right_leaf = frozenset(right.leaf_rules.get(label, frozenset()))
         for q in left_leaf:
             pair_states.add((q, right_leaf))
 
-    right_by_label: dict = {}
+    _Rules = list[tuple[object, object, frozenset[object]]]
+    right_by_label: dict[Symbol, _Rules] = {}
     for (label, q1, q2), targets in right.internal_rules.items():
-        right_by_label.setdefault(label, []).append((q1, q2, targets))
-    left_by_label: dict = {}
+        right_by_label.setdefault(label, []).append((q1, q2, frozenset(targets)))
+    left_by_label: dict[Symbol, _Rules] = {}
     for (label, q1, q2), targets in left.internal_rules.items():
-        left_by_label.setdefault(label, []).append((q1, q2, targets))
+        left_by_label.setdefault(label, []).append((q1, q2, frozenset(targets)))
 
-    def right_step(label: Symbol, s1: frozenset, s2: frozenset) -> frozenset:
-        combined: set = set()
+    def right_step(
+        label: Symbol, s1: frozenset[object], s2: frozenset[object]
+    ) -> frozenset[object]:
+        combined: set[object] = set()
         for q1, q2, targets in right_by_label.get(label, ()):
             if q1 in s1 and q2 in s2:
                 combined |= targets
@@ -253,7 +166,7 @@ def bta_difference_empty_reference(left: BTA, right: BTA, *, budget=None) -> boo
                     budget.tick(len(snapshot), frontier=len(pair_states))
                 for (p2, s2) in snapshot:
                     for label in alphabet:
-                        targets = set()
+                        targets: set[object] = set()
                         for q1, q2, tgt in left_by_label.get(label, ()):
                             if q1 == p1 and q2 == p2:
                                 targets |= tgt
@@ -275,16 +188,51 @@ def bta_difference_empty_reference(left: BTA, right: BTA, *, budget=None) -> boo
     return True
 
 
-def edtd_includes(sup: EDTD, sub: EDTD, *, budget=None) -> bool:
-    """Exact decision of ``L(sub) subseteq L(sup)`` (EXPTIME in general)."""
-    return bta_difference_empty(
-        bta_from_edtd(sub), bta_from_edtd(sup), budget=budget
+def edtd_includes(
+    sup: EDTD, sub: EDTD, *, budget: Budget | None = None, trace: Any = None
+) -> bool:
+    """Exact decision of ``L(sub) subseteq L(sup)`` (EXPTIME in general).
+
+    Both EDTD -> BTA translations are interned by schema fingerprint
+    (:func:`repro.tree_automata.kernels.cached_bta_from_edtd`), and the
+    verdict itself is memoized with recorded-cost budget recharge: a
+    governed repeat of the same query trips at the same counters whether
+    the verdict cache is warm or cold.
+    """
+    from repro.cache.keys import schema_structural_key
+    from repro.tree_automata.kernels import (
+        _INCL_CACHE,
+        _memoized,
+        cached_bta_from_edtd,
     )
 
+    budget = resolve_budget(budget)
+    sup_key = schema_structural_key(sup)
+    sub_key = schema_structural_key(sub)
+    key = (
+        None
+        if sup_key is None or sub_key is None
+        else ("edtd_includes", sub_key, sup_key)
+    )
 
-def edtd_equivalent(left: EDTD, right: EDTD) -> bool:
+    def build(inner_budget: Budget | None) -> bool:
+        return bta_difference_empty(
+            cached_bta_from_edtd(sub, budget=inner_budget),
+            cached_bta_from_edtd(sup, budget=inner_budget),
+            budget=inner_budget,
+            trace=trace,
+        )
+
+    return bool(_memoized(_INCL_CACHE, key, build, budget))
+
+
+def edtd_equivalent(
+    left: EDTD, right: EDTD, *, budget: Budget | None = None
+) -> bool:
     """Exact language equivalence of two EDTDs."""
-    return edtd_includes(left, right) and edtd_includes(right, left)
+    return edtd_includes(left, right, budget=budget) and edtd_includes(
+        right, left, budget=budget
+    )
 
 
 def universal_edtd(alphabet: Iterable[Symbol]) -> EDTD:

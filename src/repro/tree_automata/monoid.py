@@ -18,13 +18,23 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Hashable, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, cast
 
+from repro import observability as _obs
 from repro.errors import AutomatonError
 from repro.runtime.budget import Budget, budget_phase, resolve_budget
 from repro.trees.tree import Tree
 
+if TYPE_CHECKING:  # pragma: no cover - runtime imports stay lazy
+    from repro.schemas.edtd import EDTD as _EDTD
+    from repro.strings.dfa import DFA as _DFA
+
 Value = Hashable
 Symbol = Hashable
+
+#: A transition-monoid element: the function ``Q -> Q`` a word induces,
+#: as a tuple of successor positions in a fixed state order.
+_Fn = tuple[int, ...]
 
 
 class FiniteMonoid:
@@ -98,10 +108,33 @@ class MonoidForestAutomaton:
     # ------------------------------------------------------------------
 
     def value_of_tree(self, tree: Tree) -> Value:
-        """``A(t) = delta(a, A(subforest))``."""
-        if tree.label not in self.alphabet:
-            raise AutomatonError(f"unknown label {tree.label!r}")
-        return self.delta[(tree.label, self.value_of_forest(tree.children))]
+        """``A(t) = delta(a, A(subforest))``.
+
+        Evaluated bottom-up over the :class:`~repro.trees.arena.ArenaTree`
+        flattening — one value slot per node, no recursion, so arbitrarily
+        deep documents are safe.
+        """
+        from repro.trees.arena import ArenaTree
+
+        arena = ArenaTree.from_tree(tree)
+        labels = arena.labels
+        alphabet = self.alphabet
+        for label in arena.label_table:
+            if label not in alphabet:
+                raise AutomatonError(f"unknown label {label!r}")
+        add = self.monoid.add
+        delta = self.delta
+        identity = self.monoid.identity
+        first_child = arena.first_child
+        n_children = arena.n_children
+        values: list[Value] = [identity] * len(arena)
+        for node in arena.bottom_up():
+            total = identity
+            start = first_child[node]
+            for child in range(start, start + n_children[node]):
+                total = add(total, values[child])
+            values[node] = delta[(labels[node], total)]
+        return values[0]
 
     def value_of_forest(self, forest: Sequence[Tree]) -> Value:
         """``A(t1 ... tn) = A(t1) + ... + A(tn)`` (``q0`` when empty)."""
@@ -122,8 +155,8 @@ class MonoidForestAutomaton:
 
 
 def transition_monoid_from_dfa(
-    dfa, budget: Budget | None = None
-) -> tuple[FiniteMonoid, dict]:
+    dfa: "_DFA", budget: Budget | None = None
+) -> tuple[FiniteMonoid, dict[Symbol, _Fn]]:
     """The transition monoid of a complete DFA: elements are the functions
     ``Q -> Q`` induced by words, with composition; returns the monoid and
     the map from alphabet symbols to their generator elements.
@@ -138,18 +171,18 @@ def transition_monoid_from_dfa(
     states = sorted(dfa.states, key=repr)
     index = {state: i for i, state in enumerate(states)}
 
-    def function_of_symbol(symbol) -> tuple:
+    def function_of_symbol(symbol: Symbol) -> _Fn:
         return tuple(index[dfa.transitions[(state, symbol)]] for state in states)
 
     identity = tuple(range(len(states)))
     generators = {symbol: function_of_symbol(symbol) for symbol in dfa.alphabet}
 
-    def compose(f: tuple, g: tuple) -> tuple:
+    def compose(f: _Fn, g: _Fn) -> _Fn:
         # first f, then g
         return tuple(g[f[i]] for i in range(len(f)))
 
-    elements: set[tuple] = {identity}
-    queue: deque[tuple] = deque([identity])
+    elements: set[_Fn] = {identity}
+    queue: deque[_Fn] = deque([identity])
     while queue:
         if budget is not None:
             with budget_phase(budget, "transition-monoid"):
@@ -187,7 +220,68 @@ def transition_monoid_from_dfa(
     return monoid, generators
 
 
-def forest_automaton_for_child_language(dfa, alphabet) -> MonoidForestAutomaton:
+def monoid_from_edtd(
+    edtd: "_EDTD", *, budget: Budget | None = None, trace: object = None
+) -> tuple[FiniteMonoid, dict[Symbol, _Fn]]:
+    """The transition monoid of *edtd*'s combined horizontal behaviour.
+
+    Every content model ``d(tau)`` is a DFA over the type alphabet; a
+    type symbol ``sigma`` acts on the disjoint union of all content-DFA
+    state sets at once.  The returned monoid is generated by these joint
+    actions (one generator per type), so two child sequences are
+    value-equivalent iff **every** content model treats them the same —
+    the relation the Theorem 4.12 replacement argument exploits.
+
+    Returns ``(monoid, generators)`` with ``generators`` mapping each
+    type to its generator element.  Memoized by schema fingerprint
+    (:data:`repro.tree_automata.kernels._MONOID_CACHE`) with
+    recorded-cost budget recharge, so repeated governed calls trip at
+    the same counters warm or cold.
+    """
+    from repro.cache.keys import schema_structural_key
+    from repro.strings.kernels import canonical_repr
+    from repro.tree_automata.kernels import _MONOID_CACHE, _memoized
+
+    budget = resolve_budget(budget)
+    schema_key = schema_structural_key(edtd)
+    key = None if schema_key is None else ("edtd_monoid", schema_key)
+
+    def build(inner_budget: Budget | None) -> tuple[FiniteMonoid, dict[Symbol, _Fn]]:
+        from repro.strings.dfa import DFA
+
+        types = sorted(edtd.types, key=canonical_repr)
+        sink = ("monoid-sink",)
+        states: list[Hashable] = [sink]
+        transitions: dict[tuple[Hashable, Hashable], Hashable] = {}
+        for position, type_ in enumerate(types):
+            dfa = edtd.rules[type_]
+            for q in dfa.states:
+                states.append(("content", position, q))
+            for sym in types:
+                transitions[(sink, sym)] = sink
+                for q in dfa.states:
+                    dst = dfa.successor(q, sym)
+                    transitions[(("content", position, q), sym)] = (
+                        ("content", position, dst) if dst is not None else sink
+                    )
+        combined = DFA(states, types, transitions, sink, frozenset())
+        with _obs.construction_span(
+            "edtd-monoid", trace=trace, budget=inner_budget, types=len(types)
+        ) as span:
+            monoid, generators = transition_monoid_from_dfa(combined, inner_budget)
+            if span is not None:
+                span.annotate(elements=len(monoid.elements))
+        return monoid, generators
+
+    return cast(
+        "tuple[FiniteMonoid, dict[Symbol, _Fn]]",
+        _memoized(_MONOID_CACHE, key, build, budget),
+    )
+
+
+def forest_automaton_for_child_language(
+    dfa: "_DFA", alphabet: Iterable[Symbol]
+) -> MonoidForestAutomaton:
     """A monoid forest automaton accepting exactly the *flat* forests
     (sequences of leaves) whose label word lies in ``L(dfa)``; deeper
     trees map to a rejecting absorbing value.
@@ -208,7 +302,7 @@ def forest_automaton_for_child_language(dfa, alphabet) -> MonoidForestAutomaton:
         operation[(sink, element)] = sink
     extended = FiniteMonoid(elements, operation, monoid.identity)
 
-    delta: dict = {}
+    delta: dict[tuple[Symbol, Value], Value] = {}
     for symbol in complete.alphabet:
         for value in elements:
             if value == extended.identity:
@@ -223,6 +317,6 @@ def forest_automaton_for_child_language(dfa, alphabet) -> MonoidForestAutomaton:
     finals = {
         value
         for value in monoid.elements
-        if states[value[index[complete.initial]]] in complete.finals
+        if states[cast(_Fn, value)[index[complete.initial]]] in complete.finals
     }
     return MonoidForestAutomaton(extended, complete.alphabet, delta, finals)

@@ -93,9 +93,9 @@ class NTA:
 
 
 def _subset_run(dfa: DFA, child_sets: list[frozenset[State]]) -> bool:
-    current: set = {dfa.initial}
+    current: set[State] = {dfa.initial}
     for options in child_sets:
-        nxt: set = set()
+        nxt: set[State] = set()
         for state in current:
             for option in options:
                 dst = dfa.successor(state, option)
@@ -125,9 +125,9 @@ def edtd_from_nta(nta: NTA) -> EDTD:
     """
     types = set(nta.rules)
     mu = {pair: pair[1] for pair in types}
-    expanded_rules: dict[tuple, object] = {}
+    expanded_rules: dict[tuple[State, Symbol], object] = {}
     for (state, label), dfa in nta.rules.items():
-        transitions: dict = {}
+        transitions: dict[tuple[State, Symbol], State] = {}
         for (src, p), dst in dfa.transitions.items():
             for b in nta.alphabet:
                 if (p, b) in types:

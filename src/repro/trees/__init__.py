@@ -1,10 +1,12 @@
-"""Unranked-tree substrate: trees, contexts, forks, binary encodings."""
+"""Unranked-tree substrate: trees, arenas, contexts, forks, binary encodings."""
 
+from repro.trees.arena import ArenaTree
 from repro.trees.context import Context, Fork, HoleLabel, context_of, fork_of
 from repro.trees.encoding import MARKER, decode, encode, is_binary, lift_dfa_with_marker
 from repro.trees.tree import Path, Tree, leaf, parse_tree, unary_tree
 
 __all__ = [
+    "ArenaTree",
     "Context",
     "Fork",
     "HoleLabel",

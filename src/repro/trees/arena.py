@@ -1,0 +1,181 @@
+"""Arena (struct-of-arrays) tree representation for the hot walks.
+
+A :class:`~repro.trees.tree.Tree` is a linked structure of per-node
+objects; every bottom-up pass over it pays an attribute load, a tuple
+walk, and usually a ``dict[Path, ...]`` of freshly-allocated path tuples
+per node.  An :class:`ArenaTree` flattens the same tree **once** into
+parallel integer arrays in BFS order:
+
+* ``labels[i]`` / ``codes[i]`` — the node's label and its small-int code
+  (``label_table[codes[i]] is labels[i]``);
+* ``parent[i]`` — the parent's index (``-1`` for the root);
+* ``first_child[i]`` / ``n_children[i]`` — the node's children occupy
+  the contiguous index range ``first_child[i] .. first_child[i] +
+  n_children[i] - 1``.
+
+BFS order gives two properties the kernels rely on:
+
+* every parent index is smaller than its children's indices, so
+  ``range(len(arena) - 1, -1, -1)`` (:meth:`bottom_up`) is a valid
+  bottom-up evaluation order without recursion or an explicit stack —
+  arbitrarily deep documents are safe;
+* the children of a node are contiguous, so content-model runs
+  (:meth:`repro.schemas.edtd.EDTD.possible_types`) scan a slice instead
+  of chasing pointers.
+
+The arena is read-only after construction and is used by the
+tree-automata kernels (:mod:`repro.tree_automata.kernels`), EDTD
+validation, and the closure walks of :mod:`repro.closure.exchange`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.trees.tree import Path, Tree
+
+__all__ = ["ArenaTree"]
+
+
+class ArenaTree:
+    """Flat, integer-indexed view of a :class:`Tree` (see module docs)."""
+
+    __slots__ = (
+        "labels",
+        "codes",
+        "label_table",
+        "label_code",
+        "parent",
+        "first_child",
+        "n_children",
+    )
+
+    def __init__(self) -> None:
+        self.labels: list[object] = []
+        self.codes: list[int] = []
+        self.label_table: list[object] = []
+        self.label_code: dict[object, int] = {}
+        self.parent: list[int] = []
+        self.first_child: list[int] = []
+        self.n_children: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_tree(cls, tree: Tree) -> "ArenaTree":
+        """Flatten *tree* into a fresh arena (single BFS pass, iterative)."""
+        arena = cls()
+        labels = arena.labels
+        codes = arena.codes
+        label_table = arena.label_table
+        label_code = arena.label_code
+        parent = arena.parent
+        first_child = arena.first_child
+        n_children = arena.n_children
+
+        nodes: list[Tree] = [tree]
+        parent.append(-1)
+        cursor = 0
+        while cursor < len(nodes):
+            node = nodes[cursor]
+            label = node.label
+            code = label_code.get(label)
+            if code is None:
+                code = len(label_table)
+                label_code[label] = code
+                label_table.append(label)
+            labels.append(label)
+            codes.append(code)
+            first_child.append(len(nodes))
+            n_children.append(len(node.children))
+            for child in node.children:
+                parent.append(cursor)
+                nodes.append(child)
+            cursor += 1
+        return arena
+
+    def to_tree(self) -> Tree:
+        """Rebuild the :class:`Tree` (bottom-up, iterative)."""
+        size = len(self.labels)
+        built: list[Tree | None] = [None] * size
+        for index in range(size - 1, -1, -1):
+            start = self.first_child[index]
+            children = built[start : start + self.n_children[index]]
+            built[index] = Tree(self.labels[index], [c for c in children if c is not None])
+        root = built[0]
+        assert root is not None
+        return root
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def children(self, index: int) -> range:
+        """Indices of the children of node *index* (contiguous)."""
+        start = self.first_child[index]
+        return range(start, start + self.n_children[index])
+
+    def bottom_up(self) -> range:
+        """A valid bottom-up (children before parents) evaluation order.
+
+        BFS order guarantees ``parent[i] < i``, so reversed index order
+        visits every node after all of its children.
+        """
+        return range(len(self.labels) - 1, -1, -1)
+
+    def is_binary(self) -> bool:
+        """True iff every node has zero or two children."""
+        return all(count == 0 or count == 2 for count in self.n_children)
+
+    def depth(self) -> int:
+        """Paper's depth (a single-node tree has depth 1)."""
+        size = len(self.labels)
+        depths = [1] * size
+        best = 1
+        for index in range(1, size):
+            level = depths[self.parent[index]] + 1
+            depths[index] = level
+            if level > best:
+                best = level
+        return best
+
+    # ------------------------------------------------------------------
+    # Paths and ancestor strings
+    # ------------------------------------------------------------------
+
+    def paths(self) -> list[Path]:
+        """The path of every node, indexed like the arrays (BFS order).
+
+        ``paths()[i]`` is the :class:`Tree` path of node ``i``; each path
+        shares its parent's tuple prefix, so the whole list costs one
+        tuple per node plus the shared spines.
+        """
+        size = len(self.labels)
+        out: list[Path] = [()] * size
+        first_child = self.first_child
+        parent = self.parent
+        for index in range(1, size):
+            parent_index = parent[index]
+            out[index] = out[parent_index] + (index - first_child[parent_index],)
+        return out
+
+    def anc_strings(self) -> list[tuple[object, ...]]:
+        """``anc-str`` of every node in one pass (root label included)."""
+        size = len(self.labels)
+        out: list[tuple[object, ...]] = [()] * size
+        out[0] = (self.labels[0],)
+        for index in range(1, size):
+            out[index] = out[self.parent[index]] + (self.labels[index],)
+        return out
+
+    def iter_nodes(self) -> Iterator[tuple[int, object]]:
+        """Yield ``(index, label)`` pairs in BFS order."""
+        return iter(enumerate(self.labels))
+
+    def __repr__(self) -> str:
+        return f"ArenaTree(nodes={len(self.labels)}, labels={len(self.label_table)})"

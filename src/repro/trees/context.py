@@ -96,9 +96,9 @@ class Context:
         combined = self.tree.replace_at(self.hole_path, inner.tree)
         return Context(combined, self.hole_path + inner.hole_path)
 
-    def spine_labels(self) -> tuple:
+    def spine_labels(self) -> tuple[object, ...]:
         """The ancestor string of the hole (Sigma-labels, hole included)."""
-        labels = []
+        labels: list[object] = []
         node = self.tree
         for index in self.hole_path:
             labels.append(node.label)

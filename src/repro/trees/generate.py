@@ -69,7 +69,7 @@ def _child_lists(
     state: object,
     budget: int,
     by_type: dict[Type, list[list[Tree]]],
-    memo: dict,
+    memo: dict[tuple[object, int], list[tuple[Tree, ...]]],
 ) -> list[tuple[Tree, ...]]:
     """All tuples of child trees with total size exactly *budget* whose type
     word drives *dfa* from *state* to a final state."""
@@ -163,7 +163,7 @@ def _count_child_lists(
     state: object,
     budget: int,
     counts_by_type: dict[Type, list[int]],
-    memo: dict,
+    memo: dict[tuple[object, int], int],
 ) -> int:
     key = (state, budget)
     if key in memo:

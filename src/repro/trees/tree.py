@@ -21,7 +21,7 @@ plus a compact term syntax: ``parse_tree("a(b, c(d))")``.
 from __future__ import annotations
 
 import re as _re
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
 
 from repro.errors import TreeSyntaxError
 
@@ -101,13 +101,13 @@ class Tree:
         """Return ``lab^t(path)``."""
         return self.subtree(path).label
 
-    def ch_str(self, path: Path = ()) -> tuple:
+    def ch_str(self, path: Path = ()) -> tuple[object, ...]:
         """Return the child string of the node at *path* (tuple of labels)."""
         return tuple(child.label for child in self.subtree(path).children)
 
-    def anc_str(self, path: Path) -> tuple:
+    def anc_str(self, path: Path) -> tuple[object, ...]:
         """Return the ancestor string of *path*, root label through ``lab(path)``."""
-        labels = [self.label]
+        labels: list[object] = [self.label]
         node = self
         for index in path:
             node = node.children[index]
@@ -154,9 +154,9 @@ class Tree:
             stack.extend(node.children)
         return count
 
-    def labels(self) -> frozenset:
+    def labels(self) -> frozenset[object]:
         """The set of labels occurring in the tree (iterative)."""
-        out = set()
+        out: set[object] = set()
         stack: list[Tree] = [self]
         while stack:
             node = stack.pop()
@@ -182,7 +182,7 @@ class Tree:
             for index in range(len(node.children) - 1, -1, -1):
                 stack.append((path + (index,), node.children[index]))
 
-    def map_labels(self, func) -> "Tree":
+    def map_labels(self, func: Callable[[object], object]) -> "Tree":
         """Return the tree with every label replaced by ``func(label)``.
 
         This is the homomorphic relabeling ``mu(t')`` of EDTD semantics
@@ -198,9 +198,9 @@ class Tree:
             rebuilt[path] = Tree(func(node.label), children)
         return rebuilt[()]
 
-    def to_word(self) -> tuple:
+    def to_word(self) -> tuple[object, ...]:
         """View a unary tree as a word (root label first; cf. Theorem 3.2)."""
-        labels = [self.label]
+        labels: list[object] = [self.label]
         node = self
         while node.children:
             if len(node.children) != 1:

@@ -1,0 +1,155 @@
+"""Tests for the flat struct-of-arrays tree representation (PR 7).
+
+The arena is the substrate of every tree-side kernel walk, so its
+invariants are pinned directly: BFS layout (``parent[i] < i``,
+contiguous child ranges), exact round-trips, and agreement of
+``paths()`` / ``anc_strings()`` / ``depth()`` with the linked
+:class:`~repro.trees.tree.Tree` API — including on documents far deeper
+than the recursion limit.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.families.random_schemas import random_edtd
+from repro.trees import ArenaTree, Tree, leaf, parse_tree
+from repro.trees.generate import sample_tree
+
+
+def random_tree(rng: random.Random, max_children: int = 3, budget: int = 40) -> Tree:
+    """A random unranked tree with at most *budget* nodes."""
+    labels = ["a", "b", "c"]
+
+    def grow(remaining: list[int], depth: int) -> Tree:
+        children = []
+        if remaining[0] > 0 and depth < 6:
+            for _ in range(rng.randint(0, max_children)):
+                if remaining[0] <= 0:
+                    break
+                remaining[0] -= 1
+                children.append(grow(remaining, depth + 1))
+        return Tree(rng.choice(labels), children)
+
+    return grow([budget], 0)
+
+
+def deep_comb(depth: int) -> Tree:
+    """A binary left comb of the given depth, built iteratively."""
+    tree = leaf("p")
+    for _ in range(depth - 1):
+        tree = Tree("a", [tree, leaf("p")])
+    return tree
+
+
+class TestLayout:
+    def test_bfs_invariants_random(self):
+        rng = random.Random(20260808)
+        for _ in range(50):
+            tree = random_tree(rng)
+            arena = ArenaTree.from_tree(tree)
+            assert len(arena) == tree.size()
+            assert arena.parent[0] == -1
+            for index in range(1, len(arena)):
+                assert arena.parent[index] < index
+            for index in range(len(arena)):
+                for child in arena.children(index):
+                    assert arena.parent[child] == index
+                assert len(arena.children(index)) == arena.n_children[index]
+
+    def test_label_coding_is_consistent(self):
+        arena = ArenaTree.from_tree(parse_tree("a(b(a), c, b)"))
+        for index, label in arena.iter_nodes():
+            code = arena.codes[index]
+            assert arena.label_table[code] == label
+            assert arena.label_code[label] == code
+        assert len(arena.label_table) == 3
+
+    def test_bottom_up_visits_children_first(self):
+        rng = random.Random(7)
+        tree = random_tree(rng)
+        arena = ArenaTree.from_tree(tree)
+        seen: set[int] = set()
+        for index in arena.bottom_up():
+            for child in arena.children(index):
+                assert child in seen
+            seen.add(index)
+        assert seen == set(range(len(arena)))
+
+    def test_is_binary(self):
+        assert ArenaTree.from_tree(deep_comb(5)).is_binary()
+        assert ArenaTree.from_tree(leaf("a")).is_binary()
+        assert not ArenaTree.from_tree(parse_tree("a(b)")).is_binary()
+        assert not ArenaTree.from_tree(parse_tree("a(b, c, d)")).is_binary()
+
+
+class TestRoundTrip:
+    def test_random_trees(self):
+        rng = random.Random(13)
+        for _ in range(60):
+            tree = random_tree(rng)
+            assert ArenaTree.from_tree(tree).to_tree() == tree
+
+    def test_sampled_member_trees(self):
+        rng = random.Random(99)
+        for _ in range(10):
+            schema = random_edtd(rng)
+            tree = sample_tree(schema, rng, target_size=30)
+            assert ArenaTree.from_tree(tree).to_tree() == tree
+
+    def test_single_node(self):
+        tree = leaf("x")
+        arena = ArenaTree.from_tree(tree)
+        assert len(arena) == 1
+        assert arena.to_tree() == tree
+        assert arena.paths() == [()]
+        assert arena.anc_strings() == [("x",)]
+        assert arena.depth() == 1
+
+
+class TestTreeAgreement:
+    def test_paths_and_anc_strings_match_tree(self):
+        rng = random.Random(31)
+        for _ in range(40):
+            tree = random_tree(rng)
+            arena = ArenaTree.from_tree(tree)
+            paths = arena.paths()
+            ancs = arena.anc_strings()
+            expected = {path: node for path, node in tree.nodes()}
+            assert set(paths) == set(expected)
+            for index, path in enumerate(paths):
+                assert arena.labels[index] == expected[path].label
+                assert ancs[index] == tree.anc_str(path)
+
+    def test_depth_matches_tree(self):
+        rng = random.Random(47)
+        for _ in range(40):
+            tree = random_tree(rng)
+            assert ArenaTree.from_tree(tree).depth() == tree.depth()
+
+
+class TestDeepDocuments:
+    """Everything on the arena is iterative: documents deeper than the
+    recursion limit must flatten, walk, and rebuild without blowing the
+    stack (the linked-Tree equality/repr would recurse, so the round
+    trip is checked structurally)."""
+
+    DEPTH = 4000
+
+    def test_deep_comb_round_trip(self):
+        arena = ArenaTree.from_tree(deep_comb(self.DEPTH))
+        assert arena.depth() == self.DEPTH
+        assert len(arena) == 2 * self.DEPTH - 1
+        rebuilt = ArenaTree.from_tree(arena.to_tree())
+        assert rebuilt.labels == arena.labels
+        assert rebuilt.parent == arena.parent
+
+    def test_deep_paths_share_prefixes(self):
+        arena = ArenaTree.from_tree(deep_comb(self.DEPTH))
+        paths = arena.paths()
+        ancs = arena.anc_strings()
+        assert max(len(path) for path in paths) == self.DEPTH - 1
+        assert max(len(anc) for anc in ancs) == self.DEPTH
+        deepest = max(range(len(arena)), key=lambda i: len(paths[i]))
+        assert paths[deepest] == (0,) * (self.DEPTH - 1)
+        assert ancs[deepest] == ("a",) * (self.DEPTH - 1) + ("p",)
