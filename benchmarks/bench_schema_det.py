@@ -1,0 +1,193 @@
+"""EXP-SD — schema-guided determinization vs the blind kernels.
+
+Measures the tentpole claim of the guided kernel
+(:mod:`repro.strings.schema_guided`): on the Theorem 3.2 exponential
+family, guiding the subset construction by a depth-bounded ancestor
+schema prunes the explored subset lattice from ``2^(n+1)`` states to the
+guide's reachable slice, with a measured wall-clock win at the largest
+size; on the Theorem 4.3 union family (the ``test_closure_equals_upper``
+instance) guiding by one operand's ancestor strings strictly reduces the
+explored subsets; and the universal guide is an exact no-regression
+ablation — state-for-state identical output and identical budget
+charges.
+
+Set ``REPRO_BENCH_SMOKE=1`` to run a small-n slice (used by the CI bench
+job).  Full curves land in ``BENCH_schema_det.json`` via::
+
+    REPRO_BENCH_JSON=BENCH_schema_det.json pytest benchmarks/bench_schema_det.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import record_bench, run_timed
+from repro.core.upper import minimal_upper_approximation
+from repro.families.hard import example_2_6, theorem_3_2_family, theorem_4_3_d1_d2
+from repro.runtime import Budget
+from repro.schemas.inclusion import single_type_equivalent
+from repro.schemas.ops import edtd_union
+from repro.schemas.type_automaton import ancestor_guide, type_automaton
+from repro.strings.determinize import determinize
+from repro.strings.schema_guided import depth_guide
+
+EXPERIMENT = "EXP-SD  schema-guided determinization (pruned vs blind subset construction)"
+NOTE = "guide = depth-bounded / ancestor-string schema; universal guide = ablation"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip().lower() in ("1", "true", "yes")
+
+#: Family parameters for the 2^(n+1)-subset blow-up curves.
+BLOWUP_NS = [4, 6, 8] if SMOKE else [4, 6, 8, 10, 12, 14]
+
+
+def _explored_states(nfa, **kwargs):
+    """Run the construction under a fresh counting budget; return
+    ``(dfa, states_charged)`` — the scalar kernels' explored-state count."""
+    budget = Budget()
+    dfa = determinize(nfa, budget=budget, **kwargs)
+    return dfa, budget.states
+
+
+def _best_of(func, *args, rounds: int = 3):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = func(*args)
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+@pytest.mark.ungoverned
+@pytest.mark.parametrize("n", BLOWUP_NS)
+def test_blowup_family_curves(n, record, benchmark):
+    """Theorem 3.2 family: blind explores 2^(n+1) subsets; a depth-(n//2)
+    ancestor guide explores only the shallow slice (ungoverned: the blind
+    comparator is allowed its vectorized fast path, matching library use)."""
+    nfa = type_automaton(theorem_3_2_family(n))
+    guide = depth_guide(nfa.alphabet, n // 2)
+
+    _, blind_states = _explored_states(nfa)
+    _, guided_states = _explored_states(nfa, strategy="schema-guided", guide=guide)
+    _, universal_states = _explored_states(nfa, strategy="schema-guided")
+    assert guided_states < blind_states, "guide failed to prune the blow-up family"
+    assert universal_states == blind_states, "universal-guide ablation regressed"
+
+    determinize(nfa)  # warm-up (chunk tables, caches)
+    guided_dfa, _ = run_timed(
+        benchmark, determinize, nfa, strategy="schema-guided", guide=guide
+    )
+    guided_seconds = float(benchmark.stats.stats.min)
+    blind_dfa, blind_seconds = _best_of(determinize, nfa)
+    assert set(guided_dfa.states) <= set(blind_dfa.states)
+
+    if n == max(BLOWUP_NS):
+        assert guided_seconds < blind_seconds, (
+            f"no wall-clock win at n={n}: guided {guided_seconds:.4f}s "
+            f"vs blind {blind_seconds:.4f}s"
+        )
+    record_bench(
+        "schema_guided_determinize",
+        n=n,
+        seconds=guided_seconds,
+        states=guided_states,
+        blind_seconds=blind_seconds,
+        blind_states=blind_states,
+        universal_states=universal_states,
+    )
+    record(
+        EXPERIMENT,
+        {
+            "family": "thm-3.2",
+            "n": n,
+            "blind_states": blind_states,
+            "guided_states": guided_states,
+            "universal_states": universal_states,
+            "blind_s": f"{blind_seconds:.4f}",
+            "guided_s": f"{guided_seconds:.4f}",
+        },
+        note=NOTE,
+    )
+
+
+def test_ancestor_guided_union(record, benchmark):
+    """Theorem 4.3 union (the ``test_closure_equals_upper`` family):
+    guiding the union's type automaton by D2's own ancestor strings
+    strictly reduces the explored subsets while agreeing with the blind
+    construction on the guide's universe."""
+    d1, d2 = theorem_4_3_d1_d2()
+    union = edtd_union(d1, d2)
+    nfa = type_automaton(union)
+    guide = ancestor_guide(d2)
+
+    blind_dfa, blind_states = _explored_states(nfa)
+    guided_dfa, guided_states = _explored_states(
+        nfa, strategy="schema-guided", guide=guide
+    )
+    assert guided_states < blind_states, (
+        f"ancestor guide failed to prune: {guided_states} vs {blind_states}"
+    )
+    assert set(guided_dfa.states) < set(blind_dfa.states)
+
+    run_timed(benchmark, determinize, nfa, strategy="schema-guided", guide=guide)
+    seconds = float(benchmark.stats.stats.min)
+    record_bench(
+        "schema_guided_union",
+        n=len(union.types),
+        seconds=seconds,
+        states=guided_states,
+        blind_states=blind_states,
+    )
+    record(
+        EXPERIMENT,
+        {
+            "family": "thm-4.3 union",
+            "n": len(union.types),
+            "blind_states": blind_states,
+            "guided_states": guided_states,
+            "universal_states": blind_states,
+            "blind_s": "-",
+            "guided_s": f"{seconds:.4f}",
+        },
+        note=NOTE,
+    )
+
+
+def test_guided_upper_end_to_end(record, benchmark):
+    """Construction 3.1 end-to-end on the paper's Example 2.6, guided by
+    the schema's own ancestor strings — the guided approximation equals
+    the blind one (the guide covers every valid ancestor string)."""
+    edtd = example_2_6()
+    blind = minimal_upper_approximation(edtd)
+
+    guided, _ = run_timed(
+        benchmark,
+        minimal_upper_approximation,
+        edtd,
+        strategy="schema-guided",
+        guide=edtd,
+    )
+    seconds = float(benchmark.stats.stats.min)
+    assert single_type_equivalent(guided, blind)
+    record_bench(
+        "schema_guided_upper",
+        n=len(edtd.types),
+        seconds=seconds,
+        states=len(guided.types),
+    )
+    record(
+        EXPERIMENT,
+        {
+            "family": "example-2.6 upper",
+            "n": len(edtd.types),
+            "blind_states": len(blind.types),
+            "guided_states": len(guided.types),
+            "universal_states": len(blind.types),
+            "blind_s": "-",
+            "guided_s": f"{seconds:.4f}",
+        },
+        note=NOTE,
+    )

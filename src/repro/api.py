@@ -251,10 +251,28 @@ def _load_cached_schema(
     return schema
 
 
+def _guide_cache_key(guide: Any) -> Any:
+    """A structural fingerprint of a ``guide=`` argument for whole-schema
+    digests: ``None`` for no guide, a schema/DFA structural key otherwise,
+    or the string ``"uncacheable"`` (a value no real key collides with)
+    when the guide has no sound fingerprint."""
+    if guide is None:
+        return None
+    if isinstance(guide, EDTD):
+        key = _cache.schema_structural_key(guide)
+    else:
+        from repro.strings.kernels import structural_key
+
+        key = structural_key(guide)
+    return "uncacheable" if key is None else key
+
+
 def approximate_upper(
     edtd: EDTD,
     *,
     minimize: bool = False,
+    strategy: str = "blind",
+    guide: Any = None,
     budget: Budget | None = None,
     checkpoint: Any = None,
     trace: Trace | None = None,
@@ -263,15 +281,26 @@ def approximate_upper(
     """Construction 3.1: the unique minimal upper XSD-approximation of
     ``L(edtd)``, wrapped with trace and budget-usage evidence.
 
+    *strategy* selects the determinization kernel (``"blind"`` or
+    ``"schema-guided"``; see
+    :func:`repro.core.upper.minimal_upper_approximation`), *guide* the
+    optional guiding schema (an EDTD or an ancestor-string DFA).
+
     With a persistent store configured, the whole result schema is cached
-    on disk keyed by the input's structural fingerprint: a warm repeat
-    skips the subset construction entirely (while replaying its recorded
-    budget cost, so governance is identical warm or cold).
+    on disk keyed by the input's structural fingerprint — with the
+    strategy and the guide's fingerprint folded into the key, so blind
+    and guided artifacts never collide: a warm repeat skips the subset
+    construction entirely (while replaying its recorded budget cost, so
+    governance is identical warm or cold).
     """
     with _FacadeCall("approximate-upper", budget, trace, cache) as call:
         digest = None
         if call.cache is not None and checkpoint is None:
-            digest = _whole_schema_digest("upper", edtd, (bool(minimize),))
+            guide_key = _guide_cache_key(guide)
+            if guide_key != "uncacheable":
+                digest = _whole_schema_digest(
+                    "upper", edtd, (bool(minimize), strategy, guide_key)
+                )
         if digest is not None:
             cached = _load_cached_schema(call.cache, digest, call.budget)
             if cached is not None:
@@ -285,6 +314,8 @@ def approximate_upper(
         schema = minimal_upper_approximation(
             edtd,
             minimize=minimize,
+            strategy=strategy,
+            guide=guide,
             budget=call.budget,
             checkpoint=checkpoint,
             trace=call.trace,

@@ -82,6 +82,15 @@ def _load_single_type(path: str) -> SingleTypeEDTD:
     return schema
 
 
+def _load_guide(args):
+    """The ``--guide`` schema, loaded, or None (universal guide) without
+    the flag.  ``main`` has already rejected --guide without
+    --strategy schema-guided."""
+    if getattr(args, "guide", None):
+        return load_file(args.guide)
+    return None
+
+
 def _emit(schema, output: str | None) -> None:
     text = dumps(schema)
     if output:
@@ -118,7 +127,12 @@ def _cmd_validate(args) -> int:
 def _cmd_union(args) -> int:
     left = _load_single_type(args.left)
     right = _load_single_type(args.right)
-    _emit(minimize_single_type(upper_union(left, right)), args.output)
+    _emit(
+        minimize_single_type(
+            upper_union(left, right, strategy=args.strategy, guide=_load_guide(args))
+        ),
+        args.output,
+    )
     return 0
 
 
@@ -132,19 +146,36 @@ def _cmd_intersect(args) -> int:
 def _cmd_difference(args) -> int:
     left = _load_single_type(args.left)
     right = _load_single_type(args.right)
-    _emit(minimize_single_type(upper_difference(left, right)), args.output)
+    _emit(
+        minimize_single_type(
+            upper_difference(left, right, strategy=args.strategy, guide=_load_guide(args))
+        ),
+        args.output,
+    )
     return 0
 
 
 def _cmd_complement(args) -> int:
     schema = _load_single_type(args.schema)
-    _emit(minimize_single_type(upper_complement(schema)), args.output)
+    _emit(
+        minimize_single_type(
+            upper_complement(schema, strategy=args.strategy, guide=_load_guide(args))
+        ),
+        args.output,
+    )
     return 0
 
 
 def _cmd_to_xsd(args) -> int:
     schema = load_file(args.schema)
-    _emit(minimize_single_type(minimal_upper_approximation(schema)), args.output)
+    _emit(
+        minimize_single_type(
+            minimal_upper_approximation(
+                schema, strategy=args.strategy, guide=_load_guide(args)
+            )
+        ),
+        args.output,
+    )
     return 0
 
 
@@ -263,6 +294,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the artifact cache, including $REPRO_CACHE_DIR",
     )
+    kernel = parser.add_argument_group(
+        "determinization strategy",
+        "kernel selection for the subset constructions behind the "
+        "approximation commands",
+    )
+    # Validated in main() rather than via argparse choices= so the
+    # subcommand action stays the parser's only choices-bearing action.
+    kernel.add_argument(
+        "--strategy",
+        default="blind",
+        metavar="{blind,schema-guided}",
+        help="determinization kernel: 'blind' explores every reachable "
+        "subset; 'schema-guided' prunes subsets unreachable under the "
+        "guiding schema (see --guide)",
+    )
+    kernel.add_argument(
+        "--guide",
+        default=None,
+        metavar="SCHEMA",
+        help="guiding schema file for --strategy schema-guided (its "
+        "valid-ancestor strings prune the subset construction); omitted, "
+        "the universal guide is used and nothing is pruned",
+    )
     observability = parser.add_argument_group(
         "observability",
         "structured tracing of the governed constructions the command runs",
@@ -357,6 +411,18 @@ def main(argv: list[str] | None = None) -> int:
         return EXIT_BAD_INPUT
     if args.no_cache and args.cache_dir:
         print("error: --no-cache and --cache-dir are mutually exclusive", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    if args.strategy not in ("blind", "schema-guided"):
+        print(
+            f"error: unknown strategy {args.strategy!r} "
+            "(choose from 'blind', 'schema-guided')",
+            file=sys.stderr,
+        )
+        return EXIT_BAD_INPUT
+    if args.guide and args.strategy != "schema-guided":
+        print(
+            "error: --guide requires --strategy schema-guided", file=sys.stderr
+        )
         return EXIT_BAD_INPUT
     trace = Trace(args.command) if (args.trace or args.trace_json) else None
     try:

@@ -35,16 +35,27 @@ from repro.schemas.ops import (
     st_intersection,
 )
 from repro.schemas.st_edtd import SingleTypeEDTD
-from repro.schemas.type_automaton import type_automaton
+from repro.schemas.type_automaton import ancestor_guide, type_automaton
 from repro.strings.determinize import determinize
 from repro.strings.kernels import cached_min_dfa
 from repro.strings.nfa import NFA
+
+
+def _as_guide_dfa(guide):
+    """Coerce a ``guide=`` argument to a DFA: EDTDs become their
+    valid-ancestor-string prefix machine (:func:`ancestor_guide`); DFAs
+    (and None) pass through."""
+    if guide is not None and isinstance(guide, EDTD):
+        return ancestor_guide(guide)
+    return guide
 
 
 def minimal_upper_approximation(
     edtd: EDTD,
     *,
     minimize: bool = False,
+    strategy: str = "blind",
+    guide=None,
     budget=None,
     checkpoint=None,
     trace=None,
@@ -71,9 +82,23 @@ def minimal_upper_approximation(
         default).  Exhaustion during the mandatory phases raises
         :class:`repro.errors.BudgetExceededError` whose ``checkpoint``
         resumes the subset construction.
+    strategy / guide:
+        Kernel selection for the subset construction (threaded to
+        :func:`repro.strings.determinize.determinize`).  With
+        ``strategy="schema-guided"`` the construction prunes subset
+        states unreachable under *guide* — a DFA of allowed ancestor
+        strings, or an EDTD (coerced via
+        :func:`repro.schemas.type_automaton.ancestor_guide`); guiding by
+        ``None`` (the universal guide) reproduces the blind construction
+        exactly.  A pruning guide restricts the approximation to the
+        guide's ancestor universe: the result is exact for documents
+        whose ancestor strings the guide accepts.
     checkpoint:
-        A :class:`repro.strings.determinize.SubsetCheckpoint` from a
-        previous budget-interrupted run on the *same* EDTD.
+        A :class:`repro.strings.determinize.SubsetCheckpoint` (or, for
+        guided runs, a
+        :class:`repro.strings.schema_guided.SchemaGuidedCheckpoint`)
+        from a previous budget-interrupted run on the *same* EDTD with
+        the same strategy and guide.
     trace:
         A :class:`repro.observability.Trace` collecting the construction's
         span tree (explicit argument wins over the ``with Trace():``
@@ -92,19 +117,33 @@ def minimal_upper_approximation(
     ) as span:
         n = type_automaton(reduced)
         # States are frozensets of types / {Q_INIT}.
-        subset_dfa = determinize(n, budget=budget, checkpoint=checkpoint)
+        subset_dfa = determinize(
+            n,
+            budget=budget,
+            checkpoint=checkpoint,
+            strategy=strategy,
+            guide=_as_guide_dfa(guide),
+        )
 
         rules: dict[frozenset, object] = {}
         with _obs.construction_span(
             "content-union", budget=budget
         ), budget_phase(budget, "content-union"):
             try:
+                outgoing: dict[frozenset, set] = {}
+                if strategy == "schema-guided":
+                    for (src, symbol) in subset_dfa.transitions:
+                        outgoing.setdefault(src, set()).add(symbol)
                 for subset in subset_dfa.states:
                     if subset == subset_dfa.initial:
                         continue
                     if budget is not None:
                         budget.tick(1)
                     union_nfa = _content_union(reduced, subset)
+                    if strategy == "schema-guided":
+                        union_nfa = _restrict_content(
+                            union_nfa, frozenset(outgoing.get(subset, ()))
+                        )
                     # Memoized: merged-type unions repeat across subsets (and
                     # across constructions); hits recharge *budget* with the
                     # recorded construction cost so trips stay deterministic.
@@ -115,11 +154,21 @@ def minimal_upper_approximation(
                 error.checkpoint = None
                 raise
 
+        starts = reduced.start_symbols()
+        if strategy == "schema-guided":
+            # Root labels outside the guide's universe lose their initial
+            # transition to pruning; drop them from the start set the same
+            # way pruned child labels leave the content models.
+            starts = {
+                symbol
+                for symbol in starts
+                if subset_dfa.successor(subset_dfa.initial, symbol) is not None
+            }
         xsd = DFAXSD(
             alphabet=reduced.alphabet,
             automaton=subset_dfa,
             rules=rules,
-            starts=reduced.start_symbols(),
+            starts=starts,
         )
         result = xsd.to_single_type().reduced()
         if minimize:
@@ -139,6 +188,25 @@ def minimal_upper_approximation(
     return result
 
 
+def _restrict_content(nfa: NFA, allowed: frozenset) -> NFA:
+    """Drop *nfa* transitions whose symbol is not in *allowed*.
+
+    A pruning guide removes ancestor-automaton transitions into guide-dead
+    states, so the matching content models must drop those child labels
+    too — otherwise the DFA-based XSD would promise children the ancestor
+    automaton can no longer type.  On guide-valid documents the restriction
+    is invisible: a pruned child label never occurs under a guide-accepted
+    ancestor string.  Returns *nfa* itself when nothing is dropped so the
+    memo-cache key is unchanged on the universal-guide path.
+    """
+    transitions = {
+        key: dsts for key, dsts in nfa.transitions.items() if key[1] in allowed
+    }
+    if len(transitions) == len(nfa.transitions):
+        return nfa
+    return NFA(nfa.states, nfa.alphabet, transitions, nfa.initials, nfa.finals)
+
+
 def _content_union(edtd: EDTD, subset: frozenset) -> NFA:
     """NFA for ``union over tau in subset of mu(d(tau))``."""
     parts = [
@@ -156,6 +224,8 @@ def upper_union(
     right: SingleTypeEDTD,
     *,
     minimize: bool = False,
+    strategy: str = "blind",
+    guide=None,
     budget=None,
     checkpoint=None,
     trace=None,
@@ -165,11 +235,15 @@ def upper_union(
 
     Implemented as Construction 3.1 on the disjoint-union EDTD; the subset
     construction only ever produces subsets with at most one type from each
-    side (the reachable pairs), so the bound holds.
+    side (the reachable pairs), so the bound holds.  *strategy*/*guide*
+    select the determinization kernel exactly as in
+    :func:`minimal_upper_approximation`.
     """
     return minimal_upper_approximation(
         edtd_union(left, right),
         minimize=minimize,
+        strategy=strategy,
+        guide=guide,
         budget=budget,
         checkpoint=checkpoint,
         trace=trace,
@@ -181,6 +255,8 @@ def upper_intersection(
     right: SingleTypeEDTD,
     *,
     minimize: bool = False,
+    strategy: str = "blind",
+    guide=None,
     budget=None,
     checkpoint=None,
     trace=None,
@@ -189,9 +265,12 @@ def upper_intersection(
     is the intersection itself (ST-REG is closed under intersection).
 
     *checkpoint* is accepted for keyword-surface uniformity but unused —
-    the product construction has no resumable phase.
+    the product construction has no resumable phase.  *strategy*/*guide*
+    are likewise accepted for uniformity and ignored: the exact product
+    has no subset construction to prune.
     """
     del checkpoint  # no resumable phase
+    del strategy, guide  # no subset construction to guide
     budget = resolve_budget(budget)
     with _obs.construction_span(
         "upper-intersection", trace=trace, budget=budget
@@ -211,6 +290,8 @@ def upper_complement(
     schema: SingleTypeEDTD,
     *,
     minimize: bool = False,
+    strategy: str = "blind",
+    guide=None,
     budget=None,
     checkpoint=None,
     trace=None,
@@ -220,11 +301,15 @@ def upper_complement(
 
     The complement EDTD's type automaton only ever reaches subsets
     ``{tau, a}`` of size <= 2, so Construction 3.1 stays polynomial.
+    *strategy*/*guide* select the determinization kernel exactly as in
+    :func:`minimal_upper_approximation`.
     """
     budget = resolve_budget(budget)
     return minimal_upper_approximation(
         complement_edtd(schema, budget=budget),
         minimize=minimize,
+        strategy=strategy,
+        guide=guide,
         budget=budget,
         checkpoint=checkpoint,
         trace=trace,
@@ -236,16 +321,22 @@ def upper_difference(
     right: SingleTypeEDTD,
     *,
     minimize: bool = False,
+    strategy: str = "blind",
+    guide=None,
     budget=None,
     checkpoint=None,
     trace=None,
 ) -> SingleTypeEDTD:
     """Theorem 3.10: minimal upper XSD-approximation of
-    ``L(left) - L(right)`` in polynomial time."""
+    ``L(left) - L(right)`` in polynomial time.  *strategy*/*guide* select
+    the determinization kernel exactly as in
+    :func:`minimal_upper_approximation`."""
     budget = resolve_budget(budget)
     return minimal_upper_approximation(
         difference_edtd(left, right, budget=budget),
         minimize=minimize,
+        strategy=strategy,
+        guide=guide,
         budget=budget,
         checkpoint=checkpoint,
         trace=trace,

@@ -17,9 +17,15 @@ Key facts implemented here:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import AutomatonError
 from repro.schemas.edtd import EDTD
 from repro.strings.nfa import NFA
+
+if TYPE_CHECKING:  # pragma: no cover - runtime imports stay lazy
+    from repro.runtime.budget import Budget
+    from repro.strings.dfa import DFA as _DFA
 
 
 class _QInit:
@@ -83,6 +89,24 @@ def is_single_type(edtd: EDTD) -> bool:
         if any(len(group) > 1 for group in by_label.values()):
             return False
     return True
+
+
+def ancestor_guide(edtd: EDTD, *, budget: Budget | None = None) -> _DFA:
+    """The deterministic valid-ancestor-string machine of *edtd*, shaped
+    as a guide for schema-guided determinization
+    (:mod:`repro.strings.schema_guided`).
+
+    Determinizes the type automaton of ``edtd.reduced()`` and makes
+    every state final: the result is a prefix machine accepting exactly
+    the ancestor strings realizable in some tree of the schema.  For
+    single-type EDTDs the type automaton is already deterministic
+    (Observation 2.7(3)), so the construction is linear.
+    """
+    from repro.strings.determinize import determinize
+    from repro.strings.dfa import DFA
+
+    dfa = determinize(type_automaton(edtd.reduced()), budget=budget)
+    return DFA(dfa.states, dfa.alphabet, dfa.transitions, dfa.initial, dfa.states)
 
 
 def assignable_types(edtd: EDTD, ancestor_string: tuple) -> frozenset:

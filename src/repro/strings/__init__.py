@@ -11,6 +11,8 @@ Public API:
 * :mod:`~repro.strings.builders` — the paper's concrete languages
 * :mod:`~repro.strings.kernels` — integer-coded bitmask hot loops and the
   structural memo cache (see ``docs/PERFORMANCE.md``)
+* :mod:`~repro.strings.schema_guided` — schema-guided pruned
+  determinization (``determinize(..., strategy="schema-guided")``)
 """
 
 from repro.strings.derivatives import derivative, dfa_from_regex, matches, normalize
@@ -51,6 +53,13 @@ from repro.strings.regex import (
     sym,
     union,
 )
+from repro.strings.schema_guided import (
+    SchemaGuidedCheckpoint,
+    cached_guided_subset_construction,
+    depth_guide,
+    guided_subset_construction,
+    universal_guide,
+)
 
 __all__ = [
     "DFA",
@@ -58,13 +67,18 @@ __all__ = [
     "EPSILON",
     "NFA",
     "Regex",
+    "SchemaGuidedCheckpoint",
     "as_dfa",
     "as_min_dfa",
     "as_nfa",
     "cache_stats",
+    "cached_guided_subset_construction",
     "cached_min_dfa",
     "clear_caches",
     "concat",
+    "depth_guide",
+    "guided_subset_construction",
+    "universal_guide",
     "count_words_by_length",
     "derivative",
     "determinize",

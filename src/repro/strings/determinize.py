@@ -20,10 +20,15 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Hashable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
+from repro.errors import AutomatonError
 from repro.runtime.budget import Budget, budget_phase, resolve_budget
 from repro.strings.dfa import DFA
 from repro.strings.nfa import NFA
+
+if TYPE_CHECKING:  # pragma: no cover - runtime imports stay lazy
+    from repro.strings.schema_guided import SchemaGuidedCheckpoint
 
 #: Batch size (in steps) for flushing locally-accumulated tick charges;
 #: bounds how stale the step counter may run during the hot loop.
@@ -59,7 +64,9 @@ def determinize(
     *,
     keep_empty: bool = False,
     budget: Budget | None = None,
-    checkpoint: SubsetCheckpoint | None = None,
+    checkpoint: "SubsetCheckpoint | SchemaGuidedCheckpoint | None" = None,
+    strategy: str = "blind",
+    guide: DFA | None = None,
 ) -> DFA:
     """Return a DFA equivalent to *nfa* via the standard subset construction.
 
@@ -74,15 +81,57 @@ def determinize(
     :func:`determinize_reference` (same frozenset format, same charge
     sequence).
 
+    *strategy* selects the kernel: ``"blind"`` (the default) explores
+    every reachable subset; ``"schema-guided"`` prunes the BFS with a
+    *guide* DFA (:mod:`repro.strings.schema_guided`) so subsets
+    unreachable under the guiding schema are never materialized.  With
+    ``guide=None`` the guided kernel uses the universal guide and
+    reproduces the blind construction state-for-state.  Guided runs
+    checkpoint with :class:`~repro.strings.schema_guided.SchemaGuidedCheckpoint`
+    (same observable contract).
+
     Since PR 2 the BFS runs on the integer-coded bitmask kernel
     (:func:`repro.strings.kernels.subset_construction`); subset states
     are interned int masks and the frozenset views are reconstructed only
     at this API boundary.
     """
-    from repro.strings.kernels import subset_construction
+    if strategy == "blind":
+        if guide is not None:
+            raise AutomatonError(
+                "guide= requires strategy='schema-guided' (got strategy='blind')"
+            )
+        from repro.strings.kernels import subset_construction
 
-    return subset_construction(
-        nfa, keep_empty=keep_empty, budget=budget, checkpoint=checkpoint
+        if checkpoint is not None and not isinstance(checkpoint, SubsetCheckpoint):
+            raise AutomatonError(
+                "strategy='blind' resumes from SubsetCheckpoint, "
+                f"not {type(checkpoint).__name__}"
+            )
+        return subset_construction(
+            nfa, keep_empty=keep_empty, budget=budget, checkpoint=checkpoint
+        )
+    if strategy == "schema-guided":
+        from repro.strings.schema_guided import (
+            SchemaGuidedCheckpoint,
+            guided_subset_construction,
+            universal_guide,
+        )
+
+        if checkpoint is not None and not isinstance(
+            checkpoint, SchemaGuidedCheckpoint
+        ):
+            raise AutomatonError(
+                "strategy='schema-guided' resumes from SchemaGuidedCheckpoint, "
+                f"not {type(checkpoint).__name__}"
+            )
+        if guide is None:
+            guide = universal_guide(nfa.alphabet)
+        return guided_subset_construction(
+            nfa, guide, keep_empty=keep_empty, budget=budget, checkpoint=checkpoint
+        )
+    raise AutomatonError(
+        f"unknown determinization strategy {strategy!r} "
+        "(expected 'blind' or 'schema-guided')"
     )
 
 

@@ -1,0 +1,429 @@
+"""Schema-guided pruned subset construction (string side).
+
+Implements the determinization-under-a-schema idea of Niehren, Sakho &
+Al Serhali, *Schema-Based Automata Determinization* (arXiv 2209.10312),
+specialized to this library's string substrate.  The blind subset
+construction (:func:`repro.strings.kernels.subset_construction`)
+materializes every subset reachable over *any* word; when the DFA is
+only ever run on words of a known schema — for Construction 3.1 that is
+the set of valid ancestor strings of an EDTD — subsets reachable only
+via words outside the schema are wasted work.  The guided kernel walks
+pairs ``(guide state, subset mask)`` breadth-first and expands a symbol
+only when the *guide* DFA can still read it, so guide-dead regions of
+the subset lattice are never built.
+
+Guide semantics
+---------------
+The guide is an ordinary (possibly partial) :class:`~repro.strings.dfa.DFA`:
+
+* a symbol with no guide transition from the current guide state is
+  pruned — no subset target is computed for it;
+* guide states from which no final is reachable are *dead* and treated
+  as missing transitions;
+* a guide with **no finals at all** is read as a prefix machine (every
+  reachable state alive) — this is the natural shape of
+  :func:`repro.schemas.type_automaton.ancestor_guide`, since type
+  automata have no finals.
+
+The output DFA is over **subsets only** (the guide component is dropped
+at the boundary): a subset's outgoing transition depends only on
+``(subset, symbol)``, so determinism is preserved and the result is
+directly comparable with — and under the universal guide *equal* to —
+the blind construction's output.
+
+Governance contract
+-------------------
+Budget charging mirrors the blind scalar loop exactly, per *pair*
+instead of per subset: one uncharged initial state, ``|alphabet|``
+pending steps per expanded pair (ticked **before** guide pruning, so the
+universal guide reproduces the blind kernel's trip counts
+charge-for-charge), one state per fresh pair, ``_FLUSH``-batched
+flushes, and lazy checkpoint snapshots materialized only at trip time
+(:class:`SchemaGuidedCheckpoint` — interchangeable observable contract
+with :class:`~repro.strings.determinize.SubsetCheckpoint`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro import observability as _obs
+from repro.errors import AutomatonError
+from repro.runtime.budget import Budget, budget_phase, resolve_budget
+from repro.strings.kernels import (
+    _FLUSH,
+    _KernelCache,
+    _code_states,
+    _mask_of,
+    _memoized,
+    _symbol_reprs,
+    _unmask,
+    structural_key,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - runtime imports stay lazy
+    from collections.abc import Hashable
+
+    from repro.strings.dfa import DFA as _DFA
+    from repro.strings.nfa import NFA as _NFA
+
+    State = Hashable
+    Symbol = Hashable
+
+
+# ----------------------------------------------------------------------
+# Guides
+# ----------------------------------------------------------------------
+
+def universal_guide(alphabet: Iterable[Any]) -> "_DFA":
+    """The one-state complete all-final DFA over *alphabet*: a guide that
+    prunes nothing.  Guiding by it reproduces the blind subset
+    construction state-for-state and charge-for-charge."""
+    from repro.strings.dfa import DFA
+
+    alphabet = frozenset(alphabet)
+    state = "*"
+    return DFA(
+        {state},
+        alphabet,
+        {(state, symbol): state for symbol in alphabet},
+        state,
+        {state},
+    )
+
+
+def depth_guide(alphabet: Iterable[Any], depth: int) -> "_DFA":
+    """A chain DFA accepting exactly the words of length <= *depth*.
+
+    As a guide it cuts subset exploration off below level ``depth`` of
+    the BFS — the natural schema for documents of bounded nesting, and
+    the simplest guide that provably bends the Theorem 3.2 blow-up
+    (``2^n`` subsets become ``O(2^(depth+1))``).
+    """
+    if depth < 0:
+        raise AutomatonError(f"depth_guide depth must be >= 0, got {depth}")
+    from repro.strings.dfa import DFA
+
+    alphabet = frozenset(alphabet)
+    states = list(range(depth + 1))
+    transitions = {
+        (level, symbol): level + 1
+        for level in range(depth)
+        for symbol in alphabet
+    }
+    return DFA(states, alphabet, transitions, 0, states)
+
+
+def _guide_step_table(
+    guide: "_DFA", symbols: list[Any]
+) -> tuple[dict[tuple[Any, int], Any], frozenset[Any]]:
+    """``(guide state, symbol index) -> alive successor`` plus the alive set.
+
+    Alive = reachable and (when the guide declares finals) co-reachable;
+    a guide with no finals is a prefix machine, so every reachable state
+    is alive.  Transitions into dead states are dropped — the guided BFS
+    treats them as pruned.
+    """
+    reachable = guide.reachable_states()
+    if guide.finals:
+        alive = frozenset(
+            state
+            for state in guide.to_nfa().coreachable_states()
+            if state in reachable
+        )
+    else:
+        alive = reachable
+    table: dict[tuple[Any, int], Any] = {}
+    for sym_index, symbol in enumerate(symbols):
+        for state in alive:
+            target = guide.transitions.get((state, symbol))
+            if target is not None and target in alive:
+                table[(state, sym_index)] = target
+    return table, alive
+
+
+# ----------------------------------------------------------------------
+# Checkpoint
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SchemaGuidedCheckpoint:
+    """Resumable snapshot of a partially-run guided subset construction.
+
+    Same observable contract as
+    :class:`~repro.strings.determinize.SubsetCheckpoint` (``states``,
+    ``states_explored``, ``frontier_size``, resumable via the
+    ``checkpoint=`` kwarg with the same NFA/guide/flags), but the
+    explored set and frontier are ``(guide state, subset)`` pairs — the
+    unit the guided BFS charges by.
+    """
+
+    pairs: tuple[tuple[Any, frozenset[Any]], ...]
+    transitions: tuple[tuple[tuple[frozenset[Any], Any], frozenset[Any]], ...]
+    frontier: tuple[tuple[Any, frozenset[Any]], ...]
+
+    @property
+    def states(self) -> frozenset[frozenset[Any]]:
+        """The distinct subset components explored so far."""
+        return frozenset(subset for _, subset in self.pairs)
+
+    @property
+    def states_explored(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def frontier_size(self) -> int:
+        return len(self.frontier)
+
+
+# ----------------------------------------------------------------------
+# The guided kernel
+# ----------------------------------------------------------------------
+
+def guided_subset_construction(
+    nfa: "_NFA",
+    guide: "_DFA",
+    *,
+    keep_empty: bool = False,
+    budget: Budget | None = None,
+    checkpoint: SchemaGuidedCheckpoint | None = None,
+    trace: Any = None,
+) -> "_DFA":
+    """Subset construction pruned by *guide* (see the module docstring).
+
+    For every word ``w`` accepted by *guide* the returned DFA reaches the
+    same subset as the blind construction, so ``L(result) ∩ L(guide) =
+    L(nfa) ∩ L(guide)``; subsets unreachable under the guide are never
+    materialized.  Under :func:`universal_guide` the result — and the
+    budget charge sequence — equals the blind kernel's exactly.
+    """
+    budget = resolve_budget(budget)
+    order, code = _code_states(nfa.states)
+    symbols = sorted(nfa.alphabet, key=repr)
+    fanout = len(symbols)
+    succ: list[list[int]] = [[0] * len(order) for _ in symbols]
+    for sym_index, symbol in enumerate(symbols):
+        row = succ[sym_index]
+        for state, index in code.items():
+            targets = nfa.transitions.get((state, symbol))
+            if targets:
+                row[index] = _mask_of(targets, code)
+    nchunks = ((len(order) + 15) >> 4) or 1
+    step_tab: list[list[dict[int, int]]] = [
+        [{0: 0} for _ in range(nchunks)] for _ in symbols
+    ]
+    initial_mask = _mask_of(nfa.initials, code)
+    finals_mask = _mask_of(nfa.finals, code)
+    g_step, alive = _guide_step_table(guide, symbols)
+
+    with _obs.construction_span(
+        "determinize",
+        trace=trace,
+        budget=budget,
+        kernel="schema-guided",
+        nfa_states=len(order),
+        guide_states=len(alive),
+    ) as span:
+        dfa = _guided_scalar(
+            nfa, guide, keep_empty, budget, checkpoint, order, code, symbols,
+            fanout, succ, step_tab, g_step, initial_mask, finals_mask,
+        )
+        if span is not None:
+            span.annotate(dfa_states=len(dfa.states))
+        if _obs.ENABLED:
+            _obs.METRICS.counter("determinize.runs").inc()
+            _obs.METRICS.counter("determinize.schema_guided.runs").inc()
+            _obs.METRICS.histogram("determinize.dfa_states").observe(len(dfa.states))
+    return dfa
+
+
+def _guided_scalar(
+    nfa: "_NFA",
+    guide: "_DFA",
+    keep_empty: bool,
+    budget: Budget | None,
+    checkpoint: SchemaGuidedCheckpoint | None,
+    order: list[Any],
+    code: dict[Any, int],
+    symbols: list[Any],
+    fanout: int,
+    succ: list[list[int]],
+    step_tab: list[list[dict[int, int]]],
+    g_step: dict[tuple[Any, int], Any],
+    initial_mask: int,
+    finals_mask: int,
+) -> "_DFA":
+    """The governed guided BFS (single source of truth for charging)."""
+    from repro.strings.dfa import DFA
+
+    if checkpoint is None:
+        first = (guide.initial, initial_mask)
+        seen: set[tuple[Any, int]] = {first}
+        subsets: dict[int, None] = {initial_mask: None}
+        trans: dict[tuple[int, int], int] = {}
+        queue: deque[tuple[Any, int]] = deque([first])
+        if budget is not None:
+            budget.charge_states(1, frontier=1)
+    else:
+        first = (guide.initial, initial_mask)
+        seen = set()
+        subsets = {initial_mask: None}
+        for g, subset in checkpoint.pairs:
+            mask = _mask_of(subset, code)
+            seen.add((g, mask))
+            subsets[mask] = None
+        trans = {
+            (_mask_of(subset, code), symbols.index(symbol)): _mask_of(target, code)
+            for (subset, symbol), target in checkpoint.transitions
+        }
+        queue = deque(
+            (g, _mask_of(subset, code)) for g, subset in checkpoint.frontier
+        )
+
+    with budget_phase(budget, "determinize"):
+        if budget is not None:
+            cursor = [first]
+
+            def snapshot() -> SchemaGuidedCheckpoint:
+                # Decoded lazily, only at trip time; *cursor* is re-enqueued
+                # so resumption recomputes at most |alphabet| idempotent
+                # transitions (same discipline as the blind kernel).
+                return SchemaGuidedCheckpoint(
+                    pairs=tuple((g, _unmask(m, order)) for g, m in seen),
+                    transitions=tuple(
+                        ((_unmask(src, order), symbols[s]), _unmask(dst, order))
+                        for (src, s), dst in trans.items()
+                    ),
+                    frontier=tuple(
+                        (g, _unmask(m, order)) for g, m in (cursor[0], *queue)
+                    ),
+                )
+
+            tick, charge_states = budget.tick, budget.charge_states
+            pending = 0
+        sym_range = range(fanout)
+        while queue:
+            g_state, mask = queue.popleft()
+            if budget is not None:
+                cursor[0] = (g_state, mask)
+                # Charged before guide pruning: the fanout is the work the
+                # blind loop would do, so the universal guide reproduces
+                # blind trip counts exactly.
+                pending += fanout
+                if pending >= _FLUSH:
+                    tick(pending, len(queue), snapshot)
+                    pending = 0
+            for sym_index in sym_range:
+                g_next = g_step.get((g_state, sym_index))
+                if g_next is None:
+                    continue  # pruned: the guide cannot read this symbol here
+                row = succ[sym_index]
+                tabs = step_tab[sym_index]
+                target = 0
+                rest = mask
+                chunk_index = 0
+                while rest:  # ungoverned: bit-scan bounded by the coded state count
+                    chunk = rest & 0xFFFF
+                    if chunk:
+                        table = tabs[chunk_index]
+                        part = table.get(chunk)
+                        if part is None:
+                            stack = []
+                            value = chunk
+                            while part is None:  # ungoverned: chain-fill, <= 16 bits
+                                stack.append(value)
+                                value ^= value & -value
+                                part = table.get(value)
+                            base = chunk_index << 4
+                            while stack:  # ungoverned: chain-fill bounded by 16 bits
+                                value = stack.pop()
+                                low = value & -value
+                                part |= row[base + low.bit_length() - 1]
+                                table[value] = part
+                        target |= part
+                    rest >>= 16
+                    chunk_index += 1
+                if not target and not keep_empty:
+                    continue
+                trans[(mask, sym_index)] = target
+                if target not in subsets:
+                    subsets[target] = None
+                pair = (g_next, target)
+                if pair not in seen:
+                    seen.add(pair)
+                    queue.append(pair)
+                    if budget is not None:
+                        charge_states(1, len(queue), snapshot)
+        if budget is not None and pending:
+            budget.tick(pending, 0)
+
+    # API boundary: drop the guide component, reconstruct frozenset views.
+    views = {mask: _unmask(mask, order) for mask in subsets}
+    transitions = {
+        (views[src], symbols[sym_index]): views[dst]
+        for (src, sym_index), dst in trans.items()
+    }
+    finals = [views[mask] for mask in subsets if mask & finals_mask]
+    return DFA._from_parts(
+        views.values(), nfa.alphabet, transitions, views[initial_mask], finals
+    )
+
+
+# ----------------------------------------------------------------------
+# Memo cache (strategy folded into the key via the cache name)
+# ----------------------------------------------------------------------
+
+_SG_DET_CACHE = _KernelCache("schema_guided_det")
+
+
+def _sg_cache_totals() -> tuple[int, int]:
+    return (_SG_DET_CACHE.hits, _SG_DET_CACHE.misses)
+
+
+_obs.register_cache_provider(_sg_cache_totals)
+
+
+def cache_stats() -> dict[str, dict[str, int]]:
+    """Hit/miss/entry counters of the schema-guided kernel cache."""
+    return {_SG_DET_CACHE.name: _SG_DET_CACHE.stats()}
+
+
+def clear_caches() -> None:
+    """Drop the schema-guided memo entries and reset the counters."""
+    _SG_DET_CACHE.clear()
+
+
+def cached_guided_subset_construction(
+    nfa: "_NFA",
+    guide: "_DFA",
+    *,
+    keep_empty: bool = False,
+    budget: Budget | None = None,
+) -> "_DFA":
+    """Memoized :func:`guided_subset_construction`.
+
+    Keyed by ``(state reprs, NFA fingerprint, guide fingerprint,
+    keep_empty)`` — state reprs are included because the returned DFA's
+    states are frozensets of the *input's* state objects (two
+    isomorphic-but-differently-named NFAs must not share an entry).  The
+    cache name (``schema_guided_det``) folds the strategy into the
+    on-disk artifact digest, so blind and guided artifacts never
+    collide.  Hits replay the recorded budget cost.
+    """
+    budget = resolve_budget(budget)
+    state_key = _symbol_reprs(nfa.states)
+    nfa_key = structural_key(nfa)
+    guide_key = structural_key(guide)
+    key = None
+    if state_key is not None and nfa_key is not None and guide_key is not None:
+        key = (state_key, nfa_key, guide_key, bool(keep_empty))
+
+    def build(inner_budget: Budget | None) -> "_DFA":
+        return guided_subset_construction(
+            nfa, guide, keep_empty=keep_empty, budget=inner_budget
+        )
+
+    return _memoized(_SG_DET_CACHE, key, build, budget)

@@ -23,18 +23,30 @@ from repro.tree_automata.monoid import (
     transition_monoid_from_dfa,
 )
 from repro.tree_automata.nta import NTA, edtd_from_nta, nta_from_edtd
+from repro.tree_automata.schema_guided import (
+    GuidedBTADetCheckpoint,
+    bta_determinize_guided,
+    bta_guide_from_edtd,
+    cached_bta_determinize_guided,
+    universal_bta_guide,
+)
 
 __all__ = [
     "BTA",
+    "GuidedBTADetCheckpoint",
     "FiniteMonoid",
     "MonoidForestAutomaton",
     "forest_automaton_for_child_language",
     "monoid_from_edtd",
     "transition_monoid_from_dfa",
     "NTA",
+    "bta_determinize_guided",
     "bta_difference_empty",
     "bta_from_edtd",
+    "bta_guide_from_edtd",
     "cached_bta_determinize",
+    "cached_bta_determinize_guided",
+    "universal_bta_guide",
     "cached_bta_from_edtd",
     "clear_kernel_caches",
     "edtd_equivalent",

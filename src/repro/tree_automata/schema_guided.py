@@ -1,0 +1,428 @@
+"""Schema-guided pruned BTA determinization (tree side).
+
+The tree counterpart of :mod:`repro.strings.schema_guided`, after
+Niehren/Sakho/Al Serhali, *Schema-Based Automata Determinization*
+(arXiv 2209.10312).  The blind bottom-up subset construction
+(:func:`repro.tree_automata.kernels.bta_determinize`) combines every
+discovered subset with every other under every label; when the
+determinized automaton is only ever run on trees of a known schema,
+subsets that arise only from schema-invalid subtrees are wasted work.
+
+The guided worklist runs over pairs ``(guide state, subset mask)``: a
+deterministic (not necessarily complete) guide BTA assigns each
+schema-valid subtree a unique state, and a combination
+``label(pair1, pair2)`` is attempted only when the guide has a *useful*
+rule ``label(g1, g2) -> g`` (useful = the rule's states are both
+bottom-up reachable and can still reach a final).  Everything outside
+the guide's universe — including the entire dead-subset cascade the
+complete blind result carries — is never materialized.
+
+The output BTA is over **subsets only** (guide component dropped at the
+boundary): each recorded transition depends only on the subset masks,
+so bottom-up determinism is preserved and under
+:func:`universal_bta_guide` the result equals the blind kernel's
+output state-for-state.
+
+Budget charging mirrors :func:`~repro.tree_automata.kernels._determinize_scalar`
+per *pair*: seed pairs are free, every fresh pair charges one state,
+``|labels| * (1 or 2)`` steps accrue per partner **before** guide
+pruning (so the universal guide reproduces blind trip counts
+charge-for-charge), flushed in ``_FLUSH`` batches, with lazy
+:class:`GuidedBTADetCheckpoint` snapshots interchangeable in contract
+with :class:`~repro.tree_automata.kernels.BTADetCheckpoint`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro import observability as _obs
+from repro.errors import AutomatonError
+from repro.runtime.budget import Budget, budget_phase, resolve_budget
+from repro.strings.kernels import _FLUSH, _KernelCache, _mask_of, _memoized, _unmask
+from repro.tree_automata.kernels import (
+    _coding_of,
+    _mask_views,
+    bta_structural_key,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - runtime imports stay lazy
+    from repro.schemas.edtd import EDTD as _EDTD
+    from repro.tree_automata.bta import BTA as _BTA
+
+State = Hashable
+Symbol = Hashable
+
+
+# ----------------------------------------------------------------------
+# Guides
+# ----------------------------------------------------------------------
+
+def universal_bta_guide(alphabet: Iterable[Symbol]) -> "_BTA":
+    """The one-state complete all-final guide BTA over *alphabet*: a
+    guide that prunes nothing.  Guiding by it reproduces the blind
+    subset construction state-for-state and charge-for-charge."""
+    from repro.tree_automata.bta import BTA
+
+    alphabet = frozenset(alphabet)
+    state = "*"
+    return BTA(
+        {state},
+        alphabet,
+        {label: {state} for label in alphabet},
+        {(label, state, state): {state} for label in alphabet},
+        {state},
+    )
+
+
+def bta_guide_from_edtd(edtd: "_EDTD", *, budget: Budget | None = None) -> "_BTA":
+    """A deterministic guide BTA for the binary encodings of *edtd*'s
+    trees: the (memoized) determinization of the schema's BTA encoding.
+
+    Both stages are cached (:func:`~repro.tree_automata.kernels.cached_bta_from_edtd`
+    and :func:`~repro.tree_automata.kernels.cached_bta_determinize`), so
+    repeated guided runs against the same schema pay the construction
+    once.
+    """
+    from repro.tree_automata.kernels import (
+        cached_bta_determinize,
+        cached_bta_from_edtd,
+    )
+
+    return cached_bta_determinize(cached_bta_from_edtd(edtd, budget=budget), budget=budget)
+
+
+def _guide_tables(
+    guide: "_BTA",
+) -> tuple[dict[Symbol, State], dict[tuple[Symbol, State, State], State], frozenset[State]]:
+    """``(leaf rules, internal rules, useful states)`` of *guide*, trimmed.
+
+    The guide must be bottom-up deterministic — at most one target per
+    rule — but need **not** be complete (missing rules are exactly what
+    prunes).  Useful = bottom-up reachable and top-down co-reachable
+    from a final; rules are kept only when all their states are useful,
+    so the determinized blind guide's dead-subset sink (never final)
+    vanishes along with everything it guards.
+    """
+    for label, targets in guide.leaf_rules.items():
+        if len(targets) > 1:
+            raise AutomatonError(
+                f"schema guide must be bottom-up deterministic: leaf rule for "
+                f"{label!r} has {len(targets)} targets"
+            )
+    for (label, _q1, _q2), targets in guide.internal_rules.items():
+        if len(targets) > 1:
+            raise AutomatonError(
+                f"schema guide must be bottom-up deterministic: internal rule "
+                f"for {label!r} has {len(targets)} targets"
+            )
+    reachable = guide.reachable_states()
+    useful_set = {state for state in guide.finals if state in reachable}
+    changed = True
+    while changed:  # ungoverned: monotone fixpoint bounded by |guide states|
+        changed = False
+        for (_label, q1, q2), targets in guide.internal_rules.items():
+            (target,) = tuple(targets)
+            if target in useful_set and q1 in reachable and q2 in reachable:
+                if q1 not in useful_set:
+                    useful_set.add(q1)
+                    changed = True
+                if q2 not in useful_set:
+                    useful_set.add(q2)
+                    changed = True
+    useful = frozenset(useful_set)
+    leaf_of: dict[Symbol, State] = {}
+    for label, targets in guide.leaf_rules.items():
+        if targets:
+            (target,) = tuple(targets)
+            if target in useful:
+                leaf_of[label] = target
+    rule_of: dict[tuple[Symbol, State, State], State] = {}
+    for (label, q1, q2), targets in guide.internal_rules.items():
+        if targets:
+            (target,) = tuple(targets)
+            if q1 in useful and q2 in useful and target in useful:
+                rule_of[(label, q1, q2)] = target
+    return leaf_of, rule_of, useful
+
+
+# ----------------------------------------------------------------------
+# Checkpoint
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GuidedBTADetCheckpoint:
+    """Resumable snapshot of a partially-run guided BTA determinization.
+
+    Same observable contract as
+    :class:`~repro.tree_automata.kernels.BTADetCheckpoint` —
+    discovery-ordered worklist, ``done`` counter of fully-combined rows,
+    idempotent transition entries — but the worklist holds
+    ``(guide state, subset)`` pairs, the unit the guided loop charges by.
+    """
+
+    pairs: tuple[tuple[State, frozenset[State]], ...]
+    transitions: tuple[
+        tuple[tuple[Symbol, frozenset[State], frozenset[State]], frozenset[State]], ...
+    ]
+    done: int
+
+    @property
+    def subsets(self) -> tuple[frozenset[State], ...]:
+        """The distinct subset components, in discovery order."""
+        out: list[frozenset[State]] = []
+        seen: set[frozenset[State]] = set()
+        for _, subset in self.pairs:
+            if subset not in seen:
+                seen.add(subset)
+                out.append(subset)
+        return tuple(out)
+
+    @property
+    def states_explored(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def frontier_size(self) -> int:
+        return len(self.pairs) - self.done
+
+
+# ----------------------------------------------------------------------
+# The guided kernel
+# ----------------------------------------------------------------------
+
+def bta_determinize_guided(
+    bta: "_BTA",
+    guide: "_BTA",
+    *,
+    budget: Budget | None = None,
+    checkpoint: GuidedBTADetCheckpoint | None = None,
+    trace: Any = None,
+) -> "_BTA":
+    """Bottom-up subset construction pruned by *guide* (module docstring).
+
+    For every tree accepted by *guide* the result assigns the same
+    subset as the blind determinization, so ``L(result) ∩ L(guide) =
+    L(bta) ∩ L(guide)``; subset states arising only from guide-invalid
+    subtrees are never materialized.  Under :func:`universal_bta_guide`
+    the result and the budget charge sequence equal the blind kernel's.
+    """
+    budget = resolve_budget(budget)
+    coding = _coding_of(bta)
+    leaf_of, rule_of, useful = _guide_tables(guide)
+    with _obs.construction_span(
+        "bta-determinize",
+        trace=trace,
+        budget=budget,
+        kernel="schema-guided",
+        nta_states=len(coding.order),
+        guide_states=len(useful),
+    ) as span:
+        pairs, transitions = _guided_worklist(
+            coding, leaf_of, rule_of, budget, checkpoint
+        )
+        result = _assemble_guided(bta, coding, pairs, transitions, leaf_of)
+        if span is not None:
+            span.annotate(subsets=len(result.states), pairs=len(pairs))
+        if _obs.ENABLED:
+            _obs.METRICS.counter("bta_determinize.runs").inc()
+            _obs.METRICS.counter("bta_determinize.schema_guided.runs").inc()
+            _obs.METRICS.histogram("bta_determinize.subsets").observe(
+                len(result.states)
+            )
+    return result
+
+
+def _guided_worklist(
+    coding: Any,
+    leaf_of: dict[Symbol, State],
+    rule_of: dict[tuple[Symbol, State, State], State],
+    budget: Budget | None,
+    checkpoint: GuidedBTADetCheckpoint | None,
+) -> tuple[list[tuple[State, int]], dict[tuple[int, int, int], int]]:
+    """The governed guided worklist (single source of truth for charging)."""
+    labels = coding.labels
+    nlabels = len(labels)
+    label_range = range(nlabels)
+    if checkpoint is None:
+        # Seeds mirror _seed_masks but keep only guide-alive leaf labels,
+        # deduplicated per (guide state, mask) pair; uncharged like the
+        # blind kernel's leaf subsets.
+        pairs: list[tuple[State, int]] = []
+        pair_index: set[tuple[State, int]] = set()
+        for label_index, label in enumerate(labels):
+            g_state = leaf_of.get(label)
+            if g_state is None:
+                continue
+            pair = (g_state, coding.leaf_masks[label_index])
+            if pair not in pair_index:
+                pair_index.add(pair)
+                pairs.append(pair)
+        transitions: dict[tuple[int, int, int], int] = {}
+        done = 0
+    else:
+        code = coding.code
+        pairs = [(g, _mask_of(subset, code)) for g, subset in checkpoint.pairs]
+        pair_index = set(pairs)
+        transitions = {
+            (
+                coding.label_code[label],
+                _mask_of(s1, code),
+                _mask_of(s2, code),
+            ): _mask_of(target, code)
+            for (label, s1, s2), target in checkpoint.transitions
+        }
+        done = checkpoint.done
+
+    step = coding.step
+    if budget is not None:
+        cursor = [done]
+
+        def snapshot() -> GuidedBTADetCheckpoint:
+            # Decoded lazily, only at trip time; the row at ``cursor`` is
+            # re-run on resume (idempotent entries, nothing lost or
+            # double-charged).
+            order = coding.order
+            return GuidedBTADetCheckpoint(
+                pairs=tuple((g, _unmask(mask, order)) for g, mask in pairs),
+                transitions=tuple(
+                    (
+                        (labels[label_index], _unmask(m1, order), _unmask(m2, order)),
+                        _unmask(target, order),
+                    )
+                    for (label_index, m1, m2), target in transitions.items()
+                ),
+                done=cursor[0],
+            )
+
+        tick, charge_states = budget.tick, budget.charge_states
+        pending = 0
+    with budget_phase(budget, "bta-determinize"):
+        while done < len(pairs):
+            g_current, current = pairs[done]
+            if budget is not None:
+                cursor[0] = done
+            for position in range(done + 1):
+                g_partner, partner = pairs[position]
+                both_sides = position < done
+                if budget is not None:
+                    # Accrued before guide pruning — the work the blind
+                    # loop would do — so the universal guide reproduces
+                    # blind trip counts exactly.
+                    pending += nlabels * (2 if both_sides else 1)
+                    if pending >= _FLUSH:
+                        tick(pending, len(pairs) - done, snapshot)
+                        pending = 0
+                for label_index in label_range:
+                    label = labels[label_index]
+                    g_target = rule_of.get((label, g_current, g_partner))
+                    if g_target is not None:
+                        target = step(label_index, current, partner)
+                        transitions[(label_index, current, partner)] = target
+                        pair = (g_target, target)
+                        if pair not in pair_index:
+                            pair_index.add(pair)
+                            pairs.append(pair)
+                            if budget is not None:
+                                charge_states(1, len(pairs) - done, snapshot)
+                    if both_sides:
+                        g_target = rule_of.get((label, g_partner, g_current))
+                        if g_target is not None:
+                            target = step(label_index, partner, current)
+                            transitions[(label_index, partner, current)] = target
+                            pair = (g_target, target)
+                            if pair not in pair_index:
+                                pair_index.add(pair)
+                                pairs.append(pair)
+                                if budget is not None:
+                                    charge_states(1, len(pairs) - done, snapshot)
+            done += 1
+        if budget is not None and pending:
+            budget.tick(pending, 0)
+    return pairs, transitions
+
+
+def _assemble_guided(
+    bta: "_BTA",
+    coding: Any,
+    pairs: list[tuple[State, int]],
+    transitions: dict[tuple[int, int, int], int],
+    leaf_of: dict[Symbol, State],
+) -> "_BTA":
+    """Decode the pair worklist into a subsets-only BTA (guide dropped).
+
+    Mirrors :func:`~repro.tree_automata.kernels._assemble_bta`, except
+    leaf rules exist only for guide-alive labels — under the universal
+    guide that is every label and the outputs coincide.
+    """
+    from repro.tree_automata.bta import BTA
+
+    masks: list[int] = []
+    seen_masks: set[int] = set()
+    for _, mask in pairs:
+        if mask not in seen_masks:
+            seen_masks.add(mask)
+            masks.append(mask)
+    views = _mask_views(coding.order, masks, coding.nchunks)
+    singletons = {mask: frozenset((view,)) for mask, view in views.items()}
+    labels = coding.labels
+    leaf_rules = {
+        label: singletons[coding.leaf_masks[label_index]]
+        for label_index, label in enumerate(labels)
+        if label in leaf_of
+    }
+    internal_rules = {
+        (labels[label_index], views[m1], views[m2]): singletons[target]
+        for (label_index, m1, m2), target in transitions.items()
+    }
+    finals_mask = coding.finals_mask
+    finals = [view for mask, view in views.items() if mask & finals_mask]
+    return BTA._from_parts(
+        views.values(), bta.alphabet, leaf_rules, internal_rules, finals
+    )
+
+
+# ----------------------------------------------------------------------
+# Memo cache (strategy folded into the key via the cache name)
+# ----------------------------------------------------------------------
+
+_SG_BTA_CACHE = _KernelCache("schema_guided_bta_det")
+
+
+def _sg_cache_totals() -> tuple[int, int]:
+    return (_SG_BTA_CACHE.hits, _SG_BTA_CACHE.misses)
+
+
+_obs.register_cache_provider(_sg_cache_totals)
+
+
+def cache_stats() -> dict[str, dict[str, int]]:
+    """Hit/miss/entry counters of the guided tree-kernel cache."""
+    return {_SG_BTA_CACHE.name: _SG_BTA_CACHE.stats()}
+
+
+def clear_caches() -> None:
+    """Drop the guided tree-kernel memo entries and reset the counters."""
+    _SG_BTA_CACHE.clear()
+
+
+def cached_bta_determinize_guided(
+    bta: "_BTA", guide: "_BTA", *, budget: Budget | None = None
+) -> "_BTA":
+    """Memoized :func:`bta_determinize_guided`, keyed by both structural
+    fingerprints; the cache name folds the strategy into the on-disk
+    artifact digest so blind and guided artifacts never collide.  Hits
+    replay the recorded budget cost."""
+    budget = resolve_budget(budget)
+    bta_key = bta_structural_key(bta)
+    guide_key = bta_structural_key(guide)
+    key = None
+    if bta_key is not None and guide_key is not None:
+        key = ("schema-guided", bta_key, guide_key)
+
+    def build(inner_budget: Budget | None) -> "_BTA":
+        return bta_determinize_guided(bta, guide, budget=inner_budget)
+
+    return _memoized(_SG_BTA_CACHE, key, build, budget)

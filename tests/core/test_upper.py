@@ -92,6 +92,32 @@ class TestUpperUnion:
         assert not union.accepts(mixed)
         assert upper.accepts(mixed)
 
+    def test_pruning_guide_narrower_than_union(self):
+        # Guiding union(d1, d2) by d2 alone prunes ancestor states d2 cannot
+        # reach; the content models must shed the pruned child labels with
+        # them (regression: DFAXSD used to reject the inconsistent pair).
+        d1, d2 = theorem_4_3_d1_d2()
+        blind = upper_union(d1, d2)
+        guided = upper_union(d1, d2, strategy="schema-guided", guide=d2)
+        assert len(guided.types) <= len(blind.types)
+        # Exact on the guide's own language ...
+        assert included_in_single_type(d2, guided)
+        # ... and indistinguishable from blind inside the guide's universe.
+        assert single_type_equivalent(
+            upper_intersection(guided, d2), upper_intersection(blind, d2)
+        )
+
+    def test_pruning_guide_drops_unreachable_roots(self):
+        # complement(d1) admits root labels d1's ancestor guide never
+        # accepts; pruning must drop them from the start set (regression:
+        # DFAXSD used to reject a start symbol with no initial transition).
+        d1, _ = theorem_4_3_d1_d2()
+        blind = upper_complement(d1)
+        guided = upper_complement(d1, strategy="schema-guided", guide=d1)
+        assert single_type_equivalent(
+            upper_intersection(guided, d1), upper_intersection(blind, d1)
+        )
+
     def test_exact_when_union_is_single_type(self, ab_star_schema):
         sub = SingleTypeEDTD(
             alphabet={"a", "b"},

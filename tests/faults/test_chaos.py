@@ -7,7 +7,8 @@ The global robustness invariant (ISSUE 6):
     :mod:`repro.errors` taxonomy.  A silently wrong answer is a hard
     failure.  A non-taxonomy exception escaping is a hard failure.
 
-The sweep drives five operations (``approximate_upper``,
+The sweep drives six operations (``approximate_upper`` under both the
+blind and the schema-guided determinization kernel,
 ``approximate_lower``, ``definability``, ``schema_includes``,
 ``validate``) through a matrix of fault schedules — every injection
 point, every applicable mode, several arrival indices and seeds — with a
@@ -17,7 +18,7 @@ warm with the memo tier cleared), so read-path faults land on entries
 the same plan's write-path faults may have damaged.
 
 ``test_injected_volume_floor`` (kept last in the file) asserts the suite
-really injected faults in at least 200 passes — a schedule that never
+really injected faults in at least 240 passes — a schedule that never
 fires is a vacuous test, and this floor is what CI enforces.
 """
 
@@ -41,7 +42,17 @@ from repro.families.hard import example_2_6
 from repro.faults import FaultPlan, FaultRule
 from repro.runtime import Budget
 from repro.schemas.text_format import dumps
-from repro.strings.kernels import clear_caches
+from repro.strings.kernels import clear_caches as _clear_string_kernel_caches
+from repro.strings.schema_guided import clear_caches as _clear_string_guided_caches
+from repro.tree_automata.schema_guided import clear_caches as _clear_tree_guided_caches
+
+
+def clear_caches():
+    """Reset every memo tier an operation under test may populate, so the
+    warm pass replays builds (and their governed fault points) honestly."""
+    _clear_string_kernel_caches()
+    _clear_string_guided_caches()
+    _clear_tree_guided_caches()
 
 # ----------------------------------------------------------------------
 # Operations under test
@@ -52,6 +63,18 @@ _DOC = "<store><item><price/></item></store>"
 
 def _op_upper(cache):
     return dumps(approximate_upper(example_2_6(), cache=cache).schema)
+
+
+def _op_guided_upper(cache):
+    # Same construction as _op_upper but on the schema-guided kernel,
+    # guided by the schema's own ancestor strings — exercises the guided
+    # worklist's budget.* points and the strategy-keyed disk digests.
+    edtd = example_2_6()
+    return dumps(
+        approximate_upper(
+            edtd, strategy="schema-guided", guide=edtd, cache=cache
+        ).schema
+    )
 
 
 def _op_lower(cache):
@@ -86,6 +109,7 @@ def _op_validate(cache):
 
 OPERATIONS = {
     "upper": _op_upper,
+    "guided-upper": _op_guided_upper,
     "lower": _op_lower,
     "definability": _op_definability,
     "includes": _op_includes,
@@ -233,11 +257,11 @@ def test_fault_never_changes_the_answer(
 def test_injected_volume_floor():
     """CI floor: the sweep above must have really injected faults.
 
-    At the default three-seed sweep the floor is the required >= 200
+    At the default three-seed sweep the floor is the required >= 240
     injected passes per CI job; a narrowed ``REPRO_CHAOS_SEEDS`` scales
     it proportionally so local single-seed runs stay meaningful.
     """
-    floor = 67 * len(SEEDS)  # 201 at the default/CI three-seed sweep
+    floor = 80 * len(SEEDS)  # 240 at the default/CI three-seed sweep
     assert _INJECTED_PASSES["count"] >= floor, (
         f"only {_INJECTED_PASSES['count']} passes saw an injected fault "
         f"(floor {floor} for {len(SEEDS)} seeds); the chaos matrix has "

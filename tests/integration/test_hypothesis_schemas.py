@@ -6,79 +6,17 @@ with hypothesis strategies (minimal counterexamples on failure).
 
 from __future__ import annotations
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.core.upper import minimal_upper_approximation, upper_union
-from repro.schemas.edtd import EDTD
 from repro.schemas.inclusion import included_in_single_type, single_type_equivalent
 from repro.schemas.minimize import minimize_single_type
 from repro.schemas.ops import edtd_union
-from repro.schemas.st_edtd import SingleTypeEDTD
 from repro.schemas.type_automaton import is_single_type
-from repro.strings.regex import EPSILON, Opt, Plus, Regex, Star, Sym, concat, union
-
-LABELS = ["a", "b", "c"]
+from tests.strategies import examples, single_type_edtds
 
 
-@st.composite
-def single_type_edtds(draw) -> SingleTypeEDTD:
-    """Layered single-type EDTDs over a 3-letter alphabet.
-
-    Types are layered t0 > t1 > ... (acyclic), each content model uses at
-    most one later type per label (EDC by construction), optionally with a
-    recursive self-edge.
-    """
-    num_types = draw(st.integers(min_value=1, max_value=5))
-    types = [f"t{i}" for i in range(num_types)]
-    mu = {t: LABELS[i % len(LABELS)] for i, t in enumerate(types)}
-    rules: dict = {}
-    for index, type_ in enumerate(types):
-        later = types[index + 1:]
-        candidates: dict[str, str] = {}
-        for other in later:
-            candidates.setdefault(mu[other], other)
-        if draw(st.booleans()):
-            candidates[mu[type_]] = type_  # self-recursion
-        chosen = draw(
-            st.lists(
-                st.sampled_from(sorted(candidates.values())) if candidates else st.nothing(),
-                max_size=3,
-            )
-        ) if candidates else []
-        parts: list[Regex] = []
-        for child in chosen:
-            modifier = draw(st.sampled_from(["plain", "star", "plus", "opt"]))
-            atom: Regex = Sym(child)
-            if modifier == "star":
-                atom = Star(atom)
-            elif modifier == "plus":
-                atom = Plus(atom)
-            elif modifier == "opt":
-                atom = Opt(atom)
-            parts.append(atom)
-        expr = concat(*parts) if parts else EPSILON
-        if draw(st.booleans()):
-            expr = union(expr, EPSILON)
-        rules[type_] = expr
-    schema = SingleTypeEDTD(
-        alphabet=set(LABELS),
-        types=set(types),
-        rules=rules,
-        starts={types[0]},
-        mu=mu,
-    ).reduced()
-    if not schema.types:
-        schema = SingleTypeEDTD(
-            alphabet=set(LABELS),
-            types={"t0"},
-            rules={"t0": "~"},
-            starts={"t0"},
-            mu={"t0": LABELS[0]},
-        )
-    return schema
-
-
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=examples(25), deadline=None)
 @given(single_type_edtds())
 def test_upper_of_single_type_is_identity(schema):
     upper = minimal_upper_approximation(schema)
@@ -86,7 +24,7 @@ def test_upper_of_single_type_is_identity(schema):
     assert single_type_equivalent(upper, schema)
 
 
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=examples(25), deadline=None)
 @given(single_type_edtds())
 def test_minimize_preserves_language(schema):
     minimal = minimize_single_type(schema)
@@ -94,7 +32,7 @@ def test_minimize_preserves_language(schema):
     assert len(minimal.types) <= max(len(schema.reduced().types), 1)
 
 
-@settings(max_examples=20, deadline=None)
+@settings(max_examples=examples(20), deadline=None)
 @given(single_type_edtds(), single_type_edtds())
 def test_union_upper_contains_both(left, right):
     upper = upper_union(left, right)
@@ -102,7 +40,7 @@ def test_union_upper_contains_both(left, right):
     assert included_in_single_type(right, upper)
 
 
-@settings(max_examples=20, deadline=None)
+@settings(max_examples=examples(20), deadline=None)
 @given(single_type_edtds(), single_type_edtds())
 def test_union_upper_idempotent(left, right):
     upper = upper_union(left, right)
@@ -110,7 +48,7 @@ def test_union_upper_idempotent(left, right):
     assert single_type_equivalent(upper, again)
 
 
-@settings(max_examples=20, deadline=None)
+@settings(max_examples=examples(20), deadline=None)
 @given(single_type_edtds())
 def test_round_trip_text_format(schema):
     from repro.schemas.text_format import dumps, loads
@@ -119,7 +57,7 @@ def test_round_trip_text_format(schema):
     assert single_type_equivalent(back, schema)
 
 
-@settings(max_examples=20, deadline=None)
+@settings(max_examples=examples(20), deadline=None)
 @given(single_type_edtds())
 def test_round_trip_dfa_xsd(schema):
     from repro.schemas.dfa_xsd import from_single_type

@@ -7,86 +7,16 @@ AST semantics and against brute-force word enumeration.
 
 from __future__ import annotations
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.strings.determinize import determinize
 from repro.strings.glushkov import glushkov_nfa
 from repro.strings.minimize import minimize_dfa
 from repro.strings.ops import count_words_by_length, enumerate_words, equivalent, includes
-from repro.strings.regex import (
-    EMPTY,
-    EPSILON,
-    Concat,
-    Opt,
-    Plus,
-    Regex,
-    Star,
-    Sym,
-    Union,
-)
-
-ALPHABET = ["a", "b"]
+from tests.strategies import ALL_WORDS_4, ALPHABET, ast_matches, examples, regexes
 
 
-def regexes(max_depth: int = 4) -> st.SearchStrategy[Regex]:
-    atoms = st.sampled_from(
-        [Sym("a"), Sym("b"), EPSILON, EMPTY]
-    )
-    return st.recursive(
-        atoms,
-        lambda inner: st.one_of(
-            st.builds(Concat, inner, inner),
-            st.builds(Union, inner, inner),
-            st.builds(Star, inner),
-            st.builds(Plus, inner),
-            st.builds(Opt, inner),
-        ),
-        max_leaves=8,
-    )
-
-
-def words_up_to(n: int):
-    out = [()]
-    frontier = [()]
-    for _ in range(n):
-        frontier = [w + (c,) for w in frontier for c in ALPHABET]
-        out.extend(frontier)
-    return out
-
-
-ALL_WORDS_4 = words_up_to(4)
-
-
-def ast_matches(expr: Regex, word: tuple) -> bool:
-    """Brute-force membership via the AST (exponential, for tiny words)."""
-    if isinstance(expr, Sym):
-        return word == (expr.symbol,)
-    if expr == EPSILON:
-        return word == ()
-    if expr == EMPTY:
-        return False
-    if isinstance(expr, Union):
-        return ast_matches(expr.left, word) or ast_matches(expr.right, word)
-    if isinstance(expr, Concat):
-        return any(
-            ast_matches(expr.left, word[:i]) and ast_matches(expr.right, word[i:])
-            for i in range(len(word) + 1)
-        )
-    if isinstance(expr, Opt):
-        return word == () or ast_matches(expr.child, word)
-    if isinstance(expr, (Star, Plus)):
-        if word == ():
-            return isinstance(expr, Star) or expr.nullable()
-        return any(
-            i > 0
-            and ast_matches(expr.child, word[:i])
-            and ast_matches(Star(expr.child), word[i:])
-            for i in range(1, len(word) + 1)
-        )
-    raise TypeError(expr)
-
-
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=examples(60), deadline=None)
 @given(regexes())
 def test_glushkov_agrees_with_ast_semantics(expr):
     nfa = glushkov_nfa(expr)
@@ -106,7 +36,7 @@ def test_determinize_minimize_preserve_language(expr):
         assert minimal.accepts(word) == accepted
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=examples(40), deadline=None)
 @given(regexes(), regexes())
 def test_product_operations_semantics(left, right):
     ldfa = minimize_dfa(determinize(glushkov_nfa(left))).completed(ALPHABET)
@@ -121,20 +51,20 @@ def test_product_operations_semantics(left, right):
         assert diff.accepts(word) == (in_l and not in_r)
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=examples(40), deadline=None)
 @given(regexes())
 def test_complement_involution(expr):
     dfa = minimize_dfa(determinize(glushkov_nfa(expr))).completed(ALPHABET)
     assert equivalent(dfa.complement().complement(), dfa)
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=examples(40), deadline=None)
 @given(regexes())
 def test_nullable_agrees_with_acceptance(expr):
     assert glushkov_nfa(expr).accepts(()) == expr.nullable()
 
 
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=examples(30), deadline=None)
 @given(regexes())
 def test_counting_matches_enumeration(expr):
     counts = count_words_by_length(expr, 4)
@@ -144,7 +74,7 @@ def test_counting_matches_enumeration(expr):
     assert counts == by_len
 
 
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=examples(30), deadline=None)
 @given(regexes())
 def test_inclusion_reflexive_and_star_superset(expr):
     assert includes(expr, expr)

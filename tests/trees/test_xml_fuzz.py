@@ -23,34 +23,7 @@ from hypothesis import given, settings, strategies as st
 from repro.errors import ReproError, TreeSyntaxError
 from repro.trees.tree import Tree
 from repro.trees.xml_io import from_xml, to_xml
-
-# ----------------------------------------------------------------------
-# Strategies
-# ----------------------------------------------------------------------
-
-_LABELS = st.from_regex(r"[A-Za-z_][A-Za-z0-9_.\-]{0,8}", fullmatch=True)
-
-trees = st.recursive(
-    _LABELS.map(Tree),
-    lambda children: st.tuples(_LABELS, st.lists(children, max_size=4)).map(
-        lambda pair: Tree(pair[0], pair[1])
-    ),
-    max_leaves=25,
-)
-
-# Hostile soup: markup shards that tend to reach deep into the tokenizer.
-_SHARDS = st.sampled_from(
-    [
-        "<", ">", "</", "/>", "<a>", "</a>", "<a/>", "<!DOCTYPE x>", "<!ENTITY",
-        "<!--", "-->", "<?xml?>", "&amp;", "&lol9;", "&#x0;", "]]>", "<![CDATA[",
-        "a", " ", "\n", "\t", '"', "'", "=", "\x00", "﻿", "é", "𝄞",
-    ]
-)
-hostile_documents = st.one_of(
-    st.text(max_size=120),
-    st.lists(_SHARDS, max_size=30).map("".join),
-    st.binary(max_size=120).map(lambda b: b.decode("latin-1")),
-)
+from tests.strategies import examples, hostile_documents, trees
 
 
 # ----------------------------------------------------------------------
@@ -58,7 +31,7 @@ hostile_documents = st.one_of(
 # ----------------------------------------------------------------------
 
 @given(hostile_documents)
-@settings(max_examples=300, deadline=None)
+@settings(max_examples=examples(300), deadline=None)
 def test_arbitrary_text_parses_or_raises_taxonomy(text):
     try:
         tree = from_xml(text)
@@ -72,7 +45,7 @@ def test_arbitrary_text_parses_or_raises_taxonomy(text):
 
 
 @given(hostile_documents, st.integers(min_value=1, max_value=12))
-@settings(max_examples=120, deadline=None)
+@settings(max_examples=examples(120), deadline=None)
 def test_tiny_limits_never_crash(text, cap):
     try:
         from_xml(text, max_depth=cap, max_nodes=cap)
@@ -85,13 +58,13 @@ def test_tiny_limits_never_crash(text, cap):
 # ----------------------------------------------------------------------
 
 @given(trees)
-@settings(max_examples=150, deadline=None)
+@settings(max_examples=examples(150), deadline=None)
 def test_round_trip_identity(tree):
     assert from_xml(to_xml(tree)) == tree
 
 
 @given(trees, st.data())
-@settings(max_examples=150, deadline=None)
+@settings(max_examples=examples(150), deadline=None)
 def test_any_strict_prefix_fails_to_parse(tree, data):
     document = to_xml(tree)
     cut = data.draw(st.integers(min_value=0, max_value=len(document) - 1))
@@ -100,7 +73,7 @@ def test_any_strict_prefix_fails_to_parse(tree, data):
 
 
 @given(trees)
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=examples(60), deadline=None)
 def test_interior_nul_corruption_fails_to_parse(tree):
     # The chaos harness's corrupt fault writes a NUL somewhere in the
     # document; the tokenizer must reject it wherever it lands.
@@ -116,7 +89,7 @@ def test_interior_nul_corruption_fails_to_parse(tree):
 # ----------------------------------------------------------------------
 
 @given(st.integers(min_value=1, max_value=60))
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=examples(40), deadline=None)
 def test_depth_cap_is_exact(depth):
     chain = "".join(f"<n{i}>" for i in range(depth)) + "".join(
         f"</n{i}>" for i in reversed(range(depth))
@@ -127,7 +100,7 @@ def test_depth_cap_is_exact(depth):
 
 
 @given(st.integers(min_value=1, max_value=60))
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=examples(40), deadline=None)
 def test_node_cap_is_exact(nodes):
     flat = "<root>" + "<leaf/>" * (nodes - 1) + "</root>" if nodes > 1 else "<root/>"
     assert from_xml(flat, max_nodes=nodes).size() == nodes
@@ -136,7 +109,7 @@ def test_node_cap_is_exact(nodes):
 
 
 @given(trees)
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=examples(60), deadline=None)
 def test_unlimited_mode_accepts_what_limited_mode_accepts(tree):
     document = to_xml(tree)
     assert from_xml(document, max_depth=None, max_nodes=None) == from_xml(document)
