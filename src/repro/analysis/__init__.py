@@ -1,11 +1,16 @@
-"""repro-lint: AST-based invariant checking for this repository.
+"""repro-lint: AST- and call-graph-based invariant checking for this repo.
 
 The paper's constructions are worst-case exponential, which is why PR 1
 threaded :class:`repro.runtime.Budget` through every closure / determinize
 / inclusion loop and PR 2 split the hot paths into integer-coded kernels
 with ``*_reference`` differential oracles.  This package makes those
 contracts — plus the determinism and error-taxonomy conventions the
-regression suite pins — mechanically checkable on every commit:
+regression suite pins — mechanically checkable on every commit.
+
+Rules R001–R007 are per-file AST checks.  Rules R008–R011 are
+*whole-program*: they run on a call graph built over every analyzed
+module (:mod:`repro.analysis.callgraph`) with a flow-insensitive effect
+lattice propagated to fixpoint (:mod:`repro.analysis.effects`).
 
 ========  =========================  ==========================================
 Rule      Name                       Invariant
@@ -22,11 +27,33 @@ Rule      Name                       Invariant
 ``R005``  frozen-mutation            no attribute assignment on frozen
                                      dataclass instances outside sanctioned
                                      factories
+``R006``  api-signature              public construction entry points declare
+                                     the governed trio as trailing
+                                     keyword-only parameters
+``R007``  fault-swallowing           no silently discarded failures; map,
+                                     record, or quarantine them
+``R008``  governance-escape          no path from a public ``repro.api``/CLI
+                                     entry point to an unbudgeted worklist
+                                     loop, wherever the loop lives
+``R009``  parallel-safety            ``# repro-par: shardable`` functions must
+                                     *infer* pure-modulo-budget through the
+                                     whole call graph
+``R010``  cache-key-completeness     memo-cache entry points key on every
+                                     behavior-affecting parameter
+``R011``  twin-drift                 ``*_reference`` oracles keep the same
+                                     keyword-only governed surface as their
+                                     kernel twins
 ========  =========================  ==========================================
 
-Run it as ``python -m repro.analysis [paths]`` (see ``--help``) or use the
-pytest-importable API: :func:`analyze_paths` / :func:`analyze_source` plus
-:func:`~repro.analysis.baseline.apply_baseline`.  ``docs/ANALYSIS.md`` has
+Run it as ``python -m repro.analysis [paths]`` (see ``--help``); pass
+``--effects-json FILE`` to emit the machine-readable whole-program effect
+report (the parallel-sharding allowlist, validated against
+``effects_schema.json``).  The pytest-importable API is
+:func:`analyze_paths` / :func:`analyze_source` plus
+:func:`~repro.analysis.baseline.apply_baseline`, and the program-level
+surface is :class:`~repro.analysis.callgraph.Program` /
+:func:`~repro.analysis.effects.infer_effects` /
+:func:`~repro.analysis.effects.effect_report`.  ``docs/ANALYSIS.md`` has
 the full catalog, pragma syntax, and baseline workflow.
 """
 
@@ -36,19 +63,38 @@ from repro.analysis.baseline import (
     BaselineResult,
     apply_baseline,
 )
+from repro.analysis.callgraph import FunctionNode, ModuleInfo, Program
+from repro.analysis.effects import (
+    FunctionEffects,
+    effect_report,
+    infer_effects,
+    load_effects_schema,
+)
 from repro.analysis.engine import (
     ModuleContext,
+    ProgramRule,
     Rule,
+    analyze_contexts,
     analyze_paths,
     analyze_source,
     collect_files,
     default_rules,
+    load_contexts,
 )
 from repro.analysis.findings import Finding, Severity
+from repro.analysis.interproc import (
+    PROGRAM_RULES,
+    CacheKeyCompletenessRule,
+    GovernanceEscapeRule,
+    ParallelSafetyRule,
+    TwinDriftRule,
+)
 from repro.analysis.rules import (
     ALL_RULES,
+    ApiSignatureRule,
     DeterministicIterationRule,
     ErrorTaxonomyRule,
+    FaultSwallowRule,
     FrozenMutationRule,
     GovernedLoopRule,
     KernelBoundaryRule,
@@ -56,21 +102,38 @@ from repro.analysis.rules import (
 
 __all__ = [
     "ALL_RULES",
+    "ApiSignatureRule",
     "Baseline",
     "BaselineEntry",
     "BaselineResult",
+    "CacheKeyCompletenessRule",
     "DeterministicIterationRule",
     "ErrorTaxonomyRule",
+    "FaultSwallowRule",
     "Finding",
     "FrozenMutationRule",
+    "FunctionEffects",
+    "FunctionNode",
+    "GovernanceEscapeRule",
     "GovernedLoopRule",
     "KernelBoundaryRule",
     "ModuleContext",
+    "ModuleInfo",
+    "PROGRAM_RULES",
+    "ParallelSafetyRule",
+    "Program",
+    "ProgramRule",
     "Rule",
     "Severity",
+    "TwinDriftRule",
+    "analyze_contexts",
     "analyze_paths",
     "analyze_source",
     "apply_baseline",
     "collect_files",
     "default_rules",
+    "effect_report",
+    "infer_effects",
+    "load_contexts",
+    "load_effects_schema",
 ]

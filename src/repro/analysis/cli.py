@@ -9,7 +9,7 @@ from collections.abc import Sequence
 from pathlib import Path
 
 from repro.analysis.baseline import Baseline, apply_baseline
-from repro.analysis.engine import analyze_paths, default_rules
+from repro.analysis.engine import analyze_paths, default_rules, load_contexts
 
 DEFAULT_BASELINE = "analysis-baseline.json"
 
@@ -18,8 +18,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description=(
-            "repro-lint: AST-based checker for the repository's governor, "
-            "kernel, and determinism invariants (rules R001-R006)."
+            "repro-lint: AST- and call-graph-based checker for the "
+            "repository's governor, kernel, determinism, and effect "
+            "invariants (rules R001-R011)."
         ),
     )
     parser.add_argument(
@@ -64,7 +65,41 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--effects-json",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write the machine-readable whole-program effect report (the "
+            "parallel-sharding allowlist) to FILE ('-' for stdout) and exit"
+        ),
+    )
     return parser
+
+
+def _write_effects_report(paths: list[Path], destination: str) -> int:
+    """Build the call graph over *paths* and emit the effect report."""
+    from repro.analysis.callgraph import Program
+    from repro.analysis.effects import effect_report
+
+    ctxs, parse_errors = load_contexts(paths)
+    if parse_errors:
+        for finding in parse_errors:
+            print(finding.render(), file=sys.stderr)
+        return 1
+    report = effect_report(
+        Program.from_contexts(ctxs),
+        root=", ".join(str(p) for p in paths),
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if destination == "-":
+        print(text)
+    else:
+        functions = report["functions"]
+        count = len(functions) if isinstance(functions, list) else 0
+        Path(destination).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote effect report for {count} functions to {destination}")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -88,6 +123,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     missing = [str(p) for p in targets if not p.exists()]
     if missing:
         parser.error(f"no such file or directory: {', '.join(missing)}")
+
+    if args.effects_json is not None:
+        return _write_effects_report(targets, args.effects_json)
 
     findings = analyze_paths(targets, rules=rules)
 
@@ -123,9 +161,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(f"    hint: {finding.hint}")
         if result.stale:
             print(
-                f"note: {len(result.stale)} stale baseline entr"
+                f"error: {len(result.stale)} stale baseline entr"
                 f"{'y matches' if len(result.stale) == 1 else 'ies match'} "
-                f"nothing anymore — prune {baseline_path}",
+                f"nothing anymore — prune {baseline_path} "
+                f"(or rerun with --update-baseline)",
                 file=sys.stderr,
             )
         summary = (
@@ -135,4 +174,6 @@ def main(argv: Sequence[str] | None = None) -> int:
             summary += f", {len(result.suppressed)} suppressed by baseline"
         print(summary)
 
-    return 1 if result.new else 0
+    # Stale baseline entries fail the run too: a rotted suppression list
+    # hides real findings behind fingerprints that no longer exist.
+    return 1 if (result.new or result.stale) else 0

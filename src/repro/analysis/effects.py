@@ -1,0 +1,672 @@
+"""Flow-insensitive effect inference over the call graph.
+
+Every function gets a set of *effect flags* from the lattice
+
+    pure  ⊑  {mutates-args, mutates-global, reads-contextvar,
+              performs-io, unknown}
+
+computed in two steps: an **intrinsic** pass reads effects directly off
+the function body (``global`` statements, attribute/subscript stores,
+mutator-method calls, ContextVar reads, I/O builtins), then a fixpoint
+**propagation** pass unions callee effects into callers over the
+:class:`repro.analysis.callgraph.Program` edges until nothing changes.
+
+Calls into the *sanctioned* runtime plumbing — the budget governor,
+observability spans/metrics, the artifact cache, fault injection, the
+error taxonomy, and the kernel memo-cache helpers — are masked during
+propagation: charging a budget or opening a span is the governed way for
+an otherwise-pure kernel to talk to ambient state, so it must not
+disqualify a function from the ``shardable`` certificate R009 checks.
+``mutates-args`` only propagates across a call when the caller actually
+passes its own parameters (or ``self``) into the callee; mutating a
+freshly built local is invisible to the caller.
+
+Anything unresolvable is ``unknown``, which is contagious: a function is
+only certified shardable when its masked effect set is *empty*.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.callgraph import (
+    BUDGET_METHODS as BUDGET_METHODS_,
+    IO_BUILTINS,
+    PURE_BUILTINS,
+    CallRecord,
+    FunctionNode,
+    ModuleInfo,
+    Program,
+)
+
+MUTATES_GLOBAL = "mutates-global"
+MUTATES_ARGS = "mutates-args"
+READS_CONTEXTVAR = "reads-contextvar"
+PERFORMS_IO = "performs-io"
+UNKNOWN = "unknown"
+
+ALL_EFFECTS = frozenset(
+    {MUTATES_GLOBAL, MUTATES_ARGS, READS_CONTEXTVAR, PERFORMS_IO, UNKNOWN}
+)
+
+#: Internal flag prefix for "calls one of its callable parameters";
+#: resolved per call site during propagation (the bound argument's own
+#: effects are substituted), and any residue collapses to ``unknown``
+#: in the final report.
+CALLS_PARAM = "calls-param:"
+
+#: Internal flag prefix for "mutates this specific parameter"; resolved
+#: per call site during propagation (a fresh local bound to the mutated
+#: parameter is invisible to the caller), residue collapses to
+#: ``mutates-args`` in the final report.
+MUTATES_PARAM = "mutates-param:"
+
+#: Budget-method names on a ``*budget*``-named receiver are the governed
+#: charging protocol — never an effect.
+BUDGET_METHODS = BUDGET_METHODS_  # re-exported from callgraph
+
+#: The governed keyword trio: passing these into a callee is the
+#: sanctioned channel, not caller-state leakage.
+GOVERNED_PARAMS = frozenset({"budget", "checkpoint", "trace"})
+
+#: Qualname prefixes whose functions are sanctioned ambient-state
+#: plumbing; calls into them are masked during propagation.
+SANCTIONED_PREFIXES = (
+    "repro.runtime.",
+    "repro.observability.",
+    "repro.cache.",
+    "repro.faults.",
+    "repro.errors.",
+)
+
+#: Kernel memo-cache plumbing sanctioned by suffix (lives inside the
+#: governed kernel modules themselves).
+SANCTIONED_SUFFIXES = (
+    "._memoized",
+    "._recharge",
+    ".cache_stats",
+    ".clear_caches",
+    "._kernel_cache_totals",
+)
+
+#: External module roots that are effect-free to call into.
+EXTERNAL_PURE = frozenset(
+    {
+        "abc", "bisect", "collections", "copy", "dataclasses", "enum",
+        "functools", "hashlib", "heapq", "itertools", "json", "math",
+        "numpy", "operator", "pathlib", "re", "string", "struct",
+        "typing", "unicodedata",
+    }
+)
+
+#: External module roots whose state is process-local and restored by the
+#: callers that touch it (the kernels pause the cyclic GC around
+#: allocation bursts); harmless under *process*-parallel sharding, so
+#: masked like the sanctioned runtime plumbing.
+EXTERNAL_SANCTIONED = frozenset({"gc"})
+
+#: External module roots whose calls count as I/O (or ambient
+#: nondeterminism, which parallel sharding must treat the same way).
+EXTERNAL_IO = frozenset(
+    {
+        "io", "logging", "os", "pickle", "random", "secrets", "shutil",
+        "signal", "socket", "subprocess", "sys", "tempfile", "time",
+        "xml",
+    }
+)
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "add", "append", "appendleft", "clear", "discard", "extend",
+        "extendleft", "insert", "pop", "popitem", "popleft", "remove",
+        "reverse", "setdefault", "sort", "update", "write",
+    }
+)
+
+#: Method names that are pure on every receiver type this codebase uses.
+PURE_METHODS = frozenset(
+    {
+        "as_posix", "bit_count", "bit_length", "capitalize", "casefold",
+        "copy", "count", "decode", "difference", "encode", "end",
+        "endswith", "find", "findall", "finditer", "format", "fullmatch",
+        "get", "group", "groupdict", "groups", "hexdigest", "index",
+        "intersection",
+        "isalnum", "isalpha", "isdigit", "isdisjoint", "isidentifier",
+        "issubset", "issuperset", "items", "join", "keys", "lower",
+        "lstrip", "match", "most_common", "partition", "removeprefix",
+        "removesuffix", "replace", "rfind", "rpartition", "rsplit",
+        "rstrip", "search", "span", "split", "splitlines", "start",
+        "startswith", "strip", "sub", "subn", "symmetric_difference",
+        "title", "to_bytes", "tolist", "union", "upper", "values",
+        "zfill", "__new__",
+    }
+)
+
+#: Method names that perform filesystem / stream I/O.
+IO_METHODS = frozenset(
+    {
+        "fsync", "flush", "mkdir", "open", "read", "read_bytes",
+        "read_text", "readline", "readlines", "rename", "rmdir",
+        "touch", "unlink", "write_bytes", "write_text",
+    }
+)
+
+
+def is_sanctioned(qualname: str) -> bool:
+    """True iff calls into *qualname* are masked during propagation."""
+    if qualname.startswith(SANCTIONED_PREFIXES):
+        return True
+    if qualname.endswith(SANCTIONED_SUFFIXES):
+        return True
+    return "._KernelCache." in qualname
+
+
+@dataclass(frozen=True)
+class FunctionEffects:
+    """Inferred effects of one function."""
+
+    qualname: str
+    intrinsic: frozenset[str]
+    effects: frozenset[str]
+    annotated: bool
+    certified: bool
+    origins: Mapping[str, str]
+
+    @property
+    def pure(self) -> bool:
+        return not self.effects
+
+
+#: Sentinel for "the argument bound to this parameter is unknowable"
+#: (splats, varargs, missing defaults).
+_MISSING = object()
+
+
+def _default_expr(callee: FunctionNode, pname: str) -> object:
+    """The declared default expression for *pname*, or ``_MISSING``."""
+    args = callee.node.args
+    positional = [*args.posonlyargs, *args.args]
+    defaulted = positional[len(positional) - len(args.defaults):]
+    for arg, default in zip(defaulted, args.defaults):
+        if arg.arg == pname:
+            return default
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if arg.arg == pname and default is not None:
+            return default
+    return _MISSING
+
+
+def _bound_argument(
+    record: CallRecord, callee: FunctionNode, pname: str
+) -> object:
+    """The caller expression bound to *callee*'s parameter *pname* at
+    this call site — an ``ast.expr``, or ``_MISSING`` when splats /
+    varargs make the binding undecidable."""
+    call = record.node
+    for kw in call.keywords:
+        if kw.arg is None:
+            return _MISSING  # **splat could rebind anything
+        if kw.arg == pname:
+            return kw.value
+    if any(isinstance(arg, ast.Starred) for arg in call.args):
+        return _MISSING
+    args = callee.node.args
+    if args.vararg is not None and pname == args.vararg.arg:
+        return _MISSING
+    positional = [arg.arg for arg in (*args.posonlyargs, *args.args)]
+    if (
+        callee.class_name is not None
+        and positional
+        and positional[0] in ("self", "cls")
+        and record.kind in ("method", "constructor")
+    ):
+        positional = positional[1:]
+    if pname in positional:
+        index = positional.index(pname)
+        if index < len(call.args):
+            return call.args[index]
+    return _default_expr(callee, pname)
+
+
+def _root_name(expr: ast.expr) -> str | None:
+    """Base ``Name`` of an attribute/subscript chain, if any."""
+    current = expr
+    while isinstance(current, (ast.Attribute, ast.Subscript, ast.Starred)):
+        current = current.value
+    return current.id if isinstance(current, ast.Name) else None
+
+
+def _is_budget_protocol(record: CallRecord) -> bool:
+    return (
+        record.attr in BUDGET_METHODS
+        and record.receiver_name is not None
+        and "budget" in record.receiver_name
+    )
+
+
+def _passes_caller_state(fn: FunctionNode, record: CallRecord) -> bool:
+    """Does this call hand the callee any of *fn*'s own parameters
+    (ignoring the governed trio, which is the sanctioned channel)?"""
+    if record.receiver in ("param", "self"):
+        return True
+    interesting = fn.param_set - GOVERNED_PARAMS
+    call = record.node
+    values = [*call.args, *(kw.value for kw in call.keywords)]
+    for value in values:
+        root = _root_name(value)
+        if root is not None and root in interesting:
+            return True
+    return False
+
+
+class _Inference:
+    """Shared state of one inference run."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.intrinsic: dict[str, set[str]] = {}
+        self.origins: dict[str, dict[str, str]] = {}
+
+    def _record(self, fn: FunctionNode, effect: str, origin: str) -> None:
+        self.intrinsic[fn.qualname].add(effect)
+        self.origins[fn.qualname].setdefault(effect, origin)
+
+    # -- intrinsic pass ------------------------------------------------
+
+    def infer_intrinsic(self, fn: FunctionNode) -> None:
+        self.intrinsic[fn.qualname] = set()
+        self.origins[fn.qualname] = {}
+        info = self.program.modules[fn.module]
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Global):
+                self._record(
+                    fn,
+                    MUTATES_GLOBAL,
+                    f"global statement at line {node.lineno}",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    self._classify_store(fn, target)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    self._classify_store(fn, target)
+        for record in fn.calls:
+            self._classify_call(fn, info, record)
+
+    def _classify_store(self, fn: FunctionNode, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._classify_store(fn, element)
+            return
+        if isinstance(target, ast.Name):
+            return  # plain local rebinding
+        if not isinstance(target, (ast.Attribute, ast.Subscript, ast.Starred)):
+            return
+        root = _root_name(target)
+        if root is None:
+            return  # store into a fresh expression result
+        line = getattr(target, "lineno", fn.node.lineno)
+        if root in fn.param_set:
+            self._record(
+                fn,
+                f"{MUTATES_PARAM}{root}",
+                f"store into argument {root!r} at line {line}",
+            )
+        elif root in fn.locals:
+            return
+        else:
+            # Module global or imported name — either way shared state.
+            self._record(
+                fn,
+                MUTATES_GLOBAL,
+                f"store into module state {root!r} at line {line}",
+            )
+
+    def _classify_call(
+        self, fn: FunctionNode, info: ModuleInfo, record: CallRecord
+    ) -> None:
+        line = record.node.lineno
+        if _is_budget_protocol(record):
+            return
+        if record.kind in ("nested", "function", "constructor"):
+            if record.kind == "function" and not record.targets:
+                self._record(
+                    fn, UNKNOWN, f"unresolved call {record.display}() at line {line}"
+                )
+            return
+        if record.kind == "builtin":
+            if record.attr in IO_BUILTINS:
+                self._record(
+                    fn, PERFORMS_IO, f"{record.display}() at line {line}"
+                )
+            return
+        if record.kind == "module-attr":
+            dotted = record.external or ""
+            if dotted.startswith(SANCTIONED_PREFIXES) or dotted in {
+                prefix.rstrip(".") for prefix in SANCTIONED_PREFIXES
+            }:
+                return
+            root = dotted.split(".", 1)[0]
+            if root in EXTERNAL_SANCTIONED:
+                return
+            if root == "repro":
+                # Unresolved repro-internal attr (module outside the
+                # analyzed set): conservative unknown.
+                self._record(
+                    fn,
+                    UNKNOWN,
+                    f"unresolved repro call {record.display}() at line {line}",
+                )
+            elif root in EXTERNAL_PURE:
+                return
+            elif root in EXTERNAL_IO:
+                self._record(
+                    fn, PERFORMS_IO, f"{record.display}() at line {line}"
+                )
+            else:
+                self._record(
+                    fn,
+                    UNKNOWN,
+                    f"call into external module {root!r} at line {line}",
+                )
+            return
+        if record.kind == "method":
+            attr = record.attr or ""
+            if (
+                record.receiver == "global"
+                and record.receiver_name in info.contextvars
+            ):
+                if attr == "get":
+                    self._record(
+                        fn,
+                        READS_CONTEXTVAR,
+                        f"ContextVar read {record.display}() at line {line}",
+                    )
+                    return
+                if attr in {"set", "reset"}:
+                    self._record(
+                        fn,
+                        MUTATES_GLOBAL,
+                        f"ContextVar write {record.display}() at line {line}",
+                    )
+                    return
+            if attr in MUTATOR_METHODS:
+                if record.receiver in ("param", "self"):
+                    root = record.receiver_name or "self"
+                    self._record(
+                        fn,
+                        f"{MUTATES_PARAM}{root}",
+                        f"mutator {record.display}() at line {line}",
+                    )
+                elif record.receiver == "global":
+                    self._record(
+                        fn,
+                        MUTATES_GLOBAL,
+                        f"mutator {record.display}() at line {line}",
+                    )
+                return
+            if attr in IO_METHODS:
+                self._record(
+                    fn, PERFORMS_IO, f"{record.display}() at line {line}"
+                )
+                return
+            if record.targets or attr in PURE_METHODS or attr in BUDGET_METHODS:
+                return
+            self._record(
+                fn,
+                UNKNOWN,
+                f"unresolved method {record.display}() at line {line}",
+            )
+            return
+        if record.kind == "param-call":
+            self._record(
+                fn,
+                f"{CALLS_PARAM}{record.attr}",
+                f"call to parameter {record.attr!r} at line {line}",
+            )
+            return
+        # kind == "dynamic"
+        self._record(
+            fn, UNKNOWN, f"dynamic call {record.display}() at line {line}"
+        )
+
+    # -- propagation ---------------------------------------------------
+
+    def _callable_flags(
+        self, fn: FunctionNode, expr: object, effects: Mapping[str, set[str]]
+    ) -> set[str]:
+        """Effect flags of *calling* the argument expression *expr* from
+        inside *fn* (the caller of a function that applies a callable
+        parameter)."""
+        if not isinstance(expr, ast.AST):
+            return {UNKNOWN}  # _MISSING: binding undecidable
+        if isinstance(expr, ast.Constant) and expr.value is None:
+            return set()  # a None default is guarded before being called
+        if isinstance(expr, ast.Lambda):
+            flags: set[str] = set()
+            for sub in ast.walk(expr.body):
+                if isinstance(sub, ast.Call):
+                    func = sub.func
+                    if isinstance(func, ast.Name) and func.id in PURE_BUILTINS:
+                        continue
+                    flags.add(UNKNOWN)
+            return flags
+        if isinstance(expr, ast.Name):
+            name = expr.id
+            if name in fn.param_set and name not in fn.locals:
+                # Passing one's own parameter through: the obligation
+                # moves up to *fn*'s callers.
+                return {f"{CALLS_PARAM}{name}"}
+            info = self.program.modules[fn.module]
+            qual = info.functions.get(name)
+            if qual is None:
+                dotted = info.member_imports.get(name)
+                if dotted is not None and dotted in self.program.functions:
+                    qual = dotted
+            if qual is not None:
+                inherited = effects.get(qual, {UNKNOWN})
+                return {
+                    UNKNOWN if flag.startswith(CALLS_PARAM) else flag
+                    for flag in inherited
+                }
+            if name in PURE_BUILTINS:
+                return set()
+            if name in IO_BUILTINS:
+                return {PERFORMS_IO}
+        return {UNKNOWN}
+
+    def _mutation_flags(
+        self, fn: FunctionNode, record: CallRecord, target: str, pname: str
+    ) -> set[str]:
+        """Caller-side flags for a callee that mutates its parameter
+        *pname*: locate what the caller bound there and keep the
+        mutation only when it lands on caller-visible state."""
+        callee = self.program.functions.get(target)
+        if callee is None:
+            return {MUTATES_ARGS}
+        if (
+            callee.class_name is not None
+            and callee.params
+            and pname == callee.params[0]
+        ):
+            # The mutated parameter is the receiver itself.
+            if record.kind == "constructor":
+                return set()  # mutating a freshly constructed object
+            if record.receiver == "self":
+                return {f"{MUTATES_PARAM}{record.receiver_name or 'self'}"}
+            if record.receiver == "param" and record.receiver_name:
+                return {f"{MUTATES_PARAM}{record.receiver_name}"}
+            if record.receiver == "global":
+                return {MUTATES_GLOBAL}
+            # local/expr receivers: fresh-value policy, invisible upward.
+            return set()
+        bound = _bound_argument(record, callee, pname)
+        if not isinstance(bound, ast.AST):
+            return {MUTATES_ARGS}  # binding undecidable: stay conservative
+        root = _root_name(bound)
+        if root is None:
+            return set()  # literal / call result: fresh value
+        if root in fn.param_set:
+            return {f"{MUTATES_PARAM}{root}"}
+        if root in fn.locals:
+            return set()
+        info = self.program.modules[fn.module]
+        if root in info.global_names:
+            return {MUTATES_GLOBAL}
+        return {MUTATES_ARGS}
+
+    def propagate(self) -> dict[str, set[str]]:
+        effects = {q: set(flags) for q, flags in self.intrinsic.items()}
+        changed = True
+        while changed:  # ungoverned: monotone fixpoint over a finite effect lattice
+            changed = False
+            for fn in self.program.iter_functions():
+                accumulated = effects[fn.qualname]
+                before = len(accumulated)
+                for record in fn.calls:
+                    for target in record.targets:
+                        if is_sanctioned(target):
+                            continue
+                        inherited: set[str] = set()
+                        for flag in effects.get(target, ()):
+                            if flag.startswith(CALLS_PARAM):
+                                callee = self.program.functions.get(target)
+                                if callee is None:
+                                    inherited.add(UNKNOWN)
+                                    continue
+                                bound = _bound_argument(
+                                    record, callee, flag[len(CALLS_PARAM):]
+                                )
+                                inherited |= self._callable_flags(
+                                    fn, bound, effects
+                                )
+                            elif flag.startswith(MUTATES_PARAM):
+                                inherited |= self._mutation_flags(
+                                    fn, record, target, flag[len(MUTATES_PARAM):]
+                                )
+                            else:
+                                inherited.add(flag)
+                        if MUTATES_ARGS in inherited and (
+                            record.kind == "constructor"
+                            or not _passes_caller_state(fn, record)
+                        ):
+                            inherited.discard(MUTATES_ARGS)
+                        new = inherited - accumulated
+                        if new:
+                            accumulated |= new
+                            for effect in new:
+                                self.origins[fn.qualname].setdefault(
+                                    effect,
+                                    f"via call to {target} at line "
+                                    f"{record.node.lineno}",
+                                )
+                if len(accumulated) != before:
+                    changed = True
+        return effects
+
+
+def _normalized(flags: set[str]) -> frozenset[str]:
+    """Collapse the internal parameterized flags to their public
+    counterparts: residual ``calls-param:`` becomes ``unknown`` (effects
+    depend on a callable argument) and ``mutates-param:`` becomes
+    ``mutates-args``."""
+    out: set[str] = set()
+    for flag in flags:
+        if flag.startswith(CALLS_PARAM):
+            out.add(UNKNOWN)
+        elif flag.startswith(MUTATES_PARAM):
+            out.add(MUTATES_ARGS)
+        else:
+            out.add(flag)
+    return frozenset(out)
+
+
+def infer_effects(program: Program) -> dict[str, FunctionEffects]:
+    """Intrinsic + fixpoint-propagated effects for every program function."""
+    inference = _Inference(program)
+    for fn in program.iter_functions():
+        inference.infer_intrinsic(fn)
+    propagated = inference.propagate()
+    out: dict[str, FunctionEffects] = {}
+    for fn in program.iter_functions():
+        effects = _normalized(propagated[fn.qualname])
+        origins = dict(inference.origins[fn.qualname])
+        for flag in [f for f in origins if f.startswith(CALLS_PARAM)]:
+            origins.setdefault(UNKNOWN, origins.pop(flag))
+        for flag in [f for f in origins if f.startswith(MUTATES_PARAM)]:
+            origins.setdefault(MUTATES_ARGS, origins.pop(flag))
+        annotated = fn.annotated_shardable
+        out[fn.qualname] = FunctionEffects(
+            qualname=fn.qualname,
+            intrinsic=_normalized(inference.intrinsic[fn.qualname]),
+            effects=effects,
+            annotated=annotated,
+            certified=annotated and not effects,
+            origins=origins,
+        )
+    return out
+
+
+#: The checked-in schema every emitted effect report must satisfy
+#: (validated with :func:`repro.observability.schema.trace_schema_errors`,
+#: which interprets the same JSON Schema subset).
+EFFECTS_SCHEMA_PATH = Path(__file__).with_name("effects_schema.json")
+
+
+def load_effects_schema() -> dict[str, object]:
+    with EFFECTS_SCHEMA_PATH.open(encoding="utf-8") as handle:
+        schema: dict[str, object] = json.load(handle)
+    return schema
+
+
+def effect_report(program: Program, *, root: str = "src/repro") -> dict[str, object]:
+    """JSON-able whole-program effect report (the sharding allowlist).
+
+    Validated against ``src/repro/analysis/effects_schema.json`` by the
+    test suite; the future parallel executor consumes
+    ``summary.certified_shardable`` as its allowlist.
+    """
+    results = infer_effects(program)
+    functions: list[dict[str, object]] = []
+    for fn in program.iter_functions():
+        inferred = results[fn.qualname]
+        functions.append(
+            {
+                "qualname": fn.qualname,
+                "module": fn.module,
+                "path": fn.relpath,
+                "line": fn.node.lineno,
+                "effects": sorted(inferred.effects),
+                "intrinsic": sorted(inferred.intrinsic),
+                "annotated_shardable": inferred.annotated,
+                "certified_shardable": inferred.certified,
+                "sanctioned": is_sanctioned(fn.qualname),
+            }
+        )
+    certified = sorted(
+        inferred.qualname for inferred in results.values() if inferred.certified
+    )
+    annotated = sorted(
+        inferred.qualname for inferred in results.values() if inferred.annotated
+    )
+    return {
+        "version": 1,
+        "root": root,
+        "functions": functions,
+        "summary": {
+            "functions": len(functions),
+            "pure": sum(1 for f in results.values() if f.pure),
+            "annotated_shardable": annotated,
+            "certified_shardable": certified,
+        },
+    }

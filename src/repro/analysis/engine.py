@@ -12,12 +12,24 @@ Two comment forms suppress findings on the line where the flagged
 statement starts:
 
 * ``# repro-lint: disable=R001,R004 -- reason`` — generic, any rule.
-* ``# ungoverned: reason`` — shorthand for ``disable=R001``; this is the
-  canonical way to mark a worklist loop as *intentionally* outside the
-  PR-1 budget regime (the reason is mandatory).
+* ``# ungoverned: reason`` — shorthand for ``disable=R001,R008``; this is
+  the canonical way to mark a worklist loop as *intentionally* outside
+  the PR-1 budget regime (the reason is mandatory).
+
+The ``-- reason`` clause is mandatory for both forms: a disable pragma
+without a reason is **rejected** (it suppresses nothing, so the finding
+it meant to hide still fires and the gate stays honest).
 
 Grandfathered findings that should not carry an in-source pragma go in
 the baseline file instead (:mod:`repro.analysis.baseline`).
+
+Whole-program rules
+-------------------
+Rules that need to see *every* module at once (call-graph reachability,
+effect inference — R008–R011) subclass :class:`ProgramRule` and receive a
+:class:`repro.analysis.callgraph.Program` built from all parsed module
+contexts.  Their findings still honor per-line pragmas in the module that
+owns the flagged line.
 """
 
 from __future__ import annotations
@@ -34,8 +46,14 @@ from repro.analysis.findings import Finding, Severity
 
 _DISABLE_RE = re.compile(
     r"#\s*repro-lint:\s*disable=(?P<rules>R\d{3}(?:\s*,\s*R\d{3})*)"
+    r"(?:\s*--\s*(?P<reason>\S.*))?"
 )
 _UNGOVERNED_RE = re.compile(r"#\s*ungoverned:\s*(?P<reason>\S.*)")
+
+#: Rules an ``# ungoverned:`` pragma silences.  R001 is the in-package
+#: governed-loop rule; R008 is its interprocedural twin (governance
+#: escape), and a loop declared intentionally ungoverned is outside both.
+UNGOVERNED_RULES = frozenset({"R001", "R008"})
 
 
 class Rule:
@@ -77,6 +95,34 @@ class Rule:
         )
 
 
+class ProgramRule(Rule):
+    """Base class for whole-program rules (R008–R011).
+
+    A :class:`ProgramRule` is checked once per analysis run against a
+    :class:`repro.analysis.callgraph.Program` built from every parsed
+    module, instead of once per module.  The per-module :meth:`check`
+    hook is a no-op so program rules compose transparently with the
+    module-rule pipeline.
+    """
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        return iter(())
+
+    def check_program(self, program: object) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(
+        self,
+        ctx: "ModuleContext",
+        node: ast.AST,
+        message: str,
+        *,
+        hint: str | None = None,
+    ) -> Finding:
+        """Alias of :meth:`Rule.finding` for readability at call sites."""
+        return self.finding(ctx, node, message, hint=hint)
+
+
 @dataclass
 class ModuleContext:
     """Everything a rule needs to know about one parsed module."""
@@ -87,6 +133,8 @@ class ModuleContext:
     tree: ast.Module
     lines: list[str]
     disabled: dict[int, set[str] | None] = field(default_factory=dict)
+    comments: dict[int, list[str]] = field(default_factory=dict)
+    rejected_pragmas: list[tuple[int, str]] = field(default_factory=list)
     _parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
 
     @classmethod
@@ -173,8 +221,14 @@ class ModuleContext:
                     self._record_pragma(lineno, text[text.index("#"):])
 
     def _record_pragma(self, lineno: int, comment: str) -> None:
+        self.comments.setdefault(lineno, []).append(comment)
         match = _DISABLE_RE.search(comment)
         if match is not None:
+            if match.group("reason") is None:
+                # Reasonless disable pragmas are rejected: they suppress
+                # nothing, so the finding they meant to hide still fires.
+                self.rejected_pragmas.append((lineno, comment.strip()))
+                return
             rules = {r.strip() for r in match.group("rules").split(",")}
             existing = self.disabled.get(lineno)
             if existing is None and lineno in self.disabled:
@@ -184,7 +238,11 @@ class ModuleContext:
             existing = self.disabled.get(lineno)
             if lineno in self.disabled and existing is None:
                 return
-            self.disabled[lineno] = (existing or set()) | {"R001"}
+            self.disabled[lineno] = (existing or set()) | set(UNGOVERNED_RULES)
+
+    def comment_text(self, lineno: int) -> str:
+        """All comment text recorded on *lineno* (empty string if none)."""
+        return " ".join(self.comments.get(lineno, ()))
 
     def is_disabled(self, rule_id: str, lineno: int) -> bool:
         if lineno not in self.disabled:
@@ -208,9 +266,10 @@ def _relpath(path: Path, root: Path | None) -> str:
 
 def default_rules() -> list[Rule]:
     """Fresh instances of every registered rule, in rule-id order."""
+    from repro.analysis.interproc import PROGRAM_RULES
     from repro.analysis.rules import ALL_RULES
 
-    return [rule_cls() for rule_cls in ALL_RULES]
+    return [rule_cls() for rule_cls in (*ALL_RULES, *PROGRAM_RULES)]
 
 
 def analyze_context(ctx: ModuleContext, rules: Sequence[Rule]) -> list[Finding]:
@@ -223,6 +282,28 @@ def analyze_context(ctx: ModuleContext, rules: Sequence[Rule]) -> list[Finding]:
     return findings
 
 
+def analyze_contexts(
+    ctxs: Sequence[ModuleContext], rules: Sequence[Rule]
+) -> list[Finding]:
+    """Run module rules per context, then program rules over all contexts."""
+    findings: list[Finding] = []
+    program_rules = [rule for rule in rules if isinstance(rule, ProgramRule)]
+    for ctx in ctxs:
+        findings.extend(analyze_context(ctx, rules))
+    if program_rules:
+        from repro.analysis.callgraph import Program
+
+        program = Program.from_contexts(ctxs)
+        by_path = {ctx.relpath: ctx for ctx in ctxs}
+        for rule in program_rules:
+            for finding in rule.check_program(program):
+                owner = by_path.get(finding.path)
+                if owner is None or not owner.is_disabled(finding.rule, finding.line):
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
 def analyze_source(
     source: str,
     path: Path | str,
@@ -231,7 +312,7 @@ def analyze_source(
 ) -> list[Finding]:
     """Analyze a source string as if it lived at *path* (test entry point)."""
     ctx = ModuleContext.from_source(source, Path(path), root)
-    return analyze_context(ctx, rules if rules is not None else default_rules())
+    return analyze_contexts([ctx], rules if rules is not None else default_rules())
 
 
 def collect_files(paths: Iterable[Path]) -> list[Path]:
@@ -248,23 +329,22 @@ def collect_files(paths: Iterable[Path]) -> list[Path]:
     return sorted(seen)
 
 
-def analyze_paths(
-    paths: Iterable[Path | str],
-    rules: Sequence[Rule] | None = None,
-    root: Path | None = None,
-) -> list[Finding]:
-    """Analyze every .py file under *paths*; returns sorted findings.
+def load_contexts(
+    paths: Iterable[Path | str], root: Path | None = None
+) -> tuple[list[ModuleContext], list[Finding]]:
+    """Parse every .py file under *paths* into contexts.
 
     Files that fail to parse yield a single parse-error finding (rule
-    ``R000``) instead of aborting the run.
+    ``R000``) instead of aborting the run; those findings are returned
+    alongside the successfully parsed contexts.
     """
-    active = rules if rules is not None else default_rules()
-    findings: list[Finding] = []
+    ctxs: list[ModuleContext] = []
+    parse_findings: list[Finding] = []
     for path in collect_files(Path(p) for p in paths):
         try:
-            ctx = ModuleContext.from_file(path, root)
+            ctxs.append(ModuleContext.from_file(path, root))
         except (SyntaxError, UnicodeDecodeError) as exc:
-            findings.append(
+            parse_findings.append(
                 Finding(
                     rule="R000",
                     severity=Severity.ERROR,
@@ -277,7 +357,21 @@ def analyze_paths(
                     snippet="",
                 )
             )
-            continue
-        findings.extend(analyze_context(ctx, active))
+    return ctxs, parse_findings
+
+
+def analyze_paths(
+    paths: Iterable[Path | str],
+    rules: Sequence[Rule] | None = None,
+    root: Path | None = None,
+) -> list[Finding]:
+    """Analyze every .py file under *paths*; returns sorted findings.
+
+    Files that fail to parse yield a single parse-error finding (rule
+    ``R000``) instead of aborting the run.
+    """
+    active = rules if rules is not None else default_rules()
+    ctxs, findings = load_contexts(paths, root)
+    findings.extend(analyze_contexts(ctxs, active))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

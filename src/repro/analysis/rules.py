@@ -794,7 +794,7 @@ class FaultSwallowRule(Rule):
         """Classes defined in this module that subclass the taxonomy."""
         taxonomy = set(_taxonomy_names())
         grew = True
-        while grew:
+        while grew:  # ungoverned: grows monotonically, bounded by module classes
             grew = False
             for node in ast.walk(ctx.tree):
                 if not isinstance(node, ast.ClassDef) or node.name in taxonomy:

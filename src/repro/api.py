@@ -284,7 +284,10 @@ def approximate_upper(
     *strategy* selects the determinization kernel (``"blind"`` or
     ``"schema-guided"``; see
     :func:`repro.core.upper.minimal_upper_approximation`), *guide* the
-    optional guiding schema (an EDTD or an ancestor-string DFA).
+    optional guiding schema (an EDTD or an ancestor-string DFA).  With
+    ``strategy="schema-guided"`` and no explicit guide, the input is its
+    own guide: its ancestor-string machine prunes the subset
+    construction without changing the approximated language.
 
     With a persistent store configured, the whole result schema is cached
     on disk keyed by the input's structural fingerprint — with the
@@ -294,6 +297,13 @@ def approximate_upper(
     governance is identical warm or cold).
     """
     with _FacadeCall("approximate-upper", budget, trace, cache) as call:
+        if strategy == "schema-guided" and guide is None:
+            # Self-guided by default: the input's own ancestor-string
+            # machine prunes subset states without changing the language
+            # (the input accepts no document outside its own ancestor
+            # universe).  Resolving it here, before the cache key, keeps
+            # explicit `guide=edtd` and the default on the same artifact.
+            guide = edtd
         digest = None
         if call.cache is not None and checkpoint is None:
             guide_key = _guide_cache_key(guide)

@@ -188,6 +188,7 @@ def minimal_upper_approximation(
     return result
 
 
+# repro-par: shardable
 def _restrict_content(nfa: NFA, allowed: frozenset) -> NFA:
     """Drop *nfa* transitions whose symbol is not in *allowed*.
 
@@ -207,6 +208,7 @@ def _restrict_content(nfa: NFA, allowed: frozenset) -> NFA:
     return NFA(nfa.states, nfa.alphabet, transitions, nfa.initials, nfa.finals)
 
 
+# repro-par: shardable
 def _content_union(edtd: EDTD, subset: frozenset) -> NFA:
     """NFA for ``union over tau in subset of mu(d(tau))``."""
     parts = [

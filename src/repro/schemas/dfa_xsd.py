@@ -97,7 +97,7 @@ class DFAXSD:
             return False
         root_state = self.automaton.successor(self.automaton.initial, tree.label)
         stack: list[tuple[Tree, State]] = [(tree, root_state)]
-        while stack:
+        while stack:  # ungoverned: one automaton step per document node
             node, state = stack.pop()
             child_word = tuple(child.label for child in node.children)
             if not self.rules[state].accepts(child_word):

@@ -314,7 +314,7 @@ class EDTD:
         """
         productive: set[Type] = set()
         changed = True
-        while changed:
+        while changed:  # ungoverned: least fixpoint, at most |types| rounds
             changed = False
             for type_ in self.types:
                 if type_ in productive:
@@ -329,7 +329,7 @@ class EDTD:
         """Does ``L(dfa)`` contain a word using only *allowed* symbols?"""
         seen: set = {dfa.initial}
         queue: deque = deque([dfa.initial])
-        while queue:
+        while queue:  # ungoverned: BFS bounded by |dfa states|
             state = queue.popleft()
             if state in dfa.finals:
                 return True
@@ -348,7 +348,7 @@ class EDTD:
         allowed = within if within is not None else self.types
         seen: set[Type] = set(self.starts & allowed)
         queue: deque[Type] = deque(seen)
-        while queue:
+        while queue:  # ungoverned: BFS bounded by |types|
             type_ = queue.popleft()
             for occurring in self._occurring_within(type_, allowed):
                 if occurring not in seen:

@@ -65,7 +65,7 @@ def included_in_single_type(sub: EDTD, sup: EDTD) -> bool:
             pairs.add(pair)
             queue.append(pair)
     content_cache: dict[tuple[object, object], bool] = {}
-    while queue:
+    while queue:  # ungoverned: PTIME pair worklist bounded by |sub| x |sup|
         tau1, tau2 = queue.popleft()
         key = (tau1, tau2)
         if key not in content_cache:

@@ -89,7 +89,7 @@ class SingleTypeEDTD(EDTD):
         if root_type is None:
             return False
         stack: list[tuple[Tree, Type]] = [(tree, root_type)]
-        while stack:
+        while stack:  # ungoverned: one content-DFA run per document node
             node, type_ = stack.pop()
             dfa = self.rules[type_]
             state = dfa.initial

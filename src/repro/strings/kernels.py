@@ -943,6 +943,7 @@ def _memoized(
     return value
 
 
+# repro-par: shardable
 def cached_min_dfa(language: object, *, budget: Budget | None = None) -> "_DFA":
     """Memoized ``as_min_dfa``: coerce *language* to its minimal trim DFA,
     interning structurally-equal inputs.
@@ -968,6 +969,7 @@ def cached_min_dfa(language: object, *, budget: Budget | None = None) -> "_DFA":
     return _memoized(_MIN_DFA_CACHE, structural_key(language), build, budget)
 
 
+# repro-par: shardable
 def cached_content_model(
     language: object, types: frozenset[Hashable], *, budget: Budget | None = None
 ) -> "_DFA":

@@ -191,8 +191,8 @@ class BTA:
 
     def determinize(
         self,
-        budget: Budget | None = None,
         *,
+        budget: Budget | None = None,
         checkpoint: "BTADetCheckpoint | GuidedBTADetCheckpoint | None" = None,
         trace: Any = None,
         strategy: str = "blind",
@@ -267,9 +267,22 @@ class BTA:
             "(expected 'blind' or 'schema-guided')"
         )
 
-    def determinize_reference(self, budget: Budget | None = None) -> "BTA":
+    def determinize_reference(
+        self,
+        *,
+        budget: Budget | None = None,
+        checkpoint: "BTADetCheckpoint | None" = None,
+        trace: Any = None,
+    ) -> "BTA":
         """Round-based subset construction (differential oracle for the
-        kernel — same result, same state charges)."""
+        kernel — same result, same state charges, same governed surface).
+
+        *checkpoint* accepts the kernel's
+        :class:`~repro.tree_automata.kernels.BTADetCheckpoint`: its
+        ``subsets``/``transitions`` are exactly this loop's data
+        structures, and every entry is idempotent, so seeding from one
+        resumes without losing, duplicating, or double-charging states.
+        """
         budget = resolve_budget(budget)
         leaf_subsets: dict[Symbol, frozenset[State]] = {
             label: self.leaf_rules.get(label, frozenset()) for label in self.alphabet
@@ -278,13 +291,16 @@ class BTA:
         internal: dict[
             tuple[Symbol, frozenset[State], frozenset[State]], frozenset[State]
         ] = {}
+        if checkpoint is not None:
+            subsets.update(checkpoint.subsets)
+            internal.update(checkpoint.transitions)
         # Index internal rules by label for the closure computation.
         by_label: dict[Symbol, list[tuple[State, State, frozenset[State]]]] = {}
         for (label, q1, q2), targets in self.internal_rules.items():
             by_label.setdefault(label, []).append((q1, q2, targets))
         changed = True
         with _obs.construction_span(
-            "bta-determinize", budget=budget, nta_states=len(self.states)
+            "bta-determinize", trace=trace, budget=budget, nta_states=len(self.states)
         ) as span:
             while changed:
                 if budget is not None:
@@ -342,7 +358,7 @@ class BTA:
 
         Determinizes first (charging *budget*), then flips finals.
         """
-        det = self.determinize(budget)
+        det = self.determinize(budget=budget)
         return BTA(
             det.states,
             det.alphabet,

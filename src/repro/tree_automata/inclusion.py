@@ -28,6 +28,7 @@ from typing import Any
 
 from collections.abc import Hashable, Iterable
 
+from repro import observability as _obs
 from repro.runtime.budget import Budget, budget_phase, resolve_budget
 from repro.schemas.edtd import EDTD
 from repro.trees.encoding import MARKER
@@ -123,11 +124,11 @@ def bta_difference_empty(
 
 
 def bta_difference_empty_reference(
-    left: BTA, right: BTA, *, budget: Budget | None = None
+    left: BTA, right: BTA, *, budget: Budget | None = None, trace: Any = None
 ) -> bool:
     """Round-based full-rescan saturation — the pre-kernel implementation,
     kept as the differential-testing oracle for
-    :func:`bta_difference_empty`.
+    :func:`bta_difference_empty` (same governed keyword surface).
     """
     budget = resolve_budget(budget)
     alphabet = left.alphabet | right.alphabet
@@ -157,7 +158,9 @@ def bta_difference_empty_reference(
         return frozenset(combined)
 
     changed = True
-    with budget_phase(budget, "bta-inclusion"):
+    with _obs.construction_span(
+        "bta-inclusion", trace=trace, budget=budget
+    ), budget_phase(budget, "bta-inclusion"):
         while changed:
             changed = False
             snapshot = list(pair_states)

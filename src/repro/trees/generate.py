@@ -202,7 +202,7 @@ def min_derivation_sizes(edtd: EDTD) -> dict[Type, int]:
     """Smallest tree size derivable per type (infinity for unproductive)."""
     sizes: dict[Type, float] = dict.fromkeys(edtd.types, float("inf"))
     changed = True
-    while changed:
+    while changed:  # ungoverned: size relaxation converges in <= |types| rounds
         changed = False
         for tau in edtd.types:
             dfa = edtd.rules[tau]

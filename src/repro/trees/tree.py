@@ -148,7 +148,7 @@ class Tree:
         """Number of nodes (iterative)."""
         count = 0
         stack: list[Tree] = [self]
-        while stack:
+        while stack:  # ungoverned: one visit per tree node
             node = stack.pop()
             count += 1
             stack.extend(node.children)
@@ -158,7 +158,7 @@ class Tree:
         """The set of labels occurring in the tree (iterative)."""
         out: set[object] = set()
         stack: list[Tree] = [self]
-        while stack:
+        while stack:  # ungoverned: one visit per tree node
             node = stack.pop()
             out.add(node.label)
             stack.extend(node.children)
@@ -176,7 +176,7 @@ class Tree:
     def nodes(self) -> Iterator[tuple[Path, "Tree"]]:
         """Yield ``(path, subtree)`` pairs in pre-order."""
         stack: list[tuple[Path, Tree]] = [((), self)]
-        while stack:
+        while stack:  # ungoverned: one visit per tree node
             path, node = stack.pop()
             yield path, node
             for index in range(len(node.children) - 1, -1, -1):

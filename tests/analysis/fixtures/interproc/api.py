@@ -1,0 +1,58 @@
+"""R008 fixture: public entry points reaching worklist loops.
+
+``run`` reaches an ungoverned loop (fires); the marked, waived,
+governed, and unreachable variants are all silent.
+"""
+
+from collections import deque
+
+
+def _drain(queue):
+    total = 0
+    while queue:
+        total += queue.popleft()
+    return total
+
+
+def _drain_marked(queue):
+    total = 0
+    while queue:  # ungoverned: bounded by the caller-provided queue
+        total += queue.popleft()
+    return total
+
+
+def _drain_waived(queue):
+    total = 0
+    while queue:  # repro-lint: disable=R008 -- fixture: exercised suppress path
+        total += queue.popleft()
+    return total
+
+
+def _drain_governed(queue, budget):
+    total = 0
+    while queue:
+        budget.tick(1)
+        total += queue.popleft()
+    return total
+
+
+def _never_called(queue):
+    while queue:
+        queue.popleft()
+
+
+def run(items):
+    return _drain(deque(items))
+
+
+def run_marked(items):
+    return _drain_marked(deque(items))
+
+
+def run_waived(items):
+    return _drain_waived(deque(items))
+
+
+def run_governed(items, *, budget=None, checkpoint=None, trace=None):
+    del checkpoint, trace  # fixture: only the budget matters here
+    return _drain_governed(deque(items), budget)

@@ -1,0 +1,39 @@
+"""R010 fixture: memo-cache key completeness at ``_memoized`` call sites.
+
+The file is named ``kernels.py`` because R010 only audits the cache
+module basenames.  ``cached_bad`` drops ``flag`` from its key (fires);
+``cached_good`` keys on everything behavior-affecting; ``cached_waived``
+documents the omission with a disable pragma.
+"""
+
+_CACHE = {}
+
+
+def _memoized(cache, key, build, budget=None):
+    if key not in cache:
+        cache[key] = build()
+    return cache[key]
+
+
+def cached_bad(language, flag, *, budget=None):
+    def build():
+        return (language, flag)
+
+    return _memoized(_CACHE, ("bad", language), build, budget)
+
+
+def cached_good(language, flag, *, budget=None):
+    def build():
+        return (language, flag)
+
+    key = ("good", language, flag)
+    return _memoized(_CACHE, key, build, budget)
+
+
+def cached_waived(language, flag, *, budget=None):
+    def build():
+        return (language,)
+
+    return _memoized(  # repro-lint: disable=R010 -- fixture: exercised suppress path
+        _CACHE, ("waived", language), build, budget
+    )

@@ -1,0 +1,30 @@
+"""R009 fixture: ``# repro-par: shardable`` claims vs inferred effects.
+
+``tainted`` writes a module global (fires); ``clean`` really is pure;
+``waived`` performs I/O but carries a disable pragma on its def line.
+"""
+
+_CALLS = 0
+
+
+# repro-par: shardable
+def tainted(values):
+    global _CALLS
+    _CALLS += 1
+    return tuple(sorted(values))
+
+
+# repro-par: shardable
+def clean(values):
+    return tuple(sorted(set(values)))
+
+
+# repro-par: shardable
+def waived(values):  # repro-lint: disable=R009 -- fixture: exercised suppress path
+    print(len(values))
+    return tuple(values)
+
+
+def unannotated(sink):
+    sink.append("not shardable, never checked")
+    return sink

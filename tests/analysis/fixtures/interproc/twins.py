@@ -1,0 +1,39 @@
+"""R011 fixture: ``*_reference`` oracles drifting from their kernel twins.
+
+``collapse_reference`` drops ``checkpoint=`` (fires); ``shift`` takes
+``budget`` positionally so its reference twin reports the keyword-only
+violation (fires); ``merge`` twins match; ``waived_reference`` drifted
+but carries a disable pragma.
+"""
+
+
+def collapse(values, *, budget=None, checkpoint=None, trace=None):
+    return frozenset(values)
+
+
+def collapse_reference(values, *, budget=None, trace=None):
+    return frozenset(values)
+
+
+def merge(values, *, budget=None):
+    return tuple(values)
+
+
+def merge_reference(values, *, budget=None):
+    return tuple(values)
+
+
+def shift(values, budget=None):
+    return list(values)
+
+
+def shift_reference(values, *, budget=None):
+    return list(values)
+
+
+def waived(values, *, budget=None, checkpoint=None, trace=None):
+    return set(values)
+
+
+def waived_reference(values):  # repro-lint: disable=R011 -- fixture: exercised suppress path
+    return set(values)

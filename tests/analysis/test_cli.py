@@ -79,8 +79,9 @@ class TestBaselineWorkflow:
         assert main([str(BAD), "--baseline", str(baseline)]) == 0
         out = capsys.readouterr().out
         assert "suppressed by baseline" in out
-        # 3. Against a clean file every entry is stale (reported, still exit 0).
-        assert main([str(GOOD), "--baseline", str(baseline)]) == 0
+        # 3. Against a clean file every entry is stale: reported AND the run
+        # fails — a rotted suppression list must not pass silently.
+        assert main([str(GOOD), "--baseline", str(baseline)]) == 1
         captured = capsys.readouterr()
         assert "stale baseline" in captured.err
 
@@ -89,3 +90,79 @@ class TestBaselineWorkflow:
         main([str(BAD), "--baseline", str(baseline), "--update-baseline"])
         payload = json.loads(baseline.read_text(encoding="utf-8"))
         assert all(e["justification"] == "TODO: justify" for e in payload["entries"])
+
+    def test_update_baseline_on_clean_tree_writes_empty_baseline(
+        self, tmp_path, capsys
+    ):
+        # Grandfathering a clean tree must pin an *empty* baseline (the
+        # src-clean gate relies on this), and the empty baseline must
+        # behave exactly like no baseline afterwards.
+        baseline = tmp_path / "baseline.json"
+        assert main([str(GOOD), "--baseline", str(baseline), "--update-baseline"]) == 0
+        payload = json.loads(baseline.read_text(encoding="utf-8"))
+        assert payload["entries"] == []
+        capsys.readouterr()
+        assert main([str(GOOD), "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main([str(BAD), "--baseline", str(baseline)]) == 1
+
+
+class TestPragmaRejection:
+    LOOP = (
+        "def drain(queue):\n"
+        "    while queue:  {pragma}\n"
+        "        queue.pop()\n"
+    )
+
+    def test_reasonless_disable_does_not_suppress(self):
+        from repro.analysis import analyze_source
+
+        findings = analyze_source(
+            self.LOOP.format(pragma="# repro-lint: disable=R001"),
+            "strings/worklist.py",
+        )
+        assert [f.rule for f in findings] == ["R001"]
+
+    def test_reasoned_disable_suppresses(self):
+        from repro.analysis import analyze_source
+
+        findings = analyze_source(
+            self.LOOP.format(pragma="# repro-lint: disable=R001 -- caller bounds it"),
+            "strings/worklist.py",
+        )
+        assert findings == []
+
+    def test_rejected_pragma_is_recorded_for_tooling(self):
+        from repro.analysis import ModuleContext
+
+        ctx = ModuleContext.from_source(
+            self.LOOP.format(pragma="# repro-lint: disable=R001"),
+            Path("strings/worklist.py"),
+        )
+        assert ctx.rejected_pragmas == [
+            (2, "# repro-lint: disable=R001"),
+        ]
+
+
+class TestEffectsJson:
+    def test_stdout_report_validates(self, capsys):
+        from repro.analysis import load_effects_schema
+        from repro.observability.schema import trace_schema_errors
+
+        assert main([str(GOOD), "--effects-json", "-"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert trace_schema_errors(report, load_effects_schema()) == []
+        assert report["summary"]["functions"] == len(report["functions"])
+
+    def test_file_report(self, tmp_path, capsys):
+        out = tmp_path / "effects.json"
+        assert main([str(GOOD), "--effects-json", str(out)]) == 0
+        assert "wrote effect report" in capsys.readouterr().out
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["version"] == 1
+
+    def test_parse_error_exits_1(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def oops(:\n", encoding="utf-8")
+        assert main([str(broken), "--effects-json", "-"]) == 1
+        assert "does not parse" in capsys.readouterr().err

@@ -1,0 +1,201 @@
+"""Unit tests for the effect-inference lattice, plus the src-wide
+acceptance gate: the effect report certifies the annotated kernels and
+validates against the checked-in JSON schema."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import (
+    ModuleContext,
+    Program,
+    effect_report,
+    infer_effects,
+    load_contexts,
+    load_effects_schema,
+)
+from repro.analysis.effects import (
+    MUTATES_ARGS,
+    MUTATES_GLOBAL,
+    PERFORMS_IO,
+    READS_CONTEXTVAR,
+    UNKNOWN,
+)
+from repro.observability.schema import trace_schema_errors
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def _effects(*sources):
+    ctxs = [
+        ModuleContext.from_source(source, Path(path)) for path, source in sources
+    ]
+    return infer_effects(Program.from_contexts(ctxs))
+
+
+class TestIntrinsicEffects:
+    def test_global_statement(self):
+        results = _effects(
+            ("m.py", "N = 0\ndef bump():\n    global N\n    N += 1\n")
+        )
+        assert results["m.bump"].effects == {MUTATES_GLOBAL}
+
+    def test_module_global_mutation(self):
+        results = _effects(
+            ("m.py", "CACHE = {}\ndef poke(k, v):\n    CACHE[k] = v\n")
+        )
+        assert results["m.poke"].effects == {MUTATES_GLOBAL}
+
+    def test_print_is_io(self):
+        results = _effects(("m.py", "def shout(x):\n    print(x)\n"))
+        assert results["m.shout"].effects == {PERFORMS_IO}
+
+    def test_contextvar_read(self):
+        results = _effects(
+            (
+                "m.py",
+                "from contextvars import ContextVar\n"
+                "AMBIENT = ContextVar('ambient')\n"
+                "def peek():\n"
+                "    return AMBIENT.get()\n",
+            )
+        )
+        assert results["m.peek"].effects == {READS_CONTEXTVAR}
+
+    def test_argument_mutation(self):
+        results = _effects(("m.py", "def push(acc, x):\n    acc.append(x)\n"))
+        assert results["m.push"].effects == {MUTATES_ARGS}
+
+    def test_unresolved_call_is_unknown(self):
+        results = _effects(("m.py", "def weird(x):\n    return mystery(x)\n"))
+        assert results["m.weird"].effects == {UNKNOWN}
+
+    def test_pure_function(self):
+        results = _effects(
+            ("m.py", "def norm(values):\n    return tuple(sorted(set(values)))\n")
+        )
+        assert results["m.norm"].effects == frozenset()
+
+
+class TestPropagation:
+    def test_effects_flow_up_the_call_chain(self):
+        results = _effects(
+            (
+                "m.py",
+                "def leaf(x):\n"
+                "    print(x)\n"
+                "\n"
+                "def mid(x):\n"
+                "    return leaf(x)\n"
+                "\n"
+                "def top(x):\n"
+                "    return mid(x)\n",
+            )
+        )
+        assert results["m.top"].effects == {PERFORMS_IO}
+        # origins record one hop of the chain; tracing continues there
+        assert "m.mid" in results["m.top"].origins[PERFORMS_IO]
+
+    def test_fresh_local_absorbs_callee_mutation(self):
+        # `seed` mutates its own parameter; callers that hand it a fresh
+        # local stay pure, callers that forward their *own* parameter
+        # inherit mutates-args.
+        results = _effects(
+            (
+                "m.py",
+                "def seed(acc):\n"
+                "    acc.append(0)\n"
+                "    return acc\n"
+                "\n"
+                "def fresh():\n"
+                "    out = []\n"
+                "    return seed(out)\n"
+                "\n"
+                "def forwards(acc):\n"
+                "    return seed(acc)\n",
+            )
+        )
+        assert results["m.fresh"].effects == frozenset()
+        assert results["m.forwards"].effects == {MUTATES_ARGS}
+
+    def test_higher_order_resolves_at_call_site(self):
+        # `apply` calls its parameter: pure when handed a pure lambda,
+        # IO when handed print.
+        results = _effects(
+            (
+                "m.py",
+                "def apply(func, x):\n"
+                "    return func(x)\n"
+                "\n"
+                "def pure_use(x):\n"
+                "    return apply(lambda v: v + 1, x)\n"
+                "\n"
+                "def io_use(x):\n"
+                "    return apply(print, x)\n",
+            )
+        )
+        assert results["m.pure_use"].effects == frozenset()
+        assert results["m.io_use"].effects == {PERFORMS_IO}
+
+    def test_sanctioned_runtime_calls_are_masked(self):
+        # Budget charging is the governed protocol, not an effect.
+        results = _effects(
+            (
+                "m.py",
+                "def drain(queue, budget):\n"
+                "    while queue:  # ungoverned: fixture\n"
+                "        budget.tick(1)\n"
+                "        queue.pop()\n",
+            )
+        )
+        assert results["m.drain"].effects == {MUTATES_ARGS}  # queue.pop only
+
+
+class TestShardableCertification:
+    def test_annotated_and_certified(self):
+        results = _effects(
+            (
+                "m.py",
+                "# repro-par: shardable\n"
+                "def clean(values):\n"
+                "    return tuple(sorted(values))\n"
+                "\n"
+                "# repro-par: shardable\n"
+                "def tainted(values):\n"
+                "    print(values)\n",
+            )
+        )
+        assert results["m.clean"].annotated and results["m.clean"].certified
+        assert results["m.tainted"].annotated
+        assert not results["m.tainted"].certified
+
+
+class TestSrcWideReport:
+    """Acceptance gate: build the report over the real src tree."""
+
+    def _report(self):
+        ctxs, errors = load_contexts([SRC], root=REPO_ROOT)
+        assert not errors
+        return effect_report(Program.from_contexts(ctxs), root="src/repro")
+
+    def test_report_validates_against_schema(self):
+        report = self._report()
+        assert trace_schema_errors(report, load_effects_schema()) == []
+
+    def test_at_least_two_certified_shardable_kernels(self):
+        report = self._report()
+        certified = report["summary"]["certified_shardable"]
+        assert len(certified) >= 2
+        # The paper's hot paths must be on the parallel allowlist.
+        assert "repro.strings.kernels.cached_min_dfa" in certified
+        assert "repro.core.upper._restrict_content" in certified
+
+    def test_every_annotation_in_src_certifies(self):
+        # R009 enforces this as a lint rule; pin it here as a regression
+        # test so a drive-by effect regression fails loudly in CI.
+        report = self._report()
+        summary = report["summary"]
+        assert set(summary["annotated_shardable"]) == set(
+            summary["certified_shardable"]
+        )

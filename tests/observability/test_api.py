@@ -55,6 +55,19 @@ class TestApproximateUpper:
         with pytest.raises(AttributeError):
             result.direction = "lower"
 
+    def test_schema_guided_defaults_to_self_guide(self):
+        # With no explicit guide, schema-guided runs against the input's
+        # own ancestor machine: same approximated language as blind, same
+        # artifact as passing guide=edtd explicitly.
+        edtd = example_2_6()
+        blind = approximate_upper(edtd).schema
+        auto = approximate_upper(edtd, strategy="schema-guided").schema
+        explicit = approximate_upper(
+            edtd, strategy="schema-guided", guide=edtd
+        ).schema
+        assert single_type_equivalent(auto, blind)
+        assert single_type_equivalent(auto, explicit)
+
     def test_explicit_trace_and_budget_are_used(self):
         budget = Budget()
         with Trace("mine") as trace:

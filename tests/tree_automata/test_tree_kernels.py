@@ -147,7 +147,7 @@ class TestDeterminizeDifferential:
 
     def test_governed_run_matches_ungoverned(self):
         bta = spine_bta(5)
-        assert_same_bta(bta.determinize(Budget()), bta.determinize())
+        assert_same_bta(bta.determinize(budget=Budget()), bta.determinize())
 
     def test_degenerate_automata(self):
         no_rules = BTA(["q"], ["a"], {}, {}, ["q"])
@@ -273,9 +273,9 @@ class TestBudgetTripParity:
         bta = spine_bta(7)
         for limit in [1, 7, 40, 100]:
             with pytest.raises(BudgetExceededError) as fast:
-                bta.determinize(Budget(max_states=limit))
+                bta.determinize(budget=Budget(max_states=limit))
             with pytest.raises(BudgetExceededError) as slow:
-                bta.determinize_reference(Budget(max_states=limit))
+                bta.determinize_reference(budget=Budget(max_states=limit))
             assert fast.value.reason == slow.value.reason == "max-states"
             assert (
                 fast.value.progress.states_explored
@@ -286,7 +286,7 @@ class TestBudgetTripParity:
     def test_kernel_trip_carries_checkpoint(self):
         bta = spine_bta(7)
         with pytest.raises(BudgetExceededError) as info:
-            bta.determinize(Budget(max_states=40))
+            bta.determinize(budget=Budget(max_states=40))
         checkpoint = info.value.checkpoint
         assert checkpoint is not None
         # 41 charged subsets plus the three uncharged leaf-seed subsets.
@@ -299,7 +299,7 @@ class TestCheckpointResume:
         bta = spine_bta(7)
         full = bta.determinize()
         with pytest.raises(BudgetExceededError) as info:
-            bta.determinize(Budget(max_states=40))
+            bta.determinize(budget=Budget(max_states=40))
         resumed = bta.determinize(checkpoint=info.value.checkpoint)
         assert_same_bta(resumed, full)
 
@@ -310,7 +310,7 @@ class TestCheckpointResume:
         for _ in range(300):
             try:
                 resumed = bta.determinize(
-                    Budget(max_states=24), checkpoint=checkpoint
+                    budget=Budget(max_states=24), checkpoint=checkpoint
                 )
                 break
             except BudgetExceededError as error:
@@ -325,9 +325,9 @@ class TestCheckpointResume:
         # available; the result must still be exact.
         bta = spine_bta(6)
         with pytest.raises(BudgetExceededError) as info:
-            bta.determinize(Budget(max_states=5))
+            bta.determinize(budget=Budget(max_states=5))
         resumed = bta.determinize(
-            Budget(), checkpoint=info.value.checkpoint
+            budget=Budget(), checkpoint=info.value.checkpoint
         )
         assert_same_bta(resumed, bta.determinize_reference())
 
