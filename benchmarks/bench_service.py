@@ -1,0 +1,256 @@
+"""EXP-SERVICE — hot-handle throughput of the validation service.
+
+Drives the asyncio TCP service of :mod:`repro.service` end to end with
+concurrent newline-delimited-JSON clients and compares two ways of
+validating the same documents against the same schema:
+
+* **hot** — the schema is registered once; every request addresses the
+  compiled handle by ``schema_id`` (the compile-once lifecycle the
+  handle API exists for);
+* **cold** — every request carries the schema source inline with
+  ``reuse: false``, so the service compiles (parse, reduce, fingerprint,
+  tables) from scratch per request: the per-call recompilation baseline
+  of the pre-handle facade.
+
+Both phases run the same client count and report client-side latency
+percentiles (the METRICS histograms keep aggregates, not samples) plus
+throughput; the hot path must beat the cold path by >= 10x at full
+scale.  A third phase sends deliberately starved budgets and counts the
+three-valued ``unknown`` verdicts — budget trips degrade, they do not
+error or kill connections.
+
+Results land in ``BENCH_service.json`` (override with
+``REPRO_BENCH_SERVICE_JSON``).  Set ``REPRO_BENCH_SMOKE=1`` for the CI
+slice (fewer clients and requests, a loosened >= 2x floor — shared
+runners make tight ratios flaky).
+
+Run the full benchmark with::
+
+    REPRO_BENCH_JSON=none PYTHONPATH=src \
+        python -m pytest benchmarks/bench_service.py --benchmark-disable -q
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import record_bench, record_row
+from repro import observability as _obs
+from repro.schemas.st_edtd import SingleTypeEDTD
+from repro.schemas.text_format import dumps
+from repro.service import ValidationService
+
+EXPERIMENT = "EXP-SERVICE  hot-handle vs per-request recompilation"
+NOTE = "in-process asyncio TCP server; client-side latencies; smoke slice loosens the floor"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip().lower() in ("1", "true", "yes")
+
+CONCURRENCY = 8 if SMOKE else 32
+HOT_REQUESTS = 25 if SMOKE else 150  # per client
+COLD_REQUESTS = 3 if SMOKE else 8  # per client: each one compiles
+SCHEMA_WIDTH = 8 if SMOKE else 24
+SPEEDUP_FLOOR = 2.0 if SMOKE else 10.0
+
+_SERVICE_JSON = os.environ.get("REPRO_BENCH_SERVICE_JSON", "BENCH_service.json")
+
+pytestmark = pytest.mark.ungoverned  # the service budgets per request
+
+
+def _bench_schema(width: int) -> SingleTypeEDTD:
+    """root(item*), item = the fixed field sequence f0..f{width-1} — wide
+    enough that compilation dominates any single hot validation."""
+    fields = [f"f{i}" for i in range(width)]
+    mu = {"r": "root", "i": "item"}
+    rules = {"r": "i*", "i": ", ".join(f"t{i}" for i in range(width))}
+    for i, field in enumerate(fields):
+        mu[f"t{i}"] = field
+    return SingleTypeEDTD(
+        alphabet={"root", "item", *fields},
+        types=set(mu),
+        rules=rules,
+        starts={"r"},
+        mu=mu,
+    )
+
+
+def _bench_document(width: int, items: int = 2) -> str:
+    item = "<item>" + "".join(f"<f{i}/>" for i in range(width)) + "</item>"
+    return "<root>" + item * items + "</root>"
+
+
+async def _client(port: int, payloads: list[dict]) -> tuple[list[float], list[dict]]:
+    """One connection sending *payloads* sequentially; returns per-request
+    client-side latencies (ms) and the decoded responses."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    latencies: list[float] = []
+    responses: list[dict] = []
+    try:
+        for payload in payloads:
+            line = (json.dumps(payload) + "\n").encode()
+            started = time.perf_counter()
+            writer.write(line)
+            await writer.drain()
+            raw = await reader.readline()
+            latencies.append((time.perf_counter() - started) * 1000.0)
+            responses.append(json.loads(raw))
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    return latencies, responses
+
+
+async def _drive(service: ValidationService, per_client: list[list[dict]]):
+    """All clients concurrently against a fresh listener; returns
+    (wall_seconds, latencies, responses)."""
+    server = await service.start(port=0)
+    port = server.sockets[0].getsockname()[1]
+    try:
+        started = time.perf_counter()
+        outcomes = await asyncio.gather(
+            *(_client(port, payloads) for payloads in per_client)
+        )
+        wall = time.perf_counter() - started
+    finally:
+        server.close()
+        await server.wait_closed()
+    latencies = [ms for lats, _ in outcomes for ms in lats]
+    responses = [response for _, rs in outcomes for response in rs]
+    return wall, latencies, responses
+
+
+def _percentile(sorted_ms: list[float], q: float) -> float:
+    return sorted_ms[min(len(sorted_ms) - 1, int(q * (len(sorted_ms) - 1) + 0.5))]
+
+
+def _phase_row(phase: str, wall: float, latencies: list[float]) -> dict:
+    ordered = sorted(latencies)
+    row = {
+        "phase": phase,
+        "requests": len(latencies),
+        "concurrency": CONCURRENCY,
+        "throughput_rps": len(latencies) / wall if wall > 0 else float("inf"),
+        "p50_ms": _percentile(ordered, 0.50),
+        "p99_ms": _percentile(ordered, 0.99),
+        "max_ms": ordered[-1],
+    }
+    record_bench(f"service.{phase}", n=CONCURRENCY, seconds=wall, **{
+        k: v for k, v in row.items() if k not in ("phase",)
+    })
+    return row
+
+
+_SUMMARY: dict = {"schema": 1, "smoke": SMOKE, "phases": [], "budget_trips": None}
+
+
+def _write_summary() -> None:
+    if _SERVICE_JSON.strip().lower() in ("", "0", "none", "off"):
+        return
+    with open(os.path.abspath(_SERVICE_JSON), "w") as handle:
+        json.dump(_SUMMARY, handle, indent=2, default=str)
+        handle.write("\n")
+
+
+def test_hot_handle_beats_per_request_recompilation():
+    schema_text = dumps(_bench_schema(SCHEMA_WIDTH))
+    document = _bench_document(SCHEMA_WIDTH)
+
+    async def scenario():
+        service = ValidationService(capacity=16)
+        info = await service.register_schema(schema_text)
+        hot_payload = {
+            "op": "validate",
+            "schema_id": info["schema_id"],
+            "document": document,
+        }
+        cold_payload = {
+            "op": "validate",
+            "schema": schema_text,
+            "reuse": False,
+            "document": document,
+        }
+        # Warm-up: touch both code paths once before timing.
+        await service.validate(info["schema_id"], document)
+        hot = await _drive(
+            service, [[dict(hot_payload)] * HOT_REQUESTS] * CONCURRENCY
+        )
+        cold = await _drive(
+            service, [[dict(cold_payload)] * COLD_REQUESTS] * CONCURRENCY
+        )
+        return hot, cold, service.registry.stats()
+
+    (hot_wall, hot_lat, hot_resp), (cold_wall, cold_lat, cold_resp), stats = (
+        asyncio.run(scenario())
+    )
+    for response in hot_resp + cold_resp:
+        assert response["ok"], response
+        assert response["result"]["verdict"] == "valid", response
+
+    hot_row = _phase_row("hot", hot_wall, hot_lat)
+    cold_row = _phase_row("cold", cold_wall, cold_lat)
+    speedup = hot_row["throughput_rps"] / cold_row["throughput_rps"]
+    for row in (hot_row, cold_row):
+        record_row(
+            EXPERIMENT,
+            {**row, "speedup_vs_cold": round(speedup, 2) if row is hot_row else 1.0},
+            note=NOTE,
+        )
+    _SUMMARY["phases"] = [hot_row, cold_row]
+    _SUMMARY["speedup_hot_vs_cold"] = speedup
+    _SUMMARY["registry"] = stats
+    _write_summary()
+
+    # One compile for the registered handle; every hot request hit it.
+    assert stats["compiles"] == 1
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"hot handle only {speedup:.1f}x over per-request recompilation "
+        f"(floor {SPEEDUP_FLOOR}x): hot {hot_row['throughput_rps']:.0f} rps "
+        f"vs cold {cold_row['throughput_rps']:.0f} rps"
+    )
+
+
+def test_budget_trips_degrade_not_fail():
+    schema_text = dumps(_bench_schema(SCHEMA_WIDTH))
+    document = _bench_document(SCHEMA_WIDTH)
+    requests_per_client = 5 if SMOKE else 20
+
+    async def scenario():
+        service = ValidationService(capacity=16)
+        info = await service.register_schema(schema_text)
+        payload = {
+            "op": "validate",
+            "schema_id": info["schema_id"],
+            "document": document,
+            "max_steps": 1,  # always trips: the document is larger
+        }
+        _obs.enable()
+        try:
+            outcome = await _drive(
+                service, [[dict(payload)] * requests_per_client] * CONCURRENCY
+            )
+            trips = _obs.METRICS.counter("service.budget_trips.validate").value
+        finally:
+            _obs.disable()
+        return outcome, trips
+
+    (wall, latencies, responses), trip_count = asyncio.run(scenario())
+    unknown = sum(
+        1 for r in responses if r["ok"] and r["result"]["verdict"] == "unknown"
+    )
+    assert unknown == len(responses), "a starved budget must degrade to unknown"
+    assert trip_count >= len(responses)
+    row = _phase_row("budget-trips", wall, latencies)
+    row["unknown_verdicts"] = unknown
+    row["trip_counter"] = trip_count
+    record_row(EXPERIMENT, {**row, "speedup_vs_cold": ""}, note=NOTE)
+    _SUMMARY["budget_trips"] = {
+        "requests": len(responses),
+        "unknown_verdicts": unknown,
+        "trip_counter": trip_count,
+        "p99_ms": row["p99_ms"],
+    }
+    _write_summary()

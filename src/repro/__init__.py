@@ -46,11 +46,21 @@ Subpackages
 ``repro.families``
     The paper's lower-bound families and random schema generators.
 ``repro.api``
-    The stable high-level facade: :func:`approximate_upper`,
+    The stable high-level facade: :func:`compile_schema` produces a
+    frozen :class:`CompiledSchema` handle that pays for reduction,
+    fingerprints, and hot validation tables once; its methods — and the
+    source-compatible free functions :func:`approximate_upper`,
     :func:`approximate_lower`, :func:`definability`,
     :func:`schema_includes`, :func:`schema_equivalent`, :func:`validate`
-    — each returning a frozen result object carrying the answer plus the
+    — each return a frozen result object carrying the answer plus the
     :class:`~repro.observability.Trace` and budget usage of the call.
+    Facade-wide defaults live in the frozen :class:`Settings`
+    (:func:`configured` / :func:`configure`).
+``repro.service``
+    Long-lived asyncio validation/approximation service: a bounded
+    LRU :class:`~repro.service.SchemaRegistry` of compiled handles and
+    a newline-delimited-JSON TCP server with per-request budgets; see
+    ``docs/SERVICE.md``.
 ``repro.observability``
     Zero-dependency structured tracing (span trees) and metrics for every
     governed construction; see ``docs/OBSERVABILITY.md``.
@@ -65,11 +75,16 @@ Subpackages
 from repro.api import (
     ApproximationResult,
     BudgetUsage,
+    CompiledSchema,
     DefinabilityReport,
     InclusionResult,
+    Settings,
     ValidationResult,
     approximate_lower,
     approximate_upper,
+    compile_schema,
+    configure,
+    configured,
     definability,
     schema_equivalent,
     schema_includes,
@@ -146,6 +161,7 @@ __all__ = [
     "BudgetProgress",
     "CacheError",
     "CancellationToken",
+    "CompiledSchema",
     "DFAXSD",
     "DTD",
     "Definability",
@@ -154,12 +170,16 @@ __all__ = [
     "EDTD",
     "InclusionResult",
     "InjectedFaultError",
+    "Settings",
     "METRICS",
     "Span",
     "Trace",
     "ValidationResult",
     "approximate_lower",
     "approximate_upper",
+    "compile_schema",
+    "configure",
+    "configured",
     "current_budget",
     "definability",
     "schema_equivalent",

@@ -606,25 +606,29 @@ class FrozenMutationRule(Rule):
 # R006 — uniform governed keyword surface
 # ----------------------------------------------------------------------
 
-#: Directories whose module-level public functions form the governed API
-#: surface normalized by R006 (plus the ``repro/api.py`` facade).
-API_SURFACE_DIRS = frozenset({"core"})
+#: Directories whose public functions form the governed API surface
+#: normalized by R006 (plus the ``repro/api.py`` facade).
+API_SURFACE_DIRS = frozenset({"core", "service"})
 
 
 class ApiSignatureRule(Rule):
     """Governed public entry points expose a uniform keyword surface.
 
-    Every module-level public function in :mod:`repro.core` (and the
-    :mod:`repro.api` facade) that participates in governance — i.e.
-    declares a ``budget`` parameter — must accept the full trailing trio
-    ``*, budget=None, checkpoint=None, trace=None``, all keyword-only and
-    all defaulting to ``None``.  Callers then never need to know which
-    construction happens to support resumption or tracing: the keywords
-    are always legal, and ``None`` always means "resolve the ambient
-    context default".
+    Every public function in :mod:`repro.core` and :mod:`repro.service`
+    (and the :mod:`repro.api` facade) that participates in governance —
+    i.e. declares a ``budget`` parameter — must accept the full trailing
+    trio ``*, budget=None, checkpoint=None, trace=None``, all
+    keyword-only and all defaulting to ``None``.  Callers then never
+    need to know which construction happens to support resumption or
+    tracing: the keywords are always legal, and ``None`` always means
+    "resolve the ambient context default".
 
-    Methods, nested helpers, and underscore-prefixed functions manage
-    their own (private) surface and are exempt.
+    The surface covers module-level functions *and* public methods of
+    public module-level classes — handle/service objects like
+    ``CompiledSchema`` and ``ValidationService`` carry the governed
+    surface on their methods.  Nested helpers, underscore-prefixed
+    functions and methods, and methods of private classes manage their
+    own (private) surface and are exempt.
     """
 
     rule_id = "R006"
@@ -647,8 +651,14 @@ class ApiSignatureRule(Rule):
                 continue
             if node.name.startswith("_"):
                 continue
-            if not isinstance(ctx.parent(node), ast.Module):
-                continue  # methods and nested helpers: private surface
+            parent = ctx.parent(node)
+            if isinstance(parent, ast.ClassDef):
+                if parent.name.startswith("_") or not isinstance(
+                    ctx.parent(parent), ast.Module
+                ):
+                    continue  # private or nested class: private surface
+            elif not isinstance(parent, ast.Module):
+                continue  # nested helpers: private surface
             positional = {
                 arg.arg for arg in node.args.posonlyargs + node.args.args
             }

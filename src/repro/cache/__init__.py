@@ -38,7 +38,12 @@ from collections.abc import Iterator
 from contextlib import contextmanager
 from typing import Union
 
-from repro.cache.keys import FORMAT_EPOCH, artifact_digest, schema_structural_key
+from repro.cache.keys import (
+    FORMAT_EPOCH,
+    artifact_digest,
+    schema_structural_key,
+    text_digest,
+)
 from repro.cache.store import _ACTIVE, DISABLED, ArtifactCache, _Disabled
 from repro.errors import CacheError
 
@@ -52,6 +57,7 @@ __all__ = [
     "current_cache",
     "resolve_cache",
     "schema_structural_key",
+    "text_digest",
 ]
 
 CacheArg = Union[ArtifactCache, _Disabled, None]

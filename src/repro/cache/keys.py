@@ -34,7 +34,7 @@ from typing import TYPE_CHECKING, Any
 if TYPE_CHECKING:  # pragma: no cover - runtime import stays lazy
     from repro.schemas.edtd import EDTD
 
-__all__ = ["FORMAT_EPOCH", "artifact_digest", "schema_structural_key"]
+__all__ = ["FORMAT_EPOCH", "artifact_digest", "schema_structural_key", "text_digest"]
 
 #: Serialization-format epoch baked into every key.  Bump on any change
 #: to the pickled object layout; see ``docs/CACHING.md`` for the ledger.
@@ -50,6 +50,17 @@ def artifact_digest(kind: str, key: Any) -> str | None:
         return None
     canonical = f"{kind}|{FORMAT_EPOCH}|{key!r}"
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def text_digest(text: str) -> str:
+    """Hex content address of a source *text* (UTF-8, epoch-pinned).
+
+    Unlike :func:`artifact_digest` this needs no structural key — it
+    fingerprints the literal characters.  The service's schema registry
+    uses it to deduplicate repeat registrations of identical schema
+    source without even re-parsing the text.
+    """
+    return hashlib.sha256(f"text|{FORMAT_EPOCH}|{text}".encode("utf-8")).hexdigest()
 
 
 def schema_structural_key(edtd: "EDTD | None") -> tuple[Any, ...] | None:

@@ -18,6 +18,7 @@ fragments):
 * ``merge S1 S2 ... [-o OUT]``        — minimal upper approx of an n-ary union
 * ``included A B``                    — is L(A) a subset of L(B)? (B single-type)
 * ``compat OLD NEW``                  — classify a schema evolution, with witness documents
+* ``serve [--host H] [--port P]``     — long-lived validation service (NDJSON over TCP)
 
 Every schema-producing command minimizes its output and prints it (or
 writes it with ``-o``).
@@ -247,6 +248,41 @@ def _cmd_included(args) -> int:
     return 0 if answer else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.api import Settings
+    from repro.service import serve
+
+    # The global governor flags become per-request *defaults* — a
+    # long-lived server must not share one budget across every request
+    # (main() deliberately skips installing the ambient budget for this
+    # command).
+    settings = Settings(
+        timeout=args.timeout,
+        max_states=args.max_states,
+        max_steps=args.max_steps,
+        strategy=args.strategy,
+    )
+    print(
+        f"repro service listening on {args.host}:{args.port} "
+        f"(registry capacity {args.registry_capacity}); Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    try:
+        asyncio.run(
+            serve(
+                args.host,
+                args.port,
+                capacity=args.registry_capacity,
+                settings=settings,
+            )
+        )
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shutting down", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -375,6 +411,28 @@ def build_parser() -> argparse.ArgumentParser:
     included.add_argument("left")
     included.add_argument("right")
     included.set_defaults(func=_cmd_included)
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived validation service (newline-delimited JSON over TCP)",
+        description=(
+            "Serve register_schema/validate/validate_batch/approximate over TCP "
+            "until interrupted.  The global --timeout/--max-states/--max-steps "
+            "flags become per-request budget defaults (not one shared budget); "
+            "--strategy is the default compilation strategy; --cache-dir backs "
+            "the schema registry with the persistent artifact store.  See "
+            "docs/SERVICE.md for the wire protocol."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8743, help="TCP port")
+    serve.add_argument(
+        "--registry-capacity",
+        type=int,
+        default=128,
+        metavar="N",
+        help="max resident compiled schemas (LRU beyond this)",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 
@@ -427,7 +485,10 @@ def main(argv: list[str] | None = None) -> int:
     trace = Trace(args.command) if (args.trace or args.trace_json) else None
     try:
         with contextlib.ExitStack() as stack:
-            if budget is not None:
+            if budget is not None and args.command != "serve":
+                # serve maps the governor flags onto *per-request*
+                # budgets; one ambient budget shared by every request
+                # would exhaust after the first few.
                 stack.enter_context(budget)
             if trace is not None:
                 stack.enter_context(trace)

@@ -38,6 +38,7 @@ from repro.schemas.st_edtd import SingleTypeEDTD
 from repro.schemas.type_automaton import ancestor_guide, type_automaton
 from repro.strings.determinize import determinize
 from repro.strings.kernels import cached_min_dfa
+from repro.strings.schema_guided import cached_guided_min_dfa, universal_guide
 from repro.strings.nfa import NFA
 
 
@@ -140,14 +141,25 @@ def minimal_upper_approximation(
                     if budget is not None:
                         budget.tick(1)
                     union_nfa = _content_union(reduced, subset)
-                    if strategy == "schema-guided":
-                        union_nfa = _restrict_content(
-                            union_nfa, frozenset(outgoing.get(subset, ()))
-                        )
                     # Memoized: merged-type unions repeat across subsets (and
                     # across constructions); hits recharge *budget* with the
                     # recorded construction cost so trips stay deterministic.
-                    rules[subset] = cached_min_dfa(union_nfa, budget=budget)
+                    if strategy == "schema-guided":
+                        # The guide reaches the content models too: only the
+                        # symbols actually leaving this subset state can occur
+                        # as children under a guide-accepted ancestor string,
+                        # so the union is determinized under the universal
+                        # guide over that symbol set — guide-dead child labels
+                        # are pruned *during* the subset construction instead
+                        # of restricted away afterwards (`_restrict_content`
+                        # remains the differential oracle for this pruning).
+                        rules[subset] = cached_guided_min_dfa(
+                            union_nfa,
+                            universal_guide(frozenset(outgoing.get(subset, ()))),
+                            budget=budget,
+                        )
+                    else:
+                        rules[subset] = cached_min_dfa(union_nfa, budget=budget)
             except BudgetExceededError as error:
                 # A checkpoint raised here belongs to a *content* NFA, not the
                 # type automaton — it must not be fed back into a resumed run.

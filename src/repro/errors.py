@@ -71,6 +71,23 @@ class CacheError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """Raised by :mod:`repro.service` for service-level failures: unknown
+    schema handles, registry capacity exhausted by pinned handles, or a
+    server-side operational fault.
+
+    Wire-protocol violations use the :class:`ProtocolError` subclass so
+    the server can distinguish "your request was malformed" from "your
+    well-formed request failed".
+    """
+
+
+class ProtocolError(ServiceError):
+    """Raised when a service request violates the newline-delimited JSON
+    wire protocol: not JSON, not an object, missing/unknown ``op``,
+    wrong parameter types, or an oversized line."""
+
+
 class InjectedFaultError(ReproError):
     """A fault deliberately raised by the :mod:`repro.faults` injection
     layer at a named injection point.

@@ -476,6 +476,13 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
 
+    @property
+    def mean(self) -> float | None:
+        """Arithmetic mean of the observed values (``None`` when empty)."""
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "type": "histogram",
@@ -483,6 +490,7 @@ class Histogram:
             "total": self.total,
             "min": self.min,
             "max": self.max,
+            "mean": self.mean,
         }
 
 
@@ -533,6 +541,17 @@ class MetricsRegistry:
         for registry in (self._counters, self._gauges, self._histograms):
             for name in sorted(registry):
                 snapshot[name] = registry[name].to_dict()
+        return snapshot
+
+    def snapshot(self, prefix: str = "") -> dict[str, Any]:
+        """Like :meth:`to_dict`, restricted to names starting with
+        *prefix* (e.g. ``snapshot("service.")`` for the service slice a
+        ``stats`` request reports)."""
+        snapshot: dict[str, Any] = {}
+        for registry in (self._counters, self._gauges, self._histograms):
+            for name in sorted(registry):
+                if name.startswith(prefix):
+                    snapshot[name] = registry[name].to_dict()
         return snapshot
 
 

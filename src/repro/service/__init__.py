@@ -1,0 +1,38 @@
+"""Long-lived asyncio validation/approximation service (ROADMAP item 2).
+
+The paper's economics — compute a single-type approximation *once*,
+amortize it over many documents — only pay off when something keeps the
+compiled artifacts alive between calls.  This package is that something:
+
+* :class:`~repro.service.registry.SchemaRegistry` — a bounded,
+  thread-safe LRU of :class:`repro.api.CompiledSchema` handles with
+  refcount pinning and concurrent-compile deduplication, backed by the
+  persistent :mod:`repro.cache` artifact store;
+* :class:`~repro.service.server.ValidationService` — async
+  ``register_schema`` / ``validate`` / ``validate_batch`` /
+  ``approximate`` operations with per-request deadlines and state/step
+  budgets mapped onto :class:`repro.runtime.Budget`, degrading to
+  three-valued ``unknown`` verdicts when a budget trips;
+* a newline-delimited-JSON TCP protocol
+  (:mod:`repro.service.protocol`) served over asyncio streams
+  (:func:`~repro.service.server.serve`, or ``python -m repro.cli
+  serve``).
+
+Telemetry is the existing observability layer for free: every request
+runs under construction spans, and the shared memo caches plus the
+registry feed :data:`repro.observability.METRICS`.  See
+``docs/SERVICE.md`` for the wire protocol and a latency-budget cookbook.
+"""
+
+from repro.service.protocol import MAX_LINE_BYTES, decode_request, encode_response
+from repro.service.registry import SchemaRegistry
+from repro.service.server import ValidationService, serve
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "SchemaRegistry",
+    "ValidationService",
+    "decode_request",
+    "encode_response",
+    "serve",
+]

@@ -377,23 +377,31 @@ def _guided_scalar(
 # ----------------------------------------------------------------------
 
 _SG_DET_CACHE = _KernelCache("schema_guided_det")
+_SG_MIN_CACHE = _KernelCache("schema_guided_min_dfa")
 
 
 def _sg_cache_totals() -> tuple[int, int]:
-    return (_SG_DET_CACHE.hits, _SG_DET_CACHE.misses)
+    return (
+        _SG_DET_CACHE.hits + _SG_MIN_CACHE.hits,
+        _SG_DET_CACHE.misses + _SG_MIN_CACHE.misses,
+    )
 
 
 _obs.register_cache_provider(_sg_cache_totals)
 
 
 def cache_stats() -> dict[str, dict[str, int]]:
-    """Hit/miss/entry counters of the schema-guided kernel cache."""
-    return {_SG_DET_CACHE.name: _SG_DET_CACHE.stats()}
+    """Hit/miss/entry counters of the schema-guided kernel caches."""
+    return {
+        _SG_DET_CACHE.name: _SG_DET_CACHE.stats(),
+        _SG_MIN_CACHE.name: _SG_MIN_CACHE.stats(),
+    }
 
 
 def clear_caches() -> None:
     """Drop the schema-guided memo entries and reset the counters."""
     _SG_DET_CACHE.clear()
+    _SG_MIN_CACHE.clear()
 
 
 def cached_guided_subset_construction(
@@ -427,3 +435,43 @@ def cached_guided_subset_construction(
         )
 
     return _memoized(_SG_DET_CACHE, key, build, budget)
+
+
+def cached_guided_min_dfa(
+    language: object,
+    guide: "_DFA",
+    *,
+    budget: Budget | None = None,
+) -> "_DFA":
+    """Memoized guided counterpart of
+    :func:`repro.strings.kernels.cached_min_dfa`: determinize *language*
+    under *guide* (pruning guide-dead subsets during the construction
+    instead of restricting afterwards), then minimize.
+
+    This is the kernel behind Construction 3.1's guided content-model
+    unions: the guide is the universal guide over the symbols actually
+    leaving a subset state, so symbols no valid document can emit there
+    are never expanded.  Relative to words the guide accepts, the result
+    is language-equal to the blind pipeline.  Keyed by ``(state reprs,
+    language fingerprint, guide fingerprint)``; hits replay the recorded
+    budget cost.
+    """
+    from repro.strings.minimize import minimize_dfa
+    from repro.strings.ops import as_nfa
+
+    budget = resolve_budget(budget)
+    nfa = as_nfa(language)
+    state_key = _symbol_reprs(nfa.states)
+    nfa_key = structural_key(language)
+    guide_key = structural_key(guide)
+    key = None
+    if state_key is not None and nfa_key is not None and guide_key is not None:
+        key = (state_key, nfa_key, guide_key)
+
+    def build(inner_budget: Budget | None) -> "_DFA":
+        return minimize_dfa(
+            guided_subset_construction(nfa, guide, budget=inner_budget),
+            budget=inner_budget,
+        )
+
+    return _memoized(_SG_MIN_CACHE, key, build, budget)

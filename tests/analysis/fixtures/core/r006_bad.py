@@ -1,8 +1,8 @@
 """Known-bad fixture for R006 (api-signature).
 
-Module-level public functions under ``core/`` that declare a ``budget``
-parameter must expose the full governed trio ``*, budget=None,
-checkpoint=None, trace=None``.
+Public functions — and public methods of public classes — under
+``core/`` that declare a ``budget`` parameter must expose the full
+governed trio ``*, budget=None, checkpoint=None, trace=None``.
 """
 
 
@@ -38,7 +38,22 @@ def _private_helper(edtd, budget=None):
 
 class Wrapper:
     def method(self, edtd, budget=None):
-        """Clean: methods are exempt."""
+        """Flagged three times: public method of a public class with a
+        positional budget and neither checkpoint nor trace."""
+        return edtd, budget
+
+    def governed(self, edtd, *, budget=None, checkpoint=None, trace=None):
+        """Clean: a method carrying the full trio."""
+        return edtd, budget, checkpoint, trace
+
+    def _private_method(self, edtd, budget=None):
+        """Clean: underscore-prefixed methods manage their own surface."""
+        return edtd, budget
+
+
+class _Internal:
+    def method(self, edtd, budget=None):
+        """Clean: methods of private classes are exempt."""
         return edtd, budget
 
 

@@ -224,6 +224,9 @@ class TestApiSignatureRule:
             "missing_trio",
             "missing_trio",
             "bad_default",
+            "Wrapper.method",
+            "Wrapper.method",
+            "Wrapper.method",
         ]
         assert all(f.severity is Severity.ERROR for f in r006)
         assert findings == r006
@@ -248,3 +251,30 @@ class TestApiSignatureRule:
     def test_ungoverned_functions_are_exempt(self):
         source = "def enumerate_members(edtd, max_size=6):\n    return []\n"
         assert analyze_source(source, "core/helper.py") == []
+
+    def test_service_dir_methods_are_in_scope(self):
+        source = (
+            "class Service:\n"
+            "    async def validate(self, document, budget=None):\n"
+            "        return document\n"
+        )
+        flagged = analyze_source(source, "service/server.py")
+        # positional budget + missing checkpoint + missing trace
+        assert [f.rule for f in flagged] == ["R006"] * 3
+        assert all(f.context == "Service.validate" for f in flagged)
+
+    def test_private_class_methods_are_exempt(self):
+        source = (
+            "class _Entry:\n"
+            "    def touch(self, budget=None):\n"
+            "        return budget\n"
+        )
+        assert analyze_source(source, "service/registry.py") == []
+
+    def test_ungoverned_methods_are_exempt(self):
+        source = (
+            "class Registry:\n"
+            "    def lookup(self, schema_id):\n"
+            "        return schema_id\n"
+        )
+        assert analyze_source(source, "service/registry.py") == []

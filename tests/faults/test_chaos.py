@@ -7,10 +7,11 @@ The global robustness invariant (ISSUE 6):
     :mod:`repro.errors` taxonomy.  A silently wrong answer is a hard
     failure.  A non-taxonomy exception escaping is a hard failure.
 
-The sweep drives six operations (``approximate_upper`` under both the
+The sweep drives seven operations (``approximate_upper`` under both the
 blind and the schema-guided determinization kernel,
 ``approximate_lower``, ``definability``, ``schema_includes``,
-``validate``) through a matrix of fault schedules — every injection
+``validate``, and the asyncio validation service of ``repro.service``
+end to end) through a matrix of fault schedules — every injection
 point, every applicable mode, several arrival indices and seeds — with a
 fresh on-disk artifact cache per run so the cache points are actually
 reached.  Each run makes **two passes** under the same plan (cold, then
@@ -24,6 +25,7 @@ fires is a vacuous test, and this floor is what CI enforces.
 
 from __future__ import annotations
 
+import asyncio
 import os
 
 import pytest
@@ -107,6 +109,36 @@ def _op_validate(cache):
     return validate(_store_schema(), _DOC, cache=cache).valid
 
 
+def _op_service(cache):
+    # The asyncio service loop end to end: register into a fresh bounded
+    # registry backed by the faulted cache, then validate (single and
+    # batch) and approximate through the async surface.  Deterministic
+    # state/step budgets only — wall-clock deadlines plus delay-mode
+    # faults would diverge from the oracle without any fault surfacing.
+    # Timing fields (elapsed_ms) and usage deltas are excluded from the
+    # outcome: warm passes legitimately serve approximations from disk.
+    from repro.service import ValidationService
+
+    async def drive():
+        service = ValidationService(capacity=4, cache=cache)
+        info = await service.register_schema(dumps(_store_schema()))
+        row = await service.validate(info["schema_id"], _DOC)
+        batch = await service.validate_batch(
+            info["schema_id"], [_DOC, "<store></store>", _DOC], max_steps=5
+        )
+        approx = await service.approximate(info["schema_id"], direction="upper")
+        return (
+            info["schema_id"],
+            row["verdict"],
+            [r["verdict"] for r in batch["results"]],
+            batch["completed"],
+            batch["partial"],
+            approx["schema"],
+        )
+
+    return asyncio.run(drive())
+
+
 OPERATIONS = {
     "upper": _op_upper,
     "guided-upper": _op_guided_upper,
@@ -114,6 +146,7 @@ OPERATIONS = {
     "definability": _op_definability,
     "includes": _op_includes,
     "validate": _op_validate,
+    "service": _op_service,
 }
 
 # ----------------------------------------------------------------------
